@@ -1,0 +1,67 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* certain-key hash path in the naive AU-DB join (on/off);
+* the pure-equi condition shortcut is exercised implicitly by the hash
+  variant (equi conditions skip expression evaluation);
+* compression budget ablation for aggregation (CT off vs on) —
+  complementing the sweep in ``bench_fig13_micro_agg.py``.
+"""
+
+import pytest
+
+from repro.algebra.ast import Aggregate, TableRef
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.core.aggregation import agg_sum
+from repro.core.expressions import Var
+from repro.core.operators import join
+from repro.core.relation import AUDatabase, AURelation
+from repro.workloads.micro import micro_instance
+
+
+@pytest.fixture(scope="module")
+def join_sides():
+    def side(prefix, seed):
+        _det, xrel = micro_instance(
+            400, n_cols=2, uncertainty=0.03, range_fraction=0.02,
+            domain=(1, 1000), seed=seed,
+        )
+        audb = xrel.to_audb()
+        renamed = AURelation([f"{prefix}{i}" for i in range(2)])
+        for t, ann in audb.tuples():
+            renamed.add(t, ann)
+        return renamed
+
+    return side("l", 1), side("r", 2)
+
+
+def test_join_with_certain_hash(benchmark, join_sides):
+    left, right = join_sides
+    cond = Var("l0") == Var("r0")
+    benchmark(lambda: join(left, right, cond, allow_certain_hash=True))
+
+
+def test_join_without_certain_hash(benchmark, join_sides):
+    left, right = join_sides
+    cond = Var("l0") == Var("r0")
+    benchmark(lambda: join(left, right, cond, allow_certain_hash=False))
+
+
+@pytest.fixture(scope="module")
+def agg_db():
+    _det, xrel = micro_instance(
+        1000, n_cols=4, uncertainty=0.08, range_fraction=0.2,
+        domain=(1, 500), seed=3,
+    )
+    return AUDatabase({"t": xrel.to_audb()})
+
+
+def test_aggregation_uncompressed(benchmark, agg_db):
+    plan = Aggregate(TableRef("t"), ["a0"], [agg_sum("a1", "s")])
+    benchmark(lambda: evaluate_audb(plan, agg_db, EvalConfig()))
+
+
+def test_aggregation_compressed(benchmark, agg_db):
+    plan = Aggregate(TableRef("t"), ["a0"], [agg_sum("a1", "s")])
+    benchmark(
+        lambda: evaluate_audb(plan, agg_db, EvalConfig(aggregation_buckets=16))
+    )

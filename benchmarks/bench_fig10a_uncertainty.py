@@ -1,0 +1,63 @@
+"""Figure 10a: PDBench SPJ queries across systems, varying uncertainty.
+
+Regenerates the paper's runtime-ratio-vs-Det series.  Each benchmark runs
+one system over the three PDBench SPJ queries at one uncertainty level;
+compare the group means to read off the ratios.
+"""
+
+import pytest
+
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.baselines.libkin import evaluate_libkin, null_db_from_xdb
+from repro.baselines.maybms import evaluate_maybms_possible
+from repro.baselines.mcdb import run_mcdb
+from repro.baselines.uadb import UADatabase, evaluate_uadb
+from repro.core.relation import AUDatabase
+from repro.db.engine import evaluate_det
+from repro.tpch.pdbench import make_pdbench
+from repro.tpch.queries import pdbench_spj_queries
+
+QUERIES = pdbench_spj_queries()
+AUDB_CONFIG = EvalConfig(join_buckets=32, aggregation_buckets=32)
+UNCERTAINTIES = [0.02, 0.10, 0.30]
+
+
+@pytest.fixture(scope="module", params=UNCERTAINTIES, ids=lambda u: f"u{int(u*100)}")
+def instance(request):
+    return make_pdbench(scale=0.2, uncertainty=request.param)
+
+
+def test_det(benchmark, instance):
+    world = instance.selected_world()
+    benchmark(lambda: [evaluate_det(q, world) for q in QUERIES.values()])
+
+
+def test_uadb(benchmark, instance):
+    uadb = UADatabase.from_xdb(instance.xdb)
+    benchmark(lambda: [evaluate_uadb(q, uadb) for q in QUERIES.values()])
+
+
+def test_audb(benchmark, instance):
+    audb = AUDatabase(instance.audb().relations)
+    benchmark(
+        lambda: [evaluate_audb(q, audb, AUDB_CONFIG) for q in QUERIES.values()]
+    )
+
+
+def test_libkin(benchmark, instance):
+    db = null_db_from_xdb(instance.xdb)
+    benchmark(lambda: [evaluate_libkin(q, db) for q in QUERIES.values()])
+
+
+def test_maybms(benchmark, instance):
+    benchmark(
+        lambda: [
+            evaluate_maybms_possible(q, instance.xdb) for q in QUERIES.values()
+        ]
+    )
+
+
+def test_mcdb(benchmark, instance):
+    benchmark(
+        lambda: [run_mcdb(q, instance.xdb, n_samples=10) for q in QUERIES.values()]
+    )

@@ -1,0 +1,30 @@
+"""Figure 10b: PDBench SPJ queries, varying database scale at 2%."""
+
+import pytest
+
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.core.relation import AUDatabase
+from repro.db.engine import evaluate_det
+from repro.tpch.pdbench import make_pdbench
+from repro.tpch.queries import pdbench_spj_queries
+
+QUERIES = pdbench_spj_queries()
+AUDB_CONFIG = EvalConfig(join_buckets=32, aggregation_buckets=32)
+SCALES = [0.1, 0.3, 1.0]
+
+
+@pytest.fixture(scope="module", params=SCALES, ids=lambda s: f"scale{s}")
+def instance(request):
+    return make_pdbench(scale=request.param, uncertainty=0.02)
+
+
+def test_det(benchmark, instance):
+    world = instance.selected_world()
+    benchmark(lambda: [evaluate_det(q, world) for q in QUERIES.values()])
+
+
+def test_audb(benchmark, instance):
+    audb = AUDatabase(instance.audb().relations)
+    benchmark(
+        lambda: [evaluate_audb(q, audb, AUDB_CONFIG) for q in QUERIES.values()]
+    )

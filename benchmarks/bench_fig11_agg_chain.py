@@ -1,0 +1,57 @@
+"""Figure 11: chained aggregation operators across systems."""
+
+import pytest
+
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.baselines.mcdb import run_mcdb
+from repro.baselines.symbolic import chain_symbolic_aggregates
+from repro.core.relation import AUDatabase
+from repro.db.engine import evaluate_det
+from repro.db.storage import DetDatabase
+from repro.experiments.fig11_agg_chain import VALUE_COL, _trio_chain, make_chain_plan
+from repro.incomplete.xdb import XDatabase
+from repro.workloads.micro import micro_instance
+
+N_OPS = [1, 4, 8]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    _det, xrel = micro_instance(
+        800, n_cols=10, uncertainty=0.05, group_domain=(1, 3), seed=5
+    )
+    return {
+        "xrel": xrel,
+        "det_db": DetDatabase({"t": xrel.selected_world()}),
+        "audb": AUDatabase({"t": xrel.to_audb()}),
+        "xdb": XDatabase({"t": xrel}),
+    }
+
+
+@pytest.fixture(params=N_OPS, ids=lambda n: f"ops{n}")
+def n_ops(request):
+    return request.param
+
+
+def test_det(benchmark, setup, n_ops):
+    plan = make_chain_plan(n_ops)
+    benchmark(lambda: evaluate_det(plan, setup["det_db"]))
+
+
+def test_audb(benchmark, setup, n_ops):
+    plan = make_chain_plan(n_ops)
+    config = EvalConfig(aggregation_buckets=32)
+    benchmark(lambda: evaluate_audb(plan, setup["audb"], config))
+
+
+def test_trio(benchmark, setup, n_ops):
+    benchmark(lambda: _trio_chain(setup["xrel"], n_ops))
+
+
+def test_symbolic(benchmark, setup, n_ops):
+    benchmark(lambda: chain_symbolic_aggregates(setup["xrel"], VALUE_COL, n_ops))
+
+
+def test_mcdb(benchmark, setup, n_ops):
+    plan = make_chain_plan(n_ops)
+    benchmark(lambda: run_mcdb(plan, setup["xdb"], n_samples=10))

@@ -1,0 +1,28 @@
+"""Figure 12: TPC-H Q1/Q3/Q5/Q7/Q10 — AU-DB vs Det vs MCDB."""
+
+import pytest
+
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.baselines.mcdb import run_mcdb
+from repro.tpch.queries import tpch_queries
+from repro.db.engine import evaluate_det
+
+QUERIES = tpch_queries()
+AUDB_CONFIG = EvalConfig(join_buckets=64, aggregation_buckets=64)
+
+
+@pytest.fixture(params=sorted(QUERIES), ids=str)
+def query(request):
+    return QUERIES[request.param]
+
+
+def test_det(benchmark, query, pdbench_small_world):
+    benchmark(lambda: evaluate_det(query, pdbench_small_world))
+
+
+def test_audb(benchmark, query, pdbench_small_audb):
+    benchmark(lambda: evaluate_audb(query, pdbench_small_audb, AUDB_CONFIG))
+
+
+def test_mcdb(benchmark, query, pdbench_small):
+    benchmark(lambda: run_mcdb(query, pdbench_small.xdb, n_samples=10))

@@ -1,0 +1,88 @@
+"""Figure 13: aggregation micro-benchmarks.
+
+13a — varying the number of group-by attributes;
+13b — varying the number of aggregation functions;
+13c — varying the attribute-range width under compression;
+13d — the compression budget itself (runtime side; the accuracy side is
+      reported by ``python -m repro.experiments.fig13_micro``).
+"""
+
+import pytest
+
+from repro.algebra.ast import Aggregate, TableRef
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.core.aggregation import agg_sum
+from repro.core.relation import AUDatabase
+from repro.db.engine import evaluate_det
+from repro.db.storage import DetDatabase
+from repro.workloads.micro import micro_instance
+
+N_COLS = 20
+
+
+@pytest.fixture(scope="module")
+def data():
+    _det, xrel = micro_instance(1500, n_cols=N_COLS, uncertainty=0.05, seed=9)
+    return {
+        "det": DetDatabase({"t": xrel.selected_world()}),
+        "audb": AUDatabase({"t": xrel.to_audb()}),
+    }
+
+
+# -- 13a ----------------------------------------------------------------
+@pytest.mark.parametrize("n_groups", [1, 5, 15], ids=lambda n: f"gb{n}")
+def test_fig13a_group_by_audb(benchmark, data, n_groups):
+    keys = [f"a{i}" for i in range(n_groups)]
+    plan = Aggregate(TableRef("t"), keys, [agg_sum(f"a{N_COLS - 1}", "s")])
+    config = EvalConfig(aggregation_buckets=25)
+    benchmark(lambda: evaluate_audb(plan, data["audb"], config))
+
+
+@pytest.mark.parametrize("n_groups", [1, 5, 15], ids=lambda n: f"gb{n}")
+def test_fig13a_group_by_det(benchmark, data, n_groups):
+    keys = [f"a{i}" for i in range(n_groups)]
+    plan = Aggregate(TableRef("t"), keys, [agg_sum(f"a{N_COLS - 1}", "s")])
+    benchmark(lambda: evaluate_det(plan, data["det"]))
+
+
+# -- 13b ----------------------------------------------------------------
+@pytest.mark.parametrize("n_aggs", [1, 5, 15], ids=lambda n: f"agg{n}")
+def test_fig13b_agg_functions_audb(benchmark, data, n_aggs):
+    aggs = [agg_sum(f"a{i + 1}", f"s{i}") for i in range(n_aggs)]
+    plan = Aggregate(TableRef("t"), ["a0"], aggs)
+    config = EvalConfig(aggregation_buckets=25)
+    benchmark(lambda: evaluate_audb(plan, data["audb"], config))
+
+
+@pytest.mark.parametrize("n_aggs", [1, 5, 15], ids=lambda n: f"agg{n}")
+def test_fig13b_agg_functions_det(benchmark, data, n_aggs):
+    aggs = [agg_sum(f"a{i + 1}", f"s{i}") for i in range(n_aggs)]
+    plan = Aggregate(TableRef("t"), ["a0"], aggs)
+    benchmark(lambda: evaluate_det(plan, data["det"]))
+
+
+# -- 13c ----------------------------------------------------------------
+@pytest.mark.parametrize("range_fraction", [0.1, 0.5, 1.0], ids=lambda f: f"rng{f}")
+@pytest.mark.parametrize("ct", [4, 256], ids=lambda c: f"ct{c}")
+def test_fig13c_attribute_range(benchmark, range_fraction, ct):
+    _det, xrel = micro_instance(
+        1200, n_cols=5, uncertainty=0.05,
+        range_fraction=range_fraction, seed=11,
+        group_domain=(1, 100_000),
+    )
+    audb = AUDatabase({"t": xrel.to_audb()})
+    plan = Aggregate(TableRef("t"), ["a0"], [agg_sum("a1", "s")])
+    config = EvalConfig(aggregation_buckets=ct)
+    benchmark(lambda: evaluate_audb(plan, audb, config))
+
+
+# -- 13d ----------------------------------------------------------------
+@pytest.mark.parametrize("ct", [4, 32, 256, 4096], ids=lambda c: f"ct{c}")
+def test_fig13d_compression(benchmark, ct):
+    _det, xrel = micro_instance(
+        1200, n_cols=5, uncertainty=0.10, seed=12, group_domain=(1, 10_000)
+    )
+    audb = AUDatabase({"t": xrel.to_audb()})
+    plan = Aggregate(TableRef("t"), ["a0"], [agg_sum("a1", "s")])
+    config = EvalConfig(aggregation_buckets=ct)
+    benchmark(lambda: evaluate_audb(plan, audb, config))

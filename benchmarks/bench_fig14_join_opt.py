@@ -1,0 +1,30 @@
+"""Figure 14: join optimization — naive interval join vs split+Cpr."""
+
+import pytest
+
+from repro.core.expressions import Var
+from repro.core.operators import join as naive_join
+from repro.core.compression import optimized_join
+from repro.experiments.fig14_join_opt import _make_side
+
+SIZES = [250, 500]
+COND = Var("l0") == Var("r0")
+
+
+@pytest.fixture(scope="module", params=SIZES, ids=lambda n: f"n{n}")
+def sides(request):
+    n = request.param
+    left = _make_side(n, 0.03, 0.02, seed=n, name_prefix="l")
+    right = _make_side(n, 0.03, 0.02, seed=n + 1, name_prefix="r")
+    return left, right
+
+
+def test_naive_join(benchmark, sides):
+    left, right = sides
+    benchmark(lambda: naive_join(left, right, COND, allow_certain_hash=False))
+
+
+@pytest.mark.parametrize("ct", [4, 32, 256], ids=lambda c: f"ct{c}")
+def test_optimized_join(benchmark, sides, ct):
+    left, right = sides
+    benchmark(lambda: optimized_join(left, right, COND, "l0", "r0", buckets=ct))

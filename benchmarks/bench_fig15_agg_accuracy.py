@@ -1,0 +1,23 @@
+"""Figure 15: aggregation accuracy pipeline (x-DB -> AU-DB -> group-by sum
+vs exact ground truth).  The timed portion is the full accuracy pipeline;
+the measured accuracy series is printed by
+``python -m repro.experiments.fig15_agg_accuracy``.
+"""
+
+import pytest
+
+from repro.experiments.fig15_agg_accuracy import run
+
+
+@pytest.mark.parametrize("uncertainty", [0.02, 0.05], ids=lambda u: f"u{int(u*100)}")
+def test_accuracy_pipeline(benchmark, uncertainty):
+    rows = benchmark(
+        lambda: run(
+            n_rows=400,
+            uncertainties=(uncertainty,),
+            range_fractions=(0.02, 0.08),
+        )
+    )
+    for row in rows:
+        assert row["range_overestimation"] >= 1.0
+        assert row["over_grouping_pct"] >= 0.0

@@ -1,0 +1,27 @@
+"""Figure 16: multi-join chains with and without compression."""
+
+import pytest
+
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.core.relation import AUDatabase
+from repro.experiments.fig16_multijoin import _make_table, make_chain
+
+N_ROWS = 200
+
+
+@pytest.fixture(scope="module")
+def db():
+    return AUDatabase(
+        {
+            f"t{i}": _make_table(N_ROWS, 0.03, seed=50 + i, index=i)
+            for i in range(5)
+        }
+    )
+
+
+@pytest.mark.parametrize("n_joins", [1, 2, 3], ids=lambda n: f"j{n}")
+@pytest.mark.parametrize("ct", [4, 64, None], ids=lambda c: f"ct{c}")
+def test_multijoin(benchmark, db, n_joins, ct):
+    plan = make_chain(n_joins)
+    config = EvalConfig(join_buckets=ct)
+    benchmark(lambda: evaluate_audb(plan, db, config))

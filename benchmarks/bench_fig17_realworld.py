@@ -1,0 +1,81 @@
+"""Figure 17: real-world key-repair datasets across systems.
+
+Times each system on the SPJ and group-by query per dataset; the accuracy
+columns (certain recall, bound tightness, possible recall) are printed by
+``python -m repro.experiments.fig17_realworld``.
+"""
+
+import pytest
+
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.baselines.mcdb import run_mcdb
+from repro.baselines.trio import trio_aggregate, trio_spj_possible
+from repro.baselines.uadb import UADatabase, evaluate_uadb
+from repro.core.relation import AUDatabase
+from repro.experiments.fig17_realworld import _compile_spj
+from repro.incomplete.xdb import XDatabase
+from repro.lenses import key_repair_lens
+from repro.workloads.realworld import (
+    make_crimes,
+    make_healthcare,
+    make_netflix,
+    realworld_queries,
+)
+
+AUDB_CONFIG = EvalConfig(join_buckets=32, aggregation_buckets=32)
+QUERIES = realworld_queries()
+MAKERS = {
+    "netflix": lambda: make_netflix(1500),
+    "crimes": lambda: make_crimes(3000),
+    "healthcare": lambda: make_healthcare(2000),
+}
+
+
+@pytest.fixture(scope="module")
+def lenses():
+    out = {}
+    for name, maker in MAKERS.items():
+        ds = maker()
+        out[name] = (ds, key_repair_lens(ds.relation, list(ds.key_columns)))
+    return out
+
+
+@pytest.fixture(params=sorted(QUERIES), ids=str)
+def query(request):
+    return request.param
+
+
+def test_audb(benchmark, lenses, query):
+    ds_name, plan = QUERIES[query]
+    _ds, lens = lenses[ds_name]
+    audb = AUDatabase({ds_name: lens.audb})
+    benchmark(lambda: evaluate_audb(plan, audb, AUDB_CONFIG))
+
+
+def test_trio(benchmark, lenses, query):
+    ds_name, plan = QUERIES[query]
+    _ds, lens = lenses[ds_name]
+    from repro.algebra.ast import Aggregate
+
+    if isinstance(plan, Aggregate):
+        (spec,) = plan.aggregates
+        benchmark(
+            lambda: trio_aggregate(lens.xdb, list(plan.group_by), spec)
+        )
+    else:
+        predicate, _idx, _cols = _compile_spj(plan, list(lens.xdb.schema))
+        benchmark(lambda: trio_spj_possible(lens.xdb, predicate))
+
+
+def test_mcdb(benchmark, lenses, query):
+    ds_name, plan = QUERIES[query]
+    _ds, lens = lenses[ds_name]
+    xdb = XDatabase({ds_name: lens.xdb})
+    benchmark(lambda: run_mcdb(plan, xdb, n_samples=10))
+
+
+def test_uadb(benchmark, lenses, query):
+    ds_name, plan = QUERIES[query]
+    _ds, lens = lenses[ds_name]
+    uadb = UADatabase.from_xdb(XDatabase({ds_name: lens.xdb}))
+    benchmark(lambda: evaluate_uadb(plan, uadb))

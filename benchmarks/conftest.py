@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark suite.
+
+Every figure/table of the paper's evaluation has a corresponding
+``bench_fig*.py`` file; the full printable harnesses (with parameter
+sweeps and accuracy columns) live in ``repro.experiments`` and can be run
+as ``python -m repro.experiments``.  The pytest-benchmark targets here
+time the hot paths at laptop-friendly sizes.
+"""
+
+import pytest
+
+from repro.core.relation import AUDatabase
+from repro.tpch.pdbench import make_pdbench
+
+
+@pytest.fixture(scope="session")
+def pdbench_small():
+    """A PDBench instance shared across benchmarks (scale 0.2, 2%)."""
+    return make_pdbench(scale=0.2, uncertainty=0.02)
+
+
+@pytest.fixture(scope="session")
+def pdbench_small_audb(pdbench_small):
+    return AUDatabase(pdbench_small.audb().relations)
+
+
+@pytest.fixture(scope="session")
+def pdbench_small_world(pdbench_small):
+    return pdbench_small.selected_world()

@@ -1,0 +1,74 @@
+"""Data cleaning with a lens: repair key violations, keep the uncertainty.
+
+The key-repair lens (Section 11.4 of the paper) fixes primary-key
+violations by picking one candidate tuple per key — but unlike an ordinary
+cleaning script it *remembers* the repairs it did not take, as
+attribute-level bounds.  Downstream queries then expose which answers
+depend on the cleaning heuristic.
+
+Run with ``python examples/key_repair_cleaning.py``.
+"""
+
+import random
+
+from repro import AUDatabase, DetRelation, evaluate_audb, key_repair_lens, parse_sql
+from repro.metrics import audb_certain_keys
+
+
+def dirty_catalog() -> DetRelation:
+    """A product catalog where some SKUs appear with conflicting data."""
+    rel = DetRelation(["sku", "price", "stock"])
+    rows = [
+        ("A-100", 9.99, 120),
+        ("A-101", 4.50, 8),
+        ("A-101", 6.00, 8),      # conflicting price for A-101
+        ("A-102", 12.00, 55),
+        ("A-103", 3.25, 0),
+        ("A-103", 3.25, 40),     # conflicting stock for A-103
+        ("A-104", 99.00, 3),
+        ("A-104", 79.00, 30),    # conflicting price AND stock
+        ("A-104", 89.00, 12),
+    ]
+    for row in rows:
+        rel.add(row)
+    return rel
+
+
+def main() -> None:
+    raw = dirty_catalog()
+    print(f"Raw catalog: {raw.total_rows()} rows, key = sku")
+
+    lens = key_repair_lens(raw, ["sku"], rng=random.Random(7))
+    print(
+        f"Key-repair lens: {lens.n_violating_keys} violating keys, "
+        f"{lens.avg_alternatives:.1f} candidates each on average"
+    )
+    print("\nRepaired AU-relation (ranges record the rejected repairs):")
+    print(lens.audb.pretty())
+
+    db = AUDatabase({"catalog": lens.audb})
+
+    # -- a query whose answer depends on the repairs --------------------
+    sql = "SELECT sum(price * stock) AS inventory_value FROM catalog"
+    result = evaluate_audb(parse_sql(sql), db)
+    ((t, _ann),) = list(result.tuples())
+    value = t[0]
+    print(f"\n{sql}")
+    print(
+        f"  inventory value = {value.sg:,.2f} "
+        f"(guaranteed within [{value.lb:,.2f}, {value.ub:,.2f}])"
+    )
+
+    # -- a filter where repairs decide membership ------------------------
+    sql2 = "SELECT sku FROM catalog WHERE price > 5.0"
+    result2 = evaluate_audb(parse_sql(sql2), db)
+    certain = audb_certain_keys(result2, ["sku"])
+    print(f"\n{sql2}")
+    for t, (lb, _sg, ub) in sorted(result2.tuples(), key=lambda x: repr(x[0])):
+        status = "certain" if lb > 0 else "depends on the repair choice"
+        print(f"  {t[0].sg}: {status}")
+    print(f"  -> {len(certain)} certain answers out of {len(result2)} reported")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Quickstart: build an AU-DB, query it with SQL, read the bounds.
+
+Run with ``python examples/quickstart.py``.
+
+An AU-DB annotates one *selected-guess* database with attribute-level
+ranges ``[lb/sg/ub]`` and tuple-level multiplicity bounds ``(lb, sg, ub)``.
+Queries preserve those bounds: whatever the true state of the data is
+(within the declared uncertainty), the true query answer lies inside the
+reported ranges.
+"""
+
+from repro import (
+    AUDatabase,
+    AURelation,
+    between,
+    evaluate_audb,
+    parse_sql,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Declare uncertain data.
+    #
+    # Sensor readings: reading 2's temperature is somewhere in [19, 23]
+    # with a best guess of 21; reading 3 may be a duplicate (its tuple
+    # multiplicity is between 1 and 2); reading 4 might not exist at all
+    # (multiplicity lower bound 0).
+    # ------------------------------------------------------------------
+    readings = AURelation(["sensor", "temp"])
+    readings.add(["north", 18.0], (1, 1, 1))                    # certain
+    readings.add(["north", between(19.0, 21.0, 23.0)], (1, 1, 1))
+    readings.add(["south", 25.0], (1, 1, 2))                    # maybe dup
+    readings.add(["south", between(24.0, 26.0, 30.0)], (0, 1, 1))  # maybe absent
+
+    db = AUDatabase({"readings": readings})
+    print("Input AU-relation:")
+    print(readings.pretty())
+
+    # ------------------------------------------------------------------
+    # 2. Query with SQL.  The result carries sound bounds.
+    # ------------------------------------------------------------------
+    plan = parse_sql(
+        "SELECT sensor, count(*) AS n, avg(temp) AS avg_temp "
+        "FROM readings GROUP BY sensor"
+    )
+    result = evaluate_audb(plan, db)
+    print("\nSELECT sensor, count(*), avg(temp) ... GROUP BY sensor:")
+    print(result.pretty())
+
+    # ------------------------------------------------------------------
+    # 3. Read the three layers of every answer.
+    # ------------------------------------------------------------------
+    print("\nInterpretation:")
+    for t, (lb, sg, ub) in result.tuples():
+        sensor, n, avg_temp = t
+        certainty = "certainly exists" if lb > 0 else "may exist"
+        print(
+            f"  group {sensor.sg!r}: {certainty}; "
+            f"count in [{n.lb}, {n.ub}] (best guess {n.sg}); "
+            f"avg temp in [{avg_temp.lb:.1f}, {avg_temp.ub:.1f}] "
+            f"(best guess {avg_temp.sg:.1f})"
+        )
+
+    # ------------------------------------------------------------------
+    # 4. The selected-guess world is always recoverable: ignoring the
+    # bounds gives exactly what a deterministic database would have said.
+    # ------------------------------------------------------------------
+    print("\nSelected-guess world of the result (what SGQP would report):")
+    for row, mult in result.selected_guess_world().items():
+        print(f"  {row} x{mult}")
+
+
+if __name__ == "__main__":
+    main()

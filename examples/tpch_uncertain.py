@@ -1,0 +1,78 @@
+"""Uncertain TPC-H: PDBench-style analytics with bounds.
+
+Generates a small TPC-H instance, injects PDBench-style cell-level
+uncertainty (conflicting extracted values), and contrasts three ways of
+answering TPC-H Q1 and Q3:
+
+* ``Det`` — query the selected-guess world and hope for the best;
+* ``MCDB`` — sample 10 possible worlds and look at the spread;
+* ``AU-DB`` — one run, hard bounds.
+
+Run with ``python examples/tpch_uncertain.py``.
+"""
+
+from repro import AUDatabase, EvalConfig, evaluate_audb, evaluate_det
+from repro.baselines.mcdb import run_mcdb
+from repro.tpch.pdbench import make_pdbench
+from repro.tpch.queries import q1, q3
+
+
+def main() -> None:
+    instance = make_pdbench(scale=0.3, uncertainty=0.05)
+    det_world = instance.selected_world()
+    audb = AUDatabase(instance.audb().relations)
+    config = EvalConfig(join_buckets=64, aggregation_buckets=64)
+
+    lineitems = det_world["lineitem"].total_rows()
+    uncertain_pct = instance.xdb["lineitem"].uncertain_tuple_fraction() * 100
+    print(
+        f"TPC-H instance: {lineitems} lineitems, "
+        f"{uncertain_pct:.1f}% of lineitem tuples carry uncertainty\n"
+    )
+
+    # ------------------------------------------------------------ Q1 --
+    plan = q1()
+    det = evaluate_det(plan, det_world)
+    au = evaluate_audb(plan, audb, config)
+    mcdb = run_mcdb(plan, instance.xdb, n_samples=10)
+    mcdb_bounds = mcdb.attribute_bounds(["l_returnflag", "l_linestatus"])
+
+    print("Q1 (pricing summary) — sum_qty per (returnflag, linestatus):")
+    au_by_key = {
+        (t[0].sg, t[1].sg): t for t, _ann in au.tuples()
+    }
+    for key in sorted(det.rows, key=repr):
+        flag, status = key[0], key[1]
+        det_qty = key[2]
+        au_t = au_by_key.get((flag, status))
+        qty = au_t[2] if au_t else None
+        sampled = mcdb_bounds.get((flag, status))
+        mc = f"sampled [{sampled[0][0]}, {sampled[0][1]}]" if sampled else "-"
+        print(
+            f"  ({flag},{status}): Det={det_qty}  "
+            f"AU-DB=[{qty.lb}, {qty.ub}] (guess {qty.sg})  MCDB {mc}"
+        )
+    print(
+        "  MCDB's sampled spread can under-cover the truth; the AU-DB "
+        "interval is a guarantee.\n"
+    )
+
+    # ------------------------------------------------------------ Q3 --
+    plan3 = q3()
+    det3 = evaluate_det(plan3, det_world)
+    au3 = evaluate_audb(plan3, audb, config)
+    certain_orders = sum(1 for _t, (lb, _s, _u) in au3.tuples() if lb > 0)
+    print("Q3 (shipping priority):")
+    print(f"  Det reports {det3.total_rows()} qualifying orders")
+    print(
+        f"  AU-DB reports {len(au3)} possible orders, "
+        f"{certain_orders} of which certainly qualify"
+    )
+    print(
+        "  The difference is exactly the set of orders whose qualification "
+        "depends on uncertain dates/prices."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""``python -m repro`` — a small interactive demo shell.
+
+Loads the COVID running example (or an uncertain TPC-H instance with
+``--tpch``) and evaluates SQL typed at the prompt against both the
+selected-guess world (``Det``) and the AU-DB, so the effect of uncertainty
+tracking is visible side by side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .algebra.evaluator import EvalConfig, evaluate_audb
+from .core.ranges import between
+from .core.relation import AUDatabase, AURelation
+from .db.engine import evaluate_det
+from .db.storage import DetDatabase, DetRelation
+from .sql.parser import SqlSyntaxError, parse_sql
+
+
+def _demo_db() -> AUDatabase:
+    locales = AURelation(["locale", "rate", "size"])
+    locales.add(["Los Angeles", between(3.0, 3.0, 4.0), "metro"], (1, 1, 1))
+    locales.add(["Austin", 18.0, between("city", "city", "metro")], (1, 1, 1))
+    locales.add(["Houston", 14.0, "metro"], (1, 1, 1))
+    locales.add(["Berlin", between(1.0, 3.0, 3.0), between("city", "town", "town")], (1, 1, 1))
+    locales.add(["Sacramento", 1.0, between("city", "town", "village")], (1, 1, 1))
+    locales.add(["Springfield", between(0.0, 5.0, 100.0), "town"], (1, 1, 1))
+    return AUDatabase({"locales": locales})
+
+
+def _tpch_db(scale: float, uncertainty: float) -> AUDatabase:
+    from .tpch.pdbench import make_pdbench
+
+    instance = make_pdbench(scale=scale, uncertainty=uncertainty)
+    return AUDatabase(instance.audb().relations)
+
+
+def _sgw_database(audb: AUDatabase) -> DetDatabase:
+    det = DetDatabase({})
+    for name, rel in audb.relations.items():
+        d = DetRelation(rel.schema)
+        for row, mult in rel.selected_guess_world().items():
+            d.add(row, mult)
+        det[name] = d
+    return det
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description=__doc__
+    )
+    parser.add_argument("--tpch", action="store_true", help="load uncertain TPC-H")
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--uncertainty", type=float, default=0.05)
+    parser.add_argument("sql", nargs="*", help="run one query and exit")
+    args = parser.parse_args(argv)
+
+    audb = _tpch_db(args.scale, args.uncertainty) if args.tpch else _demo_db()
+    det = _sgw_database(audb)
+    config = EvalConfig(join_buckets=64, aggregation_buckets=64)
+    print(f"tables: {', '.join(sorted(audb.relations))}")
+
+    def run(sql: str) -> None:
+        try:
+            plan = parse_sql(sql)
+        except SqlSyntaxError as exc:
+            print(f"syntax error: {exc}")
+            return
+        try:
+            det_result = evaluate_det(plan, det)
+            au_result = evaluate_audb(plan, audb, config)
+        except (KeyError, TypeError, ValueError, ZeroDivisionError) as exc:
+            print(f"error: {exc}")
+            return
+        print("-- selected-guess world (Det) --")
+        for t, m in sorted(det_result.tuples(), key=lambda i: repr(i[0]))[:20]:
+            print(f"  {t} x{m}")
+        print("-- AU-DB (with bounds) --")
+        print(au_result.pretty(limit=20))
+
+    if args.sql:
+        run(" ".join(args.sql))
+        return 0
+
+    print("type SQL (or 'quit'):")
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        if line.lower() in {"quit", "exit", "\\q"}:
+            break
+        run(line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,272 @@
+"""Logical query plans (``RA_agg``) shared by every engine in the repo.
+
+The same plan evaluates over
+
+* deterministic relations (:mod:`repro.db.engine` — the ``Det``/SGQP
+  baseline and per-world ground truth),
+* AU-relations (:mod:`repro.algebra.evaluator` — the paper's
+  bound-preserving semantics), and
+* the baseline systems in :mod:`repro.baselines`.
+
+Plans are built either directly, via the fluent helpers on
+:class:`Plan`, or from SQL through :mod:`repro.sql`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.aggregation import AggregateSpec
+from ..core.expressions import Expression, Var
+
+__all__ = [
+    "Plan",
+    "TableRef",
+    "Selection",
+    "Projection",
+    "Join",
+    "CrossProduct",
+    "Union",
+    "Difference",
+    "Distinct",
+    "Aggregate",
+    "Rename",
+    "Limit",
+    "OrderBy",
+]
+
+
+class Plan:
+    """Base class for logical plan nodes with fluent builders."""
+
+    def children(self) -> Sequence["Plan"]:
+        return ()
+
+    # ------------------------------------------------------------------
+    # fluent construction
+    # ------------------------------------------------------------------
+    def where(self, condition: Expression) -> "Selection":
+        return Selection(self, condition)
+
+    def select(self, *columns) -> "Projection":
+        """Project onto columns.
+
+        Each column is an attribute name, or a ``(expression, name)`` pair.
+        """
+        cols: List[Tuple[Expression, str]] = []
+        for c in columns:
+            if isinstance(c, str):
+                cols.append((Var(c), c))
+            else:
+                expr, name = c
+                cols.append((Var(expr) if isinstance(expr, str) else expr, name))
+        return Projection(self, cols)
+
+    def join(self, other: "Plan", condition: Expression) -> "Join":
+        return Join(self, other, condition)
+
+    def cross(self, other: "Plan") -> "CrossProduct":
+        return CrossProduct(self, other)
+
+    def union(self, other: "Plan") -> "Union":
+        return Union(self, other)
+
+    def minus(self, other: "Plan") -> "Difference":
+        return Difference(self, other)
+
+    def distinct(self) -> "Distinct":
+        return Distinct(self)
+
+    def grouped(
+        self, keys: Sequence[str], aggregates: Sequence[AggregateSpec]
+    ) -> "Aggregate":
+        return Aggregate(self, list(keys), list(aggregates))
+
+    def aggregate(self, *aggregates: AggregateSpec) -> "Aggregate":
+        return Aggregate(self, [], list(aggregates))
+
+    def rename(self, mapping: Dict[str, str]) -> "Rename":
+        return Rename(self, dict(mapping))
+
+    def order_by(self, keys: Sequence[str], descending: bool = False) -> "OrderBy":
+        return OrderBy(self, list(keys), descending)
+
+    def limit(self, n: int) -> "Limit":
+        return Limit(self, n)
+
+    # ------------------------------------------------------------------
+    def walk(self):
+        """Pre-order traversal of the plan tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def table_names(self) -> List[str]:
+        return [n.name for n in self.walk() if isinstance(n, TableRef)]
+
+
+@dataclass(frozen=True)
+class TableRef(Plan):
+    """Base-table access."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Table({self.name})"
+
+
+@dataclass(frozen=True)
+class Selection(Plan):
+    child: Plan
+    condition: Expression
+
+    def children(self) -> Sequence[Plan]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"σ[{self.condition!r}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Projection(Plan):
+    child: Plan
+    columns: Tuple[Tuple[Expression, str], ...]
+
+    def __init__(self, child: Plan, columns) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "columns", tuple(columns))
+
+    def children(self) -> Sequence[Plan]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{e!r}→{n}" for e, n in self.columns)
+        return f"π[{cols}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Join(Plan):
+    left: Plan
+    right: Plan
+    condition: Expression
+
+    def children(self) -> Sequence[Plan]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ⋈[{self.condition!r}] {self.right!r})"
+
+
+@dataclass(frozen=True)
+class CrossProduct(Plan):
+    left: Plan
+    right: Plan
+
+    def children(self) -> Sequence[Plan]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} × {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Union(Plan):
+    left: Plan
+    right: Plan
+
+    def children(self) -> Sequence[Plan]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∪ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Difference(Plan):
+    left: Plan
+    right: Plan
+
+    def children(self) -> Sequence[Plan]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} − {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Distinct(Plan):
+    child: Plan
+
+    def children(self) -> Sequence[Plan]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"δ({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Aggregate(Plan):
+    child: Plan
+    group_by: Tuple[str, ...]
+    aggregates: Tuple[AggregateSpec, ...]
+    having: Optional[Expression] = None
+
+    def __init__(self, child, group_by, aggregates, having=None) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "group_by", tuple(group_by))
+        object.__setattr__(self, "aggregates", tuple(aggregates))
+        object.__setattr__(self, "having", having)
+
+    def children(self) -> Sequence[Plan]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        aggs = ", ".join(f"{a.kind}({a.expr!r})→{a.name}" for a in self.aggregates)
+        gb = ",".join(self.group_by)
+        return f"γ[{gb}; {aggs}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Rename(Plan):
+    child: Plan
+    mapping: Tuple[Tuple[str, str], ...]
+
+    def __init__(self, child: Plan, mapping: Dict[str, str]) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "mapping", tuple(sorted(mapping.items())))
+
+    def mapping_dict(self) -> Dict[str, str]:
+        return dict(self.mapping)
+
+    def children(self) -> Sequence[Plan]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"ρ[{dict(self.mapping)}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class OrderBy(Plan):
+    """Presentation-only ordering (deterministic engine only)."""
+
+    child: Plan
+    keys: Tuple[str, ...]
+    descending: bool = False
+
+    def __init__(self, child: Plan, keys, descending: bool = False) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "keys", tuple(keys))
+        object.__setattr__(self, "descending", descending)
+
+    def children(self) -> Sequence[Plan]:
+        return (self.child,)
+
+
+@dataclass(frozen=True)
+class Limit(Plan):
+    child: Plan
+    n: int
+
+    def children(self) -> Sequence[Plan]:
+        return (self.child,)

@@ -1,0 +1,137 @@
+"""Evaluate logical plans over AU-databases with bound-preserving semantics.
+
+This is the AU-DB counterpart of :func:`repro.db.engine.evaluate_det`; the
+two interpreters share the :mod:`repro.algebra.ast` plan language, which is
+how the repo realizes the paper's "same query, rewritten" middleware
+architecture: the deterministic engine plays PostgreSQL-on-the-SGW, this
+module plays the rewritten query over the relational encoding.
+
+:class:`EvalConfig` toggles the Section 10.4/10.5 optimizations:
+
+* ``join_buckets`` — compress the possible side of joins with ``Cpr``;
+* ``aggregation_buckets`` — compress foreign possible contributors of
+  group-by aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core import operators as ops
+from ..core.aggregation import aggregate
+from ..core.compression import optimized_join
+from ..core.expressions import Expression, Var
+from ..core.relation import AUDatabase, AURelation
+from .ast import (
+    Aggregate,
+    CrossProduct,
+    Difference,
+    Distinct,
+    Join,
+    Limit,
+    OrderBy,
+    Plan,
+    Projection,
+    Rename,
+    Selection,
+    TableRef,
+    Union,
+)
+
+__all__ = ["EvalConfig", "evaluate_audb"]
+
+
+@dataclass(frozen=True)
+class EvalConfig:
+    """Evaluation knobs for the AU-DB interpreter.
+
+    ``join_buckets`` / ``aggregation_buckets`` of ``None`` select the naive
+    (tightest) semantics; integers select the corresponding compression
+    budget ``CT`` from the paper's experiments.
+    """
+
+    join_buckets: Optional[int] = None
+    aggregation_buckets: Optional[int] = None
+    hash_join: bool = True
+
+
+DEFAULT_CONFIG = EvalConfig()
+
+
+def evaluate_audb(
+    plan: Plan, db: AUDatabase, config: EvalConfig = DEFAULT_CONFIG
+) -> AURelation:
+    """Evaluate ``plan`` over the AU-database ``db``.
+
+    By Theorems 3/4/6 the result bounds the result of the plan over any
+    incomplete database bounded by ``db``.
+    """
+    if isinstance(plan, TableRef):
+        return db[plan.name]
+    if isinstance(plan, Selection):
+        return ops.selection(evaluate_audb(plan.child, db, config), plan.condition)
+    if isinstance(plan, Projection):
+        return ops.projection(
+            evaluate_audb(plan.child, db, config), list(plan.columns)
+        )
+    if isinstance(plan, Join):
+        left = evaluate_audb(plan.left, db, config)
+        right = evaluate_audb(plan.right, db, config)
+        if config.join_buckets is not None:
+            attrs = _join_attributes(plan.condition, left, right)
+            if attrs is not None:
+                return optimized_join(
+                    left, right, plan.condition, attrs[0], attrs[1],
+                    config.join_buckets,
+                )
+        return ops.join(
+            left, right, plan.condition, allow_certain_hash=config.hash_join
+        )
+    if isinstance(plan, CrossProduct):
+        return ops.cross_product(
+            evaluate_audb(plan.left, db, config),
+            evaluate_audb(plan.right, db, config),
+        )
+    if isinstance(plan, Union):
+        return ops.union(
+            evaluate_audb(plan.left, db, config),
+            evaluate_audb(plan.right, db, config),
+        )
+    if isinstance(plan, Difference):
+        return ops.difference(
+            evaluate_audb(plan.left, db, config),
+            evaluate_audb(plan.right, db, config),
+        )
+    if isinstance(plan, Distinct):
+        return ops.distinct(evaluate_audb(plan.child, db, config))
+    if isinstance(plan, Aggregate):
+        result = aggregate(
+            evaluate_audb(plan.child, db, config),
+            list(plan.group_by),
+            list(plan.aggregates),
+            compress_buckets=config.aggregation_buckets,
+        )
+        if plan.having is not None:
+            result = ops.selection(result, plan.having)
+        return result
+    if isinstance(plan, Rename):
+        return ops.rename(evaluate_audb(plan.child, db, config), plan.mapping_dict())
+    if isinstance(plan, OrderBy):
+        return evaluate_audb(plan.child, db, config)
+    if isinstance(plan, Limit):
+        # LIMIT over unordered uncertain data: keep everything (sound).
+        return evaluate_audb(plan.child, db, config)
+    raise TypeError(f"unsupported plan node {type(plan).__name__}")
+
+
+def _join_attributes(
+    condition: Expression, left: AURelation, right: AURelation
+) -> Optional[tuple]:
+    """Pick compression attributes (one per side) from an equi-conjunct."""
+    from ..core.operators import _extract_equi_pairs
+
+    pairs = _extract_equi_pairs(condition, left.schema, right.schema)
+    if pairs:
+        return pairs[0]
+    return None

@@ -1,0 +1,253 @@
+"""Certain-answer under-approximation à la Guagliardo & Libkin [35, 51].
+
+The paper's ``Libkin`` baseline evaluates queries over V-tables (labeled
+nulls) with a rewriting that returns a *subset of the certain answers*
+under bag semantics.  We realize the same algorithm as an interpreter:
+
+* values may be :class:`LabeledNull` markers;
+* a comparison involving nulls is *unknown*; certain-answer evaluation
+  keeps a tuple only when the condition is certainly true (two occurrences
+  of the *same* labeled null are certainly equal);
+* set difference keeps a left tuple only if no right tuple possibly
+  unifies with it (the over-approximating "possible match" test of [35]).
+
+Aggregation is not supported by the approach (the paper's Figure 10
+experiments use only the PDBench SPJ queries for this baseline).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..algebra.ast import (
+    CrossProduct,
+    Difference,
+    Distinct,
+    Join,
+    Plan,
+    Projection,
+    Rename,
+    Selection,
+    TableRef,
+    Union,
+)
+from ..core.expressions import (
+    And,
+    Const,
+    Eq,
+    Expression,
+    Geq,
+    Gt,
+    Leq,
+    Lt,
+    Neq,
+    Not,
+    Or,
+    Var,
+)
+from ..core.ranges import domain_le
+from ..db.storage import DetDatabase, DetRelation
+from ..incomplete.xdb import XDatabase, XRelation
+
+__all__ = ["LabeledNull", "NullDatabase", "evaluate_libkin", "null_db_from_xdb"]
+
+_null_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class LabeledNull:
+    """A labeled (marked) null; identity gives certain equality."""
+
+    label: int
+
+    def __repr__(self) -> str:
+        return f"⊥{self.label}"
+
+
+def fresh_null() -> LabeledNull:
+    return LabeledNull(next(_null_counter))
+
+
+class NullDatabase(DetDatabase):
+    """Deterministic relations whose values may contain labeled nulls."""
+
+
+def null_db_from_xdb(xdb: XDatabase) -> NullDatabase:
+    """PDBench setup for the Libkin baseline: every uncertain cell (an
+    attribute differing across an x-tuple's alternatives) becomes a fresh
+    labeled null; optional x-tuples are dropped (they are not certain)."""
+    db = NullDatabase({})
+    for name, xrel in xdb.relations.items():
+        rel = DetRelation(xrel.schema)
+        for xt in xrel.xtuples:
+            if xt.optional:
+                continue
+            values: List[Any] = []
+            for i in range(len(xrel.schema)):
+                column = {repr(alt[i]) for alt in xt.alternatives}
+                if len(column) == 1:
+                    values.append(xt.alternatives[0][i])
+                else:
+                    values.append(fresh_null())
+            rel.add(tuple(values), 1)
+        db[name] = rel
+    return db
+
+
+# ----------------------------------------------------------------------
+# three-valued evaluation
+# ----------------------------------------------------------------------
+SURE, UNKNOWN, NO = 1, 0, -1
+
+
+def _cmp3(op: str, a: Any, b: Any) -> int:
+    a_null = isinstance(a, LabeledNull)
+    b_null = isinstance(b, LabeledNull)
+    if a_null or b_null:
+        if op == "=" and a_null and b_null and a == b:
+            return SURE
+        return UNKNOWN
+    if op == "=":
+        return SURE if a == b else NO
+    if op == "<=":
+        return SURE if domain_le(a, b) else NO
+    raise ValueError(op)
+
+
+def _eval3(e: Expression, valuation: Dict[str, Any]) -> int:
+    """Kleene three-valued truth of a condition under labeled nulls."""
+    if isinstance(e, Const):
+        return SURE if bool(e.value) else NO
+    if isinstance(e, And):
+        l, r = _eval3(e.left, valuation), _eval3(e.right, valuation)
+        return min(l, r)
+    if isinstance(e, Or):
+        l, r = _eval3(e.left, valuation), _eval3(e.right, valuation)
+        return max(l, r)
+    if isinstance(e, Not):
+        return -_eval3(e.operand, valuation)
+    if isinstance(e, Eq):
+        return _cmp3("=", _scalar(e.left, valuation), _scalar(e.right, valuation))
+    if isinstance(e, Neq):
+        return -_cmp3("=", _scalar(e.left, valuation), _scalar(e.right, valuation))
+    if isinstance(e, Leq):
+        return _cmp3("<=", _scalar(e.left, valuation), _scalar(e.right, valuation))
+    if isinstance(e, Geq):
+        return _cmp3("<=", _scalar(e.right, valuation), _scalar(e.left, valuation))
+    if isinstance(e, Lt):
+        return -_cmp3("<=", _scalar(e.right, valuation), _scalar(e.left, valuation))
+    if isinstance(e, Gt):
+        return -_cmp3("<=", _scalar(e.left, valuation), _scalar(e.right, valuation))
+    raise TypeError(f"unsupported condition for null evaluation: {e!r}")
+
+
+def _scalar(e: Expression, valuation: Dict[str, Any]) -> Any:
+    """Evaluate a scalar sub-expression; nulls poison arithmetic."""
+    if isinstance(e, Var):
+        return valuation[e.name]
+    if isinstance(e, Const):
+        return e.value
+    # arithmetic over nulls yields a fresh null (unknown value)
+    inputs = [valuation.get(v) for v in e.variables()]
+    if any(isinstance(v, LabeledNull) for v in inputs):
+        return fresh_null()
+    return e.eval(valuation)
+
+
+# ----------------------------------------------------------------------
+# plan interpreter
+# ----------------------------------------------------------------------
+def evaluate_libkin(plan: Plan, db: NullDatabase) -> DetRelation:
+    """Certain-answer under-approximation of ``plan`` over ``db``."""
+    if isinstance(plan, TableRef):
+        return db[plan.name]
+    if isinstance(plan, Selection):
+        child = evaluate_libkin(plan.child, db)
+        out = DetRelation(child.schema)
+        for t, m in child.tuples():
+            if _eval3(plan.condition, dict(zip(child.schema, t))) == SURE:
+                out.add(t, m)
+        return out
+    if isinstance(plan, Projection):
+        child = evaluate_libkin(plan.child, db)
+        out = DetRelation([name for _, name in plan.columns])
+        for t, m in child.tuples():
+            valuation = dict(zip(child.schema, t))
+            out.add(tuple(_scalar(e, valuation) for e, _ in plan.columns), m)
+        return out
+    if isinstance(plan, (Join, CrossProduct)):
+        left = evaluate_libkin(plan.left, db)
+        right = evaluate_libkin(plan.right, db)
+        schema = tuple(left.schema) + tuple(right.schema)
+        out = DetRelation(schema)
+        condition = plan.condition if isinstance(plan, Join) else Const(True)
+        from ..db.engine import _equi_pairs
+
+        eq_pairs = _equi_pairs(condition, left.schema, right.schema)
+        if eq_pairs:
+            # hashing is valid for *certain* equality: labeled nulls only
+            # equal themselves, which ``==`` on LabeledNull implements
+            l_idx = [left.schema.index(a) for a, _ in eq_pairs]
+            r_idx = [right.schema.index(b) for _, b in eq_pairs]
+            index = {}
+            for rt, rm in right.tuples():
+                index.setdefault(tuple(rt[i] for i in r_idx), []).append((rt, rm))
+            for lt, lm in left.tuples():
+                for rt, rm in index.get(tuple(lt[i] for i in l_idx), ()):
+                    combined = lt + rt
+                    if _eval3(condition, dict(zip(schema, combined))) == SURE:
+                        out.add(combined, lm * rm)
+            return out
+        for lt, lm in left.tuples():
+            for rt, rm in right.tuples():
+                combined = lt + rt
+                if _eval3(condition, dict(zip(schema, combined))) == SURE:
+                    out.add(combined, lm * rm)
+        return out
+    if isinstance(plan, Union):
+        left = evaluate_libkin(plan.left, db)
+        right = evaluate_libkin(plan.right, db)
+        out = DetRelation(left.schema)
+        for t, m in left.tuples():
+            out.add(t, m)
+        for t, m in right.tuples():
+            out.add(t, m)
+        return out
+    if isinstance(plan, Difference):
+        left = evaluate_libkin(plan.left, db)
+        right = evaluate_libkin(plan.right, db)
+        out = DetRelation(left.schema)
+        for t, m in left.tuples():
+            possible_matches = sum(
+                rm for rt, rm in right.tuples() if _unifies(t, rt)
+            )
+            if m - possible_matches > 0:
+                out.add(t, m - possible_matches)
+        return out
+    if isinstance(plan, Distinct):
+        child = evaluate_libkin(plan.child, db)
+        out = DetRelation(child.schema)
+        for t, _m in child.tuples():
+            out.add(t, 1)
+        return out
+    if isinstance(plan, Rename):
+        child = evaluate_libkin(plan.child, db)
+        out = DetRelation([plan.mapping_dict().get(a, a) for a in child.schema])
+        for t, m in child.tuples():
+            out.add(t, m)
+        return out
+    raise TypeError(
+        f"Libkin-style rewriting does not support {type(plan).__name__}"
+    )
+
+
+def _unifies(a: Tuple[Any, ...], b: Tuple[Any, ...]) -> bool:
+    """Could the two tuples be equal in some world?"""
+    for x, y in zip(a, b):
+        if isinstance(x, LabeledNull) or isinstance(y, LabeledNull):
+            continue
+        if x != y:
+            return False
+    return True

@@ -1,0 +1,140 @@
+"""MayBMS-style possible-answer computation over x-DBs (Antova et al. [11]).
+
+MayBMS stores block-independent data column-wise and answers *possible
+answer* queries without probability computation.  For positive queries
+over an x-DB, the set of possible answers equals the query over the
+"all-alternatives" relation — every alternative of every x-tuple becomes
+its own row tagged with its block id — with the block-consistency proviso
+that a result row must not combine two different alternatives of the same
+x-tuple (relevant only for self-joins).
+
+This module reproduces that algorithm: positive plans run over the
+flattened alternatives with lineage tracking of the contributing
+``(relation, block, alternative)`` choices; results whose lineage picks two
+conflicting alternatives of one block are discarded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..algebra.ast import (
+    CrossProduct,
+    Distinct,
+    Join,
+    Plan,
+    Projection,
+    Rename,
+    Selection,
+    TableRef,
+    Union,
+)
+from ..core.expressions import Expression
+from ..db.storage import DetRelation
+from ..incomplete.xdb import XDatabase
+
+__all__ = ["evaluate_maybms_possible"]
+
+# a lineage atom: (relation name, block index, alternative index)
+Atom = Tuple[str, int, int]
+Lineage = FrozenSet[Atom]
+
+
+class _LineageRelation:
+    """Rows paired with the choice atoms that produced them."""
+
+    def __init__(self, schema: Sequence[str]) -> None:
+        self.schema = tuple(schema)
+        self.rows: List[Tuple[Tuple[Any, ...], Lineage]] = []
+
+    def add(self, t: Tuple[Any, ...], lineage: Lineage) -> None:
+        self.rows.append((t, lineage))
+
+
+def _consistent(lineage: Lineage) -> bool:
+    """No two atoms pick different alternatives of the same block."""
+    chosen: Dict[Tuple[str, int], int] = {}
+    for rel, block, alt in lineage:
+        key = (rel, block)
+        if key in chosen and chosen[key] != alt:
+            return False
+        chosen[key] = alt
+    return True
+
+
+def _base(xdb: XDatabase, name: str) -> _LineageRelation:
+    xrel = xdb[name]
+    out = _LineageRelation(xrel.schema)
+    for block, xt in enumerate(xrel.xtuples):
+        for alt_i, alt in enumerate(xt.alternatives):
+            out.add(alt, frozenset({(name, block, alt_i)}))
+    return out
+
+
+def _eval(plan: Plan, xdb: XDatabase) -> _LineageRelation:
+    if isinstance(plan, TableRef):
+        return _base(xdb, plan.name)
+    if isinstance(plan, Selection):
+        child = _eval(plan.child, xdb)
+        out = _LineageRelation(child.schema)
+        for t, lin in child.rows:
+            if bool(plan.condition.eval(dict(zip(child.schema, t)))):
+                out.add(t, lin)
+        return out
+    if isinstance(plan, Projection):
+        child = _eval(plan.child, xdb)
+        out = _LineageRelation([n for _, n in plan.columns])
+        for t, lin in child.rows:
+            valuation = dict(zip(child.schema, t))
+            out.add(tuple(e.eval(valuation) for e, _ in plan.columns), lin)
+        return out
+    if isinstance(plan, (Join, CrossProduct)):
+        left = _eval(plan.left, xdb)
+        right = _eval(plan.right, xdb)
+        schema = tuple(left.schema) + tuple(right.schema)
+        out = _LineageRelation(schema)
+        condition: Optional[Expression] = (
+            plan.condition if isinstance(plan, Join) else None
+        )
+        for lt, llin in left.rows:
+            for rt, rlin in right.rows:
+                combined = lt + rt
+                if condition is not None and not bool(
+                    condition.eval(dict(zip(schema, combined)))
+                ):
+                    continue
+                lineage = llin | rlin
+                if _consistent(lineage):
+                    out.add(combined, lineage)
+        return out
+    if isinstance(plan, Union):
+        left = _eval(plan.left, xdb)
+        right = _eval(plan.right, xdb)
+        out = _LineageRelation(left.schema)
+        out.rows = left.rows + right.rows
+        return out
+    if isinstance(plan, Distinct):
+        return _eval(plan.child, xdb)
+    if isinstance(plan, Rename):
+        child = _eval(plan.child, xdb)
+        out = _LineageRelation(
+            [plan.mapping_dict().get(a, a) for a in child.schema]
+        )
+        out.rows = child.rows
+        return out
+    raise TypeError(
+        f"MayBMS possible-answer computation supports positive queries "
+        f"only, not {type(plan).__name__}"
+    )
+
+
+def evaluate_maybms_possible(plan: Plan, xdb: XDatabase) -> DetRelation:
+    """All possible answer tuples of a positive plan over an x-DB."""
+    lineage_rel = _eval(plan, xdb)
+    out = DetRelation(lineage_rel.schema)
+    seen = set()
+    for t, _lin in lineage_rel.rows:
+        if t not in seen:
+            seen.add(t)
+            out.add(t, 1)
+    return out

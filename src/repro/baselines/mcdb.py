@@ -1,0 +1,105 @@
+"""MCDB-style Monte-Carlo baseline (Jampani et al. [39]).
+
+MCDB evaluates the query over *sampled* possible worlds ("tuple bundles"
+approximated here, as in the paper's comparison, by 10 independent world
+samples).  From the per-sample results we derive:
+
+* an estimate of possible answers (union of sample results — may miss
+  possible tuples the samples never realized);
+* an estimate of certain answers (tuples present in every sample — MCDB
+  itself cannot distinguish certain from possible, which the Figure 17
+  accuracy columns reflect);
+* per-key attribute bounds from the sample spread (may under-cover).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..algebra.ast import Plan
+from ..db.engine import evaluate_det
+from ..db.storage import DetDatabase, DetRelation
+from ..core.ranges import domain_max, domain_min
+from ..incomplete.tidb import TIDatabase
+from ..incomplete.xdb import XDatabase
+
+__all__ = ["MCDBResult", "run_mcdb"]
+
+
+@dataclass
+class MCDBResult:
+    """Aggregated view over per-sample query results."""
+
+    schema: Tuple[str, ...]
+    samples: List[DetRelation] = field(default_factory=list)
+
+    def possible_tuples(self) -> Dict[Tuple[Any, ...], int]:
+        """Union of sample results with max multiplicity (possible estimate)."""
+        out: Dict[Tuple[Any, ...], int] = {}
+        for rel in self.samples:
+            for t, m in rel.tuples():
+                if m > out.get(t, 0):
+                    out[t] = m
+        return out
+
+    def certain_estimate(self) -> Dict[Tuple[Any, ...], int]:
+        """Tuples present in all samples with min multiplicity."""
+        if not self.samples:
+            return {}
+        certain = dict(self.samples[0].rows)
+        for rel in self.samples[1:]:
+            for t in list(certain):
+                m = rel.multiplicity(t)
+                if m < certain[t]:
+                    certain[t] = m
+        return {t: m for t, m in certain.items() if m > 0}
+
+    def attribute_bounds(
+        self, key_columns: Sequence[str]
+    ) -> Dict[Tuple[Any, ...], List[Tuple[Any, Any]]]:
+        """Per-key min/max over samples for every non-key attribute."""
+        key_idx = [self.schema.index(k) for k in key_columns]
+        value_idx = [i for i in range(len(self.schema)) if i not in key_idx]
+        observed: Dict[Tuple[Any, ...], List[List[Any]]] = {}
+        for rel in self.samples:
+            for t, _m in rel.tuples():
+                key = tuple(t[i] for i in key_idx)
+                bucket = observed.setdefault(key, [[] for _ in value_idx])
+                for pos, i in enumerate(value_idx):
+                    bucket[pos].append(t[i])
+        return {
+            key: [(domain_min(vals), domain_max(vals)) for vals in buckets]
+            for key, buckets in observed.items()
+        }
+
+    def expectation(self, column: str) -> float:
+        """Mean of a numeric column across samples (MCDB's native output)."""
+        idx = self.schema.index(column)
+        values = [
+            t[idx]
+            for rel in self.samples
+            for t, m in rel.tuples()
+            for _ in range(m)
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+
+def run_mcdb(
+    plan: Plan,
+    source: XDatabase | TIDatabase,
+    n_samples: int = 10,
+    seed: int = 0,
+) -> MCDBResult:
+    """Sample ``n_samples`` worlds from ``source`` and evaluate ``plan``
+    in each (the paper's MCDB configuration uses 10 samples)."""
+    rng = random.Random(seed)
+    samples: List[DetRelation] = []
+    schema: Tuple[str, ...] = ()
+    for _ in range(n_samples):
+        world = source.sample_world(rng)
+        result = evaluate_det(plan, world)
+        schema = result.schema
+        samples.append(result)
+    return MCDBResult(schema, samples)

@@ -1,0 +1,184 @@
+"""Trio-style baseline (Agrawal et al. [7]): lineage + aggregate bounds.
+
+Trio is an uncertainty-and-lineage DBMS over x-relations.  For the paper's
+experiments two behaviours matter:
+
+* **SPJ queries** produce result tuples with lineage over x-tuple
+  alternatives; a result is certain when its lineage is implied in every
+  world (here: it derives from non-optional, single-alternative blocks).
+* **Aggregation** returns per-group ``[GLB, LUB]`` bounds, but *does not
+  support uncertain group-by attributes*: groups whose group-by value
+  differs across a block's alternatives are dropped (Figure 17 notes
+  Trio returns no result for such groups).  Its bound representation is
+  also not closed under further querying — chaining aggregates degrades
+  to treating the previous bounds as exact values, which is why Figure 11
+  marks Trio's chained results incorrect-but-timed.
+
+Aggregate bounds are computed by per-block interval reasoning (min/max
+contribution of each block, folded across blocks) — exact for
+SUM/COUNT/MIN/MAX under block independence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.aggregation import AggregateSpec
+from ..core.ranges import domain_max, domain_min
+from ..db.storage import DetRelation
+from ..incomplete.xdb import XDatabase, XRelation
+
+__all__ = ["TrioAggregateRow", "trio_aggregate", "trio_spj_possible"]
+
+
+@dataclass(frozen=True)
+class TrioAggregateRow:
+    """One group's result: exact-in-SGW value plus [GLB, LUB] bounds."""
+
+    group: Tuple[Any, ...]
+    lower: Any
+    selected: Any
+    upper: Any
+    certain: bool
+
+
+def trio_spj_possible(
+    xrel: XRelation, predicate
+) -> Tuple[DetRelation, Dict[Tuple[Any, ...], bool]]:
+    """Filter an x-relation, returning possible tuples + certainty flags.
+
+    ``predicate`` is a Python callable over a value dict (Trio's condition
+    evaluation happens per alternative).  A tuple is certain iff it comes
+    from a non-optional block whose every alternative both satisfies the
+    predicate and equals it (single-alternative certainty).
+    """
+    out = DetRelation(xrel.schema)
+    certainty: Dict[Tuple[Any, ...], bool] = {}
+    seen = set()
+    for xt in xrel.xtuples:
+        satisfying = [
+            alt
+            for alt in xt.alternatives
+            if predicate(dict(zip(xrel.schema, alt)))
+        ]
+        for alt in satisfying:
+            if alt not in seen:
+                seen.add(alt)
+                out.add(alt, 1)
+            is_certain = (
+                not xt.optional
+                and len(xt.alternatives) == 1
+                and len(satisfying) == 1
+            )
+            certainty[alt] = certainty.get(alt, False) or is_certain
+    return out, certainty
+
+
+def trio_aggregate(
+    xrel: XRelation,
+    group_by: Sequence[str],
+    spec: AggregateSpec,
+) -> List[TrioAggregateRow]:
+    """Per-group aggregate bounds over an x-relation.
+
+    Only groups with a *certain* group-by value are produced; blocks whose
+    group-by value is uncertain contribute to no group (the Trio
+    restriction the paper exploits in Figure 17's accuracy comparison).
+    """
+    schema = list(xrel.schema)
+    group_idx = [schema.index(g) for g in group_by]
+    if spec.kind == "count":
+        value_of = lambda alt: 1
+    else:
+        agg_vars = list(spec.expr.variables())
+        if len(agg_vars) != 1:
+            raise ValueError("Trio aggregation supports single-attribute inputs")
+        agg_idx = schema.index(agg_vars[0])
+        value_of = lambda alt: alt[agg_idx]
+
+    # collect blocks per certain group value
+    per_group: Dict[Tuple[Any, ...], List] = {}
+    for xt in xrel.xtuples:
+        group_values = {tuple(alt[i] for i in group_idx) for alt in xt.alternatives}
+        if len(group_values) != 1:
+            continue  # uncertain group-by: Trio drops the block
+        key = next(iter(group_values))
+        per_group.setdefault(key, []).append(xt)
+
+    rows: List[TrioAggregateRow] = []
+    for key, blocks in sorted(per_group.items(), key=lambda kv: repr(kv[0])):
+        rows.append(_fold_group(key, blocks, spec, value_of))
+    return rows
+
+
+def _fold_group(key, blocks, spec: AggregateSpec, value_of) -> TrioAggregateRow:
+    kind = spec.kind
+    # the group's result row certainly exists when at least one
+    # non-optional block certainly belongs to it
+    certain = any(not b.optional for b in blocks)
+    if kind in {"sum", "count", "avg"}:
+        lo_sum = hi_sum = 0.0
+        sg_sum = 0.0
+        lo_cnt = hi_cnt = 0
+        sg_cnt = 0
+        for b in blocks:
+            values = [value_of(alt) for alt in b.alternatives]
+            counts = [1] * len(values)
+            lo_v, hi_v = min(values), max(values)
+            if b.optional:
+                lo_v, hi_v = min(lo_v, 0), max(hi_v, 0)
+                lo_c = 0
+            else:
+                lo_c = 1
+            lo_sum += lo_v
+            hi_sum += hi_v
+            lo_cnt += lo_c
+            hi_cnt += 1
+            if b.sg_present():
+                sg_sum += value_of(b.pick_max())
+                sg_cnt += 1
+        if kind == "sum":
+            return TrioAggregateRow(key, lo_sum, sg_sum, hi_sum, certain)
+        if kind == "count":
+            return TrioAggregateRow(key, lo_cnt, sg_cnt, hi_cnt, certain)
+        lo_avg = lo_sum / max(hi_cnt, 1)
+        hi_avg = hi_sum / max(lo_cnt, 1) if lo_cnt else hi_sum
+        sg_avg = sg_sum / sg_cnt if sg_cnt else 0.0
+        lo_avg = min(lo_avg, sg_avg)
+        hi_avg = max(hi_avg, sg_avg)
+        return TrioAggregateRow(key, lo_avg, sg_avg, hi_avg, certain)
+    if kind in {"min", "max"}:
+        possible_vals: List[Any] = []
+        mandatory_vals: List[Any] = []  # per non-optional block: worst case
+        sg_vals: List[Any] = []
+        for b in blocks:
+            values = [value_of(alt) for alt in b.alternatives]
+            possible_vals.extend(values)
+            if not b.optional:
+                mandatory_vals.append(
+                    domain_max(values) if kind == "min" else domain_min(values)
+                )
+            if b.sg_present():
+                sg_vals.append(value_of(b.pick_max()))
+        if kind == "min":
+            lo = domain_min(possible_vals)
+            hi = domain_min(mandatory_vals) if mandatory_vals else domain_max(possible_vals)
+            sg = domain_min(sg_vals) if sg_vals else lo
+        else:
+            hi = domain_max(possible_vals)
+            lo = domain_max(mandatory_vals) if mandatory_vals else domain_min(possible_vals)
+            sg = domain_max(sg_vals) if sg_vals else hi
+        if not _le(lo, sg):
+            sg = lo
+        if not _le(sg, hi):
+            sg = hi
+        return TrioAggregateRow(key, lo, sg, hi, certain)
+    raise ValueError(f"unsupported Trio aggregate {kind!r}")
+
+
+def _le(a, b) -> bool:
+    from ..core.ranges import domain_le
+
+    return domain_le(a, b)

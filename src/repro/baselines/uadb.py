@@ -1,0 +1,247 @@
+"""UA-DB baseline (Feng et al., SIGMOD 2019 — the paper's reference [26]).
+
+A UA-DB annotates each tuple of a selected-guess world with a pair
+``[certain_lb, sg]`` from ``K^2``: an under-approximation of the tuple's
+certain multiplicity plus its SGW multiplicity.  There is **no**
+attribute-level uncertainty and **no** upper bound on possible
+multiplicities, which is exactly why UA-DBs support only ``RA+`` —
+non-monotone operators (difference, aggregation) need the possible upper
+bound that AU-DBs add.
+
+For experiments that run aggregation anyway (Figure 17), we mirror the
+observed behaviour of the original system: the aggregate is computed on
+the SGW and every output is marked uncertain (certain lower bound 0).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..algebra.ast import (
+    Aggregate,
+    CrossProduct,
+    Difference,
+    Distinct,
+    Join,
+    Limit,
+    OrderBy,
+    Plan,
+    Projection,
+    Rename,
+    Selection,
+    TableRef,
+    Union,
+)
+from ..core.expressions import Expression
+from ..db.engine import evaluate_det, _aggregate as det_aggregate
+from ..db.storage import DetDatabase, DetRelation
+from ..incomplete.xdb import XDatabase, XRelation
+from ..incomplete.tidb import TIDatabase, TIRelation
+
+__all__ = ["UARelation", "UADatabase", "evaluate_uadb"]
+
+
+class UARelation:
+    """A ``K^2``-relation: tuple -> ``(certain_lb, sg_multiplicity)``."""
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(
+        self,
+        schema: Sequence[str],
+        rows: Optional[Mapping[Tuple[Any, ...], Tuple[int, int]]] = None,
+    ) -> None:
+        self.schema = tuple(schema)
+        self.rows: Dict[Tuple[Any, ...], Tuple[int, int]] = {}
+        for t, ann in (rows or {}).items():
+            self.add(t, ann)
+
+    def add(self, t: Tuple[Any, ...], annotation: Tuple[int, int]) -> None:
+        lb, sg = annotation
+        if lb < 0 or lb > sg:
+            raise ValueError(
+                f"UA annotation must satisfy 0 <= certain <= sg, got {annotation}"
+            )
+        if sg == 0:
+            return
+        t = tuple(t)
+        old = self.rows.get(t, (0, 0))
+        self.rows[t] = (old[0] + lb, old[1] + sg)
+
+    def tuples(self) -> Iterable[Tuple[Tuple[Any, ...], Tuple[int, int]]]:
+        return self.rows.items()
+
+    def certain_tuples(self) -> Dict[Tuple[Any, ...], int]:
+        return {t: lb for t, (lb, _sg) in self.rows.items() if lb > 0}
+
+    def sg_world(self) -> DetRelation:
+        rel = DetRelation(self.schema)
+        for t, (_lb, sg) in self.rows.items():
+            rel.add(t, sg)
+        return rel
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_xrelation(cls, xrel: XRelation) -> "UARelation":
+        """Label an x-relation: the SG alternative, certain iff the x-tuple
+        is non-optional and has a single alternative (the labeling scheme
+        of [26] used in the paper's experimental setup)."""
+        rel = cls(xrel.schema)
+        for xt in xrel.xtuples:
+            if not xt.sg_present():
+                continue
+            is_certain = (not xt.optional) and len(xt.alternatives) == 1
+            rel.add(xt.pick_max(), (1 if is_certain else 0, 1))
+        return rel
+
+    @classmethod
+    def from_tirelation(cls, tirel: TIRelation) -> "UARelation":
+        rel = cls(tirel.schema)
+        for row in tirel.rows:
+            if row.in_selected_world:
+                rel.add(row.values, (1 if row.certain else 0, 1))
+        return rel
+
+
+class UADatabase:
+    """A database of UA-relations."""
+
+    def __init__(self, relations: Optional[Dict[str, UARelation]] = None) -> None:
+        self.relations: Dict[str, UARelation] = dict(relations or {})
+
+    def __getitem__(self, name: str) -> UARelation:
+        return self.relations[name]
+
+    def __setitem__(self, name: str, rel: UARelation) -> None:
+        self.relations[name] = rel
+
+    @classmethod
+    def from_xdb(cls, xdb: XDatabase) -> "UADatabase":
+        return cls(
+            {n: UARelation.from_xrelation(r) for n, r in xdb.relations.items()}
+        )
+
+    @classmethod
+    def from_tidb(cls, tidb: TIDatabase) -> "UADatabase":
+        return cls(
+            {n: UARelation.from_tirelation(r) for n, r in tidb.relations.items()}
+        )
+
+
+def evaluate_uadb(plan: Plan, db: UADatabase) -> UARelation:
+    """Evaluate a plan with ``K^2`` semantics ([26], Theorem 1).
+
+    ``RA+`` operators propagate both components pointwise.  Difference and
+    aggregation fall back to SGW evaluation with certain bounds zeroed —
+    matching how the Figure 17 experiments characterize UA-DB behaviour on
+    non-monotone queries.
+    """
+    if isinstance(plan, TableRef):
+        return db[plan.name]
+    if isinstance(plan, Selection):
+        return _selection(evaluate_uadb(plan.child, db), plan.condition)
+    if isinstance(plan, Projection):
+        return _projection(evaluate_uadb(plan.child, db), plan.columns)
+    if isinstance(plan, Join):
+        return _join(
+            evaluate_uadb(plan.left, db), evaluate_uadb(plan.right, db), plan.condition
+        )
+    if isinstance(plan, CrossProduct):
+        return _cross(evaluate_uadb(plan.left, db), evaluate_uadb(plan.right, db))
+    if isinstance(plan, Union):
+        return _union(evaluate_uadb(plan.left, db), evaluate_uadb(plan.right, db))
+    if isinstance(plan, Distinct):
+        return _distinct(evaluate_uadb(plan.child, db))
+    if isinstance(plan, Rename):
+        out = UARelation(
+            [plan.mapping_dict().get(a, a) for a in evaluate_uadb(plan.child, db).schema]
+        )
+        for t, ann in evaluate_uadb(plan.child, db).tuples():
+            out.add(t, ann)
+        return out
+    if isinstance(plan, (Aggregate, Difference)):
+        return _non_monotone_fallback(plan, db)
+    if isinstance(plan, (OrderBy, Limit)):
+        return evaluate_uadb(plan.child, db)
+    raise TypeError(f"unsupported plan node {type(plan).__name__}")
+
+
+def _selection(rel: UARelation, condition: Expression) -> UARelation:
+    out = UARelation(rel.schema)
+    for t, ann in rel.tuples():
+        if bool(condition.eval(dict(zip(rel.schema, t)))):
+            out.add(t, ann)
+    return out
+
+
+def _projection(rel: UARelation, columns) -> UARelation:
+    out = UARelation([name for _, name in columns])
+    for t, ann in rel.tuples():
+        valuation = dict(zip(rel.schema, t))
+        out.add(tuple(expr.eval(valuation) for expr, _ in columns), ann)
+    return out
+
+
+def _join(left: UARelation, right: UARelation, condition: Expression) -> UARelation:
+    from ..db.engine import _equi_pairs
+
+    schema = tuple(left.schema) + tuple(right.schema)
+    out = UARelation(schema)
+    eq_pairs = _equi_pairs(condition, left.schema, right.schema)
+    if eq_pairs:
+        l_idx = [left.schema.index(a) for a, _ in eq_pairs]
+        r_idx = [right.schema.index(b) for _, b in eq_pairs]
+        index: Dict[Tuple[Any, ...], List] = {}
+        for rt, rann in right.tuples():
+            index.setdefault(tuple(rt[i] for i in r_idx), []).append((rt, rann))
+        for lt, (llb, lsg) in left.tuples():
+            for rt, (rlb, rsg) in index.get(tuple(lt[i] for i in l_idx), ()):
+                combined = lt + rt
+                if bool(condition.eval(dict(zip(schema, combined)))):
+                    out.add(combined, (llb * rlb, lsg * rsg))
+        return out
+    for lt, (llb, lsg) in left.tuples():
+        for rt, (rlb, rsg) in right.tuples():
+            combined = lt + rt
+            if bool(condition.eval(dict(zip(schema, combined)))):
+                out.add(combined, (llb * rlb, lsg * rsg))
+    return out
+
+
+def _cross(left: UARelation, right: UARelation) -> UARelation:
+    out = UARelation(tuple(left.schema) + tuple(right.schema))
+    for lt, (llb, lsg) in left.tuples():
+        for rt, (rlb, rsg) in right.tuples():
+            out.add(lt + rt, (llb * rlb, lsg * rsg))
+    return out
+
+
+def _union(left: UARelation, right: UARelation) -> UARelation:
+    out = UARelation(left.schema)
+    for t, ann in left.tuples():
+        out.add(t, ann)
+    for t, ann in right.tuples():
+        out.add(t, ann)
+    return out
+
+
+def _distinct(rel: UARelation) -> UARelation:
+    out = UARelation(rel.schema)
+    for t, (lb, sg) in rel.tuples():
+        out.add(t, (min(lb, 1), min(sg, 1)))
+    return out
+
+
+def _non_monotone_fallback(plan: Plan, db: UADatabase) -> UARelation:
+    """SGW evaluation with all certain bounds dropped to 0."""
+    det_db = DetDatabase(
+        {name: rel.sg_world() for name, rel in db.relations.items()}
+    )
+    result = evaluate_det(plan, det_db)
+    out = UARelation(result.schema)
+    for t, m in result.tuples():
+        out.add(t, (0, m))
+    return out

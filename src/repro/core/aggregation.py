@@ -1,0 +1,561 @@
+"""Bound-preserving aggregation over AU-relations (Section 9).
+
+Aggregation functions are *commutative monoids* (Section 9.1): ``SUM``,
+``MIN``, ``MAX`` (``COUNT`` is ``SUM`` of the constant 1; ``AVG`` derives
+from ``SUM``/``COUNT``).  Tuple multiplicities are folded into aggregate
+values with the bound-preserving operator ``⊛`` (Definition 23, proven
+sound by Theorem 5) — the paper shows a true ``K^AU``-semimodule cannot be
+bound preserving (Lemma 3), so ``⊛`` deliberately violates the semimodule
+laws while preserving bounds.
+
+Group-by handling follows the *default grouping strategy* (Definition 24):
+one output tuple per selected-guess group; every input tuple is assigned to
+the output of its SG group, and contributes to the aggregate bounds of
+every output whose merged group-by box its own group-by ranges overlap
+(the set ``ð(g)`` of Definition 26).  Output multiplicity bounds follow
+Definitions 27/28.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .expressions import Expression, RowView, Var
+from .ranges import RangeValue, certain, domain_key, domain_max, domain_min
+from .ranges import domain_le as _ranges_domain_le
+from .relation import AURelation
+from .semirings import AUAnnotation
+from .tuples import AUTuple
+
+__all__ = [
+    "Monoid",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AggregateSpec",
+    "agg_sum",
+    "agg_count",
+    "agg_min",
+    "agg_max",
+    "agg_avg",
+    "GroupingStrategy",
+    "DefaultGroupingStrategy",
+    "aggregate",
+    "semimodule_action",
+    "star_operator",
+]
+
+
+# ----------------------------------------------------------------------
+# Monoids and the N-semimodule action *_{N,M}
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Monoid:
+    """A commutative aggregation monoid ``(M, +_M, 0_M)``."""
+
+    name: str
+    neutral: Any
+    combine: Callable[[Any, Any], Any]
+
+    def fold(self, values) -> Any:
+        acc = self.neutral
+        for v in values:
+            acc = self.combine(acc, v)
+        return acc
+
+
+SUM = Monoid("SUM", 0, lambda a, b: a + b)
+MIN = Monoid("MIN", math.inf, lambda a, b: a if _dom_le(a, b) else b)
+MAX = Monoid("MAX", -math.inf, lambda a, b: b if _dom_le(a, b) else a)
+
+
+def _dom_le(a: Any, b: Any) -> bool:
+    # fast path: plain numbers (also covers +/- infinity vs numbers)
+    ta = type(a)
+    tb = type(b)
+    if (ta is int or ta is float) and (tb is int or tb is float):
+        return a <= b
+    # +/- inf sentinels compare numerically against numbers and win/lose
+    # against any other type via domain order.
+    if ta is float and math.isinf(a):
+        return a < 0
+    if tb is float and math.isinf(b):
+        return b > 0
+    return _ranges_domain_le(a, b)
+
+
+def semimodule_action(monoid: Monoid, k: int, m: Any) -> Any:
+    """``k *_{N,M} m``: fold multiplicity ``k`` into value ``m``.
+
+    ``*_{N,SUM}`` is multiplication; for MIN/MAX a non-zero multiplicity
+    acts as the identity and zero yields the neutral element (Section 9.2).
+    """
+    if monoid.name == "SUM":
+        return k * m
+    return m if k != 0 else monoid.neutral
+
+
+def star_operator(
+    monoid: Monoid, k: AUAnnotation, m: RangeValue
+) -> RangeValue:
+    """The bound-preserving ``⊛_M`` operator (Definition 23).
+
+    Bounds are the min/max over the four combinations of annotation and
+    value bounds; the SG component uses the plain semimodule action.
+    """
+    corners = [
+        semimodule_action(monoid, k[0], m.lb),
+        semimodule_action(monoid, k[0], m.ub),
+        semimodule_action(monoid, k[2], m.lb),
+        semimodule_action(monoid, k[2], m.ub),
+    ]
+    lo = corners[0]
+    hi = corners[0]
+    for c in corners[1:]:
+        if _dom_le(c, lo):
+            lo = c
+        if _dom_le(hi, c):
+            hi = c
+    sg = semimodule_action(monoid, k[1], m.sg)
+    # sg may fall outside [lo, hi] when k.sg differs from both bounds in a
+    # monoid-neutral way (e.g. MIN with k=(0,0,1)); widen defensively.
+    if not _dom_le(lo, sg):
+        lo = sg
+    if not _dom_le(sg, hi):
+        hi = sg
+    return RangeValue(lo, sg, hi)
+
+
+# ----------------------------------------------------------------------
+# Aggregate specifications
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregation function application ``f(e) AS name``.
+
+    ``kind`` is one of ``sum, count, min, max, avg``.  ``expr`` is the
+    aggregated scalar expression (ignored for ``count``).
+    """
+
+    kind: str
+    expr: Optional[Expression]
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in {"sum", "count", "min", "max", "avg"}:
+            raise ValueError(f"unsupported aggregate kind {self.kind!r}")
+        if self.kind != "count" and self.expr is None:
+            raise ValueError(f"aggregate {self.kind} requires an expression")
+
+
+def agg_sum(expr: Expression | str, name: str | None = None) -> AggregateSpec:
+    expr = Var(expr) if isinstance(expr, str) else expr
+    return AggregateSpec("sum", expr, name or "sum")
+
+
+def agg_count(name: str | None = None) -> AggregateSpec:
+    return AggregateSpec("count", None, name or "count")
+
+
+def agg_min(expr: Expression | str, name: str | None = None) -> AggregateSpec:
+    expr = Var(expr) if isinstance(expr, str) else expr
+    return AggregateSpec("min", expr, name or "min")
+
+
+def agg_max(expr: Expression | str, name: str | None = None) -> AggregateSpec:
+    expr = Var(expr) if isinstance(expr, str) else expr
+    return AggregateSpec("max", expr, name or "max")
+
+
+def agg_avg(expr: Expression | str, name: str | None = None) -> AggregateSpec:
+    expr = Var(expr) if isinstance(expr, str) else expr
+    return AggregateSpec("avg", expr, name or "avg")
+
+
+# ----------------------------------------------------------------------
+# Grouping strategies (Section 9.4 / 9.5)
+# ----------------------------------------------------------------------
+class GroupingStrategy:
+    """Maps input tuples to output groups.
+
+    Returns ``(groups, alpha)`` where ``groups`` is the list of output
+    group identifiers and ``alpha[tuple_index]`` is the index of the group
+    each input tuple is assigned to.  The contract of Section 9.4: all
+    tuples sharing SG group-by values must map to the same output.
+    """
+
+    def assign(
+        self,
+        rows: Sequence[Tuple[AUTuple, AUAnnotation]],
+        group_idx: Sequence[int],
+    ) -> Tuple[List[Tuple[Any, ...]], List[int]]:
+        raise NotImplementedError
+
+
+class DefaultGroupingStrategy(GroupingStrategy):
+    """One output per SG group; assignment by SG group-by values
+    (Definition 24)."""
+
+    def assign(
+        self,
+        rows: Sequence[Tuple[AUTuple, AUAnnotation]],
+        group_idx: Sequence[int],
+    ) -> Tuple[List[Tuple[Any, ...]], List[int]]:
+        groups: List[Tuple[Any, ...]] = []
+        index_of: Dict[Tuple[Any, ...], int] = {}
+        alpha: List[int] = []
+        for t, _ann in rows:
+            key = tuple(t[i].sg for i in group_idx)
+            if key not in index_of:
+                index_of[key] = len(groups)
+                groups.append(key)
+            alpha.append(index_of[key])
+        return groups, alpha
+
+
+def _uncertain_group(
+    t: AUTuple, ann: AUAnnotation, group_idx: Sequence[int]
+) -> bool:
+    """The ``ug(G, R, t)`` predicate: uncertain group-by value or the tuple
+    may be absent from some world."""
+    if ann[0] == 0:
+        return True
+    return any(not t[i].is_certain for i in group_idx)
+
+
+def _delta(k: int) -> int:
+    return 1 if k > 0 else 0
+
+
+# ----------------------------------------------------------------------
+# The aggregation operator
+# ----------------------------------------------------------------------
+def aggregate(
+    rel: AURelation,
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+    strategy: GroupingStrategy | None = None,
+    compress_buckets: Optional[int] = None,
+) -> AURelation:
+    """``γ_{G, f1(A1), ..., fk(Ak)}(R)`` over an AU-relation.
+
+    Output schema is ``group_by + [spec.name for each aggregate]``.  With
+    an empty ``group_by`` the result is the single-tuple aggregation of
+    Definition 27 (annotation ``(1,1,1)``).
+
+    ``compress_buckets`` enables the Section 10.5 optimization: instead of
+    the O(groups × rows) interval-overlap join computing ``ð(g)``, each
+    group's *foreign* possible contributors are drawn from at most
+    ``compress_buckets`` bucket tuples (minimum bounding boxes with summed
+    possible multiplicities).  SG results, group boxes, and output
+    annotations are still computed exactly from the uncompressed members,
+    matching the paper's piggy-backed SG computation (Lemma 10.2: the
+    optimized rewrite preserves bounds, trading tightness for speed).
+    """
+    strategy = strategy or DefaultGroupingStrategy()
+    group_idx = [rel.attr_index(a) for a in group_by]
+    rows = list(rel.tuples())
+    out_schema = list(group_by) + [spec.name for spec in aggregates]
+    out = AURelation(out_schema)
+    if not rows:
+        if not group_by:
+            # aggregation over an empty input still yields one row in SQL /
+            # K-relation semantics for COUNT-style monoids
+            values = [_empty_aggregate_value(spec) for spec in aggregates]
+            out.add(values, (1, 1, 1))
+        return out
+
+    if group_by:
+        groups, alpha = strategy.assign(rows, group_idx)
+    else:
+        groups, alpha = [()], [0] * len(rows)
+
+    n_groups = len(groups)
+    members: List[List[int]] = [[] for _ in range(n_groups)]
+    for row_i, g_i in enumerate(alpha):
+        members[g_i].append(row_i)
+
+    # -- group-by attribute bounds (Definition 25) ----------------------
+    group_boxes: List[List[RangeValue]] = []
+    for g_i, key in enumerate(groups):
+        box: List[RangeValue] = []
+        for pos, attr_i in enumerate(group_idx):
+            lbs = [rows[r][0][attr_i].lb for r in members[g_i]]
+            ubs = [rows[r][0][attr_i].ub for r in members[g_i]]
+            box.append(RangeValue(domain_min(lbs), key[pos], domain_max(ubs)))
+        group_boxes.append(box)
+
+    # -- ð(g): tuples whose group-by ranges overlap the output box ------
+    if compress_buckets is not None and group_by:
+        rows, contributors = _compressed_contributors(
+            rel, rows, members, group_idx, group_boxes, compress_buckets
+        )
+    else:
+        contributors = _overlap_sets(rows, group_idx, group_boxes)
+
+    # -- evaluate aggregate inputs once per row --------------------------
+    agg_inputs = _materialize_agg_inputs(rel, rows, aggregates)
+
+    for g_i in range(n_groups):
+        values: List[RangeValue] = list(group_boxes[g_i])
+        box_certain = all(v.is_certain for v in group_boxes[g_i])
+        for a_i, spec in enumerate(aggregates):
+            values.append(
+                _aggregate_bounds(
+                    spec,
+                    a_i,
+                    rows,
+                    agg_inputs,
+                    contributors[g_i],
+                    set(members[g_i]),
+                    group_idx,
+                    box_certain,
+                )
+            )
+        ann = _group_annotation(rows, members[g_i], group_idx, bool(group_by))
+        if ann[2] > 0:
+            out.add(values, ann)
+    return out
+
+
+def _compressed_contributors(
+    rel: AURelation,
+    rows: List[Tuple[AUTuple, AUAnnotation]],
+    members: Sequence[Sequence[int]],
+    group_idx: Sequence[int],
+    group_boxes: Sequence[Sequence[RangeValue]],
+    buckets: int,
+) -> Tuple[List[Tuple[AUTuple, AUAnnotation]], List[List[int]]]:
+    """Section 10.5: compress foreign possible contributors.
+
+    Returns an extended row list (original rows + synthetic bucket rows
+    annotated ``(0, 0, Σub)``) and per-group contributor index lists:
+    each group's exact members plus every overlapping bucket.  Bucket rows
+    are always treated as group-uncertain (annotation lower bound 0), so
+    their contributions pass through the ``min(0_M, ·)`` / ``max(0_M, ·)``
+    clamps and the result stays a sound (if looser) bound even though
+    member rows are double counted inside buckets.
+    """
+    first_group_attr = group_idx[0]
+    # Only rows whose group-by attributes are uncertain can contribute to a
+    # *foreign* group; rows with certain group-by values are fully handled
+    # as exact members of their own group, so bucketing them would only
+    # double count their possible mass.
+    foreign_capable = [
+        r
+        for r in range(len(rows))
+        if any(not rows[r][0][i].is_certain for i in group_idx)
+    ]
+    sortable = sorted(
+        foreign_capable,
+        key=lambda r: domain_key(rows[r][0][first_group_attr].sg),
+    )
+    bucket_size = max(1, -(-len(sortable) // buckets))
+    extended = list(rows)
+    bucket_rows: List[int] = []
+    for start in range(0, len(sortable), bucket_size):
+        chunk = [rows[r] for r in sortable[start : start + bucket_size]]
+        box_t, _ = chunk[0]
+        total_ub = 0
+        for t, (_lb, _sg, ub) in chunk:
+            box_t = tuple(a.merge(b) for a, b in zip(box_t, t))
+            total_ub += ub
+        if total_ub > 0:
+            bucket_rows.append(len(extended))
+            extended.append((box_t, (0, 0, total_ub)))
+
+    contributors: List[List[int]] = []
+    for g_i, box in enumerate(group_boxes):
+        contrib = list(members[g_i])
+        for b_i in bucket_rows:
+            t = extended[b_i][0]
+            if all(
+                t[attr_i].overlaps(box[pos])
+                for pos, attr_i in enumerate(group_idx)
+            ):
+                contrib.append(b_i)
+        contributors.append(contrib)
+    return extended, contributors
+
+
+def _overlap_sets(
+    rows: Sequence[Tuple[AUTuple, AUAnnotation]],
+    group_idx: Sequence[int],
+    group_boxes: Sequence[Sequence[RangeValue]],
+) -> List[List[int]]:
+    """Compute ``ð(g)`` for every group.
+
+    Rows whose group-by attributes are all certain can be matched by hash
+    against certain group boxes; uncertain rows/boxes use interval checks.
+    """
+    contributors: List[List[int]] = [[] for _ in group_boxes]
+    if not group_idx:
+        all_rows = list(range(len(rows)))
+        return [list(all_rows) for _ in group_boxes]
+
+    for g_i, box in enumerate(group_boxes):
+        for r_i, (t, _ann) in enumerate(rows):
+            ok = True
+            for pos, attr_i in enumerate(group_idx):
+                if not t[attr_i].overlaps(box[pos]):
+                    ok = False
+                    break
+            if ok:
+                contributors[g_i].append(r_i)
+    return contributors
+
+
+def _materialize_agg_inputs(
+    rel: AURelation,
+    rows: Sequence[Tuple[AUTuple, AUAnnotation]],
+    aggregates: Sequence[AggregateSpec],
+) -> List[List[RangeValue]]:
+    """Per-aggregate, per-row input value (COUNT uses the constant 1)."""
+    one = certain(1)
+    inputs: List[List[RangeValue]] = []
+    for spec in aggregates:
+        col: List[RangeValue] = []
+        if spec.kind == "count":
+            col = [one] * len(rows)
+        else:
+            index = RowView.index_of(rel.schema)
+            for t, _ann in rows:
+                col.append(spec.expr.eval_range(RowView(index, t)))
+        inputs.append(col)
+    return inputs
+
+
+def _monoid_for(kind: str) -> Monoid:
+    return {"sum": SUM, "count": SUM, "min": MIN, "max": MAX}[kind]
+
+
+def _aggregate_bounds(
+    spec: AggregateSpec,
+    agg_index: int,
+    rows: Sequence[Tuple[AUTuple, AUAnnotation]],
+    agg_inputs: Sequence[Sequence[RangeValue]],
+    contributor_rows: Sequence[int],
+    sg_members: set,
+    group_idx: Sequence[int],
+    box_certain: bool = True,
+) -> RangeValue:
+    """Aggregation function result bounds for one output tuple
+    (Definition 26; AVG handled via SUM/COUNT + MIN/MAX envelope)."""
+    if spec.kind == "avg":
+        return _avg_bounds(
+            spec, agg_index, rows, agg_inputs, contributor_rows, sg_members, group_idx
+        )
+
+    monoid = _monoid_for(spec.kind)
+    lo = monoid.neutral
+    hi = monoid.neutral
+    sg = monoid.neutral
+    for r_i in contributor_rows:
+        t, ann = rows[r_i]
+        m = agg_inputs[agg_index][r_i]
+        folded = star_operator(monoid, ann, m)
+        # A contribution may be counted without clamping only when the
+        # tuple *certainly belongs to every group this output can bound*:
+        # the output's group box must be a single point, the tuple's
+        # group-by values certain and assigned here, and the tuple must
+        # certainly exist.  This is the rewriting's θ_c test (Section
+        # 10.2), which compares input group bounds against the *output's*
+        # bounds.  If the box spans several possible groups, the output
+        # tuple may have to bound a world group this tuple is absent from,
+        # so its contribution is clamped against the monoid's neutral
+        # element (Definition 26's min(0_M, ·) / max(0_M, ·)).
+        certainly_in_group = (
+            box_certain
+            and r_i in sg_members
+            and not _uncertain_group(t, ann, group_idx)
+        )
+        if not certainly_in_group:
+            lb_contrib = folded.lb if _dom_le(folded.lb, monoid.neutral) else monoid.neutral
+            ub_contrib = folded.ub if _dom_le(monoid.neutral, folded.ub) else monoid.neutral
+        else:
+            lb_contrib = folded.lb
+            ub_contrib = folded.ub
+        lo = monoid.combine(lo, lb_contrib)
+        hi = monoid.combine(hi, ub_contrib)
+        if r_i in sg_members:
+            sg = monoid.combine(sg, folded.sg)
+    if not _dom_le(lo, sg):
+        sg_clamped = lo
+    elif not _dom_le(sg, hi):
+        sg_clamped = hi
+    else:
+        sg_clamped = sg
+    return RangeValue(lo, sg_clamped, hi)
+
+
+def _avg_bounds(
+    spec: AggregateSpec,
+    agg_index: int,
+    rows: Sequence[Tuple[AUTuple, AUAnnotation]],
+    agg_inputs: Sequence[Sequence[RangeValue]],
+    contributor_rows: Sequence[int],
+    sg_members: set,
+    group_idx: Sequence[int],
+) -> RangeValue:
+    """AVG bounds.
+
+    The mean of any multiset of values, each drawn from the contributing
+    tuples' value ranges, lies between the smallest lower bound and the
+    largest upper bound of any contributor — so MIN/MAX envelopes over
+    ``ð(g)`` give sound (if loose) AVG bounds.  The SG value is the exact
+    SGW average (sum/count in the SG world).
+    """
+    lo = math.inf
+    hi = -math.inf
+    sg_sum = 0.0
+    sg_count = 0
+    for r_i in contributor_rows:
+        t, ann = rows[r_i]
+        m = agg_inputs[agg_index][r_i]
+        if ann[2] > 0:
+            if _dom_le(m.lb, lo):
+                lo = m.lb
+            if _dom_le(hi, m.ub):
+                hi = m.ub
+        if r_i in sg_members and ann[1] > 0:
+            sg_sum += m.sg * ann[1]
+            sg_count += ann[1]
+    sg = sg_sum / sg_count if sg_count else 0.0
+    if lo is math.inf:  # no possible contributor
+        return RangeValue(0.0, 0.0, 0.0)
+    if not _dom_le(lo, sg):
+        sg = lo
+    if not _dom_le(sg, hi):
+        sg = hi
+    return RangeValue(lo, sg, hi)
+
+
+def _group_annotation(
+    rows: Sequence[Tuple[AUTuple, AUAnnotation]],
+    member_rows: Sequence[int],
+    group_idx: Sequence[int],
+    has_group_by: bool,
+) -> AUAnnotation:
+    """Output multiplicity bounds (Definitions 27/28)."""
+    if not has_group_by:
+        return (1, 1, 1)
+    lb_sum = 0
+    sg_sum = 0
+    ub_sum = 0
+    for r_i in member_rows:
+        t, ann = rows[r_i]
+        if not _uncertain_group(t, ann, group_idx):
+            lb_sum += ann[0]
+        sg_sum += ann[1]
+        ub_sum += ann[2]
+    return (_delta(lb_sum), _delta(sg_sum), ub_sum)
+
+
+def _empty_aggregate_value(spec: AggregateSpec) -> RangeValue:
+    if spec.kind in {"sum", "count"}:
+        return certain(0)
+    if spec.kind == "avg":
+        return certain(0.0)
+    return certain(_monoid_for(spec.kind).neutral)

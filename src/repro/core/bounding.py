@@ -1,0 +1,197 @@
+"""Verification that an AU-relation bounds possible worlds.
+
+Definition 16 of the paper: an AU-relation ``R`` bounds a deterministic
+world ``W`` iff there exists a *tuple matching* — a distribution of each
+world tuple's multiplicity over AU-tuples that bound it (``t ⊑ T``) — such
+that every AU-tuple receives a total between its lower and upper
+multiplicity bound.  An AU-relation bounds an incomplete database iff it
+bounds every possible world and its SGW is one of the worlds
+(Definition 17).
+
+Existence of a tuple matching is a transportation-feasibility problem: a
+bipartite flow with exact supplies (world multiplicities) and node
+capacity intervals ``[lb, ub]`` on the AU side.  We solve it with a small
+self-contained Dinic max-flow using the standard lower-bound circulation
+reduction.  The instances arising in tests are small, so this stays fast.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .relation import AURelation
+from .tuples import AUTuple, tuple_bounds
+
+__all__ = [
+    "MaxFlow",
+    "find_tuple_matching",
+    "bounds_world",
+    "bounds_incomplete",
+]
+
+
+class MaxFlow:
+    """Dinic's algorithm on an adjacency-list residual graph."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.graph: List[List[int]] = [[] for _ in range(n)]
+        # edges stored flat: to, capacity, index of reverse edge
+        self.to: List[int] = []
+        self.cap: List[int] = []
+
+    def add_edge(self, u: int, v: int, capacity: int) -> int:
+        """Add a directed edge; returns its index (for flow readback)."""
+        idx = len(self.to)
+        self.graph[u].append(idx)
+        self.to.append(v)
+        self.cap.append(capacity)
+        self.graph[v].append(idx + 1)
+        self.to.append(u)
+        self.cap.append(0)
+        return idx
+
+    def flow_on(self, edge_index: int) -> int:
+        """Flow currently routed through edge ``edge_index``."""
+        return self.cap[edge_index ^ 1]
+
+    def max_flow(self, source: int, sink: int) -> int:
+        total = 0
+        while True:
+            level = self._bfs(source, sink)
+            if level is None:
+                return total
+            it = [0] * self.n
+            while True:
+                pushed = self._dfs(source, sink, float("inf"), level, it)
+                if not pushed:
+                    break
+                total += pushed
+
+    def _bfs(self, source: int, sink: int) -> Optional[List[int]]:
+        level = [-1] * self.n
+        level[source] = 0
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            for e in self.graph[u]:
+                v = self.to[e]
+                if self.cap[e] > 0 and level[v] < 0:
+                    level[v] = level[u] + 1
+                    queue.append(v)
+        return level if level[sink] >= 0 else None
+
+    def _dfs(self, u: int, sink: int, limit, level: List[int], it: List[int]) -> int:
+        if u == sink:
+            return int(limit)
+        while it[u] < len(self.graph[u]):
+            e = self.graph[u][it[u]]
+            v = self.to[e]
+            if self.cap[e] > 0 and level[v] == level[u] + 1:
+                pushed = self._dfs(v, sink, min(limit, self.cap[e]), level, it)
+                if pushed:
+                    self.cap[e] -= pushed
+                    self.cap[e ^ 1] += pushed
+                    return pushed
+            it[u] += 1
+        return 0
+
+
+def find_tuple_matching(
+    rel: AURelation, world: Mapping[Tuple[Any, ...], int]
+) -> Optional[Dict[Tuple[AUTuple, Tuple[Any, ...]], int]]:
+    """Find a tuple matching establishing ``world ⊏ rel`` (Definition 16).
+
+    Returns the matching as ``{(au_tuple, world_tuple): multiplicity}``, or
+    ``None`` if no valid matching exists.
+    """
+    au_rows = [(t, ann) for t, ann in rel.tuples()]
+    world_rows = [(t, m) for t, m in world.items() if m > 0]
+
+    # adjacency: which AU tuples bound which world tuples
+    adj: List[List[int]] = []
+    for wt, _m in world_rows:
+        bounded_by = [
+            i for i, (at, _ann) in enumerate(au_rows) if tuple_bounds(at, wt)
+        ]
+        adj.append(bounded_by)
+        if not bounded_by:
+            return None  # a world tuple no AU tuple can account for
+
+    # Flow network with lower bounds on AU->sink edges.
+    #   source -> world_j   capacity m_j   (must saturate)
+    #   world_j -> au_i     capacity m_j
+    #   au_i -> sink        capacity in [lb_i, ub_i]
+    # Lower-bound reduction: super source/sink absorb the mandatory lb_i.
+    n_world = len(world_rows)
+    n_au = len(au_rows)
+    source = 0
+    sink = 1 + n_world + n_au
+    super_source = sink + 1
+    super_sink = sink + 2
+    net = MaxFlow(sink + 3)
+
+    world_edges = []
+    for j, (_wt, m) in enumerate(world_rows):
+        world_edges.append(net.add_edge(source, 1 + j, m))
+    pair_edges: Dict[Tuple[int, int], int] = {}
+    for j, (_wt, m) in enumerate(world_rows):
+        for i in adj[j]:
+            pair_edges[(i, j)] = net.add_edge(1 + j, 1 + n_world + i, m)
+    lb_total = 0
+    for i, (_at, (lb, _sg, ub)) in enumerate(au_rows):
+        net.add_edge(1 + n_world + i, sink, ub - lb)
+        if lb > 0:
+            net.add_edge(super_source, sink, lb)
+            net.add_edge(1 + n_world + i, super_sink, lb)
+            lb_total += lb
+
+    # close the circulation: let flow wrap from sink back to source
+    supply_total = sum(m for _t, m in world_rows)
+    net.add_edge(sink, source, supply_total)
+
+    if net.max_flow(super_source, super_sink) < lb_total:
+        return None
+    flowed = net.max_flow(source, sink)
+    base = sum(net.flow_on(e) for e in world_edges)
+    if base < supply_total:
+        return None
+
+    matching: Dict[Tuple[AUTuple, Tuple[Any, ...]], int] = {}
+    for (i, j), e in pair_edges.items():
+        f = net.flow_on(e)
+        if f > 0:
+            matching[(au_rows[i][0], world_rows[j][0])] = f
+    return matching
+
+
+def bounds_world(rel: AURelation, world: Mapping[Tuple[Any, ...], int]) -> bool:
+    """Does ``rel`` bound the deterministic bag ``world``? (Definition 16)"""
+    return find_tuple_matching(rel, world) is not None
+
+
+def bounds_incomplete(
+    rel: AURelation,
+    worlds: Sequence[Mapping[Tuple[Any, ...], int]],
+    require_sgw: bool = True,
+) -> bool:
+    """Definition 17: bound every world; the SGW must be one of them.
+
+    ``require_sgw=False`` relaxes condition (6), which is useful when
+    checking bound preservation of *query results* where the SGW is the
+    query result over the selected world by construction.
+    """
+    if require_sgw:
+        sgw = rel.selected_guess_world()
+        if not any(_same_bag(sgw, w) for w in worlds):
+            return False
+    return all(bounds_world(rel, w) for w in worlds)
+
+
+def _same_bag(
+    a: Mapping[Tuple[Any, ...], int], b: Mapping[Tuple[Any, ...], int]
+) -> bool:
+    a_clean = {t: m for t, m in a.items() if m}
+    b_clean = {t: m for t, m in b.items() if m}
+    return a_clean == b_clean

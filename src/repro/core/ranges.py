@@ -1,0 +1,224 @@
+"""Range-annotated values: the attribute-level building block of AU-DBs.
+
+A :class:`RangeValue` is a triple ``[lb / sg / ub]`` (Definition 6 of the
+paper) consisting of a lower bound, a *selected-guess* (SG) value, and an
+upper bound drawn from a totally ordered domain.  A range-annotated value
+``c`` *bounds* a set of deterministic values ``S`` (Definition 10) when
+every element of ``S`` falls within ``[c.lb, c.ub]`` and the SG value is one
+of the elements of ``S``.
+
+Values may be numbers, strings, booleans or ``None`` (treated as the minimal
+element of its domain); the total order used is the one implied by
+:func:`domain_key`, which mirrors the paper's assumption of an arbitrary but
+fixed total order over a universal domain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+__all__ = [
+    "RangeValue",
+    "certain",
+    "between",
+    "domain_key",
+    "domain_le",
+    "domain_min",
+    "domain_max",
+    "NEG_INF",
+    "POS_INF",
+]
+
+
+class _NegInf:
+    """Sentinel smaller than every domain value (used for open bounds)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "-inf"
+
+
+class _PosInf:
+    """Sentinel larger than every domain value (used for open bounds)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return "+inf"
+
+
+NEG_INF = _NegInf()
+POS_INF = _PosInf()
+
+
+def domain_key(value: Any) -> tuple:
+    """Total-order key for the universal domain ``D``.
+
+    The paper assumes a total order over a universal domain that mixes
+    types (Section 3).  We realize it by ordering first on a type rank and
+    then on the value itself.  Booleans order ``False < True`` (the order
+    used for the boolean domain in Example 5), numbers order numerically,
+    strings lexicographically.  ``None`` sorts below every other value of
+    any type, and the infinity sentinels bracket everything.
+    """
+    kind = type(value)
+    if kind is int or kind is float:
+        return (1, value)
+    if kind is str:
+        return (2, value)
+    if kind is bool:
+        return (0, 1 if value else 0)
+    if value is None:
+        return (-1, 0)
+    if kind is _NegInf:
+        return (-2, 0)
+    if kind is _PosInf:
+        return (4, 0)
+    if isinstance(value, bool):  # bool subclasses
+        return (0, 1 if value else 0)
+    if isinstance(value, (int, float)):
+        return (1, value)
+    if isinstance(value, str):
+        return (2, value)
+    return (3, repr(value))
+
+
+def domain_le(a: Any, b: Any) -> bool:
+    """``a <= b`` under the universal domain order."""
+    ta = type(a)
+    tb = type(b)
+    if (ta is int or ta is float) and (tb is int or tb is float):
+        return a <= b
+    if ta is str and tb is str:
+        return a <= b
+    return domain_key(a) <= domain_key(b)
+
+
+def domain_min(values: Iterable[Any]) -> Any:
+    """Minimum of ``values`` under the universal domain order."""
+    return min(values, key=domain_key)
+
+
+def domain_max(values: Iterable[Any]) -> Any:
+    """Maximum of ``values`` under the universal domain order."""
+    return max(values, key=domain_key)
+
+
+@dataclass(frozen=True, slots=True)
+class RangeValue:
+    """An element ``[lb / sg / ub]`` of the range-annotated domain ``D_I``.
+
+    Invariant (checked on construction): ``lb <= sg <= ub`` under the
+    universal domain order.
+    """
+
+    lb: Any
+    sg: Any
+    ub: Any
+
+    def __post_init__(self) -> None:
+        if not (domain_le(self.lb, self.sg) and domain_le(self.sg, self.ub)):
+            raise ValueError(
+                f"range value must satisfy lb <= sg <= ub, got "
+                f"[{self.lb!r}/{self.sg!r}/{self.ub!r}]"
+            )
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_certain(self) -> bool:
+        """True when ``lb == sg == ub`` (the value is deterministic)."""
+        lb = self.lb
+        ub = self.ub
+        if lb is ub:
+            return True
+        try:
+            if lb == ub:
+                return type(lb) is type(ub) or isinstance(lb, (int, float))
+        except TypeError:
+            pass
+        return domain_key(lb) == domain_key(ub)
+
+    def bounds_value(self, value: Any) -> bool:
+        """Does this range contain the deterministic ``value``?"""
+        return domain_le(self.lb, value) and domain_le(value, self.ub)
+
+    def bounds_set(self, values: Iterable[Any]) -> bool:
+        """Definition 10: bounds a set iff it contains every element and
+        the SG value is one of them."""
+        values = list(values)
+        if not values:
+            return False
+        sg_key = domain_key(self.sg)
+        return all(self.bounds_value(v) for v in values) and any(
+            domain_key(v) == sg_key for v in values
+        )
+
+    def overlaps(self, other: "RangeValue") -> bool:
+        """Do the intervals ``[lb, ub]`` of the two values intersect?
+
+        This is the attribute-level ingredient of the ``≃`` predicate used
+        for set difference (Definition 22) and of ``t ⊓ t'`` used for
+        aggregation (Definition 26).
+        """
+        a_lb, a_ub = self.lb, self.ub
+        b_lb, b_ub = other.lb, other.ub
+        if (
+            (type(a_lb) is int or type(a_lb) is float)
+            and (type(a_ub) is int or type(a_ub) is float)
+            and (type(b_lb) is int or type(b_lb) is float)
+            and (type(b_ub) is int or type(b_ub) is float)
+        ):
+            return a_lb <= b_ub and b_lb <= a_ub
+        return domain_le(a_lb, b_ub) and domain_le(b_lb, a_ub)
+
+    def certainly_equal(self, other: "RangeValue") -> bool:
+        """Are both values certain and equal (ingredient of ``≡``)?"""
+        return (
+            self.is_certain
+            and other.is_certain
+            and domain_key(self.sg) == domain_key(other.sg)
+        )
+
+    # ------------------------------------------------------------------
+    # combination
+    # ------------------------------------------------------------------
+    def merge(self, other: "RangeValue") -> "RangeValue":
+        """Minimum bounding range keeping *this* value's SG.
+
+        Used by the SG-combiner (Definition 21) and by group-by bound
+        computation (Definition 25), both of which merge the ranges of
+        tuples that share SG values.
+        """
+        return RangeValue(
+            domain_min((self.lb, other.lb)),
+            self.sg,
+            domain_max((self.ub, other.ub)),
+        )
+
+    def width(self) -> float:
+        """Numeric width ``ub - lb`` (infinite for unbounded / non-numeric)."""
+        if isinstance(self.lb, (int, float)) and isinstance(self.ub, (int, float)):
+            return float(self.ub) - float(self.lb)
+        if self.is_certain:
+            return 0.0
+        return math.inf
+
+    def __repr__(self) -> str:
+        if self.is_certain:
+            return repr(self.sg)
+        return f"[{self.lb!r}/{self.sg!r}/{self.ub!r}]"
+
+
+def certain(value: Any) -> RangeValue:
+    """A certain range-annotated value ``[v/v/v]``."""
+    return RangeValue(value, value, value)
+
+
+def between(lb: Any, sg: Any, ub: Any) -> RangeValue:
+    """Convenience constructor mirroring the paper's ``[lb/sg/ub]``."""
+    return RangeValue(lb, sg, ub)

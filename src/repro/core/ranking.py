@@ -1,0 +1,108 @@
+"""Top-k queries over AU-relations — the paper's declared future work.
+
+Section 13 lists "queries with ordering (top-k queries and window
+functions)" as future work.  This module provides a sound top-k semantics
+in the AU-DB spirit: instead of one ordered prefix, it returns every tuple
+that can be among the ``k`` highest-scoring tuples in *some* possible
+world, annotated with whether it is in the top-k *certainly*, in the
+selected-guess world, and/or *possibly*.
+
+The tests (``tests/test_ranking.py``) verify the semantics against
+brute-force enumeration of possible worlds.
+
+Semantics (for score attribute ``s``, higher is better):
+
+* A tuple occurrence *certainly beats* another when its score lower bound
+  strictly exceeds the other's upper bound (ties broken pessimistically).
+* An occurrence is **possibly top-k** unless at least ``k`` occurrences of
+  other tuples *certainly exist* and certainly beat it.
+* An occurrence is **certainly top-k** when fewer than ``k`` occurrences
+  can possibly beat or tie it in any world, and it certainly exists.
+
+Both tests are conservative (may report "possible" too often and
+"certain" too rarely), which is exactly the under/over-approximation
+contract of AU-DBs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+from .ranges import domain_le
+from .relation import AURelation
+from .semirings import AUAnnotation
+from .tuples import AUTuple
+
+__all__ = ["TopKRow", "topk"]
+
+
+@dataclass(frozen=True)
+class TopKRow:
+    """One candidate for the top-k result."""
+
+    values: AUTuple
+    annotation: AUAnnotation
+    certainly_topk: bool
+    sg_topk: bool
+    possibly_topk: bool
+
+
+def _strictly_greater(a, b) -> bool:
+    return not domain_le(a, b)
+
+
+def topk(rel: AURelation, score_column: str, k: int) -> List[TopKRow]:
+    """Sound top-k candidates ordered by SG score (descending).
+
+    Returns every tuple that is possibly among the ``k`` highest-scoring
+    rows, flagged with its certain / selected-guess / possible membership.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    idx = rel.attr_index(score_column)
+    rows: List[Tuple[AUTuple, AUAnnotation]] = list(rel.tuples())
+
+    # SG world ranking: rank occurrences (tuples with sg multiplicity)
+    sg_scores: List[Any] = []
+    for t, (_lb, sg, _ub) in rows:
+        sg_scores.extend([t[idx].sg] * sg)
+    sg_scores.sort(key=lambda s: _sort_key(s), reverse=True)
+    sg_cutoff = sg_scores[k - 1] if len(sg_scores) >= k else None
+
+    out: List[TopKRow] = []
+    for i, (t, ann) in enumerate(rows):
+        score = t[idx]
+
+        # occurrences of *other* tuples that certainly exist and certainly
+        # beat this tuple's best case
+        certain_beaters = 0
+        # occurrences of other tuples that may beat-or-tie the worst case
+        possible_beaters = 0
+        for j, (t2, ann2) in enumerate(rows):
+            if i == j:
+                continue
+            score2 = t2[idx]
+            if ann2[0] > 0 and _strictly_greater(score2.lb, score.ub):
+                certain_beaters += ann2[0]
+            if ann2[2] > 0 and domain_le(score.lb, score2.ub):
+                possible_beaters += ann2[2]
+
+        possibly = ann[2] > 0 and certain_beaters < k
+        certainly = ann[0] > 0 and possible_beaters < k
+        sg_in = (
+            ann[1] > 0
+            and sg_cutoff is not None
+            and domain_le(sg_cutoff, score.sg)
+        ) or (ann[1] > 0 and len(sg_scores) < k)
+        if possibly:
+            out.append(TopKRow(t, ann, certainly, bool(sg_in), True))
+
+    out.sort(key=lambda r: _sort_key(r.values[idx].sg), reverse=True)
+    return out
+
+
+def _sort_key(value):
+    from .ranges import domain_key
+
+    return domain_key(value)

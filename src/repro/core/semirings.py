@@ -1,0 +1,182 @@
+"""Commutative semirings, their natural orders, and the product
+constructions used by UA-DBs (``K^2``) and AU-DBs (``K^AU = K^3``).
+
+The paper (Section 3.1) annotates relations with elements of a commutative
+semiring ``K = (K, +, ·, 0, 1)``.  Bag semantics is the natural-numbers
+semiring ``N``; set semantics is the boolean semiring ``B``.  Both are
+*l-semirings*: their natural order forms a lattice, so greatest lower
+bounds (certain annotations) and least upper bounds (possible annotations)
+are well defined.
+
+``K^AU`` (Definition 11) is the three-way product of ``K`` with itself
+restricted to ordered triples ``lb ⪯ sg ⪯ ub``; it carries tuple-level
+lower bounds on certain multiplicity, SG multiplicity, and upper bounds on
+possible multiplicity.  For set difference we additionally need the *monus*
+``k1 − k2`` (Geerts' m-semirings): for ``N`` this is truncating
+subtraction, for ``B`` it is ``k1 ∧ ¬k2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generic, Iterable, Tuple, TypeVar
+
+__all__ = [
+    "Semiring",
+    "NaturalSemiring",
+    "BooleanSemiring",
+    "N",
+    "B",
+    "AUAnnotation",
+    "au_add",
+    "au_multiply",
+    "au_zero",
+    "au_one",
+    "au_is_valid",
+    "UAAnnotation",
+]
+
+K = TypeVar("K")
+
+
+class Semiring(Generic[K]):
+    """Interface of a commutative, naturally ordered semiring with monus."""
+
+    zero: K
+    one: K
+
+    def add(self, a: K, b: K) -> K:
+        raise NotImplementedError
+
+    def multiply(self, a: K, b: K) -> K:
+        raise NotImplementedError
+
+    def monus(self, a: K, b: K) -> K:
+        """Smallest ``c`` with ``b + c ⪰ a`` (used for set difference)."""
+        raise NotImplementedError
+
+    def leq(self, a: K, b: K) -> bool:
+        """Natural order: ``a ⪯ b`` iff ``∃c: a + c = b``."""
+        raise NotImplementedError
+
+    def glb(self, values: Iterable[K]) -> K:
+        """Greatest lower bound (certain annotation across worlds)."""
+        raise NotImplementedError
+
+    def lub(self, values: Iterable[K]) -> K:
+        """Least upper bound (possible annotation across worlds)."""
+        raise NotImplementedError
+
+    def delta(self, a: K) -> K:
+        """Duplicate elimination: ``0`` if ``a == 0`` else ``1`` ([9])."""
+        return self.zero if a == self.zero else self.one
+
+    def sum(self, values: Iterable[K]) -> K:
+        total = self.zero
+        for v in values:
+            total = self.add(total, v)
+        return total
+
+
+class NaturalSemiring(Semiring[int]):
+    """Bag semantics: ``(N, +, ×, 0, 1)`` with truncating monus."""
+
+    zero = 0
+    one = 1
+
+    def add(self, a: int, b: int) -> int:
+        return a + b
+
+    def multiply(self, a: int, b: int) -> int:
+        return a * b
+
+    def monus(self, a: int, b: int) -> int:
+        return max(0, a - b)
+
+    def leq(self, a: int, b: int) -> bool:
+        return a <= b
+
+    def glb(self, values: Iterable[int]) -> int:
+        return min(values)
+
+    def lub(self, values: Iterable[int]) -> int:
+        return max(values)
+
+
+class BooleanSemiring(Semiring[bool]):
+    """Set semantics: ``(B, ∨, ∧, ⊥, ⊤)`` with ``a − b = a ∧ ¬b``."""
+
+    zero = False
+    one = True
+
+    def add(self, a: bool, b: bool) -> bool:
+        return a or b
+
+    def multiply(self, a: bool, b: bool) -> bool:
+        return a and b
+
+    def monus(self, a: bool, b: bool) -> bool:
+        return a and not b
+
+    def leq(self, a: bool, b: bool) -> bool:
+        return (not a) or b
+
+    def glb(self, values: Iterable[bool]) -> bool:
+        return all(values)
+
+    def lub(self, values: Iterable[bool]) -> bool:
+        return any(values)
+
+
+N = NaturalSemiring()
+B = BooleanSemiring()
+
+
+# ----------------------------------------------------------------------
+# K^AU: tuple-level annotation triples over N (the semiring used by the
+# implementation; the model generalizes, but like the paper's middleware we
+# concretely instantiate bags).
+# ----------------------------------------------------------------------
+AUAnnotation = Tuple[int, int, int]
+"""A ``K^AU`` element ``(lb, sg, ub)`` with ``lb <= sg <= ub``."""
+
+UAAnnotation = Tuple[int, int]
+"""A ``K^2`` (UA-DB) element ``[certain_lb, sg]``."""
+
+
+def au_is_valid(k: AUAnnotation) -> bool:
+    """Is ``k`` a member of ``K^AU`` (ordered triple of naturals)?"""
+    lb, sg, ub = k
+    return 0 <= lb <= sg <= ub
+
+
+def au_zero() -> AUAnnotation:
+    return (0, 0, 0)
+
+
+def au_one() -> AUAnnotation:
+    return (1, 1, 1)
+
+
+def au_add(a: AUAnnotation, b: AUAnnotation) -> AUAnnotation:
+    """Pointwise addition in ``K^3`` (stays inside ``K^AU``)."""
+    return (a[0] + b[0], a[1] + b[1], a[2] + b[2])
+
+
+def au_multiply(a: AUAnnotation, b: AUAnnotation) -> AUAnnotation:
+    """Pointwise multiplication in ``K^3`` (stays inside ``K^AU``)."""
+    return (a[0] * b[0], a[1] * b[1], a[2] * b[2])
+
+
+@dataclass(frozen=True)
+class _SemiringRegistry:
+    """Named access to the built-in semirings (useful for serialization)."""
+
+    by_name: Any = None
+
+    @staticmethod
+    def get(name: str) -> Semiring:
+        try:
+            return {"N": N, "B": B}[name]
+        except KeyError:
+            raise KeyError(f"unknown semiring {name!r}; known: N, B") from None

@@ -1,0 +1,103 @@
+"""Set-semantics (``B^AU``) evaluation over AU-relations.
+
+The paper defines AU-DBs for any l-semiring; besides bags (``N``) the most
+important instance is set semantics (``B``, Section 3.1).  A ``B^AU``
+annotation is a triple of booleans ``(certainly in, in the SGW, possibly
+in)``.
+
+We piggyback on the bag machinery: booleans embed into ``N`` as ``{0, 1}``
+and every ``B`` operation is the corresponding ``N`` operation followed by
+clamping to ``{0, 1}`` (``∨ = min(a + b, 1)``, ``∧ = min(a·b, 1)``,
+``a ∸ b = min(max(a - b, 0), 1)``).  So each set operator below runs the
+bag operator and then re-normalizes annotations.
+
+Unlike bag ``distinct``, clamping the upper bound to 1 is always sound
+here: under set semantics a tuple matching distributes *boolean* (not
+counted) membership, so one range-annotated tuple with possible-bound ⊤
+can cover arbitrarily many distinct world tuples (the lub in ``B`` is
+disjunction, not addition).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Sequence, Set, Tuple
+
+from . import operators as bag_ops
+from .expressions import Expression
+from .relation import AURelation
+from .tuples import tuple_is_certain
+
+__all__ = [
+    "normalize",
+    "set_selection",
+    "set_projection",
+    "set_union",
+    "set_join",
+    "set_difference",
+    "set_bounds_world",
+]
+
+
+def normalize(rel: AURelation) -> AURelation:
+    """Clamp annotations into ``B^AU`` (after merging SG-equivalent tuples).
+
+    The lower bound survives only for tuples with certain attribute values
+    — an attribute-uncertain tuple might coincide with another tuple's
+    value in some world, where set semantics would merge them (the same
+    caveat as bag ``distinct``).
+    """
+    combined = bag_ops.sg_combine(rel)
+    out = AURelation(rel.schema)
+    for t, (lb, sg, ub) in combined.tuples():
+        new_lb = 1 if lb > 0 and tuple_is_certain(t) else 0
+        new_sg = min(sg, 1)
+        new_ub = min(ub, 1)
+        out.add(t, (new_lb, max(new_sg, new_lb), new_ub))
+    return out
+
+
+def set_selection(rel: AURelation, condition: Expression) -> AURelation:
+    return normalize(bag_ops.selection(rel, condition))
+
+
+def set_projection(rel: AURelation, columns) -> AURelation:
+    return normalize(bag_ops.projection(rel, columns))
+
+
+def set_union(left: AURelation, right: AURelation) -> AURelation:
+    return normalize(bag_ops.union(left, right))
+
+
+def set_join(left: AURelation, right: AURelation, condition: Expression) -> AURelation:
+    return normalize(bag_ops.join(left, right, condition))
+
+
+def set_difference(left: AURelation, right: AURelation) -> AURelation:
+    """``R − S`` under set semantics (Definition 22 instantiated at ``B``).
+
+    The boolean monus ``a ∧ ¬b`` is truncating subtraction on ``{0, 1}``,
+    so normalizing both inputs and running the bag difference implements
+    the ``B^AU`` semantics."""
+    return normalize(bag_ops.difference(normalize(left), normalize(right)))
+
+
+def set_bounds_world(rel: AURelation, world: Set[Tuple[Any, ...]]) -> bool:
+    """Does a ``B^AU`` relation bound a *set* world? (Definition 16 at B)
+
+    Boolean tuple matchings distribute set membership: every world tuple
+    must be covered by some possible AU-tuple, and every AU-tuple with
+    certain lower bound ⊤ must cover at least one world tuple.
+    """
+    from .tuples import tuple_bounds
+
+    rows = list(rel.tuples())
+    for world_tuple in world:
+        if not any(
+            ub > 0 and tuple_bounds(t, world_tuple)
+            for t, (_lb, _sg, ub) in rows
+        ):
+            return False
+    for t, (lb, _sg, _ub) in rows:
+        if lb > 0 and not any(tuple_bounds(t, w) for w in world):
+            return False
+    return True

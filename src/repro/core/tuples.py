@@ -1,0 +1,90 @@
+"""Range-annotated tuples and the predicates that relate them.
+
+An :class:`AUTuple` is a tuple of :class:`~repro.core.ranges.RangeValue`
+instances.  The module implements the tuple-level predicates from the
+paper:
+
+* ``t ⊑ T`` — a deterministic tuple is *bounded by* an AU-tuple
+  (Definition 14);
+* ``T ≃ T'`` — two AU-tuples *may be equal* in some world: all attribute
+  intervals overlap (used by set difference, Definition 22);
+* ``T ≡ T'`` — two AU-tuples are *certainly equal*: all attributes certain
+  and equal (Definition 22);
+* ``T ⊓ T'`` — attribute ranges overlap on each attribute (aggregation,
+  Definition 26 — identical to ``≃`` for full-width tuples).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence, Tuple
+
+from .ranges import RangeValue, certain
+
+__all__ = [
+    "AUTuple",
+    "make_tuple",
+    "certain_tuple",
+    "sg_tuple",
+    "tuple_bounds",
+    "tuples_may_equal",
+    "tuples_certainly_equal",
+    "tuple_is_certain",
+    "merge_tuples",
+    "project_tuple",
+]
+
+AUTuple = Tuple[RangeValue, ...]
+"""A range-annotated tuple (immutable, hashable)."""
+
+
+def make_tuple(values: Iterable[Any]) -> AUTuple:
+    """Build an AU-tuple, lifting plain values to certain ranges."""
+    out = []
+    for v in values:
+        out.append(v if isinstance(v, RangeValue) else certain(v))
+    return tuple(out)
+
+
+def certain_tuple(values: Iterable[Any]) -> AUTuple:
+    """An AU-tuple whose attributes are all certain."""
+    return tuple(certain(v) for v in values)
+
+
+def sg_tuple(t: AUTuple) -> Tuple[Any, ...]:
+    """The selected-guess projection ``t^sg`` (Definition 13)."""
+    return tuple(v.sg for v in t)
+
+
+def tuple_bounds(au: AUTuple, det: Sequence[Any]) -> bool:
+    """Definition 14: ``det ⊑ au`` — every attribute within its range."""
+    if len(au) != len(det):
+        return False
+    return all(r.bounds_value(v) for r, v in zip(au, det))
+
+
+def tuples_may_equal(a: AUTuple, b: AUTuple) -> bool:
+    """The ``≃`` predicate: all attribute intervals pairwise overlap."""
+    return all(x.overlaps(y) for x, y in zip(a, b))
+
+
+def tuples_certainly_equal(a: AUTuple, b: AUTuple) -> bool:
+    """The ``≡`` predicate: both tuples certain and equal everywhere."""
+    return all(x.certainly_equal(y) for x, y in zip(a, b))
+
+
+def tuple_is_certain(t: AUTuple) -> bool:
+    """All attribute values of ``t`` are certain."""
+    return all(v.is_certain for v in t)
+
+
+def merge_tuples(a: AUTuple, b: AUTuple) -> AUTuple:
+    """Minimum bounding box of two tuples, keeping ``a``'s SG values.
+
+    This is ``Comb`` from the SG-combiner (Definition 21).
+    """
+    return tuple(x.merge(y) for x, y in zip(a, b))
+
+
+def project_tuple(t: AUTuple, indexes: Sequence[int]) -> AUTuple:
+    """Project an AU-tuple onto attribute positions."""
+    return tuple(t[i] for i in indexes)

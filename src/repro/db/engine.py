@@ -1,0 +1,255 @@
+"""Deterministic bag-semantics query engine (the ``Det`` / SGQP baseline).
+
+Evaluates :mod:`repro.algebra` plans over :class:`~repro.db.storage.DetRelation`
+instances with standard K-relation semantics for ``N``: selection filters,
+projection sums multiplicities, joins multiply them, union adds, difference
+is truncating subtraction, aggregation folds multiplicities into SUM/COUNT
+and ignores them for MIN/MAX.
+
+This engine doubles as the *possible-world evaluator*: the ground-truth
+oracle runs the same plan in every world of an incomplete database.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..algebra.ast import (
+    Aggregate,
+    CrossProduct,
+    Difference,
+    Distinct,
+    Join,
+    Limit,
+    OrderBy,
+    Plan,
+    Projection,
+    Rename,
+    Selection,
+    TableRef,
+    Union,
+)
+from ..core.aggregation import AggregateSpec
+from ..core.expressions import Expression, RowView, Var
+from ..core.ranges import domain_key
+from .storage import DetDatabase, DetRelation
+
+__all__ = ["evaluate_det"]
+
+
+def evaluate_det(plan: Plan, db: DetDatabase) -> DetRelation:
+    """Evaluate ``plan`` over deterministic database ``db``."""
+    if isinstance(plan, TableRef):
+        return db[plan.name]
+    if isinstance(plan, Selection):
+        return _selection(evaluate_det(plan.child, db), plan.condition)
+    if isinstance(plan, Projection):
+        return _projection(evaluate_det(plan.child, db), plan.columns)
+    if isinstance(plan, Join):
+        return _join(
+            evaluate_det(plan.left, db), evaluate_det(plan.right, db), plan.condition
+        )
+    if isinstance(plan, CrossProduct):
+        return _cross(evaluate_det(plan.left, db), evaluate_det(plan.right, db))
+    if isinstance(plan, Union):
+        return _union(evaluate_det(plan.left, db), evaluate_det(plan.right, db))
+    if isinstance(plan, Difference):
+        return _difference(evaluate_det(plan.left, db), evaluate_det(plan.right, db))
+    if isinstance(plan, Distinct):
+        return _distinct(evaluate_det(plan.child, db))
+    if isinstance(plan, Aggregate):
+        result = _aggregate(evaluate_det(plan.child, db), plan.group_by, plan.aggregates)
+        if plan.having is not None:
+            result = _selection(result, plan.having)
+        return result
+    if isinstance(plan, Rename):
+        return _rename(evaluate_det(plan.child, db), plan.mapping_dict())
+    if isinstance(plan, OrderBy):
+        return evaluate_det(plan.child, db)  # bags are unordered
+    if isinstance(plan, Limit):
+        return _limit(evaluate_det(plan.child, db), plan.n)
+    raise TypeError(f"unsupported plan node {type(plan).__name__}")
+
+
+# ----------------------------------------------------------------------
+# operators
+# ----------------------------------------------------------------------
+def _selection(rel: DetRelation, condition: Expression) -> DetRelation:
+    out = DetRelation(rel.schema)
+    index = RowView.index_of(rel.schema)
+    for t, m in rel.tuples():
+        if bool(condition.eval(RowView(index, t))):
+            out.add(t, m)
+    return out
+
+
+def _projection(
+    rel: DetRelation, columns: Sequence[Tuple[Expression, str]]
+) -> DetRelation:
+    out = DetRelation([name for _, name in columns])
+    index = RowView.index_of(rel.schema)
+    for t, m in rel.tuples():
+        valuation = RowView(index, t)
+        out.add(tuple(expr.eval(valuation) for expr, _ in columns), m)
+    return out
+
+
+def _join(left: DetRelation, right: DetRelation, condition: Expression) -> DetRelation:
+    eq_pairs = _equi_pairs(condition, left.schema, right.schema)
+    schema = tuple(left.schema) + tuple(right.schema)
+    index = RowView.index_of(schema)
+    out = DetRelation(schema)
+    if eq_pairs:
+        l_idx = [left.attr_index(a) for a, _ in eq_pairs]
+        r_idx = [right.attr_index(b) for _, b in eq_pairs]
+        hash_index: Dict[Tuple[Any, ...], List[Tuple[Tuple[Any, ...], int]]] = {}
+        for rt, rm in right.tuples():
+            hash_index.setdefault(tuple(rt[i] for i in r_idx), []).append((rt, rm))
+        for lt, lm in left.tuples():
+            key = tuple(lt[i] for i in l_idx)
+            for rt, rm in hash_index.get(key, ()):
+                combined = lt + rt
+                if bool(condition.eval(RowView(index, combined))):
+                    out.add(combined, lm * rm)
+        return out
+    for lt, lm in left.tuples():
+        for rt, rm in right.tuples():
+            combined = lt + rt
+            if bool(condition.eval(RowView(index, combined))):
+                out.add(combined, lm * rm)
+    return out
+
+
+def _equi_pairs(
+    condition: Expression, left_schema: Sequence[str], right_schema: Sequence[str]
+) -> List[Tuple[str, str]]:
+    from ..core.expressions import And, Eq
+
+    left_set, right_set = set(left_schema), set(right_schema)
+    pairs: List[Tuple[str, str]] = []
+
+    def walk(e: Expression) -> None:
+        if isinstance(e, And):
+            walk(e.left)
+            walk(e.right)
+        elif isinstance(e, Eq) and isinstance(e.left, Var) and isinstance(e.right, Var):
+            if e.left.name in left_set and e.right.name in right_set:
+                pairs.append((e.left.name, e.right.name))
+            elif e.right.name in left_set and e.left.name in right_set:
+                pairs.append((e.right.name, e.left.name))
+
+    walk(condition)
+    return pairs
+
+
+def _cross(left: DetRelation, right: DetRelation) -> DetRelation:
+    out = DetRelation(tuple(left.schema) + tuple(right.schema))
+    for lt, lm in left.tuples():
+        for rt, rm in right.tuples():
+            out.add(lt + rt, lm * rm)
+    return out
+
+
+def _union(left: DetRelation, right: DetRelation) -> DetRelation:
+    out = DetRelation(left.schema)
+    for t, m in left.tuples():
+        out.add(t, m)
+    for t, m in right.tuples():
+        out.add(t, m)
+    return out
+
+
+def _difference(left: DetRelation, right: DetRelation) -> DetRelation:
+    out = DetRelation(left.schema)
+    for t, m in left.tuples():
+        remaining = m - right.multiplicity(t)
+        if remaining > 0:
+            out.add(t, remaining)
+    return out
+
+
+def _distinct(rel: DetRelation) -> DetRelation:
+    out = DetRelation(rel.schema)
+    for t, _m in rel.tuples():
+        out.add(t, 1)
+    return out
+
+
+def _rename(rel: DetRelation, mapping: Dict[str, str]) -> DetRelation:
+    out = DetRelation([mapping.get(a, a) for a in rel.schema])
+    for t, m in rel.tuples():
+        out.add(t, m)
+    return out
+
+
+def _limit(rel: DetRelation, n: int) -> DetRelation:
+    out = DetRelation(rel.schema)
+    taken = 0
+    for t, m in sorted(rel.tuples(), key=lambda i: tuple(map(domain_key, i[0]))):
+        if taken >= n:
+            break
+        take = min(m, n - taken)
+        out.add(t, take)
+        taken += take
+    return out
+
+
+def _aggregate(
+    rel: DetRelation,
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> DetRelation:
+    """Standard SQL/bag aggregation.
+
+    SUM and COUNT weight by multiplicity; MIN/MAX ignore it; AVG is the
+    multiplicity-weighted mean.  Each output group has multiplicity 1.
+    """
+    group_idx = [rel.attr_index(a) for a in group_by]
+    out_schema = list(group_by) + [spec.name for spec in aggregates]
+    out = DetRelation(out_schema)
+
+    groups: Dict[Tuple[Any, ...], List[Tuple[Tuple[Any, ...], int]]] = {}
+    for t, m in rel.tuples():
+        key = tuple(t[i] for i in group_idx)
+        groups.setdefault(key, []).append((t, m))
+
+    if not groups and not group_by:
+        out.add(tuple(_empty_value(spec) for spec in aggregates), 1)
+        return out
+
+    for key, rows in groups.items():
+        values: List[Any] = list(key)
+        for spec in aggregates:
+            values.append(_fold(spec, rel.schema, rows))
+        out.add(tuple(values), 1)
+    return out
+
+
+def _fold(
+    spec: AggregateSpec,
+    schema: Sequence[str],
+    rows: Sequence[Tuple[Tuple[Any, ...], int]],
+) -> Any:
+    if spec.kind == "count":
+        return sum(m for _t, m in rows)
+    index = RowView.index_of(schema)
+    values = [(spec.expr.eval(RowView(index, t)), m) for t, m in rows]
+    if spec.kind == "sum":
+        return sum(v * m for v, m in values)
+    if spec.kind == "min":
+        return min((v for v, _m in values), key=domain_key)
+    if spec.kind == "max":
+        return max((v for v, _m in values), key=domain_key)
+    if spec.kind == "avg":
+        total_m = sum(m for _v, m in values)
+        return sum(v * m for v, m in values) / total_m
+    raise ValueError(f"unsupported aggregate {spec.kind!r}")
+
+
+def _empty_value(spec: AggregateSpec) -> Any:
+    if spec.kind in {"sum", "count"}:
+        return 0
+    if spec.kind == "avg":
+        return 0.0
+    return math.inf if spec.kind == "min" else -math.inf

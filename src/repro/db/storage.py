@@ -1,0 +1,120 @@
+"""Deterministic bag-semantics relations — the "classical database" substrate.
+
+This stands in for the PostgreSQL backend of the paper's middleware: the
+selected-guess baseline (``Det``/SGQP) runs directly on these relations,
+and the ground-truth oracle evaluates queries in every possible world over
+them.
+
+A :class:`DetRelation` is a named schema plus a bag ``dict[tuple, int]``
+(tuple -> multiplicity), i.e. an ``N``-relation in the paper's K-relation
+terminology.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+__all__ = ["DetRelation", "DetDatabase"]
+
+
+class DetRelation:
+    """An ``N``-relation: bag of tuples with multiplicities."""
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(
+        self,
+        schema: Sequence[str],
+        rows: Mapping[Tuple[Any, ...], int]
+        | Iterable[Tuple[Any, ...]]
+        | None = None,
+    ) -> None:
+        self.schema: Tuple[str, ...] = tuple(schema)
+        self.rows: Dict[Tuple[Any, ...], int] = {}
+        if rows is None:
+            return
+        if isinstance(rows, Mapping):
+            for t, m in rows.items():
+                self.add(t, m)
+        else:
+            for t in rows:
+                self.add(tuple(t), 1)
+
+    def add(self, t: Tuple[Any, ...], multiplicity: int = 1) -> None:
+        if multiplicity < 0:
+            raise ValueError("multiplicities must be non-negative")
+        if multiplicity == 0:
+            return
+        t = tuple(t)
+        if len(t) != len(self.schema):
+            raise ValueError(
+                f"arity {len(t)} does not match schema {self.schema}"
+            )
+        self.rows[t] = self.rows.get(t, 0) + multiplicity
+
+    def multiplicity(self, t: Tuple[Any, ...]) -> int:
+        return self.rows.get(tuple(t), 0)
+
+    def attr_index(self, name: str) -> int:
+        try:
+            return self.schema.index(name)
+        except ValueError:
+            raise KeyError(
+                f"attribute {name!r} not in schema {self.schema}"
+            ) from None
+
+    def tuples(self) -> Iterator[Tuple[Tuple[Any, ...], int]]:
+        return iter(self.rows.items())
+
+    def total_rows(self) -> int:
+        """Bag cardinality (sum of multiplicities)."""
+        return sum(self.rows.values())
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DetRelation):
+            return NotImplemented
+        return self.schema == other.schema and self.rows == other.rows
+
+    def __hash__(self) -> int:  # relations are mutable builders; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        header = ", ".join(self.schema)
+        lines = [f"DetRelation({header}) [{len(self.rows)} distinct]"]
+        for t, m in sorted(self.rows.items(), key=lambda i: repr(i[0]))[:20]:
+            lines.append(f"  {t} x{m}")
+        if len(self.rows) > 20:
+            lines.append(f"  ... {len(self.rows) - 20} more")
+        return "\n".join(lines)
+
+    def as_bag(self) -> Dict[Tuple[Any, ...], int]:
+        return dict(self.rows)
+
+
+class DetDatabase:
+    """A named collection of deterministic relations."""
+
+    __slots__ = ("relations",)
+
+    def __init__(self, relations: Mapping[str, DetRelation] | None = None) -> None:
+        self.relations: Dict[str, DetRelation] = dict(relations or {})
+
+    def __getitem__(self, name: str) -> DetRelation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise KeyError(
+                f"relation {name!r} not found; have {sorted(self.relations)}"
+            ) from None
+
+    def __setitem__(self, name: str, rel: DetRelation) -> None:
+        self.relations[name] = rel
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations

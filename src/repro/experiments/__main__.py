@@ -1,0 +1,39 @@
+"""Run all experiment harnesses: ``python -m repro.experiments [figures...]``.
+
+Without arguments runs every figure's harness at default (laptop) sizes
+and prints the paper-style tables.  Pass figure names to select a subset,
+e.g. ``python -m repro.experiments fig10 fig17``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from . import fig10_pdbench, fig11_agg_chain, fig12_tpch, fig13_micro
+from . import fig14_join_opt, fig15_agg_accuracy, fig16_multijoin, fig17_realworld
+
+EXPERIMENTS = {
+    "fig10": fig10_pdbench.main,
+    "fig11": fig11_agg_chain.main,
+    "fig12": fig12_tpch.main,
+    "fig13": fig13_micro.main,
+    "fig14": fig14_join_opt.main,
+    "fig15": fig15_agg_accuracy.main,
+    "fig16": fig16_multijoin.main,
+    "fig17": fig17_realworld.main,
+}
+
+
+def main(argv: list[str]) -> int:
+    wanted = argv or sorted(EXPERIMENTS)
+    unknown = [w for w in wanted if w not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {sorted(EXPERIMENTS)}")
+        return 2
+    for name in wanted:
+        EXPERIMENTS[name]()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,63 @@
+"""Shared utilities for the experiment harnesses.
+
+Every ``fig*`` module exposes ``run(...) -> list[dict]`` returning one row
+per measured configuration and a ``main()`` that prints the rows as the
+table/series the paper reports.  The pytest-benchmark files under
+``benchmarks/`` wrap the same hot paths.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["time_call", "format_table", "print_experiment"]
+
+
+def time_call(fn: Callable[[], Any], repeat: int = 1) -> Tuple[float, Any]:
+    """Best-of-``repeat`` wall-clock timing; returns (seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def format_table(rows: Sequence[Dict[str, Any]], columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns or rows[0].keys())
+    rendered = [[_fmt(row.get(c)) for c in columns] for row in rows]
+    widths = [
+        max(len(columns[i]), max(len(r[i]) for r in rendered))
+        for i in range(len(columns))
+    ]
+    lines = [
+        "  ".join(c.ljust(w) for c, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.1f}"
+        if abs(value) >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.2e}"
+    return str(value)
+
+
+def print_experiment(title: str, rows: Sequence[Dict[str, Any]]) -> None:
+    print(f"\n== {title} ==")
+    print(format_table(rows))

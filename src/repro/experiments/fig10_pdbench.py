@@ -1,0 +1,134 @@
+"""Experiment E1/E2 — Figure 10: PDBench SPJ queries across systems.
+
+Figure 10a sweeps the amount of uncertainty (2/5/10/30 % of cells) at a
+fixed scale; Figure 10b sweeps the database size at 2 % uncertainty.  Both
+report each system's runtime relative to deterministic SGQP (``Det``) over
+the PDBench select-project-join queries.
+
+Systems: Det, UA-DB, AU-DB, Libkin, MayBMS (possible answers), MCDB
+(10 samples).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..algebra.evaluator import EvalConfig, evaluate_audb
+from ..baselines.libkin import evaluate_libkin, null_db_from_xdb
+from ..baselines.maybms import evaluate_maybms_possible
+from ..baselines.mcdb import run_mcdb
+from ..baselines.uadb import UADatabase, evaluate_uadb
+from ..core.relation import AUDatabase
+from ..db.engine import evaluate_det
+from ..tpch.pdbench import make_pdbench
+from ..tpch.queries import pdbench_spj_queries
+from .common import print_experiment, time_call
+
+__all__ = ["SYSTEMS", "run_uncertainty_sweep", "run_scale_sweep", "main"]
+
+AUDB_CONFIG = EvalConfig(join_buckets=32, aggregation_buckets=32)
+
+
+def _system_runners(instance) -> Dict[str, Callable[[], None]]:
+    queries = pdbench_spj_queries()
+    det_world = instance.selected_world()
+    audb = AUDatabase(instance.audb().relations)
+    uadb = UADatabase.from_xdb(instance.xdb)
+    null_db = null_db_from_xdb(instance.xdb)
+
+    def run_det():
+        for plan in queries.values():
+            evaluate_det(plan, det_world)
+
+    def run_audb():
+        for plan in queries.values():
+            evaluate_audb(plan, audb, AUDB_CONFIG)
+
+    def run_uadb():
+        for plan in queries.values():
+            evaluate_uadb(plan, uadb)
+
+    def run_libkin():
+        for plan in queries.values():
+            evaluate_libkin(plan, null_db)
+
+    def run_maybms():
+        for plan in queries.values():
+            evaluate_maybms_possible(plan, instance.xdb)
+
+    def run_mcdb_all():
+        for plan in queries.values():
+            run_mcdb(plan, instance.xdb, n_samples=10)
+
+    return {
+        "Det": run_det,
+        "UA-DB": run_uadb,
+        "AU-DB": run_audb,
+        "Libkin": run_libkin,
+        "MayBMS": run_maybms,
+        "MCDB": run_mcdb_all,
+    }
+
+
+SYSTEMS = ["Det", "UA-DB", "AU-DB", "Libkin", "MayBMS", "MCDB"]
+
+
+def run_uncertainty_sweep(
+    scale: float = 0.3,
+    uncertainties=(0.02, 0.05, 0.10, 0.30),
+    repeat: int = 1,
+) -> List[dict]:
+    """Figure 10a: runtime ratio vs Det while varying uncertainty."""
+    rows: List[dict] = []
+    for u in uncertainties:
+        instance = make_pdbench(scale=scale, uncertainty=u)
+        runners = _system_runners(instance)
+        det_time, _ = time_call(runners["Det"], repeat)
+        for system in SYSTEMS:
+            seconds, _ = time_call(runners[system], repeat)
+            rows.append(
+                {
+                    "uncertainty": f"{int(u * 100)}%",
+                    "system": system,
+                    "seconds": seconds,
+                    "ratio_vs_det": seconds / det_time if det_time else float("inf"),
+                }
+            )
+    return rows
+
+
+def run_scale_sweep(
+    scales=(0.1, 0.3, 1.0), uncertainty: float = 0.02, repeat: int = 1
+) -> List[dict]:
+    """Figure 10b: runtime ratio vs Det while varying database size."""
+    rows: List[dict] = []
+    for scale in scales:
+        instance = make_pdbench(scale=scale, uncertainty=uncertainty)
+        runners = _system_runners(instance)
+        det_time, _ = time_call(runners["Det"], repeat)
+        for system in SYSTEMS:
+            seconds, _ = time_call(runners[system], repeat)
+            rows.append(
+                {
+                    "scale": scale,
+                    "system": system,
+                    "seconds": seconds,
+                    "ratio_vs_det": seconds / det_time if det_time else float("inf"),
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    print_experiment(
+        "Figure 10a: PDBench SPJ, varying uncertainty (ratio vs Det)",
+        run_uncertainty_sweep(),
+    )
+    print_experiment(
+        "Figure 10b: PDBench SPJ, varying scale at 2% uncertainty",
+        run_scale_sweep(),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,159 @@
+"""Experiments E5-E8 — Figure 13: aggregation micro-benchmarks.
+
+* 13a: runtime vs number of group-by attributes (5 % uncertainty);
+* 13b: runtime vs number of aggregation functions (1 group-by);
+* 13c: runtime vs attribute-range width for several compression budgets;
+* 13d: compression budget CT vs runtime *and* mean result-range width
+  (the accuracy/performance trade-off).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..algebra.ast import Aggregate, TableRef
+from ..algebra.evaluator import EvalConfig, evaluate_audb
+from ..core.aggregation import agg_sum
+from ..core.relation import AUDatabase
+from ..db.engine import evaluate_det
+from ..db.storage import DetDatabase
+from ..metrics import mean_numeric_range
+from ..workloads.micro import micro_instance
+from .common import print_experiment, time_call
+
+__all__ = [
+    "run_group_by_sweep",
+    "run_agg_function_sweep",
+    "run_attribute_range_sweep",
+    "run_compression_tradeoff",
+    "main",
+]
+
+
+def _setup(n_rows, n_cols, uncertainty, range_fraction=1.0, seed=9,
+           group_domain=(1, 100)):
+    _det, xrel = micro_instance(
+        n_rows,
+        n_cols=n_cols,
+        uncertainty=uncertainty,
+        range_fraction=range_fraction,
+        seed=seed,
+        group_domain=group_domain,
+    )
+    det_db = DetDatabase({"t": xrel.selected_world()})
+    audb = AUDatabase({"t": xrel.to_audb()})
+    return det_db, audb
+
+
+def run_group_by_sweep(
+    n_rows: int = 3000,
+    n_cols: int = 40,
+    group_counts=(1, 5, 10, 20, 39),
+    uncertainty: float = 0.05,
+) -> List[dict]:
+    """Figure 13a: SUM grouped by 1..n-1 attributes."""
+    det_db, audb = _setup(n_rows, n_cols, uncertainty)
+    config = EvalConfig(aggregation_buckets=25)
+    rows: List[dict] = []
+    for k in group_counts:
+        keys = [f"a{i}" for i in range(k)]
+        plan = Aggregate(TableRef("t"), keys, [agg_sum(f"a{n_cols - 1}", "s")])
+        t_audb, _ = time_call(lambda: evaluate_audb(plan, audb, config))
+        t_det, _ = time_call(lambda: evaluate_det(plan, det_db))
+        rows.append(
+            {
+                "group_by_attrs": k,
+                "AU-DB": t_audb,
+                "Det": t_det,
+                "ratio": t_audb / t_det if t_det else float("inf"),
+            }
+        )
+    return rows
+
+
+def run_agg_function_sweep(
+    n_rows: int = 3000,
+    n_cols: int = 40,
+    agg_counts=(1, 5, 10, 20, 39),
+    uncertainty: float = 0.05,
+) -> List[dict]:
+    """Figure 13b: varying the number of aggregation functions."""
+    det_db, audb = _setup(n_rows, n_cols, uncertainty, group_domain=(1, 20))
+    config = EvalConfig(aggregation_buckets=25)
+    rows: List[dict] = []
+    for k in agg_counts:
+        aggs = [agg_sum(f"a{i + 1}", f"s{i}") for i in range(k)]
+        plan = Aggregate(TableRef("t"), ["a0"], aggs)
+        t_audb, _ = time_call(lambda: evaluate_audb(plan, audb, config))
+        t_det, _ = time_call(lambda: evaluate_det(plan, det_db))
+        rows.append(
+            {
+                "agg_functions": k,
+                "AU-DB": t_audb,
+                "Det": t_det,
+                "ratio": t_audb / t_det if t_det else float("inf"),
+            }
+        )
+    return rows
+
+
+def run_attribute_range_sweep(
+    n_rows: int = 3000,
+    range_fractions=(0.0, 0.25, 0.5, 0.75, 1.0),
+    cts=(4, 32, 256, 512),
+    uncertainty: float = 0.05,
+) -> List[dict]:
+    """Figure 13c: attribute-range width vs runtime, per compression CT."""
+    rows: List[dict] = []
+    for frac in range_fractions:
+        det_db, audb = _setup(
+            n_rows, 5, uncertainty, range_fraction=frac,
+            group_domain=(1, 100_000),
+        )
+        plan = Aggregate(TableRef("t"), ["a0"], [agg_sum("a1", "s")])
+        for ct in cts:
+            config = EvalConfig(aggregation_buckets=ct)
+            seconds, _ = time_call(lambda: evaluate_audb(plan, audb, config))
+            rows.append(
+                {
+                    "range_fraction": frac,
+                    "CT": ct,
+                    "seconds": seconds,
+                }
+            )
+    return rows
+
+
+def run_compression_tradeoff(
+    n_rows: int = 2000,
+    cts=(4, 32, 256, 4096, 65536),
+    uncertainty: float = 0.10,
+) -> List[dict]:
+    """Figure 13d: compression budget vs runtime and mean bound width."""
+    det_db, audb = _setup(
+        n_rows, 5, uncertainty, group_domain=(1, 10_000),
+    )
+    plan = Aggregate(TableRef("t"), ["a0"], [agg_sum("a1", "s")])
+    rows: List[dict] = []
+    for ct in cts:
+        config = EvalConfig(aggregation_buckets=ct)
+        seconds, result = time_call(lambda: evaluate_audb(plan, audb, config))
+        rows.append(
+            {
+                "CT": ct,
+                "seconds": seconds,
+                "mean_range": mean_numeric_range(result, "s"),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    print_experiment("Figure 13a: varying #group-by attributes", run_group_by_sweep())
+    print_experiment("Figure 13b: varying #aggregation functions", run_agg_function_sweep())
+    print_experiment("Figure 13c: varying attribute range (seconds)", run_attribute_range_sweep())
+    print_experiment("Figure 13d: compression trade-off", run_compression_tradeoff())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,218 @@
+"""Exact ground truth over block-independent (x-) relations.
+
+The accuracy experiments (Figures 15 and 17) compare system outputs
+against the *precise* certain/possible answers and maximally tight
+aggregate bounds.  Enumerating every possible world is exponential, but
+for single-relation queries over x-DBs block independence makes the exact
+answers computable in polynomial time:
+
+* a projected tuple is **possible** iff some alternative produces it;
+* it is **certain** iff some non-optional block produces it under *every*
+  alternative;
+* exact SUM/COUNT bounds per group decompose into per-block minimum and
+  maximum contributions;
+* exact MIN/MAX bounds follow from per-block mandatory/possible values.
+
+These are the ground-truth oracles PDBench-style experiments rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.ranges import domain_max, domain_min
+from ..incomplete.xdb import XRelation
+
+__all__ = [
+    "spj_possible_tuples",
+    "spj_certain_tuples",
+    "group_values",
+    "certain_group_values",
+    "exact_sum_bounds",
+    "exact_count_bounds",
+    "exact_minmax_bounds",
+    "true_group_contributors",
+]
+
+Predicate = Callable[[Dict[str, Any]], bool]
+Row = Tuple[Any, ...]
+
+
+def _project(alt: Row, idx: Sequence[int]) -> Row:
+    return tuple(alt[i] for i in idx)
+
+
+def spj_possible_tuples(
+    xrel: XRelation, predicate: Predicate, project_idx: Sequence[int]
+) -> Set[Row]:
+    """All tuples some world's select-project query result contains."""
+    out: Set[Row] = set()
+    for xt in xrel.xtuples:
+        for alt in xt.alternatives:
+            if predicate(dict(zip(xrel.schema, alt))):
+                out.add(_project(alt, project_idx))
+    return out
+
+
+def spj_certain_tuples(
+    xrel: XRelation, predicate: Predicate, project_idx: Sequence[int]
+) -> Set[Row]:
+    """Tuples present in every world's result.
+
+    A tuple is certain when some non-optional block yields it (satisfying
+    the predicate) under every alternative.  (Distinct blocks producing it
+    in complementary worlds cannot occur under block independence unless
+    one block already guarantees it — different blocks vary independently.)
+    """
+    out: Set[Row] = set()
+    for xt in xrel.xtuples:
+        if xt.optional:
+            continue
+        projected = set()
+        ok = True
+        for alt in xt.alternatives:
+            if not predicate(dict(zip(xrel.schema, alt))):
+                ok = False
+                break
+            projected.add(_project(alt, project_idx))
+        if ok and len(projected) == 1:
+            out.add(next(iter(projected)))
+    return out
+
+
+def group_values(xrel: XRelation, group_idx: Sequence[int]) -> Set[Row]:
+    """All possible group-by values."""
+    out: Set[Row] = set()
+    for xt in xrel.xtuples:
+        for alt in xt.alternatives:
+            out.add(_project(alt, group_idx))
+    return out
+
+
+def certain_group_values(xrel: XRelation, group_idx: Sequence[int]) -> Set[Row]:
+    """Group values guaranteed to appear in every world."""
+    out: Set[Row] = set()
+    for xt in xrel.xtuples:
+        if xt.optional:
+            continue
+        values = {_project(alt, group_idx) for alt in xt.alternatives}
+        if len(values) == 1:
+            out.add(next(iter(values)))
+    return out
+
+
+def true_group_contributors(
+    xrel: XRelation, group_idx: Sequence[int]
+) -> Dict[Row, int]:
+    """Per possible group value: how many blocks can truly contribute."""
+    counts: Dict[Row, int] = {}
+    for xt in xrel.xtuples:
+        values = {_project(alt, group_idx) for alt in xt.alternatives}
+        for v in values:
+            counts[v] = counts.get(v, 0) + 1
+    return counts
+
+
+def exact_sum_bounds(
+    xrel: XRelation,
+    group_idx: Sequence[int],
+    value_of: Callable[[Row], float],
+) -> Dict[Row, Tuple[float, float]]:
+    """Maximally tight SUM bounds per possible group (block decomposition).
+
+    For each block and group value ``v``: the block's contribution ranges
+    over the values of alternatives matching ``v`` plus 0 whenever the
+    block can avoid the group (an alternative with a different group value
+    or optionality).
+    """
+    bounds: Dict[Row, Tuple[float, float]] = {}
+    for v in group_values(xrel, group_idx):
+        lo_total = 0.0
+        hi_total = 0.0
+        for xt in xrel.xtuples:
+            matching = [
+                value_of(alt)
+                for alt in xt.alternatives
+                if _project(alt, group_idx) == v
+            ]
+            if not matching:
+                continue
+            can_avoid = xt.optional or len(matching) < len(xt.alternatives)
+            lo = min(matching)
+            hi = max(matching)
+            if can_avoid:
+                lo = min(lo, 0.0)
+                hi = max(hi, 0.0)
+            lo_total += lo
+            hi_total += hi
+        bounds[v] = (lo_total, hi_total)
+    return bounds
+
+
+def exact_count_bounds(
+    xrel: XRelation, group_idx: Sequence[int]
+) -> Dict[Row, Tuple[int, int]]:
+    """Maximally tight COUNT(*) bounds per possible group."""
+    bounds: Dict[Row, Tuple[int, int]] = {}
+    for v in group_values(xrel, group_idx):
+        lo_total = 0
+        hi_total = 0
+        for xt in xrel.xtuples:
+            matching = sum(
+                1 for alt in xt.alternatives if _project(alt, group_idx) == v
+            )
+            if matching == 0:
+                continue
+            must_match = (not xt.optional) and matching == len(xt.alternatives)
+            lo_total += 1 if must_match else 0
+            hi_total += 1
+        bounds[v] = (lo_total, hi_total)
+    return bounds
+
+
+def exact_minmax_bounds(
+    xrel: XRelation,
+    group_idx: Sequence[int],
+    value_of: Callable[[Row], Any],
+    kind: str = "max",
+) -> Dict[Row, Tuple[Any, Any]]:
+    """Maximally tight MIN/MAX bounds per possible group."""
+    if kind not in {"min", "max"}:
+        raise ValueError(kind)
+    bounds: Dict[Row, Tuple[Any, Any]] = {}
+    for v in group_values(xrel, group_idx):
+        possible_vals: List[Any] = []
+        mandatory_worst: List[Any] = []
+        for xt in xrel.xtuples:
+            matching = [
+                value_of(alt)
+                for alt in xt.alternatives
+                if _project(alt, group_idx) == v
+            ]
+            if not matching:
+                continue
+            possible_vals.extend(matching)
+            must_match = (not xt.optional) and len(matching) == len(xt.alternatives)
+            if must_match:
+                # worst case for the aggregate among the block's choices
+                mandatory_worst.append(
+                    domain_max(matching) if kind == "min" else domain_min(matching)
+                )
+        if not possible_vals:
+            continue
+        if kind == "min":
+            lo = domain_min(possible_vals)
+            hi = (
+                domain_min(mandatory_worst)
+                if mandatory_worst
+                else domain_max(possible_vals)
+            )
+        else:
+            hi = domain_max(possible_vals)
+            lo = (
+                domain_max(mandatory_worst)
+                if mandatory_worst
+                else domain_min(possible_vals)
+            )
+        bounds[v] = (lo, hi)
+    return bounds

@@ -1,0 +1,212 @@
+"""C-tables, V-tables and Codd tables with finite variable domains.
+
+A C-table (Imielinski & Lipski [38], Section 11.3) is a relation whose
+attribute values may be variables, together with a *global condition* and a
+per-tuple *local condition* over those variables.  Every valuation of the
+variables that satisfies the global condition induces one possible world
+containing the tuples whose local conditions hold (set semantics).
+
+The paper translates C-tables to AU-DBs using a constraint solver to derive
+attribute bounds and tautology/satisfiability of local conditions.  Since
+computing tight bounds is NP-hard (Theorem 2), we restrict variables to
+finite domains and play the solver by exhaustive enumeration — exact for
+small instances, which is what the tests and accuracy experiments need.
+
+V-tables are C-tables without conditions (labeled nulls may repeat); Codd
+tables additionally use each null only once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.expressions import Const, Expression, Var
+from ..core.ranges import RangeValue, domain_max, domain_min
+from ..core.relation import AURelation
+from ..db.storage import DetRelation
+from .worlds import IncompleteDatabase
+
+__all__ = ["CTable", "VTable", "codd_table"]
+
+TRUE = Const(True)
+
+
+@dataclass(frozen=True)
+class _CRow:
+    values: Tuple[Any, ...]  # constants or Var instances
+    condition: Expression
+
+
+class CTable:
+    """A C-table over variables with finite domains.
+
+    Parameters
+    ----------
+    schema:
+        Attribute names.
+    domains:
+        ``{variable_name: [possible values]}`` for every variable used in
+        tuple values or conditions.
+    global_condition:
+        Expression over variables; valuations violating it induce no world.
+    """
+
+    def __init__(
+        self,
+        schema: Sequence[str],
+        domains: Mapping[str, Sequence[Any]],
+        global_condition: Expression = TRUE,
+    ) -> None:
+        self.schema = tuple(schema)
+        self.domains: Dict[str, List[Any]] = {
+            name: list(values) for name, values in domains.items()
+        }
+        for name, values in self.domains.items():
+            if not values:
+                raise ValueError(f"variable {name!r} has an empty domain")
+        self.global_condition = global_condition
+        self.rows: List[_CRow] = []
+
+    def add(
+        self, values: Sequence[Any], condition: Expression = TRUE
+    ) -> None:
+        """Add a tuple; values may mix constants and ``Var`` references."""
+        for v in values:
+            if isinstance(v, Var) and v.name not in self.domains:
+                raise KeyError(f"variable {v.name!r} has no declared domain")
+        for name in condition.variables():
+            if name not in self.domains:
+                raise KeyError(f"condition variable {name!r} has no domain")
+        self.rows.append(_CRow(tuple(values), condition))
+
+    # ------------------------------------------------------------------
+    # valuations / worlds
+    # ------------------------------------------------------------------
+    def valuations(self, limit: int = 100_000) -> List[Dict[str, Any]]:
+        """All valuations satisfying the global condition."""
+        names = sorted(self.domains)
+        count = 1
+        for n in names:
+            count *= len(self.domains[n])
+            if count > limit:
+                raise ValueError("variable domain product too large")
+        out = []
+        for combo in itertools.product(*(self.domains[n] for n in names)):
+            valuation = dict(zip(names, combo))
+            if bool(self.global_condition.eval(valuation)):
+                out.append(valuation)
+        return out
+
+    def _instantiate(self, row: _CRow, valuation: Mapping[str, Any]) -> Tuple[Any, ...]:
+        return tuple(
+            valuation[v.name] if isinstance(v, Var) else v for v in row.values
+        )
+
+    def world_for(self, valuation: Mapping[str, Any]) -> DetRelation:
+        """The (set-semantics) world induced by one valuation."""
+        rel = DetRelation(self.schema)
+        seen = set()
+        for row in self.rows:
+            if bool(row.condition.eval(dict(valuation))):
+                t = self._instantiate(row, valuation)
+                if t not in seen:
+                    seen.add(t)
+                    rel.add(t, 1)
+        return rel
+
+    def enumerate_worlds(self, limit: int = 100_000) -> List[DetRelation]:
+        return [self.world_for(v) for v in self.valuations(limit)]
+
+    # ------------------------------------------------------------------
+    # translation (Section 11.3, Theorem 11)
+    # ------------------------------------------------------------------
+    def to_audb(
+        self, sg_valuation: Optional[Mapping[str, Any]] = None
+    ) -> AURelation:
+        """``trans_C-table``: one AU-tuple per C-table row.
+
+        Attribute bounds are the min/max of the instantiated value over
+        valuations that satisfy both conditions ("solving the optimization
+        problem" by enumeration); the annotation is ``(isTautology,
+        holds-in-SG, isSatisfiable)``.
+        """
+        valuations = self.valuations()
+        if not valuations:
+            raise ValueError("global condition is unsatisfiable")
+        if sg_valuation is None:
+            sg_valuation = valuations[0]
+        rel = AURelation(self.schema)
+        for row in self.rows:
+            satisfying = [
+                v for v in valuations if bool(row.condition.eval(dict(v)))
+            ]
+            if not satisfying:
+                continue  # never possible
+            is_tautology = len(satisfying) == len(valuations)
+            in_sg = bool(row.condition.eval(dict(sg_valuation)))
+            sg_values = self._instantiate(row, sg_valuation)
+            values = []
+            for i in range(len(self.schema)):
+                observed = [self._instantiate(row, v)[i] for v in satisfying]
+                lo, hi = domain_min(observed), domain_max(observed)
+                sg_v = sg_values[i]
+                # the SG instantiation may fall outside the satisfying
+                # set's hull when the row is absent from the SG world;
+                # widen so the triple stays well formed.
+                lo = domain_min((lo, sg_v))
+                hi = domain_max((hi, sg_v))
+                values.append(RangeValue(lo, sg_v, hi))
+            rel.add(values, (1 if is_tautology else 0, 1 if in_sg else 0, 1))
+        return rel
+
+    def to_incomplete(self, limit: int = 100_000) -> IncompleteDatabase:
+        """Explicit incomplete database wrapper (single-relation worlds)."""
+        from ..db.storage import DetDatabase
+
+        valuations = self.valuations(limit)
+        worlds = [DetDatabase({"R": self.world_for(v)}) for v in valuations]
+        return IncompleteDatabase(worlds, selected_index=0)
+
+
+class VTable(CTable):
+    """A V-table: labeled nulls, no conditions."""
+
+    def __init__(
+        self, schema: Sequence[str], domains: Mapping[str, Sequence[Any]]
+    ) -> None:
+        super().__init__(schema, domains, TRUE)
+
+    def add(self, values: Sequence[Any], condition: Expression = TRUE) -> None:
+        if condition is not TRUE:
+            raise ValueError("V-tables do not support local conditions")
+        super().add(values, TRUE)
+
+
+def codd_table(
+    schema: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    null_domain: Sequence[Any],
+    null_marker: Any = None,
+) -> VTable:
+    """Build a Codd table: every ``null_marker`` becomes a fresh variable
+    ranging over ``null_domain``."""
+    domains: Dict[str, List[Any]] = {}
+    table_rows: List[List[Any]] = []
+    counter = 0
+    for row in rows:
+        out_row: List[Any] = []
+        for v in row:
+            if v is null_marker or (null_marker is None and v is None):
+                name = f"_null{counter}"
+                counter += 1
+                domains[name] = list(null_domain)
+                out_row.append(Var(name))
+            else:
+                out_row.append(v)
+        table_rows.append(out_row)
+    table = VTable(schema, domains)
+    for row in table_rows:
+        table.add(row)
+    return table

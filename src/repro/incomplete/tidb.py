@@ -1,0 +1,152 @@
+"""Tuple-independent databases (TI-DBs) and their AU-DB translation.
+
+A TI-DB marks each tuple optional or certain (probabilistic TI-DBs attach a
+marginal probability).  The represented incomplete database contains every
+subset of the optional tuples alongside all certain ones (Section 11.1).
+
+``to_audb`` implements ``trans_TI-DB`` (Theorem 9): attribute values stay
+certain, the tuple annotation is ``(1,1,1)`` for certain tuples and
+``(0, sg, 1)`` for optional ones, where the SG multiplicity is 1 iff the
+tuple's probability is at least 0.5 (the most likely world).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.relation import AUDatabase, AURelation
+from ..db.storage import DetDatabase, DetRelation
+from .worlds import IncompleteDatabase
+
+__all__ = ["TIRow", "TIRelation", "TIDatabase"]
+
+
+@dataclass(frozen=True)
+class TIRow:
+    """One TI-DB tuple: values plus marginal probability (1.0 = certain)."""
+
+    values: Tuple[Any, ...]
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.probability <= 1.0:
+            raise ValueError("tuple probability must be in (0, 1]")
+
+    @property
+    def certain(self) -> bool:
+        return self.probability >= 1.0
+
+    @property
+    def in_selected_world(self) -> bool:
+        return self.probability >= 0.5
+
+
+class TIRelation:
+    """A tuple-independent relation."""
+
+    def __init__(self, schema: Sequence[str], rows: Iterable[TIRow] = ()) -> None:
+        self.schema = tuple(schema)
+        self.rows: List[TIRow] = list(rows)
+
+    def add(self, values: Sequence[Any], probability: float = 1.0) -> None:
+        self.rows.append(TIRow(tuple(values), probability))
+
+    # ------------------------------------------------------------------
+    def to_audb(self) -> AURelation:
+        """``trans_TI-DB`` of Section 11.1 (bound preserving, Theorem 9)."""
+        rel = AURelation(self.schema)
+        for row in self.rows:
+            lb = 1 if row.certain else 0
+            sg = 1 if row.in_selected_world else 0
+            rel.add(row.values, (lb, sg, 1))
+        return rel
+
+    def selected_world(self) -> DetRelation:
+        rel = DetRelation(self.schema)
+        for row in self.rows:
+            if row.in_selected_world:
+                rel.add(row.values, 1)
+        return rel
+
+    def sample_world(self, rng: random.Random) -> DetRelation:
+        rel = DetRelation(self.schema)
+        for row in self.rows:
+            if row.certain or rng.random() < row.probability:
+                rel.add(row.values, 1)
+        return rel
+
+    def enumerate_worlds(self, limit: int = 4096) -> List[DetRelation]:
+        """All possible worlds (exponential; guarded by ``limit``)."""
+        optional = [r for r in self.rows if not r.certain]
+        certain = [r for r in self.rows if r.certain]
+        if 2 ** len(optional) > limit:
+            raise ValueError(
+                f"too many worlds (2^{len(optional)}); raise limit or sample"
+            )
+        worlds = []
+        for mask in itertools.product((False, True), repeat=len(optional)):
+            rel = DetRelation(self.schema)
+            for row in certain:
+                rel.add(row.values, 1)
+            for include, row in zip(mask, optional):
+                if include:
+                    rel.add(row.values, 1)
+            worlds.append(rel)
+        return worlds
+
+
+class TIDatabase:
+    """A database of tuple-independent relations."""
+
+    def __init__(self, relations: Optional[Dict[str, TIRelation]] = None) -> None:
+        self.relations: Dict[str, TIRelation] = dict(relations or {})
+
+    def __setitem__(self, name: str, rel: TIRelation) -> None:
+        self.relations[name] = rel
+
+    def __getitem__(self, name: str) -> TIRelation:
+        return self.relations[name]
+
+    def to_audb(self) -> AUDatabase:
+        return AUDatabase(
+            {name: rel.to_audb() for name, rel in self.relations.items()}
+        )
+
+    def selected_world(self) -> DetDatabase:
+        return DetDatabase(
+            {name: rel.selected_world() for name, rel in self.relations.items()}
+        )
+
+    def sample_world(self, rng: random.Random) -> DetDatabase:
+        return DetDatabase(
+            {name: rel.sample_world(rng) for name, rel in self.relations.items()}
+        )
+
+    def enumerate_incomplete(self, limit: int = 4096) -> IncompleteDatabase:
+        """Explicit incomplete database (cartesian product of per-relation
+        worlds); the selected world is placed first."""
+        names = sorted(self.relations)
+        per_relation = [self.relations[n].enumerate_worlds(limit) for n in names]
+        count = 1
+        for worlds in per_relation:
+            count *= len(worlds)
+            if count > limit:
+                raise ValueError("too many combined worlds; raise limit")
+        worlds = []
+        for combo in itertools.product(*per_relation):
+            worlds.append(DetDatabase(dict(zip(names, combo))))
+        selected = self.selected_world()
+        sel_index = _find_world(worlds, selected, names)
+        return IncompleteDatabase(worlds, selected_index=sel_index)
+
+
+def _find_world(
+    worlds: Sequence[DetDatabase], target: DetDatabase, names: Sequence[str]
+) -> int:
+    for i, world in enumerate(worlds):
+        if all(world[n].rows == target[n].rows for n in names):
+            return i
+    raise ValueError("selected world not among enumerated worlds")

@@ -1,0 +1,125 @@
+"""Explicit incomplete databases and the brute-force ground-truth oracle.
+
+An incomplete ``N``-database is a finite set of possible worlds
+(Definition 1), each a deterministic database.  Queries use possible-world
+semantics (Equation 2): evaluate in every world.  This module provides
+
+* :class:`IncompleteDatabase` — an explicit set of worlds;
+* :func:`query_worlds` — possible-world query evaluation;
+* :func:`certain_bag` / :func:`possible_bag` — the glb/lub annotations of
+  Section 3.2.1 (min/max multiplicity across worlds for bags);
+* :func:`exact_attribute_bounds` — maximally tight per-group attribute
+  bounds, the oracle used by the accuracy experiments (Figures 15/17).
+
+All of this is exponential in the number of uncertain choices and only
+meant for small test/accuracy instances; the AU-DB machinery is the
+tractable path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..algebra.ast import Plan
+from ..db.engine import evaluate_det
+from ..db.storage import DetDatabase, DetRelation
+from ..core.ranges import domain_max, domain_min
+
+__all__ = [
+    "IncompleteDatabase",
+    "query_worlds",
+    "certain_bag",
+    "possible_bag",
+    "exact_attribute_bounds",
+]
+
+
+class IncompleteDatabase:
+    """A finite, explicit set of possible worlds.
+
+    ``probabilities`` (optional) turns it into a probabilistic database;
+    they must sum to ~1.  ``selected_index`` identifies the selected-guess
+    world used when constructing AU-DBs / running SGQP.
+    """
+
+    def __init__(
+        self,
+        worlds: Sequence[DetDatabase],
+        probabilities: Optional[Sequence[float]] = None,
+        selected_index: int = 0,
+    ) -> None:
+        if not worlds:
+            raise ValueError("an incomplete database needs at least one world")
+        if probabilities is not None and len(probabilities) != len(worlds):
+            raise ValueError("one probability per world required")
+        if not 0 <= selected_index < len(worlds):
+            raise ValueError("selected_index out of range")
+        self.worlds: List[DetDatabase] = list(worlds)
+        self.probabilities = list(probabilities) if probabilities else None
+        self.selected_index = selected_index
+
+    def __len__(self) -> int:
+        return len(self.worlds)
+
+    def __iter__(self):
+        return iter(self.worlds)
+
+    @property
+    def selected_world(self) -> DetDatabase:
+        return self.worlds[self.selected_index]
+
+
+def query_worlds(plan: Plan, incomplete: IncompleteDatabase) -> List[DetRelation]:
+    """Possible-world query semantics: ``Q(D) = {Q(W) | W in D}``."""
+    return [evaluate_det(plan, world) for world in incomplete.worlds]
+
+
+def certain_bag(results: Sequence[DetRelation]) -> Dict[Tuple[Any, ...], int]:
+    """``cert_N``: per-tuple minimum multiplicity across all worlds."""
+    if not results:
+        return {}
+    certain: Dict[Tuple[Any, ...], int] = dict(results[0].rows)
+    for rel in results[1:]:
+        for t in list(certain):
+            m = rel.multiplicity(t)
+            if m < certain[t]:
+                certain[t] = m
+    return {t: m for t, m in certain.items() if m > 0}
+
+
+def possible_bag(results: Sequence[DetRelation]) -> Dict[Tuple[Any, ...], int]:
+    """``poss_N``: per-tuple maximum multiplicity across all worlds."""
+    possible: Dict[Tuple[Any, ...], int] = {}
+    for rel in results:
+        for t, m in rel.tuples():
+            if m > possible.get(t, 0):
+                possible[t] = m
+    return possible
+
+
+def exact_attribute_bounds(
+    results: Sequence[DetRelation],
+    key_columns: Sequence[str],
+) -> Dict[Tuple[Any, ...], List[Tuple[Any, Any]]]:
+    """Maximally tight per-attribute bounds per key group.
+
+    Groups every world's result tuples by ``key_columns`` and returns, for
+    each key, the ``(min, max)`` observed for every non-key attribute
+    across all worlds — the tight bounds an ideal system would report.
+    """
+    if not results:
+        return {}
+    schema = results[0].schema
+    key_idx = [schema.index(k) for k in key_columns]
+    value_idx = [i for i in range(len(schema)) if i not in key_idx]
+    observed: Dict[Tuple[Any, ...], List[List[Any]]] = {}
+    for rel in results:
+        for t, _m in rel.tuples():
+            key = tuple(t[i] for i in key_idx)
+            bucket = observed.setdefault(key, [[] for _ in value_idx])
+            for pos, i in enumerate(value_idx):
+                bucket[pos].append(t[i])
+    return {
+        key: [(domain_min(vals), domain_max(vals)) for vals in buckets]
+        for key, buckets in observed.items()
+    }

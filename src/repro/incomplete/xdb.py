@@ -1,0 +1,222 @@
+"""x-DBs (block-independent databases) and their AU-DB translation.
+
+An x-tuple (Section 11.2, [7]) is a set of mutually exclusive alternative
+tuples, optionally with probabilities summing to at most 1; the x-tuple is
+*optional* when its total probability is below 1.  A possible world picks
+at most one alternative per x-tuple (exactly one for non-optional
+x-tuples), independently across x-tuples.
+
+``to_audb`` implements ``trans_x-DB`` (Theorem 10): one range-annotated
+tuple per x-tuple whose attribute bounds cover all alternatives and whose
+SG values come from the most probable alternative (``pickMax``); the tuple
+annotation is ``(1 if certain else 0, 1 if SG world keeps it else 0, 1)``.
+
+PDBench (the paper's TPC-H-based benchmark generator) produces exactly
+this model, which is why it is the workhorse of the evaluation section.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.ranges import RangeValue, domain_max, domain_min
+from ..core.relation import AUDatabase, AURelation
+from ..db.storage import DetDatabase, DetRelation
+from .worlds import IncompleteDatabase
+
+__all__ = ["XTuple", "XRelation", "XDatabase"]
+
+
+@dataclass(frozen=True)
+class XTuple:
+    """An x-tuple: alternatives with probabilities.
+
+    ``probabilities`` defaults to a uniform distribution summing to 1
+    (a required, non-optional x-tuple).
+    """
+
+    alternatives: Tuple[Tuple[Any, ...], ...]
+    probabilities: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.alternatives:
+            raise ValueError("x-tuple needs at least one alternative")
+        if not self.probabilities:
+            uniform = 1.0 / len(self.alternatives)
+            object.__setattr__(
+                self, "probabilities", tuple(uniform for _ in self.alternatives)
+            )
+        if len(self.probabilities) != len(self.alternatives):
+            raise ValueError("one probability per alternative required")
+        if sum(self.probabilities) > 1.0 + 1e-9:
+            raise ValueError("x-tuple probabilities must sum to at most 1")
+
+    @property
+    def total_probability(self) -> float:
+        return sum(self.probabilities)
+
+    @property
+    def optional(self) -> bool:
+        return self.total_probability < 1.0 - 1e-9
+
+    def pick_max(self) -> Tuple[Any, ...]:
+        """Most probable alternative (first on ties) — ``pickMax``."""
+        best = 0
+        for i in range(1, len(self.alternatives)):
+            if self.probabilities[i] > self.probabilities[best]:
+                best = i
+        return self.alternatives[best]
+
+    def sg_present(self) -> bool:
+        """Is ``pickMax`` kept in the selected-guess world?
+
+        True iff keeping the best alternative is at least as likely as the
+        x-tuple being absent (Section 11.2).
+        """
+        absent = 1.0 - self.total_probability
+        return absent <= max(self.probabilities) + 1e-12
+
+
+class XRelation:
+    """A block-independent (x-) relation."""
+
+    def __init__(self, schema: Sequence[str], xtuples: Iterable[XTuple] = ()) -> None:
+        self.schema = tuple(schema)
+        self.xtuples: List[XTuple] = list(xtuples)
+
+    def add(
+        self,
+        alternatives: Sequence[Sequence[Any]],
+        probabilities: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.xtuples.append(
+            XTuple(
+                tuple(tuple(a) for a in alternatives),
+                tuple(probabilities or ()),
+            )
+        )
+
+    def add_certain(self, values: Sequence[Any]) -> None:
+        self.add([values], [1.0])
+
+    # ------------------------------------------------------------------
+    def to_audb(self) -> AURelation:
+        """``trans_x-DB`` of Section 11.2 (bound preserving, Theorem 10)."""
+        rel = AURelation(self.schema)
+        for xt in self.xtuples:
+            sg_alt = xt.pick_max()
+            values = []
+            for i in range(len(self.schema)):
+                column = [alt[i] for alt in xt.alternatives]
+                values.append(
+                    RangeValue(domain_min(column), sg_alt[i], domain_max(column))
+                )
+            lb = 0 if xt.optional else 1
+            sg = 1 if xt.sg_present() else 0
+            rel.add(values, (lb, max(sg, lb), 1))
+        return rel
+
+    def selected_world(self) -> DetRelation:
+        rel = DetRelation(self.schema)
+        for xt in self.xtuples:
+            if xt.sg_present():
+                rel.add(xt.pick_max(), 1)
+        return rel
+
+    def sample_world(self, rng: random.Random) -> DetRelation:
+        rel = DetRelation(self.schema)
+        for xt in self.xtuples:
+            r = rng.random()
+            acc = 0.0
+            chosen: Optional[Tuple[Any, ...]] = None
+            for alt, p in zip(xt.alternatives, xt.probabilities):
+                acc += p
+                if r < acc:
+                    chosen = alt
+                    break
+            if chosen is not None:
+                rel.add(chosen, 1)
+        return rel
+
+    def enumerate_worlds(self, limit: int = 4096) -> List[DetRelation]:
+        """All possible worlds (guarded by ``limit``)."""
+        options: List[List[Optional[Tuple[Any, ...]]]] = []
+        count = 1
+        for xt in self.xtuples:
+            opts: List[Optional[Tuple[Any, ...]]] = list(xt.alternatives)
+            if xt.optional:
+                opts.append(None)
+            options.append(opts)
+            count *= len(opts)
+            if count > limit:
+                raise ValueError(
+                    f"too many worlds ({count}+); raise limit or sample"
+                )
+        worlds = []
+        for combo in itertools.product(*options):
+            rel = DetRelation(self.schema)
+            for choice in combo:
+                if choice is not None:
+                    rel.add(choice, 1)
+            worlds.append(rel)
+        return worlds
+
+    def uncertain_tuple_fraction(self) -> float:
+        if not self.xtuples:
+            return 0.0
+        uncertain = sum(
+            1 for xt in self.xtuples if len(xt.alternatives) > 1 or xt.optional
+        )
+        return uncertain / len(self.xtuples)
+
+
+class XDatabase:
+    """A database of x-relations."""
+
+    def __init__(self, relations: Optional[Dict[str, XRelation]] = None) -> None:
+        self.relations: Dict[str, XRelation] = dict(relations or {})
+
+    def __setitem__(self, name: str, rel: XRelation) -> None:
+        self.relations[name] = rel
+
+    def __getitem__(self, name: str) -> XRelation:
+        return self.relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def to_audb(self) -> AUDatabase:
+        return AUDatabase(
+            {name: rel.to_audb() for name, rel in self.relations.items()}
+        )
+
+    def selected_world(self) -> DetDatabase:
+        return DetDatabase(
+            {name: rel.selected_world() for name, rel in self.relations.items()}
+        )
+
+    def sample_world(self, rng: random.Random) -> DetDatabase:
+        return DetDatabase(
+            {name: rel.sample_world(rng) for name, rel in self.relations.items()}
+        )
+
+    def enumerate_incomplete(self, limit: int = 4096) -> IncompleteDatabase:
+        names = sorted(self.relations)
+        per_relation = [self.relations[n].enumerate_worlds(limit) for n in names]
+        count = 1
+        for worlds in per_relation:
+            count *= len(worlds)
+            if count > limit:
+                raise ValueError("too many combined worlds; raise limit")
+        worlds = [
+            DetDatabase(dict(zip(names, combo)))
+            for combo in itertools.product(*per_relation)
+        ]
+        selected = self.selected_world()
+        for i, world in enumerate(worlds):
+            if all(world[n].rows == selected[n].rows for n in names):
+                return IncompleteDatabase(worlds, selected_index=i)
+        raise ValueError("selected world not among enumerated worlds")

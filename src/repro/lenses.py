@@ -1,0 +1,104 @@
+"""Lenses: data-cleaning operators that expose their uncertainty as AU-DBs.
+
+Section 11.4 of the paper: a *lens* applies a cleaning heuristic, selects
+one repair as the selected-guess world, and encodes the space of all
+repairs as an incomplete database.  The flagship example — and the one the
+real-world experiments (Figure 17) are built on — is the **key-repair
+lens**: tuples violating a primary key are grouped by key; one tuple per
+group is picked for the SGW while the attribute ranges of the group bound
+every possible repair.
+
+``key_repair_lens`` produces both the AU-relation (what the paper's system
+would materialize) and the underlying x-relation (one x-tuple per key
+group), which lets the ground-truth oracle and the baselines run on the
+same repair space.
+
+``make_uncertain`` mirrors the paper's ``MakeUncertain(lb, sg, ub)``
+construct for introducing attribute-level uncertainty inside queries
+(Example 16).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .core.ranges import RangeValue, domain_max, domain_min
+from .core.relation import AURelation
+from .db.storage import DetRelation
+from .incomplete.xdb import XRelation
+
+__all__ = ["KeyRepairResult", "key_repair_lens", "make_uncertain"]
+
+
+@dataclass
+class KeyRepairResult:
+    """Output of the key-repair lens."""
+
+    audb: AURelation
+    xdb: XRelation
+    selected: DetRelation
+    n_violating_keys: int
+    avg_alternatives: float
+
+
+def key_repair_lens(
+    rel: DetRelation,
+    key_columns: Sequence[str],
+    rng: Optional[random.Random] = None,
+) -> KeyRepairResult:
+    """Repair primary-key violations, keeping all repairs as uncertainty.
+
+    For every key value with multiple distinct tuples, one tuple is picked
+    (uniformly, seeded) as the selected guess; the AU-tuple's attribute
+    ranges cover all candidates.  Keys with a single tuple stay certain.
+    """
+    rng = rng or random.Random(0)
+    key_idx = [rel.attr_index(k) for k in key_columns]
+
+    groups: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+    for t, m in rel.tuples():
+        key = tuple(t[i] for i in key_idx)
+        bucket = groups.setdefault(key, [])
+        for _ in range(min(m, 1)):
+            if t not in bucket:
+                bucket.append(t)
+
+    audb = AURelation(rel.schema)
+    xrel = XRelation(rel.schema)
+    selected = DetRelation(rel.schema)
+    n_violating = 0
+    total_alternatives = 0
+
+    for key, candidates in groups.items():
+        if len(candidates) == 1:
+            t = candidates[0]
+            audb.add(t, (1, 1, 1))
+            xrel.add_certain(t)
+            selected.add(t, 1)
+            continue
+        n_violating += 1
+        total_alternatives += len(candidates)
+        pick = rng.randrange(len(candidates))
+        sg = candidates[pick]
+        values = []
+        for i in range(len(rel.schema)):
+            column = [c[i] for c in candidates]
+            values.append(
+                RangeValue(domain_min(column), sg[i], domain_max(column))
+            )
+        audb.add(values, (1, 1, 1))
+        # order alternatives so pickMax (uniform probabilities -> first
+        # alternative) matches the lens' selected guess
+        ordered = [sg] + [c for j, c in enumerate(candidates) if j != pick]
+        xrel.add(ordered)
+        selected.add(sg, 1)
+
+    avg_alt = total_alternatives / n_violating if n_violating else 0.0
+    return KeyRepairResult(audb, xrel, selected, n_violating, avg_alt)
+
+
+def make_uncertain(lb: Any, sg: Any, ub: Any) -> RangeValue:
+    """The ``MakeUncertain(e_lb, e_sg, e_ub)`` construct (Example 16)."""
+    return RangeValue(lb, sg, ub)

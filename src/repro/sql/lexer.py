@@ -1,0 +1,95 @@
+"""Tokenizer for the SQL subset supported by the frontend."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+__all__ = ["Token", "tokenize", "SqlSyntaxError"]
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING",
+    "ORDER", "LIMIT", "AS", "AND", "OR", "NOT", "JOIN", "ON", "INNER",
+    "CROSS", "UNION", "EXCEPT", "ALL", "ASC", "DESC", "TRUE", "FALSE",
+    "NULL", "IS", "IN", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END",
+}
+
+SYMBOLS = ["<>", "<=", ">=", "!=", "=", "<", ">", "(", ")", ",", "+", "-", "*", "/", "."]
+
+
+class SqlSyntaxError(ValueError):
+    """Raised on malformed SQL input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'symbol' | 'eof'
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.value}"
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Split SQL text into tokens; keywords are case-insensitive."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            j = sql.find("\n", i)
+            i = n if j < 0 else j + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while j < n:
+                if sql[j] == "'" and j + 1 < n and sql[j + 1] == "'":
+                    buf.append("'")
+                    j += 2
+                    continue
+                if sql[j] == "'":
+                    break
+                buf.append(sql[j])
+                j += 1
+            else:
+                raise SqlSyntaxError(f"unterminated string at {i}")
+            tokens.append(Token("string", "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                if sql[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("number", sql[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, i))
+            else:
+                tokens.append(Token("ident", word, i))
+            i = j
+            continue
+        for sym in SYMBOLS:
+            if sql.startswith(sym, i):
+                tokens.append(Token("symbol", sym, i))
+                i += len(sym)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens

@@ -1,0 +1,173 @@
+"""Seeded TPC-H-schema data generator (laptop-scale substrate).
+
+The paper's evaluation runs on PDBench, a modified TPC-H generator.  This
+module generates the eight TPC-H relations with the standard schema
+(dates encoded as ``yyyymmdd`` integers so comparisons stay ordinal) at a
+scale controlled by ``scale``: ``scale=1.0`` corresponds to 1/1000 of
+TPC-H SF1 (150 customers, 1 500 orders, ~6 000 lineitems), which keeps
+every benchmark laptop-friendly while preserving the relative table sizes
+and the join/aggregation shapes of the real workload.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..db.storage import DetDatabase, DetRelation
+
+__all__ = ["generate_tpch", "TPCH_SCHEMAS"]
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PART_TYPES = [
+    "ECONOMY ANODIZED STEEL", "LARGE BRUSHED BRASS", "MEDIUM POLISHED COPPER",
+    "PROMO BURNISHED NICKEL", "SMALL PLATED TIN", "STANDARD POLISHED STEEL",
+]
+RETURN_FLAGS = ["A", "N", "R"]
+LINE_STATUS = ["O", "F"]
+ORDER_STATUS = ["O", "F", "P"]
+PRIORITIES = [0, 1, 2, 3, 4]
+
+TPCH_SCHEMAS: Dict[str, Tuple[str, ...]] = {
+    "region": ("r_regionkey", "r_name"),
+    "nation": ("n_nationkey", "n_name", "n_regionkey"),
+    "supplier": ("s_suppkey", "s_name", "s_nationkey", "s_acctbal"),
+    "customer": (
+        "c_custkey", "c_name", "c_nationkey", "c_acctbal", "c_mktsegment",
+    ),
+    "part": ("p_partkey", "p_name", "p_type", "p_retailprice"),
+    "partsupp": ("ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"),
+    "orders": (
+        "o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+        "o_orderdate", "o_shippriority",
+    ),
+    "lineitem": (
+        "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber",
+        "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+        "l_returnflag", "l_linestatus", "l_shipdate",
+    ),
+}
+
+
+def _random_date(rng: random.Random, start_year: int = 1992, end_year: int = 1998) -> int:
+    year = rng.randint(start_year, end_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return year * 10000 + month * 100 + day
+
+
+def generate_tpch(scale: float = 1.0, seed: int = 42) -> DetDatabase:
+    """Generate a deterministic TPC-H-shaped database.
+
+    ``scale=1.0`` ≈ TPC-H SF 0.001 row counts; the paper's SF 0.1 / 1 / 10
+    sweep maps to ``scale`` 0.1 / 1 / 10 here.
+    """
+    rng = random.Random(seed)
+    n_customers = max(5, int(150 * scale))
+    n_suppliers = max(3, int(10 * scale))
+    n_parts = max(5, int(200 * scale))
+    n_orders = n_customers * 10
+    db = DetDatabase()
+
+    region = DetRelation(TPCH_SCHEMAS["region"])
+    for i, name in enumerate(REGIONS):
+        region.add((i, name))
+    db["region"] = region
+
+    nation = DetRelation(TPCH_SCHEMAS["nation"])
+    for i, (name, regionkey) in enumerate(NATIONS):
+        nation.add((i, name, regionkey))
+    db["nation"] = nation
+
+    supplier = DetRelation(TPCH_SCHEMAS["supplier"])
+    for i in range(1, n_suppliers + 1):
+        supplier.add(
+            (
+                i,
+                f"Supplier#{i:09d}",
+                rng.randrange(len(NATIONS)),
+                round(rng.uniform(-999.99, 9999.99), 2),
+            )
+        )
+    db["supplier"] = supplier
+
+    customer = DetRelation(TPCH_SCHEMAS["customer"])
+    for i in range(1, n_customers + 1):
+        customer.add(
+            (
+                i,
+                f"Customer#{i:09d}",
+                rng.randrange(len(NATIONS)),
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(SEGMENTS),
+            )
+        )
+    db["customer"] = customer
+
+    part = DetRelation(TPCH_SCHEMAS["part"])
+    for i in range(1, n_parts + 1):
+        part.add(
+            (
+                i,
+                f"part {i}",
+                rng.choice(PART_TYPES),
+                round(900 + (i % 1000) * 1.0 + rng.uniform(0, 100), 2),
+            )
+        )
+    db["part"] = part
+
+    partsupp = DetRelation(TPCH_SCHEMAS["partsupp"])
+    for p in range(1, n_parts + 1):
+        for s in rng.sample(range(1, n_suppliers + 1), min(2, n_suppliers)):
+            partsupp.add((p, s, round(rng.uniform(1, 1000), 2), rng.randint(1, 9999)))
+    db["partsupp"] = partsupp
+
+    orders = DetRelation(TPCH_SCHEMAS["orders"])
+    lineitem = DetRelation(TPCH_SCHEMAS["lineitem"])
+    for o in range(1, n_orders + 1):
+        custkey = rng.randint(1, n_customers)
+        orderdate = _random_date(rng)
+        n_lines = rng.randint(1, 7)
+        total = 0.0
+        for line in range(1, n_lines + 1):
+            quantity = rng.randint(1, 50)
+            extended = round(quantity * rng.uniform(900, 2000), 2)
+            total += extended
+            lineitem.add(
+                (
+                    o,
+                    rng.randint(1, n_parts),
+                    rng.randint(1, n_suppliers),
+                    line,
+                    quantity,
+                    extended,
+                    round(rng.uniform(0.0, 0.1), 2),
+                    round(rng.uniform(0.0, 0.08), 2),
+                    rng.choice(RETURN_FLAGS),
+                    rng.choice(LINE_STATUS),
+                    min(19981231, orderdate + rng.randint(1, 121)),
+                )
+            )
+        orders.add(
+            (
+                o,
+                custkey,
+                rng.choice(ORDER_STATUS),
+                round(total, 2),
+                orderdate,
+                rng.choice(PRIORITIES),
+            )
+        )
+    db["orders"] = orders
+    db["lineitem"] = lineitem
+    return db

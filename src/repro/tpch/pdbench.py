@@ -1,0 +1,73 @@
+"""PDBench: uncertain TPC-H (Section 12.1).
+
+``make_pdbench`` generates the TPC-H database at a given scale and injects
+attribute-level uncertainty à la PDBench: a chosen percentage of cells is
+replaced by up to eight alternatives drawn uniformly from the attribute's
+whole domain (the worst case for AU-DB ranges, best case for MayBMS, as
+the paper notes).  Key columns are kept certain so joins remain meaningful
+— PDBench likewise only injects into non-key attributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..db.storage import DetDatabase
+from ..incomplete.xdb import XDatabase
+from ..workloads.uncertainty import inject_database
+from .datagen import generate_tpch
+
+__all__ = ["PDBenchInstance", "make_pdbench", "UNCERTAIN_COLUMNS"]
+
+# non-key attributes eligible for uncertainty injection, per relation
+UNCERTAIN_COLUMNS: Dict[str, Sequence[str]] = {
+    "customer": ("c_acctbal", "c_mktsegment", "c_nationkey"),
+    "supplier": ("s_acctbal", "s_nationkey"),
+    "orders": ("o_totalprice", "o_orderdate", "o_shippriority", "o_orderstatus"),
+    "lineitem": (
+        "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+        "l_returnflag", "l_linestatus", "l_shipdate",
+    ),
+    "part": ("p_retailprice", "p_type"),
+    "partsupp": ("ps_supplycost", "ps_availqty"),
+}
+
+
+@dataclass
+class PDBenchInstance:
+    """A generated uncertain TPC-H instance and its derived views."""
+
+    scale: float
+    uncertainty: float
+    det: DetDatabase  # the clean generated data (pre-injection)
+    xdb: XDatabase  # the uncertain database (PDBench output)
+
+    def selected_world(self) -> DetDatabase:
+        return self.xdb.selected_world()
+
+    def audb(self):
+        return self.xdb.to_audb()
+
+
+def make_pdbench(
+    scale: float = 1.0,
+    uncertainty: float = 0.02,
+    n_alternatives: int = 8,
+    seed: int = 7,
+) -> PDBenchInstance:
+    """Generate an uncertain TPC-H instance.
+
+    ``uncertainty`` is the fraction of eligible cells made uncertain
+    (2 %, 5 %, 10 %, 30 % in Figure 10a).
+    """
+    det = generate_tpch(scale=scale, seed=seed)
+    xdb = inject_database(
+        det,
+        cell_fraction=uncertainty,
+        n_alternatives=n_alternatives,
+        seed=seed + 1,
+        range_fraction=1.0,
+        columns_per_relation=dict(UNCERTAIN_COLUMNS),
+    )
+    return PDBenchInstance(scale, uncertainty, det, xdb)

@@ -1,0 +1,175 @@
+"""TPC-H queries Q1/Q3/Q5/Q7/Q10 and the PDBench SPJ queries as plans.
+
+Figure 12 of the paper benchmarks Q1, Q3, Q5, Q7, Q10 (the queries with
+aggregation over potentially uncertain group-by attributes); Figure 10 uses
+PDBench's simple select-project-join queries.  Dates are ``yyyymmdd``
+integers, so the standard date literals translate directly.
+"""
+
+from __future__ import annotations
+
+from ..algebra.ast import Aggregate, Plan, TableRef
+from ..core.aggregation import agg_avg, agg_count, agg_sum
+from ..core.expressions import Const, Var
+
+__all__ = [
+    "q1",
+    "q3",
+    "q5",
+    "q7",
+    "q10",
+    "pdbench_spj_queries",
+    "tpch_queries",
+]
+
+
+def q1(ship_cutoff: int = 19980902) -> Plan:
+    """Pricing summary report (TPC-H Q1)."""
+    lineitem = TableRef("lineitem")
+    disc_price = Var("l_extendedprice") * (Const(1) - Var("l_discount"))
+    charge = disc_price * (Const(1) + Var("l_tax"))
+    return (
+        lineitem.where(Var("l_shipdate") <= Const(ship_cutoff))
+        .grouped(
+            ["l_returnflag", "l_linestatus"],
+            [
+                agg_sum("l_quantity", "sum_qty"),
+                agg_sum("l_extendedprice", "sum_base_price"),
+                agg_sum(disc_price, "sum_disc_price"),
+                agg_sum(charge, "sum_charge"),
+                agg_avg("l_quantity", "avg_qty"),
+                agg_avg("l_extendedprice", "avg_price"),
+                agg_avg("l_discount", "avg_disc"),
+                agg_count("count_order"),
+            ],
+        )
+    )
+
+
+def q3(segment: str = "BUILDING", date: int = 19950315) -> Plan:
+    """Shipping priority (TPC-H Q3)."""
+    customer = TableRef("customer").where(Var("c_mktsegment") == Const(segment))
+    orders = TableRef("orders").where(Var("o_orderdate") < Const(date))
+    lineitem = TableRef("lineitem").where(Var("l_shipdate") > Const(date))
+    joined = customer.join(orders, Var("c_custkey") == Var("o_custkey")).join(
+        lineitem, Var("o_orderkey") == Var("l_orderkey")
+    )
+    revenue = Var("l_extendedprice") * (Const(1) - Var("l_discount"))
+    return joined.grouped(
+        ["l_orderkey", "o_orderdate", "o_shippriority"],
+        [agg_sum(revenue, "revenue")],
+    )
+
+
+def q5(region: str = "ASIA", date_lo: int = 19940101, date_hi: int = 19950101) -> Plan:
+    """Local supplier volume (TPC-H Q5).
+
+    Note: the classic Q5 requires ``c_nationkey = s_nationkey``; we keep
+    that predicate via the join condition.
+    """
+    customer = TableRef("customer")
+    orders = TableRef("orders").where(
+        (Var("o_orderdate") >= Const(date_lo)) & (Var("o_orderdate") < Const(date_hi))
+    )
+    lineitem = TableRef("lineitem")
+    supplier = TableRef("supplier")
+    nation = TableRef("nation")
+    region_t = TableRef("region").where(Var("r_name") == Const(region))
+
+    joined = (
+        customer.join(orders, Var("c_custkey") == Var("o_custkey"))
+        .join(lineitem, Var("o_orderkey") == Var("l_orderkey"))
+        .join(
+            supplier,
+            (Var("l_suppkey") == Var("s_suppkey"))
+            & (Var("c_nationkey") == Var("s_nationkey")),
+        )
+        .join(nation, Var("s_nationkey") == Var("n_nationkey"))
+        .join(region_t, Var("n_regionkey") == Var("r_regionkey"))
+    )
+    revenue = Var("l_extendedprice") * (Const(1) - Var("l_discount"))
+    return joined.grouped(["n_name"], [agg_sum(revenue, "revenue")])
+
+
+def q7(nation1: str = "FRANCE", nation2: str = "GERMANY") -> Plan:
+    """Volume shipping (TPC-H Q7), grouped by nation pair and ship year."""
+    supplier = TableRef("supplier")
+    lineitem = TableRef("lineitem").where(
+        (Var("l_shipdate") >= Const(19950101)) & (Var("l_shipdate") <= Const(19961231))
+    )
+    orders = TableRef("orders")
+    customer = TableRef("customer")
+    n1 = TableRef("nation").rename(
+        {"n_nationkey": "n1_nationkey", "n_name": "supp_nation", "n_regionkey": "n1_regionkey"}
+    )
+    n2 = TableRef("nation").rename(
+        {"n_nationkey": "n2_nationkey", "n_name": "cust_nation", "n_regionkey": "n2_regionkey"}
+    )
+    joined = (
+        supplier.join(lineitem, Var("s_suppkey") == Var("l_suppkey"))
+        .join(orders, Var("o_orderkey") == Var("l_orderkey"))
+        .join(customer, Var("c_custkey") == Var("o_custkey"))
+        .join(n1, Var("s_nationkey") == Var("n1_nationkey"))
+        .join(n2, Var("c_nationkey") == Var("n2_nationkey"))
+        .where(
+            ((Var("supp_nation") == Const(nation1)) & (Var("cust_nation") == Const(nation2)))
+            | ((Var("supp_nation") == Const(nation2)) & (Var("cust_nation") == Const(nation1)))
+        )
+    )
+    volume = Var("l_extendedprice") * (Const(1) - Var("l_discount"))
+    year = Var("l_shipdate")  # yyyymmdd; group by full date's year component
+    with_year = joined.select(
+        ("supp_nation", "supp_nation"),
+        ("cust_nation", "cust_nation"),
+        (year / Const(10000), "l_year_raw"),
+        (volume, "volume"),
+    )
+    return with_year.grouped(
+        ["supp_nation", "cust_nation"], [agg_sum("volume", "revenue")]
+    )
+
+
+def q10(date_lo: int = 19931001, date_hi: int = 19940101) -> Plan:
+    """Returned item reporting (TPC-H Q10)."""
+    customer = TableRef("customer")
+    orders = TableRef("orders").where(
+        (Var("o_orderdate") >= Const(date_lo)) & (Var("o_orderdate") < Const(date_hi))
+    )
+    lineitem = TableRef("lineitem").where(Var("l_returnflag") == Const("R"))
+    nation = TableRef("nation")
+    joined = (
+        customer.join(orders, Var("c_custkey") == Var("o_custkey"))
+        .join(lineitem, Var("o_orderkey") == Var("l_orderkey"))
+        .join(nation, Var("c_nationkey") == Var("n_nationkey"))
+    )
+    revenue = Var("l_extendedprice") * (Const(1) - Var("l_discount"))
+    return joined.grouped(
+        ["c_custkey", "c_name", "n_name"], [agg_sum(revenue, "revenue")]
+    )
+
+
+def pdbench_spj_queries() -> dict:
+    """The PDBench-style simple SPJ queries used in Figure 10."""
+    spj1 = (
+        TableRef("customer")
+        .where(Var("c_acctbal") > Const(0.0))
+        .select("c_custkey", "c_name", "c_nationkey")
+    )
+    spj2 = (
+        TableRef("orders")
+        .join(TableRef("customer"), Var("o_custkey") == Var("c_custkey"))
+        .where(Var("o_totalprice") > Const(100000.0))
+        .select("o_orderkey", "c_name", "o_totalprice")
+    )
+    spj3 = (
+        TableRef("lineitem")
+        .join(TableRef("orders"), Var("l_orderkey") == Var("o_orderkey"))
+        .where(Var("l_quantity") >= Const(25))
+        .select("l_orderkey", "l_partkey", "o_orderdate")
+    )
+    return {"spj1": spj1, "spj2": spj2, "spj3": spj3}
+
+
+def tpch_queries() -> dict:
+    """The Figure 12 query suite."""
+    return {"Q1": q1(), "Q3": q3(), "Q5": q5(), "Q7": q7(), "Q10": q10()}

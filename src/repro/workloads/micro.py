@@ -1,0 +1,66 @@
+"""Synthetic micro-benchmark workloads (Section 12.2, Figure 19).
+
+The paper's micro-benchmarks use wide tables of uniform random integers
+("a synthetic table with 100 attributes") with controlled uncertainty
+percentage, attribute-range width, and group count.  ``wide_table``
+generates the deterministic base; combine with
+:func:`repro.workloads.uncertainty.inject_uncertainty` for the x-DB.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, Tuple
+
+from ..db.storage import DetRelation
+from ..incomplete.xdb import XRelation
+from .uncertainty import inject_uncertainty
+
+__all__ = ["wide_table", "micro_instance"]
+
+
+def wide_table(
+    n_rows: int,
+    n_cols: int = 100,
+    domain: Tuple[int, int] = (1, 100),
+    seed: int = 0,
+    group_domain: Optional[Tuple[int, int]] = None,
+) -> DetRelation:
+    """A table ``t(a0, ..., a{n_cols-1})`` of uniform random integers.
+
+    ``group_domain`` optionally narrows column ``a0`` (the usual group-by
+    column) to control the number of groups.
+    """
+    rng = random.Random(seed)
+    schema = [f"a{i}" for i in range(n_cols)]
+    rel = DetRelation(schema)
+    lo, hi = domain
+    g_lo, g_hi = group_domain or domain
+    for _ in range(n_rows):
+        row = [rng.randint(g_lo, g_hi)]
+        row.extend(rng.randint(lo, hi) for _ in range(n_cols - 1))
+        rel.add(tuple(row), 1)
+    return rel
+
+
+def micro_instance(
+    n_rows: int,
+    n_cols: int = 100,
+    uncertainty: float = 0.05,
+    domain: Tuple[int, int] = (1, 100),
+    range_fraction: float = 1.0,
+    n_alternatives: int = 8,
+    seed: int = 0,
+    group_domain: Optional[Tuple[int, int]] = None,
+) -> Tuple[DetRelation, XRelation]:
+    """Deterministic base table + injected x-relation, as used by the
+    Figure 13/14/15/16 micro-benchmarks."""
+    det = wide_table(n_rows, n_cols, domain, seed, group_domain)
+    xrel = inject_uncertainty(
+        det,
+        cell_fraction=uncertainty,
+        n_alternatives=n_alternatives,
+        rng=random.Random(seed + 1),
+        range_fraction=range_fraction,
+    )
+    return det, xrel

@@ -1,0 +1,200 @@
+"""Real-world-style datasets for the Figure 17 experiments.
+
+The paper evaluates on Netflix shows, Chicago crimes, and Medicare
+hospital data, repairing primary-key violations with the key-repair lens.
+Those datasets are not redistributable here, so we generate synthetic
+datasets that match the statistics the experiment depends on — schema
+shape, fraction of tuples with uncertain values, and the average number of
+possibilities per uncertain tuple (Figure 17 reports these as e.g.
+"Netflix (1.9 %, 2.1)"):
+
+=========== ========================= ============ =================
+dataset      schema                    % uncertain  avg possibilities
+=========== ========================= ============ =================
+netflix      shows with directors       1.9 %        2.1
+crimes       incident reports           0.1 %        3.2
+healthcare   facility measure scores    1.0 %        2.7
+=========== ========================= ============ =================
+
+``DESIGN.md`` documents this substitution.  The queries Qn1/Qn2, Qc1/Qc2,
+Qh1/Qh2 are the paper's (Section 12.3 appendix), translated to plans.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..algebra.ast import Plan, TableRef
+from ..core.aggregation import agg_count, agg_max, agg_sum
+from ..core.expressions import Const, Var
+from ..db.storage import DetRelation
+
+__all__ = [
+    "RealWorldDataset",
+    "make_netflix",
+    "make_crimes",
+    "make_healthcare",
+    "realworld_queries",
+]
+
+
+@dataclass
+class RealWorldDataset:
+    """A raw relation with key violations plus its key columns."""
+
+    name: str
+    relation: DetRelation
+    key_columns: Tuple[str, ...]
+    expected_uncertain_fraction: float
+    expected_avg_alternatives: float
+
+
+def _with_violations(
+    rel: DetRelation,
+    key_idx: List[int],
+    mutate_cols: List[int],
+    fraction: float,
+    avg_alternatives: float,
+    rng: random.Random,
+    value_pools: Dict[int, List],
+) -> DetRelation:
+    """Duplicate ~``fraction`` of the keys with perturbed non-key values so
+    that violating keys average ``avg_alternatives`` candidates."""
+    out = DetRelation(rel.schema)
+    for t, m in rel.tuples():
+        out.add(t, m)
+        if rng.random() < fraction:
+            extra = max(1, round(rng.gauss(avg_alternatives - 1, 0.5)))
+            for _ in range(extra):
+                row = list(t)
+                col = rng.choice(mutate_cols)
+                row[col] = rng.choice(value_pools[col])
+                if tuple(row) != t:
+                    out.add(tuple(row), 1)
+    return out
+
+
+def make_netflix(n_rows: int = 2000, seed: int = 11) -> RealWorldDataset:
+    """Netflix-shows analog: (show_id, title, director, release_year, kind)."""
+    rng = random.Random(seed)
+    schema = ("show_id", "title", "director", "release_year", "kind")
+    directors = [f"Director {i}" for i in range(120)]
+    kinds = ["Movie", "TV Show"]
+    rel = DetRelation(schema)
+    for i in range(1, n_rows + 1):
+        rel.add(
+            (
+                f"s{i}",
+                f"Title {i}",
+                rng.choice(directors),
+                rng.randint(1990, 2021),
+                rng.choice(kinds),
+            )
+        )
+    pools = {2: directors, 3: list(range(1990, 2022))}
+    rel = _with_violations(rel, [0], [2, 3], 0.019, 2.1, rng, pools)
+    return RealWorldDataset("netflix", rel, ("show_id",), 0.019, 2.1)
+
+
+def make_crimes(n_rows: int = 8000, seed: int = 12) -> RealWorldDataset:
+    """Chicago-crimes analog: (case_id, date, block, district, primary_type,
+    arrest, year)."""
+    rng = random.Random(seed)
+    schema = ("case_id", "date", "block", "district", "primary_type", "arrest", "year")
+    types = [
+        "THEFT", "BATTERY", "HOMICIDE", "NARCOTICS", "ASSAULT",
+        "BURGLARY", "ROBBERY",
+    ]
+    blocks = [f"{100 + i} MAIN ST" for i in range(200)]
+    rel = DetRelation(schema)
+    for i in range(1, n_rows + 1):
+        year = rng.randint(2010, 2017)
+        rel.add(
+            (
+                f"HX{i:06d}",
+                year * 10000 + rng.randint(1, 12) * 100 + rng.randint(1, 28),
+                rng.choice(blocks),
+                rng.randint(1, 25),
+                rng.choice(types),
+                rng.random() < 0.3,
+                year,
+            )
+        )
+    pools = {2: blocks, 3: list(range(1, 26))}
+    rel = _with_violations(rel, [0], [2, 3], 0.001, 3.2, rng, pools)
+    return RealWorldDataset("crimes", rel, ("case_id",), 0.001, 3.2)
+
+
+def make_healthcare(n_rows: int = 4000, seed: int = 13) -> RealWorldDataset:
+    """Medicare hospital-compare analog: (record_id, facility_name, state,
+    measure_id, measure_name, score)."""
+    rng = random.Random(seed)
+    schema = (
+        "record_id", "facility_name", "state", "measure_id", "measure_name", "score",
+    )
+    facilities = [f"Hospital {i}" for i in range(150)]
+    states = ["TX", "CA", "NY", "IL", "FL", "WA", "OH", "GA"]
+    measures = [
+        ("HAI_1_SIR", "Central line infections"),
+        ("HAI_2_SIR", "Catheter infections"),
+        ("MRSA", "MRSA bacteremia"),
+    ]
+    rel = DetRelation(schema)
+    for i in range(1, n_rows + 1):
+        mid, mname = rng.choice(measures)
+        rel.add(
+            (
+                f"r{i}",
+                rng.choice(facilities),
+                rng.choice(states),
+                mid,
+                mname,
+                round(rng.uniform(0.0, 3.0), 2),
+            )
+        )
+    pools = {5: [round(x * 0.05, 2) for x in range(61)], 2: states}
+    rel = _with_violations(rel, [0], [5, 2], 0.010, 2.7, rng, pools)
+    return RealWorldDataset("healthcare", rel, ("record_id",), 0.010, 2.7)
+
+
+def realworld_queries() -> Dict[str, Tuple[str, Plan]]:
+    """The six Figure 17 queries: ``{query_name: (dataset_name, plan)}``."""
+    qn1 = (
+        TableRef("netflix")
+        .where(Var("release_year") < Const(2017))
+        .select("title", "release_year", "director")
+    )
+    qn2 = TableRef("netflix").grouped(
+        ["director"], [agg_max("release_year", "latest")]
+    )
+    qc1 = (
+        TableRef("crimes")
+        .where(
+            (Var("primary_type") == Const("HOMICIDE"))
+            & (Var("arrest") == Const(False))
+        )
+        .select("date", "block", "district")
+    )
+    qc2 = TableRef("crimes").grouped(["year"], [agg_count("cnt")])
+    qh1 = (
+        TableRef("healthcare")
+        .where(
+            (Var("state") != Const("TX"))
+            & (Var("state") != Const("CA"))
+            & (Var("measure_id") == Const("HAI_1_SIR"))
+        )
+        .select("facility_name", "measure_name", "score")
+    )
+    qh2 = TableRef("healthcare").grouped(
+        ["facility_name"], [agg_sum("score", "total_score")]
+    )
+    return {
+        "Qn1": ("netflix", qn1),
+        "Qn2": ("netflix", qn2),
+        "Qc1": ("crimes", qc1),
+        "Qc2": ("crimes", qc2),
+        "Qh1": ("healthcare", qh1),
+        "Qh2": ("healthcare", qh2),
+    }

@@ -1,0 +1,144 @@
+"""Uncertainty injection: turn deterministic relations into x-relations.
+
+This reproduces the PDBench generator's behaviour (Section 12.1): a chosen
+fraction of cells becomes uncertain, each uncertain cell receiving up to
+``n_alternatives`` possible values drawn from the attribute's domain.  The
+micro-benchmarks additionally control the *width* of the uncertainty
+(``range_fraction``: alternatives drawn from a window around the original
+value covering that fraction of the domain — Figures 13c, 14, 15).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..db.storage import DetDatabase, DetRelation
+from ..incomplete.xdb import XDatabase, XRelation
+
+__all__ = ["inject_uncertainty", "inject_database"]
+
+
+def _column_domains(rel: DetRelation) -> List[Tuple[Any, Any, List[Any]]]:
+    """Per column: (min, max, distinct values) over the relation."""
+    n = len(rel.schema)
+    values: List[List[Any]] = [[] for _ in range(n)]
+    for t, _m in rel.tuples():
+        for i, v in enumerate(t):
+            values[i].append(v)
+    out = []
+    for col in values:
+        distinct = sorted(set(col), key=repr)
+        numeric = all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in col)
+        if numeric and col:
+            out.append((min(col), max(col), distinct))
+        else:
+            out.append((None, None, distinct))
+    return out
+
+
+def inject_uncertainty(
+    rel: DetRelation,
+    cell_fraction: float,
+    n_alternatives: int = 8,
+    rng: Optional[random.Random] = None,
+    range_fraction: float = 1.0,
+    columns: Optional[Sequence[str]] = None,
+    optional_fraction: float = 0.0,
+) -> XRelation:
+    """Replace ``cell_fraction`` of the (eligible) cells with alternatives.
+
+    Parameters
+    ----------
+    cell_fraction:
+        Probability that a cell becomes uncertain (PDBench's "amount of
+        uncertainty": 2 %, 5 %, 10 %, 30 %).
+    n_alternatives:
+        Alternatives per uncertain tuple (PDBench uses up to 8).
+    range_fraction:
+        For numeric columns, alternatives are drawn uniformly from a
+        window centered on the original value spanning this fraction of
+        the column's domain (1.0 = whole domain, PDBench's worst case).
+    columns:
+        Restrict injection to these attributes (default: all).
+    optional_fraction:
+        Probability that an uncertain tuple additionally becomes optional
+        (may be absent from some worlds).
+    """
+    rng = rng or random.Random(0)
+    domains = _column_domains(rel)
+    eligible = (
+        set(range(len(rel.schema)))
+        if columns is None
+        else {rel.attr_index(c) for c in columns}
+    )
+    out = XRelation(rel.schema)
+    for t, m in rel.tuples():
+        for _ in range(m):
+            uncertain_cols = [
+                i for i in eligible if rng.random() < cell_fraction
+            ]
+            if not uncertain_cols:
+                out.add_certain(t)
+                continue
+            n_alts = rng.randint(2, max(2, n_alternatives))
+            alternatives: List[Tuple[Any, ...]] = [tuple(t)]
+            for _alt in range(n_alts - 1):
+                row = list(t)
+                for i in uncertain_cols:
+                    row[i] = _sample_value(
+                        rng, domains[i], t[i], range_fraction
+                    )
+                alternatives.append(tuple(row))
+            if optional_fraction and rng.random() < optional_fraction:
+                k = len(alternatives)
+                probs = [0.9 / k] * k  # leaves 10% absence probability
+                out.add(alternatives, probs)
+            else:
+                out.add(alternatives)
+    return out
+
+
+def _sample_value(
+    rng: random.Random,
+    domain: Tuple[Any, Any, List[Any]],
+    original: Any,
+    range_fraction: float,
+) -> Any:
+    lo, hi, distinct = domain
+    if lo is not None and hi is not None and isinstance(original, (int, float)):
+        width = (hi - lo) * range_fraction
+        if width <= 0:
+            return original
+        low = max(lo, original - width / 2)
+        high = min(hi, original + width / 2)
+        if isinstance(original, int) and isinstance(lo, int) and isinstance(hi, int):
+            return rng.randint(int(low), max(int(low), int(high)))
+        return rng.uniform(low, high)
+    if distinct:
+        return rng.choice(distinct)
+    return original
+
+
+def inject_database(
+    db: DetDatabase,
+    cell_fraction: float,
+    n_alternatives: int = 8,
+    seed: int = 0,
+    range_fraction: float = 1.0,
+    columns_per_relation: Optional[Dict[str, Sequence[str]]] = None,
+) -> XDatabase:
+    """Inject uncertainty into every relation of a deterministic database."""
+    rng = random.Random(seed)
+    xdb = XDatabase()
+    for name, rel in db.relations.items():
+        columns = (columns_per_relation or {}).get(name)
+        xdb[name] = inject_uncertainty(
+            rel,
+            cell_fraction,
+            n_alternatives,
+            rng,
+            range_fraction,
+            columns,
+        )
+    return xdb

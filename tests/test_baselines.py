@@ -1,0 +1,225 @@
+"""Unit tests for the baseline system reimplementations (Section 12)."""
+
+import random
+
+import pytest
+
+from repro.algebra.ast import TableRef
+from repro.core.aggregation import agg_count, agg_sum
+from repro.core.expressions import Const, Var
+from repro.baselines.libkin import (
+    LabeledNull,
+    evaluate_libkin,
+    fresh_null,
+    null_db_from_xdb,
+)
+from repro.baselines.maybms import evaluate_maybms_possible
+from repro.baselines.mcdb import run_mcdb
+from repro.baselines.symbolic import (
+    SymAdd,
+    SymChoice,
+    SymConst,
+    SymMul,
+    chain_symbolic_aggregates,
+    sym_bounds,
+    symbolic_sum,
+)
+from repro.baselines.trio import trio_aggregate, trio_spj_possible
+from repro.baselines.uadb import UADatabase, UARelation, evaluate_uadb
+from repro.db.storage import DetDatabase, DetRelation
+from repro.incomplete.xdb import XDatabase, XRelation
+
+
+@pytest.fixture
+def xdb():
+    r = XRelation(["a", "b"])
+    r.add_certain((1, 10))
+    r.add([(2, 20), (2, 25)])       # uncertain b
+    r.add([(3, 30)], [0.4])          # optional
+    return XDatabase({"R": r})
+
+
+class TestUADB:
+    def test_labeling_from_xdb(self, xdb):
+        ua = UADatabase.from_xdb(xdb)["R"]
+        rows = dict(ua.tuples())
+        assert rows[(1, 10)] == (1, 1)
+        assert rows[(2, 20)] == (0, 1)
+        assert (3, 30) not in rows  # optional tuple absent from SGW
+
+    def test_ra_plus_propagates(self, xdb):
+        ua = UADatabase.from_xdb(xdb)
+        plan = TableRef("R").where(Var("b") >= Const(10)).select("a")
+        out = evaluate_uadb(plan, ua)
+        rows = dict(out.tuples())
+        assert rows[(1,)] == (1, 1)
+        assert rows[(2,)] == (0, 1)
+
+    def test_aggregation_fallback_marks_uncertain(self, xdb):
+        ua = UADatabase.from_xdb(xdb)
+        plan = TableRef("R").grouped(["a"], [agg_count("n")])
+        out = evaluate_uadb(plan, ua)
+        assert all(lb == 0 for _t, (lb, _sg) in out.tuples())
+
+    def test_invalid_annotation(self):
+        rel = UARelation(["a"])
+        with pytest.raises(ValueError):
+            rel.add((1,), (2, 1))
+
+
+class TestLibkin:
+    def test_null_injection(self, xdb):
+        db = null_db_from_xdb(xdb)
+        rows = list(db["R"].rows)
+        # certain tuple unchanged; uncertain cell became a null; optional dropped
+        assert (1, 10) in rows
+        assert len(rows) == 2
+        uncertain_row = [t for t in rows if t != (1, 10)][0]
+        assert uncertain_row[0] == 2
+        assert isinstance(uncertain_row[1], LabeledNull)
+
+    def test_selection_keeps_only_certain(self, xdb):
+        db = null_db_from_xdb(xdb)
+        plan = TableRef("R").where(Var("b") > Const(5))
+        out = evaluate_libkin(plan, db)
+        assert set(out.rows) == {(1, 10)}  # null comparison is unknown
+
+    def test_same_null_certainly_equal(self):
+        null = fresh_null()
+        r = DetRelation(["a", "b"], [(null, null)])
+        db = DetDatabase({"R": r})
+        plan = TableRef("R").where(Var("a") == Var("b"))
+        out = evaluate_libkin(plan, db)
+        assert len(out.rows) == 1
+
+    def test_difference_under_approximates(self):
+        r = DetRelation(["a"], [(1,), (2,)])
+        s = DetRelation(["a"], [(fresh_null(),)])
+        db = DetDatabase({"R": r, "S": s})
+        from repro.algebra.ast import Difference
+
+        out = evaluate_libkin(Difference(TableRef("R"), TableRef("S")), db)
+        assert len(out.rows) == 0  # the null might equal either tuple
+
+
+class TestMCDB:
+    def test_sampling_and_summaries(self, xdb):
+        plan = TableRef("R").select("a")
+        result = run_mcdb(plan, xdb, n_samples=10, seed=1)
+        assert len(result.samples) == 10
+        possible = result.possible_tuples()
+        assert (1,) in possible and (2,) in possible
+        certain = result.certain_estimate()
+        assert (1,) in certain
+
+    def test_attribute_bounds_from_samples(self, xdb):
+        plan = TableRef("R")
+        result = run_mcdb(plan, xdb, n_samples=20, seed=2)
+        bounds = result.attribute_bounds(["a"])
+        lo, hi = bounds[(2,)][0]
+        assert 20 <= lo <= hi <= 25
+
+    def test_expectation(self, xdb):
+        plan = TableRef("R").select("b")
+        result = run_mcdb(plan, xdb, n_samples=30, seed=3)
+        assert 10 <= result.expectation("b") <= 30
+
+
+class TestMayBMS:
+    def test_possible_answers(self, xdb):
+        plan = TableRef("R").where(Var("b") >= Const(25)).select("a")
+        out = evaluate_maybms_possible(plan, xdb)
+        assert set(out.rows) == {(2,), (3,)}
+
+    def test_block_consistency_in_self_join(self):
+        r = XRelation(["a"])
+        r.add([(1,), (2,)])
+        xdb = XDatabase({"R": r})
+        left = TableRef("R")
+        right = TableRef("R").rename({"a": "a2"})
+        plan = left.join(right, Var("a") != Var("a2"))
+        out = evaluate_maybms_possible(plan, xdb)
+        # alternatives 1 and 2 of the same block can never co-occur
+        assert len(out.rows) == 0
+
+    def test_rejects_nonpositive(self, xdb):
+        from repro.algebra.ast import Difference
+
+        with pytest.raises(TypeError):
+            evaluate_maybms_possible(
+                Difference(TableRef("R"), TableRef("R")), xdb
+            )
+
+
+class TestTrio:
+    def make_xrel(self):
+        r = XRelation(["g", "v"])
+        r.add_certain(("a", 10))
+        r.add([("a", 5), ("a", 8)])          # uncertain value, certain group
+        r.add([("a", 1), ("b", 1)])          # uncertain group -> dropped
+        r.add([("b", 7)], [0.5])             # optional
+        return r
+
+    def test_aggregate_bounds(self):
+        rows = trio_aggregate(self.make_xrel(), ["g"], agg_sum("v", "s"))
+        by_group = {r.group: r for r in rows}
+        a = by_group[("a",)]
+        assert a.lower == 15 and a.upper == 18  # 10 + [5,8]
+        b = by_group[("b",)]
+        assert b.lower == 0 and b.upper == 7
+
+    def test_uncertain_group_dropped(self):
+        rows = trio_aggregate(self.make_xrel(), ["g"], agg_count("n"))
+        by_group = {r.group: r for r in rows}
+        # the uncertain-group block contributes to neither group
+        assert by_group[("a",)].upper == 2
+
+    def test_min_max(self):
+        from repro.core.aggregation import agg_max, agg_min
+
+        rows = trio_aggregate(self.make_xrel(), ["g"], agg_min("v", "lo"))
+        a = {r.group: r for r in rows}[("a",)]
+        assert a.lower == 5
+        assert a.upper == 8  # worst case: uncertain block realizes 8, min(10,8)
+
+    def test_spj(self):
+        rel = self.make_xrel()
+        out, certainty = trio_spj_possible(
+            rel, lambda row: row["v"] >= 7
+        )
+        assert ("a", 10) in out.rows
+        assert certainty[("a", 10)]
+        assert ("a", 8) in out.rows
+        assert not certainty[("a", 8)]
+
+
+class TestSymbolic:
+    def test_bounds_of_sum(self):
+        r = XRelation(["v"])
+        r.add_certain((10,))
+        r.add([(1,), (5,)])
+        r.add([(3,)], [0.5])
+        expr = symbolic_sum(r, "v")
+        lo, hi = sym_bounds(expr)
+        assert lo == 11 and hi == 18
+
+    def test_mul_corners(self):
+        e = SymMul(SymConst(-2.0), SymChoice(0, (1.0, 3.0), False))
+        assert sym_bounds(e) == (-6.0, -2.0)
+
+    def test_chain_grows(self):
+        r = XRelation(["v"])
+        for i in range(5):
+            r.add([(i,), (i + 1,)])
+        expr1, b1 = chain_symbolic_aggregates(r, "v", 1)
+        expr3, b3 = chain_symbolic_aggregates(r, "v", 3)
+        assert b3[0] <= b3[1]
+
+        def size(e):
+            if isinstance(e, SymAdd):
+                return 1 + sum(size(t) for t in e.terms)
+            if isinstance(e, SymMul):
+                return 1 + size(e.left) + size(e.right)
+            return 1
+
+        assert size(expr3) > size(expr1)

@@ -1,0 +1,115 @@
+"""Unit tests for tuple matchings and bound verification (Defs 14-17)."""
+
+import pytest
+
+from repro.core.bounding import MaxFlow, bounds_incomplete, bounds_world, find_tuple_matching
+from repro.core.ranges import between, certain
+from repro.core.relation import AURelation
+
+
+def rel(schema, rows):
+    r = AURelation(schema)
+    for values, ann in rows:
+        r.add(values, ann)
+    return r
+
+
+class TestMaxFlow:
+    def test_simple_path(self):
+        net = MaxFlow(3)
+        net.add_edge(0, 1, 5)
+        net.add_edge(1, 2, 3)
+        assert net.max_flow(0, 2) == 3
+
+    def test_parallel_paths(self):
+        net = MaxFlow(4)
+        net.add_edge(0, 1, 2)
+        net.add_edge(0, 2, 2)
+        net.add_edge(1, 3, 2)
+        net.add_edge(2, 3, 2)
+        assert net.max_flow(0, 3) == 4
+
+    def test_flow_readback(self):
+        net = MaxFlow(2)
+        e = net.add_edge(0, 1, 7)
+        assert net.max_flow(0, 1) == 7
+        assert net.flow_on(e) == 7
+
+
+class TestExample8:
+    """Paper Example 8: the Figure 5a relation bounds both worlds."""
+
+    def setup_method(self):
+        self.r = rel(
+            ["A", "B"],
+            [
+                ([certain(1), certain(1)], (2, 2, 3)),
+                ([certain(1), between(1, 1, 3)], (2, 3, 3)),
+                ([between(1, 2, 2), certain(3)], (1, 1, 1)),
+            ],
+        )
+
+    def test_bounds_world_d1(self):
+        assert bounds_world(self.r, {(1, 1): 5, (2, 3): 1})
+
+    def test_bounds_world_d2(self):
+        assert bounds_world(self.r, {(1, 1): 2, (1, 3): 2, (2, 3): 1})
+
+    def test_matching_is_returned(self):
+        matching = find_tuple_matching(self.r, {(1, 1): 5, (2, 3): 1})
+        assert matching is not None
+        assert sum(matching.values()) == 6
+
+    def test_rejects_uncoverable_world(self):
+        assert not bounds_world(self.r, {(9, 9): 1})
+
+    def test_rejects_lower_bound_violation(self):
+        # tuple (1,1) appears at least 2+2=4 times in every bounded world
+        assert not bounds_world(self.r, {(1, 1): 1, (2, 3): 1})
+
+    def test_rejects_upper_bound_violation(self):
+        # at most 3+3=6 copies of (1,1)+(1,B) tuples are allowed
+        assert not bounds_world(self.r, {(1, 1): 9, (2, 3): 1})
+
+    def test_bounds_incomplete_with_sgw(self):
+        worlds = [
+            {(1, 1): 5, (2, 3): 1},  # this is the SGW
+            {(1, 1): 2, (1, 3): 2, (2, 3): 1},
+        ]
+        assert bounds_incomplete(self.r, worlds)
+
+    def test_bounds_incomplete_missing_sgw(self):
+        worlds = [{(1, 1): 2, (1, 3): 2, (2, 3): 1}]
+        assert not bounds_incomplete(self.r, worlds)
+        assert bounds_incomplete(self.r, worlds, require_sgw=False)
+
+
+class TestSharedCoverage:
+    def test_multiplicty_split_across_tuples(self):
+        # one world tuple's multiplicity may be split over two AU tuples
+        r = rel(
+            ["A"],
+            [
+                ([between(0, 1, 2)], (1, 1, 1)),
+                ([between(1, 1, 3)], (1, 1, 1)),
+            ],
+        )
+        assert bounds_world(r, {(1,): 2})
+
+    def test_lower_bounds_force_distribution(self):
+        # both AU tuples need at least one match; world has only one tuple
+        r = rel(
+            ["A"],
+            [
+                ([certain(1)], (1, 1, 1)),
+                ([certain(2)], (1, 1, 1)),
+            ],
+        )
+        assert not bounds_world(r, {(1,): 2})
+        assert bounds_world(r, {(1,): 1, (2,): 1})
+
+    def test_empty_world_needs_zero_lower_bounds(self):
+        r = rel(["A"], [([certain(1)], (0, 1, 1))])
+        assert bounds_world(r, {})
+        r2 = rel(["A"], [([certain(1)], (1, 1, 1))])
+        assert not bounds_world(r2, {})

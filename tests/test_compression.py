@@ -1,0 +1,111 @@
+"""Unit tests for split / Cpr / optimized join (Section 10.4, Figure 9)."""
+
+import pytest
+
+from repro.core.compression import compress, optimized_join, split_sg, split_up
+from repro.core.expressions import Var
+from repro.core.operators import join as naive_join
+from repro.core.ranges import between, certain
+from repro.core.relation import AURelation
+
+
+def figure8_r():
+    r = AURelation(["A"])
+    r.add([between(1, 1, 2)], (2, 2, 3))
+    r.add([between(1, 2, 2)], (1, 1, 2))
+    return r
+
+
+def figure8_s():
+    s = AURelation(["C"])
+    s.add([between(1, 3, 3)], (1, 1, 1))
+    s.add([between(1, 2, 2)], (1, 2, 2))
+    return s
+
+
+class TestSplit:
+    def test_split_sg_figure9a(self):
+        out = split_sg(figure8_r())
+        rows = dict(out.tuples())
+        assert rows[(certain(1),)] == (0, 2, 2)
+        assert rows[(certain(2),)] == (0, 1, 1)
+
+    def test_split_sg_keeps_certain_lower_bounds(self):
+        r = AURelation(["A"])
+        r.add([certain(5)], (2, 2, 4))
+        out = split_sg(r)
+        assert out.annotation((certain(5),)) == (2, 2, 2)
+
+    def test_split_up_figure9c(self):
+        out = split_up(figure8_r())
+        rows = dict(out.tuples())
+        assert rows[(between(1, 1, 2),)] == (0, 0, 3)
+        assert rows[(between(1, 2, 2),)] == (0, 0, 2)
+
+    def test_split_sg_drops_sg_absent_tuples(self):
+        r = AURelation(["A"])
+        r.add([certain(1)], (0, 0, 3))
+        assert len(split_sg(r)) == 0
+        assert len(split_up(r)) == 1
+
+
+class TestCompress:
+    def test_figure9e(self):
+        # Cpr_{A,1}(split_up(R)) = ([1/1/2]) -> (0,0,5)
+        out = compress(split_up(figure8_r()), "A", 1)
+        ((t, ann),) = list(out.tuples())
+        assert ann == (0, 0, 5)
+        assert t[0].lb == 1 and t[0].ub == 2
+
+    def test_bucket_count_respected(self):
+        r = AURelation(["A"])
+        for i in range(100):
+            r.add([i], (0, 0, 1))
+        out = compress(r, "A", 4)
+        assert len(out) <= 4
+        total = sum(ann[2] for _t, ann in out.tuples())
+        assert total == 100
+
+    def test_no_compression_needed(self):
+        r = AURelation(["A"])
+        r.add([1], (1, 1, 1))
+        out = compress(r, "A", 10)
+        assert out.annotation((certain(1),)) == (0, 0, 1)
+
+    def test_invalid_bucket_count(self):
+        with pytest.raises(ValueError):
+            compress(AURelation(["A"]), "A", 0)
+
+
+class TestOptimizedJoin:
+    def test_sgw_matches_naive(self):
+        left, right = figure8_r(), figure8_s()
+        cond = Var("A") == Var("C")
+        naive = naive_join(left, right, cond)
+        fast = optimized_join(left, right, cond, "A", "C", buckets=1)
+        assert fast.selected_guess_world() == naive.selected_guess_world()
+
+    def test_result_smaller_than_naive(self):
+        import random
+
+        rng = random.Random(1)
+        left = AURelation(["A"])
+        right = AURelation(["C"])
+        for i in range(100):
+            a = rng.randint(0, 50)
+            left.add([between(a - 5, a, a + 5)], (0, 1, 1))
+            right.add([between(a - 5, a, a + 5)], (0, 1, 1))
+        cond = Var("A") == Var("C")
+        naive = naive_join(left, right, cond)
+        fast = optimized_join(left, right, cond, "A", "C", buckets=4)
+        assert len(fast) < len(naive)
+
+    def test_possible_mass_preserved_or_grown(self):
+        # compression may only loosen upper bounds, never lose mass
+        left, right = figure8_r(), figure8_s()
+        cond = Var("A") == Var("C")
+        naive = naive_join(left, right, cond)
+        fast = optimized_join(left, right, cond, "A", "C", buckets=1)
+        naive_ub = sum(ann[2] for _t, ann in naive.tuples())
+        fast_ub = sum(ann[2] for _t, ann in fast.tuples())
+        assert fast_ub >= naive_ub or len(fast) < len(naive)

@@ -1,0 +1,142 @@
+"""Unit tests for the deterministic bag engine (the Det/SGQP substrate)."""
+
+import math
+
+import pytest
+
+from repro.algebra.ast import TableRef, Union, Difference
+from repro.core.aggregation import agg_avg, agg_count, agg_max, agg_min, agg_sum
+from repro.core.expressions import Const, Var
+from repro.db.engine import evaluate_det
+from repro.db.storage import DetDatabase, DetRelation
+
+
+@pytest.fixture
+def db():
+    emp = DetRelation(
+        ["name", "dept", "salary"],
+        [
+            ("ann", "eng", 100),
+            ("bob", "eng", 80),
+            ("cat", "ops", 60),
+            ("dan", "ops", 60),
+        ],
+    )
+    dept = DetRelation(["dept", "city"], [("eng", "nyc"), ("ops", "sfo")])
+    return DetDatabase({"emp": emp, "dept": dept})
+
+
+class TestBagSemantics:
+    def test_duplicates_accumulate(self):
+        r = DetRelation(["a"])
+        r.add((1,), 2)
+        r.add((1,), 3)
+        assert r.multiplicity((1,)) == 5
+        assert r.total_rows() == 5
+        assert len(r) == 1
+
+    def test_negative_multiplicity_rejected(self):
+        r = DetRelation(["a"])
+        with pytest.raises(ValueError):
+            r.add((1,), -1)
+
+    def test_arity_check(self):
+        r = DetRelation(["a", "b"])
+        with pytest.raises(ValueError):
+            r.add((1,))
+
+
+class TestOperators:
+    def test_selection(self, db):
+        plan = TableRef("emp").where(Var("salary") > Const(70))
+        out = evaluate_det(plan, db)
+        assert set(out.rows) == {("ann", "eng", 100), ("bob", "eng", 80)}
+
+    def test_projection_sums_multiplicities(self, db):
+        plan = TableRef("emp").select("dept")
+        out = evaluate_det(plan, db)
+        assert out.rows == {("eng",): 2, ("ops",): 2}
+
+    def test_hash_join(self, db):
+        plan = TableRef("emp").join(TableRef("dept"), Var("dept") == Var("dept"))
+        # self-referencing condition is ambiguous; use rename
+        dept = TableRef("dept").rename({"dept": "d2"})
+        plan = TableRef("emp").join(dept, Var("dept") == Var("d2"))
+        out = evaluate_det(plan, db)
+        assert out.total_rows() == 4
+        assert ("ann", "eng", 100, "eng", "nyc") in out.rows
+
+    def test_theta_join(self, db):
+        dept = TableRef("dept").rename({"dept": "d2"})
+        plan = TableRef("emp").join(dept, Var("salary") > Const(90))
+        out = evaluate_det(plan, db)
+        assert out.total_rows() == 2  # ann x both cities
+
+    def test_union_and_difference(self, db):
+        r = TableRef("emp").select("dept")
+        out = evaluate_det(Union(r, r), db)
+        assert out.rows == {("eng",): 4, ("ops",): 4}
+        out2 = evaluate_det(Difference(Union(r, r), r), db)
+        assert out2.rows == {("eng",): 2, ("ops",): 2}
+
+    def test_distinct(self, db):
+        plan = TableRef("emp").select("dept").distinct()
+        out = evaluate_det(plan, db)
+        assert out.rows == {("eng",): 1, ("ops",): 1}
+
+    def test_limit_is_deterministic(self, db):
+        plan = TableRef("emp").limit(2)
+        out = evaluate_det(plan, db)
+        assert out.total_rows() == 2
+
+
+class TestAggregation:
+    def test_group_by(self, db):
+        plan = TableRef("emp").grouped(
+            ["dept"],
+            [
+                agg_sum("salary", "total"),
+                agg_count("n"),
+                agg_min("salary", "lo"),
+                agg_max("salary", "hi"),
+                agg_avg("salary", "mean"),
+            ],
+        )
+        out = evaluate_det(plan, db)
+        assert out.rows[("eng", 180, 2, 80, 100, 90.0)] == 1
+        assert out.rows[("ops", 120, 2, 60, 60, 60.0)] == 1
+
+    def test_multiplicity_weighting(self):
+        r = DetRelation(["g", "v"])
+        r.add(("a", 10), 3)
+        db = DetDatabase({"r": r})
+        plan = TableRef("r").grouped(
+            ["g"], [agg_sum("v", "s"), agg_count("n"), agg_avg("v", "m")]
+        )
+        out = evaluate_det(plan, db)
+        assert out.rows == {("a", 30, 3, 10.0): 1}
+
+    def test_aggregate_no_group_empty_input(self):
+        db = DetDatabase({"r": DetRelation(["v"])})
+        plan = TableRef("r").aggregate(agg_sum("v", "s"), agg_count("n"))
+        out = evaluate_det(plan, db)
+        assert out.rows == {(0, 0): 1}
+
+    def test_having(self, db):
+        from repro.algebra.ast import Aggregate
+
+        plan = Aggregate(
+            TableRef("emp"),
+            ["dept"],
+            [agg_sum("salary", "total")],
+            having=Var("total") > Const(150),
+        )
+        out = evaluate_det(plan, db)
+        assert set(out.rows) == {("eng", 180)}
+
+    def test_expression_aggregate(self, db):
+        plan = TableRef("emp").grouped(
+            ["dept"], [agg_sum(Var("salary") * Const(2), "double")]
+        )
+        out = evaluate_det(plan, db)
+        assert ("eng", 360) in out.rows

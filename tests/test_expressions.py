@@ -1,0 +1,207 @@
+"""Unit tests for scalar expressions: Definitions 3-10, Theorem 1."""
+
+import itertools
+
+import pytest
+
+from repro.core.expressions import (
+    Add,
+    And,
+    Const,
+    Div,
+    Eq,
+    Geq,
+    Gt,
+    If,
+    IsNull,
+    Leq,
+    Lt,
+    Mul,
+    Neg,
+    Neq,
+    Not,
+    Or,
+    Sub,
+    Var,
+    eval_incomplete,
+)
+from repro.core.ranges import RangeValue, between, certain
+
+
+class TestDeterministicEval:
+    def test_arithmetic(self):
+        e = (Var("x") + Const(1)) * Var("y") - Const(2)
+        assert e.eval({"x": 2, "y": 3}) == 7
+
+    def test_division(self):
+        assert (Var("x") / Const(4)).eval({"x": 2}) == 0.5
+
+    def test_comparisons(self):
+        assert (Var("x") <= Const(3)).eval({"x": 3})
+        assert not (Var("x") < Const(3)).eval({"x": 3})
+        assert (Var("x") >= Const(3)).eval({"x": 3})
+        assert not (Var("x") > Const(3)).eval({"x": 3})
+        assert (Var("x") == Const(3)).eval({"x": 3})
+        assert (Var("x") != Const(4)).eval({"x": 3})
+
+    def test_boolean_connectives(self):
+        e = (Var("a") & ~Var("b")) | Const(False)
+        assert e.eval({"a": True, "b": False})
+        assert not e.eval({"a": True, "b": True})
+
+    def test_if(self):
+        e = If(Var("c"), Const("yes"), Const("no"))
+        assert e.eval({"c": True}) == "yes"
+        assert e.eval({"c": False}) == "no"
+
+    def test_unbound_variable(self):
+        with pytest.raises(KeyError):
+            Var("missing").eval({})
+
+    def test_variables_collected(self):
+        e = If(Var("a") > Var("b"), Var("c"), Const(0))
+        assert e.variables() == frozenset({"a", "b", "c"})
+
+
+class TestIncompleteEval:
+    def test_example_4(self):
+        # paper Example 4: x + y over three bindings yields {5, 6}
+        e = Var("x") + Var("y")
+        worlds = [{"x": 1, "y": 4}, {"x": 2, "y": 4}, {"x": 1, "y": 5}]
+        assert eval_incomplete(e, worlds) == {5, 6}
+
+
+class TestRangeEval:
+    def test_var_and_const(self):
+        v = between(1, 2, 3)
+        assert Var("x").eval_range({"x": v}) == v
+        assert Const(7).eval_range({}) == certain(7)
+
+    def test_addition(self):
+        r = (Var("x") + Var("y")).eval_range(
+            {"x": between(1, 2, 3), "y": between(10, 10, 20)}
+        )
+        assert (r.lb, r.sg, r.ub) == (11, 12, 23)
+
+    def test_subtraction_flips_bounds(self):
+        r = (Var("x") - Var("y")).eval_range(
+            {"x": between(1, 2, 3), "y": between(10, 10, 20)}
+        )
+        assert (r.lb, r.sg, r.ub) == (1 - 20, -8, 3 - 10)
+
+    def test_multiplication_negative_corners(self):
+        r = (Var("x") * Var("y")).eval_range(
+            {"x": between(-2, 1, 3), "y": between(-5, 2, 4)}
+        )
+        assert r.lb == min(-2 * -5, -2 * 4, 3 * -5, 3 * 4)
+        assert r.ub == max(-2 * -5, -2 * 4, 3 * -5, 3 * 4)
+        assert r.sg == 2
+
+    def test_division_straddling_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            (Const(1) / Var("x")).eval_range({"x": between(-1, 1, 1)})
+
+    def test_division(self):
+        r = (Const(10) / Var("x")).eval_range({"x": between(2, 4, 5)})
+        assert (r.lb, r.sg, r.ub) == (2.0, 2.5, 5.0)
+
+    def test_leq_certain_true(self):
+        r = (Var("x") <= Var("y")).eval_range(
+            {"x": between(1, 2, 3), "y": between(3, 4, 5)}
+        )
+        assert (r.lb, r.sg, r.ub) == (True, True, True)
+
+    def test_leq_uncertain(self):
+        r = (Var("x") <= Var("y")).eval_range(
+            {"x": between(1, 4, 5), "y": between(3, 3, 4)}
+        )
+        assert (r.lb, r.ub) == (False, True)
+
+    def test_eq_semantics(self):
+        # Example 9: [1/2/3] = [2/2/2] is [F/T/T]
+        r = Eq(Var("a"), Const(2)).eval_range({"a": between(1, 2, 3)})
+        assert (r.lb, r.sg, r.ub) == (False, True, True)
+
+    def test_eq_certain(self):
+        r = Eq(Var("a"), Const(2)).eval_range({"a": certain(2)})
+        assert (r.lb, r.sg, r.ub) == (True, True, True)
+
+    def test_eq_disjoint(self):
+        r = Eq(Var("a"), Const(9)).eval_range({"a": between(1, 2, 3)})
+        assert (r.lb, r.sg, r.ub) == (False, False, False)
+
+    def test_not_flips(self):
+        r = Not(Var("b")).eval_range({"b": RangeValue(False, False, True)})
+        assert (r.lb, r.sg, r.ub) == (False, True, True)
+
+    def test_if_uncertain_condition_takes_envelope(self):
+        e = If(Var("c"), Const(10), Const(0))
+        r = e.eval_range({"c": RangeValue(False, True, True)})
+        assert (r.lb, r.sg, r.ub) == (0, 10, 10)
+
+    def test_if_certain_condition(self):
+        e = If(Var("c"), Var("x"), Const(0))
+        r = e.eval_range({"c": certain(True), "x": between(1, 2, 3)})
+        assert r == between(1, 2, 3)
+
+    def test_neg(self):
+        r = Neg(Var("x")).eval_range({"x": between(1, 2, 3)})
+        assert (r.lb, r.sg, r.ub) == (-3, -2, -1)
+
+    def test_is_null(self):
+        r = IsNull(Var("x")).eval_range({"x": certain(None)})
+        assert (r.lb, r.sg, r.ub) == (True, True, True)
+        r2 = IsNull(Var("x")).eval_range({"x": RangeValue(None, None, 5)})
+        assert (r2.lb, r2.ub) == (False, True)
+
+    def test_plain_values_lifted(self):
+        r = (Var("x") + Const(1)).eval_range({"x": 4})
+        assert r == certain(5)
+
+
+class TestTheorem1:
+    """Range evaluation bounds incomplete evaluation (Theorem 1)."""
+
+    def check(self, expression, bindings_per_var):
+        names = sorted(bindings_per_var)
+        worlds = [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(bindings_per_var[n] for n in names))
+        ]
+        outcomes = eval_incomplete(expression, worlds)
+        valuation = {
+            n: RangeValue(min(vs), vs[0], max(vs)) for n, vs in bindings_per_var.items()
+        }
+        bound = expression.eval_range(valuation)
+        for outcome in outcomes:
+            assert bound.bounds_value(outcome), (
+                f"{expression!r}: {outcome} outside {bound}"
+            )
+
+    def test_arithmetic_mix(self):
+        self.check(
+            (Var("x") + Var("y")) * Var("x") - Const(3),
+            {"x": [1, -2, 3], "y": [0, 5]},
+        )
+
+    def test_conditionals(self):
+        self.check(
+            If(Var("x") > Var("y"), Var("x") * Const(2), Var("y") - Var("x")),
+            {"x": [1, 4], "y": [2, 3]},
+        )
+
+    def test_boolean_formula(self):
+        self.check(
+            (Var("x") <= Var("y")) & ~(Var("y") == Const(3)),
+            {"x": [1, 4], "y": [2, 3, 5]},
+        )
+
+
+class TestSymbolicGuards:
+    def test_bool_raises(self):
+        with pytest.raises(TypeError):
+            bool(Var("x") == Const(1))
+
+    def test_repr_roundtrips_reasonably(self):
+        assert "AND" in repr(Var("a") & Var("b"))
+        assert "IS NULL" in repr(IsNull(Var("a")))

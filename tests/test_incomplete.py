@@ -1,0 +1,219 @@
+"""Unit tests for incomplete database models and translations (Sec. 11)."""
+
+import random
+
+import pytest
+
+from repro.core.bounding import bounds_incomplete, bounds_world
+from repro.core.expressions import Const, Var
+from repro.core.ranges import between, certain
+from repro.db.storage import DetDatabase, DetRelation
+from repro.incomplete.ctable import CTable, VTable, codd_table
+from repro.incomplete.tidb import TIDatabase, TIRelation, TIRow
+from repro.incomplete.worlds import (
+    IncompleteDatabase,
+    certain_bag,
+    exact_attribute_bounds,
+    possible_bag,
+    query_worlds,
+)
+from repro.incomplete.xdb import XDatabase, XRelation, XTuple
+
+
+class TestWorldsOracle:
+    def make(self):
+        w1 = DetDatabase({"R": DetRelation(["a"], {(1,): 2, (2,): 1})})
+        w2 = DetDatabase({"R": DetRelation(["a"], {(1,): 3, (3,): 1})})
+        return IncompleteDatabase([w1, w2])
+
+    def test_certain_possible_bags(self):
+        from repro.algebra.ast import TableRef
+
+        results = query_worlds(TableRef("R"), self.make())
+        assert certain_bag(results) == {(1,): 2}
+        assert possible_bag(results) == {(1,): 3, (2,): 1, (3,): 1}
+
+    def test_selection_over_worlds(self):
+        from repro.algebra.ast import TableRef
+
+        plan = TableRef("R").where(Var("a") >= Const(2))
+        results = query_worlds(plan, self.make())
+        assert certain_bag(results) == {}
+        assert possible_bag(results) == {(2,): 1, (3,): 1}
+
+    def test_exact_attribute_bounds(self):
+        r1 = DetRelation(["k", "v"], {("x", 1): 1})
+        r2 = DetRelation(["k", "v"], {("x", 5): 1})
+        bounds = exact_attribute_bounds([r1, r2], ["k"])
+        assert bounds[("x",)] == [(1, 5)]
+
+    def test_empty_inputs(self):
+        assert certain_bag([]) == {}
+        assert possible_bag([]) == {}
+        with pytest.raises(ValueError):
+            IncompleteDatabase([])
+
+
+class TestTIDB:
+    def make(self):
+        rel = TIRelation(["a"])
+        rel.add([1], 1.0)   # certain
+        rel.add([2], 0.7)   # likely (in SGW)
+        rel.add([3], 0.2)   # unlikely (not in SGW)
+        return rel
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            TIRow((1,), 0.0)
+
+    def test_to_audb_annotations(self):
+        audb = self.make().to_audb()
+        assert audb.annotation((certain(1),)) == (1, 1, 1)
+        assert audb.annotation((certain(2),)) == (0, 1, 1)
+        assert audb.annotation((certain(3),)) == (0, 0, 1)
+
+    def test_theorem9_bounds_all_worlds(self):
+        rel = self.make()
+        audb = rel.to_audb()
+        worlds = rel.enumerate_worlds()
+        assert len(worlds) == 4
+        for w in worlds:
+            assert bounds_world(audb, w.as_bag())
+        assert audb.selected_guess_world() == rel.selected_world().as_bag()
+
+    def test_sample_world_respects_certainty(self):
+        rel = self.make()
+        for seed in range(5):
+            w = rel.sample_world(random.Random(seed))
+            assert w.multiplicity((1,)) == 1
+
+    def test_database_wrapper(self):
+        db = TIDatabase()
+        db["R"] = self.make()
+        inc = db.enumerate_incomplete()
+        assert len(inc) == 4
+        audb = db.to_audb()
+        assert "R" in audb.relations or audb["R"] is not None
+
+
+class TestXDB:
+    def test_pickmax_and_optional(self):
+        xt = XTuple(((1,), (2,)), (0.3, 0.4))
+        assert xt.pick_max() == (2,)
+        assert xt.optional
+        assert xt.sg_present()  # absent prob 0.3 <= 0.4
+
+    def test_sg_absent_when_absence_most_likely(self):
+        xt = XTuple(((1,), (2,)), (0.2, 0.25))
+        assert not xt.sg_present()  # absent prob 0.55 > 0.25
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            XTuple(((1,),), (1.5,))
+        with pytest.raises(ValueError):
+            XTuple((), ())
+
+    def test_to_audb_ranges(self):
+        rel = XRelation(["a", "b"])
+        rel.add([(1, 10), (3, 5)])
+        audb = rel.to_audb()
+        ((t, ann),) = list(audb.tuples())
+        assert t[0] == between(1, 1, 3)
+        assert t[1] == between(5, 10, 10)
+        assert ann == (1, 1, 1)
+
+    def test_theorem10_bounds(self):
+        rel = XRelation(["a"])
+        rel.add([(1,), (2,)])
+        rel.add([(5,)], [0.4])  # optional
+        audb = rel.to_audb()
+        worlds = [w.as_bag() for w in rel.enumerate_worlds()]
+        assert len(worlds) == 4
+        for w in worlds:
+            assert bounds_world(audb, w)
+
+    def test_enumerate_limit(self):
+        rel = XRelation(["a"])
+        for i in range(20):
+            rel.add([(i,), (i + 100,)])
+        with pytest.raises(ValueError):
+            rel.enumerate_worlds(limit=100)
+
+    def test_uncertain_fraction(self):
+        rel = XRelation(["a"])
+        rel.add_certain([1])
+        rel.add([(2,), (3,)])
+        assert rel.uncertain_tuple_fraction() == 0.5
+
+
+class TestCTable:
+    def test_three_colorability_style_conditions(self):
+        # a tuple with a local condition over a variable domain
+        table = CTable(["a"], {"x": [1, 2, 3]})
+        table.add([Var("x")], Var("x") > Const(1))
+        worlds = table.enumerate_worlds()
+        bags = [w.as_bag() for w in worlds]
+        assert {(2,): 1} in bags and {(3,): 1} in bags and {} in bags
+
+    def test_global_condition_filters_valuations(self):
+        table = CTable(["a"], {"x": [1, 2, 3]}, global_condition=Var("x") != Const(2))
+        assert len(table.valuations()) == 2
+
+    def test_to_audb_bounds_worlds(self):
+        table = CTable(["a", "b"], {"x": [1, 2, 3], "y": [10, 20]})
+        table.add([Var("x"), 5])
+        table.add([7, Var("y")], Var("x") > Const(1))
+        audb = table.to_audb()
+        for world in table.enumerate_worlds():
+            assert bounds_world(audb, world.as_bag())
+
+    def test_tautology_detection(self):
+        table = CTable(["a"], {"x": [1, 2]})
+        table.add([1], Var("x") >= Const(1))  # tautology
+        table.add([2], Var("x") == Const(1))  # contingent
+        audb = table.to_audb()
+        assert audb.annotation((certain(1),))[0] == 1
+        anns = dict(audb.tuples())
+        assert anns[(certain(2),)][0] == 0
+
+    def test_never_satisfiable_row_dropped(self):
+        table = CTable(["a"], {"x": [1, 2]})
+        table.add([1], Var("x") > Const(5))
+        assert len(table.to_audb()) == 0
+
+    def test_undeclared_variable_rejected(self):
+        table = CTable(["a"], {"x": [1]})
+        with pytest.raises(KeyError):
+            table.add([Var("y")])
+        with pytest.raises(KeyError):
+            table.add([1], Var("z") == Const(1))
+
+    def test_unsatisfiable_global(self):
+        table = CTable(["a"], {"x": [1]}, global_condition=Const(False))
+        table.add([1])
+        with pytest.raises(ValueError):
+            table.to_audb()
+
+
+class TestVCoddTables:
+    def test_vtable_rejects_conditions(self):
+        v = VTable(["a"], {"x": [1, 2]})
+        with pytest.raises(ValueError):
+            v.add([Var("x")], Var("x") == Const(1))
+
+    def test_vtable_shared_variable(self):
+        v = VTable(["a", "b"], {"x": [1, 2]})
+        v.add([Var("x"), Var("x")])
+        worlds = [w.as_bag() for w in v.enumerate_worlds()]
+        assert {(1, 1): 1} in worlds and {(2, 2): 1} in worlds
+        assert {(1, 2): 1} not in worlds
+
+    def test_codd_table_fresh_nulls(self):
+        table = codd_table(
+            ["a", "b"], [[1, None], [None, 2]], null_domain=[7, 8]
+        )
+        worlds = table.enumerate_worlds()
+        assert len(worlds) == 4  # two independent nulls
+        audb = table.to_audb()
+        for w in worlds:
+            assert bounds_world(audb, w.as_bag())

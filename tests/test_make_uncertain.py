@@ -1,0 +1,66 @@
+"""Tests for the MakeUncertain lens construct (Example 16)."""
+
+import pytest
+
+from repro.algebra.evaluator import evaluate_audb
+from repro.core.expressions import Const, MakeUncertain, Var
+from repro.core.ranges import between, certain
+from repro.core.relation import AUDatabase, AURelation
+from repro.sql.parser import parse_sql
+
+
+class TestExpression:
+    def test_det_eval_returns_guess(self):
+        e = MakeUncertain(Const(1), Const(2), Const(3))
+        assert e.eval({}) == 2
+
+    def test_range_eval_builds_interval(self):
+        e = MakeUncertain(Var("lo"), Var("mid"), Var("hi"))
+        r = e.eval_range({"lo": certain(1), "mid": certain(2), "hi": certain(5)})
+        assert (r.lb, r.sg, r.ub) == (1, 2, 5)
+
+    def test_nested_uncertainty_widens(self):
+        # if the inputs are themselves uncertain the envelope covers them
+        e = MakeUncertain(Var("lo"), Var("mid"), Var("hi"))
+        r = e.eval_range(
+            {"lo": between(0, 1, 2), "mid": between(1, 3, 4), "hi": certain(5)}
+        )
+        assert r.lb <= 0 and r.ub >= 5 and r.sg == 3
+
+    def test_variables_collected(self):
+        e = MakeUncertain(Var("a"), Var("b"), Const(9))
+        assert e.variables() == frozenset({"a", "b"})
+
+
+class TestSqlIntegration:
+    def test_parses_as_function(self):
+        plan = parse_sql(
+            "SELECT k, MAKEUNCERTAIN(lo, mid, hi) AS v FROM stats"
+        )
+        expr = plan.columns[1][0]
+        assert isinstance(expr, MakeUncertain)
+
+    def test_example_16_key_repair_in_sql(self):
+        """The paper's Example 16: repair keys inside a query."""
+        stats = AURelation.from_certain_rows(
+            ["k", "num_b", "min_b", "max_b"],
+            [
+                ["a", 1, 10, 10],
+                ["b", 2, 5, 9],
+            ],
+        )
+        plan = parse_sql(
+            "SELECT k, CASE WHEN num_b > 1 "
+            "THEN MAKEUNCERTAIN(min_b, min_b, max_b) ELSE min_b END AS b "
+            "FROM stats"
+        )
+        out = evaluate_audb(plan, AUDatabase({"stats": stats}))
+        rows = {t[0].sg: t[1] for t, _ann in out.tuples()}
+        assert rows["a"] == certain(10)
+        assert (rows["b"].lb, rows["b"].sg, rows["b"].ub) == (5, 5, 9)
+
+    def test_sgw_unchanged_by_makeuncertain(self):
+        stats = AURelation.from_certain_rows(["v"], [[7]])
+        plan = parse_sql("SELECT MAKEUNCERTAIN(0, v, 100) AS v FROM stats")
+        out = evaluate_audb(plan, AUDatabase({"stats": stats}))
+        assert out.selected_guess_world() == {(7,): 1}

@@ -1,0 +1,178 @@
+"""Unit tests for RA+ operators, SG-combiner, and set difference
+(Sections 7 and 8)."""
+
+import pytest
+
+from repro.core import operators as ops
+from repro.core.expressions import Const, Var
+from repro.core.ranges import between, certain
+from repro.core.relation import AURelation
+
+
+def rel(schema, rows):
+    r = AURelation(schema)
+    for values, ann in rows:
+        r.add(values, ann)
+    return r
+
+
+class TestSelection:
+    def test_example_9(self):
+        # paper Example 9: sigma_{A=2} over ([1/2/3], 2) -> (1,2,3) gives (0,2,3)
+        r = rel(["A", "B"], [(([between(1, 2, 3), certain(2)]), (1, 2, 3))])
+        out = ops.selection(r, Var("A") == Const(2))
+        ((t, ann),) = list(out.tuples())
+        assert ann == (0, 2, 3)
+
+    def test_certainly_false_dropped(self):
+        r = rel(["A"], [([between(1, 2, 3)], (1, 1, 1))])
+        out = ops.selection(r, Var("A") == Const(99))
+        assert len(out) == 0
+
+    def test_certainly_true_kept_whole(self):
+        r = rel(["A"], [([certain(5)], (2, 2, 4))])
+        out = ops.selection(r, Var("A") == Const(5))
+        assert out.annotation((certain(5),)) == (2, 2, 4)
+
+
+class TestProjection:
+    def test_expression_projection(self):
+        r = rel(["A"], [([between(1, 2, 3)], (1, 1, 2))])
+        out = ops.projection(r, [(Var("A") + Const(10), "B")])
+        ((t, ann),) = list(out.tuples())
+        assert t[0] == between(11, 12, 13)
+        assert ann == (1, 1, 2)
+
+    def test_annotations_sum_on_collision(self):
+        r = rel(["A", "B"], [([1, 10], (1, 1, 1)), ([1, 20], (1, 1, 1))])
+        out = ops.projection(r, [(Var("A"), "A")])
+        assert out.annotation((certain(1),)) == (2, 2, 2)
+
+
+class TestJoin:
+    def test_certain_hash_join(self):
+        left = rel(["A"], [([1], (1, 1, 1)), ([2], (1, 1, 1))])
+        right = rel(["B"], [([1], (2, 2, 2))])
+        out = ops.join(left, right, Var("A") == Var("B"))
+        assert len(out) == 1
+        assert out.annotation((certain(1), certain(1))) == (2, 2, 2)
+
+    def test_uncertain_overlap_join(self):
+        # Figure 8: joining loose ranges degenerates to near-cross-product
+        left = rel(["A"], [([between(1, 1, 2)], (2, 2, 3)), ([between(1, 2, 2)], (1, 1, 2))])
+        right = rel(["C"], [([between(1, 3, 3)], (1, 1, 1)), ([between(1, 2, 2)], (1, 2, 2))])
+        out = ops.join(left, right, Var("A") == Var("C"))
+        assert len(out) == 4  # all four combinations overlap
+        ann = out.annotation((between(1, 2, 2), between(1, 2, 2)))
+        # Figure 8d prints (1,2,4) for this pair, but under Definition 9 the
+        # equality [1/2/2] = [1/2/2] is not *certainly* true (one side may
+        # be 1 while the other is 2), so the sound lower bound is 0.
+        assert ann == (0, 2, 4)
+
+    def test_annotation_multiplies(self):
+        left = rel(["A"], [([1], (1, 2, 3))])
+        right = rel(["B"], [([1], (2, 2, 2))])
+        out = ops.join(left, right, Var("A") == Var("B"))
+        assert out.annotation((certain(1), certain(1))) == (2, 4, 6)
+
+    def test_theta_join_falls_back(self):
+        left = rel(["A"], [([1], (1, 1, 1)), ([5], (1, 1, 1))])
+        right = rel(["B"], [([3], (1, 1, 1))])
+        out = ops.join(left, right, Var("A") < Var("B"))
+        assert len(out) == 1
+
+    def test_overlapping_schemas_rejected_for_cross(self):
+        left = rel(["A"], [([1], (1, 1, 1))])
+        with pytest.raises(ValueError):
+            ops.cross_product(left, left)
+
+
+class TestUnion:
+    def test_annotations_add(self):
+        a = rel(["A"], [([1], (1, 1, 1))])
+        b = rel(["A"], [([1], (0, 1, 2))])
+        out = ops.union(a, b)
+        assert out.annotation((certain(1),)) == (1, 2, 3)
+
+    def test_incompatible_schemas(self):
+        a = rel(["A"], [([1], (1, 1, 1))])
+        b = rel(["A", "B"], [([1, 2], (1, 1, 1))])
+        with pytest.raises(ValueError):
+            ops.union(a, b)
+
+
+class TestSGCombiner:
+    def test_paper_example(self):
+        # Section 8.1: ([1/2/2],[1/3/5])->(1,2,2) and ([2/2/4],[3/3/4])->(3,3,4)
+        # combine into ([1/2/4],[1/3/5]) -> (4,5,6)
+        r = rel(
+            ["A", "B"],
+            [
+                ([between(1, 2, 2), between(1, 3, 5)], (1, 2, 2)),
+                ([between(2, 2, 4), between(3, 3, 4)], (3, 3, 4)),
+            ],
+        )
+        out = ops.sg_combine(r)
+        ((t, ann),) = list(out.tuples())
+        assert t == (between(1, 2, 4), between(1, 3, 5))
+        assert ann == (4, 5, 6)
+
+    def test_distinct_sg_values_untouched(self):
+        r = rel(["A"], [([between(1, 1, 2)], (1, 1, 1)), ([between(1, 2, 2)], (1, 1, 1))])
+        out = ops.sg_combine(r)
+        assert len(out) == 2
+
+
+class TestDifference:
+    def test_section8_example(self):
+        # Section 8.2: R(1)->(1,2,2), R(2)->(0,0,1); S(1)->(0,0,3), S(2)->(0,1,1)
+        r = rel(["A"], [([1], (1, 2, 2)), ([2], (0, 0, 1))])
+        s = rel(["A"], [([1], (0, 0, 3)), ([2], (0, 1, 1))])
+        out = ops.difference(r, s)
+        # bound-preserving semantics: lb uses RHS ub, ub uses RHS lb
+        assert out.annotation((certain(1),)) == (0, 2, 2)
+
+    def test_range_overlap_lowers_lb(self):
+        # RHS tuple [1/1/2] may equal LHS tuple (1) in some world
+        r = rel(["A"], [([1], (1, 1, 1))])
+        s = rel(["A"], [([between(1, 1, 2)], (1, 1, 3))])
+        out = ops.difference(r, s)
+        ann = out.annotation((certain(1),))
+        assert ann[0] == 0  # cannot guarantee survival
+        assert ann[2] == 1  # but RHS lb only subtracts when certainly equal
+        # RHS is uncertain, so ub stays 1 - 0 = 1... unless certainly equal
+        # here [1/1/2] is not certain, so nothing subtracts from ub
+
+    def test_certain_cancellation(self):
+        r = rel(["A"], [([1], (2, 2, 2))])
+        s = rel(["A"], [([1], (1, 1, 1))])
+        out = ops.difference(r, s)
+        assert out.annotation((certain(1),)) == (1, 1, 1)
+
+    def test_fully_cancelled_dropped(self):
+        r = rel(["A"], [([1], (1, 1, 1))])
+        s = rel(["A"], [([1], (2, 2, 2))])
+        out = ops.difference(r, s)
+        assert len(out) == 0
+
+
+class TestDistinct:
+    def test_certain_tuple_stays_certain(self):
+        r = rel(["A"], [([1], (3, 3, 5))])
+        out = ops.distinct(r)
+        assert out.annotation((certain(1),)) == (1, 1, 1)
+
+    def test_uncertain_attribute_loses_lb_keeps_ub(self):
+        # the two copies of [1/1/2] may be the two DISTINCT values 1 and 2
+        # in some world, so dedup cannot clamp the upper bound
+        r = rel(["A"], [([between(1, 1, 2)], (2, 2, 2))])
+        out = ops.distinct(r)
+        ((_, ann),) = list(out.tuples())
+        assert ann == (0, 1, 2)
+
+
+class TestRename:
+    def test_rename(self):
+        r = rel(["A"], [([1], (1, 1, 1))])
+        out = ops.rename(r, {"A": "Z"})
+        assert out.schema == ("Z",)

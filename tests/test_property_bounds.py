@@ -1,0 +1,198 @@
+"""Property-based verification of the paper's central soundness theorems.
+
+Strategy: generate a small random x-DB (block-independent incomplete
+database), translate it to an AU-DB (Theorem 10 guarantees the translation
+bounds the incomplete database), run a random ``RA_agg`` plan over (a) the
+AU-DB with the paper's semantics and (b) every possible world with
+deterministic semantics, then check with the tuple-matching oracle that
+the AU-DB result bounds every world's result and that its SGW equals the
+query result in the selected world.
+
+This exercises Theorems 3 (RA+), 4 (difference), 6 (aggregation), and
+Lemmas 6/7/10.1/10.2 (compression) end to end.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algebra.ast import Aggregate, Difference, Plan, Selection, TableRef, Union
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.core.aggregation import agg_count, agg_max, agg_min, agg_sum
+from repro.core.bounding import bounds_world
+from repro.core.expressions import Const, Var
+from repro.core.relation import AUDatabase
+from repro.db.engine import evaluate_det
+from repro.incomplete.xdb import XDatabase, XRelation
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+@st.composite
+def xrelations(draw, schema=("a", "b"), max_blocks=4, domain=(0, 4)):
+    """A small x-relation over integer attributes."""
+    n_blocks = draw(st.integers(0, max_blocks))
+    rel = XRelation(schema)
+    lo, hi = domain
+    for _ in range(n_blocks):
+        n_alts = draw(st.integers(1, 3))
+        alts = [
+            tuple(draw(st.integers(lo, hi)) for _ in schema)
+            for _ in range(n_alts)
+        ]
+        optional = draw(st.booleans())
+        if optional:
+            probs = [0.9 / n_alts] * n_alts
+            rel.add(alts, probs)
+        else:
+            rel.add(alts)
+    return rel
+
+
+def plan_strategies():
+    a, b = Var("a"), Var("b")
+    r = TableRef("R")
+    s = TableRef("S")
+    candidates = [
+        r.where(a <= Const(2)),
+        r.where((a == Const(1)) | (b > Const(2))),
+        r.select(("a", "a")),
+        r.select(((a + b), "t")),
+        Union(r, s),
+        Difference(r, s),
+        r.join(s.rename({"a": "c", "b": "d"}), Var("a") == Var("c")),
+        r.distinct(),
+        r.grouped(["a"], [agg_sum("b", "s"), agg_count("c")]),
+        r.grouped(["a"], [agg_min("b", "lo"), agg_max("b", "hi")]),
+        r.aggregate(agg_sum("b", "s")),
+        r.where(b > Const(1)).grouped(["a"], [agg_count("c")]),
+        Union(r, s).grouped(["a"], [agg_sum("b", "s")]),
+        Difference(r, s).select(("b", "b")),
+    ]
+    return st.sampled_from(candidates)
+
+
+def check_bound_preservation(plan: Plan, xdb: XDatabase, config: EvalConfig):
+    incomplete = xdb.enumerate_incomplete(limit=3000)
+    audb = xdb.to_audb()
+    result = evaluate_audb(plan, AUDatabase(audb.relations), config)
+
+    # (1) the SGW of the result equals the query over the selected world
+    selected = incomplete.selected_world
+    det_result = evaluate_det(plan, selected)
+    assert result.selected_guess_world() == det_result.as_bag(), (
+        f"SGW mismatch for {plan!r}"
+    )
+
+    # (2) the result bounds the query result in every possible world
+    for world in incomplete.worlds:
+        world_result = evaluate_det(plan, world)
+        assert bounds_world(result, world_result.as_bag()), (
+            f"{plan!r} result does not bound world {world_result.rows}"
+        )
+
+
+@SETTINGS
+@given(
+    plan=plan_strategies(),
+    xr=xrelations(),
+    xs=xrelations(),
+)
+def test_bound_preservation_naive(plan, xr, xs):
+    xdb = XDatabase({"R": xr, "S": xs})
+    try:
+        xdb.enumerate_incomplete(limit=3000)
+    except ValueError:
+        pytest.skip("too many worlds")
+    check_bound_preservation(plan, xdb, EvalConfig())
+
+
+@SETTINGS
+@given(
+    plan=plan_strategies(),
+    xr=xrelations(),
+    xs=xrelations(),
+)
+def test_bound_preservation_compressed(plan, xr, xs):
+    xdb = XDatabase({"R": xr, "S": xs})
+    try:
+        xdb.enumerate_incomplete(limit=3000)
+    except ValueError:
+        pytest.skip("too many worlds")
+    check_bound_preservation(
+        plan, xdb, EvalConfig(join_buckets=2, aggregation_buckets=2)
+    )
+
+
+@SETTINGS
+@given(xr=xrelations(max_blocks=5))
+def test_translation_bounds_all_worlds(xr):
+    """Theorem 10: trans_x-DB bounds the x-relation's worlds."""
+    audb = xr.to_audb()
+    for world in xr.enumerate_worlds(limit=3000):
+        assert bounds_world(audb, world.as_bag())
+
+
+@SETTINGS
+@given(xr=xrelations(max_blocks=5))
+def test_translation_sgw_is_selected_world(xr):
+    audb = xr.to_audb()
+    assert audb.selected_guess_world() == xr.selected_world().as_bag()
+
+
+@SETTINGS
+@given(xr=xrelations(max_blocks=5), buckets=st.integers(1, 4))
+def test_compression_preserves_bounds(xr, buckets):
+    """Lemmas 6 and 7: split + Cpr keep bounding every world."""
+    from repro.core.compression import compress, split_sg, split_up
+    from repro.core.operators import union
+
+    audb = xr.to_audb()
+    split = union(split_sg(audb), split_up(audb))
+    compressed = union(
+        split_sg(audb), compress(split_up(audb), "a", buckets)
+    )
+    for world in xr.enumerate_worlds(limit=2000):
+        bag = world.as_bag()
+        assert bounds_world(split, bag), "split broke bounding"
+        assert bounds_world(compressed, bag), "Cpr broke bounding"
+    # split preserves the SGW (Lemma 6)
+    assert split.selected_guess_world() == audb.selected_guess_world()
+
+
+@SETTINGS
+@given(xr=xrelations(max_blocks=4), xs=xrelations(max_blocks=4))
+def test_optimized_join_bounds(xr, xs):
+    """Lemma 10.1: the optimized join preserves bounds and the SGW."""
+    from repro.core.compression import optimized_join
+
+    plan_cond = Var("a") == Var("c")
+    left = xr.to_audb()
+    from repro.core.operators import rename
+
+    right = rename(xs.to_audb(), {"a": "c", "b": "d"})
+    result = optimized_join(left, right, plan_cond, "a", "c", buckets=2)
+
+    import itertools
+
+    left_worlds = xr.enumerate_worlds(limit=200)
+    right_worlds = xs.enumerate_worlds(limit=200)
+    if len(left_worlds) * len(right_worlds) > 400:
+        left_worlds = left_worlds[:20]
+        right_worlds = right_worlds[:20]
+    for lw, rw in itertools.product(left_worlds, right_worlds):
+        joined = {}
+        for lt, lm in lw.rows.items():
+            for rt, rm in rw.rows.items():
+                if lt[0] == rt[0]:
+                    joined[lt + rt] = joined.get(lt + rt, 0) + lm * rm
+        assert bounds_world(result, joined)

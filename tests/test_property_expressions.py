@@ -1,0 +1,155 @@
+"""Property-based tests for expression evaluation and the Enc/Dec encoding.
+
+* Theorem 1 at scale: random expression trees over random incomplete
+  valuations — the range evaluation must bound every possible outcome.
+* Enc/Dec: encoding an AU-relation to flat rows and decoding it back is
+  the identity (Theorem 8's invertibility half).
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.expressions import (
+    Add,
+    And,
+    Const,
+    Eq,
+    If,
+    Leq,
+    Mul,
+    Not,
+    Or,
+    Sub,
+    Var,
+    eval_incomplete,
+)
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation, decode, encode
+
+SETTINGS = settings(max_examples=120, deadline=None)
+
+VARS = ["x", "y", "z"]
+
+
+def numeric_exprs(depth: int):
+    if depth == 0:
+        return st.one_of(
+            st.sampled_from([Var(v) for v in VARS]),
+            st.integers(-5, 5).map(Const),
+        )
+    sub = numeric_exprs(depth - 1)
+    return st.one_of(
+        sub,
+        st.tuples(sub, sub).map(lambda p: Add(*p)),
+        st.tuples(sub, sub).map(lambda p: Sub(*p)),
+        st.tuples(sub, sub).map(lambda p: Mul(*p)),
+        st.tuples(boolean_exprs(0), sub, sub).map(lambda t: If(*t)),
+    )
+
+
+def boolean_exprs(depth: int):
+    base = st.one_of(
+        st.tuples(numeric_exprs(0), numeric_exprs(0)).map(lambda p: Leq(*p)),
+        st.tuples(numeric_exprs(0), numeric_exprs(0)).map(lambda p: Eq(*p)),
+    )
+    if depth == 0:
+        return base
+    sub = boolean_exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(sub, sub).map(lambda p: And(*p)),
+        st.tuples(sub, sub).map(lambda p: Or(*p)),
+        sub.map(Not),
+    )
+
+
+@st.composite
+def incomplete_valuations(draw):
+    """Per variable: a non-empty list of possible integer values."""
+    return {
+        v: draw(st.lists(st.integers(-4, 4), min_size=1, max_size=3))
+        for v in VARS
+    }
+
+
+def range_valuation(bindings):
+    return {
+        v: RangeValue(min(vals), vals[0], max(vals))
+        for v, vals in bindings.items()
+    }
+
+
+def all_worlds(bindings):
+    names = sorted(bindings)
+    return [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(bindings[n] for n in names))
+    ]
+
+
+@SETTINGS
+@given(expr=numeric_exprs(3), bindings=incomplete_valuations())
+def test_numeric_range_eval_bounds_outcomes(expr, bindings):
+    outcomes = eval_incomplete(expr, all_worlds(bindings))
+    bound = expr.eval_range(range_valuation(bindings))
+    for outcome in outcomes:
+        assert bound.bounds_value(outcome)
+
+
+@SETTINGS
+@given(expr=boolean_exprs(3), bindings=incomplete_valuations())
+def test_boolean_range_eval_bounds_outcomes(expr, bindings):
+    outcomes = eval_incomplete(expr, all_worlds(bindings))
+    bound = expr.eval_range(range_valuation(bindings))
+    for outcome in outcomes:
+        assert (not bound.lb) or outcome  # lb=T -> certainly true
+        assert bound.ub or (not outcome)  # ub=F -> certainly false
+
+
+@SETTINGS
+@given(expr=numeric_exprs(2), bindings=incomplete_valuations())
+def test_sg_component_is_deterministic_eval(expr, bindings):
+    """The SG component of range evaluation equals deterministic
+    evaluation over the SG valuation (Definition 9's J e K^sg)."""
+    sg_world = {v: vals[0] for v, vals in bindings.items()}
+    bound = expr.eval_range(range_valuation(bindings))
+    assert bound.sg == expr.eval(sg_world)
+
+
+# ----------------------------------------------------------------------
+# Enc / Dec roundtrip
+# ----------------------------------------------------------------------
+@st.composite
+def au_relations(draw):
+    rel = AURelation(["a", "b"])
+    for _ in range(draw(st.integers(0, 6))):
+        values = []
+        for _col in range(2):
+            lo = draw(st.integers(-5, 5))
+            mid = lo + draw(st.integers(0, 3))
+            hi = mid + draw(st.integers(0, 3))
+            values.append(RangeValue(lo, mid, hi))
+        lb = draw(st.integers(0, 2))
+        sg = lb + draw(st.integers(0, 2))
+        ub = sg + draw(st.integers(0, 2))
+        if ub > 0:
+            rel.add(values, (lb, sg, ub))
+    return rel
+
+
+@SETTINGS
+@given(rel=au_relations())
+def test_enc_dec_roundtrip(rel):
+    schema, rows = encode(rel)
+    assert len(schema) == 3 * len(rel.schema) + 3
+    back = decode(rel.schema, rows)
+    assert dict(back.tuples()) == dict(rel.tuples())
+
+
+@SETTINGS
+@given(rel=au_relations())
+def test_sgw_invariant_under_roundtrip(rel):
+    _schema, rows = encode(rel)
+    back = decode(rel.schema, rows)
+    assert back.selected_guess_world() == rel.selected_guess_world()

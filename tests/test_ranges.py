@@ -1,0 +1,127 @@
+"""Unit tests for range-annotated values (Definitions 6 and 10)."""
+
+import math
+
+import pytest
+
+from repro.core.ranges import (
+    NEG_INF,
+    POS_INF,
+    RangeValue,
+    between,
+    certain,
+    domain_key,
+    domain_le,
+    domain_max,
+    domain_min,
+)
+
+
+class TestConstruction:
+    def test_certain_value(self):
+        v = certain(5)
+        assert v.lb == v.sg == v.ub == 5
+        assert v.is_certain
+
+    def test_between(self):
+        v = between(1, 2, 3)
+        assert (v.lb, v.sg, v.ub) == (1, 2, 3)
+        assert not v.is_certain
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            RangeValue(3, 2, 1)
+
+    def test_sg_below_lb_rejected(self):
+        with pytest.raises(ValueError):
+            RangeValue(2, 1, 3)
+
+    def test_string_ranges(self):
+        v = between("city", "city", "metro")
+        assert v.bounds_value("city")
+        assert v.bounds_value("metro")
+        assert not v.bounds_value("z-town")
+
+    def test_boolean_domain(self):
+        # Example 5: the four elements of the boolean range domain
+        for lb, sg, ub in [
+            (True, True, True),
+            (False, True, True),
+            (False, False, True),
+            (False, False, False),
+        ]:
+            RangeValue(lb, sg, ub)
+        with pytest.raises(ValueError):
+            RangeValue(True, False, True)
+
+    def test_hashable_and_frozen(self):
+        v = between(1, 2, 3)
+        assert hash(v) == hash(between(1, 2, 3))
+        with pytest.raises(Exception):
+            v.lb = 0
+
+
+class TestBounding:
+    def test_bounds_value(self):
+        v = between(1, 2, 4)
+        assert v.bounds_value(1)
+        assert v.bounds_value(4)
+        assert not v.bounds_value(0)
+        assert not v.bounds_value(5)
+
+    def test_bounds_set_requires_sg_member(self):
+        # Example 6: x = [0/2/3] bounds {1,2,3}; [0/2/2] would not bound
+        # a set missing 2... here: sg must be realized by the set.
+        assert between(0, 2, 3).bounds_set([1, 2, 3])
+        assert not between(0, 2, 3).bounds_set([1, 3])
+
+    def test_bounds_set_containment(self):
+        assert not between(0, 2, 2).bounds_set([1, 2, 3])
+
+    def test_bounds_empty_set(self):
+        assert not certain(1).bounds_set([])
+
+
+class TestOverlap:
+    def test_overlapping(self):
+        assert between(1, 2, 3).overlaps(between(3, 4, 5))
+        assert between(1, 2, 3).overlaps(between(0, 0, 10))
+
+    def test_disjoint(self):
+        assert not between(1, 2, 3).overlaps(between(4, 5, 6))
+
+    def test_certainly_equal(self):
+        assert certain(2).certainly_equal(certain(2))
+        assert not certain(2).certainly_equal(certain(3))
+        assert not between(1, 2, 3).certainly_equal(between(1, 2, 3))
+
+
+class TestMerge:
+    def test_merge_keeps_sg(self):
+        merged = between(1, 2, 3).merge(between(0, 9, 10))
+        assert (merged.lb, merged.sg, merged.ub) == (0, 2, 10)
+
+    def test_width(self):
+        assert between(1, 2, 5).width() == 4.0
+        assert certain("x").width() == 0.0
+        assert between("a", "b", "c").width() == math.inf
+
+
+class TestDomainOrder:
+    def test_total_order_across_types(self):
+        values = ["b", 3, None, True, "a", 2.5, False]
+        ordered = sorted(values, key=domain_key)
+        assert ordered[0] is None
+        # booleans before numbers before strings
+        assert ordered[1:3] == [False, True]
+        assert ordered[3:5] == [2.5, 3]
+        assert ordered[5:] == ["a", "b"]
+
+    def test_infinity_sentinels(self):
+        assert domain_le(NEG_INF, None)
+        assert domain_le("zzz", POS_INF)
+        assert not domain_le(POS_INF, "zzz")
+
+    def test_min_max(self):
+        assert domain_min([3, 1, 2]) == 1
+        assert domain_max(["a", "c", "b"]) == "c"

@@ -1,0 +1,110 @@
+"""Tests for the top-k extension, verified against brute-force worlds."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.ranges import between, certain
+from repro.core.ranking import topk
+from repro.core.relation import AURelation
+from repro.incomplete.xdb import XRelation
+
+
+def rel(schema, rows):
+    r = AURelation(schema)
+    for values, ann in rows:
+        r.add(values, ann)
+    return r
+
+
+class TestBasics:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            topk(AURelation(["s"]), "s", 0)
+
+    def test_certain_scores(self):
+        r = rel(["name", "s"], [
+            (["a", 10], (1, 1, 1)),
+            (["b", 20], (1, 1, 1)),
+            (["c", 5], (1, 1, 1)),
+        ])
+        result = topk(r, "s", 2)
+        names = [row.values[0].sg for row in result]
+        assert names == ["b", "a"]
+        assert all(row.certainly_topk for row in result)
+        assert all(row.sg_topk for row in result)
+
+    def test_uncertain_score_expands_candidates(self):
+        r = rel(["name", "s"], [
+            (["a", 10], (1, 1, 1)),
+            (["b", 20], (1, 1, 1)),
+            (["c", between(5, 8, 50)], (1, 1, 1)),
+        ])
+        result = topk(r, "s", 2)
+        names = {row.values[0].sg for row in result}
+        assert names == {"a", "b", "c"}  # c may leap to the top
+        by_name = {row.values[0].sg: row for row in result}
+        assert by_name["b"].certainly_topk  # nothing can push b out
+        assert not by_name["a"].certainly_topk  # c may displace a
+        assert not by_name["c"].sg_topk  # in the SGW c scores 8
+
+    def test_optional_tuples_cannot_certainly_displace(self):
+        r = rel(["name", "s"], [
+            (["a", 10], (1, 1, 1)),
+            (["b", 20], (0, 1, 1)),  # possibly absent
+        ])
+        result = topk(r, "s", 1)
+        by_name = {row.values[0].sg: row for row in result}
+        assert by_name["a"].possibly_topk  # b may be absent
+        assert not by_name["a"].certainly_topk
+        assert not by_name["b"].certainly_topk
+
+
+class TestAgainstBruteForce:
+    def brute_force(self, xrel: XRelation, k: int):
+        """True possibly/certainly top-k projected tuples across worlds."""
+        possible = set()
+        certain = None
+        for world in xrel.enumerate_worlds(limit=3000):
+            occurrences = []
+            for t, m in world.tuples():
+                occurrences.extend([t] * m)
+            occurrences.sort(key=lambda t: t[1], reverse=True)
+            top = set(occurrences[:k])
+            possible |= top
+            certain = top if certain is None else (certain & top)
+        return possible, (certain or set())
+
+    def test_randomized(self):
+        rng = random.Random(5)
+        for trial in range(60):
+            xrel = XRelation(["name", "s"])
+            for i in range(rng.randint(1, 5)):
+                alts = [
+                    (f"t{i}", rng.randint(0, 20))
+                    for _ in range(rng.randint(1, 2))
+                ]
+                if rng.random() < 0.3:
+                    xrel.add(alts, [0.9 / len(alts)] * len(alts))
+                else:
+                    xrel.add(alts)
+            k = rng.randint(1, 3)
+            true_possible, true_certain = self.brute_force(xrel, k)
+            result = topk(xrel.to_audb(), "s", k)
+
+            # every truly possible top-k tuple is covered by some candidate
+            for t in true_possible:
+                assert any(
+                    row.values[0].bounds_value(t[0])
+                    and row.values[1].bounds_value(t[1])
+                    for row in result
+                ), f"trial {trial}: missed possible {t}"
+
+            # claimed-certain candidates really are certain
+            for row in result:
+                if row.certainly_topk and row.values[0].is_certain and row.values[1].is_certain:
+                    t = (row.values[0].sg, row.values[1].sg)
+                    assert t in true_certain, (
+                        f"trial {trial}: {t} claimed certain but is not"
+                    )

@@ -1,0 +1,114 @@
+"""Unit tests for AU-relations, SGW extraction, and Enc/Dec (Sec. 6, 10.1)."""
+
+import pytest
+
+from repro.core.ranges import between, certain
+from repro.core.relation import AUDatabase, AURelation, decode, encode
+
+
+def example7_relation() -> AURelation:
+    """The AU-relation of paper Figure 5a."""
+    r = AURelation(["A", "B"])
+    r.add([certain(1), certain(1)], (2, 2, 3))
+    r.add([certain(1), between(1, 1, 3)], (2, 3, 3))
+    r.add([between(1, 2, 2), certain(3)], (1, 1, 1))
+    return r
+
+
+class TestConstruction:
+    def test_plain_values_lifted(self):
+        r = AURelation(["a"])
+        r.add([5], (1, 1, 1))
+        ((t, ann),) = list(r.tuples())
+        assert t[0] == certain(5)
+        assert ann == (1, 1, 1)
+
+    def test_value_equivalent_tuples_merge(self):
+        r = AURelation(["a"])
+        r.add([5], (1, 1, 1))
+        r.add([5], (0, 1, 2))
+        assert len(r) == 1
+        assert r.annotation((certain(5),)) == (1, 2, 3)
+
+    def test_zero_annotation_ignored(self):
+        r = AURelation(["a"])
+        r.add([5], (0, 0, 0))
+        assert len(r) == 0
+
+    def test_invalid_annotation_rejected(self):
+        r = AURelation(["a"])
+        with pytest.raises(ValueError):
+            r.add([5], (2, 1, 1))
+
+    def test_arity_mismatch_rejected(self):
+        r = AURelation(["a", "b"])
+        with pytest.raises(ValueError):
+            r.add([5], (1, 1, 1))
+
+    def test_from_certain_rows(self):
+        r = AURelation.from_certain_rows(["a"], [[1], [1], [2]])
+        assert r.annotation((certain(1),)) == (2, 2, 2)
+
+    def test_attr_index_error(self):
+        r = AURelation(["a"])
+        with pytest.raises(KeyError):
+            r.attr_index("zzz")
+
+
+class TestSelectedGuessWorld:
+    def test_example_7(self):
+        # Figure 5b: tuples (1,1)x5 and (2,3)x1
+        world = example7_relation().selected_guess_world()
+        assert world == {(1, 1): 5, (2, 3): 1}
+
+    def test_zero_sg_excluded(self):
+        r = AURelation(["a"])
+        r.add([1], (0, 0, 4))
+        assert r.selected_guess_world() == {}
+
+
+class TestEncodeDecode:
+    def test_schema_layout(self):
+        r = AURelation(["A", "B"])
+        schema, _rows = encode(r)
+        assert schema == (
+            "A_sg", "B_sg", "A_lb", "B_lb", "A_ub", "B_ub",
+            "row_lb", "row_sg", "row_ub",
+        )
+
+    def test_roundtrip(self):
+        r = example7_relation()
+        schema, rows = encode(r)
+        back = decode(["A", "B"], rows)
+        assert set(back.tuples()) == set(r.tuples())
+
+    def test_decode_merges_value_equivalent(self):
+        # two encoded rows for the same AU-tuple sum their annotations
+        rows = [
+            (1, 2, 1, 2, 1, 2, 1, 1, 1),
+            (1, 2, 1, 2, 1, 2, 0, 1, 2),
+        ]
+        back = decode(["A", "B"], rows)
+        assert len(back) == 1
+        assert back.annotation((certain(1), certain(2))) == (1, 2, 3)
+
+    def test_decode_arity_check(self):
+        with pytest.raises(ValueError):
+            decode(["A"], [(1, 2, 3)])
+
+
+class TestDatabase:
+    def test_lookup(self):
+        db = AUDatabase({"r": example7_relation()})
+        assert "r" in db
+        assert len(db["r"]) == 3
+        with pytest.raises(KeyError):
+            db["missing"]
+
+    def test_sgw_of_database(self):
+        db = AUDatabase({"r": example7_relation()})
+        assert db.selected_guess_world()["r"] == {(1, 1): 5, (2, 3): 1}
+
+    def test_pretty_renders(self):
+        text = example7_relation().pretty()
+        assert "A" in text and "N^AU" in text

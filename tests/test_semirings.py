@@ -1,0 +1,108 @@
+"""Unit tests for semirings and K^AU annotations (Section 3.1, Def. 11)."""
+
+import pytest
+
+from repro.core.semirings import (
+    B,
+    N,
+    au_add,
+    au_is_valid,
+    au_multiply,
+    au_one,
+    au_zero,
+)
+
+
+class TestNaturalSemiring:
+    def test_ops(self):
+        assert N.add(2, 3) == 5
+        assert N.multiply(2, 3) == 6
+        assert N.zero == 0 and N.one == 1
+
+    def test_monus_truncates(self):
+        assert N.monus(5, 3) == 2
+        assert N.monus(3, 5) == 0
+
+    def test_natural_order(self):
+        assert N.leq(2, 5)
+        assert not N.leq(5, 2)
+
+    def test_glb_lub(self):
+        assert N.glb([2, 3, 5]) == 2
+        assert N.lub([2, 3, 5]) == 5
+
+    def test_delta(self):
+        assert N.delta(0) == 0
+        assert N.delta(7) == 1
+
+    def test_sum(self):
+        assert N.sum([1, 2, 3]) == 6
+        assert N.sum([]) == 0
+
+
+class TestBooleanSemiring:
+    def test_ops(self):
+        assert B.add(False, True) is True
+        assert B.multiply(True, False) is False
+
+    def test_monus(self):
+        assert B.monus(True, False) is True
+        assert B.monus(True, True) is False
+        assert B.monus(False, True) is False
+
+    def test_glb_lub_match_certain_possible(self):
+        # Section 3.2.1: certain = glb = conjunction; possible = lub
+        assert B.glb([True, True]) is True
+        assert B.glb([True, False]) is False
+        assert B.lub([False, True]) is True
+
+    def test_order(self):
+        assert B.leq(False, True)
+        assert not B.leq(True, False)
+
+
+class TestAUAnnotations:
+    def test_validity(self):
+        assert au_is_valid((0, 1, 2))
+        assert au_is_valid((1, 1, 1))
+        assert not au_is_valid((2, 1, 3))
+        assert not au_is_valid((0, 2, 1))
+        assert not au_is_valid((-1, 0, 0))
+
+    def test_pointwise_ops_preserve_membership(self):
+        a, b = (1, 2, 3), (0, 1, 5)
+        assert au_add(a, b) == (1, 3, 8)
+        assert au_multiply(a, b) == (0, 2, 15)
+        assert au_is_valid(au_add(a, b))
+        assert au_is_valid(au_multiply(a, b))
+
+    def test_identities(self):
+        k = (1, 2, 3)
+        assert au_add(k, au_zero()) == k
+        assert au_multiply(k, au_one()) == k
+        assert au_multiply(k, au_zero()) == (0, 0, 0)
+
+
+class TestSemiringLaws:
+    """Spot-check the semiring axioms on sampled elements."""
+
+    def test_natural_laws(self):
+        samples = [0, 1, 2, 5]
+        for a in samples:
+            for b in samples:
+                assert N.add(a, b) == N.add(b, a)
+                assert N.multiply(a, b) == N.multiply(b, a)
+                for c in samples:
+                    assert N.multiply(a, N.add(b, c)) == N.add(
+                        N.multiply(a, b), N.multiply(a, c)
+                    )
+
+    def test_boolean_laws(self):
+        samples = [False, True]
+        for a in samples:
+            for b in samples:
+                assert B.add(a, b) == B.add(b, a)
+                for c in samples:
+                    assert B.multiply(a, B.add(b, c)) == B.add(
+                        B.multiply(a, b), B.multiply(a, c)
+                    )

@@ -1,0 +1,141 @@
+"""Unit + property tests for set-semantics (B^AU) evaluation."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.expressions import Const, Var
+from repro.core.ranges import between, certain
+from repro.core.relation import AURelation
+from repro.core.setsemantics import (
+    normalize,
+    set_bounds_world,
+    set_difference,
+    set_join,
+    set_projection,
+    set_selection,
+    set_union,
+)
+from repro.incomplete.xdb import XRelation
+
+
+def rel(schema, rows):
+    r = AURelation(schema)
+    for values, ann in rows:
+        r.add(values, ann)
+    return r
+
+
+class TestNormalize:
+    def test_clamps_to_booleans(self):
+        r = rel(["a"], [([1], (2, 3, 5))])
+        out = normalize(r)
+        assert out.annotation((certain(1),)) == (1, 1, 1)
+
+    def test_uncertain_attribute_loses_certainty(self):
+        r = rel(["a"], [([between(1, 1, 2)], (1, 1, 1))])
+        out = normalize(r)
+        ((_, ann),) = list(out.tuples())
+        assert ann == (0, 1, 1)
+
+    def test_merges_sg_equivalent(self):
+        r = rel(["a"], [([between(1, 2, 2)], (1, 1, 1)), ([between(2, 2, 3)], (0, 1, 1))])
+        out = normalize(r)
+        assert len(out) == 1
+
+
+class TestSetOperators:
+    def test_union_is_idempotent_on_membership(self):
+        a = rel(["x"], [([1], (1, 1, 1))])
+        out = set_union(a, a)
+        assert out.annotation((certain(1),)) == (1, 1, 1)
+
+    def test_projection_dedups(self):
+        r = rel(["a", "b"], [([1, 10], (1, 1, 1)), ([1, 20], (1, 1, 1))])
+        out = set_projection(r, [(Var("a"), "a")])
+        assert out.annotation((certain(1),)) == (1, 1, 1)
+
+    def test_difference_boolean_monus(self):
+        # Example 3 (set version): IN is possible-only in the difference
+        r = rel(["s"], [(["IL"], (1, 1, 1)), (["IN"], (0, 1, 1))])
+        s = rel(["s"], [(["IN"], (0, 0, 1))])
+        out = set_difference(r, s)
+        assert out.annotation((certain("IL"),)) == (1, 1, 1)
+        # IN may be cancelled (RHS possible) but may also survive
+        assert out.annotation((certain("IN"),)) == (0, 1, 1)
+
+    def test_join_membership(self):
+        left = rel(["a"], [([1], (1, 1, 1))])
+        right = rel(["b"], [([1], (0, 1, 1))])
+        out = set_join(left, right, Var("a") == Var("b"))
+        assert out.annotation((certain(1), certain(1))) == (0, 1, 1)
+
+    def test_selection(self):
+        r = rel(["a"], [([between(1, 2, 3)], (1, 1, 1))])
+        out = set_selection(r, Var("a") == Const(2))
+        ((_, ann),) = list(out.tuples())
+        assert ann == (0, 1, 1)
+
+
+class TestSetBoundsWorld:
+    def test_certain_tuple_must_be_covered(self):
+        r = rel(["a"], [([1], (1, 1, 1))])
+        assert set_bounds_world(r, {(1,)})
+        assert not set_bounds_world(r, set())
+
+    def test_one_range_tuple_covers_many_elements(self):
+        # the key difference to bag semantics: ub=1 suffices for any number
+        # of distinct covered elements
+        r = rel(["a"], [([between(1, 1, 5)], (0, 1, 1))])
+        assert set_bounds_world(r, {(1,), (2,), (5,)})
+
+    def test_uncovered_world_tuple_fails(self):
+        r = rel(["a"], [([between(1, 1, 5)], (0, 1, 1))])
+        assert not set_bounds_world(r, {(9,)})
+
+
+class TestSetPropertyRandomized:
+    """Set-semantics bound preservation against enumerated set worlds."""
+
+    def worlds_as_sets(self, xrel: XRelation):
+        return [set(w.rows) for w in xrel.enumerate_worlds(limit=2000)]
+
+    def rand_xrel(self, rng):
+        r = XRelation(("a", "b"))
+        for _ in range(rng.randint(0, 4)):
+            alts = [
+                (rng.randint(0, 3), rng.randint(0, 3))
+                for _ in range(rng.randint(1, 3))
+            ]
+            if rng.random() < 0.4:
+                r.add(alts, [0.9 / len(alts)] * len(alts))
+            else:
+                r.add(alts)
+        return r
+
+    def test_operators_preserve_set_bounds(self):
+        rng = random.Random(17)
+        for trial in range(120):
+            xr = self.rand_xrel(rng)
+            xs = self.rand_xrel(rng)
+            left = normalize(xr.to_audb())
+            right = normalize(xs.to_audb())
+            results = {
+                "sel": set_selection(left, Var("a") <= Const(2)),
+                "proj": set_projection(left, [(Var("b"), "b")]),
+                "union": set_union(left, right),
+                "diff": set_difference(left, right),
+            }
+            for lw in self.worlds_as_sets(xr):
+                for rw in self.worlds_as_sets(xs):
+                    world_results = {
+                        "sel": {t for t in lw if t[0] <= 2},
+                        "proj": {(t[1],) for t in lw},
+                        "union": lw | rw,
+                        "diff": lw - rw,
+                    }
+                    for name, result in results.items():
+                        assert set_bounds_world(result, world_results[name]), (
+                            f"trial {trial}: {name} failed on {world_results[name]}"
+                        )

@@ -1,0 +1,113 @@
+"""Integration tests: TPC-H generator, PDBench injection, query suite."""
+
+import random
+
+import pytest
+
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.db.engine import evaluate_det
+from repro.tpch.datagen import TPCH_SCHEMAS, generate_tpch
+from repro.tpch.pdbench import UNCERTAIN_COLUMNS, make_pdbench
+from repro.tpch.queries import pdbench_spj_queries, q1, q3, tpch_queries
+from repro.workloads.uncertainty import inject_uncertainty
+
+
+class TestDatagen:
+    def test_schemas(self):
+        db = generate_tpch(scale=0.2, seed=1)
+        for name, schema in TPCH_SCHEMAS.items():
+            assert db[name].schema == schema
+
+    def test_deterministic_by_seed(self):
+        a = generate_tpch(scale=0.2, seed=5)
+        b = generate_tpch(scale=0.2, seed=5)
+        assert a["lineitem"].rows == b["lineitem"].rows
+        c = generate_tpch(scale=0.2, seed=6)
+        assert a["lineitem"].rows != c["lineitem"].rows
+
+    def test_scaling(self):
+        small = generate_tpch(scale=0.2, seed=1)
+        large = generate_tpch(scale=1.0, seed=1)
+        assert large["customer"].total_rows() > small["customer"].total_rows()
+        assert large["orders"].total_rows() == large["customer"].total_rows() * 10
+
+    def test_foreign_keys_resolve(self):
+        db = generate_tpch(scale=0.2, seed=1)
+        custkeys = {t[0] for t in db["customer"].rows}
+        for t in db["orders"].rows:
+            assert t[1] in custkeys
+
+    def test_dates_are_yyyymmdd(self):
+        db = generate_tpch(scale=0.2, seed=1)
+        for t in db["orders"].rows:
+            assert 19920101 <= t[4] <= 19981231
+
+
+class TestInjection:
+    def test_uncertainty_fraction_tracks_parameter(self):
+        db = generate_tpch(scale=0.5, seed=2)
+        xrel = inject_uncertainty(
+            db["lineitem"], cell_fraction=0.3, rng=random.Random(1)
+        )
+        frac = xrel.uncertain_tuple_fraction()
+        assert frac > 0.5  # 30% per cell over 11 columns -> most tuples hit
+
+        xrel_low = inject_uncertainty(
+            db["lineitem"], cell_fraction=0.01, rng=random.Random(1)
+        )
+        assert xrel_low.uncertain_tuple_fraction() < frac
+
+    def test_alternative_count_capped(self):
+        db = generate_tpch(scale=0.2, seed=2)
+        xrel = inject_uncertainty(
+            db["lineitem"], 0.5, n_alternatives=8, rng=random.Random(1)
+        )
+        assert max(len(xt.alternatives) for xt in xrel.xtuples) <= 8
+
+    def test_pdbench_keys_stay_certain(self):
+        inst = make_pdbench(scale=0.2, uncertainty=0.3)
+        for xt in inst.xdb["lineitem"].xtuples:
+            orderkeys = {alt[0] for alt in xt.alternatives}
+            assert len(orderkeys) == 1  # l_orderkey never injected
+
+    def test_selected_world_same_size(self):
+        inst = make_pdbench(scale=0.2, uncertainty=0.1)
+        det = inst.det["lineitem"].total_rows()
+        sgw = inst.selected_world()["lineitem"].total_rows()
+        assert det == sgw
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return make_pdbench(scale=0.2, uncertainty=0.05)
+
+    def test_all_queries_run_det(self, instance):
+        world = instance.selected_world()
+        for name, plan in {**tpch_queries(), **pdbench_spj_queries()}.items():
+            result = evaluate_det(plan, world)
+            assert result is not None
+
+    def test_q1_group_count(self, instance):
+        result = evaluate_det(q1(), instance.selected_world())
+        # 3 return flags x 2 line statuses = at most 6 groups
+        assert 1 <= len(result) <= 6
+
+    def test_audb_sgw_matches_det(self, instance):
+        audb = instance.audb()
+        world = instance.selected_world()
+        config = EvalConfig(join_buckets=16, aggregation_buckets=16)
+        for name, plan in pdbench_spj_queries().items():
+            au = evaluate_audb(plan, audb, config)
+            det = evaluate_det(plan, world)
+            assert au.selected_guess_world() == det.as_bag(), name
+
+    def test_q3_audb_bounds_sgw_result(self, instance):
+        audb = instance.audb()
+        world = instance.selected_world()
+        plan = q3()
+        au = evaluate_audb(plan, audb, EvalConfig(join_buckets=16, aggregation_buckets=16))
+        det = evaluate_det(plan, world)
+        from repro.core.bounding import bounds_world
+
+        assert bounds_world(au, det.as_bag())
