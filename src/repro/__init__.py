@@ -35,14 +35,18 @@ from .algebra.ast import (
     Difference,
     Distinct,
     Join,
+    Limit,
+    OrderBy,
     Plan,
     Projection,
     Rename,
     Selection,
     TableRef,
+    TopK,
     Union,
 )
 from .algebra.evaluator import EvalConfig, evaluate_audb
+from .algebra.optimizer import Statistics, explain, optimize
 from .core.aggregation import (
     AggregateSpec,
     agg_avg,
@@ -88,7 +92,9 @@ __all__ = [
     # plans & engines
     "Plan", "TableRef", "Selection", "Projection", "Join", "CrossProduct",
     "Union", "Difference", "Distinct", "Aggregate", "Rename",
+    "OrderBy", "Limit", "TopK",
     "EvalConfig", "evaluate_audb", "evaluate_det",
+    "Statistics", "optimize", "explain",
     "DetRelation", "DetDatabase",
     # incomplete models
     "IncompleteDatabase", "query_worlds", "certain_bag", "possible_bag",

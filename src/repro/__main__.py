@@ -12,6 +12,7 @@ import argparse
 import sys
 
 from .algebra.evaluator import EvalConfig, evaluate_audb
+from .algebra.optimizer import Statistics, explain, optimize
 from .core.ranges import between
 from .core.relation import AUDatabase, AURelation
 from .db.engine import evaluate_det
@@ -54,12 +55,25 @@ def main(argv=None) -> int:
     parser.add_argument("--tpch", action="store_true", help="load uncertain TPC-H")
     parser.add_argument("--scale", type=float, default=0.2)
     parser.add_argument("--uncertainty", type=float, default=0.05)
+    parser.add_argument(
+        "--no-optimize",
+        action="store_true",
+        help="evaluate the plan exactly as written (skip the logical optimizer)",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the (optimized) logical plan before the results",
+    )
     parser.add_argument("sql", nargs="*", help="run one query and exit")
     args = parser.parse_args(argv)
 
     audb = _tpch_db(args.scale, args.uncertainty) if args.tpch else _demo_db()
     det = _sgw_database(audb)
-    config = EvalConfig(join_buckets=64, aggregation_buckets=64)
+    do_optimize = not args.no_optimize
+    config = EvalConfig(
+        join_buckets=64, aggregation_buckets=64, optimize=do_optimize
+    )
     print(f"tables: {', '.join(sorted(audb.relations))}")
 
     def run(sql: str) -> None:
@@ -68,8 +82,13 @@ def main(argv=None) -> int:
         except SqlSyntaxError as exc:
             print(f"syntax error: {exc}")
             return
+        if args.explain:
+            stats = Statistics.from_database(det)
+            shown = optimize(plan, stats) if do_optimize else plan
+            print("-- plan --")
+            print(explain(shown, stats))
         try:
-            det_result = evaluate_det(plan, det)
+            det_result = evaluate_det(plan, det, optimize=do_optimize)
             au_result = evaluate_audb(plan, audb, config)
         except (KeyError, TypeError, ValueError, ZeroDivisionError) as exc:
             print(f"error: {exc}")

@@ -34,6 +34,7 @@ __all__ = [
     "Rename",
     "Limit",
     "OrderBy",
+    "TopK",
 ]
 
 
@@ -265,8 +266,46 @@ class OrderBy(Plan):
 
 @dataclass(frozen=True)
 class Limit(Plan):
+    """First ``n`` rows.
+
+    Without an :class:`OrderBy` child the deterministic engine picks rows
+    by the full-tuple domain order (deterministic but arbitrary); with one,
+    the engine sorts by the ORDER BY keys — see :class:`TopK`, the fused
+    form produced by the optimizer.
+    """
+
     child: Plan
     n: int
 
     def children(self) -> Sequence[Plan]:
         return (self.child,)
+
+
+@dataclass(frozen=True)
+class TopK(Plan):
+    """``ORDER BY keys [DESC] LIMIT n`` fused into a single top-k node.
+
+    The deterministic engine sorts by ``keys`` (all descending when
+    ``descending`` is set, mirroring the parser) with the full-tuple domain
+    order as tie-break, then keeps the first ``n`` rows by multiplicity.
+    The AU engine keeps everything: LIMIT over unordered uncertain data
+    cannot soundly drop tuples.
+    """
+
+    child: Plan
+    keys: Tuple[str, ...]
+    descending: bool
+    n: int
+
+    def __init__(self, child: Plan, keys, descending: bool, n: int) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "keys", tuple(keys))
+        object.__setattr__(self, "descending", descending)
+        object.__setattr__(self, "n", n)
+
+    def children(self) -> Sequence[Plan]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        order = "desc" if self.descending else "asc"
+        return f"topk[{','.join(self.keys)} {order}; {self.n}]({self.child!r})"

@@ -10,7 +10,14 @@ module plays the rewritten query over the relational encoding.
 
 * ``join_buckets`` — compress the possible side of joins with ``Cpr``;
 * ``aggregation_buckets`` — compress foreign possible contributors of
-  group-by aggregation.
+  group-by aggregation;
+* ``optimize`` — run the shared logical plan optimizer
+  (:mod:`repro.algebra.optimizer`: selection pushdown, join promotion and
+  reordering, OrderBy+Limit fusion, projection pruning) before
+  interpreting the plan.  The rewrites are exact for the AU semantics, so
+  results are identical with the knob on or off (compression budgets
+  excepted: bucket boundaries depend on operator inputs, so compressed
+  runs remain *sound* but need not be bit-identical across plan shapes).
 """
 
 from __future__ import annotations
@@ -36,8 +43,10 @@ from .ast import (
     Rename,
     Selection,
     TableRef,
+    TopK,
     Union,
 )
+from .optimizer import Statistics, optimize
 
 __all__ = ["EvalConfig", "evaluate_audb"]
 
@@ -48,12 +57,15 @@ class EvalConfig:
 
     ``join_buckets`` / ``aggregation_buckets`` of ``None`` select the naive
     (tightest) semantics; integers select the corresponding compression
-    budget ``CT`` from the paper's experiments.
+    budget ``CT`` from the paper's experiments.  ``optimize`` runs the
+    shared logical plan optimizer before interpretation (exact rewrites;
+    default on).
     """
 
     join_buckets: Optional[int] = None
     aggregation_buckets: Optional[int] = None
     hash_join: bool = True
+    optimize: bool = True
 
 
 DEFAULT_CONFIG = EvalConfig()
@@ -67,17 +79,23 @@ def evaluate_audb(
     By Theorems 3/4/6 the result bounds the result of the plan over any
     incomplete database bounded by ``db``.
     """
+    if config.optimize:
+        plan = optimize(plan, Statistics.from_database(db))
+    return _evaluate(plan, db, config)
+
+
+def _evaluate(plan: Plan, db: AUDatabase, config: EvalConfig) -> AURelation:
     if isinstance(plan, TableRef):
         return db[plan.name]
     if isinstance(plan, Selection):
-        return ops.selection(evaluate_audb(plan.child, db, config), plan.condition)
+        return ops.selection(_evaluate(plan.child, db, config), plan.condition)
     if isinstance(plan, Projection):
         return ops.projection(
-            evaluate_audb(plan.child, db, config), list(plan.columns)
+            _evaluate(plan.child, db, config), list(plan.columns)
         )
     if isinstance(plan, Join):
-        left = evaluate_audb(plan.left, db, config)
-        right = evaluate_audb(plan.right, db, config)
+        left = _evaluate(plan.left, db, config)
+        right = _evaluate(plan.right, db, config)
         if config.join_buckets is not None:
             attrs = _join_attributes(plan.condition, left, right)
             if attrs is not None:
@@ -90,24 +108,24 @@ def evaluate_audb(
         )
     if isinstance(plan, CrossProduct):
         return ops.cross_product(
-            evaluate_audb(plan.left, db, config),
-            evaluate_audb(plan.right, db, config),
+            _evaluate(plan.left, db, config),
+            _evaluate(plan.right, db, config),
         )
     if isinstance(plan, Union):
         return ops.union(
-            evaluate_audb(plan.left, db, config),
-            evaluate_audb(plan.right, db, config),
+            _evaluate(plan.left, db, config),
+            _evaluate(plan.right, db, config),
         )
     if isinstance(plan, Difference):
         return ops.difference(
-            evaluate_audb(plan.left, db, config),
-            evaluate_audb(plan.right, db, config),
+            _evaluate(plan.left, db, config),
+            _evaluate(plan.right, db, config),
         )
     if isinstance(plan, Distinct):
-        return ops.distinct(evaluate_audb(plan.child, db, config))
+        return ops.distinct(_evaluate(plan.child, db, config))
     if isinstance(plan, Aggregate):
         result = aggregate(
-            evaluate_audb(plan.child, db, config),
+            _evaluate(plan.child, db, config),
             list(plan.group_by),
             list(plan.aggregates),
             compress_buckets=config.aggregation_buckets,
@@ -116,12 +134,13 @@ def evaluate_audb(
             result = ops.selection(result, plan.having)
         return result
     if isinstance(plan, Rename):
-        return ops.rename(evaluate_audb(plan.child, db, config), plan.mapping_dict())
+        return ops.rename(_evaluate(plan.child, db, config), plan.mapping_dict())
     if isinstance(plan, OrderBy):
-        return evaluate_audb(plan.child, db, config)
-    if isinstance(plan, Limit):
-        # LIMIT over unordered uncertain data: keep everything (sound).
-        return evaluate_audb(plan.child, db, config)
+        return _evaluate(plan.child, db, config)
+    if isinstance(plan, (Limit, TopK)):
+        # LIMIT / top-k over unordered uncertain data: keep everything
+        # (sound over-approximation).
+        return _evaluate(plan.child, db, config)
     raise TypeError(f"unsupported plan node {type(plan).__name__}")
 
 

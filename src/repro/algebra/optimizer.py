@@ -1,0 +1,702 @@
+"""Rule-based logical plan optimizer shared by both engines.
+
+The paper's middleware rewrites *one* logical query for the deterministic
+backend and for the bound-preserving AU encoding; because this repo's two
+interpreters (:func:`repro.db.engine.evaluate_det` and
+:func:`repro.algebra.evaluator.evaluate_audb`) share the
+:mod:`repro.algebra.ast` plan language, a single logical optimizer speeds
+up both at once.  Every rewrite below is semantics-preserving for *both*
+semantics — bag (``N``) and ``N^AU`` — which the property tests in
+``tests/test_optimizer.py`` verify on randomized plans and databases.
+
+Rules, applied in order by :func:`optimize`:
+
+1. **Selection splitting + pushdown** — conjunctive conditions are split
+   and each conjunct is pushed through Projection (by substituting the
+   projected expressions), Rename (by inverting the mapping), Union
+   (positionally, into both branches), OrderBy, and into the side(s) of a
+   Join / CrossProduct that cover its variables.  ``Distinct``,
+   ``Difference``, ``Aggregate``, and ``Limit`` are barriers: the AU
+   semantics of the first three SG-combines (merges ranges) before
+   filtering, so commuting a selection past them is unsound, and limiting
+   is order-sensitive.
+2. **Join promotion** — conjuncts spanning both sides of a CrossProduct
+   become the condition of a Join (both engines define ``R ⋈_θ S`` as
+   ``σ_θ(R × S)``, so this is definitional), which unlocks the engines'
+   hash-join fast paths.
+3. **Greedy equi-join reordering** — maximal Join/CrossProduct trees are
+   flattened into (leaves, conjuncts); leaves are re-ordered greedily by
+   estimated cardinality (:class:`Statistics`), joining along equi-edges
+   first.  A final projection restores the original column order.
+4. **OrderBy+Limit fusion** — ``Limit(OrderBy(R))`` becomes a
+   :class:`~repro.algebra.ast.TopK` node so the deterministic engine can
+   return the *correct* top-k rows.
+5. **Projection pruning** — columns no ancestor references are dropped by
+   inserting narrowing projections below joins and above base tables.
+
+Use :func:`explain` to render a plan (optimized or not) with per-node
+cardinality estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.expressions import (
+    Add,
+    And,
+    Const,
+    Div,
+    Eq,
+    Expression,
+    Geq,
+    Gt,
+    If,
+    IsNull,
+    Leq,
+    Lt,
+    MakeUncertain,
+    Mul,
+    Neg,
+    Neq,
+    Not,
+    Or,
+    Sub,
+    Var,
+)
+from .ast import (
+    Aggregate,
+    CrossProduct,
+    Difference,
+    Distinct,
+    Join,
+    Limit,
+    OrderBy,
+    Plan,
+    Projection,
+    Rename,
+    Selection,
+    TableRef,
+    TopK,
+    Union,
+)
+
+__all__ = ["Statistics", "optimize", "explain", "schema_of", "estimate"]
+
+
+# ----------------------------------------------------------------------
+# statistics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Statistics:
+    """Per-relation cardinalities and schemas driving cost decisions.
+
+    Harvested from either a :class:`~repro.db.storage.DetDatabase` or an
+    :class:`~repro.core.relation.AUDatabase` — both expose ``.relations``
+    mapping names to relations with a ``.schema``.
+    """
+
+    cardinalities: Mapping[str, int] = field(default_factory=dict)
+    schemas: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    @classmethod
+    def from_database(cls, db) -> "Statistics":
+        cards: Dict[str, int] = {}
+        schemas: Dict[str, Tuple[str, ...]] = {}
+        for name, rel in getattr(db, "relations", {}).items():
+            schemas[name] = tuple(rel.schema)
+            total = getattr(rel, "total_rows", None)
+            cards[name] = total() if callable(total) else len(rel)
+        return cls(cards, schemas)
+
+    def fingerprint(self) -> tuple:
+        return (
+            tuple(sorted(self.cardinalities.items())),
+            tuple(sorted((k, tuple(v)) for k, v in self.schemas.items())),
+        )
+
+
+DEFAULT_CARD = 1000.0
+
+
+# ----------------------------------------------------------------------
+# expression helpers
+# ----------------------------------------------------------------------
+def _split(condition: Expression) -> List[Expression]:
+    """Flatten a conjunction into its conjuncts."""
+    if isinstance(condition, And):
+        return _split(condition.left) + _split(condition.right)
+    return [condition]
+
+
+def _and_all(conjuncts: Sequence[Expression]) -> Expression:
+    out = conjuncts[0]
+    for c in conjuncts[1:]:
+        out = And(out, c)
+    return out
+
+
+_BINARY = (And, Or, Eq, Neq, Leq, Lt, Geq, Gt, Add, Sub, Mul, Div)
+
+
+def _substitute(
+    expr: Expression, mapping: Mapping[str, Expression]
+) -> Optional[Expression]:
+    """``expr[x := mapping[x]]``; ``None`` when an unknown node blocks it.
+
+    Substitution commutes with both ``eval`` and ``eval_range`` (both are
+    defined structurally over the valuation), which is what makes
+    pushdown through Projection/Rename semantics-preserving.
+    """
+    if isinstance(expr, Var):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, _BINARY):
+        left = _substitute(expr.left, mapping)
+        right = _substitute(expr.right, mapping)
+        if left is None or right is None:
+            return None
+        return type(expr)(left, right)
+    if isinstance(expr, (Not, Neg, IsNull)):
+        inner = _substitute(expr.operand, mapping)
+        return None if inner is None else type(expr)(inner)
+    if isinstance(expr, If):
+        parts = [
+            _substitute(e, mapping)
+            for e in (expr.cond, expr.then_branch, expr.else_branch)
+        ]
+        return None if any(p is None for p in parts) else If(*parts)
+    if isinstance(expr, MakeUncertain):
+        parts = [_substitute(e, mapping) for e in (expr.lb, expr.sg, expr.ub)]
+        return None if any(p is None for p in parts) else MakeUncertain(*parts)
+    return None
+
+
+# ----------------------------------------------------------------------
+# schema / cardinality inference
+# ----------------------------------------------------------------------
+def schema_of(plan: Plan, stats: Optional[Statistics]) -> Optional[Tuple[str, ...]]:
+    """Output attribute names of ``plan`` (``None`` when unknown)."""
+    if isinstance(plan, TableRef):
+        return stats.schemas.get(plan.name) if stats else None
+    if isinstance(plan, Projection):
+        return tuple(name for _, name in plan.columns)
+    if isinstance(plan, Aggregate):
+        return tuple(plan.group_by) + tuple(a.name for a in plan.aggregates)
+    if isinstance(plan, Rename):
+        child = schema_of(plan.child, stats)
+        if child is None:
+            return None
+        mapping = plan.mapping_dict()
+        return tuple(mapping.get(a, a) for a in child)
+    if isinstance(plan, (Join, CrossProduct)):
+        left = schema_of(plan.left, stats)
+        right = schema_of(plan.right, stats)
+        if left is None or right is None:
+            return None
+        return left + right
+    if isinstance(plan, (Union, Difference)):
+        return schema_of(plan.left, stats)
+    if isinstance(plan, (Selection, Distinct, OrderBy, Limit, TopK)):
+        return schema_of(plan.child, stats)
+    return None
+
+
+def estimate(plan: Plan, stats: Optional[Statistics]) -> float:
+    """Crude cardinality estimate used by the greedy join ordering."""
+    if isinstance(plan, TableRef):
+        if stats is not None:
+            return float(stats.cardinalities.get(plan.name, DEFAULT_CARD))
+        return DEFAULT_CARD
+    if isinstance(plan, Selection):
+        return max(1.0, estimate(plan.child, stats) / 3.0)
+    if isinstance(plan, (Projection, Rename, OrderBy, Distinct)):
+        return estimate(plan.child, stats)
+    if isinstance(plan, Join):
+        left = estimate(plan.left, stats)
+        right = estimate(plan.right, stats)
+        return max(1.0, left * right / max(min(left, right), 1.0))
+    if isinstance(plan, CrossProduct):
+        return estimate(plan.left, stats) * estimate(plan.right, stats)
+    if isinstance(plan, Union):
+        return estimate(plan.left, stats) + estimate(plan.right, stats)
+    if isinstance(plan, Difference):
+        return estimate(plan.left, stats)
+    if isinstance(plan, Aggregate):
+        child = estimate(plan.child, stats)
+        return max(1.0, child / 4.0) if plan.group_by else 1.0
+    if isinstance(plan, (Limit, TopK)):
+        return min(float(plan.n), estimate(plan.child, stats))
+    return DEFAULT_CARD
+
+
+# ----------------------------------------------------------------------
+# rule 1+2: selection splitting, pushdown, join promotion
+# ----------------------------------------------------------------------
+def _wrap(plan: Plan, conjuncts: Sequence[Expression]) -> Plan:
+    if not conjuncts:
+        return plan
+    return Selection(plan, _and_all(list(conjuncts)))
+
+
+def _pushdown(plan: Plan, pending: List[Expression], stats) -> Plan:
+    """Equivalent of ``σ_{∧pending}(plan)`` with conjuncts pushed deep."""
+    if isinstance(plan, Selection):
+        return _pushdown(plan.child, _split(plan.condition) + pending, stats)
+
+    if isinstance(plan, Projection):
+        mapping = {name: expr for expr, name in plan.columns}
+        down: List[Expression] = []
+        kept: List[Expression] = []
+        for c in pending:
+            substituted = None
+            if all(v in mapping for v in c.variables()):
+                substituted = _substitute(c, mapping)
+            if substituted is None:
+                kept.append(c)
+            else:
+                down.append(substituted)
+        child = _pushdown(plan.child, down, stats)
+        return _wrap(Projection(child, plan.columns), kept)
+
+    if isinstance(plan, Rename):
+        inverse = {new: Var(old) for old, new in plan.mapping}
+        down, kept = [], []
+        for c in pending:
+            substituted = _substitute(c, inverse)
+            if substituted is None:
+                kept.append(c)
+            else:
+                down.append(substituted)
+        child = _pushdown(plan.child, down, stats)
+        return _wrap(Rename(child, plan.mapping_dict()), kept)
+
+    if isinstance(plan, Union):
+        left_schema = schema_of(plan.left, stats)
+        right_schema = schema_of(plan.right, stats)
+        if (
+            left_schema is not None
+            and right_schema is not None
+            and len(left_schema) == len(right_schema)
+            and len(set(left_schema)) == len(left_schema)
+            and len(set(right_schema)) == len(right_schema)
+        ):
+            # union output names follow the left branch; translate into the
+            # right branch positionally
+            left_set = set(left_schema)
+            positional = {l: Var(r) for l, r in zip(left_schema, right_schema)}
+            down_left, down_right, kept = [], [], []
+            for c in pending:
+                translated = None
+                if c.variables() <= left_set:
+                    translated = _substitute(c, positional)
+                if translated is None:
+                    kept.append(c)
+                else:
+                    down_left.append(c)
+                    down_right.append(translated)
+            left = _pushdown(plan.left, down_left, stats)
+            right = _pushdown(plan.right, down_right, stats)
+            return _wrap(Union(left, right), kept)
+        left = _pushdown(plan.left, [], stats)
+        right = _pushdown(plan.right, [], stats)
+        return _wrap(Union(left, right), pending)
+
+    if isinstance(plan, (Join, CrossProduct)):
+        conjuncts = list(pending)
+        if isinstance(plan, Join):
+            conjuncts = _split(plan.condition) + conjuncts
+        left_schema = schema_of(plan.left, stats)
+        right_schema = schema_of(plan.right, stats)
+        if (
+            left_schema is not None
+            and right_schema is not None
+            and not set(left_schema) & set(right_schema)
+        ):
+            left_set, right_set = set(left_schema), set(right_schema)
+            down_left, down_right, here = [], [], []
+            for c in conjuncts:
+                variables = c.variables()
+                if variables <= left_set:
+                    down_left.append(c)
+                elif variables <= right_set:
+                    down_right.append(c)
+                else:
+                    here.append(c)
+            left = _pushdown(plan.left, down_left, stats)
+            right = _pushdown(plan.right, down_right, stats)
+            if here:
+                return Join(left, right, _and_all(here))
+            return CrossProduct(left, right)
+        left = _pushdown(plan.left, [], stats)
+        right = _pushdown(plan.right, [], stats)
+        if isinstance(plan, Join):
+            return _wrap(Join(left, right, plan.condition), pending)
+        return _wrap(CrossProduct(left, right), pending)
+
+    if isinstance(plan, OrderBy):
+        child = _pushdown(plan.child, pending, stats)
+        return OrderBy(child, plan.keys, plan.descending)
+
+    # barriers: filtering before SG-combining (Distinct/Difference) or
+    # before grouping (Aggregate) changes AU range merging; Limit/TopK are
+    # order-sensitive; TableRef is a leaf.
+    if isinstance(plan, Distinct):
+        return _wrap(Distinct(_pushdown(plan.child, [], stats)), pending)
+    if isinstance(plan, Difference):
+        left = _pushdown(plan.left, [], stats)
+        right = _pushdown(plan.right, [], stats)
+        return _wrap(Difference(left, right), pending)
+    if isinstance(plan, Aggregate):
+        child = _pushdown(plan.child, [], stats)
+        return _wrap(
+            Aggregate(child, plan.group_by, plan.aggregates, plan.having), pending
+        )
+    if isinstance(plan, Limit):
+        return _wrap(Limit(_pushdown(plan.child, [], stats), plan.n), pending)
+    if isinstance(plan, TopK):
+        child = _pushdown(plan.child, [], stats)
+        return _wrap(TopK(child, plan.keys, plan.descending, plan.n), pending)
+    return _wrap(plan, pending)
+
+
+# ----------------------------------------------------------------------
+# rule 3: greedy equi-join reordering
+# ----------------------------------------------------------------------
+def _flatten_joins(
+    plan: Plan, leaves: List[Plan], conjuncts: List[Expression]
+) -> None:
+    if isinstance(plan, Join):
+        conjuncts.extend(_split(plan.condition))
+        _flatten_joins(plan.left, leaves, conjuncts)
+        _flatten_joins(plan.right, leaves, conjuncts)
+    elif isinstance(plan, CrossProduct):
+        _flatten_joins(plan.left, leaves, conjuncts)
+        _flatten_joins(plan.right, leaves, conjuncts)
+    else:
+        leaves.append(plan)
+
+
+def _is_equi(c: Expression) -> bool:
+    return isinstance(c, Eq) and isinstance(c.left, Var) and isinstance(c.right, Var)
+
+
+def _reorder_joins(plan: Plan, stats) -> Plan:
+    if isinstance(plan, (Join, CrossProduct)):
+        leaves: List[Plan] = []
+        conjuncts: List[Expression] = []
+        _flatten_joins(plan, leaves, conjuncts)
+        schemas = [schema_of(leaf, stats) for leaf in leaves]
+        all_attrs: List[str] = [a for s in schemas if s is not None for a in s]
+        if (
+            len(leaves) >= 3
+            and all(s is not None for s in schemas)
+            and len(set(all_attrs)) == len(all_attrs)
+        ):
+            # attribute names are globally unique across the leaves, so
+            # re-attaching a conjunct in a wider scope cannot re-bind it
+            # to a different column
+            new_leaves = [_reorder_joins(leaf, stats) for leaf in leaves]
+            reordered = _greedy_join_tree(new_leaves, schemas, conjuncts, stats)
+            if reordered is not None:
+                return reordered
+        # duplicate / unknown attribute names, few leaves, or a free
+        # conjunct variable: keep the original join structure untouched
+        return _rebuild(plan, lambda child: _reorder_joins(child, stats))
+    return _rebuild(plan, lambda child: _reorder_joins(child, stats))
+
+
+def _greedy_join_tree(
+    leaves: List[Plan],
+    schemas: List[Tuple[str, ...]],
+    conjuncts: List[Expression],
+    stats,
+) -> Optional[Plan]:
+    n = len(leaves)
+    attr_to_leaf = {a: i for i, s in enumerate(schemas) for a in s}
+    conjunct_leaves: List[Set[int]] = []
+    for c in conjuncts:
+        touched = set()
+        for v in c.variables():
+            if v not in attr_to_leaf:
+                return None  # free variable; bail out, caller keeps order
+            touched.add(attr_to_leaf[v])
+        conjunct_leaves.append(touched)
+
+    cards = [estimate(leaf, stats) for leaf in leaves]
+    remaining = set(range(n))
+    start = min(remaining, key=lambda i: (cards[i], i))
+    order = [start]
+    current = {start}
+    remaining.discard(start)
+    while remaining:
+        def connected(i: int) -> bool:
+            return any(
+                _is_equi(conjuncts[j]) and i in conjunct_leaves[j]
+                and conjunct_leaves[j] <= current | {i}
+                for j in range(len(conjuncts))
+            )
+
+        pool = [i for i in remaining if connected(i)] or sorted(remaining)
+        nxt = min(pool, key=lambda i: (cards[i], i))
+        order.append(nxt)
+        current.add(nxt)
+        remaining.discard(nxt)
+
+    tree = _attach_conjuncts(order, leaves, schemas, conjuncts)
+    if order != list(range(n)):
+        # restore the original column order (pure column projection: exact
+        # in both semantics — annotations of identical tuples merge the
+        # same way on either side of the join)
+        original = [a for s in schemas for a in s]
+        tree = Projection(tree, [(Var(a), a) for a in original])
+    return tree
+
+
+def _attach_conjuncts(
+    order: List[int],
+    leaves: List[Plan],
+    schemas: List[Tuple[str, ...]],
+    conjuncts: List[Expression],
+) -> Plan:
+    """Left-deep join tree over ``order``; each conjunct attaches at the
+    first join where all its variables are in scope."""
+    attr_to_leaf = {a: i for i, s in enumerate(schemas) for a in s}
+    conjunct_leaves = [
+        {attr_to_leaf[v] for v in c.variables() if v in attr_to_leaf}
+        for c in conjuncts
+    ]
+    placed = [False] * len(conjuncts)
+    in_tree = {order[0]}
+    initial = []
+    for j, c in enumerate(conjuncts):
+        if conjunct_leaves[j] <= in_tree:
+            placed[j] = True
+            initial.append(c)
+    tree = _wrap(leaves[order[0]], initial)
+    for i in order[1:]:
+        in_tree.add(i)
+        attach = [
+            j
+            for j in range(len(conjuncts))
+            if not placed[j] and conjunct_leaves[j] <= in_tree
+        ]
+        for j in attach:
+            placed[j] = True
+        if attach:
+            tree = Join(tree, leaves[i], _and_all([conjuncts[j] for j in attach]))
+        else:
+            tree = CrossProduct(tree, leaves[i])
+    leftover = [c for j, c in enumerate(conjuncts) if not placed[j]]
+    return _wrap(tree, leftover)
+
+
+# ----------------------------------------------------------------------
+# rule 4: ORDER BY + LIMIT fusion
+# ----------------------------------------------------------------------
+def _fuse_topk(plan: Plan) -> Plan:
+    if isinstance(plan, Limit) and isinstance(plan.child, OrderBy):
+        inner = plan.child
+        return TopK(_fuse_topk(inner.child), inner.keys, inner.descending, plan.n)
+    return _rebuild(plan, _fuse_topk)
+
+
+def _rebuild(plan: Plan, recurse) -> Plan:
+    """Rebuild a node with ``recurse`` applied to its children."""
+    if isinstance(plan, Selection):
+        return Selection(recurse(plan.child), plan.condition)
+    if isinstance(plan, Projection):
+        return Projection(recurse(plan.child), plan.columns)
+    if isinstance(plan, Rename):
+        return Rename(recurse(plan.child), plan.mapping_dict())
+    if isinstance(plan, Join):
+        return Join(recurse(plan.left), recurse(plan.right), plan.condition)
+    if isinstance(plan, CrossProduct):
+        return CrossProduct(recurse(plan.left), recurse(plan.right))
+    if isinstance(plan, Union):
+        return Union(recurse(plan.left), recurse(plan.right))
+    if isinstance(plan, Difference):
+        return Difference(recurse(plan.left), recurse(plan.right))
+    if isinstance(plan, Distinct):
+        return Distinct(recurse(plan.child))
+    if isinstance(plan, Aggregate):
+        return Aggregate(recurse(plan.child), plan.group_by, plan.aggregates, plan.having)
+    if isinstance(plan, OrderBy):
+        return OrderBy(recurse(plan.child), plan.keys, plan.descending)
+    if isinstance(plan, Limit):
+        return Limit(recurse(plan.child), plan.n)
+    if isinstance(plan, TopK):
+        return TopK(recurse(plan.child), plan.keys, plan.descending, plan.n)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# rule 5: projection pruning
+# ----------------------------------------------------------------------
+def _prune(plan: Plan, needed: Optional[Set[str]], stats) -> Plan:
+    """Drop columns no ancestor references.
+
+    ``needed`` is the set of output attributes ancestors use (``None`` =
+    all).  The returned plan's schema is always a superset of ``needed``
+    (narrowing inserts pure-column projections, which merge annotations of
+    identical tuples — exact in both semantics under the nodes we prune
+    through).
+    """
+    if isinstance(plan, Projection):
+        required: Set[str] = set()
+        for expr, _name in plan.columns:
+            required |= expr.variables()
+        return Projection(_prune(plan.child, required, stats), plan.columns)
+    if isinstance(plan, Selection):
+        child_needed = None if needed is None else needed | plan.condition.variables()
+        return Selection(_prune(plan.child, child_needed, stats), plan.condition)
+    if isinstance(plan, Rename):
+        child_schema = schema_of(plan.child, stats)
+        mapping = plan.mapping_dict()
+        if needed is None or child_schema is None:
+            child_needed = None
+        else:
+            child_needed = {a for a in child_schema if mapping.get(a, a) in needed}
+        return Rename(_prune(plan.child, child_needed, stats), mapping)
+    if isinstance(plan, (Join, CrossProduct)):
+        condition_vars = (
+            plan.condition.variables() if isinstance(plan, Join) else frozenset()
+        )
+        total = None if needed is None else needed | condition_vars
+        left = _narrow(plan.left, total, stats)
+        right = _narrow(plan.right, total, stats)
+        if isinstance(plan, Join):
+            return Join(left, right, plan.condition)
+        return CrossProduct(left, right)
+    if isinstance(plan, Aggregate):
+        child_needed: Set[str] = set(plan.group_by)
+        for spec in plan.aggregates:
+            if spec.expr is not None:
+                child_needed |= spec.expr.variables()
+        return Aggregate(
+            _narrow(plan.child, child_needed, stats),
+            plan.group_by,
+            plan.aggregates,
+            plan.having,
+        )
+    if isinstance(plan, OrderBy):
+        child_needed = None if needed is None else needed | set(plan.keys)
+        return OrderBy(_prune(plan.child, child_needed, stats), plan.keys, plan.descending)
+    # barriers: positional set operations, duplicate elimination, and
+    # full-tuple-ordered limits must see every column of their input
+    if isinstance(plan, Union):
+        return Union(_prune(plan.left, None, stats), _prune(plan.right, None, stats))
+    if isinstance(plan, Difference):
+        return Difference(
+            _prune(plan.left, None, stats), _prune(plan.right, None, stats)
+        )
+    if isinstance(plan, Distinct):
+        return Distinct(_prune(plan.child, None, stats))
+    if isinstance(plan, Limit):
+        return Limit(_prune(plan.child, None, stats), plan.n)
+    if isinstance(plan, TopK):
+        return TopK(_prune(plan.child, None, stats), plan.keys, plan.descending, plan.n)
+    return plan
+
+
+def _narrow(plan: Plan, needed: Optional[Set[str]], stats) -> Plan:
+    """Prune ``plan`` and, when its schema still has unused columns, wrap
+    it in a narrowing projection."""
+    pruned = _prune(plan, needed, stats)
+    if needed is None:
+        return pruned
+    schema = schema_of(pruned, stats)
+    if schema is None or len(set(schema)) != len(schema):
+        return pruned
+    kept = [a for a in schema if a in needed]
+    if not kept or len(kept) == len(schema):
+        return pruned
+    if isinstance(pruned, Projection):
+        narrowed = [(e, n) for e, n in pruned.columns if n in needed]
+        if narrowed:
+            return Projection(pruned.child, narrowed)
+        return pruned
+    return Projection(pruned, [(Var(a), a) for a in kept])
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+_CACHE: Dict[tuple, Tuple[Plan, Plan]] = {}
+_CACHE_LIMIT = 512
+
+
+def optimize(plan: Plan, stats: Optional[Statistics] = None) -> Plan:
+    """Rewrite ``plan`` into an equivalent, usually cheaper plan.
+
+    All rewrites preserve both the deterministic bag semantics and the
+    AU-DB annotation semantics exactly (see module docstring).  ``stats``
+    supplies table schemas and cardinalities; without it, only rewrites
+    that need no schema knowledge (selection splitting, join promotion,
+    OrderBy+Limit fusion) apply.
+    """
+    key = (id(plan), stats.fingerprint() if stats is not None else None)
+    hit = _CACHE.get(key)
+    if hit is not None and hit[0] is plan:
+        return hit[1]
+    optimized = _pushdown(plan, [], stats)
+    optimized = _reorder_joins(optimized, stats)
+    optimized = _fuse_topk(optimized)
+    optimized = _prune(optimized, None, stats)
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.clear()
+    _CACHE[key] = (plan, optimized)
+    return optimized
+
+
+# ----------------------------------------------------------------------
+# explain
+# ----------------------------------------------------------------------
+def _describe(plan: Plan) -> str:
+    if isinstance(plan, TableRef):
+        return f"Table {plan.name}"
+    if isinstance(plan, Selection):
+        return f"Selection σ[{plan.condition!r}]"
+    if isinstance(plan, Projection):
+        cols = ", ".join(f"{e!r}→{n}" if repr(e) != n else n for e, n in plan.columns)
+        return f"Projection π[{cols}]"
+    if isinstance(plan, Join):
+        return f"Join ⋈[{plan.condition!r}]"
+    if isinstance(plan, CrossProduct):
+        return "CrossProduct ×"
+    if isinstance(plan, Union):
+        return "Union ∪"
+    if isinstance(plan, Difference):
+        return "Difference −"
+    if isinstance(plan, Distinct):
+        return "Distinct δ"
+    if isinstance(plan, Aggregate):
+        aggs = ", ".join(f"{a.kind}({a.expr!r})→{a.name}" for a in plan.aggregates)
+        return f"Aggregate γ[{','.join(plan.group_by)}; {aggs}]"
+    if isinstance(plan, Rename):
+        return f"Rename ρ[{plan.mapping_dict()}]"
+    if isinstance(plan, OrderBy):
+        order = "desc" if plan.descending else "asc"
+        return f"OrderBy [{', '.join(plan.keys)} {order}]"
+    if isinstance(plan, Limit):
+        return f"Limit [{plan.n}]"
+    if isinstance(plan, TopK):
+        order = "desc" if plan.descending else "asc"
+        return f"TopK [{', '.join(plan.keys)} {order}; n={plan.n}]"
+    return type(plan).__name__
+
+
+def explain(plan: Plan, stats: Optional[Statistics] = None) -> str:
+    """Render ``plan`` as an indented tree with cardinality estimates."""
+    lines: List[str] = []
+
+    def walk(node: Plan, depth: int) -> None:
+        est = estimate(node, stats)
+        lines.append(f"{'  ' * depth}{_describe(node)}  (~{est:.0f} rows)")
+        for child in node.children():
+            walk(child, depth + 1)
+
+    walk(plan, 0)
+    return "\n".join(lines)

@@ -99,7 +99,9 @@ def run_mcdb(
     schema: Tuple[str, ...] = ()
     for _ in range(n_samples):
         world = source.sample_world(rng)
-        result = evaluate_det(plan, world)
+        # interpret the plan as written: the baseline's per-sample cost
+        # must not include re-optimizing the same plan every world
+        result = evaluate_det(plan, world, optimize=False)
         schema = result.schema
         samples.append(result)
     return MCDBResult(schema, samples)

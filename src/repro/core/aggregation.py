@@ -91,8 +91,12 @@ def semimodule_action(monoid: Monoid, k: int, m: Any) -> Any:
 
     ``*_{N,SUM}`` is multiplication; for MIN/MAX a non-zero multiplicity
     acts as the identity and zero yields the neutral element (Section 9.2).
+    Zero copies sum to the neutral ``0`` even for infinite ``m`` (plain
+    ``0 * inf`` would be ``nan``).
     """
     if monoid.name == "SUM":
+        if k == 0:
+            return 0
         return k * m
     return m if k != 0 else monoid.neutral
 
@@ -558,4 +562,6 @@ def _empty_aggregate_value(spec: AggregateSpec) -> RangeValue:
         return certain(0)
     if spec.kind == "avg":
         return certain(0.0)
-    return certain(_monoid_for(spec.kind).neutral)
+    # SQL semantics (mirrored by the Det engine): MIN/MAX over an empty
+    # input is NULL, not the monoid's ±inf neutral element
+    return certain(None)

@@ -59,10 +59,13 @@ def domain_key(value: Any) -> tuple:
 
     The paper assumes a total order over a universal domain that mixes
     types (Section 3).  We realize it by ordering first on a type rank and
-    then on the value itself.  Booleans order ``False < True`` (the order
-    used for the boolean domain in Example 5), numbers order numerically,
-    strings lexicographically.  ``None`` sorts below every other value of
-    any type, and the infinity sentinels bracket everything.
+    then on the value itself.  Booleans rank *with* the numbers as 0/1 —
+    matching Python's ``True == 1`` — so a value can never be "certain"
+    under ``==`` yet unequal under the domain order; ``False < True``
+    still holds (the order used for the boolean domain in Example 5).
+    Numbers order numerically, strings lexicographically.  ``None`` sorts
+    below every other value of any type, and the infinity sentinels
+    bracket everything.
     """
     kind = type(value)
     if kind is int or kind is float:
@@ -70,7 +73,7 @@ def domain_key(value: Any) -> tuple:
     if kind is str:
         return (2, value)
     if kind is bool:
-        return (0, 1 if value else 0)
+        return (1, 1 if value else 0)
     if value is None:
         return (-1, 0)
     if kind is _NegInf:
@@ -78,7 +81,7 @@ def domain_key(value: Any) -> tuple:
     if kind is _PosInf:
         return (4, 0)
     if isinstance(value, bool):  # bool subclasses
-        return (0, 1 if value else 0)
+        return (1, 1 if value else 0)
     if isinstance(value, (int, float)):
         return (1, value)
     if isinstance(value, str):

@@ -6,13 +6,22 @@ projection sums multiplicities, joins multiply them, union adds, difference
 is truncating subtraction, aggregation folds multiplicities into SUM/COUNT
 and ignores them for MIN/MAX.
 
-This engine doubles as the *possible-world evaluator*: the ground-truth
-oracle runs the same plan in every world of an incomplete database.
+``ORDER BY … LIMIT k`` is honoured: a :class:`~repro.algebra.ast.Limit`
+whose child is an :class:`~repro.algebra.ast.OrderBy` (or a fused
+:class:`~repro.algebra.ast.TopK` produced by the optimizer) returns the
+top-k rows under the requested sort keys; a bare ``Limit`` falls back to
+the full-tuple domain order, which is arbitrary but deterministic.  Empty
+MIN/MAX aggregates return ``None`` (SQL NULL), not ±inf.
+
+By default plans first pass through the shared logical optimizer
+(:mod:`repro.algebra.optimizer`); pass ``optimize=False`` for the plan
+exactly as written.  This engine doubles as the *possible-world
+evaluator*: the ground-truth oracle runs the same plan in every world of
+an incomplete database.
 """
 
 from __future__ import annotations
 
-import math
 from typing import Any, Dict, List, Sequence, Tuple
 
 from ..algebra.ast import (
@@ -28,8 +37,10 @@ from ..algebra.ast import (
     Rename,
     Selection,
     TableRef,
+    TopK,
     Union,
 )
+from ..algebra.optimizer import Statistics, optimize as _optimize_plan
 from ..core.aggregation import AggregateSpec
 from ..core.expressions import Expression, RowView, Var
 from ..core.ranges import domain_key
@@ -38,37 +49,59 @@ from .storage import DetDatabase, DetRelation
 __all__ = ["evaluate_det"]
 
 
-def evaluate_det(plan: Plan, db: DetDatabase) -> DetRelation:
-    """Evaluate ``plan`` over deterministic database ``db``."""
+def evaluate_det(plan: Plan, db: DetDatabase, optimize: bool = True) -> DetRelation:
+    """Evaluate ``plan`` over deterministic database ``db``.
+
+    ``optimize`` (default on) runs the shared logical plan optimizer
+    first; its rewrites are exact for bag semantics, so the result is
+    identical either way.
+    """
+    if optimize:
+        plan = _optimize_plan(plan, Statistics.from_database(db))
+    return _evaluate(plan, db)
+
+
+def _evaluate(plan: Plan, db: DetDatabase) -> DetRelation:
     if isinstance(plan, TableRef):
         return db[plan.name]
     if isinstance(plan, Selection):
-        return _selection(evaluate_det(plan.child, db), plan.condition)
+        return _selection(_evaluate(plan.child, db), plan.condition)
     if isinstance(plan, Projection):
-        return _projection(evaluate_det(plan.child, db), plan.columns)
+        return _projection(_evaluate(plan.child, db), plan.columns)
     if isinstance(plan, Join):
         return _join(
-            evaluate_det(plan.left, db), evaluate_det(plan.right, db), plan.condition
+            _evaluate(plan.left, db), _evaluate(plan.right, db), plan.condition
         )
     if isinstance(plan, CrossProduct):
-        return _cross(evaluate_det(plan.left, db), evaluate_det(plan.right, db))
+        return _cross(_evaluate(plan.left, db), _evaluate(plan.right, db))
     if isinstance(plan, Union):
-        return _union(evaluate_det(plan.left, db), evaluate_det(plan.right, db))
+        return _union(_evaluate(plan.left, db), _evaluate(plan.right, db))
     if isinstance(plan, Difference):
-        return _difference(evaluate_det(plan.left, db), evaluate_det(plan.right, db))
+        return _difference(_evaluate(plan.left, db), _evaluate(plan.right, db))
     if isinstance(plan, Distinct):
-        return _distinct(evaluate_det(plan.child, db))
+        return _distinct(_evaluate(plan.child, db))
     if isinstance(plan, Aggregate):
-        result = _aggregate(evaluate_det(plan.child, db), plan.group_by, plan.aggregates)
+        result = _aggregate(_evaluate(plan.child, db), plan.group_by, plan.aggregates)
         if plan.having is not None:
             result = _selection(result, plan.having)
         return result
     if isinstance(plan, Rename):
-        return _rename(evaluate_det(plan.child, db), plan.mapping_dict())
+        return _rename(_evaluate(plan.child, db), plan.mapping_dict())
     if isinstance(plan, OrderBy):
-        return evaluate_det(plan.child, db)  # bags are unordered
+        return _evaluate(plan.child, db)  # bags are unordered
+    if isinstance(plan, TopK):
+        return _topk(
+            _evaluate(plan.child, db), plan.keys, plan.descending, plan.n
+        )
     if isinstance(plan, Limit):
-        return _limit(evaluate_det(plan.child, db), plan.n)
+        child = plan.child
+        if isinstance(child, OrderBy):
+            # thread the ORDER BY keys into the limit so the *right* top-k
+            # rows survive, not the top-k of an arbitrary tuple order
+            return _topk(
+                _evaluate(child.child, db), child.keys, child.descending, plan.n
+            )
+        return _limit(_evaluate(child, db), plan.n)
     raise TypeError(f"unsupported plan node {type(plan).__name__}")
 
 
@@ -152,6 +185,8 @@ def _cross(left: DetRelation, right: DetRelation) -> DetRelation:
 
 
 def _union(left: DetRelation, right: DetRelation) -> DetRelation:
+    if len(left.schema) != len(right.schema):
+        raise ValueError("union requires union-compatible schemas")
     out = DetRelation(left.schema)
     for t, m in left.tuples():
         out.add(t, m)
@@ -161,6 +196,8 @@ def _union(left: DetRelation, right: DetRelation) -> DetRelation:
 
 
 def _difference(left: DetRelation, right: DetRelation) -> DetRelation:
+    if len(left.schema) != len(right.schema):
+        raise ValueError("difference requires union-compatible schemas")
     out = DetRelation(left.schema)
     for t, m in left.tuples():
         remaining = m - right.multiplicity(t)
@@ -187,6 +224,28 @@ def _limit(rel: DetRelation, n: int) -> DetRelation:
     out = DetRelation(rel.schema)
     taken = 0
     for t, m in sorted(rel.tuples(), key=lambda i: tuple(map(domain_key, i[0]))):
+        if taken >= n:
+            break
+        take = min(m, n - taken)
+        out.add(t, take)
+        taken += take
+    return out
+
+
+def _topk(
+    rel: DetRelation, keys: Sequence[str], descending: bool, n: int
+) -> DetRelation:
+    """``ORDER BY keys [DESC] LIMIT n`` with a deterministic full-tuple
+    tie-break within equal sort keys."""
+    out = DetRelation(rel.schema)
+    key_idx = [rel.attr_index(k) for k in keys]
+    rows = sorted(rel.tuples(), key=lambda i: tuple(map(domain_key, i[0])))
+    rows.sort(
+        key=lambda i: tuple(domain_key(i[0][j]) for j in key_idx),
+        reverse=descending,
+    )
+    taken = 0
+    for t, m in rows:
         if taken >= n:
             break
         take = min(m, n - taken)
@@ -252,4 +311,5 @@ def _empty_value(spec: AggregateSpec) -> Any:
         return 0
     if spec.kind == "avg":
         return 0.0
-    return math.inf if spec.kind == "min" else -math.inf
+    # SQL semantics: MIN/MAX over an empty input is NULL, not ±inf
+    return None

@@ -70,8 +70,14 @@ class IncompleteDatabase:
 
 
 def query_worlds(plan: Plan, incomplete: IncompleteDatabase) -> List[DetRelation]:
-    """Possible-world query semantics: ``Q(D) = {Q(W) | W in D}``."""
-    return [evaluate_det(plan, world) for world in incomplete.worlds]
+    """Possible-world query semantics: ``Q(D) = {Q(W) | W in D}``.
+
+    The plan is interpreted exactly as written (``optimize=False``): the
+    ground-truth oracle must stay independent of the logical optimizer it
+    is used to validate, and re-optimizing per world would be pure
+    overhead anyway.
+    """
+    return [evaluate_det(plan, world, optimize=False) for world in incomplete.worlds]
 
 
 def certain_bag(results: Sequence[DetRelation]) -> Dict[Tuple[Any, ...], int]:

@@ -15,6 +15,11 @@ Aggregates ``SUM/COUNT/MIN/MAX/AVG`` in the select list trigger an
 :class:`~repro.core.expressions.If`.  Attribute names are assumed globally
 unique across joined tables (TPC-H style), which keeps name resolution
 simple and mirrors the paper's examples.
+
+``ORDER BY`` keys that the select list projects away (legal SQL) are
+sorted — and, with ``LIMIT``, top-k'd via
+:class:`~repro.algebra.ast.TopK` — *below* the projection, so the
+deterministic engine returns the correct rows.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from ..algebra.ast import (
     Projection,
     Selection,
     TableRef,
+    TopK,
     Union,
 )
 from ..core.aggregation import AggregateSpec
@@ -130,9 +136,9 @@ class _Parser:
 
         if is_distinct:
             plan = Distinct(plan)
+        keys: List[str] = []
+        descending = False
         if self.accept_kw("ORDER", "BY"):
-            keys = []
-            descending = False
             while True:
                 keys.append(self.expect("ident").value)
                 if self.accept("keyword", "DESC"):
@@ -141,9 +147,43 @@ class _Parser:
                     self.accept("keyword", "ASC")
                 if not self.accept("symbol", ","):
                     break
-            plan = OrderBy(plan, keys, descending)
+        limit_n: Optional[int] = None
         if self.accept_kw("LIMIT"):
-            plan = Limit(plan, int(self.expect("number").value))
+            limit_n = int(self.expect("number").value)
+
+        if keys and isinstance(plan, Distinct) and isinstance(plan.child, Projection):
+            visible = {name for _, name in plan.child.columns}
+            if not all(k in visible for k in keys):
+                # mirrors real SQL: "for SELECT DISTINCT, ORDER BY
+                # expressions must appear in select list"
+                raise SqlSyntaxError(
+                    "ORDER BY column must appear in the SELECT DISTINCT list"
+                )
+        if keys and isinstance(plan, Projection):
+            out_names = {name for _, name in plan.columns}
+            hidden = list(dict.fromkeys(k for k in keys if k not in out_names))
+            if hidden:
+                # ORDER BY mentions columns the projection drops (legal
+                # SQL).  Extend the projection with the hidden keys so the
+                # sort sees select-list aliases (resolved first, as SQL
+                # requires — including computed ones) *and* the base
+                # columns, then re-project to the select list on top.
+                inner = Projection(
+                    plan.child,
+                    list(plan.columns) + [(Var(k), k) for k in hidden],
+                )
+                sorted_plan: Plan
+                if limit_n is not None:
+                    sorted_plan = TopK(inner, keys, descending, limit_n)
+                else:
+                    sorted_plan = OrderBy(inner, keys, descending)
+                return Projection(
+                    sorted_plan, [(Var(name), name) for _, name in plan.columns]
+                )
+        if keys:
+            plan = OrderBy(plan, keys, descending)
+        if limit_n is not None:
+            plan = Limit(plan, limit_n)
         return plan
 
     def _apply_select(

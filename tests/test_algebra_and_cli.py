@@ -119,3 +119,22 @@ class TestCli:
 
         assert main(["SELECT a FROM missing"]) == 0
         assert "error" in capsys.readouterr().out
+
+    def test_explain_flag_prints_plan(self, capsys):
+        from repro.__main__ import main
+
+        code = main(["--explain", "SELECT locale FROM locales WHERE rate > 5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- plan --" in out
+        assert "Table locales" in out
+        assert "rows" in out
+
+    def test_no_optimize_flag_matches_optimized_results(self, capsys):
+        from repro.__main__ import main
+
+        main(["SELECT locale FROM locales WHERE rate > 5"])
+        optimized = capsys.readouterr().out
+        main(["--no-optimize", "SELECT locale FROM locales WHERE rate > 5"])
+        plain = capsys.readouterr().out
+        assert optimized == plain

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.algebra.ast import TableRef, Union, Difference
+from repro.algebra.ast import TableRef, TopK, Union, Difference
 from repro.core.aggregation import agg_avg, agg_count, agg_max, agg_min, agg_sum
 from repro.core.expressions import Const, Var
 from repro.db.engine import evaluate_det
@@ -89,6 +89,96 @@ class TestOperators:
         out = evaluate_det(plan, db)
         assert out.total_rows() == 2
 
+    def test_union_rejects_arity_mismatch(self, db):
+        plan = Union(TableRef("emp"), TableRef("dept"))
+        with pytest.raises(ValueError, match="union-compatible"):
+            evaluate_det(plan, db)
+
+    def test_difference_rejects_arity_mismatch(self, db):
+        plan = Difference(TableRef("emp"), TableRef("dept"))
+        with pytest.raises(ValueError, match="union-compatible"):
+            evaluate_det(plan, db)
+
+
+class TestOrderByLimit:
+    """Regression: ORDER BY … LIMIT k must return the top-k under the
+    requested sort keys, not the top-k of an arbitrary tuple order."""
+
+    @pytest.mark.parametrize("optimize", [True, False], ids=["opt", "noopt"])
+    def test_order_by_desc_limit_returns_top_k(self, db, optimize):
+        plan = TableRef("emp").order_by(["salary"], descending=True).limit(2)
+        out = evaluate_det(plan, db, optimize=optimize)
+        assert set(out.rows) == {("ann", "eng", 100), ("bob", "eng", 80)}
+
+    @pytest.mark.parametrize("optimize", [True, False], ids=["opt", "noopt"])
+    def test_order_by_asc_limit_returns_bottom_k(self, db, optimize):
+        plan = TableRef("emp").order_by(["salary"]).limit(2)
+        out = evaluate_det(plan, db, optimize=optimize)
+        assert all(t[2] == 60 for t in out.rows)
+        assert out.total_rows() == 2
+
+    def test_sql_order_by_limit(self, db):
+        from repro.sql.parser import parse_sql
+
+        plan = parse_sql("SELECT name FROM emp ORDER BY salary DESC LIMIT 1")
+        out = evaluate_det(plan, db)
+        assert set(out.rows) == {("ann",)}
+
+    def test_limit_respects_multiplicities(self):
+        r = DetRelation(["v"])
+        r.add((5,), 3)
+        r.add((9,), 1)
+        db = DetDatabase({"r": r})
+        plan = TableRef("r").order_by(["v"], descending=True).limit(3)
+        out = evaluate_det(plan, db)
+        assert out.rows == {(9,): 1, (5,): 2}
+
+    def test_topk_node_directly(self, db):
+        plan = TopK(TableRef("emp"), ["salary"], True, 1)
+        out = evaluate_det(plan, db, optimize=False)
+        assert set(out.rows) == {("ann", "eng", 100)}
+
+    def test_order_by_alias_with_hidden_key(self, db):
+        """ORDER BY mixing a select-list alias with a projected-away
+        column must resolve the alias before sorting below the
+        projection."""
+        from repro.sql.parser import parse_sql
+
+        plan = parse_sql("SELECT salary AS s2, name FROM emp ORDER BY s2, dept LIMIT 2")
+        out = evaluate_det(plan, db)
+        assert out.total_rows() == 2
+        assert all(len(t) == 2 for t in out.rows)
+
+    def test_order_by_alias_shadowing_base_column(self):
+        """SQL resolves ORDER BY names against the select list first: an
+        alias shadowing a base column sorts by the aliased expression."""
+        from repro.sql.parser import parse_sql
+
+        emp = DetRelation(["name", "dept", "salary"], [("ann", "z", 1), ("bob", "a", 100)])
+        db = DetDatabase({"emp": emp})
+        plan = parse_sql("SELECT dept AS salary FROM emp ORDER BY salary, name LIMIT 1")
+        out = evaluate_det(plan, db)
+        assert dict(out.rows) == {("a",): 1}
+
+    def test_order_by_computed_alias_with_hidden_key(self):
+        """A computed select alias may appear in ORDER BY together with a
+        projected-away base column."""
+        from repro.sql.parser import parse_sql
+
+        emp = DetRelation(["name", "dept", "salary"], [("ann", "z", 1), ("bob", "a", 100)])
+        db = DetDatabase({"emp": emp})
+        plan = parse_sql("SELECT salary * 2 AS d FROM emp ORDER BY dept, d LIMIT 1")
+        out = evaluate_det(plan, db)
+        assert dict(out.rows) == {(200,): 1}
+
+    def test_distinct_with_hidden_order_key_is_rejected(self):
+        """Real SQL: for SELECT DISTINCT, ORDER BY expressions must appear
+        in the select list."""
+        from repro.sql.parser import SqlSyntaxError, parse_sql
+
+        with pytest.raises(SqlSyntaxError, match="SELECT DISTINCT"):
+            parse_sql("SELECT DISTINCT name FROM emp ORDER BY salary LIMIT 1")
+
 
 class TestAggregation:
     def test_group_by(self, db):
@@ -121,6 +211,29 @@ class TestAggregation:
         plan = TableRef("r").aggregate(agg_sum("v", "s"), agg_count("n"))
         out = evaluate_det(plan, db)
         assert out.rows == {(0, 0): 1}
+
+    def test_empty_min_max_is_null_not_inf(self):
+        """Regression: SQL returns NULL for MIN/MAX over empty input."""
+        db = DetDatabase({"r": DetRelation(["v"])})
+        plan = TableRef("r").aggregate(agg_min("v", "lo"), agg_max("v", "hi"))
+        out = evaluate_det(plan, db)
+        assert out.rows == {(None, None): 1}
+        assert not any(
+            isinstance(x, float) and math.isinf(x) for t in out.rows for x in t
+        )
+
+    def test_empty_min_max_is_null_on_au_engine(self):
+        from repro.algebra.evaluator import evaluate_audb
+        from repro.core.ranges import certain
+        from repro.core.relation import AUDatabase, AURelation
+
+        audb = AUDatabase({"r": AURelation(["v"])})
+        plan = TableRef("r").aggregate(agg_min("v", "lo"), agg_max("v", "hi"))
+        out = evaluate_audb(plan, audb)
+        ((t, ann),) = list(out.tuples())
+        assert ann == (1, 1, 1)
+        assert t[0] == certain(None)
+        assert t[1] == certain(None)
 
     def test_having(self, db):
         from repro.algebra.ast import Aggregate

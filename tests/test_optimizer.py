@@ -1,0 +1,417 @@
+"""The logical optimizer is semantics-preserving for BOTH engines.
+
+Mirrors ``tests/test_property_expressions.py``: Hypothesis generates
+random plans (with schema tracking, so joins combine disjoint tables and
+conditions only mention visible attributes) over random AU-databases, and
+we assert
+
+* the AU engine returns identical annotations (and schema) with the
+  optimizer on and off, and
+* the Det engine returns identical bags over the selected-guess world,
+
+plus unit tests for the individual rewrite rules, ``Statistics``
+harvesting, and ``explain``.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algebra.ast import (
+    Aggregate,
+    CrossProduct,
+    Difference,
+    Distinct,
+    Join,
+    Limit,
+    OrderBy,
+    Plan,
+    Projection,
+    Rename,
+    Selection,
+    TableRef,
+    TopK,
+    Union,
+)
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.algebra.optimizer import (
+    Statistics,
+    estimate,
+    explain,
+    optimize,
+    schema_of,
+)
+from repro.core.aggregation import agg_count, agg_max, agg_min, agg_sum
+from repro.core.expressions import And, Const, Eq, Gt, Leq, Not, Or, Var
+from repro.core.ranges import RangeValue
+from repro.core.relation import AUDatabase, AURelation
+from repro.db.engine import evaluate_det
+from repro.db.storage import DetDatabase, DetRelation
+
+SETTINGS = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TABLES = {"r": ("a", "b"), "s": ("c", "d"), "u": ("e", "f")}
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+def _draw_condition(draw, schema):
+    def atom():
+        lhs = Var(draw(st.sampled_from(schema)))
+        rhs = draw(
+            st.one_of(
+                st.integers(-2, 6).map(Const),
+                st.sampled_from(schema).map(Var),
+            )
+        )
+        op = draw(st.sampled_from([Eq, Leq, Gt]))
+        return op(lhs, rhs)
+
+    cond = atom()
+    for _ in range(draw(st.integers(0, 2))):
+        combiner = draw(st.sampled_from(["and", "or", "not"]))
+        if combiner == "and":
+            cond = And(cond, atom())
+        elif combiner == "or":
+            cond = Or(cond, atom())
+        else:
+            cond = Not(cond)
+    return cond
+
+
+def _draw_plan(draw, depth):
+    """Returns ``(plan, schema, used_tables)``."""
+    if depth <= 0:
+        name = draw(st.sampled_from(sorted(TABLES)))
+        return TableRef(name), list(TABLES[name]), {name}
+
+    choice = draw(st.integers(0, 9))
+    plan, schema, used = _draw_plan(draw, depth - 1)
+
+    if choice == 0:  # leaf
+        name = draw(st.sampled_from(sorted(TABLES)))
+        return TableRef(name), list(TABLES[name]), {name}
+    if choice == 1:  # selection
+        return Selection(plan, _draw_condition(draw, schema)), schema, used
+    if choice == 2:  # projection (subset + one computed column)
+        kept = draw(
+            st.lists(st.sampled_from(schema), min_size=1, unique=True)
+        )
+        cols = [(Var(a), a) for a in kept]
+        if draw(st.booleans()):
+            x = draw(st.sampled_from(schema))
+            cols.append((Var(x) + Const(1), f"w{depth}"))
+        return Projection(plan, cols), [n for _, n in cols], used
+    if choice == 3:  # join with a table not yet used
+        free = sorted(set(TABLES) - used)
+        if not free:
+            return Selection(plan, _draw_condition(draw, schema)), schema, used
+        name = draw(st.sampled_from(free))
+        other_schema = list(TABLES[name])
+        left_key = draw(st.sampled_from(schema))
+        right_key = draw(st.sampled_from(other_schema))
+        plan = Join(plan, TableRef(name), Eq(Var(left_key), Var(right_key)))
+        return plan, schema + other_schema, used | {name}
+    if choice == 4:  # cross product with a table not yet used
+        free = sorted(set(TABLES) - used)
+        if not free:
+            return Distinct(plan), schema, used
+        name = draw(st.sampled_from(free))
+        return (
+            CrossProduct(plan, TableRef(name)),
+            schema + list(TABLES[name]),
+            used | {name},
+        )
+    if choice == 5:  # union / difference against a filtered copy
+        other = Selection(plan, _draw_condition(draw, schema))
+        node = Union if draw(st.booleans()) else Difference
+        return node(plan, other), schema, used
+    if choice == 6:  # distinct
+        return Distinct(plan), schema, used
+    if choice == 7:  # group-by aggregate
+        keys = draw(st.lists(st.sampled_from(schema), min_size=1, unique=True))
+        value = draw(st.sampled_from(schema))
+        spec = draw(
+            st.sampled_from(
+                [
+                    agg_sum(value, "agg"),
+                    agg_min(value, "agg"),
+                    agg_max(value, "agg"),
+                    agg_count("agg"),
+                ]
+            )
+        )
+        return Aggregate(plan, keys, [spec]), keys + ["agg"], used
+    if choice == 8:  # ORDER BY ... LIMIT (exercises TopK fusion)
+        keys = draw(st.lists(st.sampled_from(schema), min_size=1, unique=True))
+        descending = draw(st.booleans())
+        n = draw(st.integers(1, 4))
+        return (
+            Limit(OrderBy(plan, keys, descending), n),
+            schema,
+            used,
+        )
+    # rename one column to a fresh name
+    old = draw(st.sampled_from(schema))
+    new = f"{old}_{depth}"
+    return (
+        Rename(plan, {old: new}),
+        [new if a == old else a for a in schema],
+        used,
+    )
+
+
+@st.composite
+def plans(draw):
+    plan, schema, used = _draw_plan(draw, draw(st.integers(1, 4)))
+    return plan
+
+
+@st.composite
+def au_databases(draw):
+    relations = {}
+    for name, schema in TABLES.items():
+        rel = AURelation(schema)
+        for _ in range(draw(st.integers(0, 5))):
+            values = []
+            for _column in schema:
+                lo = draw(st.integers(-2, 5))
+                mid = lo + draw(st.integers(0, 2))
+                hi = mid + draw(st.integers(0, 2))
+                values.append(RangeValue(lo, mid, hi))
+            lb = draw(st.integers(0, 1))
+            sg = lb + draw(st.integers(0, 1))
+            ub = sg + draw(st.integers(0, 1))
+            if ub > 0:
+                rel.add(values, (lb, sg, ub))
+        relations[name] = rel
+    return AUDatabase(relations)
+
+
+def _sgw_det_db(audb: AUDatabase) -> DetDatabase:
+    det = DetDatabase({})
+    for name, rel in audb.relations.items():
+        d = DetRelation(rel.schema)
+        for row, mult in rel.selected_guess_world().items():
+            d.add(row, mult)
+        det[name] = d
+    return det
+
+
+# ----------------------------------------------------------------------
+# the central property: optimize() is exact for both engines
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(plan=plans(), audb=au_databases())
+def test_optimize_preserves_au_annotations(plan, audb):
+    naive = evaluate_audb(plan, audb, EvalConfig(optimize=False))
+    optimized = evaluate_audb(plan, audb, EvalConfig(optimize=True))
+    assert optimized.schema == naive.schema, f"schema changed for {plan!r}"
+    assert dict(optimized.tuples()) == dict(naive.tuples()), (
+        f"AU annotations changed for {plan!r}"
+    )
+
+
+@SETTINGS
+@given(plan=plans(), audb=au_databases())
+def test_optimize_preserves_det_bags(plan, audb):
+    det = _sgw_det_db(audb)
+    naive = evaluate_det(plan, det, optimize=False)
+    optimized = evaluate_det(plan, det, optimize=True)
+    assert optimized.schema == naive.schema, f"schema changed for {plan!r}"
+    assert optimized.rows == naive.rows, f"Det bag changed for {plan!r}"
+
+
+@SETTINGS
+@given(plan=plans(), audb=au_databases())
+def test_optimize_without_stats_is_still_exact(plan, audb):
+    """Even with no Statistics, the schema-free rules must be exact."""
+    rewritten = optimize(plan)
+    naive = evaluate_audb(plan, audb, EvalConfig(optimize=False))
+    opt = evaluate_audb(rewritten, audb, EvalConfig(optimize=False))
+    assert dict(opt.tuples()) == dict(naive.tuples())
+
+
+@SETTINGS
+@given(plan=plans(), audb=au_databases())
+def test_optimize_is_idempotent_on_results(plan, audb):
+    """Optimizing an already-optimized plan changes nothing observable."""
+    stats = Statistics.from_database(audb)
+    once = optimize(plan, stats)
+    twice = optimize(once, stats)
+    a = evaluate_audb(once, audb, EvalConfig(optimize=False))
+    b = evaluate_audb(twice, audb, EvalConfig(optimize=False))
+    assert dict(a.tuples()) == dict(b.tuples())
+
+
+# ----------------------------------------------------------------------
+# unit tests for the individual rules
+# ----------------------------------------------------------------------
+@pytest.fixture
+def det_db():
+    emp = DetRelation(
+        ["name", "dept", "salary"],
+        [("ann", "eng", 100), ("bob", "eng", 80), ("cat", "ops", 60)],
+    )
+    dept = DetRelation(["dept2", "city"], [("eng", "nyc"), ("ops", "sfo")])
+    big = DetRelation(["k", "v"], [(i, 2 * i) for i in range(40)])
+    return DetDatabase({"emp": emp, "dept": dept, "big": big})
+
+
+class TestRules:
+    def test_selection_pushes_into_join_sides(self, det_db):
+        stats = Statistics.from_database(det_db)
+        plan = Selection(
+            Join(TableRef("emp"), TableRef("dept"), Eq(Var("dept"), Var("dept2"))),
+            Gt(Var("salary"), Const(70)),
+        )
+        optimized = optimize(plan, stats)
+        # the filter must now sit below the join, directly on emp
+        assert isinstance(optimized, Join)
+        text = explain(optimized, stats)
+        join_line = next(i for i, l in enumerate(text.splitlines()) if "Join" in l)
+        sel_line = next(
+            i for i, l in enumerate(text.splitlines()) if "salary" in l
+        )
+        assert sel_line > join_line
+
+    def test_cross_plus_selection_becomes_join(self, det_db):
+        stats = Statistics.from_database(det_db)
+        plan = Selection(
+            CrossProduct(TableRef("emp"), TableRef("dept")),
+            Eq(Var("dept"), Var("dept2")),
+        )
+        optimized = optimize(plan, stats)
+        assert isinstance(optimized, Join)
+
+    def test_join_reordering_restores_column_order(self, det_db):
+        stats = Statistics.from_database(det_db)
+        plan = Selection(
+            CrossProduct(
+                CrossProduct(TableRef("big"), TableRef("emp")), TableRef("dept")
+            ),
+            And(Eq(Var("dept"), Var("dept2")), Eq(Var("salary"), Var("v"))),
+        )
+        optimized = optimize(plan, stats)
+        out = evaluate_det(plan, det_db, optimize=False)
+        out2 = evaluate_det(optimized, det_db, optimize=False)
+        assert out.schema == out2.schema
+        assert out.rows == out2.rows
+        # greedy order starts from the smallest table (dept), so a
+        # restoring projection must be on top
+        assert isinstance(optimized, Projection)
+
+    def test_orderby_limit_fuses_to_topk(self):
+        plan = Limit(OrderBy(TableRef("emp"), ["salary"], True), 2)
+        optimized = optimize(plan)
+        assert isinstance(optimized, TopK)
+        assert optimized.keys == ("salary",)
+        assert optimized.descending
+        assert optimized.n == 2
+
+    def test_projection_pruning_narrows_join_inputs(self, det_db):
+        stats = Statistics.from_database(det_db)
+        plan = Projection(
+            Join(TableRef("emp"), TableRef("dept"), Eq(Var("dept"), Var("dept2"))),
+            [(Var("name"), "name")],
+        )
+        optimized = optimize(plan, stats)
+        # the dept side only contributes the join key, so `city` is pruned
+        pruned = [
+            n
+            for n in optimized.walk()
+            if isinstance(n, Projection)
+            and [name for _, name in n.columns] == ["dept2"]
+        ]
+        assert pruned
+        out = evaluate_det(plan, det_db, optimize=False)
+        out2 = evaluate_det(optimized, det_db, optimize=False)
+        assert out.rows == out2.rows
+
+    def test_pushdown_through_union_is_positional(self):
+        r = DetRelation(["a"], [(1,), (2,), (3,)])
+        s = DetRelation(["z"], [(2,), (9,)])
+        db = DetDatabase({"r": r, "s": s})
+        plan = Selection(
+            Union(TableRef("r"), TableRef("s")), Gt(Var("a"), Const(1))
+        )
+        out = evaluate_det(plan, db, optimize=False)
+        out2 = evaluate_det(plan, db, optimize=True)
+        assert out.rows == out2.rows == {(2,): 2, (3,): 1, (9,): 1}
+
+    def test_no_reorder_with_duplicate_names_across_join_leaves(self):
+        """Regression: flatten/reattach must not move a conjunct into a
+        scope where a duplicated attribute name re-binds it."""
+        a = DetRelation(["a"], [(5,)])
+        b = DetRelation(["b"], [(1,)])
+        c = DetRelation(["a"], [(1,)])
+        db = DetDatabase({"A": a, "B": b, "C": c})
+        plan = Join(
+            Join(TableRef("A"), TableRef("B"), Eq(Var("a"), Var("b"))),
+            TableRef("C"),
+            Eq(Var("b"), Const(1)),
+        )
+        naive = evaluate_det(plan, db, optimize=False)
+        optimized = evaluate_det(plan, db, optimize=True)
+        assert naive.rows == optimized.rows == {}
+
+    def test_no_pushdown_into_duplicate_named_union_branch(self):
+        """Regression: a union branch with duplicate attribute names must
+        not receive pushed selections (positional translation would bind
+        to the wrong column)."""
+        left = DetRelation(["x", "y"], [(1, 10), (2, 20)])
+        r = DetRelation(["a"], [(1,), (5,)])
+        s = DetRelation(["a"], [(9,)])
+        db = DetDatabase({"L": left, "R": r, "S": s})
+        plan = Selection(
+            Union(TableRef("L"), CrossProduct(TableRef("R"), TableRef("S"))),
+            Eq(Var("x"), Const(1)),
+        )
+        naive = evaluate_det(plan, db, optimize=False)
+        optimized = evaluate_det(plan, db, optimize=True)
+        assert naive.rows == optimized.rows == {(1, 10): 1, (1, 9): 1}
+
+
+class TestStatistics:
+    def test_from_det_database(self, det_db):
+        stats = Statistics.from_database(det_db)
+        assert stats.cardinalities["big"] == 40
+        assert stats.schemas["emp"] == ("name", "dept", "salary")
+
+    def test_from_au_database(self):
+        rel = AURelation.from_certain_rows(["a", "b"], [[1, 2], [3, 4]])
+        stats = Statistics.from_database(AUDatabase({"r": rel}))
+        assert stats.cardinalities["r"] == 2
+        assert stats.schemas["r"] == ("a", "b")
+
+    def test_estimates_monotone_under_selection(self, det_db):
+        stats = Statistics.from_database(det_db)
+        base = TableRef("big")
+        filtered = Selection(base, Gt(Var("k"), Const(0)))
+        assert estimate(filtered, stats) <= estimate(base, stats)
+
+    def test_schema_inference(self, det_db):
+        stats = Statistics.from_database(det_db)
+        plan = Join(TableRef("emp"), TableRef("dept"), Eq(Var("dept"), Var("dept2")))
+        assert schema_of(plan, stats) == ("name", "dept", "salary", "dept2", "city")
+        assert schema_of(TableRef("missing"), stats) is None
+
+
+class TestExplain:
+    def test_explain_renders_tree_with_estimates(self, det_db):
+        stats = Statistics.from_database(det_db)
+        plan = Selection(TableRef("big"), Gt(Var("k"), Const(5)))
+        text = explain(plan, stats)
+        assert "Selection" in text
+        assert "Table big" in text
+        assert "rows" in text
+
+    def test_explain_without_stats(self):
+        text = explain(TableRef("anything"))
+        assert "Table anything" in text

@@ -112,10 +112,26 @@ class TestDomainOrder:
         values = ["b", 3, None, True, "a", 2.5, False]
         ordered = sorted(values, key=domain_key)
         assert ordered[0] is None
-        # booleans before numbers before strings
+        # booleans rank with the numbers (False=0, True=1), numbers
+        # before strings
         assert ordered[1:3] == [False, True]
         assert ordered[3:5] == [2.5, 3]
         assert ordered[5:] == ["a", "b"]
+
+    def test_bools_interleave_with_numbers(self):
+        # regression: True used to rank below every number, so a value
+        # could be "certain" (True == 1) yet unequal in the domain order
+        assert sorted([2, True, -1, False, 0.5], key=domain_key) == [
+            -1,
+            False,
+            0.5,
+            True,
+            2,
+        ]
+
+    def test_bool_int_keys_coincide(self):
+        assert domain_key(True) == domain_key(1)
+        assert domain_key(False) == domain_key(0)
 
     def test_infinity_sentinels(self):
         assert domain_le(NEG_INF, None)
@@ -125,3 +141,32 @@ class TestDomainOrder:
     def test_min_max(self):
         assert domain_min([3, 1, 2]) == 1
         assert domain_max(["a", "c", "b"]) == "c"
+
+
+class TestBoolIntConsistency:
+    """Property coverage for the unified bool/number domain order: a value
+    is ``is_certain`` exactly when its bounds coincide under the domain
+    order, even when booleans and numbers mix."""
+
+    MIXED = [True, False, 0, 1, 2, -1, 0.0, 1.0, 0.5, "a", None]
+
+    def test_certain_iff_bounds_share_domain_key(self):
+        from hypothesis import given, strategies as st
+
+        @given(a=st.sampled_from(self.MIXED), b=st.sampled_from(self.MIXED))
+        def check(a, b):
+            lo, hi = sorted([a, b], key=domain_key)
+            rv = RangeValue(lo, lo, hi)
+            assert rv.is_certain == (domain_key(lo) == domain_key(hi))
+
+        check()
+
+    def test_antisymmetry_matches_equality(self):
+        from hypothesis import given, strategies as st
+
+        @given(a=st.sampled_from(self.MIXED), b=st.sampled_from(self.MIXED))
+        def check(a, b):
+            if domain_le(a, b) and domain_le(b, a):
+                assert domain_key(a) == domain_key(b)
+
+        check()
