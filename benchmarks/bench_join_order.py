@@ -1,0 +1,200 @@
+"""Cost-based (DP) vs greedy join ordering.
+
+Two workloads, both written the way the middleware receives them — a
+conjunctive selection over cross products:
+
+* the **uniform 3-way equi-join** from ``bench_optimizer`` (Fig. 14/16
+  tables), where greedy already finds a good left-deep chain.  The gate
+  here is a non-regression: the DP planner must not be slower (within a
+  noise tolerance) on plans greedy handles well;
+* a **skewed 4-way join**: the two smallest tables share a one-distinct
+  join key, so greedy — which orders leaves by base cardinality alone —
+  starts with a cartesian-like blow-up, while the per-column catalog
+  lets DP see the skew and defer that edge until the selective edges
+  have shrunk the other side.  The gate is a >=2x win.
+
+Run standalone for the CI gate::
+
+    PYTHONPATH=src python benchmarks/bench_join_order.py
+
+or under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_join_order.py
+"""
+
+import pytest
+
+from repro.algebra.ast import CrossProduct, Selection, TableRef
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.core.expressions import Const, Var
+from repro.core.relation import AUDatabase
+from repro.db.engine import evaluate_det
+from repro.db.storage import DetDatabase, DetRelation
+from repro.experiments.fig16_multijoin import _make_table
+
+N_ROWS = 50
+UNCERTAINTY = 0.03
+
+#: "never slower" wall-clock gate, with headroom for timer noise on
+#: plans where both strategies pick (near-)identical trees
+NOISE_TOLERANCE = 1.5
+
+
+# ----------------------------------------------------------------------
+# workload 1: the uniform 3-way join of bench_optimizer
+# ----------------------------------------------------------------------
+def uniform_audb(n_rows: int = N_ROWS) -> AUDatabase:
+    return AUDatabase(
+        {
+            f"t{i}": _make_table(n_rows, UNCERTAINTY, seed=50 + i, index=i)
+            for i in range(3)
+        }
+    )
+
+
+def _sgw(audb: AUDatabase) -> DetDatabase:
+    det = DetDatabase({})
+    for name, rel in audb.relations.items():
+        d = DetRelation(rel.schema)
+        for row, mult in rel.selected_guess_world().items():
+            d.add(row, mult)
+        det[name] = d
+    return det
+
+
+def three_way_join_plan(n_rows: int = N_ROWS):
+    return Selection(
+        CrossProduct(CrossProduct(TableRef("t0"), TableRef("t1")), TableRef("t2")),
+        (Var("t0_b") == Var("t1_a"))
+        & (Var("t1_b") == Var("t2_a"))
+        & (Var("t0_a") <= Const(n_rows // 4)),
+    )
+
+
+# ----------------------------------------------------------------------
+# workload 2: the skewed 4-way join
+# ----------------------------------------------------------------------
+def skewed_db(scale: int = 1) -> DetDatabase:
+    """R is the smallest table but shares a constant (one-distinct) join
+    key with S; the S–T and T–U edges are key–foreign-key selective."""
+    n = 400 * scale
+    r = DetRelation(["r_b", "r_x"], [(0, i) for i in range(40 * scale)])
+    s = DetRelation(["s_b", "s_c"], [(0, i) for i in range(n)])
+    t = DetRelation(["t_c", "t_d"], [(i, i) for i in range(n)])
+    u = DetRelation(["u_d", "u_e"], [(i, i) for i in range(60 * scale)])
+    return DetDatabase({"R": r, "S": s, "T": t, "U": u})
+
+
+def skewed_join_plan():
+    return Selection(
+        CrossProduct(
+            CrossProduct(CrossProduct(TableRef("R"), TableRef("S")), TableRef("T")),
+            TableRef("U"),
+        ),
+        (Var("r_b") == Var("s_b"))
+        & (Var("s_c") == Var("t_c"))
+        & (Var("t_d") == Var("u_d")),
+    )
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark targets
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def audb():
+    return uniform_audb()
+
+
+@pytest.fixture(scope="module")
+def det(audb):
+    return _sgw(audb)
+
+
+@pytest.fixture(scope="module")
+def skew():
+    return skewed_db()
+
+
+@pytest.mark.parametrize("join_order", ["greedy", "dp"])
+def test_det_three_way(benchmark, det, join_order):
+    plan = three_way_join_plan()
+    benchmark(lambda: evaluate_det(plan, det, join_order=join_order))
+
+
+@pytest.mark.parametrize("join_order", ["greedy", "dp"])
+def test_audb_three_way(benchmark, audb, join_order):
+    plan = three_way_join_plan()
+    config = EvalConfig(join_order=join_order)
+    benchmark(lambda: evaluate_audb(plan, audb, config))
+
+
+@pytest.mark.parametrize("join_order", ["greedy", "dp"])
+def test_det_skewed_four_way(benchmark, skew, join_order):
+    plan = skewed_join_plan()
+    benchmark(lambda: evaluate_det(plan, skew, join_order=join_order))
+
+
+# ----------------------------------------------------------------------
+# CI gate
+# ----------------------------------------------------------------------
+def main() -> int:
+    from repro.experiments.common import time_call
+
+    failures = []
+    rows = []
+
+    audb = uniform_audb()
+    det = _sgw(audb)
+    plan3 = three_way_join_plan()
+    uniform_runs = [
+        ("det 3-way", lambda jo: evaluate_det(plan3, det, join_order=jo)),
+        (
+            "audb 3-way",
+            lambda jo: evaluate_audb(plan3, audb, EvalConfig(join_order=jo)),
+        ),
+    ]
+    for label, run in uniform_runs:
+        t_greedy, r_greedy = time_call(lambda: run("greedy"), repeat=5)
+        t_dp, r_dp = time_call(lambda: run("dp"), repeat=5)
+        ratio = t_greedy / t_dp if t_dp > 0 else float("inf")
+        rows.append((label, t_greedy, t_dp, ratio))
+        if _result_bag(r_greedy) != _result_bag(r_dp):
+            failures.append(f"{label}: DP result differs from greedy")
+        if t_dp > t_greedy * NOISE_TOLERANCE:
+            failures.append(
+                f"{label}: DP {t_dp:.4f}s slower than greedy {t_greedy:.4f}s "
+                f"(tolerance {NOISE_TOLERANCE}x)"
+            )
+
+    skew = skewed_db()
+    plan4 = skewed_join_plan()
+    t_greedy, r_greedy = time_call(
+        lambda: evaluate_det(plan4, skew, join_order="greedy"), repeat=3
+    )
+    t_dp, r_dp = time_call(
+        lambda: evaluate_det(plan4, skew, join_order="dp"), repeat=3
+    )
+    speedup = t_greedy / t_dp if t_dp > 0 else float("inf")
+    rows.append(("det 4-way skew", t_greedy, t_dp, speedup))
+    if r_greedy.rows != r_dp.rows:
+        failures.append("det 4-way skew: DP result differs from greedy")
+    if speedup < 2.0:
+        failures.append(
+            f"det 4-way skew: DP speedup {speedup:.1f}x below the 2x bar"
+        )
+
+    print("join ordering: greedy vs cost-based DP")
+    print(f"{'workload':<16} {'greedy[s]':>10} {'dp[s]':>10} {'greedy/dp':>10}")
+    for label, tg, td, ratio in rows:
+        print(f"{label:<16} {tg:>10.4f} {td:>10.4f} {ratio:>9.1f}x")
+    for f in failures:
+        print(f"FAIL: {f}")
+    return 1 if failures else 0
+
+
+def _result_bag(result):
+    return dict(result.tuples()) if hasattr(result, "_rows") else dict(result.rows)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

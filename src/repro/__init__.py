@@ -46,7 +46,13 @@ from .algebra.ast import (
     Union,
 )
 from .algebra.evaluator import EvalConfig, evaluate_audb
-from .algebra.optimizer import Statistics, explain, optimize
+from .algebra.optimizer import Statistics, compression_hints, explain, optimize
+from .algebra.stats import (
+    ColumnStats,
+    equi_join_selectivity,
+    harvest_column_stats,
+    predicate_selectivity,
+)
 from .core.aggregation import (
     AggregateSpec,
     agg_avg,
@@ -94,7 +100,9 @@ __all__ = [
     "Union", "Difference", "Distinct", "Aggregate", "Rename",
     "OrderBy", "Limit", "TopK",
     "EvalConfig", "evaluate_audb", "evaluate_det",
-    "Statistics", "optimize", "explain",
+    "Statistics", "optimize", "explain", "compression_hints",
+    "ColumnStats", "harvest_column_stats",
+    "predicate_selectivity", "equi_join_selectivity",
     "DetRelation", "DetDatabase",
     # incomplete models
     "IncompleteDatabase", "query_worlds", "certain_bag", "possible_bag",

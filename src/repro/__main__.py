@@ -61,9 +61,17 @@ def main(argv=None) -> int:
         help="evaluate the plan exactly as written (skip the logical optimizer)",
     )
     parser.add_argument(
+        "--join-order",
+        choices=["dp", "greedy"],
+        default="dp",
+        help="join enumeration strategy: cost-based bushy DP (default) or "
+        "the greedy cardinality heuristic",
+    )
+    parser.add_argument(
         "--explain",
         action="store_true",
-        help="print the (optimized) logical plan before the results",
+        help="print the (optimized) logical plan with estimated and, after "
+        "execution, actual per-node row counts",
     )
     parser.add_argument("sql", nargs="*", help="run one query and exit")
     args = parser.parse_args(argv)
@@ -72,7 +80,11 @@ def main(argv=None) -> int:
     det = _sgw_database(audb)
     do_optimize = not args.no_optimize
     config = EvalConfig(
-        join_buckets=64, aggregation_buckets=64, optimize=do_optimize
+        join_buckets=64,
+        aggregation_buckets=64,
+        optimize=do_optimize,
+        join_order=args.join_order,
+        adaptive_compression=True,
     )
     print(f"tables: {', '.join(sorted(audb.relations))}")
 
@@ -82,17 +94,29 @@ def main(argv=None) -> int:
         except SqlSyntaxError as exc:
             print(f"syntax error: {exc}")
             return
+        stats = (
+            Statistics.from_database(det)
+            if (do_optimize or args.explain)
+            else None
+        )
+        shown = (
+            optimize(plan, stats, join_order=args.join_order)
+            if do_optimize
+            else plan
+        )
         if args.explain:
-            stats = Statistics.from_database(det)
-            shown = optimize(plan, stats) if do_optimize else plan
             print("-- plan --")
             print(explain(shown, stats))
         try:
-            det_result = evaluate_det(plan, det, optimize=do_optimize)
+            actuals = {} if args.explain else None
+            det_result = evaluate_det(shown, det, optimize=False, actuals=actuals)
             au_result = evaluate_audb(plan, audb, config)
         except (KeyError, TypeError, ValueError, ZeroDivisionError) as exc:
             print(f"error: {exc}")
             return
+        if args.explain:
+            print("-- plan (estimated vs actual rows, Det) --")
+            print(explain(shown, stats, actuals=actuals))
         print("-- selected-guess world (Det) --")
         for t, m in sorted(det_result.tuples(), key=lambda i: repr(i[0]))[:20]:
             print(f"  {t} x{m}")

@@ -46,7 +46,12 @@ from .ast import (
     TopK,
     Union,
 )
-from .optimizer import Statistics, optimize
+from .optimizer import (
+    DEFAULT_JOIN_ORDER,
+    Statistics,
+    compression_hints,
+    optimize,
+)
 
 __all__ = ["EvalConfig", "evaluate_audb"]
 
@@ -59,73 +64,117 @@ class EvalConfig:
     (tightest) semantics; integers select the corresponding compression
     budget ``CT`` from the paper's experiments.  ``optimize`` runs the
     shared logical plan optimizer before interpretation (exact rewrites;
-    default on).
+    default on); ``join_order`` selects its join enumeration strategy
+    (``"dp"`` cost-based bushy trees / ``"greedy"``).
+    ``adaptive_compression`` (default off, to keep the paper's fixed-CT
+    experiments reproducible) lets the optimizer *place* the join
+    compression budget: joins whose estimated inputs fit within the
+    budget run the naive — faster here, and strictly tighter — join
+    instead of the split/Cpr rewrite.  Either way every join remains
+    bound-preserving.
     """
 
     join_buckets: Optional[int] = None
     aggregation_buckets: Optional[int] = None
     hash_join: bool = True
     optimize: bool = True
+    join_order: str = DEFAULT_JOIN_ORDER
+    adaptive_compression: bool = False
 
 
 DEFAULT_CONFIG = EvalConfig()
 
+_NO_HINTS: Dict[int, Optional[int]] = {}
+
 
 def evaluate_audb(
-    plan: Plan, db: AUDatabase, config: EvalConfig = DEFAULT_CONFIG
+    plan: Plan,
+    db: AUDatabase,
+    config: EvalConfig = DEFAULT_CONFIG,
+    actuals: Optional[Dict[int, int]] = None,
 ) -> AURelation:
     """Evaluate ``plan`` over the AU-database ``db``.
 
     By Theorems 3/4/6 the result bounds the result of the plan over any
-    incomplete database bounded by ``db``.
+    incomplete database bounded by ``db``.  ``actuals``, when a dict, is
+    filled with the actual number of AU-tuples produced by every node
+    (keyed by ``id(node)``) for estimated-vs-actual ``explain`` reporting;
+    with ``config.optimize`` the recorded nodes belong to the *optimized*
+    plan.
     """
+    hints = _NO_HINTS
     if config.optimize:
-        plan = optimize(plan, Statistics.from_database(db))
-    return _evaluate(plan, db, config)
+        stats = Statistics.from_database(db)
+        plan = optimize(plan, stats, join_order=config.join_order)
+        if config.adaptive_compression and config.join_buckets is not None:
+            hints = compression_hints(plan, stats, config.join_buckets)
+    return _evaluate(plan, db, config, hints, actuals)
 
 
-def _evaluate(plan: Plan, db: AUDatabase, config: EvalConfig) -> AURelation:
+def _evaluate(
+    plan: Plan,
+    db: AUDatabase,
+    config: EvalConfig,
+    hints: Dict[int, Optional[int]] = _NO_HINTS,
+    actuals: Optional[Dict[int, int]] = None,
+) -> AURelation:
+    result = _evaluate_node(plan, db, config, hints, actuals)
+    if actuals is not None:
+        actuals[id(plan)] = len(result)
+    return result
+
+
+def _evaluate_node(
+    plan: Plan,
+    db: AUDatabase,
+    config: EvalConfig,
+    hints: Dict[int, Optional[int]],
+    actuals: Optional[Dict[int, int]],
+) -> AURelation:
     if isinstance(plan, TableRef):
         return db[plan.name]
     if isinstance(plan, Selection):
-        return ops.selection(_evaluate(plan.child, db, config), plan.condition)
+        return ops.selection(
+            _evaluate(plan.child, db, config, hints, actuals), plan.condition
+        )
     if isinstance(plan, Projection):
         return ops.projection(
-            _evaluate(plan.child, db, config), list(plan.columns)
+            _evaluate(plan.child, db, config, hints, actuals), list(plan.columns)
         )
     if isinstance(plan, Join):
-        left = _evaluate(plan.left, db, config)
-        right = _evaluate(plan.right, db, config)
-        if config.join_buckets is not None:
+        left = _evaluate(plan.left, db, config, hints, actuals)
+        right = _evaluate(plan.right, db, config, hints, actuals)
+        buckets = hints.get(id(plan), config.join_buckets)
+        if buckets is not None:
             attrs = _join_attributes(plan.condition, left, right)
             if attrs is not None:
                 return optimized_join(
                     left, right, plan.condition, attrs[0], attrs[1],
-                    config.join_buckets,
+                    buckets,
                 )
         return ops.join(
             left, right, plan.condition, allow_certain_hash=config.hash_join
         )
     if isinstance(plan, CrossProduct):
         return ops.cross_product(
-            _evaluate(plan.left, db, config),
-            _evaluate(plan.right, db, config),
+            _evaluate(plan.left, db, config, hints, actuals),
+            _evaluate(plan.right, db, config, hints, actuals),
         )
     if isinstance(plan, Union):
         return ops.union(
-            _evaluate(plan.left, db, config),
-            _evaluate(plan.right, db, config),
+            _evaluate(plan.left, db, config, hints, actuals),
+            _evaluate(plan.right, db, config, hints, actuals),
         )
     if isinstance(plan, Difference):
         return ops.difference(
-            _evaluate(plan.left, db, config),
-            _evaluate(plan.right, db, config),
+            _evaluate(plan.left, db, config, hints, actuals),
+            _evaluate(plan.right, db, config, hints, actuals),
         )
     if isinstance(plan, Distinct):
-        return ops.distinct(_evaluate(plan.child, db, config))
+        return ops.distinct(_evaluate(plan.child, db, config, hints, actuals))
     if isinstance(plan, Aggregate):
         result = aggregate(
-            _evaluate(plan.child, db, config),
+            _evaluate(plan.child, db, config, hints, actuals),
             list(plan.group_by),
             list(plan.aggregates),
             compress_buckets=config.aggregation_buckets,
@@ -134,13 +183,15 @@ def _evaluate(plan: Plan, db: AUDatabase, config: EvalConfig) -> AURelation:
             result = ops.selection(result, plan.having)
         return result
     if isinstance(plan, Rename):
-        return ops.rename(_evaluate(plan.child, db, config), plan.mapping_dict())
+        return ops.rename(
+            _evaluate(plan.child, db, config, hints, actuals), plan.mapping_dict()
+        )
     if isinstance(plan, OrderBy):
-        return _evaluate(plan.child, db, config)
+        return _evaluate(plan.child, db, config, hints, actuals)
     if isinstance(plan, (Limit, TopK)):
         # LIMIT / top-k over unordered uncertain data: keep everything
         # (sound over-approximation).
-        return _evaluate(plan.child, db, config)
+        return _evaluate(plan.child, db, config, hints, actuals)
     raise TypeError(f"unsupported plan node {type(plan).__name__}")
 
 

@@ -24,10 +24,15 @@ Rules, applied in order by :func:`optimize`:
    become the condition of a Join (both engines define ``R ⋈_θ S`` as
    ``σ_θ(R × S)``, so this is definitional), which unlocks the engines'
    hash-join fast paths.
-3. **Greedy equi-join reordering** — maximal Join/CrossProduct trees are
-   flattened into (leaves, conjuncts); leaves are re-ordered greedily by
-   estimated cardinality (:class:`Statistics`), joining along equi-edges
-   first.  A final projection restores the original column order.
+3. **Cost-based join reordering** — maximal Join/CrossProduct trees are
+   flattened into (leaves, conjuncts).  When :class:`Statistics` carries a
+   per-column catalog (:mod:`repro.algebra.stats`), a dynamic-programming
+   enumerator searches *bushy* join trees, costing each subset of leaves
+   by selectivity-derived cardinality estimates (``join_order="dp"``, the
+   default).  Without column statistics — or with ``join_order="greedy"``
+   — leaves are re-ordered greedily by estimated cardinality, joining
+   along equi-edges first.  A final projection restores the original
+   column order.
 4. **OrderBy+Limit fusion** — ``Limit(OrderBy(R))`` becomes a
    :class:`~repro.algebra.ast.TopK` node so the deterministic engine can
    return the *correct* top-k rows.
@@ -35,7 +40,10 @@ Rules, applied in order by :func:`optimize`:
    inserting narrowing projections below joins and above base tables.
 
 Use :func:`explain` to render a plan (optimized or not) with per-node
-cardinality estimates.
+cardinality estimates (and, given an ``actuals`` mapping collected by an
+engine, estimated-vs-actual rows per node).  Tables the catalog knows
+nothing about are flagged with an explicit warning line instead of being
+silently priced at :data:`DEFAULT_CARD`.
 """
 
 from __future__ import annotations
@@ -65,6 +73,7 @@ from ..core.expressions import (
     Sub,
     Var,
 )
+from ..core.compression import recommended_buckets
 from .ast import (
     Aggregate,
     CrossProduct,
@@ -81,8 +90,24 @@ from .ast import (
     TopK,
     Union,
 )
+from .stats import (
+    DEFAULT_SELECTIVITY,
+    ColumnStats,
+    equi_join_selectivity,
+    harvest_column_stats,
+    predicate_selectivity,
+)
 
-__all__ = ["Statistics", "optimize", "explain", "schema_of", "estimate"]
+__all__ = [
+    "Statistics",
+    "optimize",
+    "explain",
+    "schema_of",
+    "estimate",
+    "compression_hints",
+    "JOIN_ORDERS",
+    "DEFAULT_JOIN_ORDER",
+]
 
 
 # ----------------------------------------------------------------------
@@ -90,34 +115,55 @@ __all__ = ["Statistics", "optimize", "explain", "schema_of", "estimate"]
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class Statistics:
-    """Per-relation cardinalities and schemas driving cost decisions.
+    """Per-relation cardinalities, schemas, and column statistics.
 
     Harvested from either a :class:`~repro.db.storage.DetDatabase` or an
     :class:`~repro.core.relation.AUDatabase` — both expose ``.relations``
-    mapping names to relations with a ``.schema``.
+    mapping names to relations with a ``.schema``.  ``columns`` maps
+    table name to ``{attribute: ColumnStats}`` (see
+    :mod:`repro.algebra.stats`); it may be empty, in which case only the
+    cardinality-based heuristics apply and join reordering falls back to
+    the greedy strategy.
     """
 
     cardinalities: Mapping[str, int] = field(default_factory=dict)
     schemas: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
+    columns: Mapping[str, Mapping[str, ColumnStats]] = field(default_factory=dict)
 
     @classmethod
-    def from_database(cls, db) -> "Statistics":
+    def from_database(cls, db, column_stats: bool = True) -> "Statistics":
         cards: Dict[str, int] = {}
         schemas: Dict[str, Tuple[str, ...]] = {}
         for name, rel in getattr(db, "relations", {}).items():
             schemas[name] = tuple(rel.schema)
             total = getattr(rel, "total_rows", None)
             cards[name] = total() if callable(total) else len(rel)
-        return cls(cards, schemas)
+        columns = harvest_column_stats(db) if column_stats else {}
+        return cls(cards, schemas, columns)
 
     def fingerprint(self) -> tuple:
         return (
             tuple(sorted(self.cardinalities.items())),
             tuple(sorted((k, tuple(v)) for k, v in self.schemas.items())),
+            tuple(
+                sorted(
+                    (t, tuple(sorted((c, cs.fingerprint()) for c, cs in cols.items())))
+                    for t, cols in self.columns.items()
+                )
+            ),
         )
 
 
 DEFAULT_CARD = 1000.0
+
+#: Join-enumeration strategies: ``"dp"`` (cost-based bushy trees, needs
+#: column statistics) with ``"greedy"`` as the built-in fallback.
+JOIN_ORDERS = ("dp", "greedy")
+DEFAULT_JOIN_ORDER = "dp"
+
+#: DP join enumeration is O(3^n) in the number of leaves; past this many
+#: leaves the greedy heuristic takes over.
+_DP_MAX_LEAVES = 10
 
 
 # ----------------------------------------------------------------------
@@ -204,32 +250,156 @@ def schema_of(plan: Plan, stats: Optional[Statistics]) -> Optional[Tuple[str, ..
     return None
 
 
-def estimate(plan: Plan, stats: Optional[Statistics]) -> float:
-    """Crude cardinality estimate used by the greedy join ordering."""
+def estimate(
+    plan: Plan,
+    stats: Optional[Statistics],
+    warnings: Optional[List[str]] = None,
+) -> float:
+    """Cardinality estimate for ``plan``.
+
+    With a column catalog in ``stats`` this uses selectivity estimation
+    (:mod:`repro.algebra.stats`); otherwise it falls back to the PR 1
+    magic-constant heuristics.  Tables the catalog does not know are
+    priced at :data:`DEFAULT_CARD` and reported through ``warnings`` (a
+    caller-supplied list) instead of failing silently — :func:`explain`
+    surfaces them as warning lines.
+    """
+    card, _columns = _estimate(plan, stats, warnings)
+    return card
+
+
+def _warn_unknown_table(name: str, warnings: Optional[List[str]]) -> None:
+    if warnings is None:
+        return
+    message = (
+        f"no statistics for table '{name}' — assuming {DEFAULT_CARD:.0f} rows"
+    )
+    if message not in warnings:
+        warnings.append(message)
+
+
+def _estimate(
+    plan: Plan, stats: Optional[Statistics], warnings: Optional[List[str]]
+) -> Tuple[float, Optional[Dict[str, ColumnStats]]]:
+    """Estimate ``plan``'s cardinality and propagate column statistics.
+
+    Returns ``(rows, columns)`` where ``columns`` maps output attribute
+    names to :class:`ColumnStats` (``None`` when the catalog cannot see
+    through this subtree).
+    """
     if isinstance(plan, TableRef):
-        if stats is not None:
-            return float(stats.cardinalities.get(plan.name, DEFAULT_CARD))
-        return DEFAULT_CARD
+        if stats is None:
+            return DEFAULT_CARD, None
+        if plan.name not in stats.cardinalities:
+            _warn_unknown_table(plan.name, warnings)
+            return DEFAULT_CARD, None
+        card = float(stats.cardinalities[plan.name])
+        columns = stats.columns.get(plan.name)
+        return card, dict(columns) if columns is not None else None
     if isinstance(plan, Selection):
-        return max(1.0, estimate(plan.child, stats) / 3.0)
-    if isinstance(plan, (Projection, Rename, OrderBy, Distinct)):
-        return estimate(plan.child, stats)
+        card, columns = _estimate(plan.child, stats, warnings)
+        if columns is not None:
+            sel = predicate_selectivity(plan.condition, columns)
+            columns = {k: v.scaled(sel) for k, v in columns.items()}
+        else:
+            sel = DEFAULT_SELECTIVITY
+        return max(1.0, card * sel), columns
+    if isinstance(plan, Projection):
+        card, columns = _estimate(plan.child, stats, warnings)
+        if columns is None:
+            return card, None
+        out: Dict[str, ColumnStats] = {}
+        for expr, name in plan.columns:
+            if isinstance(expr, Var) and expr.name in columns:
+                out[name] = columns[expr.name]
+        return card, out
+    if isinstance(plan, Rename):
+        card, columns = _estimate(plan.child, stats, warnings)
+        if columns is None:
+            return card, None
+        mapping = plan.mapping_dict()
+        return card, {mapping.get(k, k): v for k, v in columns.items()}
     if isinstance(plan, Join):
-        left = estimate(plan.left, stats)
-        right = estimate(plan.right, stats)
-        return max(1.0, left * right / max(min(left, right), 1.0))
+        left_card, left_cols = _estimate(plan.left, stats, warnings)
+        right_card, right_cols = _estimate(plan.right, stats, warnings)
+        if left_cols is None or right_cols is None:
+            # legacy heuristic: one side acts as a key
+            card = left_card * right_card / max(min(left_card, right_card), 1.0)
+            return max(1.0, card), None
+        combined = {**left_cols, **right_cols}
+        card = left_card * right_card
+        for conjunct in _split(plan.condition):
+            card *= _conjunct_selectivity(conjunct, left_cols, right_cols, combined)
+        card = max(1.0, card)
+        return card, {k: v.capped(card) for k, v in combined.items()}
     if isinstance(plan, CrossProduct):
-        return estimate(plan.left, stats) * estimate(plan.right, stats)
+        left_card, left_cols = _estimate(plan.left, stats, warnings)
+        right_card, right_cols = _estimate(plan.right, stats, warnings)
+        columns = (
+            {**left_cols, **right_cols}
+            if left_cols is not None and right_cols is not None
+            else None
+        )
+        return left_card * right_card, columns
     if isinstance(plan, Union):
-        return estimate(plan.left, stats) + estimate(plan.right, stats)
+        left_card, _ = _estimate(plan.left, stats, warnings)
+        right_card, _ = _estimate(plan.right, stats, warnings)
+        # column alignment across branches is positional; don't guess
+        return left_card + right_card, None
     if isinstance(plan, Difference):
-        return estimate(plan.left, stats)
+        card, columns = _estimate(plan.left, stats, warnings)
+        _estimate(plan.right, stats, warnings)  # still surface warnings
+        return card, columns
+    if isinstance(plan, Distinct):
+        card, columns = _estimate(plan.child, stats, warnings)
+        if columns is not None and columns:
+            product = 1.0
+            for col in columns.values():
+                product *= max(1, col.distinct)
+                if product >= card:
+                    break
+            card = max(1.0, min(card, product))
+        return card, columns
+    if isinstance(plan, OrderBy):
+        return _estimate(plan.child, stats, warnings)
     if isinstance(plan, Aggregate):
-        child = estimate(plan.child, stats)
-        return max(1.0, child / 4.0) if plan.group_by else 1.0
+        card, columns = _estimate(plan.child, stats, warnings)
+        if not plan.group_by:
+            return 1.0, None
+        if columns is not None and all(k in columns for k in plan.group_by):
+            groups = 1.0
+            for key in plan.group_by:
+                groups *= max(1, columns[key].distinct)
+                if groups >= card:
+                    break
+            out_card = max(1.0, min(card, groups))
+            out_cols = {k: columns[k].capped(out_card) for k in plan.group_by}
+            return out_card, out_cols
+        return max(1.0, card / 4.0), None
     if isinstance(plan, (Limit, TopK)):
-        return min(float(plan.n), estimate(plan.child, stats))
-    return DEFAULT_CARD
+        card, columns = _estimate(plan.child, stats, warnings)
+        card = min(float(plan.n), card)
+        if columns is not None:
+            columns = {k: v.capped(card) for k, v in columns.items()}
+        return card, columns
+    return DEFAULT_CARD, None
+
+
+def _conjunct_selectivity(
+    conjunct: Expression,
+    left_cols: Mapping[str, ColumnStats],
+    right_cols: Mapping[str, ColumnStats],
+    combined: Mapping[str, ColumnStats],
+) -> float:
+    """Selectivity of one join conjunct; equi-conjuncts spanning both
+    sides use the distinct-count formula."""
+    if _is_equi(conjunct):
+        a, b = conjunct.left.name, conjunct.right.name
+        if a in left_cols and b in right_cols:
+            return equi_join_selectivity(left_cols[a], right_cols[b])
+        if a in right_cols and b in left_cols:
+            return equi_join_selectivity(right_cols[a], left_cols[b])
+    return predicate_selectivity(conjunct, combined)
 
 
 # ----------------------------------------------------------------------
@@ -363,7 +533,7 @@ def _pushdown(plan: Plan, pending: List[Expression], stats) -> Plan:
 
 
 # ----------------------------------------------------------------------
-# rule 3: greedy equi-join reordering
+# rule 3: cost-based (DP) / greedy join reordering
 # ----------------------------------------------------------------------
 def _flatten_joins(
     plan: Plan, leaves: List[Plan], conjuncts: List[Expression]
@@ -383,7 +553,7 @@ def _is_equi(c: Expression) -> bool:
     return isinstance(c, Eq) and isinstance(c.left, Var) and isinstance(c.right, Var)
 
 
-def _reorder_joins(plan: Plan, stats) -> Plan:
+def _reorder_joins(plan: Plan, stats, join_order: str) -> Plan:
     if isinstance(plan, (Join, CrossProduct)):
         leaves: List[Plan] = []
         conjuncts: List[Expression] = []
@@ -398,14 +568,158 @@ def _reorder_joins(plan: Plan, stats) -> Plan:
             # attribute names are globally unique across the leaves, so
             # re-attaching a conjunct in a wider scope cannot re-bind it
             # to a different column
-            new_leaves = [_reorder_joins(leaf, stats) for leaf in leaves]
-            reordered = _greedy_join_tree(new_leaves, schemas, conjuncts, stats)
+            new_leaves = [
+                _reorder_joins(leaf, stats, join_order) for leaf in leaves
+            ]
+            reordered = None
+            if join_order == "dp" and stats is not None:
+                reordered = _dp_join_tree(new_leaves, schemas, conjuncts, stats)
+            if reordered is None:
+                reordered = _greedy_join_tree(new_leaves, schemas, conjuncts, stats)
             if reordered is not None:
                 return reordered
         # duplicate / unknown attribute names, few leaves, or a free
         # conjunct variable: keep the original join structure untouched
-        return _rebuild(plan, lambda child: _reorder_joins(child, stats))
-    return _rebuild(plan, lambda child: _reorder_joins(child, stats))
+    return _rebuild(plan, lambda child: _reorder_joins(child, stats, join_order))
+
+
+# ----------------------------------------------------------------------
+# DP bushy join enumeration
+# ----------------------------------------------------------------------
+@dataclass
+class _DPEntry:
+    plan: Plan
+    cost: float  # C_out: sum of estimated intermediate cardinalities
+    card: float
+    order: Tuple[int, ...]  # in-order leaf sequence (determines the schema)
+
+
+def _dp_join_tree(
+    leaves: List[Plan],
+    schemas: List[Tuple[str, ...]],
+    conjuncts: List[Expression],
+    stats,
+) -> Optional[Plan]:
+    """Selinger-style dynamic program over *bushy* join trees.
+
+    Enumerates every partition of every connected (or, when forced,
+    disconnected) subset of the join leaves, costing candidates by the
+    sum of estimated intermediate-result cardinalities derived from the
+    per-column catalog.  Returns ``None`` — meaning "caller falls back to
+    greedy" — when column statistics are missing for some leaf, a
+    conjunct references an unknown attribute, or the leaf count exceeds
+    :data:`_DP_MAX_LEAVES`.
+    """
+    n = len(leaves)
+    if n > _DP_MAX_LEAVES:
+        return None
+
+    leaf_cards: List[float] = []
+    leaf_cols: List[Dict[str, ColumnStats]] = []
+    for leaf in leaves:
+        card, cols = _estimate(leaf, stats, None)
+        if cols is None:
+            return None  # no column statistics below this leaf
+        leaf_cards.append(max(card, 1.0))
+        leaf_cols.append(cols)
+
+    attr_to_leaf = {a: i for i, s in enumerate(schemas) for a in s}
+    conjunct_masks: List[int] = []
+    for c in conjuncts:
+        mask = 0
+        for v in c.variables():
+            if v not in attr_to_leaf:
+                return None  # free variable; caller keeps the order
+            mask |= 1 << attr_to_leaf[v]
+        # variable-free conjuncts behave as if they touched the first leaf
+        # so each one attaches exactly once
+        conjunct_masks.append(mask or 1)
+
+    all_cols: Dict[str, ColumnStats] = {}
+    for cols in leaf_cols:
+        all_cols.update(cols)
+    sels: List[float] = []
+    for c, mask in zip(conjuncts, conjunct_masks):
+        if _is_equi(c) and mask.bit_count() == 2:
+            sels.append(
+                equi_join_selectivity(
+                    all_cols.get(c.left.name), all_cols.get(c.right.name)
+                )
+            )
+        else:
+            sels.append(predicate_selectivity(c, all_cols))
+
+    full = (1 << n) - 1
+    # estimated output cardinality per leaf subset: product of leaf
+    # cardinalities times the selectivities of every covered conjunct
+    card = [1.0] * (full + 1)
+    for mask in range(1, full + 1):
+        c = 1.0
+        for i in range(n):
+            if mask >> i & 1:
+                c *= leaf_cards[i]
+        for j, cm in enumerate(conjunct_masks):
+            if cm & ~mask == 0:
+                c *= sels[j]
+        card[mask] = max(c, 1.0)
+
+    best: Dict[int, _DPEntry] = {}
+    for i in range(n):
+        mask = 1 << i
+        own = [j for j, cm in enumerate(conjunct_masks) if cm == mask]
+        best[mask] = _DPEntry(
+            plan=_wrap(leaves[i], [conjuncts[j] for j in own]),
+            cost=0.0,
+            card=card[mask],
+            order=(i,),
+        )
+
+    for mask in range(1, full + 1):
+        if mask.bit_count() < 2:
+            continue
+        lowbit = mask & -mask
+        chosen: Optional[_DPEntry] = None
+        chosen_split: Optional[Tuple[_DPEntry, _DPEntry]] = None
+        sub = (mask - 1) & mask
+        while sub:
+            if sub & lowbit:  # canonical orientation: each split once
+                other = mask ^ sub
+                a, b = best[sub], best[other]
+                cost = a.cost + b.cost + card[mask]
+                if chosen is None or (cost, a.order + b.order) < (
+                    chosen.cost,
+                    chosen.order,
+                ):
+                    chosen = _DPEntry(None, cost, card[mask], a.order + b.order)
+                    chosen_split = (a, b)
+            sub = (sub - 1) & mask
+        a, b = chosen_split
+        # stream the (estimated) bigger side, hash the smaller: both
+        # engines build their lookup structure over the right input
+        if a.card < b.card:
+            a, b = b, a
+            chosen.order = a.order + b.order
+        new = [
+            j
+            for j, cm in enumerate(conjunct_masks)
+            if cm & ~mask == 0
+            and any(cm >> i & 1 for i in a.order)
+            and any(cm >> i & 1 for i in b.order)
+        ]
+        if new:
+            chosen.plan = Join(a.plan, b.plan, _and_all([conjuncts[j] for j in new]))
+        else:
+            chosen.plan = CrossProduct(a.plan, b.plan)
+        best[mask] = chosen
+
+    top = best[full]
+    tree = top.plan
+    if top.order != tuple(range(n)):
+        # restore the original column order (pure column projection: exact
+        # in both semantics)
+        original = [a for s in schemas for a in s]
+        tree = Projection(tree, [(Var(a), a) for a in original])
+    return tree
 
 
 def _greedy_join_tree(
@@ -628,27 +942,68 @@ _CACHE: Dict[tuple, Tuple[Plan, Plan]] = {}
 _CACHE_LIMIT = 512
 
 
-def optimize(plan: Plan, stats: Optional[Statistics] = None) -> Plan:
+def optimize(
+    plan: Plan,
+    stats: Optional[Statistics] = None,
+    join_order: str = DEFAULT_JOIN_ORDER,
+) -> Plan:
     """Rewrite ``plan`` into an equivalent, usually cheaper plan.
 
     All rewrites preserve both the deterministic bag semantics and the
     AU-DB annotation semantics exactly (see module docstring).  ``stats``
-    supplies table schemas and cardinalities; without it, only rewrites
-    that need no schema knowledge (selection splitting, join promotion,
-    OrderBy+Limit fusion) apply.
+    supplies table schemas, cardinalities, and the per-column catalog;
+    without it, only rewrites that need no schema knowledge (selection
+    splitting, join promotion, OrderBy+Limit fusion) apply.
+    ``join_order`` selects the join enumeration strategy: ``"dp"``
+    (cost-based bushy trees when column statistics are available, greedy
+    otherwise) or ``"greedy"`` (always the PR 1 heuristic).
     """
-    key = (id(plan), stats.fingerprint() if stats is not None else None)
+    if join_order not in JOIN_ORDERS:
+        raise ValueError(
+            f"unknown join_order {join_order!r}; expected one of {JOIN_ORDERS}"
+        )
+    key = (
+        id(plan),
+        join_order,
+        stats.fingerprint() if stats is not None else None,
+    )
     hit = _CACHE.get(key)
     if hit is not None and hit[0] is plan:
         return hit[1]
     optimized = _pushdown(plan, [], stats)
-    optimized = _reorder_joins(optimized, stats)
+    optimized = _reorder_joins(optimized, stats, join_order)
     optimized = _fuse_topk(optimized)
     optimized = _prune(optimized, None, stats)
     if len(_CACHE) >= _CACHE_LIMIT:
         _CACHE.clear()
     _CACHE[key] = (plan, optimized)
     return optimized
+
+
+# ----------------------------------------------------------------------
+# compression-budget placement hints
+# ----------------------------------------------------------------------
+def compression_hints(
+    plan: Plan, stats: Optional[Statistics], budget: Optional[int]
+) -> Dict[int, Optional[int]]:
+    """Optimizer-aware placement of the join compression budget.
+
+    Maps ``id(join_node)`` to the bucket count the AU evaluator should
+    use for that join — ``None`` meaning "skip compression": when both
+    estimated inputs already fit within the budget, ``Cpr`` cannot shrink
+    anything, so the naive join is at least as fast *and* strictly
+    tighter (no split/box loosening).  See
+    :func:`repro.core.compression.recommended_buckets` for the policy.
+    """
+    hints: Dict[int, Optional[int]] = {}
+    if budget is None:
+        return hints
+    for node in plan.walk():
+        if isinstance(node, Join):
+            left = estimate(node.left, stats)
+            right = estimate(node.right, stats)
+            hints[id(node)] = recommended_buckets(left, right, budget)
+    return hints
 
 
 # ----------------------------------------------------------------------
@@ -688,15 +1043,34 @@ def _describe(plan: Plan) -> str:
     return type(plan).__name__
 
 
-def explain(plan: Plan, stats: Optional[Statistics] = None) -> str:
-    """Render ``plan`` as an indented tree with cardinality estimates."""
+def explain(
+    plan: Plan,
+    stats: Optional[Statistics] = None,
+    actuals: Optional[Mapping[int, int]] = None,
+) -> str:
+    """Render ``plan`` as an indented tree with cardinality estimates.
+
+    ``actuals`` is an optional ``{id(node): rows}`` mapping as collected
+    by ``evaluate_det(..., actuals=...)`` / ``evaluate_audb(...,
+    actuals=...)``; matching nodes get an ``actual N`` column next to the
+    estimate.  Tables missing from the catalog are reported as trailing
+    ``!!`` warning lines instead of being silently priced at the default
+    cardinality.
+    """
     lines: List[str] = []
+    warnings: List[str] = []
 
     def walk(node: Plan, depth: int) -> None:
-        est = estimate(node, stats)
-        lines.append(f"{'  ' * depth}{_describe(node)}  (~{est:.0f} rows)")
+        est = estimate(node, stats, warnings)
+        line = f"{'  ' * depth}{_describe(node)}  (~{est:.0f} rows"
+        if actuals is not None and id(node) in actuals:
+            line += f", actual {actuals[id(node)]:g}"
+        line += ")"
+        lines.append(line)
         for child in node.children():
             walk(child, depth + 1)
 
     walk(plan, 0)
+    for warning in warnings:
+        lines.append(f"!! {warning}")
     return "\n".join(lines)

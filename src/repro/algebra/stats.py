@@ -1,0 +1,331 @@
+"""Per-column statistics and selectivity estimation for the cost-based optimizer.
+
+The plan optimizer of PR 1 knew one number per table (its cardinality),
+which is enough to order a greedy join but not to compare join *trees*.
+This module supplies the attribute-level information the DP enumerator in
+:mod:`repro.algebra.optimizer` costs plans with:
+
+* :class:`ColumnStats` — distinct count, min/max bounds, null fraction,
+  uncertain fraction, and average range width of one column;
+* :func:`harvest_column_stats` — one-pass harvesting from either storage
+  layer.  Deterministic relations (:class:`~repro.db.storage.DetRelation`)
+  contribute exact values; AU-relations
+  (:class:`~repro.core.relation.AURelation`) summarize their
+  range-annotated values (min over lower bounds, max over upper bounds,
+  distinct over selected-guess values) so the same catalog drives
+  planning for both engines;
+* :func:`predicate_selectivity` / :func:`equi_join_selectivity` —
+  System-R style estimates derived from those columns.  Estimates are
+  always clamped to ``[0, 1]``; on key–foreign-key equi-joins with
+  uniform distinct counts the join-size estimate
+  ``|R|·|S| / max(d_R, d_S)`` is exact.
+
+Uncertainty awareness: a predicate over an uncertain attribute cannot
+soundly drop the tuple (the AU engine keeps every *possibly* matching
+row), so atom selectivities are inflated by the column's uncertain
+fraction — deterministic columns (uncertain fraction 0) are unaffected.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..core.expressions import (
+    And,
+    Const,
+    Eq,
+    Expression,
+    Geq,
+    Gt,
+    IsNull,
+    Leq,
+    Lt,
+    Neq,
+    Not,
+    Or,
+    Var,
+)
+from ..core.ranges import RangeValue, domain_key
+
+__all__ = [
+    "ColumnStats",
+    "harvest_column_stats",
+    "predicate_selectivity",
+    "equi_join_selectivity",
+    "DEFAULT_SELECTIVITY",
+]
+
+#: Fallback selectivity for predicates the estimator cannot analyze —
+#: matches the pre-catalog heuristic of one third of the input surviving.
+DEFAULT_SELECTIVITY = 1.0 / 3.0
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Summary statistics of a single column.
+
+    ``count`` is the number of rows observed (bag cardinality for
+    deterministic relations, tuple count for AU-relations — matching how
+    :class:`~repro.algebra.optimizer.Statistics` counts table rows).
+    ``min_value`` / ``max_value`` are the extreme *bounds* under the
+    universal domain order: for AU columns the minimum lower bound and
+    maximum upper bound, so every possible value of the column falls in
+    ``[min_value, max_value]``.  ``distinct`` counts distinct non-null
+    (selected-guess) values.  ``avg_width`` is the mean numeric range
+    width (0 for deterministic columns).
+    """
+
+    count: int = 0
+    distinct: int = 0
+    min_value: Any = None
+    max_value: Any = None
+    null_fraction: float = 0.0
+    uncertain_fraction: float = 0.0
+    avg_width: float = 0.0
+
+    def scaled(self, selectivity: float) -> "ColumnStats":
+        """Statistics after a filter keeping ``selectivity`` of the rows.
+
+        Distinct values shrink proportionally (uniformity assumption) but
+        never below 1 while rows remain; bounds and fractions are kept,
+        which is conservative.
+        """
+        s = min(1.0, max(0.0, selectivity))
+        count = int(math.ceil(self.count * s))
+        distinct = min(self.distinct, max(1, int(math.ceil(self.distinct * s))))
+        if count == 0:
+            distinct = 0
+        return replace(self, count=count, distinct=distinct)
+
+    def capped(self, rows: float) -> "ColumnStats":
+        """Cap the distinct count at an output cardinality estimate."""
+        limit = max(1, int(rows))
+        if self.distinct <= limit:
+            return self
+        return replace(self, distinct=limit)
+
+    def fingerprint(self) -> tuple:
+        return (
+            self.count,
+            self.distinct,
+            repr(self.min_value),
+            repr(self.max_value),
+            round(self.null_fraction, 9),
+            round(self.uncertain_fraction, 9),
+            round(self.avg_width, 9),
+        )
+
+
+# ----------------------------------------------------------------------
+# harvesting
+# ----------------------------------------------------------------------
+_UNSET = object()
+
+
+def harvest_column_stats(db) -> Dict[str, Dict[str, ColumnStats]]:
+    """Harvest per-column statistics for every relation of ``db``.
+
+    Works for both storage layers: anything exposing ``.relations`` whose
+    values have a ``.schema`` and ``.tuples()`` yielding either
+    ``(row, multiplicity)`` (deterministic) or ``(au_tuple, (lb, sg, ub))``
+    (AU) pairs.
+    """
+    return {
+        name: _harvest_relation(rel)
+        for name, rel in getattr(db, "relations", {}).items()
+    }
+
+
+def _harvest_relation(rel) -> Dict[str, ColumnStats]:
+    # both storage layers memoize the harvest and invalidate on add(),
+    # so repeated evaluations over the same database pay it once
+    cached = getattr(rel, "_column_stats_cache", None)
+    if cached is not None:
+        return cached
+    schema = tuple(rel.schema)
+    n = len(schema)
+    total = 0
+    nulls = [0] * n
+    uncertain = [0] * n
+    width_sum = [0.0] * n
+    width_n = [0] * n
+    distinct: List[set] = [set() for _ in range(n)]
+    mins: List[Any] = [_UNSET] * n
+    maxs: List[Any] = [_UNSET] * n
+
+    for t, annotation in rel.tuples():
+        # AU annotations are (lb, sg, ub) triples counted per tuple;
+        # deterministic annotations are integer multiplicities.
+        weight = 1 if isinstance(annotation, tuple) else annotation
+        total += weight
+        for i, value in enumerate(t):
+            if isinstance(value, RangeValue):
+                sg, lb, ub = value.sg, value.lb, value.ub
+                if not value.is_certain:
+                    uncertain[i] += weight
+                w = value.width()
+                if math.isfinite(w):
+                    width_sum[i] += w * weight
+                    width_n[i] += weight
+            else:
+                sg = lb = ub = value
+                width_n[i] += weight
+            if sg is None:
+                nulls[i] += weight
+                continue
+            distinct[i].add(domain_key(sg))
+            if mins[i] is _UNSET:
+                mins[i], maxs[i] = lb, ub
+            else:
+                if domain_key(lb) < domain_key(mins[i]):
+                    mins[i] = lb
+                if domain_key(ub) > domain_key(maxs[i]):
+                    maxs[i] = ub
+
+    out: Dict[str, ColumnStats] = {}
+    for i, name in enumerate(schema):
+        out[name] = ColumnStats(
+            count=total,
+            distinct=len(distinct[i]),
+            min_value=None if mins[i] is _UNSET else mins[i],
+            max_value=None if maxs[i] is _UNSET else maxs[i],
+            null_fraction=nulls[i] / total if total else 0.0,
+            uncertain_fraction=uncertain[i] / total if total else 0.0,
+            avg_width=width_sum[i] / width_n[i] if width_n[i] else 0.0,
+        )
+    try:
+        rel._column_stats_cache = out
+    except AttributeError:
+        pass  # duck-typed relation without the cache slot
+    return out
+
+
+# ----------------------------------------------------------------------
+# selectivity estimation
+# ----------------------------------------------------------------------
+def equi_join_selectivity(
+    left: Optional[ColumnStats], right: Optional[ColumnStats]
+) -> float:
+    """Selectivity of ``R.a = S.b`` — ``1 / max(d_a, d_b)``.
+
+    With uniform values and containment of the smaller key set in the
+    larger (the key–foreign-key case) this makes ``|R|·|S| · sel`` exact.
+    Unknown columns fall back to :data:`DEFAULT_SELECTIVITY`.
+    """
+    d = max(
+        left.distinct if left is not None else 0,
+        right.distinct if right is not None else 0,
+    )
+    if d <= 0:
+        return DEFAULT_SELECTIVITY
+    return min(1.0, 1.0 / d)
+
+
+def predicate_selectivity(
+    condition: Expression, columns: Mapping[str, ColumnStats]
+) -> float:
+    """Estimated fraction of rows satisfying ``condition``, in ``[0, 1]``."""
+    return min(1.0, max(0.0, _sel(condition, columns)))
+
+
+def _sel(cond: Expression, columns: Mapping[str, ColumnStats]) -> float:
+    if isinstance(cond, And):
+        return _clamp(_sel(cond.left, columns)) * _clamp(_sel(cond.right, columns))
+    if isinstance(cond, Or):
+        a = _clamp(_sel(cond.left, columns))
+        b = _clamp(_sel(cond.right, columns))
+        return a + b - a * b
+    if isinstance(cond, Not):
+        return 1.0 - _clamp(_sel(cond.operand, columns))
+    if isinstance(cond, Const):
+        return 1.0 if bool(cond.value) else 0.0
+    base = _clamp(_atom(cond, columns))
+    # a predicate over uncertain attributes keeps every possibly-matching
+    # row, so inflate by the uncertain fraction of the involved columns
+    u = 0.0
+    for v in cond.variables():
+        col = columns.get(v)
+        if col is not None and col.uncertain_fraction > u:
+            u = col.uncertain_fraction
+    return base + u * (1.0 - base)
+
+
+def _clamp(s: float) -> float:
+    return min(1.0, max(0.0, s))
+
+
+def _atom(cond: Expression, columns: Mapping[str, ColumnStats]) -> float:
+    if isinstance(cond, Eq):
+        return _eq_selectivity(cond, columns)
+    if isinstance(cond, Neq):
+        return 1.0 - _eq_selectivity(Eq(cond.left, cond.right), columns)
+    if isinstance(cond, (Leq, Lt, Geq, Gt)):
+        return _range_selectivity(cond, columns)
+    if isinstance(cond, IsNull) and isinstance(cond.operand, Var):
+        col = columns.get(cond.operand.name)
+        if col is not None:
+            return col.null_fraction
+        return DEFAULT_SELECTIVITY
+    return DEFAULT_SELECTIVITY
+
+
+def _eq_selectivity(cond: Eq, columns: Mapping[str, ColumnStats]) -> float:
+    left, right = cond.left, cond.right
+    if isinstance(left, Var) and isinstance(right, Var):
+        return equi_join_selectivity(columns.get(left.name), columns.get(right.name))
+    var, const = _var_const(left, right)
+    if var is None:
+        return DEFAULT_SELECTIVITY
+    col = columns.get(var)
+    if col is None or col.distinct <= 0:
+        return DEFAULT_SELECTIVITY
+    if _is_number(const) and _is_number(col.min_value) and _is_number(col.max_value):
+        if const < col.min_value or const > col.max_value:
+            return 0.0
+    return 1.0 / col.distinct
+
+
+def _range_selectivity(cond: Expression, columns: Mapping[str, ColumnStats]) -> float:
+    """Interval-fraction estimate for ``x ⊙ c`` over numeric columns."""
+    left, right = cond.left, cond.right
+    if isinstance(left, Var) and isinstance(right, Const):
+        var, const, flipped = left.name, right.value, False
+    elif isinstance(left, Const) and isinstance(right, Var):
+        var, const, flipped = right.name, left.value, True
+    else:
+        return DEFAULT_SELECTIVITY
+    col = columns.get(var)
+    if (
+        col is None
+        or not _is_number(const)
+        or not _is_number(col.min_value)
+        or not _is_number(col.max_value)
+    ):
+        return DEFAULT_SELECTIVITY
+    lo, hi = float(col.min_value), float(col.max_value)
+    # ``c ⊙ x`` is ``x ⊙' c`` with the comparison mirrored
+    below = isinstance(cond, (Leq, Lt)) != flipped  # keeps x <= / < c
+    if hi <= lo:
+        point = lo
+        if below:
+            return 1.0 if point <= const else 0.0
+        return 1.0 if point >= const else 0.0
+    if below:
+        frac = (float(const) - lo) / (hi - lo)
+    else:
+        frac = (hi - float(const)) / (hi - lo)
+    return _clamp(frac)
+
+
+def _var_const(a: Expression, b: Expression):
+    if isinstance(a, Var) and isinstance(b, Const):
+        return a.name, b.value
+    if isinstance(b, Var) and isinstance(a, Const):
+        return b.name, a.value
+    return None, None
+
+
+def _is_number(v: Any) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)

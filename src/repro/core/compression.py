@@ -35,7 +35,37 @@ __all__ = [
     "split_up",
     "compress",
     "optimized_join",
+    "recommended_buckets",
 ]
+
+
+def recommended_buckets(
+    est_left_rows: float, est_right_rows: float, budget: Optional[int]
+) -> Optional[int]:
+    """Compression-budget placement policy for one join.
+
+    Given the optimizer's estimated input cardinalities and the
+    configured per-join budget ``CT``, decide what the AU evaluator
+    should actually spend on this join:
+
+    * ``None`` (skip compression) when both inputs are estimated to fit
+      within the budget — ``Cpr_{A,n}`` is the identity below ``n``
+      tuples, so the split/box rewrite could only *loosen* bounds while
+      costing an extra pass; the naive join is at least as fast and
+      strictly tighter;
+    * the full budget otherwise — large inputs are where the possible
+      side degenerates into a quadratic interval join, which is exactly
+      what the paper's ``opt(·)`` rewrite exists to cap.
+
+    The returned value is a *hint*: evaluation stays bound-preserving
+    whichever branch is taken (Lemma 10.1 for the compressed join, the
+    plain Theorem 3 semantics for the naive one).
+    """
+    if budget is None:
+        return None
+    if max(est_left_rows, est_right_rows) <= budget:
+        return None
+    return budget
 
 
 def split_sg(rel: AURelation) -> AURelation:

@@ -22,7 +22,7 @@ an incomplete database.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..algebra.ast import (
     Aggregate,
@@ -40,7 +40,11 @@ from ..algebra.ast import (
     TopK,
     Union,
 )
-from ..algebra.optimizer import Statistics, optimize as _optimize_plan
+from ..algebra.optimizer import (
+    DEFAULT_JOIN_ORDER,
+    Statistics,
+    optimize as _optimize_plan,
+)
 from ..core.aggregation import AggregateSpec
 from ..core.expressions import Expression, RowView, Var
 from ..core.ranges import domain_key
@@ -49,49 +53,85 @@ from .storage import DetDatabase, DetRelation
 __all__ = ["evaluate_det"]
 
 
-def evaluate_det(plan: Plan, db: DetDatabase, optimize: bool = True) -> DetRelation:
+def evaluate_det(
+    plan: Plan,
+    db: DetDatabase,
+    optimize: bool = True,
+    join_order: str = DEFAULT_JOIN_ORDER,
+    actuals: Optional[Dict[int, int]] = None,
+) -> DetRelation:
     """Evaluate ``plan`` over deterministic database ``db``.
 
     ``optimize`` (default on) runs the shared logical plan optimizer
     first; its rewrites are exact for bag semantics, so the result is
-    identical either way.
+    identical either way.  ``join_order`` selects the join enumeration
+    strategy (``"dp"`` cost-based / ``"greedy"``).  ``actuals``, when a
+    dict, is filled with the actual output cardinality of every evaluated
+    node (keyed by ``id(node)``) for estimated-vs-actual ``explain``
+    reporting; note that with ``optimize=True`` the recorded nodes belong
+    to the *optimized* plan — pre-optimize with
+    :func:`repro.algebra.optimizer.optimize` and pass ``optimize=False``
+    to correlate them.
     """
     if optimize:
-        plan = _optimize_plan(plan, Statistics.from_database(db))
-    return _evaluate(plan, db)
+        plan = _optimize_plan(
+            plan, Statistics.from_database(db), join_order=join_order
+        )
+    return _evaluate(plan, db, actuals)
 
 
-def _evaluate(plan: Plan, db: DetDatabase) -> DetRelation:
+def _evaluate(
+    plan: Plan, db: DetDatabase, actuals: Optional[Dict[int, int]] = None
+) -> DetRelation:
+    result = _evaluate_node(plan, db, actuals)
+    if actuals is not None:
+        actuals[id(plan)] = result.total_rows()
+    return result
+
+
+def _evaluate_node(
+    plan: Plan, db: DetDatabase, actuals: Optional[Dict[int, int]]
+) -> DetRelation:
     if isinstance(plan, TableRef):
         return db[plan.name]
     if isinstance(plan, Selection):
-        return _selection(_evaluate(plan.child, db), plan.condition)
+        return _selection(_evaluate(plan.child, db, actuals), plan.condition)
     if isinstance(plan, Projection):
-        return _projection(_evaluate(plan.child, db), plan.columns)
+        return _projection(_evaluate(plan.child, db, actuals), plan.columns)
     if isinstance(plan, Join):
         return _join(
-            _evaluate(plan.left, db), _evaluate(plan.right, db), plan.condition
+            _evaluate(plan.left, db, actuals),
+            _evaluate(plan.right, db, actuals),
+            plan.condition,
         )
     if isinstance(plan, CrossProduct):
-        return _cross(_evaluate(plan.left, db), _evaluate(plan.right, db))
+        return _cross(
+            _evaluate(plan.left, db, actuals), _evaluate(plan.right, db, actuals)
+        )
     if isinstance(plan, Union):
-        return _union(_evaluate(plan.left, db), _evaluate(plan.right, db))
+        return _union(
+            _evaluate(plan.left, db, actuals), _evaluate(plan.right, db, actuals)
+        )
     if isinstance(plan, Difference):
-        return _difference(_evaluate(plan.left, db), _evaluate(plan.right, db))
+        return _difference(
+            _evaluate(plan.left, db, actuals), _evaluate(plan.right, db, actuals)
+        )
     if isinstance(plan, Distinct):
-        return _distinct(_evaluate(plan.child, db))
+        return _distinct(_evaluate(plan.child, db, actuals))
     if isinstance(plan, Aggregate):
-        result = _aggregate(_evaluate(plan.child, db), plan.group_by, plan.aggregates)
+        result = _aggregate(
+            _evaluate(plan.child, db, actuals), plan.group_by, plan.aggregates
+        )
         if plan.having is not None:
             result = _selection(result, plan.having)
         return result
     if isinstance(plan, Rename):
-        return _rename(_evaluate(plan.child, db), plan.mapping_dict())
+        return _rename(_evaluate(plan.child, db, actuals), plan.mapping_dict())
     if isinstance(plan, OrderBy):
-        return _evaluate(plan.child, db)  # bags are unordered
+        return _evaluate(plan.child, db, actuals)  # bags are unordered
     if isinstance(plan, TopK):
         return _topk(
-            _evaluate(plan.child, db), plan.keys, plan.descending, plan.n
+            _evaluate(plan.child, db, actuals), plan.keys, plan.descending, plan.n
         )
     if isinstance(plan, Limit):
         child = plan.child
@@ -99,9 +139,12 @@ def _evaluate(plan: Plan, db: DetDatabase) -> DetRelation:
             # thread the ORDER BY keys into the limit so the *right* top-k
             # rows survive, not the top-k of an arbitrary tuple order
             return _topk(
-                _evaluate(child.child, db), child.keys, child.descending, plan.n
+                _evaluate(child.child, db, actuals),
+                child.keys,
+                child.descending,
+                plan.n,
             )
-        return _limit(_evaluate(child, db), plan.n)
+        return _limit(_evaluate(child, db, actuals), plan.n)
     raise TypeError(f"unsupported plan node {type(plan).__name__}")
 
 

@@ -20,7 +20,7 @@ __all__ = ["DetRelation", "DetDatabase"]
 class DetRelation:
     """An ``N``-relation: bag of tuples with multiplicities."""
 
-    __slots__ = ("schema", "rows")
+    __slots__ = ("schema", "rows", "_column_stats_cache")
 
     def __init__(
         self,
@@ -31,6 +31,9 @@ class DetRelation:
     ) -> None:
         self.schema: Tuple[str, ...] = tuple(schema)
         self.rows: Dict[Tuple[Any, ...], int] = {}
+        # memoized per-column statistics (repro.algebra.stats); add()
+        # invalidates — mutate through add() only, as documented
+        self._column_stats_cache = None
         if rows is None:
             return
         if isinstance(rows, Mapping):
@@ -51,6 +54,7 @@ class DetRelation:
                 f"arity {len(t)} does not match schema {self.schema}"
             )
         self.rows[t] = self.rows.get(t, 0) + multiplicity
+        self._column_stats_cache = None
 
     def multiplicity(self, t: Tuple[Any, ...]) -> int:
         return self.rows.get(tuple(t), 0)

@@ -138,3 +138,31 @@ class TestCli:
         main(["--no-optimize", "SELECT locale FROM locales WHERE rate > 5"])
         plain = capsys.readouterr().out
         assert optimized == plain
+
+    def test_join_order_flag_matches_default_results(self, capsys):
+        from repro.__main__ import main
+
+        sql = "SELECT locale FROM locales WHERE rate > 5"
+        main([sql])
+        default = capsys.readouterr().out
+        main(["--join-order", "greedy", sql])
+        greedy = capsys.readouterr().out
+        assert default == greedy
+
+    def test_explain_reports_estimated_vs_actual_rows(self, capsys):
+        from repro.__main__ import main
+
+        code = main(["--explain", "SELECT locale FROM locales WHERE rate > 5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "estimated vs actual" in out
+        assert "actual" in out
+        assert "~" in out
+
+    def test_explain_warns_about_unknown_tables(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["--explain", "SELECT a FROM missing"]) == 0
+        out = capsys.readouterr().out
+        assert "no statistics for table 'missing'" in out
+        assert "error" in out  # evaluation still fails afterwards

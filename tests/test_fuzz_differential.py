@@ -1,0 +1,326 @@
+"""Differential query fuzzer: optimized ≡ naive, and AU bounds Det.
+
+A *seeded* random generator (plain :mod:`random`, no Hypothesis — every
+case is reproducible from its integer seed, which CI pins) produces small
+AU-databases and random ``RA_agg`` plans, then machine-checks the two
+equivalences the optimizer and the paper's semantics promise:
+
+1. **Optimizer differential** — for BOTH engines and BOTH join-order
+   strategies (``greedy`` and the cost-based ``dp``), the optimized plan
+   returns exactly the naive (``--no-optimize``) result: identical
+   schemas, identical bags (Det), identical ``K^AU`` annotations (AU).
+2. **Det-vs-AU containment** — the AU result must bound the certain
+   answer: its selected-guess world equals the Det engine's result over
+   the SGW database, and the tuple-matching oracle
+   (:func:`repro.core.bounding.bounds_world`) certifies the AU relation
+   bounds that world.  ``LIMIT``/top-k plans only require sub-bag
+   containment (the AU engine soundly keeps everything).
+3. **Compression soundness** — with a join compression budget and
+   optimizer-placed (adaptive) budgets, the result still bounds the Det
+   answer.
+
+Run the CI gate standalone (exits non-zero on the first mismatch)::
+
+    PYTHONPATH=src python tests/test_fuzz_differential.py --cases 200 --seed 20260728
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+from typing import List, Set, Tuple
+
+import pytest
+
+from repro.algebra.ast import (
+    Aggregate,
+    CrossProduct,
+    Difference,
+    Distinct,
+    Join,
+    Limit,
+    OrderBy,
+    Plan,
+    Projection,
+    Rename,
+    Selection,
+    TableRef,
+    TopK,
+    Union,
+)
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.core.aggregation import agg_count, agg_max, agg_min, agg_sum
+from repro.core.bounding import bounds_world
+from repro.core.expressions import And, Const, Eq, Gt, Leq, Not, Or, Var
+from repro.core.ranges import RangeValue
+from repro.core.relation import AUDatabase, AURelation
+from repro.db.engine import evaluate_det
+from repro.db.storage import DetDatabase, DetRelation
+
+BASE_SEED = 20260728
+N_CASES = int(os.environ.get("FUZZ_CASES", "200"))
+_CHUNK = 20
+
+TABLES = {"r": ("a", "b"), "s": ("c", "d"), "u": ("e", "f")}
+
+
+# ----------------------------------------------------------------------
+# seeded generators
+# ----------------------------------------------------------------------
+def make_audb(rng: random.Random) -> AUDatabase:
+    relations = {}
+    for name, schema in TABLES.items():
+        rel = AURelation(schema)
+        for _ in range(rng.randint(0, 5)):
+            values = []
+            for _column in schema:
+                lo = rng.randint(-2, 5)
+                mid = lo + rng.randint(0, 2)
+                hi = mid + rng.randint(0, 2)
+                values.append(RangeValue(lo, mid, hi))
+            lb = rng.randint(0, 1)
+            sg = lb + rng.randint(0, 1)
+            ub = sg + rng.randint(0, 1)
+            if ub > 0:
+                rel.add(values, (lb, sg, ub))
+        relations[name] = rel
+    return AUDatabase(relations)
+
+
+def sgw_database(audb: AUDatabase) -> DetDatabase:
+    det = DetDatabase({})
+    for name, rel in audb.relations.items():
+        d = DetRelation(rel.schema)
+        for row, mult in rel.selected_guess_world().items():
+            d.add(row, mult)
+        det[name] = d
+    return det
+
+
+def make_condition(rng: random.Random, schema: List[str]):
+    def atom():
+        lhs = Var(rng.choice(schema))
+        if rng.random() < 0.5:
+            rhs = Const(rng.randint(-2, 6))
+        else:
+            rhs = Var(rng.choice(schema))
+        op = rng.choice([Eq, Leq, Gt])
+        return op(lhs, rhs)
+
+    cond = atom()
+    for _ in range(rng.randint(0, 2)):
+        combiner = rng.choice(["and", "or", "not"])
+        if combiner == "and":
+            cond = And(cond, atom())
+        elif combiner == "or":
+            cond = Or(cond, atom())
+        else:
+            cond = Not(cond)
+    return cond
+
+
+def make_plan(
+    rng: random.Random, depth: int
+) -> Tuple[Plan, List[str], Set[str]]:
+    if depth <= 0:
+        name = rng.choice(sorted(TABLES))
+        return TableRef(name), list(TABLES[name]), {name}
+
+    choice = rng.randint(0, 9)
+    plan, schema, used = make_plan(rng, depth - 1)
+
+    if choice == 0:  # fresh leaf
+        name = rng.choice(sorted(TABLES))
+        return TableRef(name), list(TABLES[name]), {name}
+    if choice == 1:  # selection
+        return Selection(plan, make_condition(rng, schema)), schema, used
+    if choice == 2:  # projection (subset + one computed column)
+        kept = rng.sample(schema, rng.randint(1, len(schema)))
+        cols = [(Var(a), a) for a in kept]
+        if rng.random() < 0.5:
+            x = rng.choice(schema)
+            cols.append((Var(x) + Const(1), f"w{depth}"))
+        return Projection(plan, cols), [n for _, n in cols], used
+    if choice == 3:  # equi-join with an unused table
+        free = sorted(set(TABLES) - used)
+        if not free:
+            return Selection(plan, make_condition(rng, schema)), schema, used
+        name = rng.choice(free)
+        other_schema = list(TABLES[name])
+        condition = Eq(Var(rng.choice(schema)), Var(rng.choice(other_schema)))
+        plan = Join(plan, TableRef(name), condition)
+        return plan, schema + other_schema, used | {name}
+    if choice == 4:  # cross product with an unused table
+        free = sorted(set(TABLES) - used)
+        if not free:
+            return Distinct(plan), schema, used
+        name = rng.choice(free)
+        return (
+            CrossProduct(plan, TableRef(name)),
+            schema + list(TABLES[name]),
+            used | {name},
+        )
+    if choice == 5:  # union / difference against a filtered copy
+        other = Selection(plan, make_condition(rng, schema))
+        node = Union if rng.random() < 0.5 else Difference
+        return node(plan, other), schema, used
+    if choice == 6:  # distinct
+        return Distinct(plan), schema, used
+    if choice == 7:  # group-by aggregate
+        keys = rng.sample(schema, rng.randint(1, len(schema)))
+        value = rng.choice(schema)
+        spec = rng.choice(
+            [
+                agg_sum(value, "agg"),
+                agg_min(value, "agg"),
+                agg_max(value, "agg"),
+                agg_count("agg"),
+            ]
+        )
+        return Aggregate(plan, keys, [spec]), keys + ["agg"], used
+    if choice == 8:  # ORDER BY ... LIMIT (exercises TopK fusion)
+        keys = rng.sample(schema, rng.randint(1, len(schema)))
+        return (
+            Limit(OrderBy(plan, keys, rng.random() < 0.5), rng.randint(1, 4)),
+            schema,
+            used,
+        )
+    # rename one column to a fresh name
+    old = rng.choice(schema)
+    new = f"{old}_{depth}"
+    return (
+        Rename(plan, {old: new}),
+        [new if a == old else a for a in schema],
+        used,
+    )
+
+
+# ----------------------------------------------------------------------
+# the differential oracle
+# ----------------------------------------------------------------------
+def _limit_shape(plan: Plan) -> Tuple[bool, bool]:
+    """``(contains_limit, containment_claimable)``.
+
+    The AU engine evaluates ``Limit``/top-k as the identity (keeping
+    everything is the only sound choice over unordered uncertain data),
+    so the Det result is only a *sub-bag* of the AU selected-guess world
+    — and that claim survives exactly the bag-monotone operators above
+    the Limit.  ``Aggregate`` over a limited input (its values summarize
+    more rows on the AU side) and a Limit in the *right* branch of a
+    ``Difference`` (more gets subtracted) break it; for such plans the
+    fuzzer only checks the optimizer differential.
+    """
+    if isinstance(plan, (Limit, TopK)):
+        _, ok = _limit_shape(plan.child)
+        return True, ok
+    if isinstance(plan, Aggregate):
+        has, ok = _limit_shape(plan.child)
+        return has, ok and not has
+    if isinstance(plan, Difference):
+        left_has, left_ok = _limit_shape(plan.left)
+        right_has, right_ok = _limit_shape(plan.right)
+        return left_has or right_has, left_ok and right_ok and not right_has
+    has, ok = False, True
+    for child in plan.children():
+        child_has, child_ok = _limit_shape(child)
+        has = has or child_has
+        ok = ok and child_ok
+    return has, ok
+
+
+def _is_subbag(small, big) -> bool:
+    return all(big.get(t, 0) >= m for t, m in small.items())
+
+
+def check_case(seed: int) -> None:
+    """One fuzz case; raises AssertionError (with the seed) on mismatch."""
+    rng = random.Random(seed)
+    audb = make_audb(rng)
+    det = sgw_database(audb)
+    plan, _schema, _used = make_plan(rng, rng.randint(1, 4))
+    context = f"seed={seed} plan={plan!r}"
+
+    # 1a. Det engine: optimized (both strategies) == naive
+    det_naive = evaluate_det(plan, det, optimize=False)
+    for join_order in ("greedy", "dp"):
+        det_opt = evaluate_det(plan, det, optimize=True, join_order=join_order)
+        assert det_opt.schema == det_naive.schema, f"Det schema [{join_order}] {context}"
+        assert det_opt.rows == det_naive.rows, f"Det bag [{join_order}] {context}"
+
+    # 1b. AU engine: optimized (both strategies) == naive
+    au_naive = evaluate_audb(plan, audb, EvalConfig(optimize=False))
+    for join_order in ("greedy", "dp"):
+        au_opt = evaluate_audb(
+            plan, audb, EvalConfig(optimize=True, join_order=join_order)
+        )
+        assert au_opt.schema == au_naive.schema, f"AU schema [{join_order}] {context}"
+        assert dict(au_opt.tuples()) == dict(au_naive.tuples()), (
+            f"AU annotations [{join_order}] {context}"
+        )
+
+    # 2. the AU result must bound the certain (SGW) answer
+    det_bag = det_naive.as_bag()
+    sgw = au_naive.selected_guess_world()
+    has_limit, containment_ok = _limit_shape(plan)
+    if not containment_ok:
+        return  # limited input consumed by an aggregate/difference: no claim
+    if has_limit:
+        # AU keeps everything under LIMIT; Det keeps a sub-bag of it
+        assert _is_subbag(det_bag, sgw), f"LIMIT sub-bag {context}"
+    else:
+        assert sgw == det_bag, f"SGW mismatch {context}"
+        assert bounds_world(au_naive, det_bag), f"AU does not bound Det {context}"
+
+        # 3. compression (fixed and optimizer-placed budgets) stays sound
+        compressed = evaluate_audb(
+            plan,
+            audb,
+            EvalConfig(join_buckets=2, aggregation_buckets=2, adaptive_compression=True),
+        )
+        assert bounds_world(compressed, det_bag), f"compressed AU unsound {context}"
+
+
+# ----------------------------------------------------------------------
+# pytest entry points (chunked so failures name a narrow seed range)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("chunk", range((N_CASES + _CHUNK - 1) // _CHUNK))
+def test_fuzz_differential(chunk):
+    start = chunk * _CHUNK
+    for i in range(start, min(start + _CHUNK, N_CASES)):
+        check_case(BASE_SEED + i)
+
+
+def test_known_regression_seeds():
+    """Seeds that once exposed interesting shapes stay pinned forever."""
+    for seed in (BASE_SEED, BASE_SEED + 17, BASE_SEED + 101):
+        check_case(seed)
+
+
+# ----------------------------------------------------------------------
+# CI gate
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--cases", type=int, default=200)
+    parser.add_argument("--seed", type=int, default=BASE_SEED)
+    args = parser.parse_args(argv)
+
+    failures = 0
+    for i in range(args.cases):
+        seed = args.seed + i
+        try:
+            check_case(seed)
+        except AssertionError as exc:
+            failures += 1
+            print(f"MISMATCH at seed {seed}: {exc}")
+    status = "FAIL" if failures else "ok"
+    print(
+        f"differential fuzzer: {args.cases} cases from seed {args.seed}: "
+        f"{failures} mismatches [{status}]"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

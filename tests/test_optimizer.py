@@ -298,14 +298,15 @@ class TestRules:
             ),
             And(Eq(Var("dept"), Var("dept2")), Eq(Var("salary"), Var("v"))),
         )
-        optimized = optimize(plan, stats)
         out = evaluate_det(plan, det_db, optimize=False)
-        out2 = evaluate_det(optimized, det_db, optimize=False)
-        assert out.schema == out2.schema
-        assert out.rows == out2.rows
+        for join_order in ("greedy", "dp"):
+            optimized = optimize(plan, stats, join_order=join_order)
+            out2 = evaluate_det(optimized, det_db, optimize=False)
+            assert out.schema == out2.schema, join_order
+            assert out.rows == out2.rows, join_order
         # greedy order starts from the smallest table (dept), so a
         # restoring projection must be on top
-        assert isinstance(optimized, Projection)
+        assert isinstance(optimize(plan, stats, join_order="greedy"), Projection)
 
     def test_orderby_limit_fuses_to_topk(self):
         plan = Limit(OrderBy(TableRef("emp"), ["salary"], True), 2)
@@ -403,6 +404,89 @@ class TestStatistics:
         assert schema_of(TableRef("missing"), stats) is None
 
 
+class TestDPJoinOrdering:
+    """The cost-based (DP) enumerator: correct, and skew-aware."""
+
+    @pytest.fixture
+    def skew_db(self):
+        """R–S share a constant join key (a 1-distinct skew column), the
+        S–T and T–U edges are selective; greedy (which only sees base
+        cardinalities) starts from the small skewed table, DP does not."""
+        r = DetRelation(["r_b", "r_x"], [(0, i) for i in range(4)])
+        s = DetRelation(["s_b", "s_c"], [(0, i) for i in range(30)])
+        t = DetRelation(["t_c", "t_d"], [(i, i) for i in range(30)])
+        u = DetRelation(["u_d", "u_e"], [(i, i) for i in range(6)])
+        return DetDatabase({"R": r, "S": s, "T": t, "U": u})
+
+    def _skew_plan(self):
+        return Selection(
+            CrossProduct(
+                CrossProduct(CrossProduct(TableRef("R"), TableRef("S")), TableRef("T")),
+                TableRef("U"),
+            ),
+            And(
+                And(Eq(Var("r_b"), Var("s_b")), Eq(Var("s_c"), Var("t_c"))),
+                Eq(Var("t_d"), Var("u_d")),
+            ),
+        )
+
+    def test_dp_equals_greedy_results_on_skew(self, skew_db):
+        plan = self._skew_plan()
+        naive = evaluate_det(plan, skew_db, optimize=False)
+        for join_order in ("greedy", "dp"):
+            out = evaluate_det(plan, skew_db, optimize=True, join_order=join_order)
+            assert out.schema == naive.schema
+            assert out.rows == naive.rows
+
+    def test_dp_defers_the_skewed_join(self, skew_db):
+        """DP must never materialize the 1-distinct (cartesian-like) R⋈S
+        intermediate greedy starts with; the skewed edge is only applied
+        once the selective S–T–U edges have shrunk the other side."""
+        stats = Statistics.from_database(skew_db)
+        plan = self._skew_plan()
+
+        def join_table_sets(node):
+            return {
+                frozenset(n.table_names())
+                for n in node.walk()
+                if isinstance(n, (Join, CrossProduct))
+            }
+
+        dp = optimize(plan, stats, join_order="dp")
+        assert frozenset({"R", "S"}) not in join_table_sets(dp)
+        greedy = optimize(plan, stats, join_order="greedy")
+        assert frozenset({"R", "S"}) in join_table_sets(greedy)
+
+    def test_dp_falls_back_to_greedy_without_column_stats(self, det_db):
+        cards_only = Statistics.from_database(det_db, column_stats=False)
+        full = Statistics.from_database(det_db)
+        plan = Selection(
+            CrossProduct(
+                CrossProduct(TableRef("big"), TableRef("emp")), TableRef("dept")
+            ),
+            And(Eq(Var("dept"), Var("dept2")), Eq(Var("salary"), Var("v"))),
+        )
+        fallback = optimize(plan, cards_only, join_order="dp")
+        greedy = optimize(plan, cards_only, join_order="greedy")
+        assert repr(fallback) == repr(greedy)
+        out = evaluate_det(plan, det_db, optimize=False)
+        for optimized in (fallback, optimize(plan, full, join_order="dp")):
+            got = evaluate_det(optimized, det_db, optimize=False)
+            assert got.rows == out.rows
+
+    def test_unknown_join_order_rejected(self, det_db):
+        with pytest.raises(ValueError, match="join_order"):
+            optimize(TableRef("emp"), Statistics.from_database(det_db),
+                     join_order="bogus")
+
+    def test_dp_estimates_key_fk_join_exactly(self, det_db):
+        """dept2 is a key for dept and dept a matching FK column of emp:
+        the estimated join size must be |emp|."""
+        stats = Statistics.from_database(det_db)
+        plan = Join(TableRef("emp"), TableRef("dept"), Eq(Var("dept"), Var("dept2")))
+        assert estimate(plan, stats) == pytest.approx(3.0)
+
+
 class TestExplain:
     def test_explain_renders_tree_with_estimates(self, det_db):
         stats = Statistics.from_database(det_db)
@@ -415,3 +499,58 @@ class TestExplain:
     def test_explain_without_stats(self):
         text = explain(TableRef("anything"))
         assert "Table anything" in text
+
+    def test_unknown_table_is_warned_not_silently_defaulted(self, det_db):
+        stats = Statistics.from_database(det_db)
+        text = explain(
+            Join(TableRef("emp"), TableRef("ghost"), Eq(Var("dept"), Var("g"))),
+            stats,
+        )
+        assert "no statistics for table 'ghost'" in text
+        assert "1000 rows" in text
+        # known tables never trigger the warning
+        assert "no statistics" not in explain(TableRef("emp"), stats)
+        warnings = []
+        estimate(TableRef("ghost"), stats, warnings)
+        estimate(TableRef("ghost"), stats, warnings)
+        assert len(warnings) == 1  # deduplicated
+
+    def test_explain_actual_vs_estimated_for_scan_join_topk(self, det_db):
+        """The engines record per-node actual cardinalities which explain
+        renders next to the estimates — exercised for scans, joins, and
+        the fused TopK."""
+        stats = Statistics.from_database(det_db)
+        plan = Limit(
+            OrderBy(
+                Join(
+                    TableRef("emp"), TableRef("dept"), Eq(Var("dept"), Var("dept2"))
+                ),
+                ["salary"],
+                True,
+            ),
+            2,
+        )
+        optimized = optimize(plan, stats)
+        assert isinstance(optimized, TopK)
+        actuals = {}
+        result = evaluate_det(optimized, det_db, optimize=False, actuals=actuals)
+        text = explain(optimized, stats, actuals=actuals)
+        lines = text.splitlines()
+        topk_line = next(l for l in lines if "TopK" in l)
+        join_line = next(l for l in lines if "Join" in l)
+        scan_lines = [l for l in lines if "Table" in l]
+        assert f"actual {result.total_rows():g}" in topk_line
+        assert "actual 3" in join_line  # 3 emp rows each match one dept
+        for line in scan_lines:
+            assert "actual" in line
+        # estimates are present alongside
+        assert "~" in topk_line and "~" in join_line
+
+    def test_audb_actuals_are_recorded_too(self):
+        rel = AURelation.from_certain_rows(["a"], [[1], [2], [3]])
+        db = AUDatabase({"r": rel})
+        plan = Selection(TableRef("r"), Gt(Var("a"), Const(1)))
+        actuals = {}
+        evaluate_audb(plan, db, EvalConfig(optimize=False), actuals=actuals)
+        assert actuals[id(plan)] == 2
+        assert actuals[id(plan.child)] == 3

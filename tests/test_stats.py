@@ -1,0 +1,279 @@
+"""Column-statistics catalog and selectivity-estimation properties.
+
+Hypothesis properties:
+
+* every selectivity estimate lies in ``[0, 1]``, whatever the condition
+  shape or the (possibly empty / inconsistent) catalog;
+* the equi-join size estimate ``|R|·|S| / max(d_R, d_S)`` is *exact* on
+  key–foreign-key data with uniform distinct counts;
+
+plus unit tests for harvesting from both storage layers, the
+scaled/capped derivations, and the compression-budget placement policy.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algebra.ast import Join, Selection, TableRef
+from repro.algebra.optimizer import Statistics, compression_hints, estimate
+from repro.algebra.stats import (
+    DEFAULT_SELECTIVITY,
+    ColumnStats,
+    equi_join_selectivity,
+    harvest_column_stats,
+    predicate_selectivity,
+)
+from repro.core.compression import recommended_buckets
+from repro.core.expressions import (
+    And,
+    Const,
+    Eq,
+    Geq,
+    Gt,
+    IsNull,
+    Leq,
+    Lt,
+    Neq,
+    Not,
+    Or,
+    Var,
+)
+from repro.core.ranges import RangeValue, between
+from repro.core.relation import AUDatabase, AURelation
+from repro.db.storage import DetDatabase, DetRelation
+
+SETTINGS = settings(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+COLUMNS = ("a", "b", "c")
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def column_stats(draw):
+    count = draw(st.integers(0, 500))
+    distinct = draw(st.integers(0, max(count, 1)))
+    lo = draw(st.integers(-50, 50))
+    hi = lo + draw(st.integers(0, 100))
+    return ColumnStats(
+        count=count,
+        distinct=distinct,
+        min_value=lo,
+        max_value=hi,
+        null_fraction=draw(st.floats(0, 1)),
+        uncertain_fraction=draw(st.floats(0, 1)),
+        avg_width=draw(st.floats(0, 10)),
+    )
+
+
+@st.composite
+def catalogs(draw):
+    # some columns deliberately missing from the catalog
+    return {
+        name: draw(column_stats())
+        for name in COLUMNS
+        if draw(st.booleans())
+    }
+
+
+@st.composite
+def conditions(draw, depth=3):
+    def atom():
+        lhs = Var(draw(st.sampled_from(COLUMNS)))
+        rhs = draw(
+            st.one_of(
+                st.integers(-100, 100).map(Const),
+                st.sampled_from(COLUMNS).map(Var),
+            )
+        )
+        op = draw(st.sampled_from([Eq, Neq, Leq, Lt, Geq, Gt]))
+        return op(lhs, rhs)
+
+    if depth <= 0 or draw(st.booleans()):
+        return draw(
+            st.one_of(
+                st.just(atom()),
+                st.sampled_from(COLUMNS).map(lambda c: IsNull(Var(c))),
+                st.booleans().map(Const),
+            )
+        )
+    combiner = draw(st.sampled_from(["and", "or", "not"]))
+    left = draw(conditions(depth=depth - 1))
+    if combiner == "not":
+        return Not(left)
+    right = draw(conditions(depth=depth - 1))
+    return And(left, right) if combiner == "and" else Or(left, right)
+
+
+# ----------------------------------------------------------------------
+# properties
+# ----------------------------------------------------------------------
+@SETTINGS
+@given(cond=conditions(), catalog=catalogs())
+def test_selectivity_always_in_unit_interval(cond, catalog):
+    s = predicate_selectivity(cond, catalog)
+    assert 0.0 <= s <= 1.0, f"{cond!r} -> {s}"
+    assert math.isfinite(s)
+
+
+@SETTINGS
+@given(left=st.one_of(st.none(), column_stats()), right=st.one_of(st.none(), column_stats()))
+def test_equi_join_selectivity_in_unit_interval(left, right):
+    s = equi_join_selectivity(left, right)
+    assert 0.0 < s <= 1.0
+
+
+@SETTINGS
+@given(
+    n_keys=st.integers(1, 40),
+    fanout=st.integers(1, 8),
+    seed=st.integers(0, 10_000),
+)
+def test_equi_join_estimate_exact_on_key_fk_data(n_keys, fanout, seed):
+    """PK–FK join with uniform distinct counts: the estimate is the true
+    join size, ``|S|`` — every foreign key matches exactly one key."""
+    rng = random.Random(seed)
+    pk = DetRelation(["k", "p"], [(i, i * 10) for i in range(n_keys)])
+    fk_rows = [
+        (rng.randrange(n_keys) if rng.random() < 0.5 else i % n_keys, i)
+        for i in range(n_keys * fanout)
+    ]
+    # make the distinct counts uniform: ensure every key value appears
+    fk_rows[:n_keys] = [(i, -i) for i in range(n_keys)]
+    fk = DetRelation(["f", "q"], fk_rows)
+    db = DetDatabase({"pk": pk, "fk": fk})
+    stats = Statistics.from_database(db)
+
+    plan = Join(TableRef("pk"), TableRef("fk"), Eq(Var("k"), Var("f")))
+    est = estimate(plan, stats)
+    from repro.db.engine import evaluate_det
+
+    actual = evaluate_det(plan, db, optimize=False).total_rows()
+    assert actual == fk.total_rows()
+    assert est == pytest.approx(actual)
+
+
+@SETTINGS
+@given(catalog=catalogs(), cond=conditions())
+def test_selection_estimate_never_exceeds_input(catalog, cond):
+    stats = Statistics(
+        {"t": 100},
+        {"t": COLUMNS},
+        {"t": catalog},
+    )
+    base = TableRef("t")
+    assert estimate(Selection(base, cond), stats) <= estimate(base, stats)
+
+
+# ----------------------------------------------------------------------
+# harvesting
+# ----------------------------------------------------------------------
+class TestHarvest:
+    def test_det_relation(self):
+        rel = DetRelation(
+            ["x", "y"], [(1, "a"), (2, "b"), (2, "b"), (None, "c")]
+        )
+        rel.add((2, "b"), 2)  # multiplicities weigh the fractions
+        cols = harvest_column_stats(DetDatabase({"t": rel}))["t"]
+        x = cols["x"]
+        assert x.count == rel.total_rows() == 6
+        assert x.distinct == 2
+        assert x.min_value == 1 and x.max_value == 2
+        assert x.null_fraction == pytest.approx(1 / 6)
+        assert x.uncertain_fraction == 0.0
+        assert cols["y"].distinct == 3
+
+    def test_au_relation_summarizes_bounds(self):
+        rel = AURelation(["v"])
+        rel.add([between(0, 5, 9)], (1, 1, 1))
+        rel.add([RangeValue(2, 2, 2)], (0, 1, 2))
+        rel.add([between(-3, 1, 4)], (1, 1, 1))
+        cols = harvest_column_stats(AUDatabase({"t": rel}))["t"]
+        v = cols["v"]
+        assert v.count == 3  # tuple count, matching Statistics cardinality
+        assert v.distinct == 3  # distinct SG values 5, 2, 1
+        assert v.min_value == -3  # smallest lower bound
+        assert v.max_value == 9  # largest upper bound
+        assert v.uncertain_fraction == pytest.approx(2 / 3)
+        assert v.avg_width == pytest.approx((9 + 0 + 7) / 3)
+
+    def test_statistics_carries_catalog_and_fingerprint_changes(self):
+        rel = DetRelation(["x"], [(1,), (2,)])
+        db = DetDatabase({"t": rel})
+        s1 = Statistics.from_database(db)
+        assert s1.columns["t"]["x"].distinct == 2
+        rel.add((3,))
+        s2 = Statistics.from_database(db)
+        assert s1.fingerprint() != s2.fingerprint()
+        bare = Statistics.from_database(db, column_stats=False)
+        assert bare.columns == {}
+
+
+class TestDerivations:
+    def test_scaled_shrinks_but_keeps_a_survivor(self):
+        col = ColumnStats(count=100, distinct=40, min_value=0, max_value=9)
+        half = col.scaled(0.5)
+        assert half.count == 50 and half.distinct == 20
+        tiny = col.scaled(1e-9)
+        assert tiny.distinct == 1  # never 0 while rows remain
+        none = col.scaled(0.0)
+        assert none.count == 0 and none.distinct == 0
+
+    def test_capped(self):
+        col = ColumnStats(count=100, distinct=40)
+        assert col.capped(10).distinct == 10
+        assert col.capped(1000).distinct == 40
+
+
+# ----------------------------------------------------------------------
+# compression-budget placement
+# ----------------------------------------------------------------------
+class TestCompressionHints:
+    def test_recommended_buckets_policy(self):
+        assert recommended_buckets(10, 10, None) is None
+        # both inputs fit in the budget: compression is a no-op, skip it
+        assert recommended_buckets(10, 20, 32) is None
+        # a large input gets the full budget
+        assert recommended_buckets(10, 2000, 32) == 32
+
+    def test_adaptive_compression_runs_tight_joins_on_small_inputs(self):
+        """With inputs far below the budget the hint skips the split/Cpr
+        rewrite, so the adaptive run is bit-identical to the naive
+        (tightest) join — while the forced-compression run is looser."""
+        from repro.algebra.evaluator import EvalConfig, evaluate_audb
+
+        left = AURelation(["a", "x"])
+        right = AURelation(["b", "y"])
+        for i in range(4):
+            left.add([between(i, i, i + 2), i], (1, 1, 1))
+            right.add([between(i, i + 1, i + 3), 10 * i], (0, 1, 2))
+        db = AUDatabase({"l": left, "r": right})
+        plan = Join(TableRef("l"), TableRef("r"), Eq(Var("a"), Var("b")))
+
+        naive = evaluate_audb(plan, db, EvalConfig())
+        adaptive = evaluate_audb(
+            plan, db, EvalConfig(join_buckets=64, adaptive_compression=True)
+        )
+        forced = evaluate_audb(plan, db, EvalConfig(join_buckets=2))
+        assert dict(adaptive.tuples()) == dict(naive.tuples())
+        assert dict(forced.tuples()) != dict(naive.tuples())
+
+    def test_hints_map_join_nodes(self):
+        small = DetRelation(["a"], [(i,) for i in range(4)])
+        big = DetRelation(["b"], [(i,) for i in range(500)])
+        db = DetDatabase({"small": small, "big": big})
+        stats = Statistics.from_database(db)
+        join = Join(TableRef("small"), TableRef("big"), Eq(Var("a"), Var("b")))
+        hints = compression_hints(join, stats, 32)
+        assert hints == {id(join): 32}
+        tiny = Join(TableRef("small"), TableRef("small"), Eq(Var("a"), Var("a")))
+        assert compression_hints(tiny, stats, 32) == {id(tiny): None}
+        assert compression_hints(join, stats, None) == {}
