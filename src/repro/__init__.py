@@ -70,6 +70,7 @@ from .core import operators
 from .core.compression import compress, optimized_join, split_sg, split_up
 from .db.engine import evaluate_det
 from .db.storage import DetDatabase, DetRelation
+from .exec import BACKENDS, AUColumnBatch, ColumnBatch
 from .incomplete.ctable import CTable, VTable, codd_table
 from .incomplete.tidb import TIDatabase, TIRelation
 from .incomplete.worlds import (
@@ -100,6 +101,7 @@ __all__ = [
     "Union", "Difference", "Distinct", "Aggregate", "Rename",
     "OrderBy", "Limit", "TopK",
     "EvalConfig", "evaluate_audb", "evaluate_det",
+    "BACKENDS", "ColumnBatch", "AUColumnBatch",
     "Statistics", "optimize", "explain", "compression_hints",
     "ColumnStats", "harvest_column_stats",
     "predicate_selectivity", "equi_join_selectivity",

@@ -13,6 +13,7 @@ import sys
 
 from .algebra.evaluator import EvalConfig, evaluate_audb
 from .algebra.optimizer import Statistics, explain, optimize
+from .exec import BACKENDS
 from .core.ranges import between
 from .core.relation import AUDatabase, AURelation
 from .db.engine import evaluate_det
@@ -68,6 +69,13 @@ def main(argv=None) -> int:
         "the greedy cardinality heuristic",
     )
     parser.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default="tuple",
+        help="physical execution backend: the tuple-at-a-time interpreter "
+        "(default) or the vectorized columnar runtime (repro.exec)",
+    )
+    parser.add_argument(
         "--explain",
         action="store_true",
         help="print the (optimized) logical plan with estimated and, after "
@@ -85,6 +93,7 @@ def main(argv=None) -> int:
         optimize=do_optimize,
         join_order=args.join_order,
         adaptive_compression=True,
+        backend=args.backend,
     )
     print(f"tables: {', '.join(sorted(audb.relations))}")
 
@@ -109,7 +118,9 @@ def main(argv=None) -> int:
             print(explain(shown, stats))
         try:
             actuals = {} if args.explain else None
-            det_result = evaluate_det(shown, det, optimize=False, actuals=actuals)
+            det_result = evaluate_det(
+                shown, det, optimize=False, actuals=actuals, backend=args.backend
+            )
             au_result = evaluate_audb(plan, audb, config)
         except (KeyError, TypeError, ValueError, ZeroDivisionError) as exc:
             print(f"error: {exc}")

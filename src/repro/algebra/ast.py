@@ -288,8 +288,10 @@ class TopK(Plan):
     The deterministic engine sorts by ``keys`` (all descending when
     ``descending`` is set, mirroring the parser) with the full-tuple domain
     order as tie-break, then keeps the first ``n`` rows by multiplicity.
-    The AU engine keeps everything: LIMIT over unordered uncertain data
-    cannot soundly drop tuples.
+    The AU engine returns a true (bound-adjusted) top-k when every order
+    key is certain and keeps everything otherwise — LIMIT over uncertainly
+    *ordered* data cannot soundly drop tuples (see
+    :func:`repro.core.operators.au_topk`).
     """
 
     child: Plan

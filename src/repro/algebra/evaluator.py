@@ -17,7 +17,14 @@ module plays the rewritten query over the relational encoding.
   interpreting the plan.  The rewrites are exact for the AU semantics, so
   results are identical with the knob on or off (compression budgets
   excepted: bucket boundaries depend on operator inputs, so compressed
-  runs remain *sound* but need not be bit-identical across plan shapes).
+  runs remain *sound* but need not be bit-identical across plan shapes);
+* ``backend`` — ``"tuple"`` interprets operators here; ``"vectorized"``
+  executes over columnar batches (:mod:`repro.exec`) with identical
+  results, falling back to the tuple operators per node where needed.
+
+``ORDER BY … LIMIT`` / fused ``TopK`` return a true bound-adjusted top-k
+when the order keys are certain (:func:`repro.core.operators.au_topk`)
+and the sound identity superset otherwise.
 """
 
 from __future__ import annotations
@@ -72,6 +79,11 @@ class EvalConfig:
     budget run the naive — faster here, and strictly tighter — join
     instead of the split/Cpr rewrite.  Either way every join remains
     bound-preserving.
+
+    ``backend`` selects the physical execution backend: ``"tuple"`` (the
+    operator-at-a-time interpreter in this module) or ``"vectorized"``
+    (:mod:`repro.exec`, columnar batches with per-node fallback to the
+    tuple operators for SG-combining semantics).  Results are identical.
     """
 
     join_buckets: Optional[int] = None
@@ -80,6 +92,7 @@ class EvalConfig:
     optimize: bool = True
     join_order: str = DEFAULT_JOIN_ORDER
     adaptive_compression: bool = False
+    backend: str = "tuple"
 
 
 DEFAULT_CONFIG = EvalConfig()
@@ -108,6 +121,16 @@ def evaluate_audb(
         plan = optimize(plan, stats, join_order=config.join_order)
         if config.adaptive_compression and config.join_buckets is not None:
             hints = compression_hints(plan, stats, config.join_buckets)
+    if config.backend == "vectorized":
+        from ..exec.vectorized import execute_audb
+
+        return execute_audb(plan, db, config, hints, actuals)
+    if config.backend != "tuple":
+        from ..exec import BACKENDS
+
+        raise ValueError(
+            f"unknown backend {config.backend!r}; expected one of {BACKENDS}"
+        )
     return _evaluate(plan, db, config, hints, actuals)
 
 
@@ -188,10 +211,29 @@ def _evaluate_node(
         )
     if isinstance(plan, OrderBy):
         return _evaluate(plan.child, db, config, hints, actuals)
-    if isinstance(plan, (Limit, TopK)):
-        # LIMIT / top-k over unordered uncertain data: keep everything
+    if isinstance(plan, TopK):
+        # sound true top-k when the order keys are certain; identity
+        # (keep everything) otherwise — see ops.au_topk
+        return ops.au_topk(
+            _evaluate(plan.child, db, config, hints, actuals),
+            plan.keys,
+            plan.descending,
+            plan.n,
+        )
+    if isinstance(plan, Limit):
+        child = plan.child
+        if isinstance(child, OrderBy):
+            # thread the ORDER BY keys into the limit (the unfused form
+            # of TopK), mirroring the deterministic engine
+            return ops.au_topk(
+                _evaluate(child.child, db, config, hints, actuals),
+                child.keys,
+                child.descending,
+                plan.n,
+            )
+        # bare LIMIT over unordered uncertain data: keep everything
         # (sound over-approximation).
-        return _evaluate(plan.child, db, config, hints, actuals)
+        return _evaluate(child, db, config, hints, actuals)
     raise TypeError(f"unsupported plan node {type(plan).__name__}")
 
 

@@ -105,8 +105,10 @@ __all__ = [
     "schema_of",
     "estimate",
     "compression_hints",
+    "join_strategy_hints",
     "JOIN_ORDERS",
     "DEFAULT_JOIN_ORDER",
+    "HASH_JOIN_MIN_ROWS",
 ]
 
 
@@ -1003,6 +1005,38 @@ def compression_hints(
             left = estimate(node.left, stats)
             right = estimate(node.right, stats)
             hints[id(node)] = recommended_buckets(left, right, budget)
+    return hints
+
+
+# ----------------------------------------------------------------------
+# physical-operator choice (vectorized backend)
+# ----------------------------------------------------------------------
+#: Below this many estimated rows on the larger input, building a hash
+#: table costs more than a straight nested loop over the batch.
+HASH_JOIN_MIN_ROWS = 12.0
+
+
+def join_strategy_hints(
+    plan: Plan, stats: Optional[Statistics]
+) -> Dict[int, str]:
+    """Physical join-operator choice for the vectorized backend.
+
+    Maps ``id(join_node)`` to ``"hash"`` (build a hash table on the
+    equi-join key) or ``"loop"`` (nested loop + fused predicate), priced
+    from the statistics catalog: when both estimated inputs are tiny the
+    hash build/probe bookkeeping dominates, so the loop wins.  The
+    choice affects performance only — both physical operators implement
+    the same logical join, and joins without an equi-conjunct always run
+    as a (filtered) nested loop regardless of the hint.
+    """
+    hints: Dict[int, str] = {}
+    for node in plan.walk():
+        if isinstance(node, Join):
+            left = estimate(node.left, stats)
+            right = estimate(node.right, stats)
+            hints[id(node)] = (
+                "loop" if max(left, right) < HASH_JOIN_MIN_ROWS else "hash"
+            )
     return hints
 
 

@@ -6,7 +6,8 @@ This module supplies the attribute-level information the DP enumerator in
 :mod:`repro.algebra.optimizer` costs plans with:
 
 * :class:`ColumnStats` — distinct count, min/max bounds, null fraction,
-  uncertain fraction, and average range width of one column;
+  uncertain fraction, average range width, and (for numeric columns) an
+  equi-width :class:`Histogram` of one column;
 * :func:`harvest_column_stats` — one-pass harvesting from either storage
   layer.  Deterministic relations (:class:`~repro.db.storage.DetRelation`)
   contribute exact values; AU-relations
@@ -51,15 +52,86 @@ from ..core.ranges import RangeValue, domain_key
 
 __all__ = [
     "ColumnStats",
+    "Histogram",
     "harvest_column_stats",
     "predicate_selectivity",
     "equi_join_selectivity",
     "DEFAULT_SELECTIVITY",
+    "HISTOGRAM_BUCKETS",
 ]
 
 #: Fallback selectivity for predicates the estimator cannot analyze —
 #: matches the pre-catalog heuristic of one third of the input surviving.
 DEFAULT_SELECTIVITY = 1.0 / 3.0
+
+#: Equi-width bucket count harvested per numeric column.
+HISTOGRAM_BUCKETS = 16
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Equi-width histogram over a numeric column.
+
+    ``counts[i]`` is the (multiplicity-weighted) number of values in the
+    ``i``-th of ``len(counts)`` equal-width buckets spanning
+    ``[lo, hi]``.  Built over the selected-guess values of a column, so
+    the same histogram prices range predicates for both engines (the
+    uncertain-fraction inflation in :func:`predicate_selectivity`
+    accounts for range-annotated values separately).
+    """
+
+    lo: float
+    hi: float
+    counts: Tuple[int, ...]
+
+    @classmethod
+    def build(
+        cls, values: List[Tuple[float, int]], buckets: int = HISTOGRAM_BUCKETS
+    ) -> Optional["Histogram"]:
+        """Build from weighted ``(value, weight)`` pairs.
+
+        Returns ``None`` for degenerate inputs (no values, or a single
+        point — min/max logic handles those better).
+        """
+        if not values:
+            return None
+        lo = min(v for v, _w in values)
+        hi = max(v for v, _w in values)
+        if not (math.isfinite(lo) and math.isfinite(hi)) or hi <= lo:
+            return None
+        counts = [0] * buckets
+        scale = buckets / (hi - lo)
+        top = buckets - 1
+        for v, w in values:
+            i = int((v - lo) * scale)
+            counts[i if i < top else top] += w
+        return cls(float(lo), float(hi), tuple(counts))
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def fraction_below(self, c: float) -> float:
+        """Estimated fraction of values ``<= c`` (continuous
+        approximation: linear interpolation inside the bucket containing
+        ``c``, so strict vs non-strict comparisons price the same)."""
+        if c <= self.lo:
+            return 0.0
+        if c >= self.hi:
+            return 1.0
+        total = self.total
+        if total <= 0:
+            return 0.0
+        width = (self.hi - self.lo) / len(self.counts)
+        position = (c - self.lo) / width
+        full = int(position)
+        below = sum(self.counts[:full])
+        if full < len(self.counts):
+            below += self.counts[full] * (position - full)
+        return min(1.0, max(0.0, below / total))
+
+    def fingerprint(self) -> tuple:
+        return (self.lo, self.hi, self.counts)
 
 
 @dataclass(frozen=True)
@@ -84,13 +156,18 @@ class ColumnStats:
     null_fraction: float = 0.0
     uncertain_fraction: float = 0.0
     avg_width: float = 0.0
+    #: equi-width histogram over the column's numeric SG values, or
+    #: ``None`` for non-numeric / degenerate columns (range predicates
+    #: then fall back to min/max interpolation)
+    histogram: Optional[Histogram] = None
 
     def scaled(self, selectivity: float) -> "ColumnStats":
         """Statistics after a filter keeping ``selectivity`` of the rows.
 
         Distinct values shrink proportionally (uniformity assumption) but
-        never below 1 while rows remain; bounds and fractions are kept,
-        which is conservative.
+        never below 1 while rows remain; bounds, fractions, and the
+        histogram are kept — conservative, since a filter on *another*
+        column approximately preserves this column's value distribution.
         """
         s = min(1.0, max(0.0, selectivity))
         count = int(math.ceil(self.count * s))
@@ -115,6 +192,7 @@ class ColumnStats:
             round(self.null_fraction, 9),
             round(self.uncertain_fraction, 9),
             round(self.avg_width, 9),
+            self.histogram.fingerprint() if self.histogram else None,
         )
 
 
@@ -154,6 +232,9 @@ def _harvest_relation(rel) -> Dict[str, ColumnStats]:
     distinct: List[set] = [set() for _ in range(n)]
     mins: List[Any] = [_UNSET] * n
     maxs: List[Any] = [_UNSET] * n
+    # weighted numeric SG samples per column (None once a non-numeric
+    # value disqualifies the column from getting a histogram)
+    numeric: List[Optional[List[Tuple[float, int]]]] = [[] for _ in range(n)]
 
     for t, annotation in rel.tuples():
         # AU annotations are (lb, sg, ub) triples counted per tuple;
@@ -175,6 +256,11 @@ def _harvest_relation(rel) -> Dict[str, ColumnStats]:
             if sg is None:
                 nulls[i] += weight
                 continue
+            if numeric[i] is not None:
+                if isinstance(sg, (int, float)) and not isinstance(sg, bool):
+                    numeric[i].append((sg, weight))
+                else:
+                    numeric[i] = None
             distinct[i].add(domain_key(sg))
             if mins[i] is _UNSET:
                 mins[i], maxs[i] = lb, ub
@@ -194,6 +280,7 @@ def _harvest_relation(rel) -> Dict[str, ColumnStats]:
             null_fraction=nulls[i] / total if total else 0.0,
             uncertain_fraction=uncertain[i] / total if total else 0.0,
             avg_width=width_sum[i] / width_n[i] if width_n[i] else 0.0,
+            histogram=Histogram.build(numeric[i]) if numeric[i] else None,
         )
     try:
         rel._column_stats_cache = out
@@ -288,7 +375,13 @@ def _eq_selectivity(cond: Eq, columns: Mapping[str, ColumnStats]) -> float:
 
 
 def _range_selectivity(cond: Expression, columns: Mapping[str, ColumnStats]) -> float:
-    """Interval-fraction estimate for ``x ⊙ c`` over numeric columns."""
+    """Distribution estimate for ``x ⊙ c`` over numeric columns.
+
+    With a harvested :class:`Histogram` the estimate is the actual
+    cumulative fraction below/above ``c`` (robust to skew); otherwise it
+    falls back to linear interpolation between the column's min/max
+    bounds (implicitly assuming uniformity).
+    """
     left, right = cond.left, cond.right
     if isinstance(left, Var) and isinstance(right, Const):
         var, const, flipped = left.name, right.value, False
@@ -297,16 +390,16 @@ def _range_selectivity(cond: Expression, columns: Mapping[str, ColumnStats]) -> 
     else:
         return DEFAULT_SELECTIVITY
     col = columns.get(var)
-    if (
-        col is None
-        or not _is_number(const)
-        or not _is_number(col.min_value)
-        or not _is_number(col.max_value)
-    ):
+    if col is None or not _is_number(const):
         return DEFAULT_SELECTIVITY
-    lo, hi = float(col.min_value), float(col.max_value)
     # ``c ⊙ x`` is ``x ⊙' c`` with the comparison mirrored
     below = isinstance(cond, (Leq, Lt)) != flipped  # keeps x <= / < c
+    if col.histogram is not None:
+        frac = col.histogram.fraction_below(float(const))
+        return _clamp(frac if below else 1.0 - frac)
+    if not _is_number(col.min_value) or not _is_number(col.max_value):
+        return DEFAULT_SELECTIVITY
+    lo, hi = float(col.min_value), float(col.max_value)
     if hi <= lo:
         point = lo
         if below:

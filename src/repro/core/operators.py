@@ -39,6 +39,7 @@ __all__ = [
     "difference",
     "rename",
     "distinct",
+    "au_topk",
     "condition_annotation",
 ]
 
@@ -344,6 +345,91 @@ def difference(left: AURelation, right: AURelation) -> AURelation:
         new_ub = max(0, ub - certain_lb)
         if new_ub > 0:
             out.add(t, (new_lb, min(new_sg, new_ub), new_ub))
+    return out
+
+
+def au_topk(rel: AURelation, keys: Sequence[str], descending: bool, n: int) -> AURelation:
+    """Bound-preserving ``ORDER BY keys [DESC] LIMIT n`` over an AU-relation.
+
+    **Certain-key case** (every row's order-key attributes are certain):
+    a true top-k is sound.  Sort rows by key (with a deterministic
+    content tie-break) and bound, per row, how many of its copies can
+    survive in the top-k of *any* world bounded by ``rel``:
+
+    * ``ub' = min(ub, n − Σ lb`` over rows whose keys *strictly precede*
+      this row's ``)`` — at least that many slots are certainly taken by
+      strictly better rows in every world (tie-broken copies of equal
+      keys may always lose to this row, so ties are excluded);
+    * ``lb' = max(0, min(lb, n − Σ ub`` over *other* rows whose keys
+      precede or tie ``))`` — at most that many slots can be taken
+      before this row in the worst world (ties may win against it);
+    * ``sg'`` replays the deterministic engine's top-k over the SG
+      multiplicities, so the selected-guess world of the result equals
+      ``ORDER BY … LIMIT n`` over the input's SG world exactly.
+
+    Rows whose adjusted upper bound is 0 are dropped.  The bounds above
+    bracket the replayed SG take (``lb ≤ sg`` and strict-prefix sums are
+    below tie-inclusive prefix sums), so annotations stay valid.
+
+    **Remaining unsound-to-prune case**: when any order key is uncertain
+    the rank of a row differs across worlds, so the only sound result
+    without a per-row rank analysis is the identity (every input row, a
+    sound superset) — which is what this function then returns.  Bare
+    ``LIMIT`` without ORDER BY likewise stays the identity in the AU
+    engine: its deterministic tuple-order tie-break is arbitrary and
+    carries no semantics to preserve under uncertainty.
+    """
+    from .ranges import domain_key
+
+    key_idx = [rel.attr_index(k) for k in keys]
+    rows = list(rel.tuples())
+    if any(not t[i].is_certain for t, _ann in rows for i in key_idx):
+        return rel  # uncertain order key: identity is the only sound choice
+
+    # deterministic order: primary sort on the (certain) key values —
+    # reversed for DESC — with a stable full-content tie-break so the
+    # result is independent of the input's row order
+    def content_key(item):
+        t, _ann = item
+        return (
+            tuple(domain_key(v.sg) for v in t),
+            tuple(domain_key(v.lb) for v in t),
+            tuple(domain_key(v.ub) for v in t),
+        )
+
+    rows.sort(key=content_key)
+    rows.sort(
+        key=lambda item: tuple(domain_key(item[0][i].sg) for i in key_idx),
+        reverse=descending,
+    )
+
+    # group rows by equal key values to form the prefix sums
+    key_of = lambda item: tuple(domain_key(item[0][i].sg) for i in key_idx)
+    out = AURelation(rel.schema)
+    remaining_sg = n
+    strict_lb = 0  # Σ lb of rows with strictly better keys
+    prefix_ub = 0  # Σ ub of rows with better-or-tied keys (incl. current group)
+    pos = 0
+    while pos < len(rows):
+        group_end = pos
+        group_key = key_of(rows[pos])
+        group_ub = 0
+        while group_end < len(rows) and key_of(rows[group_end]) == group_key:
+            group_ub += rows[group_end][1][2]
+            group_end += 1
+        prefix_ub += group_ub
+        for t, (lb, sg, ub) in rows[pos:group_end]:
+            take = min(sg, remaining_sg) if remaining_sg > 0 else 0
+            remaining_sg -= take
+            new_ub = min(ub, n - strict_lb)
+            if new_ub > 0:
+                tied_others_ub = prefix_ub - ub
+                new_lb = max(0, min(lb, n - tied_others_ub))
+                out.add(t, (new_lb, min(max(take, new_lb), new_ub), new_ub))
+        strict_lb += sum(lb for _t, (lb, _sg, _ub) in rows[pos:group_end])
+        if strict_lb >= n:
+            break
+        pos = group_end
     return out
 
 

@@ -39,7 +39,7 @@ class AURelation:
         :class:`RangeValue` instances.
     """
 
-    __slots__ = ("schema", "_rows", "_column_stats_cache")
+    __slots__ = ("schema", "_rows", "_column_stats_cache", "_columnar_cache")
 
     def __init__(
         self,
@@ -50,9 +50,11 @@ class AURelation:
     ) -> None:
         self.schema: Tuple[str, ...] = tuple(schema)
         self._rows: Dict[AUTuple, AUAnnotation] = {}
-        # memoized per-column statistics (repro.algebra.stats); add()
-        # invalidates — operators treat relations as immutable
+        # memoized per-column statistics (repro.algebra.stats) and the
+        # columnar image used by the vectorized backend (repro.exec);
+        # add() invalidates both — operators treat relations as immutable
         self._column_stats_cache = None
+        self._columnar_cache = None
         if rows is None:
             return
         items = rows.items() if isinstance(rows, Mapping) else rows
@@ -83,6 +85,7 @@ class AURelation:
         existing = self._rows.get(t)
         self._rows[t] = au_add(existing, annotation) if existing else annotation
         self._column_stats_cache = None
+        self._columnar_cache = None
 
     @classmethod
     def from_certain_rows(

@@ -48,6 +48,7 @@ from ..algebra.optimizer import (
 from ..core.aggregation import AggregateSpec
 from ..core.expressions import Expression, RowView, Var
 from ..core.ranges import domain_key
+from ..exec import BACKENDS
 from .storage import DetDatabase, DetRelation
 
 __all__ = ["evaluate_det"]
@@ -59,6 +60,7 @@ def evaluate_det(
     optimize: bool = True,
     join_order: str = DEFAULT_JOIN_ORDER,
     actuals: Optional[Dict[int, int]] = None,
+    backend: str = "tuple",
 ) -> DetRelation:
     """Evaluate ``plan`` over deterministic database ``db``.
 
@@ -72,10 +74,27 @@ def evaluate_det(
     to the *optimized* plan — pre-optimize with
     :func:`repro.algebra.optimizer.optimize` and pass ``optimize=False``
     to correlate them.
+
+    ``backend`` selects the physical executor: ``"tuple"`` (this
+    module's operator-at-a-time interpreter) or ``"vectorized"``
+    (:mod:`repro.exec`: columnar batches, fused compiled predicates,
+    hash joins/aggregates chosen per node from the statistics catalog).
+    Results are identical; integer data is bit-exact, floating-point
+    aggregates may differ in summation round-off.
     """
+    stats = None
     if optimize:
-        plan = _optimize_plan(
-            plan, Statistics.from_database(db), join_order=join_order
+        stats = Statistics.from_database(db)
+        plan = _optimize_plan(plan, stats, join_order=join_order)
+    if backend == "vectorized":
+        from ..algebra.optimizer import join_strategy_hints
+        from ..exec.vectorized import execute_det
+
+        strategies = join_strategy_hints(plan, stats) if stats is not None else None
+        return execute_det(plan, db, actuals=actuals, strategies=strategies)
+    if backend != "tuple":
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
     return _evaluate(plan, db, actuals)
 

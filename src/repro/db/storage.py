@@ -20,7 +20,7 @@ __all__ = ["DetRelation", "DetDatabase"]
 class DetRelation:
     """An ``N``-relation: bag of tuples with multiplicities."""
 
-    __slots__ = ("schema", "rows", "_column_stats_cache")
+    __slots__ = ("schema", "rows", "_column_stats_cache", "_columnar_cache")
 
     def __init__(
         self,
@@ -31,9 +31,11 @@ class DetRelation:
     ) -> None:
         self.schema: Tuple[str, ...] = tuple(schema)
         self.rows: Dict[Tuple[Any, ...], int] = {}
-        # memoized per-column statistics (repro.algebra.stats); add()
-        # invalidates — mutate through add() only, as documented
+        # memoized per-column statistics (repro.algebra.stats) and the
+        # columnar image used by the vectorized backend (repro.exec);
+        # add() invalidates both — mutate through add() only, as documented
         self._column_stats_cache = None
+        self._columnar_cache = None
         if rows is None:
             return
         if isinstance(rows, Mapping):
@@ -55,6 +57,7 @@ class DetRelation:
             )
         self.rows[t] = self.rows.get(t, 0) + multiplicity
         self._column_stats_cache = None
+        self._columnar_cache = None
 
     def multiplicity(self, t: Tuple[Any, ...]) -> int:
         return self.rows.get(tuple(t), 0)

@@ -1,0 +1,38 @@
+"""``repro.exec`` — the vectorized columnar execution backend.
+
+Both engines interpret :mod:`repro.algebra.ast` plans; this package adds
+a second *physical* backend that compiles optimized plans into
+vectorized operators over columnar batches instead of interpreting them
+tuple-at-a-time over Python dict bags:
+
+* :mod:`repro.exec.batch` — :class:`ColumnBatch` / :class:`AUColumnBatch`
+  columnar representations and cached relation↔batch conversion;
+* :mod:`repro.exec.compile` — fused predicate/projection compilation
+  (one generated Python loop per expression, no per-row AST dispatch);
+* :mod:`repro.exec.vectorized` — the physical operators (hash equi-join,
+  hash aggregate, fused selection, batch top-k) and the two executors.
+
+Select it with ``evaluate_det(..., backend="vectorized")``,
+``EvalConfig(backend="vectorized")``, or ``--backend=vectorized`` on the
+CLI; operators the vectorized AU runtime does not cover fall back to the
+exact tuple implementations node-by-node, so every query still answers.
+"""
+
+from .batch import AUColumnBatch, ColumnBatch
+from .compile import CompileError, compile_filter, compile_projector
+from .vectorized import execute_audb, execute_det
+
+#: Physical execution backends accepted by ``evaluate_det`` /
+#: ``EvalConfig.backend`` / the CLI ``--backend`` flag.
+BACKENDS = ("tuple", "vectorized")
+
+__all__ = [
+    "BACKENDS",
+    "ColumnBatch",
+    "AUColumnBatch",
+    "CompileError",
+    "compile_filter",
+    "compile_projector",
+    "execute_det",
+    "execute_audb",
+]

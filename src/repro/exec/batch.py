@@ -1,0 +1,224 @@
+"""Columnar batches: the data representation of the vectorized backend.
+
+A batch is the columnar ("decomposed storage") image of a relation:
+parallel per-attribute arrays plus a multiplicity column, so operators
+touch only the columns they need and run tight set-at-a-time loops
+instead of interpreting one tuple dictionary at a time.
+
+* :class:`ColumnBatch` — deterministic bags.  One Python array per
+  attribute and an integer multiplicity column.  Base-table columns whose
+  values are homogeneously ``int`` or ``float`` are packed into
+  :mod:`array`-module typed arrays (contiguous machine values); mixed
+  columns fall back to plain lists.
+* :class:`AUColumnBatch` — AU-relations.  One array of range triples
+  (``RangeValue`` objects, i.e. lower/SG/upper per attribute) per column,
+  plus the ``K^AU`` annotation as three parallel multiplicity arrays
+  ``ann_lb``/``ann_sg``/``ann_ub``.
+
+Batches are *unmerged*: value-equivalent rows may appear several times
+and are only merged (annotations summed) when the batch is materialized
+back into a relation.  This is exact for the linear operators (selection,
+projection, rename, join, cross product, union) because the annotation
+semirings distribute over addition; the executors materialize before
+every non-linear operator (difference, distinct, aggregation, top-k).
+
+Conversions are cached on the source relation (``_columnar_cache``,
+invalidated by ``add()``), so repeated queries over the same database
+scan the columnar image for free.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..core.relation import AURelation
+from ..core.semirings import AUAnnotation
+from ..db.storage import DetRelation
+
+__all__ = ["ColumnBatch", "AUColumnBatch", "BatchRowView"]
+
+
+def _pack_typed(values: list):
+    """Pack a homogeneous numeric column into an ``array``-module array.
+
+    Returns the original list when the column mixes types, holds bools,
+    overflows the 64-bit signed range, or contains NaN — a typed array
+    re-boxes a fresh float per access, and NaN equality semantics in the
+    engines go through Python's identity-or-equality shortcut, so NaN
+    columns must keep their original objects.
+    """
+    if not values:
+        return values
+    kind = type(values[0])
+    if kind is int:
+        for v in values:
+            if type(v) is not int:
+                return values
+        try:
+            return array("q", values)
+        except OverflowError:
+            return values
+    if kind is float:
+        for v in values:
+            if type(v) is not float or v != v:
+                return values
+        return array("d", values)
+    return values
+
+
+class BatchRowView:
+    """A lazy ``{attribute: value}`` valuation over one batch row.
+
+    The columnar counterpart of :class:`repro.core.expressions.RowView`:
+    expression evaluation only ever looks attributes up, so the slow-path
+    (non-compiled) evaluators reuse ``eval``/``eval_range`` unchanged by
+    pointing one mutable row cursor ``i`` at the batch.
+    """
+
+    __slots__ = ("_index", "_columns", "i")
+
+    def __init__(self, index: Dict[str, int], columns: Sequence) -> None:
+        self._index = index
+        self._columns = columns
+        self.i = 0
+
+    def __getitem__(self, name: str) -> Any:
+        return self._columns[self._index[name]][self.i]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def get(self, name: str, default: Any = None) -> Any:
+        j = self._index.get(name)
+        return default if j is None else self._columns[j][self.i]
+
+    def keys(self):
+        return self._index.keys()
+
+
+class ColumnBatch:
+    """A deterministic bag in columnar form.
+
+    ``columns[j][i]`` is the value of attribute ``schema[j]`` in row
+    ``i``; ``mult[i]`` is the row's multiplicity.  Rows need not be
+    distinct (see module docstring).
+    """
+
+    __slots__ = ("schema", "columns", "mult")
+
+    def __init__(self, schema: Sequence[str], columns: List, mult) -> None:
+        self.schema: Tuple[str, ...] = tuple(schema)
+        self.columns = columns
+        self.mult = mult
+
+    def __len__(self) -> int:
+        return len(self.mult)
+
+    def total_rows(self) -> int:
+        """Bag cardinality (sum of multiplicities)."""
+        return sum(self.mult)
+
+    @classmethod
+    def from_relation(cls, rel: DetRelation) -> "ColumnBatch":
+        cached = getattr(rel, "_columnar_cache", None)
+        if cached is not None:
+            return cached
+        n_cols = len(rel.schema)
+        if rel.rows:
+            columns = [_pack_typed(list(col)) for col in zip(*rel.rows.keys())]
+            mult = array("q", rel.rows.values())
+        else:
+            columns = [[] for _ in range(n_cols)]
+            mult = array("q")
+        batch = cls(rel.schema, columns, mult)
+        try:
+            rel._columnar_cache = batch
+        except AttributeError:
+            pass  # duck-typed relation without the cache slot
+        return batch
+
+    def to_relation(self) -> DetRelation:
+        """Materialize back into a (merged) :class:`DetRelation`."""
+        out = DetRelation(self.schema)
+        rows = out.rows
+        if self.columns:
+            for t, m in zip(zip(*self.columns), self.mult):
+                rows[t] = rows.get(t, 0) + m
+        else:  # zero-attribute relation: all rows are the empty tuple
+            total = sum(self.mult)
+            if total:
+                rows[()] = total
+        return out
+
+    def row_view(self) -> BatchRowView:
+        return BatchRowView(
+            {name: j for j, name in enumerate(self.schema)}, self.columns
+        )
+
+
+class AUColumnBatch:
+    """An ``N^AU``-relation in columnar form.
+
+    ``columns[j][i]`` is the :class:`~repro.core.ranges.RangeValue`
+    (lower/SG/upper triple) of attribute ``schema[j]`` in row ``i``;
+    ``ann_lb``/``ann_sg``/``ann_ub`` are the three components of the
+    row's ``K^AU`` annotation.  Rows need not be distinct.
+    """
+
+    __slots__ = ("schema", "columns", "ann_lb", "ann_sg", "ann_ub")
+
+    def __init__(
+        self, schema: Sequence[str], columns: List, ann_lb, ann_sg, ann_ub
+    ) -> None:
+        self.schema: Tuple[str, ...] = tuple(schema)
+        self.columns = columns
+        self.ann_lb = ann_lb
+        self.ann_sg = ann_sg
+        self.ann_ub = ann_ub
+
+    def __len__(self) -> int:
+        return len(self.ann_ub)
+
+    @classmethod
+    def from_relation(cls, rel: AURelation) -> "AUColumnBatch":
+        cached = getattr(rel, "_columnar_cache", None)
+        if cached is not None:
+            return cached
+        n_cols = len(rel.schema)
+        rows = list(rel.tuples())
+        if rows:
+            columns = [list(col) for col in zip(*(t for t, _ann in rows))]
+            ann_lb = array("q", (ann[0] for _t, ann in rows))
+            ann_sg = array("q", (ann[1] for _t, ann in rows))
+            ann_ub = array("q", (ann[2] for _t, ann in rows))
+        else:
+            columns = [[] for _ in range(n_cols)]
+            ann_lb, ann_sg, ann_ub = array("q"), array("q"), array("q")
+        batch = cls(rel.schema, columns, ann_lb, ann_sg, ann_ub)
+        try:
+            rel._columnar_cache = batch
+        except AttributeError:
+            pass
+        return batch
+
+    def to_relation(self) -> AURelation:
+        """Materialize back into a (merged) :class:`AURelation`."""
+        out = AURelation(self.schema)
+        if self.columns:
+            for t, lb, sg, ub in zip(
+                zip(*self.columns), self.ann_lb, self.ann_sg, self.ann_ub
+            ):
+                out.add(t, (lb, sg, ub))
+        else:
+            for lb, sg, ub in zip(self.ann_lb, self.ann_sg, self.ann_ub):
+                out.add((), (lb, sg, ub))
+        return out
+
+    def annotations(self) -> List[AUAnnotation]:
+        return list(zip(self.ann_lb, self.ann_sg, self.ann_ub))
+
+    def row_view(self) -> BatchRowView:
+        return BatchRowView(
+            {name: j for j, name in enumerate(self.schema)}, self.columns
+        )

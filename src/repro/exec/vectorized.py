@@ -1,0 +1,792 @@
+"""Vectorized physical operators over columnar batches, for both engines.
+
+This is the physical-execution layer: it interprets the *same* logical
+plans (:mod:`repro.algebra.ast`) as the tuple-at-a-time engines
+(:func:`repro.db.engine.evaluate_det`,
+:func:`repro.algebra.evaluator.evaluate_audb`) but executes them
+set-at-a-time over :mod:`repro.exec.batch` columns:
+
+* **scans** convert base relations once (cached on the relation);
+* **selection** runs a fused compiled predicate loop
+  (:mod:`repro.exec.compile`) — one generated function per condition,
+  no per-row AST dispatch;
+* **equi-joins** hash-partition by join key and gather matching rows
+  column-wise; the logical optimizer's
+  :func:`~repro.algebra.optimizer.join_strategy_hints` picks hash vs
+  nested-loop per join from the statistics catalog;
+* **aggregation** is a single-pass hash aggregate with inlined
+  accumulators;
+* **top-k** and the bag-order ``LIMIT`` reuse the engines' operators on
+  the materialized batch.
+
+Results are *identical* to the tuple engines (the differential fuzzer
+cross-checks both backends on both engines), with one caveat: batches
+defer duplicate merging to materialization boundaries, so floating-point
+SUM/AVG aggregates may accumulate in a different order and differ in
+round-off; integer data is bit-exact.
+
+Coverage and fallback: the deterministic executor covers every plan
+node.  The AU executor vectorizes the linear fragment (scan, selection,
+projection, rename, join, cross product, union) and *falls back* to the
+tuple operators node-by-node for everything whose semantics SG-combines
+or re-groups rows — ``Distinct``, ``Difference``, ``Aggregate``, top-k,
+and compressed (``Cpr``) joins — by materializing its inputs and calling
+the exact :mod:`repro.core` implementation, so every query still
+answers with the same bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..algebra.ast import (
+    Aggregate,
+    CrossProduct,
+    Difference,
+    Distinct,
+    Join,
+    Limit,
+    OrderBy,
+    Plan,
+    Projection,
+    Rename,
+    Selection,
+    TableRef,
+    TopK,
+    Union,
+)
+from ..core import operators as ops
+from ..core.aggregation import aggregate as au_aggregate
+from ..core.compression import optimized_join
+from ..core.expressions import Expression, Var
+from ..core.operators import (
+    _extract_equi_pairs,
+    _is_pure_equi_condition,
+    _key_overlaps,
+)
+from ..core.ranges import domain_key
+from ..core.relation import AUDatabase, AURelation
+from ..db.storage import DetDatabase, DetRelation
+from .batch import AUColumnBatch, BatchRowView, ColumnBatch
+from .compile import CompileError, compile_filter, compile_projector
+
+__all__ = ["execute_det", "execute_audb"]
+
+
+def _index_of(schema: Sequence[str]) -> Dict[str, int]:
+    return {name: j for j, name in enumerate(schema)}
+
+
+def _gather(columns: Sequence, rows: List[int]) -> List:
+    return [[col[i] for i in rows] for col in columns]
+
+
+# ======================================================================
+# deterministic executor
+# ======================================================================
+def execute_det(
+    plan: Plan,
+    db: DetDatabase,
+    actuals: Optional[Dict[int, int]] = None,
+    strategies: Optional[Dict[int, str]] = None,
+) -> DetRelation:
+    """Evaluate ``plan`` over ``db`` with the vectorized backend.
+
+    Semantically identical to the tuple interpreter
+    (:func:`repro.db.engine.evaluate_det` with ``optimize=False`` — run
+    the optimizer first).  ``actuals`` collects per-node output
+    cardinalities exactly like the tuple engine; ``strategies`` is the
+    optional ``{id(join): "hash"|"loop"}`` physical-operator choice from
+    :func:`repro.algebra.optimizer.join_strategy_hints`.
+    """
+    return _DetExec(db, actuals, strategies).run(plan)
+
+
+class _DetExec:
+    def __init__(self, db, actuals, strategies) -> None:
+        self.db = db
+        self.actuals = actuals
+        self.strategies = strategies or {}
+
+    def run(self, plan: Plan) -> DetRelation:
+        return self.eval(plan).to_relation()
+
+    def eval(self, plan: Plan) -> ColumnBatch:
+        batch = self._node(plan)
+        if self.actuals is not None:
+            self.actuals[id(plan)] = sum(batch.mult)
+        return batch
+
+    # -- plan dispatch -------------------------------------------------
+    def _node(self, plan: Plan) -> ColumnBatch:
+        if isinstance(plan, TableRef):
+            return ColumnBatch.from_relation(self.db[plan.name])
+        if isinstance(plan, Selection):
+            return self._selection(self.eval(plan.child), plan.condition)
+        if isinstance(plan, Projection):
+            return self._projection(self.eval(plan.child), plan.columns)
+        if isinstance(plan, Join):
+            return self._join(
+                self.eval(plan.left),
+                self.eval(plan.right),
+                plan.condition,
+                self.strategies.get(id(plan)),
+            )
+        if isinstance(plan, CrossProduct):
+            return self._cross(self.eval(plan.left), self.eval(plan.right))
+        if isinstance(plan, Union):
+            left, right = self.eval(plan.left), self.eval(plan.right)
+            if len(left.schema) != len(right.schema):
+                raise ValueError("union requires union-compatible schemas")
+            return ColumnBatch(
+                left.schema,
+                [list(lc) + list(rc) for lc, rc in zip(left.columns, right.columns)],
+                list(left.mult) + list(right.mult),
+            )
+        if isinstance(plan, Difference):
+            return self._difference(self.eval(plan.left), self.eval(plan.right))
+        if isinstance(plan, Distinct):
+            batch = self.eval(plan.child)
+            seen = dict.fromkeys(zip(*batch.columns)) if batch.columns else {}
+            rows = list(seen)
+            return ColumnBatch(
+                batch.schema,
+                [list(col) for col in zip(*rows)]
+                if rows
+                else [[] for _ in batch.schema],
+                [1] * len(rows) if batch.columns else [1] * min(1, len(batch)),
+            )
+        if isinstance(plan, Aggregate):
+            result = self._aggregate(
+                self.eval(plan.child), plan.group_by, plan.aggregates
+            )
+            if plan.having is not None:
+                result = self._selection(result, plan.having)
+            return result
+        if isinstance(plan, Rename):
+            batch = self.eval(plan.child)
+            mapping = plan.mapping_dict()
+            return ColumnBatch(
+                [mapping.get(a, a) for a in batch.schema],
+                batch.columns,
+                batch.mult,
+            )
+        if isinstance(plan, OrderBy):
+            return self.eval(plan.child)  # bags are unordered
+        if isinstance(plan, TopK):
+            return self._topk(
+                self.eval(plan.child), plan.keys, plan.descending, plan.n
+            )
+        if isinstance(plan, Limit):
+            child = plan.child
+            if isinstance(child, OrderBy):
+                return self._topk(
+                    self.eval(child.child), child.keys, child.descending, plan.n
+                )
+            from ..db.engine import _limit
+
+            return ColumnBatch.from_relation(
+                _limit(self.eval(child).to_relation(), plan.n)
+            )
+        raise TypeError(f"unsupported plan node {type(plan).__name__}")
+
+    # -- operators -----------------------------------------------------
+    def _selection(self, batch: ColumnBatch, condition: Expression) -> ColumnBatch:
+        n = len(batch)
+        try:
+            keep = compile_filter(condition, batch.schema)(batch.columns, n)
+        except CompileError:
+            view = batch.row_view()
+            keep = []
+            for i in range(n):
+                view.i = i
+                if bool(condition.eval(view)):
+                    keep.append(i)
+        if len(keep) == n:
+            return batch
+        return ColumnBatch(
+            batch.schema,
+            _gather(batch.columns, keep),
+            [batch.mult[i] for i in keep],
+        )
+
+    def _projection(self, batch: ColumnBatch, columns) -> ColumnBatch:
+        n = len(batch)
+        index = _index_of(batch.schema)
+        out_cols: List = []
+        for expr, _name in columns:
+            if isinstance(expr, Var) and expr.name in index:
+                out_cols.append(batch.columns[index[expr.name]])
+                continue
+            try:
+                out_cols.append(compile_projector(expr, batch.schema)(batch.columns, n))
+            except CompileError:
+                view = batch.row_view()
+                col = []
+                for i in range(n):
+                    view.i = i
+                    col.append(expr.eval(view))
+                out_cols.append(col)
+        return ColumnBatch([name for _, name in columns], out_cols, batch.mult)
+
+    def _join(
+        self,
+        left: ColumnBatch,
+        right: ColumnBatch,
+        condition: Expression,
+        strategy: Optional[str],
+    ) -> ColumnBatch:
+        from ..db.engine import _equi_pairs
+
+        eq_pairs = _equi_pairs(condition, left.schema, right.schema)
+        if not eq_pairs or strategy == "loop":
+            return self._selection(self._cross(left, right), condition)
+
+        l_index, r_index = _index_of(left.schema), _index_of(right.schema)
+        l_cols = [left.columns[l_index[a]] for a, _ in eq_pairs]
+        r_cols = [right.columns[r_index[b]] for _, b in eq_pairs]
+
+        # bucket raw key values exactly like the tuple engine's dict:
+        # Python's identity-or-equality lookup means a bucket match
+        # implies the Eq conjuncts hold under domain_key comparison
+        # (including the same-NaN-object identity case), so hash and
+        # nested-loop strategies agree with the tuple engine bit-for-bit
+        table: Dict[Any, List[int]] = {}
+        if len(r_cols) == 1:
+            col = r_cols[0]
+            for j in range(len(right)):
+                table.setdefault(col[j], []).append(j)
+        else:
+            for j in range(len(right)):
+                table.setdefault(tuple(c[j] for c in r_cols), []).append(j)
+
+        li: List[int] = []
+        ri: List[int] = []
+        if len(l_cols) == 1:
+            col = l_cols[0]
+            for i in range(len(left)):
+                for j in table.get(col[i], ()):
+                    li.append(i)
+                    ri.append(j)
+        else:
+            for i in range(len(left)):
+                key = tuple(c[i] for c in l_cols)
+                for j in table.get(key, ()):
+                    li.append(i)
+                    ri.append(j)
+
+        lm, rm = left.mult, right.mult
+        joined = ColumnBatch(
+            tuple(left.schema) + tuple(right.schema),
+            _gather(left.columns, li) + _gather(right.columns, ri),
+            [lm[i] * rm[j] for i, j in zip(li, ri)],
+        )
+        if _is_pure_equi_condition(condition, len(eq_pairs)):
+            # for scalar cell values (numbers/strings/bools/None — the
+            # modeled domain of domain_key) a dict bucket match implies
+            # every Eq conjunct evaluates true, so re-checking is skipped
+            return joined
+        # residual conjuncts (the tuple engine evaluates the full
+        # condition on every hash match)
+        return self._selection(joined, condition)
+
+    def _cross(self, left: ColumnBatch, right: ColumnBatch) -> ColumnBatch:
+        nl, nr = len(left), len(right)
+        li = [i for i in range(nl) for _ in range(nr)]
+        ri = list(range(nr)) * nl
+        lm, rm = left.mult, right.mult
+        return ColumnBatch(
+            tuple(left.schema) + tuple(right.schema),
+            _gather(left.columns, li) + _gather(right.columns, ri),
+            [lm[i] * rm[j] for i, j in zip(li, ri)],
+        )
+
+    def _difference(self, left: ColumnBatch, right: ColumnBatch) -> ColumnBatch:
+        from ..db.engine import _difference
+
+        return ColumnBatch.from_relation(
+            _difference(left.to_relation(), right.to_relation())
+        )
+
+    def _aggregate(
+        self, batch: ColumnBatch, group_by, aggregates
+    ) -> ColumnBatch:
+        n = len(batch)
+        index = _index_of(batch.schema)
+        group_cols = [batch.columns[index[a]] for a in group_by]
+        mult = batch.mult
+
+        # aggregate input columns (COUNT needs none)
+        inputs: List[Optional[Sequence]] = []
+        for spec in aggregates:
+            if spec.kind == "count":
+                inputs.append(None)
+            elif isinstance(spec.expr, Var) and spec.expr.name in index:
+                inputs.append(batch.columns[index[spec.expr.name]])
+            else:
+                try:
+                    inputs.append(
+                        compile_projector(spec.expr, batch.schema)(batch.columns, n)
+                    )
+                except CompileError:
+                    view = batch.row_view()
+                    col = []
+                    for i in range(n):
+                        view.i = i
+                        col.append(spec.expr.eval(view))
+                    inputs.append(col)
+
+        if n == 0 and not group_by:
+            from ..db.engine import _empty_value
+
+            return ColumnBatch(
+                [spec.name for spec in aggregates],
+                [[_empty_value(spec)] for spec in aggregates],
+                [1],
+            )
+
+        # single-pass hash aggregation; accumulator per (group, spec):
+        # count/sum -> running total, min/max -> (best_key, value),
+        # avg -> [weighted_sum, weight]
+        groups: Dict[Tuple, List[Any]] = {}
+        kinds = [spec.kind for spec in aggregates]
+        if group_cols:
+            keys_iter = zip(*group_cols)
+        else:
+            keys_iter = ((),) * n
+        for i, key in enumerate(keys_iter):
+            m = mult[i]
+            accs = groups.get(key)
+            if accs is None:
+                accs = []
+                for kind, col in zip(kinds, inputs):
+                    if kind == "count":
+                        accs.append(m)
+                    elif kind == "sum":
+                        accs.append(col[i] * m)
+                    elif kind == "avg":
+                        accs.append([col[i] * m, m])
+                    else:  # min / max keep (domain key, value)
+                        v = col[i]
+                        accs.append((domain_key(v), v))
+                groups[key] = accs
+                continue
+            for a, (kind, col) in enumerate(zip(kinds, inputs)):
+                if kind == "count":
+                    accs[a] += m
+                elif kind == "sum":
+                    accs[a] += col[i] * m
+                elif kind == "avg":
+                    acc = accs[a]
+                    acc[0] += col[i] * m
+                    acc[1] += m
+                elif kind == "min":
+                    v = col[i]
+                    k = domain_key(v)
+                    if k < accs[a][0]:
+                        accs[a] = (k, v)
+                else:  # max
+                    v = col[i]
+                    k = domain_key(v)
+                    if k > accs[a][0]:
+                        accs[a] = (k, v)
+
+        out_schema = list(group_by) + [spec.name for spec in aggregates]
+        n_groups = len(groups)
+        out_cols: List[List[Any]] = [[] for _ in out_schema]
+        for key, accs in groups.items():
+            for g, v in enumerate(key):
+                out_cols[g].append(v)
+            base = len(group_by)
+            for a, kind in enumerate(kinds):
+                acc = accs[a]
+                if kind in ("count", "sum"):
+                    value = acc
+                elif kind == "avg":
+                    value = acc[0] / acc[1]
+                else:
+                    value = acc[1]
+                out_cols[base + a].append(value)
+        return ColumnBatch(out_schema, out_cols, [1] * n_groups)
+
+    def _topk(self, batch: ColumnBatch, keys, descending, n) -> ColumnBatch:
+        from ..db.engine import _topk
+
+        return ColumnBatch.from_relation(
+            _topk(batch.to_relation(), keys, descending, n)
+        )
+
+
+# ======================================================================
+# AU executor
+# ======================================================================
+def execute_audb(
+    plan: Plan,
+    db: AUDatabase,
+    config,
+    hints: Optional[Dict[int, Optional[int]]] = None,
+    actuals: Optional[Dict[int, int]] = None,
+) -> AURelation:
+    """Evaluate ``plan`` over the AU-database ``db`` vectorized.
+
+    Produces exactly the relation of the tuple interpreter
+    (:func:`repro.algebra.evaluator.evaluate_audb` with
+    ``optimize=False`` — run the optimizer first); ``config`` is the
+    same :class:`~repro.algebra.evaluator.EvalConfig`, ``hints`` the
+    adaptive compression-budget placement.  Non-linear operators fall
+    back to the exact tuple implementations (see module docstring).
+    """
+    return _AUExec(db, config, hints or {}, actuals).run(plan)
+
+
+class _PairView:
+    """Valuation over a pair of batch rows (join condition evaluation).
+
+    Attribute names resolve like the tuple engines' combined-schema
+    ``RowView``: on duplicate names across the two sides the right side
+    wins.
+    """
+
+    __slots__ = ("_map", "_lcols", "_rcols", "i", "j")
+
+    def __init__(self, left: AUColumnBatch, right: AUColumnBatch) -> None:
+        mapping: Dict[str, Tuple[int, int]] = {}
+        for k, name in enumerate(left.schema):
+            mapping[name] = (0, k)
+        for k, name in enumerate(right.schema):
+            mapping[name] = (1, k)
+        self._map = mapping
+        self._lcols = left.columns
+        self._rcols = right.columns
+        self.i = 0
+        self.j = 0
+
+    def __getitem__(self, name: str):
+        side, k = self._map[name]
+        if side == 0:
+            return self._lcols[k][self.i]
+        return self._rcols[k][self.j]
+
+
+class _AUExec:
+    def __init__(self, db, config, hints, actuals) -> None:
+        self.db = db
+        self.config = config
+        self.hints = hints
+        self.actuals = actuals
+
+    def run(self, plan: Plan):
+        return self.eval(plan).to_relation()
+
+    def eval(self, plan: Plan) -> AUColumnBatch:
+        batch = self._node(plan)
+        if self.actuals is not None:
+            # the tuple engine records distinct AU-tuples per node
+            if batch.columns:
+                self.actuals[id(plan)] = len(set(zip(*batch.columns)))
+            else:
+                self.actuals[id(plan)] = min(1, len(batch))
+        return batch
+
+    def _materialize(self, plan: Plan):
+        return self.eval(plan).to_relation()
+
+    # -- plan dispatch -------------------------------------------------
+    def _node(self, plan: Plan) -> AUColumnBatch:
+        if isinstance(plan, TableRef):
+            return AUColumnBatch.from_relation(self.db[plan.name])
+        if isinstance(plan, Selection):
+            return self._selection(self.eval(plan.child), plan.condition)
+        if isinstance(plan, Projection):
+            return self._projection(self.eval(plan.child), plan.columns)
+        if isinstance(plan, Join):
+            return self._join(plan)
+        if isinstance(plan, CrossProduct):
+            left, right = self.eval(plan.left), self.eval(plan.right)
+            overlap = set(left.schema) & set(right.schema)
+            if overlap:
+                raise ValueError(
+                    f"cross product with overlapping attributes "
+                    f"{sorted(overlap)}; rename first"
+                )
+            return self._cross(left, right)
+        if isinstance(plan, Union):
+            left, right = self.eval(plan.left), self.eval(plan.right)
+            if len(left.schema) != len(right.schema):
+                raise ValueError("union requires union-compatible schemas")
+            return AUColumnBatch(
+                left.schema,
+                [lc + list(rc) for lc, rc in zip(left.columns, right.columns)],
+                list(left.ann_lb) + list(right.ann_lb),
+                list(left.ann_sg) + list(right.ann_sg),
+                list(left.ann_ub) + list(right.ann_ub),
+            )
+        if isinstance(plan, Rename):
+            batch = self.eval(plan.child)
+            mapping = plan.mapping_dict()
+            return AUColumnBatch(
+                [mapping.get(a, a) for a in batch.schema],
+                batch.columns,
+                batch.ann_lb,
+                batch.ann_sg,
+                batch.ann_ub,
+            )
+        # ---- tuple-operator fallbacks (non-linear semantics) ----------
+        if isinstance(plan, Difference):
+            return AUColumnBatch.from_relation(
+                ops.difference(
+                    self._materialize(plan.left), self._materialize(plan.right)
+                )
+            )
+        if isinstance(plan, Distinct):
+            return AUColumnBatch.from_relation(
+                ops.distinct(self._materialize(plan.child))
+            )
+        if isinstance(plan, Aggregate):
+            result = au_aggregate(
+                self._materialize(plan.child),
+                list(plan.group_by),
+                list(plan.aggregates),
+                compress_buckets=self.config.aggregation_buckets,
+            )
+            if plan.having is not None:
+                result = ops.selection(result, plan.having)
+            return AUColumnBatch.from_relation(result)
+        if isinstance(plan, OrderBy):
+            return self.eval(plan.child)
+        if isinstance(plan, TopK):
+            return AUColumnBatch.from_relation(
+                ops.au_topk(
+                    self._materialize(plan.child),
+                    plan.keys,
+                    plan.descending,
+                    plan.n,
+                )
+            )
+        if isinstance(plan, Limit):
+            child = plan.child
+            if isinstance(child, OrderBy):
+                return AUColumnBatch.from_relation(
+                    ops.au_topk(
+                        self._materialize(child.child),
+                        child.keys,
+                        child.descending,
+                        plan.n,
+                    )
+                )
+            # bare LIMIT over unordered uncertain data stays the identity
+            return self.eval(child)
+        raise TypeError(f"unsupported plan node {type(plan).__name__}")
+
+    # -- operators -----------------------------------------------------
+    def _selection(self, batch: AUColumnBatch, condition: Expression) -> AUColumnBatch:
+        view = batch.row_view()
+        eval_range = condition.eval_range
+        keep: List[int] = []
+        ann_lb: List[int] = []
+        ann_sg: List[int] = []
+        ann_ub: List[int] = []
+        blb, bsg, bub = batch.ann_lb, batch.ann_sg, batch.ann_ub
+        for i in range(len(batch)):
+            view.i = i
+            theta = eval_range(view)
+            if not theta.ub:
+                continue
+            ub = bub[i]
+            if ub == 0:
+                continue
+            keep.append(i)
+            ann_lb.append(blb[i] if theta.lb else 0)
+            ann_sg.append(bsg[i] if theta.sg else 0)
+            ann_ub.append(ub)
+        return AUColumnBatch(
+            batch.schema, _gather(batch.columns, keep), ann_lb, ann_sg, ann_ub
+        )
+
+    def _projection(self, batch: AUColumnBatch, columns) -> AUColumnBatch:
+        n = len(batch)
+        index = _index_of(batch.schema)
+        out_cols: List = []
+        for expr, _name in columns:
+            if isinstance(expr, Var) and expr.name in index:
+                out_cols.append(batch.columns[index[expr.name]])
+                continue
+            view = batch.row_view()
+            eval_range = expr.eval_range
+            col = []
+            for i in range(n):
+                view.i = i
+                col.append(eval_range(view))
+            out_cols.append(col)
+        return AUColumnBatch(
+            [name for _, name in columns],
+            out_cols,
+            batch.ann_lb,
+            batch.ann_sg,
+            batch.ann_ub,
+        )
+
+    def _cross(self, left: AUColumnBatch, right: AUColumnBatch) -> AUColumnBatch:
+        nl, nr = len(left), len(right)
+        li = [i for i in range(nl) for _ in range(nr)]
+        ri = list(range(nr)) * nl
+        return self._emit_pairs(left, right, li, ri, None)
+
+    def _join(self, plan: Join) -> AUColumnBatch:
+        condition = plan.condition
+        buckets = self.hints.get(id(plan), self.config.join_buckets)
+        if buckets is not None:
+            left_rel = self._materialize(plan.left)
+            right_rel = self._materialize(plan.right)
+            pairs = _extract_equi_pairs(
+                condition, left_rel.schema, right_rel.schema
+            )
+            if pairs:
+                return AUColumnBatch.from_relation(
+                    optimized_join(
+                        left_rel,
+                        right_rel,
+                        condition,
+                        pairs[0][0],
+                        pairs[0][1],
+                        buckets,
+                    )
+                )
+            return AUColumnBatch.from_relation(
+                ops.join(
+                    left_rel,
+                    right_rel,
+                    condition,
+                    allow_certain_hash=self.config.hash_join,
+                )
+            )
+
+        left, right = self.eval(plan.left), self.eval(plan.right)
+        eq_pairs = _extract_equi_pairs(condition, left.schema, right.schema)
+        if not eq_pairs:
+            overlap = set(left.schema) & set(right.schema)
+            if overlap:
+                raise ValueError(
+                    f"cross product with overlapping attributes "
+                    f"{sorted(overlap)}; rename first"
+                )
+        if not eq_pairs or not getattr(self.config, "hash_join", True):
+            # pure interval-overlap nested loop (exact naive semantics)
+            nl, nr = len(left), len(right)
+            li = [i for i in range(nl) for _ in range(nr)]
+            ri = list(range(nr)) * nl
+            return self._emit_pairs(left, right, li, ri, condition)
+
+        l_index, r_index = _index_of(left.schema), _index_of(right.schema)
+        l_key_cols = [left.columns[l_index[a]] for a, _ in eq_pairs]
+        r_key_cols = [right.columns[r_index[b]] for _, b in eq_pairs]
+        pure_equi = _is_pure_equi_condition(condition, len(eq_pairs))
+
+        # partition the right side: rows with fully certain join keys go
+        # into the hash table (keyed by SG values); the rest interval-match
+        certain_right: Dict[Tuple, List[int]] = {}
+        certain_right_rows: List[int] = []
+        uncertain_right: List[int] = []
+        for j in range(len(right)):
+            keyvals = [c[j] for c in r_key_cols]
+            if all(v.is_certain for v in keyvals):
+                certain_right.setdefault(
+                    tuple(v.sg for v in keyvals), []
+                ).append(j)
+                certain_right_rows.append(j)
+            else:
+                uncertain_right.append(j)
+
+        fast_li: List[int] = []
+        fast_ri: List[int] = []
+        theta_li: List[int] = []
+        theta_ri: List[int] = []
+        for i in range(len(left)):
+            keyvals = [c[i] for c in l_key_cols]
+            if all(v.is_certain for v in keyvals):
+                matches = certain_right.get(tuple(v.sg for v in keyvals))
+                if matches:
+                    if pure_equi:
+                        for j in matches:
+                            fast_li.append(i)
+                            fast_ri.append(j)
+                    else:
+                        for j in matches:
+                            theta_li.append(i)
+                            theta_ri.append(j)
+            else:
+                # uncertain left key: may match any certain right tuple
+                for j in certain_right_rows:
+                    if _key_overlaps(keyvals, [c[j] for c in r_key_cols]):
+                        theta_li.append(i)
+                        theta_ri.append(j)
+            for j in uncertain_right:
+                if _key_overlaps(keyvals, [c[j] for c in r_key_cols]):
+                    theta_li.append(i)
+                    theta_ri.append(j)
+
+        fast = self._emit_pairs(left, right, fast_li, fast_ri, None)
+        if not theta_li:
+            return fast
+        checked = self._emit_pairs(left, right, theta_li, theta_ri, condition)
+        return AUColumnBatch(
+            fast.schema,
+            [fc + cc for fc, cc in zip(fast.columns, checked.columns)],
+            list(fast.ann_lb) + list(checked.ann_lb),
+            list(fast.ann_sg) + list(checked.ann_sg),
+            list(fast.ann_ub) + list(checked.ann_ub),
+        )
+
+    def _emit_pairs(
+        self,
+        left: AUColumnBatch,
+        right: AUColumnBatch,
+        li: List[int],
+        ri: List[int],
+        condition: Optional[Expression],
+    ) -> AUColumnBatch:
+        """Combine row pairs, multiplying annotations in ``K^AU``.
+
+        With ``condition`` the pair annotation is additionally multiplied
+        by ``M_N(θ)`` and pairs that are certainly non-matching
+        (``ub == 0``) are dropped.
+        """
+        llb, lsg, lub = left.ann_lb, left.ann_sg, left.ann_ub
+        rlb, rsg, rub = right.ann_lb, right.ann_sg, right.ann_ub
+        schema = tuple(left.schema) + tuple(right.schema)
+        if condition is None:
+            return AUColumnBatch(
+                schema,
+                _gather(left.columns, li) + _gather(right.columns, ri),
+                [llb[i] * rlb[j] for i, j in zip(li, ri)],
+                [lsg[i] * rsg[j] for i, j in zip(li, ri)],
+                [lub[i] * rub[j] for i, j in zip(li, ri)],
+            )
+        view = _PairView(left, right)
+        eval_range = condition.eval_range
+        keep_l: List[int] = []
+        keep_r: List[int] = []
+        ann_lb: List[int] = []
+        ann_sg: List[int] = []
+        ann_ub: List[int] = []
+        for i, j in zip(li, ri):
+            view.i = i
+            view.j = j
+            theta = eval_range(view)
+            if not theta.ub:
+                continue
+            ub = lub[i] * rub[j]
+            if ub == 0:
+                continue
+            keep_l.append(i)
+            keep_r.append(j)
+            ann_lb.append(llb[i] * rlb[j] if theta.lb else 0)
+            ann_sg.append(lsg[i] * rsg[j] if theta.sg else 0)
+            ann_ub.append(ub)
+        return AUColumnBatch(
+            schema,
+            _gather(left.columns, keep_l) + _gather(right.columns, keep_r),
+            ann_lb,
+            ann_sg,
+            ann_ub,
+        )

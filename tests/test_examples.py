@@ -1,0 +1,52 @@
+"""Smoke-test the runnable examples as real subprocesses.
+
+The ``examples/`` scripts are documentation that executes; running them
+exactly the way the README tells users to (``python examples/<name>.py``
+with the package on ``PYTHONPATH``) keeps them from silently rotting as
+the API evolves.  Output is only sanity-checked, not golden-filed: the
+scripts print uncertainty bounds whose exact text may legitimately
+tighten as the engines improve.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO_ROOT / "examples"
+SRC = REPO_ROOT / "src"
+
+
+def _run(script: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+
+
+@pytest.mark.parametrize(
+    "script, expected_fragments",
+    [
+        ("quickstart.py", ["Input AU-relation", "GROUP BY sensor", "count in ["]),
+        ("tpch_uncertain.py", ["TPC-H instance", "Q1", "Q3", "AU-DB"]),
+    ],
+)
+def test_example_runs_clean(script, expected_fragments):
+    result = _run(script)
+    assert result.returncode == 0, (
+        f"{script} exited {result.returncode}\n"
+        f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    for fragment in expected_fragments:
+        assert fragment in result.stdout, (
+            f"{script}: expected {fragment!r} in output:\n{result.stdout}"
+        )
+    assert "Traceback" not in result.stderr

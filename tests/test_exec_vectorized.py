@@ -1,0 +1,443 @@
+"""The vectorized columnar backend (``repro.exec``) and sound AU top-k.
+
+Covers what the differential fuzzer's random plans may under-sample:
+
+* batch round-trips (typed ``array`` packing, merging, empty relations);
+* compiled predicate/projector parity with ``Expression.eval``,
+  including domain-order comparisons and the interpretation fallback;
+* backend equality per operator on hand-built shapes (residual join
+  conditions, non-equi joins, difference, distinct, bare LIMIT);
+* physical join-strategy hints and backend-name validation;
+* ``au_topk`` soundness against sampled possible worlds, its SGW
+  exactness, and the uncertain-key identity carve-out.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra.ast import (
+    Aggregate,
+    CrossProduct,
+    Difference,
+    Distinct,
+    Join,
+    Limit,
+    OrderBy,
+    Projection,
+    Rename,
+    Selection,
+    TableRef,
+    TopK,
+    Union,
+)
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.algebra.optimizer import Statistics, join_strategy_hints
+from repro.core.aggregation import agg_avg, agg_count, agg_max, agg_min, agg_sum
+from repro.core.bounding import bounds_world
+from repro.core.expressions import (
+    Const,
+    Eq,
+    Gt,
+    If,
+    IsNull,
+    Leq,
+    MakeUncertain,
+    Not,
+    RowView,
+    Var,
+)
+from repro.core.operators import au_topk
+from repro.core.ranges import RangeValue, between
+from repro.core.relation import AUDatabase, AURelation
+from repro.db.engine import evaluate_det
+from repro.db.storage import DetDatabase, DetRelation
+from repro.exec import (
+    BACKENDS,
+    AUColumnBatch,
+    ColumnBatch,
+    CompileError,
+    compile_filter,
+    compile_projector,
+)
+
+
+# ----------------------------------------------------------------------
+# batches
+# ----------------------------------------------------------------------
+class TestBatches:
+    def test_det_round_trip_and_typed_packing(self):
+        rel = DetRelation(["i", "f", "mixed"], {(1, 1.5, "a"): 2, (2, 2.5, 3): 1})
+        batch = ColumnBatch.from_relation(rel)
+        assert type(batch.columns[0]).__name__ == "array"  # ints -> array('q')
+        assert type(batch.columns[1]).__name__ == "array"  # floats -> array('d')
+        assert isinstance(batch.columns[2], list)  # mixed stays a list
+        assert batch.to_relation() == rel
+        # conversion is cached on the relation and invalidated by add()
+        assert ColumnBatch.from_relation(rel) is batch
+        rel.add((3, 3.5, "b"))
+        assert ColumnBatch.from_relation(rel) is not batch
+
+    def test_bool_columns_stay_lists(self):
+        rel = DetRelation(["b"], [(True,), (False,)])
+        batch = ColumnBatch.from_relation(rel)
+        assert isinstance(batch.columns[0], list)
+        assert batch.to_relation().rows == rel.rows
+
+    def test_det_merge_on_materialize(self):
+        batch = ColumnBatch(("x",), [[1, 1, 2]], [2, 3, 1])
+        assert batch.to_relation().rows == {(1,): 5, (2,): 1}
+
+    def test_empty_relations(self):
+        rel = DetRelation(["x", "y"])
+        assert ColumnBatch.from_relation(rel).to_relation() == rel
+        au = AURelation(["x"])
+        assert len(AUColumnBatch.from_relation(au).to_relation()) == 0
+
+    def test_au_round_trip_merges(self):
+        rel = AURelation(["v"])
+        rel.add([between(0, 1, 2)], (1, 1, 2))
+        rel.add([5], (0, 1, 1))
+        batch = AUColumnBatch.from_relation(rel)
+        assert dict(batch.to_relation().tuples()) == dict(rel.tuples())
+        assert AUColumnBatch.from_relation(rel) is batch  # cached
+
+
+# ----------------------------------------------------------------------
+# compiled expressions
+# ----------------------------------------------------------------------
+class TestCompile:
+    SCHEMA = ("a", "b", "s")
+    ROWS = [
+        (1, 2.0, "x"),
+        (2, 2.0, "y"),
+        (True, -1.0, "x"),  # bool ranks with numbers in the domain order
+        (0, 0.0, "z"),
+        (3, None, "x"),
+    ]
+
+    def _columns(self):
+        return [list(c) for c in zip(*self.ROWS)]
+
+    @pytest.mark.parametrize(
+        "cond",
+        [
+            Eq(Var("a"), Const(1)),
+            Eq(Var("a"), Var("b")),  # int vs float via domain_key
+            Leq(Var("a"), Var("b")),
+            Gt(Var("b"), Const(0)),
+            Not(Eq(Var("s"), Const("x"))),
+            (Var("a") > Const(0)) & (Var("s") == Const("x")),
+            (Var("a") == Const(1)) | ~(Var("b") <= Const(1.0)),
+            IsNull(Var("b")),
+            Eq(If(Gt(Var("a"), Const(1)), Var("s"), Const("x")), Const("x")),
+            Gt(Var("a") + Var("a") * Const(2), Const(4)),
+            Eq(MakeUncertain(Const(0), Var("a"), Const(9)), Const(2)),
+        ],
+        ids=repr,
+    )
+    def test_filter_matches_interpreter(self, cond):
+        index = RowView.index_of(self.SCHEMA)
+        expected = [
+            i
+            for i, row in enumerate(self.ROWS)
+            if bool(cond.eval(RowView(index, row)))
+        ]
+        got = compile_filter(cond, self.SCHEMA)(self._columns(), len(self.ROWS))
+        assert got == expected
+
+    def test_projector_matches_interpreter(self):
+        expr = If(Gt(Var("a"), Const(1)), Var("a") * Const(10), -Var("a"))
+        index = RowView.index_of(self.SCHEMA)
+        expected = [expr.eval(RowView(index, row)) for row in self.ROWS]
+        got = compile_projector(expr, self.SCHEMA)(self._columns(), len(self.ROWS))
+        assert got == expected
+
+    def test_unbound_variable_raises_compile_error(self):
+        with pytest.raises(CompileError):
+            compile_filter(Eq(Var("ghost"), Const(1)), self.SCHEMA)
+
+    def test_unknown_node_raises_compile_error(self):
+        class Weird(Var):
+            pass
+
+        with pytest.raises(CompileError):
+            compile_projector(Gt(Weird("a"), Const(0)), self.SCHEMA)
+
+    def test_fallback_path_reports_unbound_variable_like_the_engine(self):
+        db = DetDatabase({"t": DetRelation(["x"], [(1,)])})
+        plan = Selection(TableRef("t"), Eq(Var("ghost"), Const(1)))
+        with pytest.raises(KeyError, match="unbound variable"):
+            evaluate_det(plan, db, optimize=False, backend="vectorized")
+
+
+# ----------------------------------------------------------------------
+# backend equality on targeted operator shapes
+# ----------------------------------------------------------------------
+@pytest.fixture
+def det_db():
+    emp = DetRelation(
+        ["name", "dept", "salary"],
+        {
+            ("ann", "eng", 120): 1,
+            ("bob", "eng", 90): 2,
+            ("cid", "ops", 90): 1,
+            ("dee", "ops", 70): 1,
+            ("eve", "fin", 150): 1,
+        },
+    )
+    dept = DetRelation(["dname", "floor"], [("eng", 4), ("ops", 2), ("fin", 9)])
+    return DetDatabase({"emp": emp, "dept": dept})
+
+
+def _both_det(plan, db, **kwargs):
+    tuple_result = evaluate_det(plan, db, backend="tuple", **kwargs)
+    vec_result = evaluate_det(plan, db, backend="vectorized", **kwargs)
+    assert vec_result.schema == tuple_result.schema
+    assert vec_result.rows == tuple_result.rows
+    return tuple_result
+
+
+class TestDetBackendEquality:
+    def test_join_with_residual_condition(self, det_db):
+        plan = Join(
+            TableRef("emp"),
+            TableRef("dept"),
+            Eq(Var("dept"), Var("dname")) & Gt(Var("floor"), Const(2)),
+        )
+        assert _both_det(plan, det_db).total_rows() == 4
+
+    def test_non_equi_join_runs_as_filtered_loop(self, det_db):
+        plan = Join(TableRef("emp"), TableRef("dept"), Gt(Var("salary"), Var("floor") * Const(20)))
+        _both_det(plan, det_db, optimize=False)
+
+    def test_difference_distinct_union_cross(self, det_db):
+        high = Selection(TableRef("emp"), Gt(Var("salary"), Const(80)))
+        plan = Difference(TableRef("emp"), high)
+        _both_det(plan, det_db)
+        proj = Projection(TableRef("emp"), [(Var("dept"), "dept")])
+        _both_det(Distinct(proj), det_db)
+        _both_det(Union(high, TableRef("emp")), det_db)
+        _both_det(CrossProduct(proj, Rename(TableRef("dept"), {"dname": "d2"})), det_db)
+
+    def test_aggregates_all_kinds(self, det_db):
+        plan = Aggregate(
+            TableRef("emp"),
+            ["dept"],
+            [
+                agg_sum("salary", "total"),
+                agg_count("n"),
+                agg_min("salary", "lo"),
+                agg_max("salary", "hi"),
+                agg_avg("salary", "mean"),
+            ],
+        )
+        _both_det(plan, det_db)
+        # global aggregate over empty input
+        empty = Selection(TableRef("emp"), Const(False))
+        _both_det(Aggregate(empty, [], [agg_count("n"), agg_min("salary", "lo")]), det_db)
+
+    def test_bare_limit_and_topk(self, det_db):
+        _both_det(Limit(TableRef("emp"), 3), det_db, optimize=False)
+        _both_det(
+            Limit(OrderBy(TableRef("emp"), ["salary"], True), 2), det_db
+        )
+        _both_det(TopK(TableRef("emp"), ["salary"], False, 2), det_db)
+
+    def test_nan_join_keys_match_tuple_engine(self):
+        """Same-NaN-object keys join (tuple identity shortcut in Eq);
+        distinct NaN objects don't — on every backend and strategy."""
+        nan = float("nan")
+        other_nan = float("inf") - float("inf")
+        r = DetRelation(["a"], [(nan,), (1.0,)])
+        s = DetRelation(["c"], [(nan,), (other_nan,), (1.0,)])
+        db = DetDatabase({"r": r, "s": s})
+        plan = Join(TableRef("r"), TableRef("s"), Eq(Var("a"), Var("c")))
+        expected = evaluate_det(plan, db, optimize=False)
+        # the same nan object matches itself only
+        assert expected.total_rows() == 2
+        got = evaluate_det(plan, db, optimize=False, backend="vectorized")
+        assert got.rows == expected.rows
+        # both physical strategies agree
+        from repro.exec import execute_det
+
+        for strategy in ("hash", "loop"):
+            by_strategy = execute_det(plan, db, strategies={id(plan): strategy})
+            assert by_strategy.rows == expected.rows, strategy
+
+    def test_actuals_match_tuple_engine(self, det_db):
+        plan = Selection(TableRef("emp"), Gt(Var("salary"), Const(80)))
+        tuple_actuals, vec_actuals = {}, {}
+        evaluate_det(plan, det_db, optimize=False, actuals=tuple_actuals)
+        evaluate_det(
+            plan, det_db, optimize=False, actuals=vec_actuals, backend="vectorized"
+        )
+        assert tuple_actuals == vec_actuals
+
+    def test_unknown_backend_rejected(self, det_db):
+        with pytest.raises(ValueError, match="unknown backend"):
+            evaluate_det(TableRef("emp"), det_db, backend="gpu")
+        with pytest.raises(ValueError, match="unknown backend"):
+            evaluate_audb(
+                TableRef("emp"),
+                AUDatabase({"emp": AURelation(["x"])}),
+                EvalConfig(backend="gpu"),
+            )
+        assert BACKENDS == ("tuple", "vectorized")
+
+
+@pytest.fixture
+def au_db():
+    r = AURelation(["a", "b"])
+    r.add([1, between(5, 10, 15)], (1, 1, 1))
+    r.add([between(1, 2, 3), 7], (0, 1, 2))
+    r.add([4, 1], (1, 2, 3))
+    s = AURelation(["c", "d"])
+    s.add([1, "x"], (1, 1, 1))
+    s.add([between(2, 3, 5), "y"], (1, 1, 2))
+    s.add([4, "z"], (0, 1, 1))
+    return AUDatabase({"r": r, "s": s})
+
+
+def _both_au(plan, db, **config_kwargs):
+    tuple_result = evaluate_audb(plan, db, EvalConfig(backend="tuple", **config_kwargs))
+    vec_result = evaluate_audb(plan, db, EvalConfig(backend="vectorized", **config_kwargs))
+    assert vec_result.schema == tuple_result.schema
+    assert dict(vec_result.tuples()) == dict(tuple_result.tuples())
+    return tuple_result
+
+
+class TestAUBackendEquality:
+    def test_join_mixed_certain_uncertain_keys(self, au_db):
+        plan = Join(TableRef("r"), TableRef("s"), Eq(Var("a"), Var("c")))
+        _both_au(plan, au_db)
+        _both_au(plan, au_db, hash_join=False)
+
+    def test_join_with_residual_and_compression(self, au_db):
+        plan = Join(
+            TableRef("r"),
+            TableRef("s"),
+            Eq(Var("a"), Var("c")) & Gt(Var("b"), Const(2)),
+        )
+        _both_au(plan, au_db)
+        _both_au(plan, au_db, join_buckets=2)
+        _both_au(plan, au_db, join_buckets=64, adaptive_compression=True)
+
+    def test_fallback_operators(self, au_db):
+        filtered = Selection(TableRef("r"), Gt(Var("b"), Const(3)))
+        _both_au(Difference(TableRef("r"), filtered), au_db)
+        _both_au(Distinct(Projection(TableRef("r"), [(Var("a"), "a")])), au_db)
+        agg = Aggregate(TableRef("r"), ["a"], [agg_sum("b", "t"), agg_count("n")])
+        _both_au(agg, au_db)
+        _both_au(agg, au_db, aggregation_buckets=2)
+
+    def test_projection_and_union(self, au_db):
+        proj = Projection(TableRef("r"), [(Var("b") + Const(1), "b1"), (Var("a"), "a")])
+        _both_au(proj, au_db)
+        renamed = Rename(TableRef("s"), {"c": "a2", "d": "b2"})
+        _both_au(Union(TableRef("r"), renamed), au_db)
+
+
+# ----------------------------------------------------------------------
+# physical-operator choice
+# ----------------------------------------------------------------------
+class TestJoinStrategyHints:
+    def test_tiny_inputs_pick_the_loop(self):
+        small = DetRelation(["a"], [(i,) for i in range(3)])
+        big = DetRelation(["b"], [(i,) for i in range(500)])
+        db = DetDatabase({"small": small, "big": big})
+        stats = Statistics.from_database(db)
+        tiny_join = Join(TableRef("small"), TableRef("small"), Eq(Var("a"), Var("a")))
+        big_join = Join(TableRef("small"), TableRef("big"), Eq(Var("a"), Var("b")))
+        assert join_strategy_hints(tiny_join, stats) == {id(tiny_join): "loop"}
+        assert join_strategy_hints(big_join, stats) == {id(big_join): "hash"}
+
+
+# ----------------------------------------------------------------------
+# sound AU top-k
+# ----------------------------------------------------------------------
+def _sample_world(rng, rel):
+    """One deterministic world bounded by ``rel`` (bounded by
+    construction: pick a value inside every range and a multiplicity
+    inside every annotation)."""
+    world = {}
+    for t, (lb, _sg, ub) in rel.tuples():
+        m = rng.randint(lb, ub)
+        if m == 0:
+            continue
+        row = tuple(rng.choice([v.lb, v.sg, v.ub]) for v in t)
+        world[row] = world.get(row, 0) + m
+    return world
+
+
+def _world_topk(world, schema, keys, descending, n):
+    from repro.db.engine import _topk
+
+    rel = DetRelation(schema)
+    for row, m in world.items():
+        rel.add(row, m)
+    return _topk(rel, keys, descending, n).as_bag()
+
+
+class TestAuTopK:
+    def test_uncertain_key_stays_identity(self):
+        rel = AURelation(["k", "v"])
+        rel.add([between(1, 2, 3), 10], (1, 1, 1))
+        rel.add([5, 20], (1, 1, 1))
+        out = au_topk(rel, ["k"], False, 1)
+        assert dict(out.tuples()) == dict(rel.tuples())
+
+    def test_sgw_equals_det_topk(self):
+        rng = random.Random(7)
+        for _case in range(50):
+            rel = AURelation(["k", "v"])
+            for _ in range(rng.randint(0, 6)):
+                k = rng.randint(0, 4)
+                v = between(*sorted([rng.randint(0, 9) for _ in range(3)]))
+                lb = rng.randint(0, 1)
+                sg = lb + rng.randint(0, 1)
+                ub = sg + rng.randint(0, 1)
+                if ub:
+                    rel.add([k, v], (lb, sg, ub))
+            descending = rng.random() < 0.5
+            n = rng.randint(1, 4)
+            out = au_topk(rel, ["k"], descending, n)
+            sgw_in = DetRelation(["k", "v"])
+            for row, m in rel.selected_guess_world().items():
+                sgw_in.add(row, m)
+            from repro.db.engine import _topk
+
+            expected = _topk(sgw_in, ["k"], descending, n).as_bag()
+            assert out.selected_guess_world() == expected, f"case {_case}"
+
+    def test_bounds_every_sampled_world(self):
+        """au_topk(R) must bound ORDER-BY-LIMIT of every world R bounds."""
+        rng = random.Random(42)
+        for _case in range(60):
+            rel = AURelation(["k", "v"])
+            for _ in range(rng.randint(1, 6)):
+                k = rng.randint(0, 3)  # certain order key
+                v = between(*sorted([rng.randint(0, 9) for _ in range(3)]))
+                lb = rng.randint(0, 1)
+                sg = lb + rng.randint(0, 1)
+                ub = sg + rng.randint(0, 1)
+                if ub:
+                    rel.add([k, v], (lb, sg, ub))
+            descending = rng.random() < 0.5
+            n = rng.randint(1, 3)
+            out = au_topk(rel, ["k"], descending, n)
+            for _w in range(8):
+                world = _sample_world(rng, rel)
+                topk_world = _world_topk(world, ["k", "v"], ["k"], descending, n)
+                assert bounds_world(out, topk_world), (
+                    f"case {_case}: {dict(out.tuples())} "
+                    f"does not bound {topk_world}"
+                )
+
+    def test_certainly_excluded_rows_are_dropped(self):
+        rel = AURelation(["k"])
+        rel.add([1], (2, 2, 2))
+        rel.add([9], (1, 1, 1))
+        out = au_topk(rel, ["k"], False, 2)
+        # the two certain copies of k=1 fill the top-2 in every world
+        assert dict(out.tuples()) == {(RangeValue(1, 1, 1),): (2, 2, 2)}

@@ -1,23 +1,30 @@
-"""Differential query fuzzer: optimized ≡ naive, and AU bounds Det.
+"""Differential query fuzzer: optimized ≡ naive, vectorized ≡ tuple,
+and AU bounds Det.
 
 A *seeded* random generator (plain :mod:`random`, no Hypothesis — every
 case is reproducible from its integer seed, which CI pins) produces small
-AU-databases and random ``RA_agg`` plans, then machine-checks the two
-equivalences the optimizer and the paper's semantics promise:
+AU-databases and random ``RA_agg`` plans, then machine-checks the
+equivalences the optimizer, the vectorized backend, and the paper's
+semantics promise:
 
 1. **Optimizer differential** — for BOTH engines and BOTH join-order
    strategies (``greedy`` and the cost-based ``dp``), the optimized plan
    returns exactly the naive (``--no-optimize``) result: identical
    schemas, identical bags (Det), identical ``K^AU`` annotations (AU).
-2. **Det-vs-AU containment** — the AU result must bound the certain
+2. **Backend differential** — for BOTH engines, the vectorized columnar
+   backend (:mod:`repro.exec`) returns exactly the tuple interpreter's
+   result, on both the naive and the optimized plan shape (the fuzz
+   data is integer-valued, so even SUM/AVG must be bit-identical).
+3. **Det-vs-AU containment** — the AU result must bound the certain
    answer: its selected-guess world equals the Det engine's result over
    the SGW database, and the tuple-matching oracle
    (:func:`repro.core.bounding.bounds_world`) certifies the AU relation
    bounds that world.  ``LIMIT``/top-k plans only require sub-bag
-   containment (the AU engine soundly keeps everything).
-3. **Compression soundness** — with a join compression budget and
+   containment (the AU engine keeps a sound superset — exact when the
+   order keys are certain, everything otherwise).
+4. **Compression soundness** — with a join compression budget and
    optimizer-placed (adaptive) budgets, the result still bounds the Det
-   answer.
+   answer, on both backends.
 
 Run the CI gate standalone (exits non-zero on the first mismatch)::
 
@@ -259,6 +266,30 @@ def check_case(seed: int) -> None:
             f"AU annotations [{join_order}] {context}"
         )
 
+    # 1c. vectorized backend == tuple backend: the naive plan shape plus
+    # both optimized shapes (dp and greedy join enumeration)
+    for shape, det_kwargs, au_config in (
+        ("naive", dict(optimize=False), EvalConfig(optimize=False, backend="vectorized")),
+        (
+            "dp",
+            dict(optimize=True, join_order="dp"),
+            EvalConfig(optimize=True, join_order="dp", backend="vectorized"),
+        ),
+        (
+            "greedy",
+            dict(optimize=True, join_order="greedy"),
+            EvalConfig(optimize=True, join_order="greedy", backend="vectorized"),
+        ),
+    ):
+        det_vec = evaluate_det(plan, det, backend="vectorized", **det_kwargs)
+        assert det_vec.schema == det_naive.schema, f"Det vec schema [{shape}] {context}"
+        assert det_vec.rows == det_naive.rows, f"Det vec bag [{shape}] {context}"
+        au_vec = evaluate_audb(plan, audb, au_config)
+        assert au_vec.schema == au_naive.schema, f"AU vec schema [{shape}] {context}"
+        assert dict(au_vec.tuples()) == dict(au_naive.tuples()), (
+            f"AU vec annotations [{shape}] {context}"
+        )
+
     # 2. the AU result must bound the certain (SGW) answer
     det_bag = det_naive.as_bag()
     sgw = au_naive.selected_guess_world()
@@ -272,13 +303,22 @@ def check_case(seed: int) -> None:
         assert sgw == det_bag, f"SGW mismatch {context}"
         assert bounds_world(au_naive, det_bag), f"AU does not bound Det {context}"
 
-        # 3. compression (fixed and optimizer-placed budgets) stays sound
-        compressed = evaluate_audb(
-            plan,
-            audb,
-            EvalConfig(join_buckets=2, aggregation_buckets=2, adaptive_compression=True),
-        )
-        assert bounds_world(compressed, det_bag), f"compressed AU unsound {context}"
+        # 3. compression (fixed and optimizer-placed budgets) stays sound,
+        # on both backends
+        for backend in ("tuple", "vectorized"):
+            compressed = evaluate_audb(
+                plan,
+                audb,
+                EvalConfig(
+                    join_buckets=2,
+                    aggregation_buckets=2,
+                    adaptive_compression=True,
+                    backend=backend,
+                ),
+            )
+            assert bounds_world(compressed, det_bag), (
+                f"compressed AU unsound [{backend}] {context}"
+            )
 
 
 # ----------------------------------------------------------------------

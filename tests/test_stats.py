@@ -22,6 +22,7 @@ from repro.algebra.optimizer import Statistics, compression_hints, estimate
 from repro.algebra.stats import (
     DEFAULT_SELECTIVITY,
     ColumnStats,
+    Histogram,
     equi_join_selectivity,
     harvest_column_stats,
     predicate_selectivity,
@@ -58,6 +59,15 @@ COLUMNS = ("a", "b", "c")
 # strategies
 # ----------------------------------------------------------------------
 @st.composite
+def histograms(draw):
+    lo = draw(st.integers(-50, 50))
+    hi = lo + draw(st.integers(1, 100))
+    n_buckets = draw(st.integers(1, 8))
+    counts = tuple(draw(st.integers(0, 20)) for _ in range(n_buckets))
+    return Histogram(float(lo), float(hi), counts)
+
+
+@st.composite
 def column_stats(draw):
     count = draw(st.integers(0, 500))
     distinct = draw(st.integers(0, max(count, 1)))
@@ -71,6 +81,7 @@ def column_stats(draw):
         null_fraction=draw(st.floats(0, 1)),
         uncertain_fraction=draw(st.floats(0, 1)),
         avg_width=draw(st.floats(0, 10)),
+        histogram=draw(st.one_of(st.none(), histograms())),
     )
 
 
@@ -171,6 +182,65 @@ def test_selection_estimate_never_exceeds_input(catalog, cond):
     )
     base = TableRef("t")
     assert estimate(Selection(base, cond), stats) <= estimate(base, stats)
+
+
+@SETTINGS
+@given(hist=histograms(), points=st.lists(st.integers(-200, 200), min_size=2, max_size=6))
+def test_histogram_fraction_below_monotone_in_unit_interval(hist, points):
+    """Cumulative fractions stay in [0, 1] and are monotone in the cut."""
+    fracs = [hist.fraction_below(float(c)) for c in sorted(points)]
+    assert all(0.0 <= f <= 1.0 for f in fracs)
+    assert all(a <= b + 1e-12 for a, b in zip(fracs, fracs[1:]))
+    assert hist.fraction_below(hist.lo - 1) == 0.0
+    assert hist.fraction_below(hist.hi + 1) == 1.0
+
+
+class TestHistogram:
+    def test_harvested_for_numeric_columns_only(self):
+        rel = DetRelation(["x", "s"], [(i, f"v{i}") for i in range(32)])
+        cols = harvest_column_stats(DetDatabase({"t": rel}))["t"]
+        assert cols["x"].histogram is not None
+        assert cols["x"].histogram.total == 32
+        assert cols["s"].histogram is None  # strings: min/max only
+
+    def test_degenerate_single_point_column_has_no_histogram(self):
+        rel = DetRelation(["x"], [(7,) for _ in range(5)])
+        cols = harvest_column_stats(DetDatabase({"t": rel}))["t"]
+        assert cols["x"].histogram is None  # hi == lo
+
+    def test_skew_beats_min_max_interpolation(self):
+        """90% of the mass at the low end: the histogram prices
+        ``x <= 10`` near 0.9 where min/max interpolation says ~0.1."""
+        rows = [(i % 10,) for i in range(90)] + [(100 + i,) for i in range(10)]
+        rel = DetRelation(["x"], rows)
+        cols = harvest_column_stats(DetDatabase({"t": rel}))["t"]
+        with_hist = predicate_selectivity(Leq(Var("x"), Const(10)), cols)
+        flat = {"x": ColumnStats(
+            count=100, distinct=20, min_value=0, max_value=109
+        )}
+        without = predicate_selectivity(Leq(Var("x"), Const(10)), flat)
+        true_fraction = 0.9
+        # intra-bucket interpolation keeps some error, but the histogram
+        # sees the skew (min/max interpolation estimates ~0.1)
+        assert abs(with_hist - true_fraction) < 0.2
+        assert abs(without - true_fraction) > 0.5  # uniformity is way off
+        assert abs(with_hist - true_fraction) < abs(without - true_fraction) / 3
+
+    def test_au_histogram_uses_sg_values(self):
+        rel = AURelation(["v"])
+        for i in range(20):
+            rel.add([between(i - 1, i, i + 1)], (1, 1, 1))
+        cols = harvest_column_stats(AUDatabase({"t": rel}))["t"]
+        assert cols["v"].histogram is not None
+        assert cols["v"].histogram.lo == 0 and cols["v"].histogram.hi == 19
+
+    def test_fingerprint_sees_histogram_changes(self):
+        base = ColumnStats(count=10, distinct=5, min_value=0, max_value=9)
+        with_hist = ColumnStats(
+            count=10, distinct=5, min_value=0, max_value=9,
+            histogram=Histogram(0.0, 9.0, (5, 5)),
+        )
+        assert base.fingerprint() != with_hist.fingerprint()
 
 
 # ----------------------------------------------------------------------
