@@ -1,0 +1,152 @@
+"""Morsel-parallel vectorized execution vs serial vectorized execution.
+
+A TPC-H-style join + aggregate (the Fig. 12 shape) big enough that the
+physical planner's parallel region pays for its worker pool: the fact
+table (``lineitem``) is the probe-side driver, so
+``lower(..., parallelism=4)`` produces::
+
+    Exchange merge=aggregate [4 partitions]
+      HashAggregate ... (partial)
+        FusedSelectProject ...
+          HashJoin ...
+            ParallelScan lineitem [4 morsels]
+            Scan orders              <- build side, evaluated once
+
+and :mod:`repro.exec.parallel` forks one worker per morsel (the build
+side is evaluated in the parent and inherited copy-on-write; only tiny
+partial-aggregate states travel back).
+
+**Gate** (CI): on a machine with >= 4 CPU cores the parallel run must
+beat serial by >= 1.5x.  On fewer cores real speedup is physically
+unavailable, so the documented fallback gate is *non-regression*:
+parallel execution may pay fork/IPC overhead but must stay within 2x of
+serial (speedup >= 0.5x), and results must be identical — bit-for-bit,
+floats included (exact summation makes the merge order-independent).
+
+Run standalone for the CI gate::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+
+or under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_parallel.py
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.algebra.ast import Aggregate, Join, Selection, TableRef
+from repro.core.aggregation import agg_avg, agg_count, agg_sum
+from repro.core.expressions import Const, Eq, Gt, Leq, Var
+from repro.db.engine import evaluate_det
+from repro.db.storage import DetDatabase, DetRelation
+
+N_ORDERS = 20_000
+FANOUT = 20  # 400k lineitem rows: enough work to amortize the fork
+PARALLELISM = 4
+
+#: speedup gate with >= 4 cores; non-regression bound below that
+PARALLEL_GATE = 1.5
+FALLBACK_GATE = 0.5
+
+
+def det_db(n_orders: int = N_ORDERS, seed: int = 1) -> DetDatabase:
+    rng = random.Random(seed)
+    orders = DetRelation(
+        ["o_id", "o_status"],
+        [(i, rng.choice("OFP")) for i in range(n_orders)],
+    )
+    lineitem = DetRelation(
+        ["l_orderkey", "l_qty", "l_price"],
+        [
+            (rng.randrange(n_orders), rng.randint(1, 50), rng.randint(100, 1000))
+            for _ in range(n_orders * FANOUT)
+        ],
+    )
+    return DetDatabase({"lineitem": lineitem, "orders": orders})
+
+
+def join_agg_plan():
+    """``SELECT o_status, sum(l_price), count(*), avg(l_qty) FROM
+    lineitem JOIN orders ON l_orderkey = o_id WHERE l_qty > 10 AND
+    l_price <= 900 GROUP BY o_status`` — lineitem written on the left so
+    it is the probe-side parallel driver."""
+    joined = Join(
+        TableRef("lineitem"),
+        TableRef("orders"),
+        Eq(Var("l_orderkey"), Var("o_id")),
+    )
+    filtered = Selection(
+        joined, Gt(Var("l_qty"), Const(10)) & Leq(Var("l_price"), Const(900))
+    )
+    return Aggregate(
+        filtered,
+        ["o_status"],
+        [agg_sum("l_price", "rev"), agg_count("n"), agg_avg("l_qty", "avg_qty")],
+    )
+
+
+@pytest.fixture(scope="module")
+def det():
+    return det_db()
+
+
+@pytest.mark.parametrize("parallelism", [1, PARALLELISM])
+def test_parallel_join_aggregate(benchmark, det, parallelism):
+    plan = join_agg_plan()
+    evaluate_det(plan, det, backend="vectorized", parallelism=parallelism)
+    benchmark(
+        lambda: evaluate_det(
+            plan, det, backend="vectorized", parallelism=parallelism
+        )
+    )
+
+
+def main() -> int:
+    from repro.experiments.common import time_call
+
+    db = det_db()
+    plan = join_agg_plan()
+    cores = os.cpu_count() or 1
+
+    def run(parallelism: int):
+        return evaluate_det(
+            plan, db, backend="vectorized", parallelism=parallelism
+        )
+
+    run(1), run(PARALLELISM)  # warm scan caches and compiled predicates
+    t_serial, r_serial = time_call(lambda: run(1), repeat=3)
+    t_parallel, r_parallel = time_call(lambda: run(PARALLELISM), repeat=3)
+    speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
+
+    gate = PARALLEL_GATE if cores >= PARALLELISM else FALLBACK_GATE
+    mode = (
+        f">= {PARALLEL_GATE:.1f}x speedup ({cores} cores)"
+        if cores >= PARALLELISM
+        else f"non-regression fallback >= {FALLBACK_GATE:.1f}x ({cores} core(s) "
+        f"< {PARALLELISM}: no real speedup available)"
+    )
+    failures = []
+    if r_parallel.rows != r_serial.rows:
+        failures.append("parallel result differs from serial")
+    if speedup < gate:
+        failures.append(f"speedup {speedup:.2f}x below the gate ({mode})")
+
+    print(
+        f"morsel-parallel det join+aggregate: {N_ORDERS} orders x{FANOUT} "
+        f"lineitems, parallelism {PARALLELISM}, gate: {mode}"
+    )
+    print(f"{'serial[s]':>10} {'parallel[s]':>12} {'speedup':>9} {'groups':>7}")
+    print(
+        f"{t_serial:>10.4f} {t_parallel:>12.4f} {speedup:>8.2f}x "
+        f"{len(r_parallel):>7}"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

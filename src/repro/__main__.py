@@ -13,10 +13,10 @@ import sys
 
 from .algebra.evaluator import EvalConfig, evaluate_audb
 from .algebra.optimizer import Statistics, explain, optimize
-from .exec import BACKENDS
+from .exec import BACKENDS, PhysicalConfig, explain_physical, execute_det, lower
 from .core.ranges import between
 from .core.relation import AUDatabase, AURelation
-from .db.engine import evaluate_det
+from .db.engine import execute_physical_det
 from .db.storage import DetDatabase, DetRelation
 from .sql.parser import SqlSyntaxError, parse_sql
 
@@ -76,10 +76,17 @@ def main(argv=None) -> int:
         "(default) or the vectorized columnar runtime (repro.exec)",
     )
     parser.add_argument(
+        "--parallelism",
+        type=int,
+        default=1,
+        help="morsel-parallel workers for the deterministic vectorized "
+        "backend (1 = serial; results are identical at any setting)",
+    )
+    parser.add_argument(
         "--explain",
         action="store_true",
-        help="print the (optimized) logical plan with estimated and, after "
-        "execution, actual per-node row counts",
+        help="print the (optimized) logical plan and the lowered physical "
+        "plan with estimated and, after execution, actual per-node rows",
     )
     parser.add_argument("sql", nargs="*", help="run one query and exit")
     args = parser.parse_args(argv)
@@ -94,6 +101,7 @@ def main(argv=None) -> int:
         join_order=args.join_order,
         adaptive_compression=True,
         backend=args.backend,
+        parallelism=args.parallelism,
     )
     print(f"tables: {', '.join(sorted(audb.relations))}")
 
@@ -103,31 +111,40 @@ def main(argv=None) -> int:
         except SqlSyntaxError as exc:
             print(f"syntax error: {exc}")
             return
-        stats = (
-            Statistics.from_database(det)
-            if (do_optimize or args.explain)
-            else None
-        )
+        stats = Statistics.from_database(det)
         shown = (
             optimize(plan, stats, join_order=args.join_order)
             if do_optimize
             else plan
         )
         if args.explain:
-            print("-- plan --")
+            print("-- logical plan --")
             print(explain(shown, stats))
         try:
             actuals = {} if args.explain else None
-            det_result = evaluate_det(
-                shown, det, optimize=False, actuals=actuals, backend=args.backend
+            # lower once so the printed physical plan is the executed one
+            pplan = lower(
+                shown,
+                stats,
+                PhysicalConfig(
+                    engine="det",
+                    backend=args.backend,
+                    parallelism=args.parallelism,
+                ),
             )
+            if args.backend == "vectorized":
+                det_result = execute_det(pplan, det, actuals=actuals)
+            else:
+                det_result = execute_physical_det(pplan, det, actuals)
             au_result = evaluate_audb(plan, audb, config)
         except (KeyError, TypeError, ValueError, ZeroDivisionError) as exc:
             print(f"error: {exc}")
             return
         if args.explain:
-            print("-- plan (estimated vs actual rows, Det) --")
+            print("-- logical plan (estimated vs actual rows, Det) --")
             print(explain(shown, stats, actuals=actuals))
+            print(f"-- physical plan (Det, backend={args.backend}) --")
+            print(explain_physical(pplan, actuals=actuals))
         print("-- selected-guess world (Det) --")
         for t, m in sorted(det_result.tuples(), key=lambda i: repr(i[0]))[:20]:
             print(f"  {t} x{m}")

@@ -6,21 +6,27 @@ how the repo realizes the paper's "same query, rewritten" middleware
 architecture: the deterministic engine plays PostgreSQL-on-the-SGW, this
 module plays the rewritten query over the relational encoding.
 
+Since PR 4 evaluation is a four-stage pipeline: the logical plan is
+optimized (:mod:`repro.algebra.optimizer`), *lowered* into an explicit
+physical plan (:func:`repro.exec.physical.lower` — join algorithm,
+``Cpr`` compression budgets, and the tuple-operator fallback boundaries
+all chosen at plan time), and then interpreted by the selected backend.
 :class:`EvalConfig` toggles the Section 10.4/10.5 optimizations:
 
 * ``join_buckets`` — compress the possible side of joins with ``Cpr``;
 * ``aggregation_buckets`` — compress foreign possible contributors of
   group-by aggregation;
-* ``optimize`` — run the shared logical plan optimizer
-  (:mod:`repro.algebra.optimizer`: selection pushdown, join promotion and
-  reordering, OrderBy+Limit fusion, projection pruning) before
-  interpreting the plan.  The rewrites are exact for the AU semantics, so
-  results are identical with the knob on or off (compression budgets
-  excepted: bucket boundaries depend on operator inputs, so compressed
-  runs remain *sound* but need not be bit-identical across plan shapes);
-* ``backend`` — ``"tuple"`` interprets operators here; ``"vectorized"``
-  executes over columnar batches (:mod:`repro.exec`) with identical
-  results, falling back to the tuple operators per node where needed.
+* ``optimize`` — run the shared logical plan optimizer.  The rewrites
+  are exact for the AU semantics, so results are identical with the
+  knob on or off (compression budgets excepted: bucket boundaries
+  depend on operator inputs, so compressed runs remain *sound* but need
+  not be bit-identical across plan shapes);
+* ``backend`` — ``"tuple"`` interprets physical plans here;
+  ``"vectorized"`` executes them over columnar batches
+  (:mod:`repro.exec`) with identical results;
+* ``physical`` — ``False`` selects the legacy direct interpretation of
+  the logical plan (tuple backend only), kept as the differential
+  fuzzer's reference lowering.
 
 ``ORDER BY … LIMIT`` / fused ``TopK`` return a true bound-adjusted top-k
 when the order keys are certain (:func:`repro.core.operators.au_topk`)
@@ -35,7 +41,7 @@ from typing import Dict, Optional
 from ..core import operators as ops
 from ..core.aggregation import aggregate
 from ..core.compression import optimized_join
-from ..core.expressions import Expression, Var
+from ..core.expressions import Expression
 from ..core.relation import AUDatabase, AURelation
 from .ast import (
     Aggregate,
@@ -60,7 +66,7 @@ from .optimizer import (
     optimize,
 )
 
-__all__ = ["EvalConfig", "evaluate_audb"]
+__all__ = ["EvalConfig", "evaluate_audb", "execute_physical_audb"]
 
 
 @dataclass(frozen=True)
@@ -70,11 +76,11 @@ class EvalConfig:
     ``join_buckets`` / ``aggregation_buckets`` of ``None`` select the naive
     (tightest) semantics; integers select the corresponding compression
     budget ``CT`` from the paper's experiments.  ``optimize`` runs the
-    shared logical plan optimizer before interpretation (exact rewrites;
+    shared logical plan optimizer before lowering (exact rewrites;
     default on); ``join_order`` selects its join enumeration strategy
     (``"dp"`` cost-based bushy trees / ``"greedy"``).
     ``adaptive_compression`` (default off, to keep the paper's fixed-CT
-    experiments reproducible) lets the optimizer *place* the join
+    experiments reproducible) lets the planner *place* the join
     compression budget: joins whose estimated inputs fit within the
     budget run the naive — faster here, and strictly tighter — join
     instead of the split/Cpr rewrite.  Either way every join remains
@@ -82,8 +88,17 @@ class EvalConfig:
 
     ``backend`` selects the physical execution backend: ``"tuple"`` (the
     operator-at-a-time interpreter in this module) or ``"vectorized"``
-    (:mod:`repro.exec`, columnar batches with per-node fallback to the
-    tuple operators for SG-combining semantics).  Results are identical.
+    (:mod:`repro.exec`, columnar batches with planner-chosen
+    ``TupleFallback`` boundaries for SG-combining semantics).  Results
+    are identical.  ``physical=False`` keeps the legacy direct
+    interpretation of logical plans (tuple backend only).
+
+    ``parallelism`` is accepted for symmetry with ``evaluate_det`` and
+    threaded to the physical planner, but partition-parallel regions are
+    currently only generated for the *deterministic* vectorized backend:
+    AU merges would have to SG-combine annotations across morsels, which
+    remains future work (see ROADMAP) — AU plans execute serially at any
+    setting.
     """
 
     join_buckets: Optional[int] = None
@@ -93,6 +108,8 @@ class EvalConfig:
     join_order: str = DEFAULT_JOIN_ORDER
     adaptive_compression: bool = False
     backend: str = "tuple"
+    parallelism: int = 1
+    physical: bool = True
 
 
 DEFAULT_CONFIG = EvalConfig()
@@ -111,29 +128,153 @@ def evaluate_audb(
     By Theorems 3/4/6 the result bounds the result of the plan over any
     incomplete database bounded by ``db``.  ``actuals``, when a dict, is
     filled with the actual number of AU-tuples produced by every node
-    (keyed by ``id(node)``) for estimated-vs-actual ``explain`` reporting;
-    with ``config.optimize`` the recorded nodes belong to the *optimized*
-    plan.
+    (keyed by ``id(node)`` of the logical nodes and, on the physical
+    path, the physical nodes too); with ``config.optimize`` the recorded
+    nodes belong to the *optimized* plan.
     """
-    hints = _NO_HINTS
-    if config.optimize:
-        stats = Statistics.from_database(db)
-        plan = optimize(plan, stats, join_order=config.join_order)
-        if config.adaptive_compression and config.join_buckets is not None:
-            hints = compression_hints(plan, stats, config.join_buckets)
-    if config.backend == "vectorized":
-        from ..exec.vectorized import execute_audb
+    from ..exec import BACKENDS
 
-        return execute_audb(plan, db, config, hints, actuals)
-    if config.backend != "tuple":
-        from ..exec import BACKENDS
-
+    if config.backend not in BACKENDS:
         raise ValueError(
             f"unknown backend {config.backend!r}; expected one of {BACKENDS}"
         )
-    return _evaluate(plan, db, config, hints, actuals)
+    stats = None
+    if config.optimize:
+        stats = Statistics.from_database(db)
+        plan = optimize(plan, stats, join_order=config.join_order)
+    if config.backend == "tuple" and not config.physical:
+        hints = _NO_HINTS
+        if (
+            config.optimize
+            and config.adaptive_compression
+            and config.join_buckets is not None
+        ):
+            hints = compression_hints(plan, stats, config.join_buckets)
+        return _evaluate(plan, db, config, hints, actuals)
+
+    from ..exec import physical as phys
+
+    if stats is None:
+        stats = Statistics.from_database(db)
+    pplan = phys.lower(
+        plan,
+        stats,
+        phys.PhysicalConfig(
+            engine="au",
+            backend=config.backend,
+            parallelism=config.parallelism,
+            hash_join=config.hash_join,
+            join_buckets=config.join_buckets,
+            aggregation_buckets=config.aggregation_buckets,
+            adaptive_compression=(
+                config.adaptive_compression and config.optimize
+            ),
+        ),
+    )
+    if config.backend == "vectorized":
+        from ..exec.vectorized import execute_audb
+
+        return execute_audb(pplan, db, actuals)
+    return execute_physical_audb(pplan, db, actuals)
 
 
+# ----------------------------------------------------------------------
+# physical-plan interpreter (tuple-at-a-time)
+# ----------------------------------------------------------------------
+def execute_physical_audb(pplan, db: AUDatabase, actuals=None) -> AURelation:
+    """Interpret a physical plan with the exact tuple operators.
+
+    All physical choices — certain-key hash vs interval nested loop,
+    ``Cpr`` compression and its bucket budget, SG-combining fallback
+    boundaries — were made by :func:`repro.exec.physical.lower`; this is
+    a thin dispatch onto :mod:`repro.core.operators`.
+    """
+    result = _exec_node(pplan, db, actuals)
+    if actuals is not None:
+        n = len(result)
+        actuals[id(pplan)] = n
+        for src in pplan.sources:
+            actuals[id(src)] = n
+    return result
+
+
+def _pexec(p, db, actuals) -> AURelation:
+    return execute_physical_audb(p, db, actuals)
+
+
+def _exec_node(p, db: AUDatabase, actuals) -> AURelation:
+    from ..exec import physical as phys
+
+    if isinstance(p, phys.Scan):
+        return db[p.table]
+    if isinstance(p, phys.FusedSelectProject):
+        rel = _pexec(p.child, db, actuals)
+        if p.condition is not None:
+            rel = ops.selection(rel, p.condition)
+        if p.columns is not None:
+            rel = ops.projection(rel, list(p.columns))
+        return rel
+    if isinstance(p, phys.HashJoin):
+        return ops.join(
+            _pexec(p.left, db, actuals),
+            _pexec(p.right, db, actuals),
+            p.condition,
+            allow_certain_hash=True,
+        )
+    if isinstance(p, phys.NLJoin):
+        left = _pexec(p.left, db, actuals)
+        right = _pexec(p.right, db, actuals)
+        if p.condition is None:
+            return ops.cross_product(left, right)
+        return ops.join(left, right, p.condition, allow_certain_hash=False)
+    if isinstance(p, phys.CompressedJoin):
+        return optimized_join(
+            _pexec(p.left, db, actuals),
+            _pexec(p.right, db, actuals),
+            p.condition,
+            p.pair[0],
+            p.pair[1],
+            p.buckets,
+        )
+    if isinstance(p, phys.Concat):
+        return ops.union(
+            _pexec(p.left, db, actuals), _pexec(p.right, db, actuals)
+        )
+    if isinstance(p, phys.Rename):
+        return ops.rename(_pexec(p.child, db, actuals), p.mapping)
+    if isinstance(p, phys.TupleFallback):
+        node = p.logical
+        if p.kind == "difference":
+            return ops.difference(
+                _pexec(p.inputs[0], db, actuals),
+                _pexec(p.inputs[1], db, actuals),
+            )
+        if p.kind == "distinct":
+            return ops.distinct(_pexec(p.inputs[0], db, actuals))
+        if p.kind == "aggregate":
+            result = aggregate(
+                _pexec(p.inputs[0], db, actuals),
+                list(node.group_by),
+                list(node.aggregates),
+                compress_buckets=p.buckets,
+            )
+            if node.having is not None:
+                result = ops.selection(result, node.having)
+            return result
+        if p.kind == "topk":
+            return ops.au_topk(
+                _pexec(p.inputs[0], db, actuals),
+                node.keys,
+                node.descending,
+                node.n,
+            )
+        raise TypeError(f"unsupported AU fallback {p.kind!r}")
+    raise TypeError(f"unsupported physical node {type(p).__name__}")
+
+
+# ----------------------------------------------------------------------
+# legacy direct interpretation of logical plans
+# ----------------------------------------------------------------------
 def _evaluate(
     plan: Plan,
     db: AUDatabase,

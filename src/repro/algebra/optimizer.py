@@ -15,11 +15,16 @@ Rules, applied in order by :func:`optimize`:
    and each conjunct is pushed through Projection (by substituting the
    projected expressions), Rename (by inverting the mapping), Union
    (positionally, into both branches), OrderBy, and into the side(s) of a
-   Join / CrossProduct that cover its variables.  ``Distinct``,
-   ``Difference``, ``Aggregate``, and ``Limit`` are barriers: the AU
-   semantics of the first three SG-combines (merges ranges) before
-   filtering, so commuting a selection past them is unsound, and limiting
-   is order-sensitive.
+   Join / CrossProduct that cover its variables.  A conjunct also pushes
+   through ``Aggregate`` when it references only group-by columns whose
+   catalog statistics certify *every* value certain (uncertain fraction
+   0): grouping on fully certain columns partitions by exact value, so
+   filtering groups after aggregation equals filtering their input rows
+   before it, in both semantics.  ``Distinct``, ``Difference``,
+   aggregates over uncertain (or statistics-less) group-by columns, and
+   ``Limit`` remain barriers: the AU semantics SG-combines (merges
+   ranges) before filtering, so commuting a selection past them is
+   unsound, and limiting is order-sensitive.
 2. **Join promotion** — conjuncts spanning both sides of a CrossProduct
    become the condition of a Join (both engines define ``R ⋈_θ S`` as
    ``σ_θ(R × S)``, so this is definitional), which unlocks the engines'
@@ -105,10 +110,8 @@ __all__ = [
     "schema_of",
     "estimate",
     "compression_hints",
-    "join_strategy_hints",
     "JOIN_ORDERS",
     "DEFAULT_JOIN_ORDER",
-    "HASH_JOIN_MIN_ROWS",
 ]
 
 
@@ -522,9 +525,10 @@ def _pushdown(plan: Plan, pending: List[Expression], stats) -> Plan:
         right = _pushdown(plan.right, [], stats)
         return _wrap(Difference(left, right), pending)
     if isinstance(plan, Aggregate):
-        child = _pushdown(plan.child, [], stats)
+        down, kept = _split_aggregate_pushdown(plan, pending, stats)
+        child = _pushdown(plan.child, down, stats)
         return _wrap(
-            Aggregate(child, plan.group_by, plan.aggregates, plan.having), pending
+            Aggregate(child, plan.group_by, plan.aggregates, plan.having), kept
         )
     if isinstance(plan, Limit):
         return _wrap(Limit(_pushdown(plan.child, [], stats), plan.n), pending)
@@ -532,6 +536,51 @@ def _pushdown(plan: Plan, pending: List[Expression], stats) -> Plan:
         child = _pushdown(plan.child, [], stats)
         return _wrap(TopK(child, plan.keys, plan.descending, plan.n), pending)
     return _wrap(plan, pending)
+
+
+def _split_aggregate_pushdown(
+    plan: Aggregate, pending: List[Expression], stats
+) -> Tuple[List[Expression], List[Expression]]:
+    """Partition conjuncts above an Aggregate into (pushable, kept).
+
+    A conjunct commutes with grouping exactly when it filters whole
+    groups and group membership cannot straddle it: it must reference
+    only group-by columns (which pass through aggregation unchanged),
+    reference at least one (a variable-free false predicate above a
+    global aggregate must *not* suppress the empty-input result row),
+    and — per the column catalog — every referenced column must be
+    entirely certain.  Certain group-by values partition rows by exact
+    equality in both semantics: no AU range overlap can merge two
+    groups that the predicate separates, so σ∘γ ≡ γ∘σ (machine-checked
+    by the Hypothesis exactness tests in ``tests/test_optimizer.py``).
+    Anything else stays above the barrier.
+    """
+    if not pending:
+        return [], []
+    if not plan.group_by or stats is None:
+        return [], list(pending)
+    _card, columns = _estimate(plan.child, stats, None)
+    if not columns:
+        return [], list(pending)
+    group_set = set(plan.group_by)
+    agg_names = {spec.name for spec in plan.aggregates}
+    down: List[Expression] = []
+    kept: List[Expression] = []
+    for conjunct in pending:
+        variables = conjunct.variables()
+        if (
+            variables
+            and variables <= group_set
+            and not variables & agg_names
+            and all(
+                v in columns and columns[v].uncertain_fraction == 0.0
+                for v in variables
+            )
+        ):
+            down.append(conjunct)
+        else:
+            kept.append(conjunct)
+    return down, kept
 
 
 # ----------------------------------------------------------------------
@@ -1005,38 +1054,6 @@ def compression_hints(
             left = estimate(node.left, stats)
             right = estimate(node.right, stats)
             hints[id(node)] = recommended_buckets(left, right, budget)
-    return hints
-
-
-# ----------------------------------------------------------------------
-# physical-operator choice (vectorized backend)
-# ----------------------------------------------------------------------
-#: Below this many estimated rows on the larger input, building a hash
-#: table costs more than a straight nested loop over the batch.
-HASH_JOIN_MIN_ROWS = 12.0
-
-
-def join_strategy_hints(
-    plan: Plan, stats: Optional[Statistics]
-) -> Dict[int, str]:
-    """Physical join-operator choice for the vectorized backend.
-
-    Maps ``id(join_node)`` to ``"hash"`` (build a hash table on the
-    equi-join key) or ``"loop"`` (nested loop + fused predicate), priced
-    from the statistics catalog: when both estimated inputs are tiny the
-    hash build/probe bookkeeping dominates, so the loop wins.  The
-    choice affects performance only — both physical operators implement
-    the same logical join, and joins without an equi-conjunct always run
-    as a (filtered) nested loop regardless of the hint.
-    """
-    hints: Dict[int, str] = {}
-    for node in plan.walk():
-        if isinstance(node, Join):
-            left = estimate(node.left, stats)
-            right = estimate(node.right, stats)
-            hints[id(node)] = (
-                "loop" if max(left, right) < HASH_JOIN_MIN_ROWS else "hash"
-            )
     return hints
 
 

@@ -1,0 +1,132 @@
+"""Order-independent (exactly rounded) summation for SUM/AVG aggregates.
+
+Floating-point addition is not associative, so a left-fold ``sum()``
+returns different last bits depending on accumulation order — which is
+exactly what changes between the tuple engine (folds per group in bag
+iteration order), the vectorized hash aggregate (folds per batch row),
+and the partition-parallel executor (folds per morsel, then merges).
+PR 3 papered over this with a "floating-point round-off may differ"
+carve-out; this module removes the carve-out by making the sum a pure
+function of the *multiset* of addends:
+
+* integers (and bools) accumulate in an exact Python-int slot;
+* finite floats accumulate as Shewchuk non-overlapping partials
+  (the ``math.fsum`` algorithm), which represent the exact real sum;
+* non-finite floats (``inf``/``nan``) accumulate in a separate IEEE
+  slot where they are absorbing, so their propagation does not depend
+  on where in the stream they appeared.
+
+:func:`finish` rounds the exact value once, so any two executions that
+add the same values — in any order, in any partitioning — return
+bit-identical results.  Merging two accumulators (:func:`merge_acc`)
+preserves exactness, which is what makes partial/final parallel
+aggregation safe.
+
+One boundary: when the running float sum itself exceeds the double
+range, the accumulator *saturates* to ``±inf`` (the overflowed partial
+moves to the non-finite slot), matching what IEEE left-fold ``sum()``
+returned before — a plain ``math.fsum`` would raise instead.  Exactness
+and order-independence are guaranteed for sums that stay in range.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, List, Tuple
+
+__all__ = ["new_acc", "add_exact", "merge_acc", "finish", "exact_sum"]
+
+
+def new_acc() -> list:
+    """A fresh accumulator: ``[int_sum, float_partials, nonfinite_sum]``."""
+    return [0, [], 0.0]
+
+
+def _add_float(acc: list, x: float) -> None:
+    """Shewchuk error-free transformation: add finite ``x`` keeping the
+    exact sum as non-overlapping partials (the ``math.fsum`` invariant).
+
+    If a combination overflows the double range, the huge partials
+    saturate into the absorbing slot (IEEE ``sum()`` semantics) instead
+    of leaving ``±inf`` garbage in the partial list.
+    """
+    partials = acc[1]
+    i = 0
+    n = len(partials)
+    for j in range(n):
+        y = partials[j]
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        if math.isinf(hi):  # the running sum left the double range
+            for k in range(j + 1, n):
+                hi += partials[k]  # remaining partials are huge too
+            acc[2] += hi
+            del partials[i:]
+            return
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+
+
+def add_exact(acc: list, value: Any) -> None:
+    """Fold ``value`` into ``acc`` exactly.
+
+    Ints (and bools) stay exact integers; finite floats extend the
+    partials; ``inf``/``nan`` (and running-sum overflow) go to the
+    absorbing slot.  Non-numeric values raise ``TypeError`` like the
+    plain ``sum()`` they replace.
+    """
+    if type(value) is float:
+        if math.isfinite(value):
+            _add_float(acc, value)
+        else:
+            acc[2] += value
+    else:
+        acc[0] += value  # exact for int/bool; TypeError otherwise
+
+
+def merge_acc(acc: list, other: list) -> None:
+    """Fold accumulator ``other`` into ``acc`` (exact, order-free)."""
+    acc[0] += other[0]
+    for p in other[1]:
+        _add_float(acc, p)
+    acc[2] += other[2]
+
+
+def finish(acc: list) -> Any:
+    """Round the exact accumulated value once.
+
+    Integer-only streams return the exact ``int`` (matching the plain
+    ``sum()`` the engines used before); any float in the stream makes
+    the result the correctly rounded ``float`` of the exact sum
+    (saturating to ``±inf`` at the double range like IEEE addition).
+    """
+    int_sum, partials, nonfinite = acc
+    if nonfinite != 0.0 or nonfinite != nonfinite:  # ±inf or nan seen
+        return nonfinite + math.fsum(partials) + int_sum
+    if not partials:
+        return int_sum
+    try:
+        if int_sum:
+            return math.fsum(partials + [int_sum])
+        return math.fsum(partials)
+    except OverflowError:
+        # non-overlapping partials: the largest dominates the sign
+        return math.copysign(math.inf, partials[-1])
+
+
+def exact_sum(weighted: Iterable[Tuple[Any, int]]) -> Any:
+    """Sum of ``value * multiplicity`` over ``weighted``, order-free.
+
+    The per-row product rounds (at most) once and identically in every
+    execution order, so the overall result is still a pure function of
+    the weighted multiset.
+    """
+    acc = new_acc()
+    for value, mult in weighted:
+        add_exact(acc, value * mult)
+    return finish(acc)

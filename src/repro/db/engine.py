@@ -11,13 +11,23 @@ whose child is an :class:`~repro.algebra.ast.OrderBy` (or a fused
 :class:`~repro.algebra.ast.TopK` produced by the optimizer) returns the
 top-k rows under the requested sort keys; a bare ``Limit`` falls back to
 the full-tuple domain order, which is arbitrary but deterministic.  Empty
-MIN/MAX aggregates return ``None`` (SQL NULL), not ±inf.
+MIN/MAX aggregates return ``None`` (SQL NULL), not ±inf.  Float SUM/AVG
+fold through :mod:`repro.core.sums`, so results are bit-identical across
+backends, plan shapes, and parallelism levels.
 
-By default plans first pass through the shared logical optimizer
-(:mod:`repro.algebra.optimizer`); pass ``optimize=False`` for the plan
-exactly as written.  This engine doubles as the *possible-world
-evaluator*: the ground-truth oracle runs the same plan in every world of
-an incomplete database.
+By default plans pass through the shared logical optimizer
+(:mod:`repro.algebra.optimizer`) and are then *lowered* into an explicit
+physical plan (:mod:`repro.exec.physical`), which makes every physical
+choice — join algorithm, backend fallback boundaries, parallel regions —
+at plan time; this module interprets those physical plans
+tuple-at-a-time.  ``physical=False`` selects the legacy direct
+interpretation of the logical plan (kept as the differential fuzzer's
+reference lowering); ``backend="vectorized"`` hands the same physical
+plan to :mod:`repro.exec.vectorized` instead, optionally
+partition-parallel via ``parallelism``.
+
+This engine doubles as the *possible-world evaluator*: the ground-truth
+oracle runs the same plan in every world of an incomplete database.
 """
 
 from __future__ import annotations
@@ -48,10 +58,12 @@ from ..algebra.optimizer import (
 from ..core.aggregation import AggregateSpec
 from ..core.expressions import Expression, RowView, Var
 from ..core.ranges import domain_key
+from ..core.sums import exact_sum
 from ..exec import BACKENDS
+from ..exec import physical as phys
 from .storage import DetDatabase, DetRelation
 
-__all__ = ["evaluate_det"]
+__all__ = ["evaluate_det", "execute_physical_det"]
 
 
 def evaluate_det(
@@ -61,44 +73,145 @@ def evaluate_det(
     join_order: str = DEFAULT_JOIN_ORDER,
     actuals: Optional[Dict[int, int]] = None,
     backend: str = "tuple",
+    parallelism: int = 1,
+    physical: bool = True,
 ) -> DetRelation:
     """Evaluate ``plan`` over deterministic database ``db``.
 
     ``optimize`` (default on) runs the shared logical plan optimizer
     first; its rewrites are exact for bag semantics, so the result is
     identical either way.  ``join_order`` selects the join enumeration
-    strategy (``"dp"`` cost-based / ``"greedy"``).  ``actuals``, when a
-    dict, is filled with the actual output cardinality of every evaluated
-    node (keyed by ``id(node)``) for estimated-vs-actual ``explain``
-    reporting; note that with ``optimize=True`` the recorded nodes belong
-    to the *optimized* plan — pre-optimize with
-    :func:`repro.algebra.optimizer.optimize` and pass ``optimize=False``
-    to correlate them.
+    strategy (``"dp"`` cost-based / ``"greedy"``).
+
+    ``physical`` (default on) lowers the (optimized) plan through
+    :func:`repro.exec.physical.lower`, which picks the join algorithm
+    per join from the statistics catalog and fuses selection/projection
+    pairs; ``physical=False`` keeps the legacy direct interpretation of
+    the logical plan (tuple backend only — the vectorized backend always
+    executes physical plans).
 
     ``backend`` selects the physical executor: ``"tuple"`` (this
     module's operator-at-a-time interpreter) or ``"vectorized"``
     (:mod:`repro.exec`: columnar batches, fused compiled predicates,
-    hash joins/aggregates chosen per node from the statistics catalog).
-    Results are identical; integer data is bit-exact, floating-point
-    aggregates may differ in summation round-off.
+    hash joins/aggregates).  ``parallelism`` > 1 adds morsel-parallel
+    regions to vectorized plans (:mod:`repro.exec.parallel`).  Results
+    are identical on every backend and parallelism level, floats
+    included (:mod:`repro.core.sums`).
+
+    ``actuals``, when a dict, is filled with the actual output
+    cardinality of every evaluated node — keyed by ``id(node)`` of the
+    logical nodes (as before) and additionally of the physical nodes,
+    feeding both ``explain`` renderings; with ``optimize=True`` the
+    recorded nodes belong to the *optimized* plan, so pre-optimize and
+    pass ``optimize=False`` to correlate them.
     """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
     stats = None
     if optimize:
         stats = Statistics.from_database(db)
         plan = _optimize_plan(plan, stats, join_order=join_order)
+    if backend == "tuple" and not physical:
+        return _evaluate(plan, db, actuals)
+    if stats is None:
+        stats = Statistics.from_database(db)
+    pplan = phys.lower(
+        plan,
+        stats,
+        phys.PhysicalConfig(
+            engine="det", backend=backend, parallelism=parallelism
+        ),
+    )
     if backend == "vectorized":
-        from ..algebra.optimizer import join_strategy_hints
         from ..exec.vectorized import execute_det
 
-        strategies = join_strategy_hints(plan, stats) if stats is not None else None
-        return execute_det(plan, db, actuals=actuals, strategies=strategies)
-    if backend != "tuple":
-        raise ValueError(
-            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        return execute_det(pplan, db, actuals=actuals)
+    return execute_physical_det(pplan, db, actuals)
+
+
+# ----------------------------------------------------------------------
+# physical-plan interpreter (tuple-at-a-time)
+# ----------------------------------------------------------------------
+def execute_physical_det(
+    pplan: phys.PhysNode,
+    db: DetDatabase,
+    actuals: Optional[Dict[int, int]] = None,
+) -> DetRelation:
+    """Interpret a physical plan tuple-at-a-time.
+
+    A thin mapping from physical operators to this module's bag
+    operators; all choices (hash vs nested loop, fallback boundaries)
+    were made by :func:`repro.exec.physical.lower`.
+    """
+    result = _exec_node(pplan, db, actuals)
+    if actuals is not None:
+        n = result.total_rows()
+        actuals[id(pplan)] = n
+        for src in pplan.sources:
+            actuals[id(src)] = n
+    return result
+
+
+def _exec(p: phys.PhysNode, db: DetDatabase, actuals) -> DetRelation:
+    return execute_physical_det(p, db, actuals)
+
+
+def _exec_node(
+    p: phys.PhysNode, db: DetDatabase, actuals: Optional[Dict[int, int]]
+) -> DetRelation:
+    if isinstance(p, phys.Scan):
+        return db[p.table]
+    if isinstance(p, phys.FusedSelectProject):
+        rel = _exec(p.child, db, actuals)
+        if p.condition is not None:
+            rel = _selection(rel, p.condition)
+        if p.columns is not None:
+            rel = _projection(rel, p.columns)
+        return rel
+    if isinstance(p, phys.HashJoin):
+        return _hash_join(
+            _exec(p.left, db, actuals),
+            _exec(p.right, db, actuals),
+            p.condition,
+            p.eq_pairs,
         )
-    return _evaluate(plan, db, actuals)
+    if isinstance(p, phys.NLJoin):
+        left = _exec(p.left, db, actuals)
+        right = _exec(p.right, db, actuals)
+        if p.condition is None:
+            return _cross(left, right)
+        return _loop_join(left, right, p.condition)
+    if isinstance(p, phys.Concat):
+        return _union(_exec(p.left, db, actuals), _exec(p.right, db, actuals))
+    if isinstance(p, phys.HashDistinct):
+        return _distinct(_exec(p.child, db, actuals))
+    if isinstance(p, phys.HashAggregate):
+        result = _aggregate(
+            _exec(p.child, db, actuals), p.group_by, p.aggregates
+        )
+        if p.having is not None:
+            result = _selection(result, p.having)
+        return result
+    if isinstance(p, phys.Rename):
+        return _rename(_exec(p.child, db, actuals), p.mapping)
+    if isinstance(p, phys.TopK):
+        return _topk(_exec(p.child, db, actuals), p.keys, p.descending, p.n)
+    if isinstance(p, phys.Limit):
+        return _limit(_exec(p.child, db, actuals), p.n)
+    if isinstance(p, phys.TupleFallback):
+        if p.kind == "difference":
+            return _difference(
+                _exec(p.inputs[0], db, actuals), _exec(p.inputs[1], db, actuals)
+            )
+        raise TypeError(f"unsupported det fallback {p.kind!r}")
+    raise TypeError(f"unsupported physical node {type(p).__name__}")
 
 
+# ----------------------------------------------------------------------
+# legacy direct interpretation of logical plans
+# ----------------------------------------------------------------------
 def _evaluate(
     plan: Plan, db: DetDatabase, actuals: Optional[Dict[int, int]] = None
 ) -> DetRelation:
@@ -191,25 +304,45 @@ def _projection(
 
 
 def _join(left: DetRelation, right: DetRelation, condition: Expression) -> DetRelation:
+    """Legacy lowering: hash whenever an equi-conjunct exists."""
     eq_pairs = _equi_pairs(condition, left.schema, right.schema)
+    if eq_pairs:
+        return _hash_join(left, right, condition, eq_pairs)
+    return _loop_join(left, right, condition)
+
+
+def _hash_join(
+    left: DetRelation,
+    right: DetRelation,
+    condition: Expression,
+    eq_pairs: Sequence[Tuple[str, str]],
+) -> DetRelation:
     schema = tuple(left.schema) + tuple(right.schema)
     index = RowView.index_of(schema)
     out = DetRelation(schema)
-    if eq_pairs:
-        l_idx = [left.attr_index(a) for a, _ in eq_pairs]
-        r_idx = [right.attr_index(b) for _, b in eq_pairs]
-        hash_index: Dict[Tuple[Any, ...], List[Tuple[Tuple[Any, ...], int]]] = {}
-        for rt, rm in right.tuples():
-            hash_index.setdefault(tuple(rt[i] for i in r_idx), []).append((rt, rm))
-        for lt, lm in left.tuples():
-            key = tuple(lt[i] for i in l_idx)
-            for rt, rm in hash_index.get(key, ()):
-                combined = lt + rt
-                if bool(condition.eval(RowView(index, combined))):
-                    out.add(combined, lm * rm)
-        return out
+    l_idx = [left.attr_index(a) for a, _ in eq_pairs]
+    r_idx = [right.attr_index(b) for _, b in eq_pairs]
+    hash_index: Dict[Tuple[Any, ...], List[Tuple[Tuple[Any, ...], int]]] = {}
+    for rt, rm in right.tuples():
+        hash_index.setdefault(tuple(rt[i] for i in r_idx), []).append((rt, rm))
     for lt, lm in left.tuples():
-        for rt, rm in right.tuples():
+        key = tuple(lt[i] for i in l_idx)
+        for rt, rm in hash_index.get(key, ()):
+            combined = lt + rt
+            if bool(condition.eval(RowView(index, combined))):
+                out.add(combined, lm * rm)
+    return out
+
+
+def _loop_join(
+    left: DetRelation, right: DetRelation, condition: Expression
+) -> DetRelation:
+    schema = tuple(left.schema) + tuple(right.schema)
+    index = RowView.index_of(schema)
+    out = DetRelation(schema)
+    right_rows = list(right.tuples())
+    for lt, lm in left.tuples():
+        for rt, rm in right_rows:
             combined = lt + rt
             if bool(condition.eval(RowView(index, combined))):
                 out.add(combined, lm * rm)
@@ -325,6 +458,9 @@ def _aggregate(
 
     SUM and COUNT weight by multiplicity; MIN/MAX ignore it; AVG is the
     multiplicity-weighted mean.  Each output group has multiplicity 1.
+    Float SUM/AVG use order-independent exact summation
+    (:mod:`repro.core.sums`), matching the vectorized backend bit for
+    bit.
     """
     group_idx = [rel.attr_index(a) for a in group_by]
     out_schema = list(group_by) + [spec.name for spec in aggregates]
@@ -357,14 +493,14 @@ def _fold(
     index = RowView.index_of(schema)
     values = [(spec.expr.eval(RowView(index, t)), m) for t, m in rows]
     if spec.kind == "sum":
-        return sum(v * m for v, m in values)
+        return exact_sum(values)
     if spec.kind == "min":
         return min((v for v, _m in values), key=domain_key)
     if spec.kind == "max":
         return max((v for v, _m in values), key=domain_key)
     if spec.kind == "avg":
         total_m = sum(m for _v, m in values)
-        return sum(v * m for v, m in values) / total_m
+        return exact_sum(values) / total_m
     raise ValueError(f"unsupported aggregate {spec.kind!r}")
 
 

@@ -1,25 +1,36 @@
-"""``repro.exec`` — the vectorized columnar execution backend.
+"""``repro.exec`` — the physical execution layer.
 
-Both engines interpret :mod:`repro.algebra.ast` plans; this package adds
-a second *physical* backend that compiles optimized plans into
-vectorized operators over columnar batches instead of interpreting them
-tuple-at-a-time over Python dict bags:
+Both engines interpret :mod:`repro.algebra.ast` logical plans; this
+package turns optimized logical plans into explicit *physical plans* and
+executes them:
 
+* :mod:`repro.exec.physical` — the physical plan IR (``HashJoin``,
+  ``NLJoin``, ``FusedSelectProject``, ``HashAggregate``,
+  ``TupleFallback``, ``ParallelScan``/``Exchange``, …), the cost-based
+  ``lower()`` planner that makes every physical choice at plan time,
+  and ``explain_physical()``;
 * :mod:`repro.exec.batch` — :class:`ColumnBatch` / :class:`AUColumnBatch`
   columnar representations and cached relation↔batch conversion;
 * :mod:`repro.exec.compile` — fused predicate/projection compilation
   (one generated Python loop per expression, no per-row AST dispatch);
-* :mod:`repro.exec.vectorized` — the physical operators (hash equi-join,
-  hash aggregate, fused selection, batch top-k) and the two executors.
+* :mod:`repro.exec.vectorized` — the vectorized interpreters for both
+  engines (hash equi-join, single-pass hash aggregate with exact
+  SUM/AVG accumulation, fused selection);
+* :mod:`repro.exec.parallel` — morsel-style partition-parallel
+  execution of ``Exchange`` regions for the deterministic vectorized
+  backend.
 
-Select it with ``evaluate_det(..., backend="vectorized")``,
-``EvalConfig(backend="vectorized")``, or ``--backend=vectorized`` on the
-CLI; operators the vectorized AU runtime does not cover fall back to the
-exact tuple implementations node-by-node, so every query still answers.
+Select the vectorized backend with ``evaluate_det(...,
+backend="vectorized")``, ``EvalConfig(backend="vectorized")``, or
+``--backend=vectorized`` on the CLI; add ``parallelism=N`` /
+``--parallelism N`` for morsel parallelism.  Operators the vectorized
+AU runtime does not cover are lowered to explicit ``TupleFallback``
+nodes, so every query still answers with identical results.
 """
 
 from .batch import AUColumnBatch, ColumnBatch
 from .compile import CompileError, compile_filter, compile_projector
+from .physical import PhysicalConfig, explain_physical, lower
 from .vectorized import execute_audb, execute_det
 
 #: Physical execution backends accepted by ``evaluate_det`` /
@@ -35,4 +46,7 @@ __all__ = [
     "compile_projector",
     "execute_det",
     "execute_audb",
+    "PhysicalConfig",
+    "lower",
+    "explain_physical",
 ]

@@ -1,0 +1,296 @@
+"""Morsel-style partition-parallel execution for the det vectorized backend.
+
+A physical plan's :class:`~repro.exec.physical.Exchange` node marks a
+*parallel region*: its subtree contains exactly one
+:class:`~repro.exec.physical.ParallelScan`, and evaluating the subtree
+once per morsel of that scan then merging (per the Exchange's ``merge``
+kind) is exact — the planner only builds regions out of operators that
+distribute over a bag-union partitioning of the driver table.
+
+Execution of one Exchange:
+
+1. the driver table's cached columnar image is split into one morsel
+   per partition (:func:`split_batch`);
+2. subtrees of the region that do *not* contain the ParallelScan are
+   partition-invariant — they are evaluated **once** in the parent and
+   injected into the workers as pre-bound results (so e.g. a hash-join
+   build side is not recomputed per morsel);
+3. each worker interprets the region over its morsel.  Workers are
+   ``fork``-ed processes when the driver is large enough to amortize
+   process startup (:data:`PROCESS_MIN_ROWS`) and ``fork`` is available
+   (POSIX); otherwise the morsels run in-process, through the *same*
+   partition-and-merge code path, so results are identical either way;
+4. the per-partition results merge: batches concatenate (``concat``),
+   partial aggregation states combine exactly (``aggregate`` —
+   SUM/AVG through :mod:`repro.core.sums`, so floats are bit-identical
+   at every parallelism level), and ``topk``/``limit``/``distinct``
+   regions re-apply their operator over the concatenation.
+
+Small inputs skip partitioning entirely (:data:`PARALLEL_MIN_ROWS`):
+the region then runs as a single partition, which is the documented
+non-regression fallback — parallelism never changes results, only
+wall-clock time.  Tests pin these thresholds to 0 to force the
+partitioned paths on tiny data.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..db.storage import DetDatabase
+from . import physical as phys
+from .batch import ColumnBatch
+
+__all__ = [
+    "PARALLEL_MIN_ROWS",
+    "PROCESS_MIN_ROWS",
+    "split_batch",
+    "execute_exchange",
+]
+
+#: Below this many driver rows an Exchange collapses to one partition —
+#: splitting and merging a small batch costs more than it saves.
+PARALLEL_MIN_ROWS = 2048
+
+#: Below this many driver rows the morsels run in-process even when
+#: partitioned: forking a worker pool costs milliseconds, which only
+#: pays off on batches with real per-morsel work.
+PROCESS_MIN_ROWS = 8192
+
+
+def split_batch(batch: ColumnBatch, partitions: int) -> List[ColumnBatch]:
+    """Split ``batch`` row-wise into at most ``partitions`` morsels."""
+    n = len(batch)
+    if n == 0 or partitions <= 1:
+        return [batch]
+    size = (n + partitions - 1) // partitions
+    return [
+        ColumnBatch(
+            batch.schema,
+            [col[s : s + size] for col in batch.columns],
+            batch.mult[s : s + size],
+        )
+        for s in range(0, n, size)
+    ]
+
+
+def _contains(pnode: phys.PhysNode, target: phys.PhysNode) -> bool:
+    return any(n is target for n in pnode.walk())
+
+
+def _bind_invariants(
+    pnode: phys.PhysNode,
+    scan: phys.ParallelScan,
+    parent_exec,
+    bindings: Dict[int, ColumnBatch],
+) -> None:
+    """Evaluate partition-invariant subtrees once, in the parent.
+
+    Everything not containing the ParallelScan produces the same result
+    for every morsel (e.g. the build side of a hash join) — bind it so
+    workers skip the recomputation.
+    """
+    for child in pnode.children():
+        if _contains(child, scan):
+            _bind_invariants(child, scan, parent_exec, bindings)
+        else:
+            bindings[id(child)] = parent_exec.eval(child)
+
+
+def _prebuild_join_tables(
+    pnode: phys.PhysNode,
+    scan: phys.ParallelScan,
+    bindings: Dict[int, ColumnBatch],
+    join_tables: Dict[int, dict],
+) -> None:
+    """Build hash tables for partition-invariant build sides once.
+
+    A ``HashJoin`` on the driver spine probes a build side that is the
+    same for every morsel — without this, each worker would rebuild the
+    identical table."""
+    from .vectorized import build_join_table
+
+    if isinstance(pnode, phys.HashJoin) and id(pnode.right) in bindings:
+        join_tables[id(pnode)] = build_join_table(
+            bindings[id(pnode.right)], [b for _, b in pnode.eq_pairs]
+        )
+    for child in pnode.children():
+        if _contains(child, scan):
+            _prebuild_join_tables(child, scan, bindings, join_tables)
+
+
+def execute_exchange(parent_exec, node: phys.Exchange) -> ColumnBatch:
+    """Run the parallel region under ``node`` and merge the partitions."""
+    from .vectorized import _DetExec, PartialAggregate
+
+    scan = next(
+        p for p in node.child.walk() if isinstance(p, phys.ParallelScan)
+    )
+    db: DetDatabase = parent_exec.db
+    base = ColumnBatch.from_relation(db[scan.table])
+    if node.partitions <= 1 or len(base) < PARALLEL_MIN_ROWS:
+        parts = [base]
+    else:
+        parts = split_batch(base, node.partitions)
+
+    bindings: Dict[int, ColumnBatch] = dict(parent_exec.bindings)
+    _bind_invariants(node.child, scan, parent_exec, bindings)
+    join_tables: Dict[int, dict] = {}
+    _prebuild_join_tables(node.child, scan, bindings, join_tables)
+
+    use_processes = (
+        len(parts) > 1
+        and len(base) >= PROCESS_MIN_ROWS
+        and hasattr(os, "fork")
+    )
+    if use_processes:
+        results = _run_forked(db, node.child, scan, parts, bindings, join_tables)
+    else:
+        # same worker + transport code as the forked pool, minus the fork:
+        # results round-trip through encode/decode so both paths are
+        # byte-for-byte the same computation
+        results = [
+            _decode(
+                _encode(
+                    _DetExec(
+                        db,
+                        None,
+                        {**bindings, id(scan): part},
+                        join_tables,
+                    ).eval(node.child)
+                )
+            )
+            for part in parts
+        ]
+    return _merge(node, results)
+
+
+# ----------------------------------------------------------------------
+# forked worker pool
+# ----------------------------------------------------------------------
+#: Inherited-by-fork work description; only partition indices travel to
+#: the workers and only encoded results travel back.
+_WORK: Optional[tuple] = None
+
+
+def _worker(i: int):
+    from .vectorized import _DetExec
+
+    db, region, scan, parts, bindings, join_tables = _WORK
+    result = _DetExec(
+        db, None, {**bindings, id(scan): parts[i]}, join_tables
+    ).eval(region)
+    return _encode(result)
+
+
+def _encode(result) -> tuple:
+    from .vectorized import PartialAggregate
+
+    if isinstance(result, PartialAggregate):
+        return ("partial", result.groups)
+    return (
+        "batch",
+        result.schema,
+        [list(col) for col in result.columns],
+        list(result.mult),
+    )
+
+
+def _decode(payload: tuple):
+    from .vectorized import PartialAggregate
+
+    if payload[0] == "partial":
+        return PartialAggregate(payload[1])
+    _tag, schema, columns, mult = payload
+    return ColumnBatch(schema, columns, mult)
+
+
+def _run_forked(db, region, scan, parts, bindings, join_tables) -> List[Any]:
+    import multiprocessing
+
+    global _WORK
+    ctx = multiprocessing.get_context("fork")
+    _WORK = (db, region, scan, parts, bindings, join_tables)
+    try:
+        with ctx.Pool(min(len(parts), os.cpu_count() or 1)) as pool:
+            encoded = pool.map(_worker, range(len(parts)))
+    finally:
+        _WORK = None
+    return [_decode(e) for e in encoded]
+
+
+# ----------------------------------------------------------------------
+# merges
+# ----------------------------------------------------------------------
+def _concat(batches: List[ColumnBatch]) -> ColumnBatch:
+    first = batches[0]
+    if len(batches) == 1:
+        return first
+    columns: List[list] = [list(col) for col in first.columns]
+    mult = list(first.mult)
+    for batch in batches[1:]:
+        for acc, col in zip(columns, batch.columns):
+            acc.extend(col)
+        mult.extend(batch.mult)
+    return ColumnBatch(first.schema, columns, mult)
+
+
+def _merge(node: phys.Exchange, results: List[Any]) -> ColumnBatch:
+    from ..core.sums import merge_acc
+    from ..db.engine import _limit, _topk
+    from .vectorized import _dedup_batch, finalize_groups
+
+    final = node.final
+    if node.merge == "concat":
+        return _concat(results)
+    if node.merge == "aggregate":
+        merged: Dict[Tuple, List[Any]] = {}
+        kinds = [spec.kind for spec in final.aggregates]
+        for partial in results:
+            for key, accs in partial.groups.items():
+                mine = merged.get(key)
+                if mine is None:
+                    merged[key] = accs
+                    continue
+                for a, kind in enumerate(kinds):
+                    if kind == "count":
+                        mine[a] += accs[a]
+                    elif kind == "sum":
+                        merge_acc(mine[a], accs[a])
+                    elif kind == "avg":
+                        merge_acc(mine[a][0], accs[a][0])
+                        mine[a][1] += accs[a][1]
+                    elif kind == "min":
+                        if accs[a][0] < mine[a][0]:
+                            mine[a] = accs[a]
+                    else:  # max
+                        if accs[a][0] > mine[a][0]:
+                            mine[a] = accs[a]
+        if not merged and not final.group_by:
+            from ..db.engine import _empty_value
+
+            return ColumnBatch(
+                [spec.name for spec in final.aggregates],
+                [[_empty_value(spec)] for spec in final.aggregates],
+                [1],
+            )
+        batch = finalize_groups(merged, final.group_by, final.aggregates)
+        if final.having is not None:
+            # re-filter through the vectorized selection path
+            from .vectorized import _DetExec
+
+            batch = _DetExec(None)._select_project(batch, final.having, None)
+        return batch
+    if node.merge == "topk":
+        merged_rel = _concat(results).to_relation()
+        return ColumnBatch.from_relation(
+            _topk(merged_rel, final.keys, final.descending, final.n)
+        )
+    if node.merge == "limit":
+        return ColumnBatch.from_relation(
+            _limit(_concat(results).to_relation(), final.n)
+        )
+    if node.merge == "distinct":
+        return _dedup_batch(_concat(results))
+    raise TypeError(f"unsupported exchange merge {node.merge!r}")

@@ -1,0 +1,787 @@
+"""The physical plan layer: typed physical operators and cost-based lowering.
+
+Until PR 4 every *physical* decision lived in a runtime side-channel:
+``join_strategy_hints`` dicts priced hash vs nested-loop joins outside
+the plan, the vectorized AU executor decided tuple-operator fallbacks
+with per-node ``isinstance`` checks mid-query, and compression budgets
+arrived through an ``{id(node): buckets}`` hints mapping.  This module
+makes those choices *once, at plan time*, in an explicit IR:
+
+``lower(plan, stats, config)`` turns an optimized logical plan
+(:mod:`repro.algebra.ast`) into a tree of physical operators —
+
+* :class:`Scan` / :class:`ParallelScan` — base-table access, the latter
+  splitting the cached columnar image into morsels for the worker pool;
+* :class:`FusedSelectProject` — selection and/or projection fused into
+  one pass (one gather for a ``π∘σ`` pair on the deterministic side);
+* :class:`HashJoin` / :class:`NLJoin` — the join algorithm, chosen from
+  the statistics catalog (:data:`HASH_JOIN_MIN_ROWS`); for the AU engine
+  ``HashJoin`` means the certain-key hash + interval nested-loop split
+  and ``NLJoin`` the pure interval-overlap loop;
+* :class:`CompressedJoin` — the paper's ``Cpr`` join with its bucket
+  budget resolved (absorbing the optimizer's adaptive placement);
+* :class:`HashAggregate` (with a ``partial`` mode for parallel plans),
+  :class:`HashDistinct`, :class:`TopK`, :class:`Limit`, :class:`Concat`,
+  :class:`Rename`;
+* :class:`TupleFallback` — an explicit plan-time boundary where the AU
+  executors hand a subtree result to the exact tuple operators
+  (``Distinct``/``Difference``/``Aggregate``/top-k SG-combine, which no
+  columnar operator implements), and the deterministic backends execute
+  bag ``Difference``;
+* :class:`Exchange` — the merge point of a partition-parallel region:
+  morsel results are concatenated, or partial aggregates / top-k /
+  limit / distinct states are combined.
+
+Every executor — the tuple interpreters in :mod:`repro.db.engine` and
+:mod:`repro.algebra.evaluator` as much as the vectorized backend in
+:mod:`repro.exec.vectorized` — is a thin interpreter of this IR, so a
+plan's physical shape is inspectable before it runs:
+:func:`explain_physical` renders the chosen algorithms with estimated
+(and, after execution, actual) row counts.
+
+Each physical node remembers the logical node(s) it implements
+(``sources``), which is how per-node ``actuals`` keep working for the
+logical ``explain`` while also keying the physical rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algebra.ast import (
+    Aggregate,
+    CrossProduct,
+    Difference,
+    Distinct,
+    Join,
+    Limit as LLimit,
+    OrderBy,
+    Plan,
+    Projection,
+    Rename as LRename,
+    Selection,
+    TableRef,
+    TopK as LTopK,
+    Union,
+)
+from ..algebra.optimizer import Statistics, estimate, schema_of
+from ..core.compression import recommended_buckets
+from ..core.expressions import Expression
+from ..core.operators import _extract_equi_pairs, _is_pure_equi_condition
+
+__all__ = [
+    "PhysicalConfig",
+    "PhysNode",
+    "Scan",
+    "ParallelScan",
+    "FusedSelectProject",
+    "Rename",
+    "HashJoin",
+    "NLJoin",
+    "CompressedJoin",
+    "HashAggregate",
+    "HashDistinct",
+    "TopK",
+    "Limit",
+    "Concat",
+    "TupleFallback",
+    "Exchange",
+    "lower",
+    "explain_physical",
+    "HASH_JOIN_MIN_ROWS",
+]
+
+
+#: Below this many estimated rows on the larger join input, building a
+#: hash table costs more than a straight nested loop over the batch
+#: (moved here from the PR 3 ``join_strategy_hints`` side-channel).
+HASH_JOIN_MIN_ROWS = 12.0
+
+
+@dataclass(frozen=True)
+class PhysicalConfig:
+    """Everything :func:`lower` needs to make physical choices.
+
+    ``engine`` selects the semantics (``"det"`` bags / ``"au"``
+    bound-preserving); ``backend`` the runtime (``"tuple"`` /
+    ``"vectorized"``); ``parallelism`` > 1 adds a morsel-parallel region
+    to deterministic vectorized plans.  The AU knobs mirror
+    :class:`repro.algebra.evaluator.EvalConfig`: ``join_buckets`` /
+    ``aggregation_buckets`` are the paper's compression budgets,
+    ``adaptive_compression`` lets the estimates skip ``Cpr`` on joins
+    that fit the budget, ``hash_join`` disables the certain-key hash
+    fast path (the paper's unoptimized-rewrite baselines).
+    """
+
+    engine: str = "det"
+    backend: str = "tuple"
+    parallelism: int = 1
+    hash_join: bool = True
+    join_buckets: Optional[int] = None
+    aggregation_buckets: Optional[int] = None
+    adaptive_compression: bool = False
+
+
+# ======================================================================
+# the IR
+# ======================================================================
+class PhysNode:
+    """Base physical operator.
+
+    ``est`` is the planner's output-cardinality estimate (rows for the
+    deterministic engine, AU-tuples for the AU engine); ``sources`` the
+    logical node(s) this operator implements — executors record their
+    actual output cardinality under ``id(node)`` *and* each
+    ``id(source)`` so both the logical and the physical ``explain`` can
+    show estimated-vs-actual columns.
+    """
+
+    est: float = 0.0
+    sources: Tuple[Plan, ...] = ()
+
+    def children(self) -> Sequence["PhysNode"]:
+        return ()
+
+    def walk(self):
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+class Scan(PhysNode):
+    def __init__(self, table: str) -> None:
+        self.table = table
+
+
+class ParallelScan(PhysNode):
+    """A base-table scan split into ``partitions`` morsels.
+
+    Appears exactly once inside a parallel region; the
+    :class:`Exchange` above the region binds it to one morsel per
+    worker (:mod:`repro.exec.parallel`).
+    """
+
+    def __init__(self, table: str, partitions: int) -> None:
+        self.table = table
+        self.partitions = partitions
+
+
+class FusedSelectProject(PhysNode):
+    """``π_columns(σ_condition(child))`` in a single pass.
+
+    Either part may be ``None`` (pure selection / pure projection); the
+    deterministic lowering fuses a ``Projection`` directly above a
+    ``Selection`` so survivors are gathered once.
+    """
+
+    def __init__(
+        self,
+        child: PhysNode,
+        condition: Optional[Expression],
+        columns: Optional[Tuple[Tuple[Expression, str], ...]],
+    ) -> None:
+        self.child = child
+        self.condition = condition
+        self.columns = tuple(columns) if columns is not None else None
+
+    def children(self):
+        return (self.child,)
+
+
+class Rename(PhysNode):
+    def __init__(self, child: PhysNode, mapping: Dict[str, str]) -> None:
+        self.child = child
+        self.mapping = dict(mapping)
+
+    def children(self):
+        return (self.child,)
+
+
+class HashJoin(PhysNode):
+    """Equi-join via a hash table on ``eq_pairs`` (built on the right).
+
+    ``pure_equi`` (decided at plan time) means the condition is exactly
+    the conjunction of the pairs, so hash matches need no residual
+    re-check.  Under AU semantics this is the certain-key hash +
+    interval nested-loop split of :func:`repro.core.operators.join`.
+    """
+
+    def __init__(
+        self,
+        left: PhysNode,
+        right: PhysNode,
+        condition: Expression,
+        eq_pairs: Sequence[Tuple[str, str]],
+        pure_equi: bool,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.eq_pairs = tuple(eq_pairs)
+        self.pure_equi = pure_equi
+
+    def children(self):
+        return (self.left, self.right)
+
+
+class NLJoin(PhysNode):
+    """Nested-loop join: cross the inputs, filter by ``condition``.
+
+    ``condition=None`` is a plain cross product.  ``check_overlap``
+    preserves the AU engine's schema-overlap validation for plans with
+    no usable equi-conjunct.
+    """
+
+    def __init__(
+        self,
+        left: PhysNode,
+        right: PhysNode,
+        condition: Optional[Expression],
+        check_overlap: bool = False,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.check_overlap = check_overlap
+
+    def children(self):
+        return (self.left, self.right)
+
+
+class CompressedJoin(PhysNode):
+    """AU join through the paper's ``Cpr`` compression operator.
+
+    ``buckets`` is resolved at plan time: the fixed budget, or — with
+    adaptive compression — ``None``-skipping via
+    :func:`repro.core.compression.recommended_buckets` happened already,
+    so a ``CompressedJoin`` node always compresses.
+    """
+
+    def __init__(
+        self,
+        left: PhysNode,
+        right: PhysNode,
+        condition: Expression,
+        pair: Tuple[str, str],
+        buckets: int,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.pair = pair
+        self.buckets = buckets
+
+    def children(self):
+        return (self.left, self.right)
+
+
+class HashAggregate(PhysNode):
+    """Single-pass hash aggregation (deterministic engine).
+
+    ``partial=True`` (inside a parallel region) emits mergeable
+    accumulator state instead of finished rows; the :class:`Exchange`
+    above combines the states and applies ``having``.
+    """
+
+    def __init__(
+        self,
+        child: PhysNode,
+        group_by: Sequence[str],
+        aggregates: Sequence,
+        having: Optional[Expression],
+        partial: bool = False,
+    ) -> None:
+        self.child = child
+        self.group_by = tuple(group_by)
+        self.aggregates = tuple(aggregates)
+        self.having = having
+        self.partial = partial
+
+    def children(self):
+        return (self.child,)
+
+
+class HashDistinct(PhysNode):
+    def __init__(self, child: PhysNode) -> None:
+        self.child = child
+
+    def children(self):
+        return (self.child,)
+
+
+class TopK(PhysNode):
+    def __init__(
+        self, child: PhysNode, keys: Sequence[str], descending: bool, n: int
+    ) -> None:
+        self.child = child
+        self.keys = tuple(keys)
+        self.descending = descending
+        self.n = n
+
+    def children(self):
+        return (self.child,)
+
+
+class Limit(PhysNode):
+    def __init__(self, child: PhysNode, n: int) -> None:
+        self.child = child
+        self.n = n
+
+    def children(self):
+        return (self.child,)
+
+
+class Concat(PhysNode):
+    """Bag union: concatenate the inputs (annotations add on merge)."""
+
+    def __init__(self, left: PhysNode, right: PhysNode) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+
+class TupleFallback(PhysNode):
+    """Execute ``logical`` with the exact tuple operator over
+    materialized inputs.
+
+    The plan-time form of what the PR 3 vectorized AU executor decided
+    per node at runtime: ``kind`` ∈ ``difference`` / ``distinct`` /
+    ``aggregate`` / ``topk``.  ``buckets`` carries the AU aggregation
+    compression budget where applicable.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        logical: Plan,
+        inputs: Sequence[PhysNode],
+        buckets: Optional[int] = None,
+    ) -> None:
+        self.kind = kind
+        self.logical = logical
+        self.inputs = tuple(inputs)
+        self.buckets = buckets
+
+    def children(self):
+        return self.inputs
+
+
+class Exchange(PhysNode):
+    """Merge point of a partition-parallel region.
+
+    ``child`` is evaluated once per morsel of the region's
+    :class:`ParallelScan`; ``merge`` says how the per-partition results
+    recombine (``concat`` / ``aggregate`` / ``topk`` / ``limit`` /
+    ``distinct``); ``final`` is the original serial operator carrying
+    the merge parameters (the :class:`HashAggregate` for ``having`` and
+    finalization, the :class:`TopK`/:class:`Limit` for re-limiting).
+    """
+
+    def __init__(
+        self,
+        child: PhysNode,
+        merge: str,
+        partitions: int,
+        final: Optional[PhysNode] = None,
+    ) -> None:
+        self.child = child
+        self.merge = merge
+        self.partitions = partitions
+        self.final = final
+
+    def children(self):
+        return (self.child,)
+
+
+# ======================================================================
+# lowering
+# ======================================================================
+def lower(
+    plan: Plan,
+    stats: Optional[Statistics],
+    config: PhysicalConfig,
+) -> PhysNode:
+    """Lower an optimized logical plan into a physical plan.
+
+    All physical choices happen here: the join algorithm per join (hash
+    vs nested loop from the catalog estimates, ``Cpr`` compression with
+    its resolved bucket budget), the tuple-fallback boundaries of the AU
+    executors, fusion of adjacent selection/projection pairs, and — for
+    the deterministic vectorized backend with ``config.parallelism > 1``
+    — the morsel-parallel region (:class:`ParallelScan` at the driver
+    table, :class:`Exchange` at the merge point).  The result is
+    engine-agnostic data: interpreters in :mod:`repro.db.engine`,
+    :mod:`repro.algebra.evaluator`, and :mod:`repro.exec.vectorized`
+    execute it without making further decisions.
+    """
+    pplan = _Lowerer(stats, config).lower(plan)
+    if (
+        config.engine == "det"
+        and config.backend == "vectorized"
+        and config.parallelism > 1
+    ):
+        pplan = _parallelize(pplan, config.parallelism)
+    return pplan
+
+
+class _Lowerer:
+    def __init__(self, stats: Optional[Statistics], config: PhysicalConfig) -> None:
+        self.stats = stats
+        self.config = config
+        self.au = config.engine == "au"
+
+    def _est(self, node: Plan) -> float:
+        return estimate(node, self.stats)
+
+    def _tag(self, pnode: PhysNode, node: Plan) -> PhysNode:
+        pnode.est = self._est(node)
+        pnode.sources = pnode.sources + (node,)
+        return pnode
+
+    def lower(self, node: Plan) -> PhysNode:
+        if isinstance(node, TableRef):
+            return self._tag(Scan(node.name), node)
+        if isinstance(node, Selection):
+            return self._tag(
+                FusedSelectProject(self.lower(node.child), node.condition, None),
+                node,
+            )
+        if isinstance(node, Projection):
+            child = self.lower(node.child)
+            if (
+                not self.au
+                and isinstance(child, FusedSelectProject)
+                and child.columns is None
+            ):
+                # fuse π over σ: filter and gather the survivors once.
+                # (Det only: AU per-node actuals count distinct tuples,
+                # which projection changes, so the nodes stay separate.)
+                fused = FusedSelectProject(child.child, child.condition, node.columns)
+                fused.sources = child.sources
+                return self._tag(fused, node)
+            return self._tag(FusedSelectProject(child, None, node.columns), node)
+        if isinstance(node, LRename):
+            return self._tag(Rename(self.lower(node.child), node.mapping_dict()), node)
+        if isinstance(node, Join):
+            return self._tag(self._lower_join(node), node)
+        if isinstance(node, CrossProduct):
+            return self._tag(
+                NLJoin(
+                    self.lower(node.left),
+                    self.lower(node.right),
+                    None,
+                    check_overlap=self.au,
+                ),
+                node,
+            )
+        if isinstance(node, Union):
+            return self._tag(
+                Concat(self.lower(node.left), self.lower(node.right)), node
+            )
+        if isinstance(node, Difference):
+            return self._tag(
+                TupleFallback(
+                    "difference",
+                    node,
+                    (self.lower(node.left), self.lower(node.right)),
+                ),
+                node,
+            )
+        if isinstance(node, Distinct):
+            child = self.lower(node.child)
+            if self.au:
+                return self._tag(TupleFallback("distinct", node, (child,)), node)
+            return self._tag(HashDistinct(child), node)
+        if isinstance(node, Aggregate):
+            child = self.lower(node.child)
+            if self.au:
+                return self._tag(
+                    TupleFallback(
+                        "aggregate",
+                        node,
+                        (child,),
+                        buckets=self.config.aggregation_buckets,
+                    ),
+                    node,
+                )
+            return self._tag(
+                HashAggregate(child, node.group_by, node.aggregates, node.having),
+                node,
+            )
+        if isinstance(node, OrderBy):
+            # bags are unordered: identity, but keep the node's actuals
+            child = self.lower(node.child)
+            child.sources = child.sources + (node,)
+            return child
+        if isinstance(node, LTopK):
+            return self._tag(self._lower_topk(node, node.child), node)
+        if isinstance(node, LLimit):
+            inner = node.child
+            if isinstance(inner, OrderBy):
+                # unfused ORDER BY … LIMIT: same top-k as the fused node
+                carrier = LTopK(inner.child, inner.keys, inner.descending, node.n)
+                return self._tag(self._lower_topk(carrier, inner.child), node)
+            if self.au:
+                # bare LIMIT over unordered uncertain data stays the
+                # identity (the only sound choice)
+                child = self.lower(inner)
+                child.sources = child.sources + (node,)
+                return child
+            return self._tag(Limit(self.lower(inner), node.n), node)
+        raise TypeError(f"unsupported plan node {type(node).__name__}")
+
+    def _lower_topk(self, carrier: LTopK, input_plan: Plan) -> PhysNode:
+        child = self.lower(input_plan)
+        if self.au:
+            return TupleFallback("topk", carrier, (child,))
+        return TopK(child, carrier.keys, carrier.descending, carrier.n)
+
+    def _lower_join(self, node: Join) -> PhysNode:
+        left = self.lower(node.left)
+        right = self.lower(node.right)
+        condition = node.condition
+        left_schema = schema_of(node.left, self.stats)
+        right_schema = schema_of(node.right, self.stats)
+        pairs: List[Tuple[str, str]] = []
+        if left_schema is not None and right_schema is not None:
+            pairs = _extract_equi_pairs(condition, left_schema, right_schema)
+
+        if self.au:
+            buckets = self.config.join_buckets
+            if buckets is not None and self.config.adaptive_compression:
+                buckets = recommended_buckets(
+                    self._est(node.left), self._est(node.right), buckets
+                )
+            if buckets is not None and pairs:
+                return CompressedJoin(left, right, condition, pairs[0], buckets)
+            if not pairs:
+                return NLJoin(left, right, condition, check_overlap=True)
+            if not self.config.hash_join or self._tiny(node):
+                return NLJoin(left, right, condition, check_overlap=False)
+            return HashJoin(
+                left,
+                right,
+                condition,
+                pairs,
+                _is_pure_equi_condition(condition, len(pairs)),
+            )
+
+        if not pairs or self._tiny(node):
+            return NLJoin(left, right, condition, check_overlap=False)
+        return HashJoin(
+            left,
+            right,
+            condition,
+            pairs,
+            _is_pure_equi_condition(condition, len(pairs)),
+        )
+
+    def _tiny(self, node: Join) -> bool:
+        """Hash-table build/probe bookkeeping dominates tiny inputs."""
+        return (
+            max(self._est(node.left), self._est(node.right)) < HASH_JOIN_MIN_ROWS
+        )
+
+
+# ======================================================================
+# partition parallelism (deterministic vectorized backend)
+# ======================================================================
+def _parallelize(root: PhysNode, partitions: int) -> PhysNode:
+    """Insert morsel-parallel regions into a det vectorized plan.
+
+    A *region* is a subtree whose result distributes over a bag-union
+    partitioning of one base-table scan (its *driver*): selections,
+    projections, renames, and the probe side of joins are linear in the
+    driver, so running the subtree once per morsel and merging is exact.
+    Pipeline breakers become merge points: an aggregate region computes
+    partial states per morsel (merged exactly — SUM/AVG via
+    :mod:`repro.core.sums`), top-k/limit/distinct regions merge and
+    re-apply, and a fully linear region just concatenates.  Subtrees
+    with no partitionable driver (e.g. under a :class:`TupleFallback`)
+    stay serial.
+    """
+
+    def walk(node: PhysNode) -> PhysNode:
+        region = _try_region(node, partitions)
+        if region is not None:
+            return region
+        for name in ("child", "left", "right"):
+            child = getattr(node, name, None)
+            if isinstance(child, PhysNode):
+                setattr(node, name, walk(child))
+        if isinstance(node, TupleFallback):
+            node.inputs = tuple(walk(c) for c in node.inputs)
+        return node
+
+    return walk(root)
+
+
+def _try_region(node: PhysNode, partitions: int) -> Optional[Exchange]:
+    def exchange(child: PhysNode, merge: str, final: Optional[PhysNode]) -> Exchange:
+        ex = Exchange(child, merge, partitions, final)
+        ex.est = node.est
+        ex.sources = node.sources
+        return ex
+
+    if isinstance(node, HashAggregate) and not node.partial:
+        region = _partition_subtree(node.child, partitions)
+        if region is None:
+            return None
+        partial = HashAggregate(
+            region, node.group_by, node.aggregates, None, partial=True
+        )
+        partial.est = node.est
+        return exchange(partial, "aggregate", node)
+    if isinstance(node, TopK):
+        region = _partition_subtree(node.child, partitions)
+        if region is None:
+            return None
+        local = TopK(region, node.keys, node.descending, node.n)
+        local.est = node.est
+        return exchange(local, "topk", node)
+    if isinstance(node, Limit):
+        region = _partition_subtree(node.child, partitions)
+        if region is None:
+            return None
+        local = Limit(region, node.n)
+        local.est = node.est
+        return exchange(local, "limit", node)
+    if isinstance(node, HashDistinct):
+        region = _partition_subtree(node.child, partitions)
+        if region is None:
+            return None
+        local = HashDistinct(region)
+        local.est = node.est
+        return exchange(local, "distinct", node)
+    region = _partition_subtree(node, partitions, require_ops=True)
+    if region is not None:
+        return exchange(region, "concat", None)
+    return None
+
+
+def _driver_scans(node: PhysNode, depth: int = 0):
+    """Candidate driver scans along partition-transparent edges.
+
+    Selection/projection/rename are linear; joins distribute over a
+    partitioning of their *left* (probe) input.  Everything else is a
+    barrier.
+    """
+    if isinstance(node, Scan):
+        yield node, depth
+    elif isinstance(node, (FusedSelectProject, Rename)):
+        yield from _driver_scans(node.child, depth + 1)
+    elif isinstance(node, (HashJoin, NLJoin)):
+        yield from _driver_scans(node.left, depth + 1)
+
+
+def _partition_subtree(
+    node: PhysNode, partitions: int, require_ops: bool = False
+) -> Optional[PhysNode]:
+    """Replace the best driver scan with a :class:`ParallelScan`.
+
+    Picks the largest estimated reachable scan; ``require_ops`` rejects
+    a bare-scan region (splitting a scan only to concatenate it back
+    buys nothing).  Returns ``None`` when nothing is partitionable.
+    """
+    candidates = list(_driver_scans(node))
+    if not candidates:
+        return None
+    best, depth = max(candidates, key=lambda c: (c[0].est, -c[1]))
+    if require_ops and depth == 0:
+        return None
+
+    def replace(n: PhysNode) -> PhysNode:
+        if n is best:
+            ps = ParallelScan(best.table, partitions)
+            ps.est = best.est
+            ps.sources = best.sources
+            return ps
+        if isinstance(n, (FusedSelectProject, Rename)):
+            n.child = replace(n.child)
+        elif isinstance(n, (HashJoin, NLJoin)):
+            n.left = replace(n.left)
+        return n
+
+    return replace(node)
+
+
+# ======================================================================
+# explain
+# ======================================================================
+def _describe(node: PhysNode) -> str:
+    if isinstance(node, Scan):
+        return f"Scan {node.table}"
+    if isinstance(node, ParallelScan):
+        return f"ParallelScan {node.table} [{node.partitions} morsels]"
+    if isinstance(node, FusedSelectProject):
+        parts = []
+        if node.condition is not None:
+            parts.append(f"σ[{node.condition!r}]")
+        if node.columns is not None:
+            cols = ", ".join(
+                f"{e!r}→{n}" if repr(e) != n else n for e, n in node.columns
+            )
+            parts.append(f"π[{cols}]")
+        return f"FusedSelectProject {' '.join(parts)}"
+    if isinstance(node, Rename):
+        return f"Rename ρ[{node.mapping}]"
+    if isinstance(node, HashJoin):
+        keys = ", ".join(f"{a}={b}" for a, b in node.eq_pairs)
+        residual = "" if node.pure_equi else " + residual filter"
+        return f"HashJoin ⋈[{keys}]{residual}"
+    if isinstance(node, NLJoin):
+        if node.condition is None:
+            return "NLJoin × (cross product)"
+        return f"NLJoin ⋈[{node.condition!r}] (nested loop)"
+    if isinstance(node, CompressedJoin):
+        a, b = node.pair
+        return f"CompressedJoin ⋈[{a}={b}] Cpr[CT={node.buckets}]"
+    if isinstance(node, HashAggregate):
+        aggs = ", ".join(
+            f"{a.kind}({a.expr!r})→{a.name}" for a in node.aggregates
+        )
+        mode = " (partial)" if node.partial else ""
+        return f"HashAggregate γ[{','.join(node.group_by)}; {aggs}]{mode}"
+    if isinstance(node, HashDistinct):
+        return "HashDistinct δ"
+    if isinstance(node, TopK):
+        order = "desc" if node.descending else "asc"
+        return f"TopK [{', '.join(node.keys)} {order}; n={node.n}]"
+    if isinstance(node, Limit):
+        return f"Limit [{node.n}]"
+    if isinstance(node, Concat):
+        return "Concat ∪"
+    if isinstance(node, TupleFallback):
+        extra = f", CT={node.buckets}" if node.buckets is not None else ""
+        return f"TupleFallback[{node.kind}] (exact tuple operator{extra})"
+    if isinstance(node, Exchange):
+        return f"Exchange merge={node.merge} [{node.partitions} partitions]"
+    return type(node).__name__
+
+
+def explain_physical(
+    pplan: PhysNode, actuals: Optional[Dict[int, int]] = None
+) -> str:
+    """Render a physical plan with chosen algorithms and row estimates.
+
+    ``actuals`` is the ``{id(node): rows}`` mapping the executors fill;
+    physical node ids are recorded alongside the logical-source ids, so
+    the same dict feeds both this and the logical
+    :func:`repro.algebra.optimizer.explain`.
+    """
+    lines: List[str] = []
+
+    def walk(node: PhysNode, depth: int) -> None:
+        line = f"{'  ' * depth}{_describe(node)}  (~{node.est:.0f} rows"
+        if actuals is not None and id(node) in actuals:
+            line += f", actual {actuals[id(node)]:g}"
+        line += ")"
+        lines.append(line)
+        for child in node.children():
+            walk(child, depth + 1)
+
+    walk(pplan, 0)
+    return "\n".join(lines)

@@ -1,76 +1,56 @@
-"""Vectorized physical operators over columnar batches, for both engines.
+"""Vectorized interpreters for physical plans, for both engines.
 
-This is the physical-execution layer: it interprets the *same* logical
-plans (:mod:`repro.algebra.ast`) as the tuple-at-a-time engines
-(:func:`repro.db.engine.evaluate_det`,
-:func:`repro.algebra.evaluator.evaluate_audb`) but executes them
-set-at-a-time over :mod:`repro.exec.batch` columns:
+This module is the columnar *runtime* of the execution stack: it
+interprets the physical plans produced by
+:func:`repro.exec.physical.lower` over :mod:`repro.exec.batch` columns.
+Since PR 4 it makes **no physical decisions of its own** — the join
+algorithm (``HashJoin`` vs ``NLJoin`` vs ``CompressedJoin``), the AU
+tuple-operator fallback boundaries (``TupleFallback`` nodes), and the
+parallel region shape (``ParallelScan``/``Exchange``) all arrive
+pre-chosen in the plan; the per-node ``isinstance``-fallback dispatch of
+PR 3 is gone.
+
+Operator implementations:
 
 * **scans** convert base relations once (cached on the relation);
-* **selection** runs a fused compiled predicate loop
-  (:mod:`repro.exec.compile`) — one generated function per condition,
-  no per-row AST dispatch;
-* **equi-joins** hash-partition by join key and gather matching rows
-  column-wise; the logical optimizer's
-  :func:`~repro.algebra.optimizer.join_strategy_hints` picks hash vs
-  nested-loop per join from the statistics catalog;
-* **aggregation** is a single-pass hash aggregate with inlined
-  accumulators;
-* **top-k** and the bag-order ``LIMIT`` reuse the engines' operators on
-  the materialized batch.
+* **selection/projection** run fused compiled loops
+  (:mod:`repro.exec.compile`) — a ``FusedSelectProject`` filters and
+  gathers survivors in one pass;
+* **hash equi-joins** bucket raw key values exactly like the tuple
+  engine's dict (identity-or-equality lookup), so both join algorithms
+  agree with the tuple engine bit-for-bit; the AU ``HashJoin`` is the
+  certain-key hash + interval nested-loop split;
+* **hash aggregation** is single-pass with inlined accumulators;
+  SUM/AVG fold through :mod:`repro.core.sums`, so floating-point
+  results are bit-identical across backends, plan shapes, and
+  parallelism (``partial`` mode emits mergeable accumulator state for
+  the morsel-parallel :class:`~repro.exec.physical.Exchange`);
+* **top-k / limit / difference** materialize and reuse the engines'
+  exact operators — now as explicit plan nodes rather than hidden
+  delegation.
 
-Results are *identical* to the tuple engines (the differential fuzzer
-cross-checks both backends on both engines), with one caveat: batches
-defer duplicate merging to materialization boundaries, so floating-point
-SUM/AVG aggregates may accumulate in a different order and differ in
-round-off; integer data is bit-exact.
-
-Coverage and fallback: the deterministic executor covers every plan
-node.  The AU executor vectorizes the linear fragment (scan, selection,
-projection, rename, join, cross product, union) and *falls back* to the
-tuple operators node-by-node for everything whose semantics SG-combines
-or re-groups rows — ``Distinct``, ``Difference``, ``Aggregate``, top-k,
-and compressed (``Cpr``) joins — by materializing its inputs and calling
-the exact :mod:`repro.core` implementation, so every query still
-answers with the same bounds.
+Results are *identical* to the tuple interpreters — the differential
+fuzzer cross-checks both backends, both engines, legacy-vs-physical
+lowering, and parallelism 1 vs 4.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from ..algebra.ast import (
-    Aggregate,
-    CrossProduct,
-    Difference,
-    Distinct,
-    Join,
-    Limit,
-    OrderBy,
-    Plan,
-    Projection,
-    Rename,
-    Selection,
-    TableRef,
-    TopK,
-    Union,
-)
 from ..core import operators as ops
 from ..core.aggregation import aggregate as au_aggregate
 from ..core.compression import optimized_join
 from ..core.expressions import Expression, Var
-from ..core.operators import (
-    _extract_equi_pairs,
-    _is_pure_equi_condition,
-    _key_overlaps,
-)
 from ..core.ranges import domain_key
 from ..core.relation import AUDatabase, AURelation
+from ..core.sums import add_exact, finish, new_acc
 from ..db.storage import DetDatabase, DetRelation
+from . import physical as phys
 from .batch import AUColumnBatch, BatchRowView, ColumnBatch
 from .compile import CompileError, compile_filter, compile_projector
 
-__all__ = ["execute_det", "execute_audb"]
+__all__ = ["execute_det", "execute_audb", "PartialAggregate"]
 
 
 def _index_of(schema: Sequence[str]) -> Dict[str, int]:
@@ -81,61 +61,86 @@ def _gather(columns: Sequence, rows: List[int]) -> List:
     return [[col[i] for i in rows] for col in columns]
 
 
+class PartialAggregate:
+    """Mergeable per-morsel aggregation state (parallel plans only).
+
+    ``groups`` maps group-key tuples to accumulator lists in the layout
+    of :meth:`_DetExec._aggregate`; :mod:`repro.exec.parallel` merges
+    the maps exactly and finalizes them through the
+    :class:`~repro.exec.physical.Exchange`'s final operator.
+    """
+
+    __slots__ = ("groups",)
+
+    def __init__(self, groups: Dict[Tuple, List[Any]]) -> None:
+        self.groups = groups
+
+
 # ======================================================================
 # deterministic executor
 # ======================================================================
 def execute_det(
-    plan: Plan,
+    pplan: phys.PhysNode,
     db: DetDatabase,
     actuals: Optional[Dict[int, int]] = None,
-    strategies: Optional[Dict[int, str]] = None,
 ) -> DetRelation:
-    """Evaluate ``plan`` over ``db`` with the vectorized backend.
+    """Interpret the physical plan ``pplan`` over ``db`` vectorized.
 
-    Semantically identical to the tuple interpreter
-    (:func:`repro.db.engine.evaluate_det` with ``optimize=False`` — run
-    the optimizer first).  ``actuals`` collects per-node output
-    cardinalities exactly like the tuple engine; ``strategies`` is the
-    optional ``{id(join): "hash"|"loop"}`` physical-operator choice from
-    :func:`repro.algebra.optimizer.join_strategy_hints`.
+    Semantically identical to the tuple interpreter on the same plan.
+    ``actuals`` collects per-node output cardinalities, keyed by both
+    the physical node id and its logical source ids (for the two
+    ``explain`` renderings).
     """
-    return _DetExec(db, actuals, strategies).run(plan)
+    return _DetExec(db, actuals).run(pplan)
 
 
 class _DetExec:
-    def __init__(self, db, actuals, strategies) -> None:
+    def __init__(self, db, actuals=None, bindings=None, join_tables=None) -> None:
         self.db = db
         self.actuals = actuals
-        self.strategies = strategies or {}
+        #: pre-computed results by node id: partition-invariant subtrees
+        #: of a parallel region, and the per-worker morsel of its
+        #: ParallelScan (see repro.exec.parallel)
+        self.bindings: Dict[int, ColumnBatch] = bindings or {}
+        #: pre-built hash tables by HashJoin node id: a parallel region
+        #: builds each partition-invariant build side once in the parent
+        #: instead of once per morsel
+        self.join_tables: Dict[int, Dict[Any, List[int]]] = join_tables or {}
 
-    def run(self, plan: Plan) -> DetRelation:
-        return self.eval(plan).to_relation()
+    def run(self, pplan: phys.PhysNode) -> DetRelation:
+        return self.eval(pplan).to_relation()
 
-    def eval(self, plan: Plan) -> ColumnBatch:
-        batch = self._node(plan)
-        if self.actuals is not None:
-            self.actuals[id(plan)] = sum(batch.mult)
+    def eval(self, pnode: phys.PhysNode):
+        bound = self.bindings.get(id(pnode))
+        if bound is not None:
+            return bound
+        batch = self._node(pnode)
+        if self.actuals is not None and isinstance(batch, ColumnBatch):
+            n = sum(batch.mult)
+            self.actuals[id(pnode)] = n
+            for src in pnode.sources:
+                self.actuals[id(src)] = n
         return batch
 
     # -- plan dispatch -------------------------------------------------
-    def _node(self, plan: Plan) -> ColumnBatch:
-        if isinstance(plan, TableRef):
-            return ColumnBatch.from_relation(self.db[plan.name])
-        if isinstance(plan, Selection):
-            return self._selection(self.eval(plan.child), plan.condition)
-        if isinstance(plan, Projection):
-            return self._projection(self.eval(plan.child), plan.columns)
-        if isinstance(plan, Join):
-            return self._join(
-                self.eval(plan.left),
-                self.eval(plan.right),
-                plan.condition,
-                self.strategies.get(id(plan)),
-            )
-        if isinstance(plan, CrossProduct):
-            return self._cross(self.eval(plan.left), self.eval(plan.right))
-        if isinstance(plan, Union):
-            left, right = self.eval(plan.left), self.eval(plan.right)
+    def _node(self, p: phys.PhysNode):
+        if isinstance(p, phys.Scan):
+            return ColumnBatch.from_relation(self.db[p.table])
+        if isinstance(p, phys.ParallelScan):
+            # outside an Exchange binding (serial collapse) the morsel
+            # is the whole table
+            return ColumnBatch.from_relation(self.db[p.table])
+        if isinstance(p, phys.FusedSelectProject):
+            return self._select_project(self.eval(p.child), p.condition, p.columns)
+        if isinstance(p, phys.HashJoin):
+            return self._hash_join(p)
+        if isinstance(p, phys.NLJoin):
+            joined = self._cross(self.eval(p.left), self.eval(p.right))
+            if p.condition is not None:
+                joined = self._select_project(joined, p.condition, None)
+            return joined
+        if isinstance(p, phys.Concat):
+            left, right = self.eval(p.left), self.eval(p.right)
             if len(left.schema) != len(right.schema):
                 raise ValueError("union requires union-compatible schemas")
             return ColumnBatch(
@@ -143,122 +148,116 @@ class _DetExec:
                 [list(lc) + list(rc) for lc, rc in zip(left.columns, right.columns)],
                 list(left.mult) + list(right.mult),
             )
-        if isinstance(plan, Difference):
-            return self._difference(self.eval(plan.left), self.eval(plan.right))
-        if isinstance(plan, Distinct):
-            batch = self.eval(plan.child)
-            seen = dict.fromkeys(zip(*batch.columns)) if batch.columns else {}
-            rows = list(seen)
-            return ColumnBatch(
-                batch.schema,
-                [list(col) for col in zip(*rows)]
-                if rows
-                else [[] for _ in batch.schema],
-                [1] * len(rows) if batch.columns else [1] * min(1, len(batch)),
-            )
-        if isinstance(plan, Aggregate):
+        if isinstance(p, phys.HashDistinct):
+            return _dedup_batch(self.eval(p.child))
+        if isinstance(p, phys.HashAggregate):
             result = self._aggregate(
-                self.eval(plan.child), plan.group_by, plan.aggregates
+                self.eval(p.child), p.group_by, p.aggregates, p.partial
             )
-            if plan.having is not None:
-                result = self._selection(result, plan.having)
+            if not p.partial and p.having is not None:
+                result = self._select_project(result, p.having, None)
             return result
-        if isinstance(plan, Rename):
-            batch = self.eval(plan.child)
-            mapping = plan.mapping_dict()
+        if isinstance(p, phys.Rename):
+            batch = self.eval(p.child)
             return ColumnBatch(
-                [mapping.get(a, a) for a in batch.schema],
+                [p.mapping.get(a, a) for a in batch.schema],
                 batch.columns,
                 batch.mult,
             )
-        if isinstance(plan, OrderBy):
-            return self.eval(plan.child)  # bags are unordered
-        if isinstance(plan, TopK):
-            return self._topk(
-                self.eval(plan.child), plan.keys, plan.descending, plan.n
+        if isinstance(p, phys.TopK):
+            from ..db.engine import _topk
+
+            return ColumnBatch.from_relation(
+                _topk(self.eval(p.child).to_relation(), p.keys, p.descending, p.n)
             )
-        if isinstance(plan, Limit):
-            child = plan.child
-            if isinstance(child, OrderBy):
-                return self._topk(
-                    self.eval(child.child), child.keys, child.descending, plan.n
-                )
+        if isinstance(p, phys.Limit):
             from ..db.engine import _limit
 
             return ColumnBatch.from_relation(
-                _limit(self.eval(child).to_relation(), plan.n)
+                _limit(self.eval(p.child).to_relation(), p.n)
             )
-        raise TypeError(f"unsupported plan node {type(plan).__name__}")
+        if isinstance(p, phys.TupleFallback):
+            if p.kind == "difference":
+                from ..db.engine import _difference
+
+                return ColumnBatch.from_relation(
+                    _difference(
+                        self.eval(p.inputs[0]).to_relation(),
+                        self.eval(p.inputs[1]).to_relation(),
+                    )
+                )
+            raise TypeError(f"unsupported det fallback {p.kind!r}")
+        if isinstance(p, phys.Exchange):
+            from .parallel import execute_exchange
+
+            return execute_exchange(self, p)
+        raise TypeError(f"unsupported physical node {type(p).__name__}")
 
     # -- operators -----------------------------------------------------
-    def _selection(self, batch: ColumnBatch, condition: Expression) -> ColumnBatch:
+    def _select_project(
+        self,
+        batch: ColumnBatch,
+        condition: Optional[Expression],
+        columns: Optional[Tuple[Tuple[Expression, str], ...]],
+    ) -> ColumnBatch:
         n = len(batch)
-        try:
-            keep = compile_filter(condition, batch.schema)(batch.columns, n)
-        except CompileError:
-            view = batch.row_view()
-            keep = []
-            for i in range(n):
-                view.i = i
-                if bool(condition.eval(view)):
-                    keep.append(i)
-        if len(keep) == n:
-            return batch
-        return ColumnBatch(
-            batch.schema,
-            _gather(batch.columns, keep),
-            [batch.mult[i] for i in keep],
-        )
+        keep: Optional[List[int]] = None
+        if condition is not None:
+            try:
+                keep = compile_filter(condition, batch.schema)(batch.columns, n)
+            except CompileError:
+                view = batch.row_view()
+                keep = []
+                for i in range(n):
+                    view.i = i
+                    if bool(condition.eval(view)):
+                        keep.append(i)
+            if len(keep) == n:
+                keep = None
 
-    def _projection(self, batch: ColumnBatch, columns) -> ColumnBatch:
-        n = len(batch)
+        if columns is None:
+            if keep is None:
+                return batch
+            return ColumnBatch(
+                batch.schema,
+                _gather(batch.columns, keep),
+                [batch.mult[i] for i in keep],
+            )
+
+        # gather survivors once, then project over the narrowed batch
+        if keep is None:
+            base_cols, mult, rows = batch.columns, batch.mult, n
+        else:
+            base_cols = _gather(batch.columns, keep)
+            mult = [batch.mult[i] for i in keep]
+            rows = len(keep)
         index = _index_of(batch.schema)
         out_cols: List = []
         for expr, _name in columns:
             if isinstance(expr, Var) and expr.name in index:
-                out_cols.append(batch.columns[index[expr.name]])
+                out_cols.append(base_cols[index[expr.name]])
                 continue
             try:
-                out_cols.append(compile_projector(expr, batch.schema)(batch.columns, n))
+                out_cols.append(
+                    compile_projector(expr, batch.schema)(base_cols, rows)
+                )
             except CompileError:
-                view = batch.row_view()
+                view = BatchRowView(index, base_cols)
                 col = []
-                for i in range(n):
+                for i in range(rows):
                     view.i = i
                     col.append(expr.eval(view))
                 out_cols.append(col)
-        return ColumnBatch([name for _, name in columns], out_cols, batch.mult)
+        return ColumnBatch([name for _, name in columns], out_cols, mult)
 
-    def _join(
-        self,
-        left: ColumnBatch,
-        right: ColumnBatch,
-        condition: Expression,
-        strategy: Optional[str],
-    ) -> ColumnBatch:
-        from ..db.engine import _equi_pairs
+    def _hash_join(self, p: phys.HashJoin) -> ColumnBatch:
+        left, right = self.eval(p.left), self.eval(p.right)
+        l_index = _index_of(left.schema)
+        l_cols = [left.columns[l_index[a]] for a, _ in p.eq_pairs]
 
-        eq_pairs = _equi_pairs(condition, left.schema, right.schema)
-        if not eq_pairs or strategy == "loop":
-            return self._selection(self._cross(left, right), condition)
-
-        l_index, r_index = _index_of(left.schema), _index_of(right.schema)
-        l_cols = [left.columns[l_index[a]] for a, _ in eq_pairs]
-        r_cols = [right.columns[r_index[b]] for _, b in eq_pairs]
-
-        # bucket raw key values exactly like the tuple engine's dict:
-        # Python's identity-or-equality lookup means a bucket match
-        # implies the Eq conjuncts hold under domain_key comparison
-        # (including the same-NaN-object identity case), so hash and
-        # nested-loop strategies agree with the tuple engine bit-for-bit
-        table: Dict[Any, List[int]] = {}
-        if len(r_cols) == 1:
-            col = r_cols[0]
-            for j in range(len(right)):
-                table.setdefault(col[j], []).append(j)
-        else:
-            for j in range(len(right)):
-                table.setdefault(tuple(c[j] for c in r_cols), []).append(j)
+        table = self.join_tables.get(id(p))
+        if table is None:
+            table = build_join_table(right, [b for _, b in p.eq_pairs])
 
         li: List[int] = []
         ri: List[int] = []
@@ -281,14 +280,14 @@ class _DetExec:
             _gather(left.columns, li) + _gather(right.columns, ri),
             [lm[i] * rm[j] for i, j in zip(li, ri)],
         )
-        if _is_pure_equi_condition(condition, len(eq_pairs)):
+        if p.pure_equi:
             # for scalar cell values (numbers/strings/bools/None — the
             # modeled domain of domain_key) a dict bucket match implies
             # every Eq conjunct evaluates true, so re-checking is skipped
             return joined
         # residual conjuncts (the tuple engine evaluates the full
         # condition on every hash match)
-        return self._selection(joined, condition)
+        return self._select_project(joined, p.condition, None)
 
     def _cross(self, left: ColumnBatch, right: ColumnBatch) -> ColumnBatch:
         nl, nr = len(left), len(right)
@@ -301,16 +300,9 @@ class _DetExec:
             [lm[i] * rm[j] for i, j in zip(li, ri)],
         )
 
-    def _difference(self, left: ColumnBatch, right: ColumnBatch) -> ColumnBatch:
-        from ..db.engine import _difference
-
-        return ColumnBatch.from_relation(
-            _difference(left.to_relation(), right.to_relation())
-        )
-
     def _aggregate(
-        self, batch: ColumnBatch, group_by, aggregates
-    ) -> ColumnBatch:
+        self, batch: ColumnBatch, group_by, aggregates, partial: bool
+    ):
         n = len(batch)
         index = _index_of(batch.schema)
         group_cols = [batch.columns[index[a]] for a in group_by]
@@ -336,7 +328,7 @@ class _DetExec:
                         col.append(spec.expr.eval(view))
                     inputs.append(col)
 
-        if n == 0 and not group_by:
+        if n == 0 and not group_by and not partial:
             from ..db.engine import _empty_value
 
             return ColumnBatch(
@@ -346,8 +338,8 @@ class _DetExec:
             )
 
         # single-pass hash aggregation; accumulator per (group, spec):
-        # count/sum -> running total, min/max -> (best_key, value),
-        # avg -> [weighted_sum, weight]
+        # count -> running int, sum -> exact accumulator (core.sums),
+        # avg -> [exact accumulator, weight], min/max -> (domain key, v)
         groups: Dict[Tuple, List[Any]] = {}
         kinds = [spec.kind for spec in aggregates]
         if group_cols:
@@ -363,9 +355,13 @@ class _DetExec:
                     if kind == "count":
                         accs.append(m)
                     elif kind == "sum":
-                        accs.append(col[i] * m)
+                        acc = new_acc()
+                        add_exact(acc, col[i] * m)
+                        accs.append(acc)
                     elif kind == "avg":
-                        accs.append([col[i] * m, m])
+                        acc = new_acc()
+                        add_exact(acc, col[i] * m)
+                        accs.append([acc, m])
                     else:  # min / max keep (domain key, value)
                         v = col[i]
                         accs.append((domain_key(v), v))
@@ -375,10 +371,10 @@ class _DetExec:
                 if kind == "count":
                     accs[a] += m
                 elif kind == "sum":
-                    accs[a] += col[i] * m
+                    add_exact(accs[a], col[i] * m)
                 elif kind == "avg":
                     acc = accs[a]
-                    acc[0] += col[i] * m
+                    add_exact(acc[0], col[i] * m)
                     acc[1] += m
                 elif kind == "min":
                     v = col[i]
@@ -391,52 +387,84 @@ class _DetExec:
                     if k > accs[a][0]:
                         accs[a] = (k, v)
 
-        out_schema = list(group_by) + [spec.name for spec in aggregates]
-        n_groups = len(groups)
-        out_cols: List[List[Any]] = [[] for _ in out_schema]
-        for key, accs in groups.items():
-            for g, v in enumerate(key):
-                out_cols[g].append(v)
-            base = len(group_by)
-            for a, kind in enumerate(kinds):
-                acc = accs[a]
-                if kind in ("count", "sum"):
-                    value = acc
-                elif kind == "avg":
-                    value = acc[0] / acc[1]
-                else:
-                    value = acc[1]
-                out_cols[base + a].append(value)
-        return ColumnBatch(out_schema, out_cols, [1] * n_groups)
+        if partial:
+            return PartialAggregate(groups)
+        return finalize_groups(groups, group_by, aggregates)
 
-    def _topk(self, batch: ColumnBatch, keys, descending, n) -> ColumnBatch:
-        from ..db.engine import _topk
 
-        return ColumnBatch.from_relation(
-            _topk(batch.to_relation(), keys, descending, n)
-        )
+def build_join_table(
+    right: ColumnBatch, key_attrs: Sequence[str]
+) -> Dict[Any, List[int]]:
+    """Bucket the build side's raw key values, exactly like the tuple
+    engine's dict: Python's identity-or-equality lookup means a bucket
+    match implies the Eq conjuncts hold under domain_key comparison
+    (including the same-NaN-object identity case), so hash and
+    nested-loop plans agree with the tuple engine bit-for-bit."""
+    r_index = _index_of(right.schema)
+    r_cols = [right.columns[r_index[b]] for b in key_attrs]
+    table: Dict[Any, List[int]] = {}
+    if len(r_cols) == 1:
+        col = r_cols[0]
+        for j in range(len(right)):
+            table.setdefault(col[j], []).append(j)
+    else:
+        for j in range(len(right)):
+            table.setdefault(tuple(c[j] for c in r_cols), []).append(j)
+    return table
+
+
+def finalize_groups(
+    groups: Dict[Tuple, List[Any]], group_by, aggregates
+) -> ColumnBatch:
+    """Turn (possibly merged) accumulator state into an output batch."""
+    out_schema = list(group_by) + [spec.name for spec in aggregates]
+    kinds = [spec.kind for spec in aggregates]
+    n_groups = len(groups)
+    out_cols: List[List[Any]] = [[] for _ in out_schema]
+    for key, accs in groups.items():
+        for g, v in enumerate(key):
+            out_cols[g].append(v)
+        base = len(group_by)
+        for a, kind in enumerate(kinds):
+            acc = accs[a]
+            if kind == "count":
+                value = acc
+            elif kind == "sum":
+                value = finish(acc)
+            elif kind == "avg":
+                value = finish(acc[0]) / acc[1]
+            else:
+                value = acc[1]
+            out_cols[base + a].append(value)
+    return ColumnBatch(out_schema, out_cols, [1] * n_groups)
+
+
+def _dedup_batch(batch: ColumnBatch) -> ColumnBatch:
+    seen = dict.fromkeys(zip(*batch.columns)) if batch.columns else {}
+    rows = list(seen)
+    return ColumnBatch(
+        batch.schema,
+        [list(col) for col in zip(*rows)] if rows else [[] for _ in batch.schema],
+        [1] * len(rows) if batch.columns else [1] * min(1, len(batch)),
+    )
 
 
 # ======================================================================
 # AU executor
 # ======================================================================
 def execute_audb(
-    plan: Plan,
+    pplan: phys.PhysNode,
     db: AUDatabase,
-    config,
-    hints: Optional[Dict[int, Optional[int]]] = None,
     actuals: Optional[Dict[int, int]] = None,
 ) -> AURelation:
-    """Evaluate ``plan`` over the AU-database ``db`` vectorized.
+    """Interpret the physical plan ``pplan`` over the AU-database ``db``.
 
-    Produces exactly the relation of the tuple interpreter
-    (:func:`repro.algebra.evaluator.evaluate_audb` with
-    ``optimize=False`` — run the optimizer first); ``config`` is the
-    same :class:`~repro.algebra.evaluator.EvalConfig`, ``hints`` the
-    adaptive compression-budget placement.  Non-linear operators fall
-    back to the exact tuple implementations (see module docstring).
+    Produces exactly the relation of the tuple interpreter on the same
+    plan; ``TupleFallback``/``CompressedJoin`` nodes materialize their
+    inputs and call the exact :mod:`repro.core` implementations — the
+    boundary was chosen by the planner, not here.
     """
-    return _AUExec(db, config, hints or {}, actuals).run(plan)
+    return _AUExec(db, actuals).run(pplan)
 
 
 class _PairView:
@@ -469,114 +497,108 @@ class _PairView:
 
 
 class _AUExec:
-    def __init__(self, db, config, hints, actuals) -> None:
+    def __init__(self, db, actuals=None) -> None:
         self.db = db
-        self.config = config
-        self.hints = hints
         self.actuals = actuals
 
-    def run(self, plan: Plan):
-        return self.eval(plan).to_relation()
+    def run(self, pplan: phys.PhysNode):
+        return self.eval(pplan).to_relation()
 
-    def eval(self, plan: Plan) -> AUColumnBatch:
-        batch = self._node(plan)
+    def eval(self, pnode: phys.PhysNode) -> AUColumnBatch:
+        batch = self._node(pnode)
         if self.actuals is not None:
             # the tuple engine records distinct AU-tuples per node
             if batch.columns:
-                self.actuals[id(plan)] = len(set(zip(*batch.columns)))
+                n = len(set(zip(*batch.columns)))
             else:
-                self.actuals[id(plan)] = min(1, len(batch))
+                n = min(1, len(batch))
+            self.actuals[id(pnode)] = n
+            for src in pnode.sources:
+                self.actuals[id(src)] = n
         return batch
 
-    def _materialize(self, plan: Plan):
-        return self.eval(plan).to_relation()
+    def _materialize(self, pnode: phys.PhysNode):
+        return self.eval(pnode).to_relation()
 
     # -- plan dispatch -------------------------------------------------
-    def _node(self, plan: Plan) -> AUColumnBatch:
-        if isinstance(plan, TableRef):
-            return AUColumnBatch.from_relation(self.db[plan.name])
-        if isinstance(plan, Selection):
-            return self._selection(self.eval(plan.child), plan.condition)
-        if isinstance(plan, Projection):
-            return self._projection(self.eval(plan.child), plan.columns)
-        if isinstance(plan, Join):
-            return self._join(plan)
-        if isinstance(plan, CrossProduct):
-            left, right = self.eval(plan.left), self.eval(plan.right)
-            overlap = set(left.schema) & set(right.schema)
-            if overlap:
-                raise ValueError(
-                    f"cross product with overlapping attributes "
-                    f"{sorted(overlap)}; rename first"
+    def _node(self, p: phys.PhysNode) -> AUColumnBatch:
+        if isinstance(p, phys.Scan):
+            return AUColumnBatch.from_relation(self.db[p.table])
+        if isinstance(p, phys.FusedSelectProject):
+            batch = self.eval(p.child)
+            if p.condition is not None:
+                batch = self._selection(batch, p.condition)
+            if p.columns is not None:
+                batch = self._projection(batch, p.columns)
+            return batch
+        if isinstance(p, phys.HashJoin):
+            return self._hash_join(p)
+        if isinstance(p, phys.NLJoin):
+            return self._nl_join(p)
+        if isinstance(p, phys.CompressedJoin):
+            return AUColumnBatch.from_relation(
+                optimized_join(
+                    self._materialize(p.left),
+                    self._materialize(p.right),
+                    p.condition,
+                    p.pair[0],
+                    p.pair[1],
+                    p.buckets,
                 )
-            return self._cross(left, right)
-        if isinstance(plan, Union):
-            left, right = self.eval(plan.left), self.eval(plan.right)
+            )
+        if isinstance(p, phys.Concat):
+            left, right = self.eval(p.left), self.eval(p.right)
             if len(left.schema) != len(right.schema):
                 raise ValueError("union requires union-compatible schemas")
             return AUColumnBatch(
                 left.schema,
-                [lc + list(rc) for lc, rc in zip(left.columns, right.columns)],
+                [list(lc) + list(rc) for lc, rc in zip(left.columns, right.columns)],
                 list(left.ann_lb) + list(right.ann_lb),
                 list(left.ann_sg) + list(right.ann_sg),
                 list(left.ann_ub) + list(right.ann_ub),
             )
-        if isinstance(plan, Rename):
-            batch = self.eval(plan.child)
-            mapping = plan.mapping_dict()
+        if isinstance(p, phys.Rename):
+            batch = self.eval(p.child)
             return AUColumnBatch(
-                [mapping.get(a, a) for a in batch.schema],
+                [p.mapping.get(a, a) for a in batch.schema],
                 batch.columns,
                 batch.ann_lb,
                 batch.ann_sg,
                 batch.ann_ub,
             )
-        # ---- tuple-operator fallbacks (non-linear semantics) ----------
-        if isinstance(plan, Difference):
-            return AUColumnBatch.from_relation(
-                ops.difference(
-                    self._materialize(plan.left), self._materialize(plan.right)
-                )
+        if isinstance(p, phys.TupleFallback):
+            return self._fallback(p)
+        raise TypeError(f"unsupported physical node {type(p).__name__}")
+
+    def _fallback(self, p: phys.TupleFallback) -> AUColumnBatch:
+        """SG-combining semantics: the planner routed this node to the
+        exact tuple operators over materialized inputs."""
+        node = p.logical
+        if p.kind == "difference":
+            result = ops.difference(
+                self._materialize(p.inputs[0]), self._materialize(p.inputs[1])
             )
-        if isinstance(plan, Distinct):
-            return AUColumnBatch.from_relation(
-                ops.distinct(self._materialize(plan.child))
-            )
-        if isinstance(plan, Aggregate):
+        elif p.kind == "distinct":
+            result = ops.distinct(self._materialize(p.inputs[0]))
+        elif p.kind == "aggregate":
             result = au_aggregate(
-                self._materialize(plan.child),
-                list(plan.group_by),
-                list(plan.aggregates),
-                compress_buckets=self.config.aggregation_buckets,
+                self._materialize(p.inputs[0]),
+                list(node.group_by),
+                list(node.aggregates),
+                compress_buckets=p.buckets,
             )
-            if plan.having is not None:
-                result = ops.selection(result, plan.having)
-            return AUColumnBatch.from_relation(result)
-        if isinstance(plan, OrderBy):
-            return self.eval(plan.child)
-        if isinstance(plan, TopK):
-            return AUColumnBatch.from_relation(
-                ops.au_topk(
-                    self._materialize(plan.child),
-                    plan.keys,
-                    plan.descending,
-                    plan.n,
-                )
+            if node.having is not None:
+                result = ops.selection(result, node.having)
+        elif p.kind == "topk":
+            result = ops.au_topk(
+                self._materialize(p.inputs[0]),
+                node.keys,
+                node.descending,
+                node.n,
             )
-        if isinstance(plan, Limit):
-            child = plan.child
-            if isinstance(child, OrderBy):
-                return AUColumnBatch.from_relation(
-                    ops.au_topk(
-                        self._materialize(child.child),
-                        child.keys,
-                        child.descending,
-                        plan.n,
-                    )
-                )
-            # bare LIMIT over unordered uncertain data stays the identity
-            return self.eval(child)
-        raise TypeError(f"unsupported plan node {type(plan).__name__}")
+        else:
+            raise TypeError(f"unsupported AU fallback {p.kind!r}")
+        return AUColumnBatch.from_relation(result)
 
     # -- operators -----------------------------------------------------
     def _selection(self, batch: AUColumnBatch, condition: Expression) -> AUColumnBatch:
@@ -626,61 +648,27 @@ class _AUExec:
             batch.ann_ub,
         )
 
-    def _cross(self, left: AUColumnBatch, right: AUColumnBatch) -> AUColumnBatch:
-        nl, nr = len(left), len(right)
-        li = [i for i in range(nl) for _ in range(nr)]
-        ri = list(range(nr)) * nl
-        return self._emit_pairs(left, right, li, ri, None)
-
-    def _join(self, plan: Join) -> AUColumnBatch:
-        condition = plan.condition
-        buckets = self.hints.get(id(plan), self.config.join_buckets)
-        if buckets is not None:
-            left_rel = self._materialize(plan.left)
-            right_rel = self._materialize(plan.right)
-            pairs = _extract_equi_pairs(
-                condition, left_rel.schema, right_rel.schema
-            )
-            if pairs:
-                return AUColumnBatch.from_relation(
-                    optimized_join(
-                        left_rel,
-                        right_rel,
-                        condition,
-                        pairs[0][0],
-                        pairs[0][1],
-                        buckets,
-                    )
-                )
-            return AUColumnBatch.from_relation(
-                ops.join(
-                    left_rel,
-                    right_rel,
-                    condition,
-                    allow_certain_hash=self.config.hash_join,
-                )
-            )
-
-        left, right = self.eval(plan.left), self.eval(plan.right)
-        eq_pairs = _extract_equi_pairs(condition, left.schema, right.schema)
-        if not eq_pairs:
+    def _nl_join(self, p: phys.NLJoin) -> AUColumnBatch:
+        left, right = self.eval(p.left), self.eval(p.right)
+        if p.check_overlap:
             overlap = set(left.schema) & set(right.schema)
             if overlap:
                 raise ValueError(
                     f"cross product with overlapping attributes "
                     f"{sorted(overlap)}; rename first"
                 )
-        if not eq_pairs or not getattr(self.config, "hash_join", True):
-            # pure interval-overlap nested loop (exact naive semantics)
-            nl, nr = len(left), len(right)
-            li = [i for i in range(nl) for _ in range(nr)]
-            ri = list(range(nr)) * nl
-            return self._emit_pairs(left, right, li, ri, condition)
+        nl, nr = len(left), len(right)
+        li = [i for i in range(nl) for _ in range(nr)]
+        ri = list(range(nr)) * nl
+        return self._emit_pairs(left, right, li, ri, p.condition)
 
+    def _hash_join(self, p: phys.HashJoin) -> AUColumnBatch:
+        left, right = self.eval(p.left), self.eval(p.right)
+        condition = p.condition
         l_index, r_index = _index_of(left.schema), _index_of(right.schema)
-        l_key_cols = [left.columns[l_index[a]] for a, _ in eq_pairs]
-        r_key_cols = [right.columns[r_index[b]] for _, b in eq_pairs]
-        pure_equi = _is_pure_equi_condition(condition, len(eq_pairs))
+        l_key_cols = [left.columns[l_index[a]] for a, _ in p.eq_pairs]
+        r_key_cols = [right.columns[r_index[b]] for _, b in p.eq_pairs]
+        pure_equi = p.pure_equi
 
         # partition the right side: rows with fully certain join keys go
         # into the hash table (keyed by SG values); the rest interval-match
@@ -717,11 +705,11 @@ class _AUExec:
             else:
                 # uncertain left key: may match any certain right tuple
                 for j in certain_right_rows:
-                    if _key_overlaps(keyvals, [c[j] for c in r_key_cols]):
+                    if ops._key_overlaps(keyvals, [c[j] for c in r_key_cols]):
                         theta_li.append(i)
                         theta_ri.append(j)
             for j in uncertain_right:
-                if _key_overlaps(keyvals, [c[j] for c in r_key_cols]):
+                if ops._key_overlaps(keyvals, [c[j] for c in r_key_cols]):
                     theta_li.append(i)
                     theta_ri.append(j)
 

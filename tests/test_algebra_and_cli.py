@@ -126,9 +126,31 @@ class TestCli:
         code = main(["--explain", "SELECT locale FROM locales WHERE rate > 5"])
         assert code == 0
         out = capsys.readouterr().out
-        assert "-- plan --" in out
+        assert "-- logical plan --" in out
         assert "Table locales" in out
         assert "rows" in out
+        # the lowered physical plan is printed too, with actual rows
+        assert "-- physical plan (Det, backend=tuple) --" in out
+        assert "Scan locales" in out
+        assert "actual" in out
+
+    def test_explain_vectorized_parallel(self, capsys):
+        from repro.__main__ import main
+
+        code = main(
+            [
+                "--explain",
+                "--backend=vectorized",
+                "--parallelism",
+                "4",
+                "SELECT size, count(*) AS n FROM locales GROUP BY size",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Exchange merge=aggregate [4 partitions]" in out
+        assert "HashAggregate" in out and "(partial)" in out
+        assert "ParallelScan locales [4 morsels]" in out
 
     def test_no_optimize_flag_matches_optimized_results(self, capsys):
         from repro.__main__ import main

@@ -1,0 +1,468 @@
+"""The physical plan layer: lowering choices, golden explains, parallelism.
+
+Covers what the differential fuzzer's random plans check only
+statistically:
+
+* cost-based lowering picks the intended algorithms (hash vs nested
+  loop from the catalog, ``Cpr`` with resolved budgets, AU
+  ``TupleFallback`` boundaries);
+* golden ``explain_physical`` snapshots so plan-shape changes are
+  diff-reviewable;
+* morsel partitioning and every Exchange merge kind (concat, partial
+  aggregate, top-k, limit, distinct) — in-process and through the
+  forked worker pool;
+* order-independent exact summation (:mod:`repro.core.sums`) — the
+  PR 3 float round-off carve-out is gone.
+"""
+
+import math
+
+import pytest
+
+from repro.algebra.ast import (
+    Aggregate,
+    Difference,
+    Distinct,
+    Join,
+    Limit,
+    OrderBy,
+    Projection,
+    Selection,
+    TableRef,
+)
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.algebra.optimizer import Statistics, optimize
+from repro.core.aggregation import agg_avg, agg_count, agg_max, agg_min, agg_sum
+from repro.core.expressions import Const, Eq, Gt, Var
+from repro.core.ranges import between
+from repro.core.relation import AUDatabase, AURelation
+from repro.core.sums import add_exact, exact_sum, finish, merge_acc, new_acc
+from repro.db.engine import evaluate_det
+from repro.db.storage import DetDatabase, DetRelation
+from repro.exec import PhysicalConfig, explain_physical, lower
+from repro.exec import parallel as exec_parallel
+from repro.exec import physical as phys
+from repro.exec.batch import ColumnBatch
+
+
+# ----------------------------------------------------------------------
+# lowering choices
+# ----------------------------------------------------------------------
+class TestLoweringChoices:
+    def test_tiny_inputs_pick_the_nested_loop(self):
+        small = DetRelation(["a"], [(i,) for i in range(3)])
+        big = DetRelation(["b"], [(i,) for i in range(500)])
+        db = DetDatabase({"small": small, "big": big})
+        stats = Statistics.from_database(db)
+        cfg = PhysicalConfig(engine="det", backend="tuple")
+        tiny = Join(
+            TableRef("small"),
+            TableRef("small"),
+            Eq(Var("a"), Var("a")),
+        )
+        assert isinstance(lower(tiny, stats, cfg), phys.NLJoin)
+        large = Join(TableRef("small"), TableRef("big"), Eq(Var("a"), Var("b")))
+        lowered = lower(large, stats, cfg)
+        assert isinstance(lowered, phys.HashJoin)
+        assert lowered.eq_pairs == (("a", "b"),)
+        assert lowered.pure_equi
+
+    def test_residual_condition_flagged_at_plan_time(self):
+        big = DetRelation(["a", "b"], [(i, i) for i in range(50)])
+        db = DetDatabase({"r": big, "s": DetRelation(["c"], [(i,) for i in range(50)])})
+        stats = Statistics.from_database(db)
+        plan = Join(
+            TableRef("r"),
+            TableRef("s"),
+            Eq(Var("a"), Var("c")) & Gt(Var("b"), Const(3)),
+        )
+        lowered = lower(plan, stats, PhysicalConfig(engine="det"))
+        assert isinstance(lowered, phys.HashJoin)
+        assert not lowered.pure_equi
+
+    def test_au_fallback_boundaries_and_buckets(self):
+        rel = AURelation(["a", "b"])
+        for i in range(20):
+            rel.add([i, between(i, i + 1, i + 2)], (1, 1, 1))
+        db = AUDatabase({"r": rel})
+        stats = Statistics.from_database(db)
+        cfg = PhysicalConfig(
+            engine="au", backend="vectorized", aggregation_buckets=16
+        )
+        agg = lower(
+            Aggregate(TableRef("r"), ["a"], [agg_sum("b", "t")]), stats, cfg
+        )
+        assert isinstance(agg, phys.TupleFallback)
+        assert agg.kind == "aggregate" and agg.buckets == 16
+        dis = lower(Distinct(TableRef("r")), stats, cfg)
+        assert isinstance(dis, phys.TupleFallback) and dis.kind == "distinct"
+        diff = lower(Difference(TableRef("r"), TableRef("r")), stats, cfg)
+        assert isinstance(diff, phys.TupleFallback) and diff.kind == "difference"
+        topk = lower(
+            Limit(OrderBy(TableRef("r"), ["a"], False), 3), stats, cfg
+        )
+        assert isinstance(topk, phys.TupleFallback) and topk.kind == "topk"
+        # bare LIMIT under AU lowers to the identity (sound superset)
+        bare = lower(Limit(TableRef("r"), 3), stats, cfg)
+        assert isinstance(bare, phys.Scan)
+
+    def test_au_compressed_join_gets_resolved_budget(self):
+        r = AURelation(["a"])
+        s = AURelation(["c"])
+        for i in range(30):
+            r.add([i], (1, 1, 1))
+            s.add([i], (1, 1, 1))
+        db = AUDatabase({"r": r, "s": s})
+        stats = Statistics.from_database(db)
+        plan = Join(TableRef("r"), TableRef("s"), Eq(Var("a"), Var("c")))
+        lowered = lower(
+            plan,
+            stats,
+            PhysicalConfig(engine="au", join_buckets=8),
+        )
+        assert isinstance(lowered, phys.CompressedJoin)
+        assert lowered.buckets == 8 and lowered.pair == ("a", "c")
+        # adaptive placement: inputs fit the budget -> naive (hash) join
+        adaptive = lower(
+            plan,
+            stats,
+            PhysicalConfig(
+                engine="au", join_buckets=64, adaptive_compression=True
+            ),
+        )
+        assert isinstance(adaptive, phys.HashJoin)
+
+    def test_hash_join_disabled_lowers_to_nested_loop(self):
+        r = AURelation(["a"])
+        s = AURelation(["c"])
+        for i in range(30):
+            r.add([i], (1, 1, 1))
+            s.add([i], (1, 1, 1))
+        db = AUDatabase({"r": r, "s": s})
+        stats = Statistics.from_database(db)
+        plan = Join(TableRef("r"), TableRef("s"), Eq(Var("a"), Var("c")))
+        lowered = lower(
+            plan, stats, PhysicalConfig(engine="au", hash_join=False)
+        )
+        assert isinstance(lowered, phys.NLJoin)
+        assert not lowered.check_overlap
+
+    def test_unknown_logical_node_rejected(self):
+        from repro.algebra.ast import Plan
+
+        class Strange(Plan):
+            pass
+
+        with pytest.raises(TypeError):
+            lower(Strange(), None, PhysicalConfig())
+
+
+# ----------------------------------------------------------------------
+# golden explain-physical snapshots
+# ----------------------------------------------------------------------
+@pytest.fixture
+def tpch_like_db():
+    orders = DetRelation(["o_id", "o_cust"], [(i, i % 7) for i in range(50)])
+    lineitem = DetRelation(
+        ["l_oid", "l_qty"], [(i % 50, i % 9) for i in range(200)]
+    )
+    return DetDatabase({"orders": orders, "lineitem": lineitem})
+
+
+def _join_agg_plan():
+    return Aggregate(
+        Selection(
+            Join(
+                TableRef("orders"),
+                TableRef("lineitem"),
+                Eq(Var("o_id"), Var("l_oid")),
+            ),
+            Gt(Var("l_qty"), Const(2)),
+        ),
+        ["o_cust"],
+        [agg_sum("l_qty", "qty"), agg_count("n")],
+    )
+
+
+class TestGoldenExplains:
+    def test_det_serial_plan(self, tpch_like_db):
+        stats = Statistics.from_database(tpch_like_db)
+        opt = optimize(_join_agg_plan(), stats)
+        rendered = explain_physical(
+            lower(opt, stats, PhysicalConfig(engine="det", backend="vectorized"))
+        )
+        assert rendered == (
+            "HashAggregate γ[o_cust; sum(l_qty)→qty, count(None)→n]  (~7 rows)\n"
+            "  FusedSelectProject π[o_cust, l_qty]  (~154 rows)\n"
+            "    HashJoin ⋈[o_id=l_oid]  (~154 rows)\n"
+            "      Scan orders  (~50 rows)\n"
+            "      FusedSelectProject σ[(l_qty > 2)]  (~154 rows)\n"
+            "        Scan lineitem  (~200 rows)"
+        )
+
+    def test_det_parallel_plan(self, tpch_like_db):
+        stats = Statistics.from_database(tpch_like_db)
+        opt = optimize(_join_agg_plan(), stats)
+        rendered = explain_physical(
+            lower(
+                opt,
+                stats,
+                PhysicalConfig(
+                    engine="det", backend="vectorized", parallelism=4
+                ),
+            )
+        )
+        assert rendered == (
+            "Exchange merge=aggregate [4 partitions]  (~7 rows)\n"
+            "  HashAggregate γ[o_cust; sum(l_qty)→qty, count(None)→n]"
+            " (partial)  (~7 rows)\n"
+            "    FusedSelectProject π[o_cust, l_qty]  (~154 rows)\n"
+            "      HashJoin ⋈[o_id=l_oid]  (~154 rows)\n"
+            "        ParallelScan orders [4 morsels]  (~50 rows)\n"
+            "        FusedSelectProject σ[(l_qty > 2)]  (~154 rows)\n"
+            "          Scan lineitem  (~200 rows)"
+        )
+
+    def test_au_compressed_plan(self):
+        r = AURelation(["a", "b"])
+        for i in range(30):
+            r.add([i, between(i, i + 1, i + 2)], (1, 1, 1))
+        s = AURelation(["c", "d"])
+        for i in range(30):
+            s.add([i % 10, i], (1, 1, 1))
+        audb = AUDatabase({"r": r, "s": s})
+        stats = Statistics.from_database(audb)
+        plan = Aggregate(
+            Join(TableRef("r"), TableRef("s"), Eq(Var("a"), Var("c"))),
+            ["d"],
+            [agg_sum("b", "t")],
+        )
+        opt = optimize(plan, stats)
+        rendered = explain_physical(
+            lower(
+                opt,
+                stats,
+                PhysicalConfig(
+                    engine="au",
+                    backend="vectorized",
+                    join_buckets=8,
+                    aggregation_buckets=16,
+                ),
+            )
+        )
+        assert rendered == (
+            "TupleFallback[aggregate] (exact tuple operator, CT=16)  (~30 rows)\n"
+            "  FusedSelectProject π[b, d]  (~30 rows)\n"
+            "    CompressedJoin ⋈[a=c] Cpr[CT=8]  (~30 rows)\n"
+            "      Scan r  (~30 rows)\n"
+            "      Scan s  (~30 rows)"
+        )
+
+    def test_actuals_annotate_physical_nodes(self, tpch_like_db):
+        stats = Statistics.from_database(tpch_like_db)
+        opt = optimize(_join_agg_plan(), stats)
+        pplan = lower(
+            opt, stats, PhysicalConfig(engine="det", backend="vectorized")
+        )
+        from repro.exec import execute_det
+
+        actuals = {}
+        execute_det(pplan, tpch_like_db, actuals=actuals)
+        rendered = explain_physical(pplan, actuals=actuals)
+        for line in rendered.splitlines():
+            assert "actual" in line, rendered
+        assert "Scan lineitem  (~200 rows, actual 200)" in rendered
+
+
+# ----------------------------------------------------------------------
+# partition-parallel execution
+# ----------------------------------------------------------------------
+@pytest.fixture
+def wide_db():
+    rows = [(i, i % 13, (i * 7) % 101) for i in range(500)]
+    fact = DetRelation(["f_id", "f_key", "f_val"], rows)
+    dim = DetRelation(["d_key", "d_name"], [(i, f"d{i}") for i in range(13)])
+    return DetDatabase({"fact": fact, "dim": dim})
+
+
+@pytest.fixture
+def force_partitioning(monkeypatch):
+    monkeypatch.setattr(exec_parallel, "PARALLEL_MIN_ROWS", 0)
+
+
+def _parallel_matches_serial(plan, db, parallelism=4, **kwargs):
+    serial = evaluate_det(plan, db, backend="vectorized", **kwargs)
+    parallel = evaluate_det(
+        plan, db, backend="vectorized", parallelism=parallelism, **kwargs
+    )
+    assert parallel.schema == serial.schema
+    assert parallel.rows == serial.rows
+    return parallel
+
+
+class TestParallelExecution:
+    def test_split_batch_shapes(self):
+        batch = ColumnBatch(("x",), [list(range(10))], list(range(10)))
+        parts = exec_parallel.split_batch(batch, 4)
+        assert [len(p) for p in parts] == [3, 3, 3, 1]
+        assert exec_parallel.split_batch(batch, 1) == [batch]
+        empty = ColumnBatch(("x",), [[]], [])
+        assert exec_parallel.split_batch(empty, 4) == [empty]
+
+    def test_aggregate_region(self, wide_db, force_partitioning):
+        plan = Aggregate(
+            Selection(
+                Join(
+                    TableRef("fact"),
+                    TableRef("dim"),
+                    Eq(Var("f_key"), Var("d_key")),
+                ),
+                Gt(Var("f_val"), Const(20)),
+            ),
+            ["d_name"],
+            [
+                agg_sum("f_val", "total"),
+                agg_count("n"),
+                agg_min("f_val", "lo"),
+                agg_max("f_val", "hi"),
+                agg_avg("f_val", "mean"),
+            ],
+        )
+        _parallel_matches_serial(plan, wide_db)
+
+    def test_global_aggregate_and_empty_input(self, wide_db, force_partitioning):
+        plan = Aggregate(
+            TableRef("fact"), [], [agg_sum("f_val", "t"), agg_count("n")]
+        )
+        _parallel_matches_serial(plan, wide_db)
+        empty = Aggregate(
+            Selection(TableRef("fact"), Const(False)),
+            [],
+            [agg_count("n"), agg_min("f_val", "lo")],
+        )
+        _parallel_matches_serial(empty, wide_db, optimize=False)
+
+    def test_topk_limit_distinct_concat_regions(self, wide_db, force_partitioning):
+        topk = Limit(OrderBy(TableRef("fact"), ["f_val"], True), 7)
+        _parallel_matches_serial(topk, wide_db)
+        bare_limit = Limit(TableRef("fact"), 9)
+        _parallel_matches_serial(bare_limit, wide_db, optimize=False)
+        distinct = Distinct(
+            Projection(TableRef("fact"), [(Var("f_key"), "f_key")])
+        )
+        _parallel_matches_serial(distinct, wide_db)
+        linear = Selection(TableRef("fact"), Gt(Var("f_val"), Const(50)))
+        out = _parallel_matches_serial(linear, wide_db)
+        assert out.total_rows() > 0
+
+    def test_forked_worker_pool(self, wide_db, monkeypatch):
+        """Force the process-pool transport on small data once."""
+        monkeypatch.setattr(exec_parallel, "PARALLEL_MIN_ROWS", 0)
+        monkeypatch.setattr(exec_parallel, "PROCESS_MIN_ROWS", 0)
+        plan = Aggregate(
+            TableRef("fact"),
+            ["f_key"],
+            [agg_sum("f_val", "t"), agg_avg("f_val", "m")],
+        )
+        _parallel_matches_serial(plan, wide_db, parallelism=2)
+
+    def test_threshold_collapses_to_single_partition(self, wide_db):
+        # default PARALLEL_MIN_ROWS far exceeds 500 rows: the Exchange
+        # runs one partition, still through the merge path
+        plan = Aggregate(TableRef("fact"), ["f_key"], [agg_count("n")])
+        _parallel_matches_serial(plan, wide_db)
+
+    def test_au_parallelism_knob_is_accepted_and_serial(self):
+        rel = AURelation(["a"])
+        rel.add([between(1, 2, 3)], (1, 1, 1))
+        db = AUDatabase({"r": rel})
+        ref = evaluate_audb(TableRef("r"), db, EvalConfig())
+        par = evaluate_audb(TableRef("r"), db, EvalConfig(parallelism=4))
+        assert dict(par.tuples()) == dict(ref.tuples())
+
+
+# ----------------------------------------------------------------------
+# exact summation (bit-stable SUM/AVG)
+# ----------------------------------------------------------------------
+ADVERSARIAL = [1e16, 1.0, -1e16, 0.1, 1e-9, -0.1, 3.5, 1e16, -1e16, 2.5e-10]
+
+
+class TestExactSums:
+    def test_order_and_partition_independent(self):
+        values = [(v, 1) for v in ADVERSARIAL] * 13
+        reference = exact_sum(values)
+        assert reference == math.fsum(v for v, _m in values)
+        assert exact_sum(reversed(values)) == reference
+        # any partitioning merges to the same bits
+        for cut in (1, 3, 7):
+            left, right = new_acc(), new_acc()
+            for v, m in values[:cut]:
+                add_exact(left, v * m)
+            for v, m in values[cut:]:
+                add_exact(right, v * m)
+            merge_acc(left, right)
+            assert finish(left) == reference
+
+    def test_int_sums_stay_ints(self):
+        assert exact_sum([(2, 3), (4, 1)]) == 10
+        assert isinstance(exact_sum([(2, 3)]), int)
+        assert exact_sum([]) == 0
+
+    def test_running_sum_overflow_saturates_like_ieee(self):
+        """Sums leaving the double range return ±inf (the old left-fold
+        ``sum()`` convention), not a ValueError from degenerate partials."""
+        assert exact_sum([(1e308, 1), (9e307, 1)]) == math.inf
+        assert exact_sum([(-1e308, 1), (-9e307, 1)]) == -math.inf
+        a, b = new_acc(), new_acc()
+        add_exact(a, 1e308)
+        add_exact(b, 9e307)
+        merge_acc(a, b)
+        assert finish(a) == math.inf
+        db = DetDatabase(
+            {"r": DetRelation(["a"], [(1e308,), (9e307,)])}
+        )
+        plan = Aggregate(TableRef("r"), [], [agg_sum("a", "s")])
+        for backend in ("tuple", "vectorized"):
+            assert evaluate_det(plan, db, backend=backend).rows == {
+                (math.inf,): 1
+            }
+
+    def test_nonfinite_values_are_order_independent(self):
+        inf = float("inf")
+        a = exact_sum([(inf, 1), (1.0, 1), (-inf, 1)])
+        b = exact_sum([(-inf, 1), (inf, 1), (1.0, 1)])
+        assert math.isnan(a) and math.isnan(b)
+        assert exact_sum([(inf, 1), (5.0, 1)]) == inf
+
+    def test_float_aggregates_bit_identical_across_backends(self):
+        rel = DetRelation(["g", "v"])
+        for i, v in enumerate(ADVERSARIAL * 7):
+            rel.add((i % 3, v), 1 + i % 2)
+        db = DetDatabase({"t": rel})
+        plan = Aggregate(
+            TableRef("t"), ["g"], [agg_sum("v", "s"), agg_avg("v", "m")]
+        )
+        ref = evaluate_det(plan, db, physical=False)
+        for kwargs in (
+            dict(),
+            dict(backend="vectorized"),
+            dict(backend="vectorized", parallelism=4),
+        ):
+            out = evaluate_det(plan, db, **kwargs)
+            assert out.rows == ref.rows, kwargs
+
+    def test_float_parallel_bits_with_forced_partitioning(self, monkeypatch):
+        monkeypatch.setattr(exec_parallel, "PARALLEL_MIN_ROWS", 0)
+        rel = DetRelation(["g", "v"])
+        for i, v in enumerate(ADVERSARIAL * 11):
+            rel.add((i % 4, v + i), 1)
+        db = DetDatabase({"t": rel})
+        plan = Aggregate(
+            TableRef("t"), ["g"], [agg_sum("v", "s"), agg_avg("v", "m")]
+        )
+        ref = evaluate_det(plan, db, backend="vectorized")
+        for parallelism in (2, 3, 4, 7):
+            out = evaluate_det(
+                plan, db, backend="vectorized", parallelism=parallelism
+            )
+            assert out.rows == ref.rows, parallelism

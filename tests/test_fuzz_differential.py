@@ -1,29 +1,39 @@
 """Differential query fuzzer: optimized ≡ naive, vectorized ≡ tuple,
-and AU bounds Det.
+physical ≡ legacy lowering, parallel ≡ serial, and AU bounds Det.
 
 A *seeded* random generator (plain :mod:`random`, no Hypothesis — every
 case is reproducible from its integer seed, which CI pins) produces small
 AU-databases and random ``RA_agg`` plans, then machine-checks the
-equivalences the optimizer, the vectorized backend, and the paper's
-semantics promise:
+equivalences the optimizer, the physical planner, the vectorized
+backend, and the paper's semantics promise:
 
 1. **Optimizer differential** — for BOTH engines and BOTH join-order
    strategies (``greedy`` and the cost-based ``dp``), the optimized plan
    returns exactly the naive (``--no-optimize``) result: identical
    schemas, identical bags (Det), identical ``K^AU`` annotations (AU).
-2. **Backend differential** — for BOTH engines, the vectorized columnar
-   backend (:mod:`repro.exec`) returns exactly the tuple interpreter's
-   result, on both the naive and the optimized plan shape (the fuzz
-   data is integer-valued, so even SUM/AVG must be bit-identical).
-3. **Det-vs-AU containment** — the AU result must bound the certain
+2. **Physical-planner differential** — the default path (cost-based
+   lowering through :func:`repro.exec.physical.lower`) returns exactly
+   the legacy direct interpretation (``physical=False``) on both
+   engines, naive and optimized shapes.
+3. **Backend and parallelism differential** — for BOTH engines, the
+   vectorized backend (:mod:`repro.exec`) returns exactly the tuple
+   interpreter's result on every plan shape, and the deterministic
+   vectorized backend returns identical results at ``parallelism`` 1
+   and 4 (partition thresholds pinned to 0 so the 4-way morsel
+   partition-and-merge machinery really runs).
+4. **Float bit-stability** — on a float-valued copy of the database,
+   SUM/AVG results are *bit-identical* across backends, lowerings, and
+   parallelism levels (exact summation, :mod:`repro.core.sums`); the
+   PR 3 "round-off may differ" carve-out is gone.
+5. **Det-vs-AU containment** — the AU result must bound the certain
    answer: its selected-guess world equals the Det engine's result over
    the SGW database, and the tuple-matching oracle
    (:func:`repro.core.bounding.bounds_world`) certifies the AU relation
    bounds that world.  ``LIMIT``/top-k plans only require sub-bag
    containment (the AU engine keeps a sound superset — exact when the
    order keys are certain, everything otherwise).
-4. **Compression soundness** — with a join compression budget and
-   optimizer-placed (adaptive) budgets, the result still bounds the Det
+6. **Compression soundness** — with a join compression budget and
+   planner-placed (adaptive) budgets, the result still bounds the Det
    answer, on both backends.
 
 Run the CI gate standalone (exits non-zero on the first mismatch)::
@@ -57,13 +67,14 @@ from repro.algebra.ast import (
     Union,
 )
 from repro.algebra.evaluator import EvalConfig, evaluate_audb
-from repro.core.aggregation import agg_count, agg_max, agg_min, agg_sum
+from repro.core.aggregation import agg_avg, agg_count, agg_max, agg_min, agg_sum
 from repro.core.bounding import bounds_world
 from repro.core.expressions import And, Const, Eq, Gt, Leq, Not, Or, Var
 from repro.core.ranges import RangeValue
 from repro.core.relation import AUDatabase, AURelation
 from repro.db.engine import evaluate_det
 from repro.db.storage import DetDatabase, DetRelation
+from repro.exec import parallel as exec_parallel
 
 BASE_SEED = 20260728
 N_CASES = int(os.environ.get("FUZZ_CASES", "200"))
@@ -182,6 +193,7 @@ def make_plan(
                 agg_sum(value, "agg"),
                 agg_min(value, "agg"),
                 agg_max(value, "agg"),
+                agg_avg(value, "agg"),
                 agg_count("agg"),
             ]
         )
@@ -240,6 +252,18 @@ def _is_subbag(small, big) -> bool:
     return all(big.get(t, 0) >= m for t, m in small.items())
 
 
+def _float_database(det: DetDatabase) -> DetDatabase:
+    """A float-valued copy of the SGW database (every value +0.5), so
+    SUM/AVG exercise floating-point accumulation on every path."""
+    out = DetDatabase({})
+    for name, rel in det.relations.items():
+        d = DetRelation(rel.schema)
+        for row, m in rel.tuples():
+            d.add(tuple(v + 0.5 for v in row), m)
+        out[name] = d
+    return out
+
+
 def check_case(seed: int) -> None:
     """One fuzz case; raises AssertionError (with the seed) on mismatch."""
     rng = random.Random(seed)
@@ -248,47 +272,104 @@ def check_case(seed: int) -> None:
     plan, _schema, _used = make_plan(rng, rng.randint(1, 4))
     context = f"seed={seed} plan={plan!r}"
 
-    # 1a. Det engine: optimized (both strategies) == naive
-    det_naive = evaluate_det(plan, det, optimize=False)
+    # 1a. Det engine: optimized (both strategies) == naive, and the
+    # physical planner == the legacy direct lowering on every shape
+    det_naive = evaluate_det(plan, det, optimize=False, physical=False)
+    det_shapes = [("naive", dict(optimize=False))]
     for join_order in ("greedy", "dp"):
-        det_opt = evaluate_det(plan, det, optimize=True, join_order=join_order)
-        assert det_opt.schema == det_naive.schema, f"Det schema [{join_order}] {context}"
-        assert det_opt.rows == det_naive.rows, f"Det bag [{join_order}] {context}"
+        det_shapes.append(
+            (join_order, dict(optimize=True, join_order=join_order))
+        )
+    for shape, kwargs in det_shapes:
+        det_phys = evaluate_det(plan, det, **kwargs)
+        assert det_phys.schema == det_naive.schema, (
+            f"Det schema [{shape}] {context}"
+        )
+        assert det_phys.rows == det_naive.rows, f"Det bag [{shape}] {context}"
+        det_legacy = evaluate_det(plan, det, physical=False, **kwargs)
+        assert det_legacy.rows == det_naive.rows, (
+            f"Det legacy lowering [{shape}] {context}"
+        )
 
-    # 1b. AU engine: optimized (both strategies) == naive
-    au_naive = evaluate_audb(plan, audb, EvalConfig(optimize=False))
+    # 1b. AU engine: optimized (both strategies) == naive, physical ==
+    # legacy lowering
+    au_naive = evaluate_audb(plan, audb, EvalConfig(optimize=False, physical=False))
+    au_shapes = [("naive", dict(optimize=False))]
     for join_order in ("greedy", "dp"):
-        au_opt = evaluate_audb(
-            plan, audb, EvalConfig(optimize=True, join_order=join_order)
+        au_shapes.append((join_order, dict(optimize=True, join_order=join_order)))
+    for shape, cfg_kwargs in au_shapes:
+        au_phys = evaluate_audb(plan, audb, EvalConfig(**cfg_kwargs))
+        assert au_phys.schema == au_naive.schema, f"AU schema [{shape}] {context}"
+        assert dict(au_phys.tuples()) == dict(au_naive.tuples()), (
+            f"AU annotations [{shape}] {context}"
         )
-        assert au_opt.schema == au_naive.schema, f"AU schema [{join_order}] {context}"
-        assert dict(au_opt.tuples()) == dict(au_naive.tuples()), (
-            f"AU annotations [{join_order}] {context}"
+        au_legacy = evaluate_audb(
+            plan, audb, EvalConfig(physical=False, **cfg_kwargs)
+        )
+        assert dict(au_legacy.tuples()) == dict(au_naive.tuples()), (
+            f"AU legacy lowering [{shape}] {context}"
         )
 
-    # 1c. vectorized backend == tuple backend: the naive plan shape plus
-    # both optimized shapes (dp and greedy join enumeration)
-    for shape, det_kwargs, au_config in (
-        ("naive", dict(optimize=False), EvalConfig(optimize=False, backend="vectorized")),
-        (
-            "dp",
-            dict(optimize=True, join_order="dp"),
-            EvalConfig(optimize=True, join_order="dp", backend="vectorized"),
-        ),
-        (
-            "greedy",
-            dict(optimize=True, join_order="greedy"),
-            EvalConfig(optimize=True, join_order="greedy", backend="vectorized"),
-        ),
-    ):
-        det_vec = evaluate_det(plan, det, backend="vectorized", **det_kwargs)
-        assert det_vec.schema == det_naive.schema, f"Det vec schema [{shape}] {context}"
-        assert det_vec.rows == det_naive.rows, f"Det vec bag [{shape}] {context}"
-        au_vec = evaluate_audb(plan, audb, au_config)
-        assert au_vec.schema == au_naive.schema, f"AU vec schema [{shape}] {context}"
-        assert dict(au_vec.tuples()) == dict(au_naive.tuples()), (
-            f"AU vec annotations [{shape}] {context}"
-        )
+    # 1c. vectorized backend == tuple backend on every plan shape, and —
+    # with the partition threshold pinned to 0 so 4-way morsel
+    # partitioning really happens — parallelism ∈ {1, 4} are identical
+    old_threshold = exec_parallel.PARALLEL_MIN_ROWS
+    exec_parallel.PARALLEL_MIN_ROWS = 0
+    try:
+        for shape, kwargs in det_shapes:
+            for parallelism in (1, 4):
+                det_vec = evaluate_det(
+                    plan,
+                    det,
+                    backend="vectorized",
+                    parallelism=parallelism,
+                    **kwargs,
+                )
+                assert det_vec.schema == det_naive.schema, (
+                    f"Det vec schema [{shape} x{parallelism}] {context}"
+                )
+                assert det_vec.rows == det_naive.rows, (
+                    f"Det vec bag [{shape} x{parallelism}] {context}"
+                )
+        for shape, cfg_kwargs in au_shapes:
+            for parallelism in (1, 4):
+                au_vec = evaluate_audb(
+                    plan,
+                    audb,
+                    EvalConfig(
+                        backend="vectorized",
+                        parallelism=parallelism,
+                        **cfg_kwargs,
+                    ),
+                )
+                assert au_vec.schema == au_naive.schema, (
+                    f"AU vec schema [{shape} x{parallelism}] {context}"
+                )
+                assert dict(au_vec.tuples()) == dict(au_naive.tuples()), (
+                    f"AU vec annotations [{shape} x{parallelism}] {context}"
+                )
+
+        # 1d. float bit-stability: on a float-valued database SUM/AVG are
+        # bit-identical across lowerings, backends, and parallelism
+        fdb = _float_database(det)
+        float_ref = evaluate_det(plan, fdb, optimize=False, physical=False)
+        for label, result in (
+            ("physical", evaluate_det(plan, fdb, optimize=False)),
+            ("optimized", evaluate_det(plan, fdb)),
+            ("vec", evaluate_det(plan, fdb, backend="vectorized")),
+            (
+                "vec x4",
+                evaluate_det(plan, fdb, backend="vectorized", parallelism=4),
+            ),
+        ):
+            assert result.schema == float_ref.schema, (
+                f"float schema [{label}] {context}"
+            )
+            assert result.rows == float_ref.rows, (
+                f"float bits differ [{label}] {context}"
+            )
+    finally:
+        exec_parallel.PARALLEL_MIN_ROWS = old_threshold
 
     # 2. the AU result must bound the certain (SGW) answer
     det_bag = det_naive.as_bag()

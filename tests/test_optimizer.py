@@ -253,6 +253,122 @@ def test_optimize_is_idempotent_on_results(plan, audb):
 # ----------------------------------------------------------------------
 # unit tests for the individual rules
 # ----------------------------------------------------------------------
+# selection pushdown through Aggregate group-by keys (AU-safe gate)
+# ----------------------------------------------------------------------
+@st.composite
+def certain_au_databases(draw):
+    """AU-databases whose *values* are all certain (multiplicity bounds
+    may still be uncertain) — the catalog reports uncertain fraction 0
+    for every column, so the aggregate pushdown rule is allowed to fire."""
+    relations = {}
+    for name, schema in TABLES.items():
+        rel = AURelation(schema)
+        for _ in range(draw(st.integers(0, 5))):
+            values = [
+                RangeValue(v, v, v)
+                for v in (
+                    draw(st.integers(-2, 5)) for _column in schema
+                )
+            ]
+            lb = draw(st.integers(0, 1))
+            sg = lb + draw(st.integers(0, 1))
+            ub = sg + draw(st.integers(0, 1))
+            if ub > 0:
+                rel.add(values, (lb, sg, ub))
+        relations[name] = rel
+    return AUDatabase(relations)
+
+
+@st.composite
+def selection_over_aggregate_plans(draw):
+    """``σ_c(γ_{keys}(subplan))`` with ``c`` over the group-by keys (the
+    shape the new pushdown rule targets), sometimes wrapped further."""
+    plan, schema, _used = _draw_plan(draw, draw(st.integers(0, 2)))
+    keys = draw(st.lists(st.sampled_from(schema), min_size=1, unique=True))
+    value = draw(st.sampled_from(schema))
+    spec = draw(
+        st.sampled_from(
+            [agg_sum(value, "agg"), agg_min(value, "agg"), agg_count("agg")]
+        )
+    )
+    agg = Aggregate(plan, keys, [spec])
+    # condition over group-by keys only (the pushable case) or mixing in
+    # the aggregate output (must stay above the barrier)
+    cond_schema = keys if draw(st.booleans()) else keys + ["agg"]
+    cond = _draw_condition(draw, cond_schema)
+    selected = Selection(agg, cond)
+    if draw(st.booleans()):
+        selected = Selection(selected, _draw_condition(draw, keys + ["agg"]))
+    return selected
+
+
+class TestAggregatePushdown:
+    @SETTINGS
+    @given(plan=selection_over_aggregate_plans(), audb=certain_au_databases())
+    def test_exact_for_au_on_certain_columns(self, plan, audb):
+        naive = evaluate_audb(plan, audb, EvalConfig(optimize=False))
+        optimized = evaluate_audb(plan, audb, EvalConfig(optimize=True))
+        assert optimized.schema == naive.schema
+        assert dict(optimized.tuples()) == dict(naive.tuples())
+
+    @SETTINGS
+    @given(plan=selection_over_aggregate_plans(), audb=au_databases())
+    def test_exact_for_au_on_uncertain_columns(self, plan, audb):
+        """With uncertain values the catalog gate blocks unsafe pushes —
+        results must still be identical."""
+        naive = evaluate_audb(plan, audb, EvalConfig(optimize=False))
+        optimized = evaluate_audb(plan, audb, EvalConfig(optimize=True))
+        assert dict(optimized.tuples()) == dict(naive.tuples())
+
+    @SETTINGS
+    @given(plan=selection_over_aggregate_plans(), audb=au_databases())
+    def test_exact_for_det(self, plan, audb):
+        det = _sgw_det_db(audb)
+        naive = evaluate_det(plan, det, optimize=False)
+        optimized = evaluate_det(plan, det, optimize=True)
+        assert optimized.schema == naive.schema
+        assert optimized.rows == naive.rows
+
+    def test_pushes_below_aggregate_when_certain(self):
+        db = DetDatabase({"r": DetRelation(["a", "b"], [(1, 2), (3, 4)])})
+        plan = Selection(
+            Aggregate(TableRef("r"), ["a"], [agg_sum("b", "t")]),
+            Gt(Var("a"), Const(1)),
+        )
+        optimized = optimize(plan, Statistics.from_database(db))
+        assert isinstance(optimized, Aggregate)
+        assert isinstance(optimized.child, Selection)
+
+    def test_blocked_on_uncertain_group_column(self):
+        rel = AURelation(["a", "b"])
+        rel.add([RangeValue(0, 1, 2), RangeValue(2, 2, 2)], (1, 1, 1))
+        audb = AUDatabase({"r": rel})
+        plan = Selection(
+            Aggregate(TableRef("r"), ["a"], [agg_sum("b", "t")]),
+            Gt(Var("a"), Const(1)),
+        )
+        optimized = optimize(plan, Statistics.from_database(audb))
+        assert isinstance(optimized, Selection)  # still above the barrier
+
+    def test_blocked_on_aggregate_output_and_variable_free(self):
+        db = DetDatabase({"r": DetRelation(["a", "b"], [(1, 2)])})
+        stats = Statistics.from_database(db)
+        on_output = Selection(
+            Aggregate(TableRef("r"), ["a"], [agg_sum("b", "t")]),
+            Gt(Var("t"), Const(1)),
+        )
+        assert isinstance(optimize(on_output, stats), Selection)
+        # a variable-free false filter above a *global* aggregate must not
+        # suppress the empty-input result row by being pushed below it
+        var_free = Selection(
+            Aggregate(TableRef("r"), [], [agg_count("n")]),
+            Gt(Const(0), Const(1)),
+        )
+        out = evaluate_det(var_free, db, optimize=True)
+        naive = evaluate_det(var_free, db, optimize=False)
+        assert out.rows == naive.rows
+
+
 @pytest.fixture
 def det_db():
     emp = DetRelation(
