@@ -1,0 +1,120 @@
+"""Query-session benchmark: prepare-once serving vs the cold pipeline.
+
+The serving regime the session layer exists for: the same parameterized
+point-join SQL answered over and over with changing bindings.  The warm
+path holds one :class:`repro.session.Connection`, so every call after
+the first is a plan-cache hit (bind parameters into the cached physical
+plan, execute); the cold path opens a fresh connection per call and pays
+parse + optimize (DP join enumeration over the 8-way chain) + lower
+every time.  Results must be identical call by call.
+
+Run standalone for a throughput report (asserts the >=5x acceptance
+bar)::
+
+    PYTHONPATH=src python benchmarks/bench_session.py
+
+or under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_session.py
+"""
+
+import time
+
+import pytest
+
+from repro.db.storage import DetDatabase, DetRelation
+from repro.session import Connection
+
+N_TABLES = 8
+N_ROWS = 120
+N_CALLS = 40
+
+SQL = (
+    "SELECT "
+    + ", ".join(f"b{i}" for i in range(N_TABLES))
+    + " FROM "
+    + ", ".join(f"t{i}" for i in range(N_TABLES))
+    + " WHERE "
+    + " AND ".join(f"b{i} = a{i + 1}" for i in range(N_TABLES - 1))
+    + " AND a0 = ?"
+)
+
+
+def make_db(n_rows: int = N_ROWS) -> DetDatabase:
+    """A key–foreign-key chain t0 -> t1 -> ... -> t5."""
+    db = DetDatabase({})
+    for i in range(N_TABLES):
+        rel = DetRelation([f"a{i}", f"b{i}"])
+        for j in range(n_rows):
+            rel.add((j, (j * 7 + i) % n_rows), 1)
+        db[f"t{i}"] = rel
+    return db
+
+
+def run_warm(db: DetDatabase, keys) -> list:
+    conn = Connection(db)
+    return [conn.execute(SQL, [k]) for k in keys]
+
+
+def run_cold(db: DetDatabase, keys) -> list:
+    # a fresh session per call: full parse/optimize/lower every time
+    # (what every caller paid before the session layer existed)
+    return [Connection(db).execute(SQL, [k]) for k in keys]
+
+
+@pytest.fixture(scope="module")
+def db():
+    return make_db()
+
+
+def test_warm_prepared_serving(benchmark, db):
+    keys = [(i * 13) % N_ROWS for i in range(N_CALLS)]
+    benchmark(lambda: run_warm(db, keys))
+
+
+def test_cold_pipeline_serving(benchmark, db):
+    keys = [(i * 13) % N_ROWS for i in range(N_CALLS)]
+    benchmark(lambda: run_cold(db, keys))
+
+
+def main() -> int:
+    db = make_db()
+    keys = [(i * 13) % N_ROWS for i in range(N_CALLS)]
+
+    # warm-up both paths once (statistics harvest etc.), then time
+    run_warm(db, keys[:2])
+    run_cold(db, keys[:2])
+
+    start = time.perf_counter()
+    warm_results = run_warm(db, keys)
+    t_warm = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cold_results = run_cold(db, keys)
+    t_cold = time.perf_counter() - start
+
+    failures = []
+    for i, (w, c) in enumerate(zip(warm_results, cold_results)):
+        if w.schema != c.schema or w.rows != c.rows:
+            failures.append(f"call {i}: warm result differs from cold")
+            break
+
+    speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+    per_warm = t_warm / N_CALLS * 1e3
+    per_cold = t_cold / N_CALLS * 1e3
+    print(
+        f"repeated parameterized point-join ({N_TABLES}-way chain, "
+        f"{N_ROWS} rows/table, {N_CALLS} calls)"
+    )
+    print(f"cold pipeline : {per_cold:8.3f} ms/query")
+    print(f"prepare+cache : {per_warm:8.3f} ms/query")
+    print(f"speedup       : {speedup:8.1f}x  (gate: >=5x)")
+    if speedup < 5.0:
+        failures.append(f"speedup {speedup:.1f}x below the 5x bar")
+    for f in failures:
+        print(f"FAIL: {f}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,4 @@
-"""Quickstart: build an AU-DB, query it with SQL, read the bounds.
+"""Quickstart: open a session on an AU-DB, query it with SQL, read the bounds.
 
 Run with ``python examples/quickstart.py``.
 
@@ -7,15 +7,14 @@ ranges ``[lb/sg/ub]`` and tuple-level multiplicity bounds ``(lb, sg, ub)``.
 Queries preserve those bounds: whatever the true state of the data is
 (within the declared uncertainty), the true query answer lies inside the
 reported ranges.
+
+Queries run through a :class:`repro.session.Connection` — the session
+owns the statistics catalog and a plan cache, so a prepared (optionally
+parameterized) statement is parsed and optimized once and then executed
+with many bindings, staying current as the data changes.
 """
 
-from repro import (
-    AUDatabase,
-    AURelation,
-    between,
-    evaluate_audb,
-    parse_sql,
-)
+from repro import AUDatabase, AURelation, Connection, between
 
 
 def main() -> None:
@@ -34,17 +33,17 @@ def main() -> None:
     readings.add(["south", between(24.0, 26.0, 30.0)], (0, 1, 1))  # maybe absent
 
     db = AUDatabase({"readings": readings})
+    conn = Connection(db)
     print("Input AU-relation:")
     print(readings.pretty())
 
     # ------------------------------------------------------------------
     # 2. Query with SQL.  The result carries sound bounds.
     # ------------------------------------------------------------------
-    plan = parse_sql(
+    result = conn.execute(
         "SELECT sensor, count(*) AS n, avg(temp) AS avg_temp "
         "FROM readings GROUP BY sensor"
     )
-    result = evaluate_audb(plan, db)
     print("\nSELECT sensor, count(*), avg(temp) ... GROUP BY sensor:")
     print(result.pretty())
 
@@ -63,7 +62,30 @@ def main() -> None:
         )
 
     # ------------------------------------------------------------------
-    # 4. The selected-guess world is always recoverable: ignoring the
+    # 4. Prepared statements: `?` placeholders survive planning, so one
+    # compiled plan serves many bindings — and stays valid across
+    # writes (the session re-plans only when statistics drift).
+    # ------------------------------------------------------------------
+    hot = conn.prepare("SELECT sensor, temp FROM readings WHERE temp >= ?")
+    print("\nPrepared: SELECT sensor, temp FROM readings WHERE temp >= ?")
+    for threshold in (20.0, 25.0):
+        rows = sorted(
+            (t[0].sg, repr(t[1])) for t, _ann in hot.execute([threshold]).tuples()
+        )
+        print(f"  temp >= {threshold}: {rows}")
+    readings.add(["east", 31.0], (1, 1, 1))  # a write lands...
+    rows = sorted(
+        (t[0].sg, repr(t[1])) for t, _ann in hot.execute([25.0]).tuples()
+    )
+    print(f"  temp >= 25.0 after insert: {rows}")
+    m = conn.metrics
+    print(
+        f"  (parsed {m.parses}x, optimized {m.optimizations}x "
+        f"for {m.executions} executions)"
+    )
+
+    # ------------------------------------------------------------------
+    # 5. The selected-guess world is always recoverable: ignoring the
     # bounds gives exactly what a deterministic database would have said.
     # ------------------------------------------------------------------
     print("\nSelected-guess world of the result (what SGQP would report):")

@@ -11,7 +11,7 @@ answering TPC-H Q1 and Q3:
 Run with ``python examples/tpch_uncertain.py``.
 """
 
-from repro import AUDatabase, EvalConfig, evaluate_audb, evaluate_det
+from repro import AUDatabase, Connection, EvalConfig
 from repro.baselines.mcdb import run_mcdb
 from repro.tpch.pdbench import make_pdbench
 from repro.tpch.queries import q1, q3
@@ -21,7 +21,12 @@ def main() -> None:
     instance = make_pdbench(scale=0.3, uncertainty=0.05)
     det_world = instance.selected_world()
     audb = AUDatabase(instance.audb().relations)
-    config = EvalConfig(join_buckets=64, aggregation_buckets=64)
+    # one query session per engine: the sessions own the statistics
+    # catalog, so Q1 and Q3 share one harvest instead of re-scanning
+    det_conn = Connection(det_world)
+    au_conn = Connection(
+        audb, config=EvalConfig(join_buckets=64, aggregation_buckets=64)
+    )
 
     lineitems = det_world["lineitem"].total_rows()
     uncertain_pct = instance.xdb["lineitem"].uncertain_tuple_fraction() * 100
@@ -32,8 +37,8 @@ def main() -> None:
 
     # ------------------------------------------------------------ Q1 --
     plan = q1()
-    det = evaluate_det(plan, det_world)
-    au = evaluate_audb(plan, audb, config)
+    det = det_conn.execute(plan)
+    au = au_conn.execute(plan)
     mcdb = run_mcdb(plan, instance.xdb, n_samples=10)
     mcdb_bounds = mcdb.attribute_bounds(["l_returnflag", "l_linestatus"])
 
@@ -59,8 +64,8 @@ def main() -> None:
 
     # ------------------------------------------------------------ Q3 --
     plan3 = q3()
-    det3 = evaluate_det(plan3, det_world)
-    au3 = evaluate_audb(plan3, audb, config)
+    det3 = det_conn.execute(plan3)
+    au3 = au_conn.execute(plan3)
     certain_orders = sum(1 for _t, (lb, _s, _u) in au3.tuples() if lb > 0)
     print("Q3 (shipping priority):")
     print(f"  Det reports {det3.total_rows()} qualifying orders")

@@ -63,7 +63,15 @@ from .core.aggregation import (
     aggregate,
 )
 from .core.bounding import bounds_incomplete, bounds_world, find_tuple_matching
-from .core.expressions import Const, Expression, If, Not, Var
+from .core.expressions import (
+    Const,
+    Expression,
+    If,
+    Not,
+    Parameter,
+    UnboundParameterError,
+    Var,
+)
 from .core.ranges import RangeValue, between, certain
 from .core.relation import AUDatabase, AURelation, decode, encode
 from .core import operators
@@ -81,6 +89,13 @@ from .incomplete.worlds import (
 )
 from .incomplete.xdb import XDatabase, XRelation, XTuple
 from .lenses import key_repair_lens, make_uncertain
+from .session import (
+    Connection,
+    ConnectionMetrics,
+    PreparedQuery,
+    bind_parameters,
+    connect,
+)
 from .sql.parser import parse_sql
 
 __version__ = "1.0.0"
@@ -92,6 +107,7 @@ __all__ = [
     "bounds_world", "bounds_incomplete", "find_tuple_matching",
     # expressions
     "Expression", "Var", "Const", "If", "Not",
+    "Parameter", "UnboundParameterError",
     # operators & aggregation
     "operators", "aggregate", "AggregateSpec",
     "agg_sum", "agg_count", "agg_min", "agg_max", "agg_avg",
@@ -110,6 +126,9 @@ __all__ = [
     "IncompleteDatabase", "query_worlds", "certain_bag", "possible_bag",
     "TIRelation", "TIDatabase", "XTuple", "XRelation", "XDatabase",
     "CTable", "VTable", "codd_table",
+    # sessions (prepared statements, plan cache)
+    "Connection", "ConnectionMetrics", "PreparedQuery",
+    "connect", "bind_parameters",
     # lenses & sql
     "key_repair_lens", "make_uncertain", "parse_sql",
 ]

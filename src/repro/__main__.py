@@ -4,6 +4,12 @@ Loads the COVID running example (or an uncertain TPC-H instance with
 ``--tpch``) and evaluates SQL typed at the prompt against both the
 selected-guess world (``Det``) and the AU-DB, so the effect of uncertainty
 tracking is visible side by side.
+
+The shell runs over two long-lived :class:`repro.session.Connection`
+objects (one per engine), so re-running a query hits the plan cache and
+skips parse/optimize/lower; ``--repl`` forces the interactive loop even
+when a query is given on the command line, and ``\\metrics`` prints the
+session counters.
 """
 
 from __future__ import annotations
@@ -11,14 +17,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .algebra.evaluator import EvalConfig, evaluate_audb
-from .algebra.optimizer import Statistics, explain, optimize
-from .exec import BACKENDS, PhysicalConfig, explain_physical, execute_det, lower
+from .algebra.evaluator import EvalConfig
 from .core.ranges import between
 from .core.relation import AUDatabase, AURelation
-from .db.engine import execute_physical_det
-from .db.storage import DetDatabase, DetRelation
-from .sql.parser import SqlSyntaxError, parse_sql
+from .exec import BACKENDS
+from .experiments.common import session_pair
+from .sql.parser import SqlSyntaxError
 
 
 def _demo_db() -> AUDatabase:
@@ -37,16 +41,6 @@ def _tpch_db(scale: float, uncertainty: float) -> AUDatabase:
 
     instance = make_pdbench(scale=scale, uncertainty=uncertainty)
     return AUDatabase(instance.audb().relations)
-
-
-def _sgw_database(audb: AUDatabase) -> DetDatabase:
-    det = DetDatabase({})
-    for name, rel in audb.relations.items():
-        d = DetRelation(rel.schema)
-        for row, mult in rel.selected_guess_world().items():
-            d.add(row, mult)
-        det[name] = d
-    return det
 
 
 def main(argv=None) -> int:
@@ -88,81 +82,93 @@ def main(argv=None) -> int:
         help="print the (optimized) logical plan and the lowered physical "
         "plan with estimated and, after execution, actual per-node rows",
     )
+    parser.add_argument(
+        "--repl",
+        action="store_true",
+        help="enter the interactive loop (also after running SQL given on "
+        "the command line); one session per engine, so repeated queries "
+        "hit the plan cache",
+    )
     parser.add_argument("sql", nargs="*", help="run one query and exit")
     args = parser.parse_args(argv)
 
     audb = _tpch_db(args.scale, args.uncertainty) if args.tpch else _demo_db()
-    det = _sgw_database(audb)
     do_optimize = not args.no_optimize
-    config = EvalConfig(
-        join_buckets=64,
-        aggregation_buckets=64,
-        optimize=do_optimize,
-        join_order=args.join_order,
-        adaptive_compression=True,
-        backend=args.backend,
-        parallelism=args.parallelism,
+    det_conn, au_conn = session_pair(
+        audb,
+        det_config=EvalConfig(
+            optimize=do_optimize,
+            join_order=args.join_order,
+            backend=args.backend,
+            parallelism=args.parallelism,
+        ),
+        au_config=EvalConfig(
+            join_buckets=64,
+            aggregation_buckets=64,
+            optimize=do_optimize,
+            join_order=args.join_order,
+            adaptive_compression=True,
+            backend=args.backend,
+            parallelism=args.parallelism,
+        ),
     )
     print(f"tables: {', '.join(sorted(audb.relations))}")
 
     def run(sql: str) -> None:
         try:
-            plan = parse_sql(sql)
+            prepared = det_conn.prepare(sql)
         except SqlSyntaxError as exc:
             print(f"syntax error: {exc}")
             return
-        stats = Statistics.from_database(det)
-        shown = (
-            optimize(plan, stats, join_order=args.join_order)
-            if do_optimize
-            else plan
-        )
+        if prepared.parameters:
+            print(
+                f"query declares parameters {prepared.parameters!r}; "
+                "the shell runs literal SQL only — bind via "
+                "Connection.execute(sql, params) from Python"
+            )
+            return
         if args.explain:
             print("-- logical plan --")
-            print(explain(shown, stats))
+            print(prepared.explain_logical())
         try:
             actuals = {} if args.explain else None
-            # lower once so the printed physical plan is the executed one
-            pplan = lower(
-                shown,
-                stats,
-                PhysicalConfig(
-                    engine="det",
-                    backend=args.backend,
-                    parallelism=args.parallelism,
-                ),
-            )
-            if args.backend == "vectorized":
-                det_result = execute_det(pplan, det, actuals=actuals)
-            else:
-                det_result = execute_physical_det(pplan, det, actuals)
-            au_result = evaluate_audb(plan, audb, config)
+            det_result = prepared.execute(actuals=actuals)
+            au_result = au_conn.execute(sql)
         except (KeyError, TypeError, ValueError, ZeroDivisionError) as exc:
             print(f"error: {exc}")
             return
         if args.explain:
             print("-- logical plan (estimated vs actual rows, Det) --")
-            print(explain(shown, stats, actuals=actuals))
+            print(prepared.explain_logical(actuals=actuals))
             print(f"-- physical plan (Det, backend={args.backend}) --")
-            print(explain_physical(pplan, actuals=actuals))
+            print(prepared.explain_physical(actuals=actuals))
         print("-- selected-guess world (Det) --")
         for t, m in sorted(det_result.tuples(), key=lambda i: repr(i[0]))[:20]:
             print(f"  {t} x{m}")
         print("-- AU-DB (with bounds) --")
         print(au_result.pretty(limit=20))
 
+    def print_metrics() -> None:
+        for label, conn in (("det", det_conn), ("au", au_conn)):
+            print(f"{label}: {conn.metrics.snapshot()}")
+
     if args.sql:
         run(" ".join(args.sql))
-        return 0
+        if not args.repl:
+            return 0
 
-    print("type SQL (or 'quit'):")
+    print("type SQL (or 'quit'; '\\metrics' shows session counters):")
     for line in sys.stdin:
         line = line.strip()
         if not line:
             continue
         if line.lower() in {"quit", "exit", "\\q"}:
             break
+        if line.lower() == "\\metrics":
+            print_metrics()
+            continue
         run(line)
+    print_metrics()
     return 0
 
 

@@ -59,12 +59,7 @@ from .ast import (
     TopK,
     Union,
 )
-from .optimizer import (
-    DEFAULT_JOIN_ORDER,
-    Statistics,
-    compression_hints,
-    optimize,
-)
+from .optimizer import DEFAULT_JOIN_ORDER
 
 __all__ = ["EvalConfig", "evaluate_audb", "execute_physical_audb"]
 
@@ -125,6 +120,11 @@ def evaluate_audb(
 ) -> AURelation:
     """Evaluate ``plan`` over the AU-database ``db``.
 
+    Since the query-session layer (:mod:`repro.session`) this is a thin
+    shim over an ephemeral :class:`~repro.session.Connection`; hold a
+    ``Connection`` (or a prepared query) to amortize the
+    parse/optimize/lower stages across repeated executions.
+
     By Theorems 3/4/6 the result bounds the result of the plan over any
     incomplete database bounded by ``db``.  ``actuals``, when a dict, is
     filled with the actual number of AU-tuples produced by every node
@@ -132,50 +132,11 @@ def evaluate_audb(
     path, the physical nodes too); with ``config.optimize`` the recorded
     nodes belong to the *optimized* plan.
     """
-    from ..exec import BACKENDS
+    from ..session import Connection
 
-    if config.backend not in BACKENDS:
-        raise ValueError(
-            f"unknown backend {config.backend!r}; expected one of {BACKENDS}"
-        )
-    stats = None
-    if config.optimize:
-        stats = Statistics.from_database(db)
-        plan = optimize(plan, stats, join_order=config.join_order)
-    if config.backend == "tuple" and not config.physical:
-        hints = _NO_HINTS
-        if (
-            config.optimize
-            and config.adaptive_compression
-            and config.join_buckets is not None
-        ):
-            hints = compression_hints(plan, stats, config.join_buckets)
-        return _evaluate(plan, db, config, hints, actuals)
-
-    from ..exec import physical as phys
-
-    if stats is None:
-        stats = Statistics.from_database(db)
-    pplan = phys.lower(
-        plan,
-        stats,
-        phys.PhysicalConfig(
-            engine="au",
-            backend=config.backend,
-            parallelism=config.parallelism,
-            hash_join=config.hash_join,
-            join_buckets=config.join_buckets,
-            aggregation_buckets=config.aggregation_buckets,
-            adaptive_compression=(
-                config.adaptive_compression and config.optimize
-            ),
-        ),
+    return Connection(db, engine="au", config=config).execute(
+        plan, actuals=actuals
     )
-    if config.backend == "vectorized":
-        from ..exec.vectorized import execute_audb
-
-        return execute_audb(pplan, db, actuals)
-    return execute_physical_audb(pplan, db, actuals)
 
 
 # ----------------------------------------------------------------------

@@ -75,6 +75,7 @@ from ..core.expressions import (
     Neq,
     Not,
     Or,
+    Parameter,
     Sub,
     Var,
 )
@@ -134,6 +135,10 @@ class Statistics:
     cardinalities: Mapping[str, int] = field(default_factory=dict)
     schemas: Mapping[str, Tuple[str, ...]] = field(default_factory=dict)
     columns: Mapping[str, Mapping[str, ColumnStats]] = field(default_factory=dict)
+    #: catalog epoch of the database at harvest time (0 for databases
+    #: without write versioning) — the session layer compares it against
+    #: the live database epoch to decide plan-cache staleness
+    epoch: int = 0
 
     @classmethod
     def from_database(cls, db, column_stats: bool = True) -> "Statistics":
@@ -144,7 +149,7 @@ class Statistics:
             total = getattr(rel, "total_rows", None)
             cards[name] = total() if callable(total) else len(rel)
         columns = harvest_column_stats(db) if column_stats else {}
-        return cls(cards, schemas, columns)
+        return cls(cards, schemas, columns, epoch=getattr(db, "epoch", 0))
 
     def fingerprint(self) -> tuple:
         return (
@@ -202,7 +207,9 @@ def _substitute(
     """
     if isinstance(expr, Var):
         return mapping.get(expr.name, expr)
-    if isinstance(expr, Const):
+    if isinstance(expr, (Const, Parameter)):
+        # parameters are leaf placeholders: substitution never touches
+        # them, so parameterized conjuncts push down like constant ones
         return expr
     if isinstance(expr, _BINARY):
         left = _substitute(expr.left, mapping)

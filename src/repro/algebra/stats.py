@@ -53,6 +53,7 @@ from ..core.ranges import RangeValue, domain_key
 __all__ = [
     "ColumnStats",
     "Histogram",
+    "StatsAccumulator",
     "harvest_column_stats",
     "predicate_selectivity",
     "equi_join_selectivity",
@@ -66,6 +67,15 @@ DEFAULT_SELECTIVITY = 1.0 / 3.0
 
 #: Equi-width bucket count harvested per numeric column.
 HISTOGRAM_BUCKETS = 16
+
+#: Per-column cap on the weighted samples a :class:`StatsAccumulator`
+#: retains for histogram rebuilds.  Columns past the cap drop their
+#: samples after each (re)build — in-place bucket maintenance continues
+#: exactly, and the rare out-of-range write then falls back to a full
+#: relation rescan instead of a rebuild-from-samples.  Bounds a
+#: long-lived serving connection's memory at O(cap) per numeric column
+#: rather than O(total writes).
+HISTOGRAM_SAMPLE_CAP = 100_000
 
 
 @dataclass(frozen=True)
@@ -197,9 +207,197 @@ class ColumnStats:
 
 
 # ----------------------------------------------------------------------
-# harvesting
+# harvesting (one-pass initial scan + incremental maintenance)
 # ----------------------------------------------------------------------
 _UNSET = object()
+
+
+class StatsAccumulator:
+    """Incrementally maintainable harvest state for one relation.
+
+    The initial harvest feeds every tuple through :meth:`observe`; after
+    that, the storage layers (``DetRelation.add`` / ``AURelation.add``)
+    keep the accumulator current by observing each write instead of
+    throwing the whole harvest away.  All maintained quantities are
+    *add-only exact*: counts, null/uncertain counters, width sums, and
+    the per-column distinct sketches (plain sets of domain keys — exact,
+    so the documented "sketch tolerance" for distinct counts is
+    currently zero; a lossy sketch may replace them if memory ever
+    becomes the constraint) absorb a write in O(columns), min/max bounds
+    only ever widen, and histogram *bucket counters* are bumped in place
+    while the new value lies inside the built range.  A value outside
+    the range only dirties the histogram: :meth:`finalize` then rebuilds
+    it from the retained weighted samples — the rebuild fallback —
+    without rescanning the relation.  Sample retention is bounded
+    (:data:`HISTOGRAM_SAMPLE_CAP` per column): columns past the cap
+    drop their samples after each build and flag ``rescan_needed`` when
+    an out-of-range write would need them, so
+    :func:`_harvest_relation` falls back to a full rescan only when no
+    accumulator is cached, the schema changed under it, or a capped
+    column's histogram range grew.
+
+    ``finalize`` snapshots the state into immutable
+    :class:`ColumnStats`, bit-identical to what a from-scratch harvest
+    of the same rows would produce (``tests/test_stats.py`` holds a
+    Hypothesis property to that effect).
+    """
+
+    __slots__ = (
+        "schema", "total", "nulls", "uncertain", "width_sum", "width_n",
+        "distinct", "mins", "maxs", "numeric_ok", "samples", "hist_lo",
+        "hist_hi", "hist_counts", "hist_dirty", "rescan_needed",
+    )
+
+    def __init__(self, schema) -> None:
+        self.schema = tuple(schema)
+        n = len(self.schema)
+        self.total = 0
+        self.nulls = [0] * n
+        self.uncertain = [0] * n
+        self.width_sum = [0.0] * n
+        self.width_n = [0] * n
+        self.distinct: List[set] = [set() for _ in range(n)]
+        self.mins: List[Any] = [_UNSET] * n
+        self.maxs: List[Any] = [_UNSET] * n
+        # histogram eligibility (False once a non-numeric value
+        # disqualifies the column) and the weighted numeric SG samples
+        # kept so an out-of-range write can rebuild the histogram
+        # without rescanning the relation; samples are dropped (None)
+        # once a column exceeds HISTOGRAM_SAMPLE_CAP — see finalize()
+        self.numeric_ok = [True] * n
+        self.samples: List[Optional[List[Tuple[float, int]]]] = [
+            [] for _ in range(n)
+        ]
+        # built histogram state per column (bucket counters maintained
+        # in place while values stay inside [hist_lo, hist_hi])
+        self.hist_lo: List[float] = [0.0] * n
+        self.hist_hi: List[float] = [0.0] * n
+        self.hist_counts: List[Optional[List[int]]] = [None] * n
+        self.hist_dirty = [True] * n
+        #: set when an out-of-range write hits a column whose samples
+        #: were dropped: only a full relation rescan can rebuild then
+        self.rescan_needed = False
+
+    def observe(self, t, annotation) -> None:
+        """Fold one stored row into the running statistics.
+
+        ``annotation`` is an integer multiplicity (deterministic
+        storage; the *delta* being added, so duplicate-row adds fold
+        correctly) or an ``(lb, sg, ub)`` triple (AU storage — counted
+        as one tuple, and only for tuples not previously present:
+        annotation merges leave the value distribution untouched).
+        """
+        weight = 1 if isinstance(annotation, tuple) else annotation
+        self.total += weight
+        for i, value in enumerate(t):
+            if isinstance(value, RangeValue):
+                sg, lb, ub = value.sg, value.lb, value.ub
+                if not value.is_certain:
+                    self.uncertain[i] += weight
+                w = value.width()
+                if math.isfinite(w):
+                    self.width_sum[i] += w * weight
+                    self.width_n[i] += weight
+            else:
+                sg = lb = ub = value
+                self.width_n[i] += weight
+            if sg is None:
+                self.nulls[i] += weight
+                continue
+            if self.numeric_ok[i]:
+                if isinstance(sg, (int, float)) and not isinstance(sg, bool):
+                    if self.samples[i] is not None:
+                        self.samples[i].append((sg, weight))
+                    self._observe_histogram(i, sg, weight)
+                    if self.hist_dirty[i] and self.samples[i] is None:
+                        # the range grew past a capped column's build:
+                        # no samples to rebuild from — rescan instead
+                        self.rescan_needed = True
+                else:
+                    self.numeric_ok[i] = False
+                    self.samples[i] = None
+                    self.hist_counts[i] = None
+                    self.hist_dirty[i] = False
+            self.distinct[i].add(domain_key(sg))
+            if self.mins[i] is _UNSET:
+                self.mins[i], self.maxs[i] = lb, ub
+            else:
+                if domain_key(lb) < domain_key(self.mins[i]):
+                    self.mins[i] = lb
+                if domain_key(ub) > domain_key(self.maxs[i]):
+                    self.maxs[i] = ub
+
+    def _observe_histogram(self, i: int, v: float, weight: int) -> None:
+        counts = self.hist_counts[i]
+        if counts is None or self.hist_dirty[i]:
+            return  # nothing built yet / already awaiting rebuild
+        lo, hi = self.hist_lo[i], self.hist_hi[i]
+        if lo <= v <= hi:
+            # same bucket-assignment arithmetic as Histogram.build, so
+            # the counters stay bit-identical to a from-scratch build
+            buckets = len(counts)
+            j = int((v - lo) * (buckets / (hi - lo)))
+            top = buckets - 1
+            counts[j if j < top else top] += weight
+        else:
+            self.hist_dirty[i] = True  # range grew: rebuild at finalize
+
+    def _finalize_histogram(self, i: int) -> Optional[Histogram]:
+        if not self.numeric_ok[i]:
+            return None
+        samples = self.samples[i]
+        if self.hist_dirty[i]:
+            if not samples:
+                # dropped (rescan_needed drives a full rescan) or empty
+                return None
+            built = Histogram.build(samples)
+            if built is None:
+                # degenerate (single point / non-finite): stay dirty so
+                # future observes re-attempt once the range widens —
+                # unless the column is past the sample cap, where
+                # re-attempting would mean rescanning on every write;
+                # such columns retire to min/max interpolation
+                self.hist_counts[i] = None
+                if len(samples) > HISTOGRAM_SAMPLE_CAP:
+                    self.numeric_ok[i] = False
+                    self.samples[i] = None
+                    self.hist_dirty[i] = False
+                return None
+            self.hist_lo[i], self.hist_hi[i] = built.lo, built.hi
+            self.hist_counts[i] = list(built.counts)
+            self.hist_dirty[i] = False
+            if len(samples) > HISTOGRAM_SAMPLE_CAP:
+                self.samples[i] = None  # bound memory; rescan on regrow
+            return built
+        counts = self.hist_counts[i]
+        if counts is None:
+            return None
+        if samples is not None and len(samples) > HISTOGRAM_SAMPLE_CAP:
+            self.samples[i] = None
+        return Histogram(self.hist_lo[i], self.hist_hi[i], tuple(counts))
+
+    def finalize(self) -> Dict[str, ColumnStats]:
+        """Snapshot the running state into per-column :class:`ColumnStats`."""
+        total = self.total
+        out: Dict[str, ColumnStats] = {}
+        for i, name in enumerate(self.schema):
+            out[name] = ColumnStats(
+                count=total,
+                distinct=len(self.distinct[i]),
+                min_value=None if self.mins[i] is _UNSET else self.mins[i],
+                max_value=None if self.maxs[i] is _UNSET else self.maxs[i],
+                null_fraction=self.nulls[i] / total if total else 0.0,
+                uncertain_fraction=(
+                    self.uncertain[i] / total if total else 0.0
+                ),
+                avg_width=(
+                    self.width_sum[i] / self.width_n[i]
+                    if self.width_n[i]
+                    else 0.0
+                ),
+                histogram=self._finalize_histogram(i),
+            )
+        return out
 
 
 def harvest_column_stats(db) -> Dict[str, Dict[str, ColumnStats]]:
@@ -217,71 +415,28 @@ def harvest_column_stats(db) -> Dict[str, Dict[str, ColumnStats]]:
 
 
 def _harvest_relation(rel) -> Dict[str, ColumnStats]:
-    # both storage layers memoize the harvest and invalidate on add(),
-    # so repeated evaluations over the same database pay it once
+    # both storage layers memoize the harvest; add() keeps the
+    # accumulator current incrementally (see StatsAccumulator) and only
+    # drops the finalized snapshot, so repeated harvests between writes
+    # are O(columns), not O(rows)
     cached = getattr(rel, "_column_stats_cache", None)
     if cached is not None:
         return cached
-    schema = tuple(rel.schema)
-    n = len(schema)
-    total = 0
-    nulls = [0] * n
-    uncertain = [0] * n
-    width_sum = [0.0] * n
-    width_n = [0] * n
-    distinct: List[set] = [set() for _ in range(n)]
-    mins: List[Any] = [_UNSET] * n
-    maxs: List[Any] = [_UNSET] * n
-    # weighted numeric SG samples per column (None once a non-numeric
-    # value disqualifies the column from getting a histogram)
-    numeric: List[Optional[List[Tuple[float, int]]]] = [[] for _ in range(n)]
-
-    for t, annotation in rel.tuples():
-        # AU annotations are (lb, sg, ub) triples counted per tuple;
-        # deterministic annotations are integer multiplicities.
-        weight = 1 if isinstance(annotation, tuple) else annotation
-        total += weight
-        for i, value in enumerate(t):
-            if isinstance(value, RangeValue):
-                sg, lb, ub = value.sg, value.lb, value.ub
-                if not value.is_certain:
-                    uncertain[i] += weight
-                w = value.width()
-                if math.isfinite(w):
-                    width_sum[i] += w * weight
-                    width_n[i] += weight
-            else:
-                sg = lb = ub = value
-                width_n[i] += weight
-            if sg is None:
-                nulls[i] += weight
-                continue
-            if numeric[i] is not None:
-                if isinstance(sg, (int, float)) and not isinstance(sg, bool):
-                    numeric[i].append((sg, weight))
-                else:
-                    numeric[i] = None
-            distinct[i].add(domain_key(sg))
-            if mins[i] is _UNSET:
-                mins[i], maxs[i] = lb, ub
-            else:
-                if domain_key(lb) < domain_key(mins[i]):
-                    mins[i] = lb
-                if domain_key(ub) > domain_key(maxs[i]):
-                    maxs[i] = ub
-
-    out: Dict[str, ColumnStats] = {}
-    for i, name in enumerate(schema):
-        out[name] = ColumnStats(
-            count=total,
-            distinct=len(distinct[i]),
-            min_value=None if mins[i] is _UNSET else mins[i],
-            max_value=None if maxs[i] is _UNSET else maxs[i],
-            null_fraction=nulls[i] / total if total else 0.0,
-            uncertain_fraction=uncertain[i] / total if total else 0.0,
-            avg_width=width_sum[i] / width_n[i] if width_n[i] else 0.0,
-            histogram=Histogram.build(numeric[i]) if numeric[i] else None,
-        )
+    acc = getattr(rel, "_stats_acc", None)
+    if (
+        acc is None
+        or acc.schema != tuple(rel.schema)
+        or acc.rescan_needed
+    ):
+        # rebuild fallback: no (valid) incremental state — full rescan
+        acc = StatsAccumulator(rel.schema)
+        for t, annotation in rel.tuples():
+            acc.observe(t, annotation)
+        try:
+            rel._stats_acc = acc
+        except AttributeError:
+            pass  # duck-typed relation without the slot
+    out = acc.finalize()
     try:
         rel._column_stats_cache = out
     except AttributeError:

@@ -29,6 +29,8 @@ __all__ = [
     "Expression",
     "Var",
     "Const",
+    "Parameter",
+    "UnboundParameterError",
     "And",
     "Or",
     "Not",
@@ -92,6 +94,15 @@ def _bool_range(lb: bool, sg: bool, ub: bool) -> RangeValue:
     return RangeValue(lb, sg, ub)
 
 
+class UnboundParameterError(LookupError):
+    """A :class:`Parameter` placeholder was evaluated without a binding.
+
+    Raised when a plan containing ``?`` / ``:name`` placeholders reaches
+    an executor directly; bind values first (``PreparedQuery.execute``
+    or :func:`repro.session.bind_parameters`).
+    """
+
+
 class Expression:
     """Base class of the scalar expression AST."""
 
@@ -105,6 +116,18 @@ class Expression:
     def _collect_vars(self, out: Set[str]) -> None:
         for child in self.children():
             child._collect_vars(out)
+
+    def parameters(self) -> List[Any]:
+        """Placeholder keys mentioned by the expression, in first-seen
+        order: ``int`` indices for positional ``?`` parameters, ``str``
+        names for ``:name`` parameters."""
+        out: List[Any] = []
+        self._collect_params(out)
+        return out
+
+    def _collect_params(self, out: List[Any]) -> None:
+        for child in self.children():
+            child._collect_params(out)
 
     def children(self) -> Iterable["Expression"]:
         return ()
@@ -228,6 +251,47 @@ class Const(Expression):
 
 TRUE = Const(True)
 FALSE = Const(False)
+
+
+@dataclass(frozen=True, eq=False)
+class Parameter(Expression):
+    """A query parameter placeholder (``?`` positional / ``:name`` named).
+
+    Parameters survive parsing, logical optimization, and physical
+    lowering *symbolically*, which is what lets one prepared plan serve
+    many bindings (:mod:`repro.session`).  They carry no value: both
+    evaluation semantics raise :class:`UnboundParameterError` — binding
+    (substitution by a :class:`Const`) must happen before execution.
+
+    ``key`` is the 0-based position for ``?`` placeholders (assigned
+    left-to-right by the parser) or the name for ``:name`` placeholders.
+    """
+
+    key: Any  # int (positional) | str (named)
+
+    def _collect_params(self, out: List[Any]) -> None:
+        if self.key not in out:
+            out.append(self.key)
+
+    def eval(self, valuation: Dict[str, Any]) -> Any:
+        raise UnboundParameterError(
+            f"parameter {self!r} is unbound; execute through a prepared "
+            "query or bind_parameters() first"
+        )
+
+    def eval_range(self, valuation: Dict[str, RangeValue]) -> RangeValue:
+        raise UnboundParameterError(
+            f"parameter {self!r} is unbound; execute through a prepared "
+            "query or bind_parameters() first"
+        )
+
+    def __repr__(self) -> str:
+        if isinstance(self.key, int):
+            return f"?{self.key}"
+        return f":{self.key}"
+
+    def __hash__(self) -> int:
+        return hash(("Parameter", self.key))
 
 
 class _Binary(Expression):

@@ -39,7 +39,14 @@ class AURelation:
         :class:`RangeValue` instances.
     """
 
-    __slots__ = ("schema", "_rows", "_column_stats_cache", "_columnar_cache")
+    __slots__ = (
+        "schema",
+        "_rows",
+        "stats_epoch",
+        "_column_stats_cache",
+        "_columnar_cache",
+        "_stats_acc",
+    )
 
     def __init__(
         self,
@@ -50,11 +57,17 @@ class AURelation:
     ) -> None:
         self.schema: Tuple[str, ...] = tuple(schema)
         self._rows: Dict[AUTuple, AUAnnotation] = {}
+        #: monotonically increasing write counter — every add() bumps it;
+        #: databases sum it into their catalog epoch (repro.session)
+        self.stats_epoch = 0
         # memoized per-column statistics (repro.algebra.stats) and the
-        # columnar image used by the vectorized backend (repro.exec);
-        # add() invalidates both — operators treat relations as immutable
+        # columnar image used by the vectorized backend (repro.exec).
+        # add() drops the columnar image; column statistics are kept
+        # current *incrementally* (_stats_acc) — operators treat
+        # relations as immutable, so add() is the only mutation path
         self._column_stats_cache = None
         self._columnar_cache = None
+        self._stats_acc = None
         if rows is None:
             return
         items = rows.items() if isinstance(rows, Mapping) else rows
@@ -84,8 +97,15 @@ class AURelation:
             )
         existing = self._rows.get(t)
         self._rows[t] = au_add(existing, annotation) if existing else annotation
-        self._column_stats_cache = None
+        self.stats_epoch += 1
         self._columnar_cache = None
+        if existing is None:
+            # column statistics weight AU rows one-per-tuple, so only a
+            # *new* tuple changes them; an annotation merge leaves the
+            # value distribution (and hence the finalized snapshot) valid
+            self._column_stats_cache = None
+            if self._stats_acc is not None:
+                self._stats_acc.observe(t, annotation)
 
     @classmethod
     def from_certain_rows(
@@ -181,10 +201,23 @@ class AURelation:
 class AUDatabase:
     """A named collection of AU-relations."""
 
-    __slots__ = ("relations",)
+    __slots__ = ("relations", "_epoch_base")
 
     def __init__(self, relations: Mapping[str, AURelation] | None = None) -> None:
         self.relations: Dict[str, AURelation] = dict(relations or {})
+        self._epoch_base = 0
+
+    @property
+    def epoch(self) -> int:
+        """Catalog epoch — see :attr:`repro.db.storage.DetDatabase.epoch`.
+
+        Strictly increases on every ``AURelation.add`` and every
+        ``db[name] = rel`` rebinding; the session layer keys plan-cache
+        staleness on it.
+        """
+        return self._epoch_base + sum(
+            rel.stats_epoch for rel in self.relations.values()
+        )
 
     def __getitem__(self, name: str) -> AURelation:
         try:
@@ -195,6 +228,12 @@ class AUDatabase:
             ) from None
 
     def __setitem__(self, name: str, rel: AURelation) -> None:
+        previous = self.relations.get(name)
+        # keep the epoch monotone even when the incoming relation's own
+        # write counter is behind the one it replaces
+        self._epoch_base += 1 + (
+            previous.stats_epoch if previous is not None else 0
+        )
         self.relations[name] = rel
 
     def __contains__(self, name: str) -> bool:

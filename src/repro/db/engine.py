@@ -50,16 +50,11 @@ from ..algebra.ast import (
     TopK,
     Union,
 )
-from ..algebra.optimizer import (
-    DEFAULT_JOIN_ORDER,
-    Statistics,
-    optimize as _optimize_plan,
-)
+from ..algebra.optimizer import DEFAULT_JOIN_ORDER
 from ..core.aggregation import AggregateSpec
 from ..core.expressions import Expression, RowView, Var
 from ..core.ranges import domain_key
 from ..core.sums import exact_sum
-from ..exec import BACKENDS
 from ..exec import physical as phys
 from .storage import DetDatabase, DetRelation
 
@@ -77,6 +72,13 @@ def evaluate_det(
     physical: bool = True,
 ) -> DetRelation:
     """Evaluate ``plan`` over deterministic database ``db``.
+
+    Since the query-session layer (:mod:`repro.session`) this is a thin
+    shim: it opens an ephemeral :class:`~repro.session.Connection`,
+    compiles the plan through the full pipeline, and executes it once.
+    Repeated-query workloads should hold a ``Connection`` (or a
+    :class:`~repro.session.PreparedQuery`) instead and amortize the
+    parse/optimize/lower stages across executions.
 
     ``optimize`` (default on) runs the shared logical plan optimizer
     first; its rewrites are exact for bag semantics, so the result is
@@ -105,30 +107,19 @@ def evaluate_det(
     recorded nodes belong to the *optimized* plan, so pre-optimize and
     pass ``optimize=False`` to correlate them.
     """
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"unknown backend {backend!r}; expected one of {BACKENDS}"
-        )
-    stats = None
-    if optimize:
-        stats = Statistics.from_database(db)
-        plan = _optimize_plan(plan, stats, join_order=join_order)
-    if backend == "tuple" and not physical:
-        return _evaluate(plan, db, actuals)
-    if stats is None:
-        stats = Statistics.from_database(db)
-    pplan = phys.lower(
-        plan,
-        stats,
-        phys.PhysicalConfig(
-            engine="det", backend=backend, parallelism=parallelism
-        ),
-    )
-    if backend == "vectorized":
-        from ..exec.vectorized import execute_det
+    from ..algebra.evaluator import EvalConfig
+    from ..session import Connection
 
-        return execute_det(pplan, db, actuals=actuals)
-    return execute_physical_det(pplan, db, actuals)
+    config = EvalConfig(
+        optimize=optimize,
+        join_order=join_order,
+        backend=backend,
+        parallelism=parallelism,
+        physical=physical,
+    )
+    return Connection(db, engine="det", config=config).execute(
+        plan, actuals=actuals
+    )
 
 
 # ----------------------------------------------------------------------

@@ -20,7 +20,14 @@ __all__ = ["DetRelation", "DetDatabase"]
 class DetRelation:
     """An ``N``-relation: bag of tuples with multiplicities."""
 
-    __slots__ = ("schema", "rows", "_column_stats_cache", "_columnar_cache")
+    __slots__ = (
+        "schema",
+        "rows",
+        "stats_epoch",
+        "_column_stats_cache",
+        "_columnar_cache",
+        "_stats_acc",
+    )
 
     def __init__(
         self,
@@ -31,11 +38,19 @@ class DetRelation:
     ) -> None:
         self.schema: Tuple[str, ...] = tuple(schema)
         self.rows: Dict[Tuple[Any, ...], int] = {}
+        #: monotonically increasing write counter — every add() bumps it;
+        #: databases sum it into their catalog epoch, which keys the
+        #: session layer's plan cache (repro.session)
+        self.stats_epoch = 0
         # memoized per-column statistics (repro.algebra.stats) and the
-        # columnar image used by the vectorized backend (repro.exec);
-        # add() invalidates both — mutate through add() only, as documented
+        # columnar image used by the vectorized backend (repro.exec).
+        # add() drops the columnar image and the finalized stats snapshot
+        # but keeps the incremental accumulator (_stats_acc) current, so
+        # the next harvest is O(columns) — mutate through add() only, as
+        # documented
         self._column_stats_cache = None
         self._columnar_cache = None
+        self._stats_acc = None
         if rows is None:
             return
         if isinstance(rows, Mapping):
@@ -56,8 +71,13 @@ class DetRelation:
                 f"arity {len(t)} does not match schema {self.schema}"
             )
         self.rows[t] = self.rows.get(t, 0) + multiplicity
+        self.stats_epoch += 1
         self._column_stats_cache = None
         self._columnar_cache = None
+        if self._stats_acc is not None:
+            # incremental statistics: fold the delta multiplicity in
+            # instead of invalidating the whole harvest
+            self._stats_acc.observe(t, multiplicity)
 
     def multiplicity(self, t: Tuple[Any, ...]) -> int:
         return self.rows.get(tuple(t), 0)
@@ -83,13 +103,16 @@ class DetRelation:
     def __iter__(self) -> Iterator[Tuple[Any, ...]]:
         return iter(self.rows)
 
-    def __eq__(self, other: object) -> bool:
-        if not isinstance(other, DetRelation):
-            return NotImplemented
+    # NOTE: relations deliberately use *identity* equality and hashing.
+    # An earlier revision defined value-based __eq__ next to an identity
+    # __hash__, which broke the eq/hash contract: two value-equal
+    # relations could land in different dict buckets, so relations were
+    # unsafe as dict/cache keys (the session layer keys caches by
+    # relation identity).  Value comparison is explicit now:
+    # ``same_contents`` or compare ``.schema``/``.rows`` directly.
+    def same_contents(self, other: "DetRelation") -> bool:
+        """Value comparison: same schema and same bag of rows."""
         return self.schema == other.schema and self.rows == other.rows
-
-    def __hash__(self) -> int:  # relations are mutable builders; identity hash
-        return id(self)
 
     def __repr__(self) -> str:
         header = ", ".join(self.schema)
@@ -107,10 +130,27 @@ class DetRelation:
 class DetDatabase:
     """A named collection of deterministic relations."""
 
-    __slots__ = ("relations",)
+    __slots__ = ("relations", "_epoch_base")
 
     def __init__(self, relations: Mapping[str, DetRelation] | None = None) -> None:
         self.relations: Dict[str, DetRelation] = dict(relations or {})
+        self._epoch_base = 0
+
+    @property
+    def epoch(self) -> int:
+        """Catalog epoch: a monotonically increasing write version.
+
+        Sums the per-relation write counters plus a database-level
+        counter bumped on relation (re)binding, so *any* write through
+        the supported mutation paths — ``DetRelation.add`` or
+        ``db[name] = rel`` — strictly increases it.  The session layer
+        (:mod:`repro.session`) keys its plan cache and staleness checks
+        on this value.  Mutating ``db.relations`` directly bypasses the
+        versioning (as it bypasses every cache); don't.
+        """
+        return self._epoch_base + sum(
+            rel.stats_epoch for rel in self.relations.values()
+        )
 
     def __getitem__(self, name: str) -> DetRelation:
         try:
@@ -121,6 +161,12 @@ class DetDatabase:
             ) from None
 
     def __setitem__(self, name: str, rel: DetRelation) -> None:
+        previous = self.relations.get(name)
+        # keep the epoch monotone even when the incoming relation's own
+        # write counter is behind the one it replaces
+        self._epoch_base += 1 + (
+            previous.stats_epoch if previous is not None else 0
+        )
         self.relations[name] = rel
 
     def __contains__(self, name: str) -> bool:

@@ -4,6 +4,14 @@ Every ``fig*`` module exposes ``run(...) -> list[dict]`` returning one row
 per measured configuration and a ``main()`` that prints the rows as the
 table/series the paper reports.  The pytest-benchmark files under
 ``benchmarks/`` wrap the same hot paths.
+
+The harnesses evaluate through the query-session layer
+(:mod:`repro.session`): :func:`session_pair` opens one deterministic and
+one AU :class:`~repro.session.Connection` over the same uncertain
+instance, so a harness can either time the cold path (a fresh prepare
+per call, the paper's one-shot regime) or hold the connection and time
+cache-hit executions (the serving regime benchmarked by
+``benchmarks/bench_session.py``).
 """
 
 from __future__ import annotations
@@ -11,7 +19,40 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
 
-__all__ = ["time_call", "format_table", "print_experiment"]
+from ..algebra.evaluator import EvalConfig
+from ..core.relation import AUDatabase
+from ..db.storage import DetDatabase, DetRelation
+from ..session import Connection
+
+__all__ = [
+    "time_call",
+    "format_table",
+    "print_experiment",
+    "sgw_database",
+    "session_pair",
+]
+
+
+def sgw_database(audb: AUDatabase) -> DetDatabase:
+    """The deterministic selected-guess world encoded by ``audb``."""
+    det = DetDatabase({})
+    for name, rel in audb.relations.items():
+        d = DetRelation(rel.schema)
+        for row, mult in rel.selected_guess_world().items():
+            d.add(row, mult)
+        det[name] = d
+    return det
+
+
+def session_pair(
+    audb: AUDatabase,
+    det_config: EvalConfig | None = None,
+    au_config: EvalConfig | None = None,
+) -> Tuple[Connection, Connection]:
+    """``(det connection over the SGW, AU connection)`` for one AU-DB."""
+    det_conn = Connection(sgw_database(audb), engine="det", config=det_config)
+    au_conn = Connection(audb, engine="au", config=au_config)
+    return det_conn, au_conn
 
 
 def time_call(fn: Callable[[], Any], repeat: int = 1) -> Tuple[float, Any]:

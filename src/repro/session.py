@@ -1,0 +1,850 @@
+"""The query-session layer: connections, prepared statements, plan caching.
+
+Until this module, every query call re-parsed its SQL, re-harvested the
+statistics catalog, re-ran the logical optimizer, and re-lowered to a
+physical plan — fine for one-shot experiments, fatal for a serving
+workload that answers the same parameterized queries over and over.
+:class:`Connection` turns the four-stage pipeline (SQL → logical plan →
+logical optimizer → physical planner → executor) into a *prepare once,
+execute many* lifecycle:
+
+* :meth:`Connection.prepare` compiles SQL (or a logical plan) into a
+  :class:`PreparedQuery` holding the optimized logical plan and the
+  lowered physical plan, with ``?`` / ``:name`` placeholders kept
+  symbolic (:class:`~repro.core.expressions.Parameter`);
+* :meth:`PreparedQuery.execute` re-binds parameters by substituting
+  constants into the *physical* plan — no re-parse, no re-optimize, no
+  re-lower — and dispatches to the backend chosen at prepare time;
+* SQL-text queries are memoized in a per-connection LRU **plan cache**
+  keyed by ``(SQL text, engine, EvalConfig, catalog-epoch band)``;
+* the **catalog epoch** (a monotonically increasing write version
+  maintained by the storage layers) drives staleness: a prepared query
+  whose epoch has drifted more than ``staleness`` writes past its last
+  lowering is transparently *re-lowered* (fresh statistics, fresh
+  physical choices — cheap, no parse or optimize), and the epoch *band*
+  in the cache key retires whole cache generations every
+  ``staleness × 16`` writes so even long-lived optimized logical plans
+  eventually re-optimize against current statistics.
+
+All physical choices a re-lowering may revise (hash vs nested-loop
+joins, fallback boundaries, parallel regions) are result-invariant, so a
+prepared query returns results bit-identical to a fresh evaluation at
+any staleness — the differential fuzzer's prepared-statement lane holds
+both engines and both backends to that.  The one documented exception:
+``EvalConfig.adaptive_compression`` places AU ``Cpr`` budgets from
+statistics, so a cached plan may compress differently (still *sound*,
+bounds-preserving either way) than a cold run after heavy writes.
+
+``evaluate_det`` / ``evaluate_audb`` remain as thin shims that route
+through an ephemeral connection, so existing call sites keep working
+unchanged.
+
+Connections are not thread-safe; use one per worker.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from .algebra.ast import (
+    Aggregate,
+    CrossProduct,
+    Difference,
+    Distinct,
+    Join,
+    Limit,
+    OrderBy,
+    Plan,
+    Projection,
+    Rename,
+    Selection,
+    TableRef,
+    TopK,
+    Union as PlanUnion,
+)
+from .algebra.evaluator import EvalConfig, execute_physical_audb
+from .algebra.optimizer import Statistics, compression_hints, optimize
+from .core.aggregation import AggregateSpec
+from .core.expressions import (
+    And,
+    Add,
+    Const,
+    Div,
+    Eq,
+    Expression,
+    Geq,
+    Gt,
+    If,
+    IsNull,
+    Leq,
+    Lt,
+    MakeUncertain,
+    Mul,
+    Neg,
+    Neq,
+    Not,
+    Or,
+    Parameter,
+    Sub,
+    UnboundParameterError,
+)
+from .core.relation import AUDatabase
+from .db.storage import DetDatabase
+from .exec import BACKENDS
+from .exec import physical as phys
+from .sql.parser import parse_sql
+
+__all__ = [
+    "Connection",
+    "ConnectionMetrics",
+    "PreparedQuery",
+    "connect",
+    "bind_parameters",
+    "collect_parameters",
+    "DEFAULT_STALENESS",
+]
+
+#: Epoch drift (number of writes since the last lowering) beyond which a
+#: prepared query re-lowers its physical plan against fresh statistics.
+DEFAULT_STALENESS = 64
+
+#: Cache-key epoch bands are this many staleness windows wide: a cached
+#: *logical* optimization survives at most ``staleness × _BAND_FACTOR``
+#: writes before a fresh prepare replaces it.
+_BAND_FACTOR = 16
+
+#: Per-connection plan-cache capacity (LRU eviction).
+DEFAULT_CACHE_SIZE = 128
+
+#: Per-prepared-query memo of bound physical plans (LRU): re-executing
+#: a hot binding reuses the identical bound expression objects, so the
+#: vectorized backend's compiled-closure cache (keyed on expression
+#: identity — :mod:`repro.exec.compile`) hits instead of re-running
+#: codegen per call.
+_BOUND_PLAN_MEMO = 8
+
+
+# ======================================================================
+# parameter binding
+# ======================================================================
+_BINARY = (And, Or, Eq, Neq, Leq, Lt, Geq, Gt, Add, Sub, Mul, Div)
+
+
+def collect_parameters(plan: Plan) -> List[Any]:
+    """All parameter keys mentioned anywhere in ``plan``, first-seen order."""
+    out: List[Any] = []
+
+    def expr(e: Optional[Expression]) -> None:
+        if e is not None:
+            for key in e.parameters():
+                if key not in out:
+                    out.append(key)
+
+    for node in plan.walk():
+        if isinstance(node, Selection):
+            expr(node.condition)
+        elif isinstance(node, Projection):
+            for e, _name in node.columns:
+                expr(e)
+        elif isinstance(node, Join):
+            expr(node.condition)
+        elif isinstance(node, Aggregate):
+            for spec in node.aggregates:
+                expr(spec.expr)
+            expr(node.having)
+    return out
+
+
+def _resolve_binding(
+    keys: Sequence[Any], params: Union[Sequence[Any], Mapping[Any, Any], None]
+) -> Dict[Any, Expression]:
+    """Map every parameter key to a ``Const`` from the caller's values.
+
+    ``params`` is a sequence for positional ``?`` placeholders, a
+    mapping for ``:name`` (or explicit-index) placeholders, or ``None``
+    for parameterless queries.  Missing keys raise
+    :class:`UnboundParameterError`; surplus values are rejected too, so
+    arity mistakes fail loudly.
+    """
+    if not keys:
+        if params:
+            raise UnboundParameterError(
+                f"query takes no parameters, got {params!r}"
+            )
+        return {}
+    binding: Dict[Any, Expression] = {}
+    missing: List[Any] = []
+    if params is None:
+        missing = list(keys)
+    elif isinstance(params, Mapping):
+        for key in keys:
+            if key in params:
+                binding[key] = _as_const(params[key])
+            else:
+                missing.append(key)
+        surplus = [k for k in params if k not in keys]
+        if surplus:
+            raise UnboundParameterError(
+                f"unknown parameter(s) {surplus!r}; query declares {list(keys)!r}"
+            )
+    else:
+        values = list(params)
+        positions = [k for k in keys if isinstance(k, int)]
+        named = [k for k in keys if not isinstance(k, int)]
+        if named:
+            raise UnboundParameterError(
+                f"named parameter(s) {named!r} need a mapping, got a sequence"
+            )
+        if len(values) != len(positions) or any(
+            k >= len(values) for k in positions
+        ):
+            raise UnboundParameterError(
+                f"positional parameter(s) at index(es) {positions!r} need "
+                f"exactly {len(positions)} value(s), got {len(values)}"
+            )
+        for key in positions:
+            binding[key] = _as_const(values[key])
+    if missing:
+        raise UnboundParameterError(f"unbound parameter(s): {missing!r}")
+    return binding
+
+
+def _as_const(value: Any) -> Expression:
+    return value if isinstance(value, Expression) else Const(value)
+
+
+def _bind_expr(
+    expr: Expression, binding: Mapping[Any, Expression]
+) -> Expression:
+    """``expr`` with every :class:`Parameter` replaced by its binding."""
+    if isinstance(expr, Parameter):
+        bound = binding.get(expr.key)
+        if bound is None:
+            raise UnboundParameterError(f"unbound parameter {expr!r}")
+        return bound
+    if not expr.parameters():
+        return expr
+    if isinstance(expr, _BINARY):
+        return type(expr)(
+            _bind_expr(expr.left, binding), _bind_expr(expr.right, binding)
+        )
+    if isinstance(expr, (Not, Neg, IsNull)):
+        return type(expr)(_bind_expr(expr.operand, binding))
+    if isinstance(expr, If):
+        return If(
+            _bind_expr(expr.cond, binding),
+            _bind_expr(expr.then_branch, binding),
+            _bind_expr(expr.else_branch, binding),
+        )
+    if isinstance(expr, MakeUncertain):
+        return MakeUncertain(
+            _bind_expr(expr.lb, binding),
+            _bind_expr(expr.sg, binding),
+            _bind_expr(expr.ub, binding),
+        )
+    raise TypeError(
+        f"cannot bind parameters inside {type(expr).__name__!r}"
+    )
+
+
+def _bind_spec(spec: AggregateSpec, binding) -> AggregateSpec:
+    if spec.expr is None or not spec.expr.parameters():
+        return spec
+    return AggregateSpec(spec.kind, _bind_expr(spec.expr, binding), spec.name)
+
+
+def _bind_plan(plan: Plan, binding: Mapping[Any, Expression]) -> Plan:
+    """A copy of the logical ``plan`` with parameters bound.
+
+    Nodes (and whole subtrees) without parameters are returned as-is, so
+    a parameterless query binds to the identical object graph —
+    per-node ``actuals`` keyed by ``id(node)`` keep working.
+    """
+    if isinstance(plan, TableRef):
+        return plan
+    if isinstance(plan, Selection):
+        child = _bind_plan(plan.child, binding)
+        cond = _bind_expr(plan.condition, binding)
+        if child is plan.child and cond is plan.condition:
+            return plan
+        return Selection(child, cond)
+    if isinstance(plan, Projection):
+        child = _bind_plan(plan.child, binding)
+        cols = tuple((_bind_expr(e, binding), n) for e, n in plan.columns)
+        if child is plan.child and all(
+            c[0] is o[0] for c, o in zip(cols, plan.columns)
+        ):
+            return plan
+        return Projection(child, cols)
+    if isinstance(plan, Join):
+        left = _bind_plan(plan.left, binding)
+        right = _bind_plan(plan.right, binding)
+        cond = _bind_expr(plan.condition, binding)
+        if left is plan.left and right is plan.right and cond is plan.condition:
+            return plan
+        return Join(left, right, cond)
+    if isinstance(plan, (CrossProduct, PlanUnion, Difference)):
+        left = _bind_plan(plan.left, binding)
+        right = _bind_plan(plan.right, binding)
+        if left is plan.left and right is plan.right:
+            return plan
+        return type(plan)(left, right)
+    if isinstance(plan, Distinct):
+        child = _bind_plan(plan.child, binding)
+        return plan if child is plan.child else Distinct(child)
+    if isinstance(plan, Aggregate):
+        child = _bind_plan(plan.child, binding)
+        specs = tuple(_bind_spec(s, binding) for s in plan.aggregates)
+        having = (
+            _bind_expr(plan.having, binding)
+            if plan.having is not None
+            else None
+        )
+        if (
+            child is plan.child
+            and having is plan.having
+            and all(s is o for s, o in zip(specs, plan.aggregates))
+        ):
+            return plan
+        return Aggregate(child, plan.group_by, specs, having)
+    if isinstance(plan, Rename):
+        child = _bind_plan(plan.child, binding)
+        return plan if child is plan.child else Rename(child, plan.mapping_dict())
+    if isinstance(plan, OrderBy):
+        child = _bind_plan(plan.child, binding)
+        if child is plan.child:
+            return plan
+        return OrderBy(child, plan.keys, plan.descending)
+    if isinstance(plan, Limit):
+        child = _bind_plan(plan.child, binding)
+        return plan if child is plan.child else Limit(child, plan.n)
+    if isinstance(plan, TopK):
+        child = _bind_plan(plan.child, binding)
+        if child is plan.child:
+            return plan
+        return TopK(child, plan.keys, plan.descending, plan.n)
+    raise TypeError(f"cannot bind parameters in {type(plan).__name__!r}")
+
+
+def bind_parameters(
+    query: Union[Plan, Expression],
+    params: Union[Sequence[Any], Mapping[Any, Any], None],
+) -> Union[Plan, Expression]:
+    """Substitute parameter values into a logical plan or expression.
+
+    The explicit, non-cached counterpart of
+    :meth:`PreparedQuery.execute`: useful to materialize the exact query
+    a binding denotes (the differential fuzzer compares prepared
+    execution against fresh evaluation of this).
+    """
+    if isinstance(query, Expression):
+        binding = _resolve_binding(query.parameters(), params)
+        return _bind_expr(query, binding) if binding else query
+    binding = _resolve_binding(collect_parameters(query), params)
+    return _bind_plan(query, binding) if binding else query
+
+
+# ----------------------------------------------------------------------
+# physical-plan binding
+# ----------------------------------------------------------------------
+def _copy_phys(node: phys.PhysNode, template: phys.PhysNode) -> phys.PhysNode:
+    node.est = template.est
+    node.sources = template.sources
+    return node
+
+
+def _bind_phys(node: phys.PhysNode, binding) -> phys.PhysNode:
+    """A copy of a physical plan with parameters bound into every
+    expression position; untouched subtrees are shared, not copied."""
+    if isinstance(node, (phys.Scan, phys.ParallelScan)):
+        return node
+    if isinstance(node, phys.FusedSelectProject):
+        child = _bind_phys(node.child, binding)
+        cond = (
+            _bind_expr(node.condition, binding)
+            if node.condition is not None
+            else None
+        )
+        cols = (
+            tuple((_bind_expr(e, binding), n) for e, n in node.columns)
+            if node.columns is not None
+            else None
+        )
+        if child is node.child and cond is node.condition and (
+            cols is None
+            or all(c[0] is o[0] for c, o in zip(cols, node.columns))
+        ):
+            return node
+        return _copy_phys(phys.FusedSelectProject(child, cond, cols), node)
+    if isinstance(node, phys.Rename):
+        child = _bind_phys(node.child, binding)
+        if child is node.child:
+            return node
+        return _copy_phys(phys.Rename(child, node.mapping), node)
+    if isinstance(node, phys.HashJoin):
+        left = _bind_phys(node.left, binding)
+        right = _bind_phys(node.right, binding)
+        cond = _bind_expr(node.condition, binding)
+        if left is node.left and right is node.right and cond is node.condition:
+            return node
+        return _copy_phys(
+            phys.HashJoin(left, right, cond, node.eq_pairs, node.pure_equi),
+            node,
+        )
+    if isinstance(node, phys.NLJoin):
+        left = _bind_phys(node.left, binding)
+        right = _bind_phys(node.right, binding)
+        cond = (
+            _bind_expr(node.condition, binding)
+            if node.condition is not None
+            else None
+        )
+        if left is node.left and right is node.right and cond is node.condition:
+            return node
+        return _copy_phys(
+            phys.NLJoin(left, right, cond, node.check_overlap), node
+        )
+    if isinstance(node, phys.CompressedJoin):
+        left = _bind_phys(node.left, binding)
+        right = _bind_phys(node.right, binding)
+        cond = _bind_expr(node.condition, binding)
+        if left is node.left and right is node.right and cond is node.condition:
+            return node
+        return _copy_phys(
+            phys.CompressedJoin(left, right, cond, node.pair, node.buckets),
+            node,
+        )
+    if isinstance(node, phys.Concat):
+        left = _bind_phys(node.left, binding)
+        right = _bind_phys(node.right, binding)
+        if left is node.left and right is node.right:
+            return node
+        return _copy_phys(phys.Concat(left, right), node)
+    if isinstance(node, phys.HashDistinct):
+        child = _bind_phys(node.child, binding)
+        if child is node.child:
+            return node
+        return _copy_phys(phys.HashDistinct(child), node)
+    if isinstance(node, phys.HashAggregate):
+        child = _bind_phys(node.child, binding)
+        specs = tuple(_bind_spec(s, binding) for s in node.aggregates)
+        having = (
+            _bind_expr(node.having, binding)
+            if node.having is not None
+            else None
+        )
+        if (
+            child is node.child
+            and having is node.having
+            and all(s is o for s, o in zip(specs, node.aggregates))
+        ):
+            return node
+        return _copy_phys(
+            phys.HashAggregate(
+                child, node.group_by, specs, having, node.partial
+            ),
+            node,
+        )
+    if isinstance(node, phys.TopK):
+        child = _bind_phys(node.child, binding)
+        if child is node.child:
+            return node
+        return _copy_phys(
+            phys.TopK(child, node.keys, node.descending, node.n), node
+        )
+    if isinstance(node, phys.Limit):
+        child = _bind_phys(node.child, binding)
+        if child is node.child:
+            return node
+        return _copy_phys(phys.Limit(child, node.n), node)
+    if isinstance(node, phys.TupleFallback):
+        inputs = tuple(_bind_phys(c, binding) for c in node.inputs)
+        logical = _bind_plan(node.logical, binding)
+        if logical is node.logical and all(
+            i is o for i, o in zip(inputs, node.inputs)
+        ):
+            return node
+        return _copy_phys(
+            phys.TupleFallback(node.kind, logical, inputs, node.buckets), node
+        )
+    if isinstance(node, phys.Exchange):
+        child = _bind_phys(node.child, binding)
+        final = (
+            _bind_phys(node.final, binding) if node.final is not None else None
+        )
+        if child is node.child and final is node.final:
+            return node
+        return _copy_phys(
+            phys.Exchange(child, node.merge, node.partitions, final), node
+        )
+    raise TypeError(
+        f"cannot bind parameters in physical node {type(node).__name__!r}"
+    )
+
+
+# ======================================================================
+# the session objects
+# ======================================================================
+@dataclass
+class ConnectionMetrics:
+    """Lifecycle counters of one connection (all monotone).
+
+    ``cache_hits`` / ``cache_misses`` count SQL plan-cache lookups;
+    ``parses`` / ``optimizations`` / ``lowerings`` count the pipeline
+    stages actually run (a cache hit runs none of them);
+    ``relowerings`` counts staleness-triggered physical re-plans (a
+    subset of ``lowerings``); ``stats_refreshes`` counts catalog
+    harvests; ``executions`` counts query executions.
+    """
+
+    parses: int = 0
+    optimizations: int = 0
+    lowerings: int = 0
+    relowerings: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    executions: int = 0
+    stats_refreshes: int = 0
+    statements_prepared: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class PreparedQuery:
+    """A compiled query: parsed once, optimized once, re-lowered lazily.
+
+    Created by :meth:`Connection.prepare`.  Holds the raw logical plan
+    (``plan``), the optimized logical plan (``optimized``), and — unless
+    the config selects the legacy direct interpretation — the lowered
+    physical plan (``pplan``) together with the catalog epoch it was
+    lowered at.  :meth:`execute` binds parameter values into the cached
+    physical plan and runs it; when the connection's epoch has drifted
+    more than ``staleness`` writes past the last lowering, the physical
+    plan is first rebuilt against fresh statistics (re-*lowered*; the
+    parse and logical optimization are never repeated for the lifetime
+    of the object).
+    """
+
+    def __init__(
+        self,
+        connection: "Connection",
+        query: Union[str, Plan],
+        config: EvalConfig,
+    ) -> None:
+        metrics = connection.metrics
+        metrics.statements_prepared += 1
+        self.connection = connection
+        self.config = config
+        if isinstance(query, str):
+            self.sql: Optional[str] = query
+            metrics.parses += 1
+            self.plan = parse_sql(query)
+        else:
+            self.sql = None
+            self.plan = query
+        #: parameter keys the query declares, in first-seen order
+        self.parameters = collect_parameters(self.plan)
+        if config.optimize:
+            stats = connection.statistics()
+            self.optimized = optimize(
+                self.plan, stats, join_order=config.join_order
+            )
+            metrics.optimizations += 1
+        else:
+            self.optimized = self.plan
+        self.pplan: Optional[phys.PhysNode] = None
+        self.plan_epoch: Optional[int] = None
+        # binding-values -> bound physical plan (LRU), so hot bindings
+        # keep stable expression identities across executions
+        self._bound_plans: "OrderedDict[tuple, phys.PhysNode]" = OrderedDict()
+        if self._needs_physical:
+            self._lower()
+
+    @property
+    def _needs_physical(self) -> bool:
+        # physical=False keeps the legacy direct interpretation of the
+        # logical plan (tuple backends only — the fuzzer's reference)
+        return not (self.config.backend == "tuple" and not self.config.physical)
+
+    def _lower(self, relower: bool = False) -> None:
+        conn = self.connection
+        stats = conn.statistics()
+        config = self.config
+        self.pplan = phys.lower(
+            self.optimized,
+            stats,
+            phys.PhysicalConfig(
+                engine=conn.engine,
+                backend=config.backend,
+                parallelism=config.parallelism,
+                hash_join=config.hash_join,
+                join_buckets=config.join_buckets,
+                aggregation_buckets=config.aggregation_buckets,
+                adaptive_compression=(
+                    config.adaptive_compression and config.optimize
+                ),
+            ),
+        )
+        self.plan_epoch = stats.epoch
+        self._bound_plans.clear()  # bound copies of the old plan
+        conn.metrics.lowerings += 1
+        if relower:
+            conn.metrics.relowerings += 1
+
+    def execute(
+        self,
+        params: Union[Sequence[Any], Mapping[Any, Any], None] = None,
+        actuals: Optional[Dict[int, int]] = None,
+    ):
+        """Run the query with ``params`` bound; returns a
+        :class:`~repro.db.storage.DetRelation` (det connections) or an
+        :class:`~repro.core.relation.AURelation` (AU connections)."""
+        conn = self.connection
+        conn.metrics.executions += 1
+        binding = _resolve_binding(self.parameters, params)
+        if not self._needs_physical:
+            return self._execute_legacy(binding, actuals)
+        if (
+            conn.staleness >= 0
+            and conn.epoch - self.plan_epoch > conn.staleness
+        ):
+            self._lower(relower=True)
+        pplan = self._bound_plan(binding)
+        try:
+            if conn.engine == "det":
+                if self.config.backend == "vectorized":
+                    from .exec.vectorized import execute_det
+
+                    return execute_det(pplan, conn.db, actuals=actuals)
+                from .db.engine import execute_physical_det
+
+                return execute_physical_det(pplan, conn.db, actuals)
+            if self.config.backend == "vectorized":
+                from .exec.vectorized import execute_audb
+
+                return execute_audb(pplan, conn.db, actuals)
+            return execute_physical_audb(pplan, conn.db, actuals)
+        finally:
+            if actuals is not None and pplan is not self.pplan:
+                # executors recorded actuals under the bound copy's node
+                # ids; mirror them onto the cached template (structures
+                # are identical by construction) so explain_physical on
+                # this PreparedQuery still shows actual rows
+                for template, bound in zip(self.pplan.walk(), pplan.walk()):
+                    if id(bound) in actuals:
+                        actuals[id(template)] = actuals[id(bound)]
+
+    def _bound_plan(self, binding) -> phys.PhysNode:
+        """The physical plan with ``binding`` substituted, memoized per
+        binding values so re-executing a hot binding reuses the same
+        expression objects (compiled-closure cache hits by identity)."""
+        if not binding:
+            return self.pplan
+        try:
+            # the value's type is part of the key: 1, 1.0, and True
+            # compare equal but bind to bit-different plans
+            key = tuple(
+                (k, type(v).__name__, v)
+                for k, v in sorted(
+                    (
+                        (k, c.value if isinstance(c, Const) else c)
+                        for k, c in binding.items()
+                    ),
+                    key=lambda kv: repr(kv[0]),
+                )
+            )
+            hash(key)
+        except TypeError:
+            return _bind_phys(self.pplan, binding)  # unhashable: no memo
+        cached = self._bound_plans.get(key)
+        if cached is not None:
+            self._bound_plans.move_to_end(key)
+            return cached
+        pplan = _bind_phys(self.pplan, binding)
+        self._bound_plans[key] = pplan
+        while len(self._bound_plans) > _BOUND_PLAN_MEMO:
+            self._bound_plans.popitem(last=False)
+        return pplan
+
+    def _execute_legacy(self, binding, actuals):
+        """Legacy direct interpretation of the (bound) logical plan."""
+        plan = _bind_plan(self.optimized, binding) if binding else self.optimized
+        config = self.config
+        conn = self.connection
+        if conn.engine == "det":
+            from .db.engine import _evaluate as det_evaluate
+
+            return det_evaluate(plan, conn.db, actuals)
+        from .algebra.evaluator import _NO_HINTS, _evaluate as au_evaluate
+
+        hints = _NO_HINTS
+        if (
+            config.optimize
+            and config.adaptive_compression
+            and config.join_buckets is not None
+        ):
+            hints = compression_hints(
+                plan, conn.statistics(), config.join_buckets
+            )
+        return au_evaluate(plan, conn.db, config, hints, actuals)
+
+    # -- introspection -------------------------------------------------
+    def explain_logical(
+        self, actuals: Optional[Dict[int, int]] = None
+    ) -> str:
+        """Render the optimized logical plan with row estimates."""
+        from .algebra.optimizer import explain
+
+        return explain(
+            self.optimized, self.connection.statistics(), actuals=actuals
+        )
+
+    def explain_physical(
+        self, actuals: Optional[Dict[int, int]] = None
+    ) -> str:
+        """Render the cached physical plan with the chosen algorithms."""
+        if self.pplan is None:
+            return "(legacy direct interpretation: no physical plan)"
+        return phys.explain_physical(self.pplan, actuals=actuals)
+
+
+class Connection:
+    """A query session owning a database, its statistics, and a plan cache.
+
+    ``engine`` is inferred from the database type
+    (:class:`~repro.db.storage.DetDatabase` → ``"det"``,
+    :class:`~repro.core.relation.AUDatabase` → ``"au"``) or passed
+    explicitly for duck-typed databases.  ``config`` is the default
+    :class:`~repro.algebra.evaluator.EvalConfig` for queries on this
+    connection (per-call overrides get their own cache entries).
+
+    ``staleness`` bounds how many writes a cached physical plan may
+    trail the catalog by before executing re-lowers it; ``0`` re-lowers
+    on every drift, ``-1`` never re-lowers (the cache-key epoch band is
+    then also frozen).
+    """
+
+    def __init__(
+        self,
+        db: Union[DetDatabase, AUDatabase],
+        engine: Optional[str] = None,
+        config: Optional[EvalConfig] = None,
+        staleness: int = DEFAULT_STALENESS,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ) -> None:
+        if engine is None:
+            if isinstance(db, DetDatabase):
+                engine = "det"
+            elif isinstance(db, AUDatabase):
+                engine = "au"
+            else:
+                raise TypeError(
+                    f"cannot infer engine for {type(db).__name__}; pass "
+                    "engine='det' or engine='au'"
+                )
+        if engine not in ("det", "au"):
+            raise ValueError(f"unknown engine {engine!r}; expected det or au")
+        self.db = db
+        self.engine = engine
+        self.config = config if config is not None else EvalConfig()
+        if self.config.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.config.backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
+        self.staleness = staleness
+        self.cache_size = cache_size
+        self.metrics = ConnectionMetrics()
+        self._cache: "OrderedDict[tuple, PreparedQuery]" = OrderedDict()
+        self._stats: Optional[Statistics] = None
+
+    # -- catalog -------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The database's current catalog epoch (0 if unversioned)."""
+        return getattr(self.db, "epoch", 0)
+
+    def statistics(self) -> Statistics:
+        """The statistics catalog, re-harvested only when the epoch moved
+        (and then incrementally — see
+        :class:`repro.algebra.stats.StatsAccumulator`).
+
+        Duck-typed databases without an ``epoch`` attribute cannot
+        signal writes, so they re-harvest on *every* call (matching the
+        pre-session behavior; per-relation caches still amortize the
+        scan) — note prepared queries on such databases never see epoch
+        drift and therefore never re-lower.
+        """
+        if (
+            self._stats is None
+            or not hasattr(self.db, "epoch")
+            or self._stats.epoch != self.epoch
+        ):
+            self._stats = Statistics.from_database(self.db)
+            self.metrics.stats_refreshes += 1
+        return self._stats
+
+    def _epoch_band(self) -> int:
+        if self.staleness < 0:
+            return 0
+        if self.staleness == 0:
+            return self.epoch
+        return self.epoch // (self.staleness * _BAND_FACTOR)
+
+    # -- the prepare/execute lifecycle ---------------------------------
+    def prepare(
+        self,
+        query: Union[str, Plan],
+        config: Optional[EvalConfig] = None,
+    ) -> PreparedQuery:
+        """Compile ``query`` (SQL text or a logical plan).
+
+        SQL text is memoized in the plan cache under
+        ``(sql, engine, config, epoch band)``; logical plans are
+        compiled fresh each time (they have no value identity to key
+        on) but still amortize across their own ``execute`` calls.
+        """
+        config = config if config is not None else self.config
+        if config.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {config.backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
+        if not isinstance(query, str):
+            return PreparedQuery(self, query, config)
+        key = (query, self.engine, config, self._epoch_band())
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.metrics.cache_hits += 1
+            self._cache.move_to_end(key)
+            return cached
+        self.metrics.cache_misses += 1
+        prepared = PreparedQuery(self, query, config)
+        self._cache[key] = prepared
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return prepared
+
+    def execute(
+        self,
+        query: Union[str, Plan],
+        params: Union[Sequence[Any], Mapping[Any, Any], None] = None,
+        config: Optional[EvalConfig] = None,
+        actuals: Optional[Dict[int, int]] = None,
+    ):
+        """``prepare(query).execute(params)`` — with SQL text, repeated
+        calls hit the plan cache and skip parse/optimize/lower."""
+        return self.prepare(query, config).execute(params, actuals=actuals)
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+
+def connect(
+    db: Union[DetDatabase, AUDatabase], **kwargs: Any
+) -> Connection:
+    """Open a :class:`Connection` to ``db`` (keyword args pass through)."""
+    return Connection(db, **kwargs)

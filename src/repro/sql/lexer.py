@@ -23,7 +23,8 @@ class SqlSyntaxError(ValueError):
 
 @dataclass(frozen=True)
 class Token:
-    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'symbol' | 'eof'
+    # 'keyword' | 'ident' | 'number' | 'string' | 'symbol' | 'param' | 'eof'
+    kind: str
     value: str
     position: int
 
@@ -70,6 +71,18 @@ def tokenize(sql: str) -> List[Token]:
                     seen_dot = True
                 j += 1
             tokens.append(Token("number", sql[i:j], i))
+            i = j
+            continue
+        if ch == "?":
+            # positional parameter placeholder; the parser numbers them
+            tokens.append(Token("param", "?", i))
+            i += 1
+            continue
+        if ch == ":" and i + 1 < n and (sql[i + 1].isalpha() or sql[i + 1] == "_"):
+            j = i + 1
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            tokens.append(Token("param", sql[i + 1 : j], i))
             i = j
             continue
         if ch.isalpha() or ch == "_":

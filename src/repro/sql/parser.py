@@ -56,6 +56,7 @@ from ..core.expressions import (
     Neq,
     Not,
     Or,
+    Parameter,
     Var,
 )
 from .lexer import SqlSyntaxError, Token, tokenize
@@ -69,6 +70,7 @@ class _Parser:
     def __init__(self, tokens: List[Token]) -> None:
         self.tokens = tokens
         self.pos = 0
+        self.n_positional_params = 0
 
     # -- token helpers ---------------------------------------------------
     def peek(self) -> Token:
@@ -410,6 +412,14 @@ class _Parser:
                 ub = self.expression()
                 self.expect("symbol", ")")
                 return MakeUncertain(lb, sg, ub)
+        if tok.kind == "param":
+            self.advance()
+            if tok.value == "?":
+                # positional placeholders number left-to-right, 0-based
+                p = Parameter(self.n_positional_params)
+                self.n_positional_params += 1
+                return p
+            return Parameter(tok.value)
         if tok.kind == "number":
             self.advance()
             text = tok.value

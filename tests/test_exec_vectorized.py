@@ -72,7 +72,7 @@ class TestBatches:
         assert type(batch.columns[0]).__name__ == "array"  # ints -> array('q')
         assert type(batch.columns[1]).__name__ == "array"  # floats -> array('d')
         assert isinstance(batch.columns[2], list)  # mixed stays a list
-        assert batch.to_relation() == rel
+        assert batch.to_relation().same_contents(rel)
         # conversion is cached on the relation and invalidated by add()
         assert ColumnBatch.from_relation(rel) is batch
         rel.add((3, 3.5, "b"))
@@ -90,7 +90,7 @@ class TestBatches:
 
     def test_empty_relations(self):
         rel = DetRelation(["x", "y"])
-        assert ColumnBatch.from_relation(rel).to_relation() == rel
+        assert ColumnBatch.from_relation(rel).to_relation().same_contents(rel)
         au = AURelation(["x"])
         assert len(AUColumnBatch.from_relation(au).to_relation()) == 0
 

@@ -25,6 +25,13 @@ backend, and the paper's semantics promise:
    SUM/AVG results are *bit-identical* across backends, lowerings, and
    parallelism levels (exact summation, :mod:`repro.core.sums`); the
    PR 3 "round-off may differ" carve-out is gone.
+4b. **Prepared-statement differential** — every plan, wrapped in a
+   parameterized selection, is ``prepare``d once on a
+   :class:`repro.session.Connection` (``staleness=1`` so epoch-drift
+   re-lowering actually fires) and executed with three bindings
+   interleaved with writes; each execution must equal fresh unprepared
+   evaluation bit-for-bit, on both engines and both backends, and the
+   session counters must show zero re-parses/re-optimizes.
 5. **Det-vs-AU containment** — the AU result must bound the certain
    answer: its selected-guess world equals the Det engine's result over
    the SGW database, and the tuple-matching oracle
@@ -69,12 +76,24 @@ from repro.algebra.ast import (
 from repro.algebra.evaluator import EvalConfig, evaluate_audb
 from repro.core.aggregation import agg_avg, agg_count, agg_max, agg_min, agg_sum
 from repro.core.bounding import bounds_world
-from repro.core.expressions import And, Const, Eq, Gt, Leq, Not, Or, Var
+from repro.core.expressions import (
+    And,
+    Const,
+    Eq,
+    Gt,
+    Leq,
+    Not,
+    Or,
+    Parameter,
+    Var,
+)
 from repro.core.ranges import RangeValue
 from repro.core.relation import AUDatabase, AURelation
 from repro.db.engine import evaluate_det
 from repro.db.storage import DetDatabase, DetRelation
 from repro.exec import parallel as exec_parallel
+from repro.experiments.common import sgw_database
+from repro.session import Connection, bind_parameters
 
 BASE_SEED = 20260728
 N_CASES = int(os.environ.get("FUZZ_CASES", "200"))
@@ -104,16 +123,6 @@ def make_audb(rng: random.Random) -> AUDatabase:
                 rel.add(values, (lb, sg, ub))
         relations[name] = rel
     return AUDatabase(relations)
-
-
-def sgw_database(audb: AUDatabase) -> DetDatabase:
-    det = DetDatabase({})
-    for name, rel in audb.relations.items():
-        d = DetRelation(rel.schema)
-        for row, mult in rel.selected_guess_world().items():
-            d.add(row, mult)
-        det[name] = d
-    return det
 
 
 def make_condition(rng: random.Random, schema: List[str]):
@@ -252,6 +261,75 @@ def _is_subbag(small, big) -> bool:
     return all(big.get(t, 0) >= m for t, m in small.items())
 
 
+def _clone_det(det: DetDatabase) -> DetDatabase:
+    return DetDatabase(
+        {
+            name: DetRelation(rel.schema, dict(rel.rows))
+            for name, rel in det.relations.items()
+        }
+    )
+
+
+def _clone_audb(audb: AUDatabase) -> AUDatabase:
+    out = AUDatabase({})
+    for name, rel in audb.relations.items():
+        clone = AURelation(rel.schema)
+        for t, ann in rel.tuples():
+            clone.add(t, ann)
+        out[name] = clone
+    return out
+
+
+def _check_prepared_lane(rng, plan, schema, used, det, audb, context) -> None:
+    """Prepared-statement lane: ``prepare`` once, execute with three
+    bindings interleaved with writes, and compare against fresh
+    unprepared evaluation on both engines and both backends.
+
+    ``staleness=1`` forces the epoch-drift re-lowering machinery to run
+    mid-sequence, so plan-cache staleness is fuzzed too.
+    """
+    param_plan = Selection(
+        plan, Leq(Var(rng.choice(schema)), Parameter(0))
+    )
+    bindings = [rng.randint(-2, 6) for _ in range(3)]
+    writes = []
+    for _ in bindings:
+        table = rng.choice(sorted(used))
+        writes.append((table, [rng.randint(-2, 5) for _ in TABLES[table]]))
+    for backend in ("tuple", "vectorized"):
+        det_db = _clone_det(det)
+        au_db = _clone_audb(audb)
+        config = EvalConfig(backend=backend)
+        det_conn = Connection(det_db, config=config, staleness=1)
+        au_conn = Connection(au_db, config=config, staleness=1)
+        det_prepared = det_conn.prepare(param_plan)
+        au_prepared = au_conn.prepare(param_plan)
+        for (table, row), value in zip(writes, bindings):
+            bound = bind_parameters(param_plan, [value])
+            got_det = det_prepared.execute([value])
+            want_det = evaluate_det(bound, det_db, backend=backend)
+            assert got_det.schema == want_det.schema, (
+                f"prepared det schema [{backend} ?={value}] {context}"
+            )
+            assert got_det.rows == want_det.rows, (
+                f"prepared det bag [{backend} ?={value}] {context}"
+            )
+            got_au = au_prepared.execute([value])
+            want_au = evaluate_audb(bound, au_db, config)
+            assert got_au.schema == want_au.schema, (
+                f"prepared AU schema [{backend} ?={value}] {context}"
+            )
+            assert dict(got_au.tuples()) == dict(want_au.tuples()), (
+                f"prepared AU annotations [{backend} ?={value}] {context}"
+            )
+            det_db[table].add(tuple(row), 1)
+            au_db[table].add(row, (1, 1, 1))
+        # the whole point of preparing: one parse/optimize per statement
+        for conn in (det_conn, au_conn):
+            assert conn.metrics.optimizations == 1, f"re-optimized {context}"
+            assert conn.metrics.parses == 0, f"re-parsed {context}"
+
+
 def _float_database(det: DetDatabase) -> DetDatabase:
     """A float-valued copy of the SGW database (every value +0.5), so
     SUM/AVG exercise floating-point accumulation on every path."""
@@ -370,6 +448,11 @@ def check_case(seed: int) -> None:
             )
     finally:
         exec_parallel.PARALLEL_MIN_ROWS = old_threshold
+
+    # 1e. prepared statements: a plan prepared once and re-executed with
+    # changing bindings across interleaved writes matches fresh
+    # unprepared evaluation bit-for-bit on both engines and backends
+    _check_prepared_lane(rng, plan, _schema, _used, det, audb, context)
 
     # 2. the AU result must bound the certain (SGW) answer
     det_bag = det_naive.as_bag()

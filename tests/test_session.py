@@ -1,0 +1,470 @@
+"""The query-session layer: prepared statements, plan cache, epochs.
+
+Covers the PR's acceptance bar: a prepared parameterized query
+re-executed 100x after interleaved writes returns results bit-identical
+to fresh evaluation on all of {tuple, vectorized} x {det, AU}, while
+skipping re-parse/re-optimize (asserted via the plan-cache hit counters
+on ``Connection.metrics``) — plus staleness-driven re-lowering, epoch
+band rotation, write-path cache invalidation on both engines, and the
+relation identity-hash contract.
+"""
+
+import pytest
+
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.core.expressions import UnboundParameterError
+from repro.core.ranges import between
+from repro.core.relation import AUDatabase, AURelation
+from repro.db.engine import evaluate_det
+from repro.db.storage import DetDatabase, DetRelation
+from repro.session import (
+    Connection,
+    bind_parameters,
+    collect_parameters,
+    connect,
+)
+from repro.sql.parser import parse_sql
+
+
+def make_det_db(n: int = 24) -> DetDatabase:
+    orders = DetRelation(["okey", "cust", "price"])
+    customers = DetRelation(["ckey", "segment"])
+    for i in range(n):
+        orders.add((i, i % 5, float(i) + 0.25), 1 + i % 2)
+    for c in range(5):
+        customers.add((c, f"seg{c % 2}"), 1)
+    return DetDatabase({"orders": orders, "customers": customers})
+
+
+def make_au_db(n: int = 16) -> AUDatabase:
+    orders = AURelation(["okey", "cust", "price"])
+    customers = AURelation(["ckey", "segment"])
+    for i in range(n):
+        price = (
+            between(float(i), float(i) + 0.5, float(i) + 2.0)
+            if i % 3 == 0
+            else float(i) + 0.25
+        )
+        orders.add([i, i % 5, price], (1, 1, 1 + i % 2))
+    for c in range(5):
+        customers.add([c, f"seg{c % 2}"], (1, 1, 1))
+    return AUDatabase({"orders": orders, "customers": customers})
+
+
+SQL = (
+    "SELECT segment, sum(price) AS total, count(*) AS n "
+    "FROM orders JOIN customers ON cust = ckey "
+    "WHERE price >= ? GROUP BY segment"
+)
+
+
+def det_bits(rel):
+    return (rel.schema, dict(rel.rows))
+
+
+def au_bits(rel):
+    return (rel.schema, dict(rel.tuples()))
+
+
+class TestAcceptance:
+    """The PR acceptance criterion, verbatim."""
+
+    @pytest.mark.parametrize("backend", ["tuple", "vectorized"])
+    def test_det_100x_reexecution_with_interleaved_writes(self, backend):
+        db = make_det_db()
+        conn = Connection(db, config=EvalConfig(backend=backend))
+        raw_plan = parse_sql(SQL)
+        thresholds = [0.0, 5.5, 11.25, 17.0]
+        for i in range(100):
+            # a write lands between every pair of executions
+            db["orders"].add((100 + i, i % 5, 50.0 + i), 1)
+            params = [thresholds[i % len(thresholds)]]
+            got = conn.execute(SQL, params)
+            fresh = evaluate_det(
+                bind_parameters(raw_plan, params), db, backend=backend
+            )
+            assert det_bits(got) == det_bits(fresh), f"iteration {i}"
+        m = conn.metrics
+        # prepared once: every re-execution skipped re-parse/re-optimize
+        assert m.parses == 1
+        assert m.optimizations == 1
+        assert m.cache_misses == 1
+        assert m.cache_hits == 99
+        assert m.executions == 100
+        # 100 writes against the default staleness of 64: the physical
+        # plan re-lowered against fresh statistics at least once, and
+        # re-lowering is NOT a re-optimize
+        assert m.relowerings >= 1
+        assert m.lowerings == 1 + m.relowerings
+
+    @pytest.mark.parametrize("backend", ["tuple", "vectorized"])
+    def test_au_100x_reexecution_with_interleaved_writes(self, backend):
+        db = make_au_db()
+        conn = Connection(db, config=EvalConfig(backend=backend))
+        raw_plan = parse_sql(SQL)
+        thresholds = [0.0, 4.5, 9.25]
+        for i in range(100):
+            db["orders"].add(
+                [100 + i, i % 5, between(40.0 + i, 50.0 + i, 60.0 + i)],
+                (1, 1, 1),
+            )
+            params = [thresholds[i % len(thresholds)]]
+            got = conn.execute(SQL, params)
+            fresh = evaluate_audb(
+                bind_parameters(raw_plan, params),
+                db,
+                EvalConfig(backend=backend),
+            )
+            assert au_bits(got) == au_bits(fresh), f"iteration {i}"
+        m = conn.metrics
+        assert m.parses == 1
+        assert m.optimizations == 1
+        assert m.cache_hits == 99
+        assert m.relowerings >= 1
+        assert m.lowerings == 1 + m.relowerings
+
+
+class TestPreparedQuery:
+    def test_prepared_plan_objects_amortize_without_the_cache(self):
+        db = make_det_db()
+        conn = Connection(db)
+        plan = parse_sql("SELECT okey FROM orders WHERE price >= :p")
+        prepared = conn.prepare(plan)
+        assert prepared.parameters == ["p"]
+        a = prepared.execute({"p": 3.0})
+        b = prepared.execute({"p": 1000.0})
+        assert len(b.rows) == 0 and len(a.rows) > 0
+        assert conn.metrics.parses == 0  # plans arrive pre-parsed
+        assert conn.metrics.optimizations == 1
+
+    def test_binding_validation(self):
+        conn = Connection(make_det_db())
+        prepared = conn.prepare("SELECT okey FROM orders WHERE price >= ?")
+        with pytest.raises(UnboundParameterError):
+            prepared.execute()  # missing
+        with pytest.raises(UnboundParameterError):
+            prepared.execute([1.0, 2.0])  # surplus
+        with pytest.raises(UnboundParameterError):
+            prepared.execute({"p": 1.0})  # named for positional
+        named = conn.prepare("SELECT okey FROM orders WHERE price >= :p")
+        with pytest.raises(UnboundParameterError):
+            named.execute([1.0])  # positional for named
+        with pytest.raises(UnboundParameterError):
+            named.execute({"p": 1.0, "q": 2.0})  # unknown name
+        parameterless = conn.prepare("SELECT okey FROM orders")
+        with pytest.raises(UnboundParameterError):
+            parameterless.execute([1.0])
+
+    def test_range_value_bindings_reach_the_au_engine(self):
+        db = make_au_db()
+        conn = Connection(db)
+        prepared = conn.prepare("SELECT okey FROM orders WHERE price <= ?")
+        exact = prepared.execute([3.0])
+        fuzzy = prepared.execute([between(2.0, 3.0, 8.0)])
+        # an uncertain bound can only widen the possible answers
+        assert set(dict(exact.tuples())) <= set(dict(fuzzy.tuples()))
+
+    def test_legacy_lowering_through_the_session(self):
+        db = make_det_db()
+        conn = Connection(db, config=EvalConfig(physical=False))
+        got = conn.execute(SQL, [5.0])
+        fresh = evaluate_det(
+            bind_parameters(parse_sql(SQL), [5.0]), db, physical=False
+        )
+        assert det_bits(got) == det_bits(fresh)
+        au = make_au_db()
+        au_conn = Connection(au, config=EvalConfig(physical=False))
+        got_au = au_conn.execute(SQL, [5.0])
+        fresh_au = evaluate_audb(
+            bind_parameters(parse_sql(SQL), [5.0]),
+            au,
+            EvalConfig(physical=False),
+        )
+        assert au_bits(got_au) == au_bits(fresh_au)
+
+    def test_explain_helpers(self):
+        conn = Connection(make_det_db())
+        prepared = conn.prepare(SQL)
+        assert "HashJoin" in prepared.explain_physical()
+        assert "rows" in prepared.explain_logical()
+
+
+class TestStalenessAndBands:
+    def test_relowering_triggers_after_staleness_drift(self):
+        db = make_det_db()
+        conn = Connection(db, staleness=4)
+        prepared = conn.prepare("SELECT cust FROM orders WHERE price >= ?")
+        prepared.execute([1.0])
+        assert conn.metrics.relowerings == 0
+        for i in range(5):  # drift past the threshold
+            db["orders"].add((500 + i, 0, 1.0), 1)
+        prepared.execute([1.0])
+        assert conn.metrics.relowerings == 1
+        assert conn.metrics.optimizations == 1  # still never re-optimized
+        # within the window nothing re-lowers
+        prepared.execute([2.0])
+        assert conn.metrics.relowerings == 1
+
+    def test_staleness_zero_relowers_on_any_drift_and_minus_one_never(self):
+        db = make_det_db()
+        eager = Connection(db, staleness=0)
+        prepared = eager.prepare("SELECT cust FROM orders")
+        prepared.execute()
+        db["orders"].add((900, 0, 1.0), 1)
+        prepared.execute()
+        assert eager.metrics.relowerings == 1
+        frozen = Connection(db, staleness=-1)
+        p2 = frozen.prepare("SELECT cust FROM orders")
+        p2.execute()
+        for i in range(50):
+            db["orders"].add((901 + i, 0, 1.0), 1)
+        p2.execute()
+        assert frozen.metrics.relowerings == 0
+
+    def test_epoch_band_rotation_reprepares(self):
+        db = make_det_db()
+        conn = Connection(db, staleness=1)  # band width = 16 writes
+        sql = "SELECT cust FROM orders WHERE price >= ?"
+        conn.execute(sql, [1.0])
+        conn.execute(sql, [1.0])
+        assert conn.metrics.cache_misses == 1 and conn.metrics.cache_hits == 1
+        for i in range(16):  # cross into the next epoch band
+            db["orders"].add((700 + i, 0, 1.0), 1)
+        conn.execute(sql, [1.0])
+        assert conn.metrics.cache_misses == 2  # fresh prepare, new band
+        assert conn.metrics.optimizations == 2
+
+    def test_statistics_cached_by_epoch(self):
+        db = make_det_db()
+        conn = Connection(db)
+        s1 = conn.statistics()
+        assert conn.statistics() is s1  # no writes: same snapshot
+        db["orders"].add((999, 0, 9.0), 1)
+        s2 = conn.statistics()
+        assert s2 is not s1
+        assert s2.cardinalities["orders"] == s1.cardinalities["orders"] + 1
+        assert conn.metrics.stats_refreshes == 2
+
+    def test_lru_eviction(self):
+        conn = Connection(make_det_db(), cache_size=2)
+        q = "SELECT cust FROM orders WHERE price >= {}"
+        for i in range(3):
+            conn.execute(q.format(i))
+        conn.execute(q.format(0))  # evicted by the third query
+        assert conn.metrics.cache_misses == 4
+
+
+class TestWritePathInvalidation:
+    """Satellite audit: every supported write path must invalidate (or
+    incrementally maintain) the statistics and columnar caches."""
+
+    @pytest.mark.parametrize("backend", ["tuple", "vectorized"])
+    def test_det_mutation_after_cached_read(self, backend):
+        db = make_det_db()
+        conn = Connection(db, config=EvalConfig(backend=backend))
+        sql = "SELECT sum(price) AS s FROM orders"
+        before = conn.execute(sql)
+        # the columnar image and the stats snapshot are now warm; the
+        # write must not leak into either
+        db["orders"].add((800, 1, 100.0), 1)
+        after = conn.execute(sql)
+        assert det_bits(after) != det_bits(before)
+        assert det_bits(after) == det_bits(
+            evaluate_det(parse_sql(sql), db, backend=backend)
+        )
+
+    @pytest.mark.parametrize("backend", ["tuple", "vectorized"])
+    def test_au_mutation_after_cached_read(self, backend):
+        db = make_au_db()
+        conn = Connection(db, config=EvalConfig(backend=backend))
+        sql = "SELECT sum(price) AS s FROM orders"
+        before = conn.execute(sql)
+        db["orders"].add([800, 1, between(90.0, 100.0, 110.0)], (1, 1, 1))
+        after = conn.execute(sql)
+        assert au_bits(after) != au_bits(before)
+        assert au_bits(after) == au_bits(
+            evaluate_audb(parse_sql(sql), db, EvalConfig(backend=backend))
+        )
+
+    def test_au_annotation_merge_after_cached_read(self, backend="vectorized"):
+        # merging an annotation into an existing tuple goes through the
+        # columnar cache too (the annotation arrays change)
+        db = make_au_db()
+        conn = Connection(db, config=EvalConfig(backend=backend))
+        sql = "SELECT count(*) AS n FROM orders"
+        before = conn.execute(sql)
+        t0 = next(iter(db["orders"]))
+        db["orders"].add(t0, (0, 0, 3))  # ub-only merge, same tuple
+        after = conn.execute(sql)
+        assert au_bits(after) != au_bits(before)
+
+    def test_relation_rebinding_invalidates_connection_stats(self):
+        db = make_det_db()
+        conn = Connection(db)
+        assert conn.statistics().cardinalities["customers"] == 5
+        db["customers"] = DetRelation(["ckey", "segment"], [(0, "seg0")])
+        assert conn.statistics().cardinalities["customers"] == 1
+
+
+class TestRelationIdentity:
+    """DetRelation now uses identity eq/hash consistently (the old
+    value-__eq__ / identity-__hash__ pair broke dict-key safety)."""
+
+    def test_identity_semantics(self):
+        a = DetRelation(["x"], [(1,)])
+        b = DetRelation(["x"], [(1,)])
+        assert a != b and a == a
+        assert a.same_contents(b)
+        assert hash(a) != hash(b) or a is b
+
+    def test_safe_as_dict_keys(self):
+        a = DetRelation(["x"], [(1,)])
+        b = DetRelation(["x"], [(1,)])
+        cache = {a: "a", b: "b"}
+        assert len(cache) == 2
+        assert cache[a] == "a" and cache[b] == "b"
+        a.add((2,))  # mutation must not move it to another bucket
+        assert cache[a] == "a"
+
+    def test_same_contents_detects_differences(self):
+        a = DetRelation(["x"], [(1,)])
+        assert not a.same_contents(DetRelation(["y"], [(1,)]))
+        assert not a.same_contents(DetRelation(["x"], [(2,)]))
+
+
+class TestConnectionBasics:
+    def test_engine_inference_and_validation(self):
+        assert Connection(make_det_db()).engine == "det"
+        assert Connection(make_au_db()).engine == "au"
+        assert connect(make_det_db()).engine == "det"
+        with pytest.raises(TypeError):
+            Connection({"not": "a database"})
+        with pytest.raises(ValueError):
+            Connection(make_det_db(), engine="postgres")
+        with pytest.raises(ValueError):
+            Connection(make_det_db(), config=EvalConfig(backend="gpu"))
+
+    def test_per_call_config_gets_its_own_cache_entry(self):
+        conn = Connection(make_det_db())
+        sql = "SELECT cust FROM orders"
+        conn.execute(sql)
+        conn.execute(sql, config=EvalConfig(backend="vectorized"))
+        conn.execute(sql)
+        assert conn.metrics.cache_misses == 2
+        assert conn.metrics.cache_hits == 1
+
+    def test_parameters_survive_optimization(self):
+        # pushdown must not lose or duplicate placeholders
+        conn = Connection(make_det_db())
+        prepared = conn.prepare(
+            "SELECT segment, okey FROM orders JOIN customers ON cust = ckey "
+            "WHERE price >= ? AND segment = ?"
+        )
+        assert collect_parameters(prepared.optimized) == sorted(
+            collect_parameters(prepared.plan)
+        ) or sorted(collect_parameters(prepared.optimized)) == [0, 1]
+        got = prepared.execute([2.0, "seg0"])
+        fresh = evaluate_det(
+            bind_parameters(prepared.plan, [2.0, "seg0"]), conn.db
+        )
+        assert det_bits(got) == det_bits(fresh)
+
+
+class TestBindingCoverage:
+    """Parameter binding must reach every physical operator kind."""
+
+    def test_parameter_inside_a_compressed_join_condition(self):
+        db = make_au_db()
+        config = EvalConfig(join_buckets=2)
+        conn = Connection(db, config=config)
+        sql = (
+            "SELECT okey FROM orders JOIN customers "
+            "ON cust = ckey AND price >= ?"
+        )
+        prepared = conn.prepare(sql)
+        for p in (0.0, 6.5):
+            got = prepared.execute([p])
+            fresh = evaluate_audb(
+                bind_parameters(parse_sql(sql), [p]), db, config
+            )
+            assert au_bits(got) == au_bits(fresh)
+
+    def test_parameter_inside_a_parallel_region(self):
+        from repro.exec import parallel as exec_parallel
+
+        db = make_det_db()
+        config = EvalConfig(backend="vectorized", parallelism=4)
+        old = exec_parallel.PARALLEL_MIN_ROWS
+        exec_parallel.PARALLEL_MIN_ROWS = 0
+        try:
+            conn = Connection(db, config=config)
+            prepared = conn.prepare(SQL)
+            for p in (0.0, 8.5):
+                got = prepared.execute([p])
+                fresh = evaluate_det(
+                    bind_parameters(parse_sql(SQL), [p]),
+                    db,
+                    backend="vectorized",
+                    parallelism=4,
+                )
+                assert det_bits(got) == det_bits(fresh)
+        finally:
+            exec_parallel.PARALLEL_MIN_ROWS = old
+
+    def test_legacy_adaptive_compression_hints_via_session(self):
+        db = make_au_db()
+        config = EvalConfig(
+            physical=False, join_buckets=4, adaptive_compression=True
+        )
+        conn = Connection(db, config=config)
+        sql = (
+            "SELECT okey FROM orders JOIN customers ON cust = ckey "
+            "WHERE price >= ?"
+        )
+        got = conn.execute(sql, [2.0])
+        fresh = evaluate_audb(
+            bind_parameters(parse_sql(sql), [2.0]), db, config
+        )
+        assert au_bits(got) == au_bits(fresh)
+
+    def test_parameter_in_projection_aggregate_and_having(self):
+        db = make_det_db()
+        conn = Connection(db)
+        sql = (
+            "SELECT cust, sum(price * :scale) AS s FROM orders "
+            "GROUP BY cust HAVING s >= :floor"
+        )
+        prepared = conn.prepare(sql)
+        for binding in ({"scale": 2.0, "floor": 0.0},
+                        {"scale": 0.5, "floor": 40.0}):
+            got = prepared.execute(binding)
+            fresh = evaluate_det(
+                bind_parameters(parse_sql(sql), binding), db
+            )
+            assert det_bits(got) == det_bits(fresh)
+
+    def test_hot_bindings_reuse_compiled_closures(self):
+        # re-executing the same binding must reuse the bound plan (and
+        # therefore the vectorized backend's compiled closures, whose
+        # cache keys on expression identity) instead of re-codegenning
+        from repro.exec import compile as exec_compile
+
+        conn = Connection(
+            make_det_db(), config=EvalConfig(backend="vectorized")
+        )
+        prepared = conn.prepare("SELECT okey FROM orders WHERE price >= ?")
+        first = prepared.execute([2.0])
+        assert det_bits(prepared.execute([2.0])) == det_bits(first)
+        assert len(prepared._bound_plans) == 1
+        before = len(exec_compile._CACHE)
+        for _ in range(5):
+            prepared.execute([2.0])
+        assert len(exec_compile._CACHE) == before  # no closure churn
+        # values that compare equal but differ in type must NOT share
+        # a bound plan (okey * 2 is an int, okey * 2.0 a float)
+        scale = conn.prepare("SELECT okey * :s AS v FROM orders")
+        as_int = scale.execute({"s": 2})
+        as_float = scale.execute({"s": 2.0})
+        assert len(scale._bound_plans) == 2
+        assert all(isinstance(t[0], int) for t in as_int.rows)
+        assert all(isinstance(t[0], float) for t in as_float.rows)

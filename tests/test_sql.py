@@ -190,3 +190,58 @@ class TestEndToEnd:
         out = evaluate_audb(plan, audb)
         world = out.selected_guess_world()
         assert world == {("east", 3): 1, ("west", 1): 1}
+
+
+class TestParameters:
+    def test_lexer_tokenizes_placeholders(self):
+        toks = tokenize("WHERE a >= ? AND b = :low_2")
+        kinds = [(t.kind, t.value) for t in toks if t.kind == "param"]
+        assert kinds == [("param", "?"), ("param", "low_2")]
+
+    def test_bare_colon_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a : b")
+
+    def test_positional_parameters_number_left_to_right(self):
+        from repro.core.expressions import Parameter
+        from repro.session import collect_parameters
+
+        plan = parse_sql("SELECT a FROM t WHERE a >= ? AND b <= ?")
+        assert collect_parameters(plan) == [0, 1]
+        cond = next(
+            n.condition for n in plan.walk() if isinstance(n, Selection)
+        )
+        assert isinstance(cond.left.right, Parameter)
+        assert cond.left.right.key == 0 and cond.right.right.key == 1
+
+    def test_named_parameters(self):
+        from repro.session import collect_parameters
+
+        plan = parse_sql(
+            "SELECT a, sum(v * :scale) AS s FROM t "
+            "WHERE v >= :low GROUP BY a HAVING s <= :cap"
+        )
+        # collection order follows the plan's pre-order walk; the set of
+        # declared names is what binding validates against
+        assert sorted(collect_parameters(plan)) == ["cap", "low", "scale"]
+
+    def test_unbound_parameter_raises_at_execution(self):
+        from repro.core.expressions import UnboundParameterError
+
+        table = DetRelation(["a"], [(1,), (2,)])
+        plan = parse_sql("SELECT a FROM t WHERE a = ?")
+        with pytest.raises(UnboundParameterError):
+            evaluate_det(plan, DetDatabase({"t": table}))
+
+    def test_bind_parameters_round_trip(self):
+        from repro.session import bind_parameters
+
+        table = DetRelation(["a", "b"], [(1, 10), (2, 20), (3, 30)])
+        db = DetDatabase({"t": table})
+        plan = parse_sql("SELECT a FROM t WHERE b >= ? AND b <= ?")
+        bound = bind_parameters(plan, [15, 25])
+        assert evaluate_det(bound, db).rows == {(2,): 1}
+        named = parse_sql("SELECT a FROM t WHERE b = :want")
+        assert evaluate_det(
+            bind_parameters(named, {"want": 30}), db
+        ).rows == {(3,): 1}

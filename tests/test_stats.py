@@ -347,3 +347,189 @@ class TestCompressionHints:
         tiny = Join(TableRef("small"), TableRef("small"), Eq(Var("a"), Var("a")))
         assert compression_hints(tiny, stats, 32) == {id(tiny): None}
         assert compression_hints(join, stats, None) == {}
+
+
+# ----------------------------------------------------------------------
+# incremental maintenance (the session layer's epoch-friendly harvest)
+# ----------------------------------------------------------------------
+@st.composite
+def det_add_sequences(draw):
+    n_cols = draw(st.integers(1, 3))
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.lists(
+                    st.one_of(
+                        st.integers(-30, 30),
+                        st.floats(
+                            -30, 30, allow_nan=False, allow_infinity=False
+                        ),
+                        st.sampled_from(["a", "b", "c"]),
+                        st.none(),
+                    ),
+                    min_size=n_cols,
+                    max_size=n_cols,
+                ),
+                st.integers(1, 3),
+            ),
+            max_size=25,
+        )
+    )
+    return n_cols, rows
+
+
+@st.composite
+def au_add_sequences(draw):
+    n_cols = draw(st.integers(1, 2))
+
+    @st.composite
+    def au_value(draw_inner):
+        lo = draw_inner(st.integers(-10, 10))
+        mid = lo + draw_inner(st.integers(0, 3))
+        hi = mid + draw_inner(st.integers(0, 3))
+        if draw_inner(st.booleans()):
+            return RangeValue(lo, mid, hi)
+        return mid
+
+    rows = draw(
+        st.lists(
+            st.tuples(
+                st.lists(au_value(), min_size=n_cols, max_size=n_cols),
+                st.tuples(
+                    st.integers(0, 1), st.integers(0, 1), st.integers(1, 2)
+                ),
+            ),
+            max_size=20,
+        )
+    )
+    # make the annotations valid (lb <= sg <= ub)
+    rows = [
+        (vals, (lb, lb + sg, lb + sg + ub)) for vals, (lb, sg, ub) in rows
+    ]
+    return n_cols, rows
+
+
+class TestIncrementalStats:
+    """Incrementally maintained ColumnStats equal a from-scratch harvest
+    after ANY add-sequence.
+
+    The per-column distinct "sketch" is currently an exact set of domain
+    keys, so the documented sketch tolerance for ``distinct`` is zero —
+    these properties assert full equality (histograms included).  If a
+    lossy sketch ever replaces the sets, relax the ``distinct`` check to
+    the sketch's error bound and keep the rest exact.
+    """
+
+    @SETTINGS
+    @given(det_add_sequences(), st.data())
+    def test_det_incremental_equals_scratch(self, seq, data):
+        n_cols, rows = seq
+        schema = [f"c{i}" for i in range(n_cols)]
+        live = DetRelation(schema)
+        # interleave harvests with the adds so later adds really do
+        # maintain a warm accumulator instead of starting cold
+        harvest_points = {
+            data.draw(st.integers(0, max(len(rows) - 1, 0)), label="warmup")
+        }
+        for i, (row, mult) in enumerate(rows):
+            if i in harvest_points:
+                harvest_column_stats(DetDatabase({"t": live}))
+            live.add(tuple(row), mult)
+        incremental = harvest_column_stats(DetDatabase({"t": live}))["t"]
+        scratch_rel = DetRelation(schema, dict(live.rows))
+        scratch = harvest_column_stats(DetDatabase({"t": scratch_rel}))["t"]
+        assert incremental == scratch
+
+    @SETTINGS
+    @given(au_add_sequences(), st.data())
+    def test_au_incremental_equals_scratch(self, seq, data):
+        n_cols, rows = seq
+        schema = [f"c{i}" for i in range(n_cols)]
+        live = AURelation(schema)
+        harvest_points = {
+            data.draw(st.integers(0, max(len(rows) - 1, 0)), label="warmup")
+        }
+        for i, (row, ann) in enumerate(rows):
+            if i in harvest_points:
+                harvest_column_stats(AUDatabase({"t": live}))
+            live.add(row, ann)
+        incremental = harvest_column_stats(AUDatabase({"t": live}))["t"]
+        scratch_rel = AURelation(schema)
+        for t, ann in live.tuples():
+            scratch_rel.add(t, ann)
+        scratch = harvest_column_stats(AUDatabase({"t": scratch_rel}))["t"]
+        assert incremental == scratch
+
+    def test_histogram_out_of_range_write_rebuilds(self):
+        rel = DetRelation(["x"], [(float(i),) for i in range(32)])
+        first = harvest_column_stats(DetDatabase({"t": rel}))["t"]["x"]
+        assert first.histogram is not None
+        assert first.histogram.hi == 31.0
+        rel.add((1000.0,))  # outside the built range: dirties, no rescan
+        second = harvest_column_stats(DetDatabase({"t": rel}))["t"]["x"]
+        assert second.histogram.hi == 1000.0
+        assert second.histogram.total == 33
+        scratch = harvest_column_stats(
+            DetDatabase({"t": DetRelation(["x"], dict(rel.rows))})
+        )["t"]["x"]
+        assert second == scratch
+
+    def test_in_range_write_bumps_bucket_counters_in_place(self):
+        rel = DetRelation(["x"], [(float(i),) for i in range(32)])
+        harvest_column_stats(DetDatabase({"t": rel}))
+        acc = rel._stats_acc
+        assert acc is not None and not acc.hist_dirty[0]
+        rel.add((15.5,), 3)
+        assert not acc.hist_dirty[0]  # maintained in place, not rebuilt
+        stats = harvest_column_stats(DetDatabase({"t": rel}))["t"]["x"]
+        scratch = harvest_column_stats(
+            DetDatabase({"t": DetRelation(["x"], dict(rel.rows))})
+        )["t"]["x"]
+        assert stats == scratch
+
+    def test_epoch_bumps_on_every_write_path(self):
+        rel = DetRelation(["x"], [(1,)])
+        db = DetDatabase({"t": rel})
+        e0 = db.epoch
+        rel.add((2,))
+        assert db.epoch > e0
+        e1 = db.epoch
+        db["t"] = DetRelation(["x"], [(9,)])  # rebinding also bumps
+        assert db.epoch > e1
+        au = AURelation(["x"])
+        audb = AUDatabase({"t": au})
+        a0 = audb.epoch
+        au.add([1], (1, 1, 1))
+        assert audb.epoch > a0
+        a1 = audb.epoch
+        au.add([1], (0, 0, 1))  # annotation merge still counts as a write
+        assert audb.epoch > a1
+        a2 = audb.epoch
+        audb["u"] = AURelation(["y"])
+        assert audb.epoch > a2
+
+    def test_sample_cap_bounds_retention_and_rescans_on_range_growth(
+        self, monkeypatch
+    ):
+        from repro.algebra import stats as stats_mod
+
+        monkeypatch.setattr(stats_mod, "HISTOGRAM_SAMPLE_CAP", 8)
+        rel = DetRelation(["x"], [(float(i),) for i in range(20)])
+        harvest_column_stats(DetDatabase({"t": rel}))
+        acc = rel._stats_acc
+        assert acc.samples[0] is None  # dropped past the cap
+        rel.add((10.5,))  # in range: bucket counters maintained exactly
+        mid = harvest_column_stats(DetDatabase({"t": rel}))["t"]["x"]
+        scratch = harvest_column_stats(
+            DetDatabase({"t": DetRelation(["x"], dict(rel.rows))})
+        )["t"]["x"]
+        assert mid == scratch
+        assert rel._stats_acc is acc  # no rescan was needed
+        rel.add((500.0,))  # out of range, no samples retained
+        assert acc.rescan_needed
+        out = harvest_column_stats(DetDatabase({"t": rel}))["t"]["x"]
+        scratch2 = harvest_column_stats(
+            DetDatabase({"t": DetRelation(["x"], dict(rel.rows))})
+        )["t"]["x"]
+        assert out == scratch2
+        assert rel._stats_acc is not acc  # rebuilt by a full rescan
