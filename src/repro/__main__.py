@@ -17,6 +17,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import analysis
 from .algebra.evaluator import EvalConfig
 from .core.ranges import between
 from .core.relation import AUDatabase, AURelation
@@ -83,6 +84,13 @@ def main(argv=None) -> int:
         "plan with estimated and, after execution, actual per-node rows",
     )
     parser.add_argument(
+        "--verify-plans",
+        action="store_true",
+        help="re-verify every plan after each optimizer rewrite and after "
+        "lowering (the repro.analysis static checks; also enabled by "
+        "REPRO_VERIFY_PLANS=1)",
+    )
+    parser.add_argument(
         "--repl",
         action="store_true",
         help="enter the interactive loop (also after running SQL given on "
@@ -92,6 +100,8 @@ def main(argv=None) -> int:
     parser.add_argument("sql", nargs="*", help="run one query and exit")
     args = parser.parse_args(argv)
 
+    if args.verify_plans:
+        analysis.set_verification(True)
     audb = _tpch_db(args.scale, args.uncertainty) if args.tpch else _demo_db()
     do_optimize = not args.no_optimize
     det_conn, au_conn = session_pair(
@@ -119,6 +129,18 @@ def main(argv=None) -> int:
             prepared = det_conn.prepare(sql)
         except SqlSyntaxError as exc:
             print(f"syntax error: {exc}")
+            return
+        except analysis.PlanVerificationError as exc:
+            # the plan never compiled; with --explain, still render the
+            # raw logical plan (with its unknown-table warnings) so the
+            # user sees what was rejected
+            if args.explain:
+                from .algebra.optimizer import explain
+                from .sql.parser import parse_sql
+
+                print("-- logical plan --")
+                print(explain(parse_sql(sql), det_conn.statistics()))
+            print(f"error: {exc}")
             return
         if prepared.parameters:
             print(

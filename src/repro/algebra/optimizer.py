@@ -79,6 +79,7 @@ from ..core.expressions import (
     Sub,
     Var,
 )
+from ..analysis import verification_enabled
 from ..core.compression import recommended_buckets
 from .ast import (
     Aggregate,
@@ -174,6 +175,42 @@ DEFAULT_JOIN_ORDER = "dp"
 #: DP join enumeration is O(3^n) in the number of leaves; past this many
 #: leaves the greedy heuristic takes over.
 _DP_MAX_LEAVES = 10
+
+
+# ----------------------------------------------------------------------
+# rewrite recording (semiring-safety lint support)
+# ----------------------------------------------------------------------
+@dataclass
+class _RewriteCtx:
+    """Per-:func:`optimize` call state the recursive passes consult.
+
+    ``semantics`` is the annotation semantics the optimized plan must
+    stay valid for (``"both"`` / ``"bag"`` / ``"au"``): rewrites that
+    are *bag-only* (declared ``au_safe=False`` in
+    :data:`repro.analysis.lint.REWRITE_RULES`) fire only under
+    ``"bag"``.  ``trace`` collects the names of every rule that fired,
+    in first-fired order, for the semiring-safety lint.
+    """
+
+    semantics: str = "both"
+    trace: List[str] = field(default_factory=list)
+
+
+#: the context of the currently-running :func:`optimize` call; the
+#: passes are deeply recursive, so this rides module state (set/reset
+#: by the driver) instead of threading a parameter through every call
+_ctx: Optional[_RewriteCtx] = None
+
+
+def _record(rule: str) -> None:
+    """Note that rewrite ``rule`` fired (once per optimize call)."""
+    if _ctx is not None and rule not in _ctx.trace:
+        _ctx.trace.append(rule)
+
+
+def _bag_only_allowed() -> bool:
+    """May a rewrite that is *not* AU-safe fire right now?"""
+    return _ctx is not None and _ctx.semantics == "bag"
 
 
 # ----------------------------------------------------------------------
@@ -426,6 +463,7 @@ def _wrap(plan: Plan, conjuncts: Sequence[Expression]) -> Plan:
 def _pushdown(plan: Plan, pending: List[Expression], stats) -> Plan:
     """Equivalent of ``σ_{∧pending}(plan)`` with conjuncts pushed deep."""
     if isinstance(plan, Selection):
+        _record("selection-pushdown")
         return _pushdown(plan.child, _split(plan.condition) + pending, stats)
 
     if isinstance(plan, Projection):
@@ -510,6 +548,8 @@ def _pushdown(plan: Plan, pending: List[Expression], stats) -> Plan:
             left = _pushdown(plan.left, down_left, stats)
             right = _pushdown(plan.right, down_right, stats)
             if here:
+                if isinstance(plan, CrossProduct):
+                    _record("join-promotion")
                 return Join(left, right, _and_all(here))
             return CrossProduct(left, right)
         left = _pushdown(plan.left, [], stats)
@@ -522,12 +562,26 @@ def _pushdown(plan: Plan, pending: List[Expression], stats) -> Plan:
         child = _pushdown(plan.child, pending, stats)
         return OrderBy(child, plan.keys, plan.descending)
 
-    # barriers: filtering before SG-combining (Distinct/Difference) or
-    # before grouping (Aggregate) changes AU range merging; Limit/TopK are
-    # order-sensitive; TableRef is a leaf.
+    # barriers under AU semantics: filtering before SG-combining
+    # (Distinct/Difference) or before grouping (Aggregate) changes AU
+    # range merging; Limit/TopK are order-sensitive; TableRef is a leaf.
+    # For a plan destined only for the bag engines, Distinct and the
+    # left input of Difference are transparent to selections —
+    # σ_p(δ(R)) ≡ δ(σ_p(R)) for multiplicities, and
+    # σ_p(R − S) ≡ σ_p(R) − S since max(0, R(t) − S(t)) is 0 either way
+    # when p rejects t — so those conjuncts keep descending.  Both
+    # rewrites are declared bag-only in the semiring-safety registry.
     if isinstance(plan, Distinct):
+        if pending and _bag_only_allowed():
+            _record("distinct-pushdown")
+            return Distinct(_pushdown(plan.child, pending, stats))
         return _wrap(Distinct(_pushdown(plan.child, [], stats)), pending)
     if isinstance(plan, Difference):
+        if pending and _bag_only_allowed():
+            _record("difference-pushdown")
+            left = _pushdown(plan.left, pending, stats)
+            right = _pushdown(plan.right, [], stats)
+            return Difference(left, right)
         left = _pushdown(plan.left, [], stats)
         right = _pushdown(plan.right, [], stats)
         return _wrap(Difference(left, right), pending)
@@ -587,6 +641,8 @@ def _split_aggregate_pushdown(
             down.append(conjunct)
         else:
             kept.append(conjunct)
+    if down:
+        _record("aggregate-pushdown")
     return down, kept
 
 
@@ -632,8 +688,12 @@ def _reorder_joins(plan: Plan, stats, join_order: str) -> Plan:
             reordered = None
             if join_order == "dp" and stats is not None:
                 reordered = _dp_join_tree(new_leaves, schemas, conjuncts, stats)
+                if reordered is not None:
+                    _record("join-reorder-dp")
             if reordered is None:
                 reordered = _greedy_join_tree(new_leaves, schemas, conjuncts, stats)
+                if reordered is not None:
+                    _record("join-reorder-greedy")
             if reordered is not None:
                 return reordered
         # duplicate / unknown attribute names, few leaves, or a free
@@ -871,6 +931,7 @@ def _attach_conjuncts(
 def _fuse_topk(plan: Plan) -> Plan:
     if isinstance(plan, Limit) and isinstance(plan.child, OrderBy):
         inner = plan.child
+        _record("topk-fusion")
         return TopK(_fuse_topk(inner.child), inner.keys, inner.descending, plan.n)
     return _rebuild(plan, _fuse_topk)
 
@@ -988,53 +1049,125 @@ def _narrow(plan: Plan, needed: Optional[Set[str]], stats) -> Plan:
     if isinstance(pruned, Projection):
         narrowed = [(e, n) for e, n in pruned.columns if n in needed]
         if narrowed:
+            if len(narrowed) != len(pruned.columns):
+                _record("projection-pruning")
             return Projection(pruned.child, narrowed)
         return pruned
+    _record("projection-pruning")
     return Projection(pruned, [(Var(a), a) for a in kept])
 
 
 # ----------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------
-_CACHE: Dict[tuple, Tuple[Plan, Plan]] = {}
+_CACHE: Dict[tuple, Tuple[Plan, Plan, Tuple[str, ...]]] = {}
 _CACHE_LIMIT = 512
+
+
+def _verify_pass(
+    before: Plan, after: Plan, stats: Optional[Statistics], pass_name: str
+) -> None:
+    """Debug assertion run after one rewrite pass: the rewritten plan
+    must still verify, and its output schema (when knowable on both
+    sides) must be unchanged."""
+    from ..analysis import PlanCompatibilityError, verify_logical
+
+    verify_logical(after, stats)
+    old = schema_of(before, stats)
+    new = schema_of(after, stats)
+    if old is not None and new is not None and old != new:
+        raise PlanCompatibilityError(
+            f"optimizer pass {pass_name!r} changed the output schema "
+            f"from {old} to {new}"
+        )
 
 
 def optimize(
     plan: Plan,
     stats: Optional[Statistics] = None,
     join_order: str = DEFAULT_JOIN_ORDER,
+    *,
+    semantics: str = "both",
+    verify: Optional[bool] = None,
+    trace: Optional[List[str]] = None,
 ) -> Plan:
     """Rewrite ``plan`` into an equivalent, usually cheaper plan.
 
-    All rewrites preserve both the deterministic bag semantics and the
-    AU-DB annotation semantics exactly (see module docstring).  ``stats``
-    supplies table schemas, cardinalities, and the per-column catalog;
-    without it, only rewrites that need no schema knowledge (selection
-    splitting, join promotion, OrderBy+Limit fusion) apply.
+    Every rewrite is declared in the semiring-safety registry
+    (:data:`repro.analysis.lint.REWRITE_RULES`); ``semantics`` says what
+    the optimized plan must stay valid for — ``"both"`` (the safe
+    default for direct callers) restricts the optimizer to rewrites
+    exact under bag (``N``) *and* ``N^AU`` annotation semantics, while
+    ``"bag"`` additionally unlocks the bag-only rewrites (selection
+    pushdown through ``Distinct`` and into the left input of
+    ``Difference``), which the AU engines' SG-combining makes unsound.
+    ``stats`` supplies table schemas, cardinalities, and the per-column
+    catalog; without it, only rewrites that need no schema knowledge
+    (selection splitting, join promotion, OrderBy+Limit fusion) apply.
     ``join_order`` selects the join enumeration strategy: ``"dp"``
     (cost-based bushy trees when column statistics are available, greedy
     otherwise) or ``"greedy"`` (always the PR 1 heuristic).
+
+    ``verify`` turns on the per-pass debug assertion (``None`` defers to
+    :func:`repro.analysis.verification_enabled`): after *each* rewrite
+    pass the plan is re-verified (:func:`repro.analysis.verify_logical`)
+    and its output schema compared, and the recorded rewrite trace is
+    checked against the safety registry.  ``trace`` (a caller-supplied
+    list) receives the names of the rules that fired — the session layer
+    re-checks it against the semantics the plan actually executes under.
     """
+    global _ctx
     if join_order not in JOIN_ORDERS:
         raise ValueError(
             f"unknown join_order {join_order!r}; expected one of {JOIN_ORDERS}"
         )
+    from ..analysis import check_semiring_safety
+    from ..analysis.lint import SEMANTICS
+
+    if semantics not in SEMANTICS:
+        raise ValueError(
+            f"unknown semantics {semantics!r}; expected one of {SEMANTICS}"
+        )
+    if verify is None:
+        verify = verification_enabled()
     key = (
         id(plan),
         join_order,
+        semantics,
         stats.fingerprint() if stats is not None else None,
     )
     hit = _CACHE.get(key)
     if hit is not None and hit[0] is plan:
+        if trace is not None:
+            trace.extend(hit[2])
+        if verify:
+            check_semiring_safety(hit[2], semantics)
         return hit[1]
-    optimized = _pushdown(plan, [], stats)
-    optimized = _reorder_joins(optimized, stats, join_order)
-    optimized = _fuse_topk(optimized)
-    optimized = _prune(optimized, None, stats)
+    ctx = _RewriteCtx(semantics)
+    _ctx = ctx
+    try:
+        optimized = _pushdown(plan, [], stats)
+        if verify:
+            _verify_pass(plan, optimized, stats, "pushdown")
+        reordered = _reorder_joins(optimized, stats, join_order)
+        if verify:
+            _verify_pass(optimized, reordered, stats, "join-reorder")
+        fused = _fuse_topk(reordered)
+        if verify:
+            _verify_pass(reordered, fused, stats, "topk-fusion")
+        pruned = _prune(fused, None, stats)
+        if verify:
+            _verify_pass(fused, pruned, stats, "projection-pruning")
+        optimized = pruned
+    finally:
+        _ctx = None
+    if verify:
+        check_semiring_safety(ctx.trace, semantics)
+    if trace is not None:
+        trace.extend(ctx.trace)
     if len(_CACHE) >= _CACHE_LIMIT:
         _CACHE.clear()
-    _CACHE[key] = (plan, optimized)
+    _CACHE[key] = (plan, optimized, tuple(ctx.trace))
     return optimized
 
 

@@ -1,0 +1,47 @@
+"""Diagnostic exception hierarchy of the plan verifier.
+
+Every verifier diagnostic derives from :class:`PlanVerificationError`,
+so ``except PlanVerificationError`` catches the whole family.  The
+concrete classes additionally subclass the *builtin* exception the
+pre-verifier runtime raised for the same mistake (``KeyError`` for an
+unresolved reference, ``ValueError`` for incompatible set-operation
+branches, ``TypeError`` for ill-typed arithmetic): existing callers and
+tests that catch the builtin keep working — they just see the error at
+prepare time, with a one-line diagnostic naming the node and column,
+instead of deep inside an executor.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PlanVerificationError",
+    "PlanReferenceError",
+    "PlanCompatibilityError",
+    "PlanTypeError",
+    "SemiringSafetyError",
+]
+
+
+class PlanVerificationError(Exception):
+    """A logical or physical plan failed static verification."""
+
+
+class PlanReferenceError(PlanVerificationError, KeyError):
+    """A column, table, or join key does not resolve."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument; diagnostics are prose
+        return str(self.args[0]) if self.args else ""
+
+
+class PlanCompatibilityError(PlanVerificationError, ValueError):
+    """Set-operation branches or merge operators are incompatible."""
+
+
+class PlanTypeError(PlanVerificationError, TypeError):
+    """An expression would raise a ``TypeError`` in every world."""
+
+
+class SemiringSafetyError(PlanVerificationError):
+    """An AU plan crossed a rewrite declared safe only for bag semantics
+    (or a rewrite fired without a safety declaration at all)."""

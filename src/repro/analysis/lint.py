@@ -1,0 +1,156 @@
+"""Semiring-safety lint: per-rewrite semantics declarations.
+
+Every optimizer rewrite in :mod:`repro.algebra.optimizer` records the
+name of the rule it applied into a *trace*.  This module is the
+registry of those rules: each declares which annotation semantics it
+preserves — plain bag multiplicities (``"bag"``), the paper's AU
+bound-preserving semiring (``"au"``), or both.  A plan destined for an
+AU engine that crossed a bag-only rewrite (for example pushing a
+selection through ``Distinct``, which commutes for multiplicities but
+not for SG-combined AU annotations) is rejected by
+:func:`check_semiring_safety` with a
+:class:`~repro.analysis.errors.SemiringSafetyError`.
+
+The registry is deliberately closed: a rewrite that fires without a
+declaration here is itself an error.  Adding a rewrite to the optimizer
+therefore *forces* a safety declaration — see
+``docs/static_analysis.md`` for the checklist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from .errors import SemiringSafetyError
+
+__all__ = [
+    "SEMANTICS",
+    "RewriteRule",
+    "REWRITE_RULES",
+    "rule_allowed",
+    "check_semiring_safety",
+]
+
+#: The semantics a plan can be verified against: ``"bag"`` for the
+#: deterministic engines, ``"au"`` for the AU engines, ``"both"`` when
+#: the optimized plan must stay valid for either (the default for
+#: direct :func:`~repro.algebra.optimizer.optimize` callers).
+SEMANTICS = ("bag", "au", "both")
+
+
+@dataclass(frozen=True)
+class RewriteRule:
+    """A declared optimizer rewrite and the semantics it preserves."""
+
+    name: str
+    bag_safe: bool
+    au_safe: bool
+    note: str = ""
+
+    def preserves(self, semantics: str) -> bool:
+        if semantics == "bag":
+            return self.bag_safe
+        if semantics == "au":
+            return self.au_safe
+        return self.bag_safe and self.au_safe
+
+
+_RULES: Tuple[RewriteRule, ...] = (
+    RewriteRule(
+        "selection-pushdown",
+        bag_safe=True,
+        au_safe=True,
+        note="σ commutes with σ/π/ρ/∪ and distributes into joins in any "
+        "commutative semiring",
+    ),
+    RewriteRule(
+        "join-promotion",
+        bag_safe=True,
+        au_safe=True,
+        note="σ_p(R × S) ≡ R ⋈_p S by definition",
+    ),
+    RewriteRule(
+        "aggregate-pushdown",
+        bag_safe=True,
+        au_safe=True,
+        note="group-preserving σ over certain group-by columns only; the "
+        "rewrite itself checks uncertain_fraction == 0.0",
+    ),
+    RewriteRule(
+        "distinct-pushdown",
+        bag_safe=True,
+        au_safe=False,
+        note="σ_p(δ(R)) ≡ δ(σ_p(R)) holds for multiplicities but not for "
+        "SG-combined AU annotations (δ merges ranges before p filters)",
+    ),
+    RewriteRule(
+        "difference-pushdown",
+        bag_safe=True,
+        au_safe=False,
+        note="σ_p(R − S) ≡ σ_p(R) − S for bag multiplicities "
+        "(max(0, R(t) − S(t)) is 0 either way when p rejects t); AU "
+        "difference combines bounds before filtering",
+    ),
+    RewriteRule(
+        "join-reorder-dp",
+        bag_safe=True,
+        au_safe=True,
+        note="⋈ is associative/commutative in any commutative semiring",
+    ),
+    RewriteRule(
+        "join-reorder-greedy",
+        bag_safe=True,
+        au_safe=True,
+        note="same algebra as join-reorder-dp, heuristic order",
+    ),
+    RewriteRule(
+        "topk-fusion",
+        bag_safe=True,
+        au_safe=True,
+        note="ORDER BY + LIMIT to TopK changes evaluation, not results",
+    ),
+    RewriteRule(
+        "projection-pruning",
+        bag_safe=True,
+        au_safe=True,
+        note="narrowing π below width-insensitive operators",
+    ),
+)
+
+#: name → :class:`RewriteRule` for every declared rewrite.
+REWRITE_RULES: Dict[str, RewriteRule] = {r.name: r for r in _RULES}
+
+
+def rule_allowed(name: str, semantics: str) -> bool:
+    """Is rewrite ``name`` declared safe for ``semantics``?
+
+    Unknown names are *not* allowed — firing an undeclared rewrite is a
+    lint error in itself.
+    """
+    rule = REWRITE_RULES.get(name)
+    return rule is not None and rule.preserves(semantics)
+
+
+def check_semiring_safety(trace: Sequence[str], semantics: str) -> None:
+    """Reject a rewrite trace containing a rule unsafe for ``semantics``.
+
+    ``trace`` is the ordered list of rule names the optimizer recorded;
+    ``semantics`` the annotation semantics the plan will execute under.
+    Raises :class:`SemiringSafetyError` naming the offending rule.
+    """
+    if semantics not in SEMANTICS:
+        raise SemiringSafetyError(
+            f"unknown semantics {semantics!r}; expected one of {list(SEMANTICS)}"
+        )
+    for name in trace:
+        rule = REWRITE_RULES.get(name)
+        if rule is None:
+            raise SemiringSafetyError(
+                f"rewrite {name!r} fired without a safety declaration; "
+                "add it to repro.analysis.lint.REWRITE_RULES"
+            )
+        if not rule.preserves(semantics):
+            raise SemiringSafetyError(
+                f"rewrite {name!r} is not {semantics}-safe: {rule.note}"
+            )

@@ -1,0 +1,576 @@
+"""Plan well-formedness verification for the logical and physical IRs.
+
+:func:`verify_logical` runs typed schema inference
+(:func:`repro.analysis.schema.infer_logical`) over a logical plan and
+additionally checks that every :class:`~repro.algebra.ast.TableRef`
+resolves against a non-empty catalog.  :func:`verify_bound` checks the
+plan's :class:`~repro.core.expressions.Parameter` keys are complete
+against a binding at execute time.  :func:`verify_physical` walks a
+lowered :class:`~repro.exec.physical.PhysNode` tree and checks the
+physical-only invariants: engine-legal operator sets (the AU engines'
+non-linear fragment — ``Distinct`` / ``Difference`` / ``Aggregate`` /
+top-k — must be closed under :class:`~repro.exec.physical.TupleFallback`
+boundaries), :class:`~repro.exec.physical.Exchange` / partial-aggregate
+placement, exactly one :class:`~repro.exec.physical.ParallelScan` per
+parallel region, resolved ``Cpr`` bucket budgets, and per-node schema
+consistency (join keys resolve on the correct side, projections and
+renames reference real columns, concatenated branches stay
+union-compatible).
+
+Everything here is read-only and catalog-permissive: a subtree whose
+schema cannot be known (table missing from statistics) disables the
+downstream name checks rather than failing them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Mapping, Optional, Sequence, Set, Union
+
+from ..algebra import ast
+from ..core.expressions import Expression
+from .errors import (
+    PlanCompatibilityError,
+    PlanReferenceError,
+)
+from .schema import (
+    ColumnInfo,
+    Schema,
+    infer_expression,
+    infer_logical,
+    table_schema,
+    unify,
+)
+
+__all__ = [
+    "verify_logical",
+    "verify_bound",
+    "verify_physical",
+    "collect_plan_parameters",
+    "infer_physical",
+]
+
+
+# ----------------------------------------------------------------------
+# logical plans
+# ----------------------------------------------------------------------
+def collect_plan_parameters(plan: ast.Plan) -> List[Any]:
+    """Parameter keys mentioned anywhere in ``plan``, first-seen order.
+
+    (A local walk rather than an import of :mod:`repro.session`, which
+    imports the optimizer, which imports this package.)
+    """
+    out: List[Any] = []
+
+    def expr(e: Optional[Expression]) -> None:
+        if e is not None:
+            for key in e.parameters():
+                if key not in out:
+                    out.append(key)
+
+    for node in plan.walk():
+        if isinstance(node, ast.Selection):
+            expr(node.condition)
+        elif isinstance(node, ast.Projection):
+            for e, _name in node.columns:
+                expr(e)
+        elif isinstance(node, ast.Join):
+            expr(node.condition)
+        elif isinstance(node, ast.Aggregate):
+            for spec in node.aggregates:
+                expr(spec.expr)
+            expr(node.having)
+    return out
+
+
+def _check_tables(plan: ast.Plan, catalog: Any) -> None:
+    schemas = getattr(catalog, "schemas", None)
+    if not schemas:
+        # empty or absent catalog: nothing is provably missing — leave
+        # unknown-table reporting to the storage layer at run time
+        return
+    for node in plan.walk():
+        if isinstance(node, ast.TableRef) and node.name not in schemas:
+            raise PlanReferenceError(
+                f"table {node.name!r} not found in catalog; "
+                f"known tables: {sorted(schemas)}"
+            )
+
+
+def verify_logical(
+    plan: ast.Plan,
+    catalog: Any = None,
+    *,
+    expect_parameters: bool = True,
+) -> Optional[Schema]:
+    """Verify a logical plan; returns its inferred :class:`Schema`.
+
+    Checks: every ``TableRef`` resolves (against a non-empty
+    ``catalog``), every column reference resolves, set operations are
+    union-compatible, ``Aggregate`` group-by/output columns are
+    consistent, and expressions are not provably ill-typed.  With
+    ``expect_parameters=False`` the plan must also be parameter-free
+    (a fully-bound plan handed to an executor).  Raises a
+    :class:`~repro.analysis.errors.PlanVerificationError` subclass on
+    the first violation; returns ``None`` when the schema is unknowable
+    (permissive).
+    """
+    _check_tables(plan, catalog)
+    schema = infer_logical(plan, catalog)
+    if not expect_parameters:
+        keys = collect_plan_parameters(plan)
+        if keys:
+            raise PlanReferenceError(
+                f"plan still contains unbound parameter(s) "
+                f"{sorted(keys, key=str)} at a point where all bindings "
+                "must be resolved"
+            )
+    return schema
+
+
+def verify_bound(
+    plan: ast.Plan, bindings: Optional[Mapping[Any, Any]]
+) -> None:
+    """Check every parameter key of ``plan`` has a value in ``bindings``."""
+    keys = collect_plan_parameters(plan)
+    have = set(bindings) if bindings else set()
+    missing = [k for k in keys if k not in have]
+    if missing:
+        raise PlanReferenceError(
+            f"unbound parameter(s) {sorted(missing, key=str)}; "
+            f"bound keys: {sorted(have, key=str)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# physical plans
+# ----------------------------------------------------------------------
+def _phys() -> Any:
+    # lazy: repro.exec.physical imports the optimizer, which imports
+    # this package — resolving at call time breaks the cycle
+    from ..exec import physical
+
+    return physical
+
+
+#: physical operators the AU engines may not contain — their logical
+#: counterparts (the non-linear fragment) must appear as TupleFallback
+_AU_FORBIDDEN = ("HashAggregate", "HashDistinct", "TopK", "Limit", "Exchange", "ParallelScan")
+#: operators only the AU lowering may produce
+_DET_FORBIDDEN = ("CompressedJoin",)
+
+_MERGE_KINDS = ("concat", "aggregate", "topk", "limit", "distinct")
+
+
+def _node_name(node: Any) -> str:
+    return type(node).__name__
+
+
+def infer_physical(pplan: Any, catalog: Any = None) -> Optional[Schema]:
+    """Bottom-up :class:`Schema` of a physical plan (``None`` = unknown).
+
+    Shares the logical inference rules through each node's semantics;
+    raises the same reference/compatibility/type diagnostics.
+    """
+    phys = _phys()
+
+    def env(schema: Optional[Schema]) -> Optional[Mapping[str, ColumnInfo]]:
+        return schema.mapping() if schema is not None else None
+
+    def join_schema(
+        left: Optional[Schema], right: Optional[Schema]
+    ) -> Optional[Schema]:
+        if left is None or right is None:
+            return None
+        return Schema(tuple(left) + tuple(right))
+
+    def check_pair(
+        pair: Any, left: Optional[Schema], right: Optional[Schema], where: str
+    ) -> None:
+        a, b = pair
+        if left is not None and a not in left:
+            raise PlanReferenceError(
+                f"{where} key {a!r} not in left input columns "
+                f"{sorted(left.names)}"
+            )
+        if right is not None and b not in right:
+            raise PlanReferenceError(
+                f"{where} key {b!r} not in right input columns "
+                f"{sorted(right.names)}"
+            )
+
+    def visit(node: Any) -> Optional[Schema]:
+        if isinstance(node, phys.ParallelScan) or isinstance(node, phys.Scan):
+            return table_schema(node.table, catalog)
+        if isinstance(node, phys.FusedSelectProject):
+            child = visit(node.child)
+            if node.condition is not None:
+                infer_expression(
+                    node.condition, env(child), "FusedSelectProject filter"
+                )
+            if node.columns is None:
+                return child
+            out = []
+            for expr, name in node.columns:
+                info = infer_expression(
+                    expr, env(child), f"FusedSelectProject column {name!r}"
+                )
+                out.append(ColumnInfo(name, info.type, info.nullable, info.certain))
+            return Schema(out)
+        if isinstance(node, phys.Rename):
+            child = visit(node.child)
+            if child is None:
+                return None
+            for old in node.mapping:
+                if old not in child:
+                    raise PlanReferenceError(
+                        f"Rename of unknown column {old!r}; available "
+                        f"columns: {sorted(child.names)}"
+                    )
+            return Schema(
+                [
+                    ColumnInfo(
+                        node.mapping.get(c.name, c.name),
+                        c.type,
+                        c.nullable,
+                        c.certain,
+                    )
+                    for c in child
+                ]
+            )
+        if isinstance(node, phys.HashJoin):
+            left, right = visit(node.left), visit(node.right)
+            for pair in node.eq_pairs:
+                check_pair(pair, left, right, "HashJoin equi")
+            combined = join_schema(left, right)
+            infer_expression(node.condition, env(combined), "HashJoin condition")
+            return combined
+        if isinstance(node, phys.CompressedJoin):
+            left, right = visit(node.left), visit(node.right)
+            check_pair(node.pair, left, right, "CompressedJoin equi")
+            combined = join_schema(left, right)
+            infer_expression(
+                node.condition, env(combined), "CompressedJoin condition"
+            )
+            return combined
+        if isinstance(node, phys.NLJoin):
+            left, right = visit(node.left), visit(node.right)
+            combined = join_schema(left, right)
+            if node.condition is not None:
+                infer_expression(node.condition, env(combined), "NLJoin condition")
+            return combined
+        if isinstance(node, phys.HashAggregate):
+            child = visit(node.child)
+            logical = ast.Aggregate(
+                ast.TableRef("?"),
+                node.group_by,
+                node.aggregates,
+                None if node.partial else node.having,
+            )
+            return _aggregate_like(logical, child)
+        if isinstance(node, phys.HashDistinct):
+            return visit(node.child)
+        if isinstance(node, phys.TopK):
+            child = visit(node.child)
+            _check_keys(node.keys, child, "TopK")
+            return child
+        if isinstance(node, phys.Limit):
+            return visit(node.child)
+        if isinstance(node, phys.Concat):
+            left, right = visit(node.left), visit(node.right)
+            if left is not None and right is not None and len(left) != len(right):
+                raise PlanCompatibilityError(
+                    f"Concat (union) branches are not union-compatible: "
+                    f"left {left.names}, right {right.names}"
+                )
+            if left is None or right is None:
+                return left or right
+            return Schema(
+                [
+                    ColumnInfo(
+                        a.name,
+                        unify(a.type, b.type),
+                        a.nullable or b.nullable,
+                        a.certain and b.certain,
+                    )
+                    for a, b in zip(left, right)
+                ]
+            )
+        if isinstance(node, phys.TupleFallback):
+            inputs = [visit(c) for c in node.inputs]
+            return _fallback_schema(node, inputs)
+        if isinstance(node, phys.Exchange):
+            return visit(node.child)
+        return None
+
+    def _check_keys(
+        keys: Sequence[str], schema: Optional[Schema], where: str
+    ) -> None:
+        if schema is None:
+            return
+        for key in keys:
+            if key not in schema:
+                raise PlanReferenceError(
+                    f"unknown column {key!r} in {where}; available "
+                    f"columns: {sorted(schema.names)}"
+                )
+
+    def _aggregate_like(
+        logical: ast.Aggregate, child: Optional[Schema]
+    ) -> Optional[Schema]:
+        # reuse the logical Aggregate rules against the physical child's
+        # schema by substituting an opaque leaf for the child
+        from .schema import _aggregate_output  # shared internals
+
+        child_env = env(child)
+        out = []
+        for key in logical.group_by:
+            if child_env is None:
+                out.append(ColumnInfo(key))
+                continue
+            info = child_env.get(key)
+            if info is None:
+                raise PlanReferenceError(
+                    f"unknown group-by column {key!r} in HashAggregate; "
+                    f"available columns: {sorted(child_env)}"
+                )
+            out.append(ColumnInfo(key, info.type, info.nullable, info.certain))
+        for spec in logical.aggregates:
+            out.append(_aggregate_output(spec, child_env))
+        # colliding output names are last-wins, as everywhere else
+        schema = Schema(out)
+        if logical.having is not None:
+            infer_expression(logical.having, schema.mapping(), "HAVING clause")
+        return schema
+
+    def _fallback_schema(
+        node: Any, inputs: List[Optional[Schema]]
+    ) -> Optional[Schema]:
+        logical = node.logical
+        if node.kind == "difference":
+            left = inputs[0] if inputs else None
+            right = inputs[1] if len(inputs) > 1 else None
+            if left is not None and right is not None and len(left) != len(right):
+                raise PlanCompatibilityError(
+                    "TupleFallback[difference] branches are not "
+                    f"union-compatible: left {left.names}, right {right.names}"
+                )
+            return left
+        child = inputs[0] if inputs else None
+        if node.kind == "distinct":
+            return child
+        if node.kind == "aggregate" and isinstance(logical, ast.Aggregate):
+            return _aggregate_like(logical, child)
+        if node.kind == "topk" and isinstance(logical, ast.TopK):
+            _check_keys(logical.keys, child, "TupleFallback[topk]")
+            return child
+        return child
+
+    return visit(pplan)
+
+
+def verify_physical(
+    pplan: Any,
+    catalog: Any = None,
+    config: Any = None,
+) -> Optional[Schema]:
+    """Verify a lowered physical plan; returns its inferred schema.
+
+    ``config`` is the :class:`~repro.exec.physical.PhysicalConfig` the
+    plan was lowered with (``None`` = check only engine-independent
+    invariants).  Checks, beyond :func:`infer_physical`'s per-node
+    schema consistency:
+
+    * engine-legal operators — an AU plan may not contain the
+      deterministic non-linear operators (``HashAggregate`` /
+      ``HashDistinct`` / ``TopK`` / ``Limit``) nor parallel nodes: its
+      non-linear fragment must be closed under ``TupleFallback``
+      boundaries; a deterministic plan may not contain
+      ``CompressedJoin`` or AU-only fallbacks;
+    * ``Exchange`` placement — a known merge kind, merge-specific child
+      and ``final`` operator shapes, partial ``HashAggregate`` only
+      directly under ``Exchange(merge="aggregate")`` with its ``having``
+      deferred to the final operator;
+    * parallel regions — exactly one ``ParallelScan`` per ``Exchange``
+      region with matching ``partitions``; no ``ParallelScan`` outside a
+      region; no nested ``Exchange``;
+    * ``Cpr`` budgets — every ``CompressedJoin`` / bucketed
+      ``TupleFallback`` carries a resolved positive bucket count;
+    * ``TupleFallback`` shape — known ``kind``, input arity, and a
+      logical node of the matching class.
+    """
+    phys = _phys()
+    engine = getattr(config, "engine", None)
+
+    au_forbidden = tuple(getattr(phys, n) for n in _AU_FORBIDDEN)
+    fallback_arity = {"difference": 2, "distinct": 1, "aggregate": 1, "topk": 1}
+    fallback_logical = {
+        "difference": ast.Difference,
+        "distinct": ast.Distinct,
+        "aggregate": ast.Aggregate,
+        "topk": ast.TopK,
+    }
+
+    def visit(node: Any, in_region: bool) -> None:
+        name = _node_name(node)
+        if engine == "au" and isinstance(node, au_forbidden):
+            raise PlanCompatibilityError(
+                f"{name} is not a legal AU operator: the AU engines' "
+                "non-linear fragment must run through TupleFallback "
+                "boundaries"
+            )
+        if engine == "det" and isinstance(node, phys.CompressedJoin):
+            raise PlanCompatibilityError(
+                "CompressedJoin (Cpr) in a deterministic plan: "
+                "compression only applies to AU annotations"
+            )
+        if isinstance(node, phys.CompressedJoin):
+            if not isinstance(node.buckets, int) or node.buckets < 1:
+                raise PlanCompatibilityError(
+                    f"CompressedJoin has unresolved Cpr budget "
+                    f"{node.buckets!r}; lowering must fix a positive "
+                    "bucket count"
+                )
+        if isinstance(node, phys.TupleFallback):
+            if node.kind not in fallback_arity:
+                raise PlanCompatibilityError(
+                    f"unknown TupleFallback kind {node.kind!r}"
+                )
+            if engine == "det" and node.kind != "difference":
+                raise PlanCompatibilityError(
+                    f"TupleFallback[{node.kind}] in a deterministic plan: "
+                    "only bag difference falls back to tuple operators"
+                )
+            if len(node.inputs) != fallback_arity[node.kind]:
+                raise PlanCompatibilityError(
+                    f"TupleFallback[{node.kind}] expects "
+                    f"{fallback_arity[node.kind]} input(s), has "
+                    f"{len(node.inputs)}"
+                )
+            expected = fallback_logical[node.kind]
+            if not isinstance(node.logical, expected):
+                raise PlanCompatibilityError(
+                    f"TupleFallback[{node.kind}] carries a "
+                    f"{_node_name(node.logical)} logical node; expected "
+                    f"{expected.__name__}"
+                )
+            if node.buckets is not None and (
+                not isinstance(node.buckets, int) or node.buckets < 1
+            ):
+                raise PlanCompatibilityError(
+                    f"TupleFallback[{node.kind}] has unresolved Cpr "
+                    f"budget {node.buckets!r}"
+                )
+        if isinstance(node, phys.HashAggregate) and node.partial:
+            # reachable only via Exchange's special-cased recursion below
+            raise PlanCompatibilityError(
+                "partial HashAggregate without a merging Exchange: "
+                "partial aggregation states are only legal directly "
+                'under Exchange(merge="aggregate")'
+            )
+        if isinstance(node, phys.ParallelScan):
+            if not in_region:
+                raise PlanCompatibilityError(
+                    "ParallelScan outside an Exchange region: morsel "
+                    "scans need a merge point"
+                )
+            return
+        if isinstance(node, phys.Exchange):
+            _check_exchange(node, in_region)
+            return
+        for child in node.children():
+            visit(child, in_region)
+
+    def _check_exchange(node: Any, in_region: bool) -> None:
+        if in_region:
+            raise PlanCompatibilityError(
+                "nested Exchange: parallel regions do not nest"
+            )
+        if node.merge not in _MERGE_KINDS:
+            raise PlanCompatibilityError(
+                f"unknown Exchange merge kind {node.merge!r}; "
+                f"expected one of {list(_MERGE_KINDS)}"
+            )
+        if not isinstance(node.partitions, int) or node.partitions < 2:
+            raise PlanCompatibilityError(
+                f"Exchange with {node.partitions!r} partitions: a "
+                "parallel region needs at least 2"
+            )
+        parallelism = getattr(config, "parallelism", None)
+        if parallelism is not None and node.partitions != parallelism:
+            raise PlanCompatibilityError(
+                f"Exchange partitions {node.partitions} do not match "
+                f"config.parallelism {parallelism}"
+            )
+        child, final = node.child, node.final
+        if node.merge == "concat":
+            if final is not None:
+                raise PlanCompatibilityError(
+                    'Exchange(merge="concat") must not carry a final '
+                    f"operator, has {_node_name(final)}"
+                )
+        else:
+            shapes = {
+                "aggregate": phys.HashAggregate,
+                "topk": phys.TopK,
+                "limit": phys.Limit,
+                "distinct": phys.HashDistinct,
+            }
+            shape = shapes[node.merge]
+            if not isinstance(child, shape):
+                raise PlanCompatibilityError(
+                    f'Exchange(merge="{node.merge}") requires a '
+                    f"{shape.__name__} child computing per-partition "
+                    f"state, has {_node_name(child)}"
+                )
+            if final is None or not isinstance(final, shape):
+                raise PlanCompatibilityError(
+                    f'Exchange(merge="{node.merge}") requires a '
+                    f"{shape.__name__} final operator, has "
+                    f"{_node_name(final) if final is not None else None!r}"
+                )
+            if node.merge == "aggregate":
+                if not child.partial:
+                    raise PlanCompatibilityError(
+                        'Exchange(merge="aggregate") child must be a '
+                        "partial HashAggregate"
+                    )
+                if child.having is not None:
+                    raise PlanCompatibilityError(
+                        "partial HashAggregate must defer HAVING to the "
+                        "Exchange's final operator"
+                    )
+                if final.partial:
+                    raise PlanCompatibilityError(
+                        'Exchange(merge="aggregate") final operator must '
+                        "be the non-partial HashAggregate"
+                    )
+        # walk the region body; `final` shares the pre-parallel subtree
+        # with `child` (it is the original serial operator), so it is
+        # checked shallowly above and never recursed into
+        region_root = child
+        if node.merge == "aggregate" and isinstance(child, phys.HashAggregate):
+            # the partial aggregate itself is legal here; descend past it
+            region_root = child.child
+        elif node.merge in ("topk", "limit", "distinct"):
+            region_root = child.child
+        scans = [
+            n
+            for n in region_root.walk()
+            if isinstance(n, phys.ParallelScan)
+        ]
+        if len(scans) != 1:
+            raise PlanCompatibilityError(
+                f"Exchange region must contain exactly one ParallelScan, "
+                f"found {len(scans)}"
+            )
+        if scans[0].partitions != node.partitions:
+            raise PlanCompatibilityError(
+                f"ParallelScan partitions {scans[0].partitions} do not "
+                f"match Exchange partitions {node.partitions}"
+            )
+        visit(region_root, True)
+
+    visit(pplan, False)
+    if engine is not None and engine not in ("det", "au"):
+        raise PlanCompatibilityError(f"unknown engine {engine!r}")
+    return infer_physical(pplan, catalog)

@@ -66,6 +66,7 @@ from ..algebra.ast import (
     Union,
 )
 from ..algebra.optimizer import Statistics, estimate, schema_of
+from ..analysis import verification_enabled
 from ..core.compression import recommended_buckets
 from ..core.expressions import Expression
 from ..core.operators import _extract_equi_pairs, _is_pure_equi_condition
@@ -403,6 +404,8 @@ def lower(
     plan: Plan,
     stats: Optional[Statistics],
     config: PhysicalConfig,
+    *,
+    verify: Optional[bool] = None,
 ) -> PhysNode:
     """Lower an optimized logical plan into a physical plan.
 
@@ -416,6 +419,12 @@ def lower(
     engine-agnostic data: interpreters in :mod:`repro.db.engine`,
     :mod:`repro.algebra.evaluator`, and :mod:`repro.exec.vectorized`
     execute it without making further decisions.
+
+    ``verify`` runs :func:`repro.analysis.verify_physical` over the
+    lowered plan as a debug assertion (``None`` defers to
+    :func:`repro.analysis.verification_enabled`): operator placement and
+    per-node schemas are statically checked before any executor sees the
+    plan.
     """
     pplan = _Lowerer(stats, config).lower(plan)
     if (
@@ -424,6 +433,12 @@ def lower(
         and config.parallelism > 1
     ):
         pplan = _parallelize(pplan, config.parallelism)
+    if verify is None:
+        verify = verification_enabled()
+    if verify:
+        from ..analysis import verify_physical
+
+        verify_physical(pplan, stats, config)
     return pplan
 
 

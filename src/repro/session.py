@@ -64,6 +64,7 @@ from .algebra.ast import (
     TopK,
     Union as PlanUnion,
 )
+from . import analysis
 from .algebra.evaluator import EvalConfig, execute_physical_audb
 from .algebra.optimizer import Statistics, compression_hints, optimize
 from .core.aggregation import AggregateSpec
@@ -547,12 +548,31 @@ class PreparedQuery:
             self.plan = query
         #: parameter keys the query declares, in first-seen order
         self.parameters = collect_parameters(self.plan)
+        #: annotation semantics this query executes under — what the
+        #: optimizer's rewrites must preserve
+        self.semantics = "bag" if connection.engine == "det" else "au"
+        # prepare-time well-formedness check (always on): unknown
+        # tables/columns, incompatible set operations, and ill-typed
+        # expressions fail here with a one-line diagnostic naming the
+        # node and column, instead of deep inside an executor
+        stats = connection.statistics()
+        analysis.verify_logical(self.plan, stats)
+        #: names of the optimizer rewrites that fired (semiring lint)
+        self.rewrite_trace: List[str] = []
         if config.optimize:
-            stats = connection.statistics()
             self.optimized = optimize(
-                self.plan, stats, join_order=config.join_order
+                self.plan,
+                stats,
+                join_order=config.join_order,
+                semantics=self.semantics,
+                verify=connection.verify_plans,
+                trace=self.rewrite_trace,
             )
             metrics.optimizations += 1
+            if connection.verify_plans:
+                analysis.check_semiring_safety(
+                    self.rewrite_trace, self.semantics
+                )
         else:
             self.optimized = self.plan
         self.pplan: Optional[phys.PhysNode] = None
@@ -587,6 +607,7 @@ class PreparedQuery:
                     config.adaptive_compression and config.optimize
                 ),
             ),
+            verify=conn.verify_plans,
         )
         self.plan_epoch = stats.epoch
         self._bound_plans.clear()  # bound copies of the old plan
@@ -725,6 +746,16 @@ class Connection:
     trail the catalog by before executing re-lowers it; ``0`` re-lowers
     on every drift, ``-1`` never re-lowers (the cache-key epoch band is
     then also frozen).
+
+    ``verify`` controls the static plan verifier
+    (:mod:`repro.analysis`) for queries prepared on this connection:
+    ``True`` re-verifies the plan after every optimizer pass and after
+    lowering, ``False`` disables those debug assertions, and ``None``
+    (default) defers to the process-wide switch
+    (:func:`repro.analysis.verification_enabled`, env
+    ``REPRO_VERIFY_PLANS``).  Prepare-time schema checking — unknown
+    tables/columns, union compatibility, ill-typed expressions — is
+    always on; it is part of compilation, not a debug assertion.
     """
 
     def __init__(
@@ -734,6 +765,7 @@ class Connection:
         config: Optional[EvalConfig] = None,
         staleness: int = DEFAULT_STALENESS,
         cache_size: int = DEFAULT_CACHE_SIZE,
+        verify: Optional[bool] = None,
     ) -> None:
         if engine is None:
             if isinstance(db, DetDatabase):
@@ -757,9 +789,18 @@ class Connection:
             )
         self.staleness = staleness
         self.cache_size = cache_size
+        self.verify = verify
         self.metrics = ConnectionMetrics()
         self._cache: "OrderedDict[tuple, PreparedQuery]" = OrderedDict()
         self._stats: Optional[Statistics] = None
+
+    @property
+    def verify_plans(self) -> bool:
+        """Effective verification setting: the connection's ``verify``
+        knob, or the process-wide switch when unset."""
+        if self.verify is not None:
+            return self.verify
+        return analysis.verification_enabled()
 
     # -- catalog -------------------------------------------------------
     @property

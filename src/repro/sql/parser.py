@@ -199,6 +199,13 @@ class _Parser:
         plain projections; emit Aggregate / Projection nodes."""
         has_aggs = any(isinstance(e, AggregateSpec) for e, _ in items)
         if not has_aggs and not group_by:
+            if having is not None:
+                # previously dropped silently; a HAVING can only filter
+                # groups, so without grouping it is a malformed query
+                raise SqlSyntaxError(
+                    "HAVING requires GROUP BY or aggregates in the "
+                    "select list"
+                )
             if len(items) == 1 and isinstance(items[0][0], str):
                 return plan  # SELECT *
             columns = [(e, name) for e, name in items]

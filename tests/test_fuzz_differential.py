@@ -57,6 +57,7 @@ from typing import List, Set, Tuple
 
 import pytest
 
+from repro import analysis
 from repro.algebra.ast import (
     Aggregate,
     CrossProduct,
@@ -343,6 +344,59 @@ def _float_database(det: DetDatabase) -> DetDatabase:
 
 
 def check_case(seed: int) -> None:
+    """One fuzz case, with plan verification forced on: every
+    optimize/lower inside runs the :mod:`repro.analysis` checks.  On any
+    mismatch or verifier failure a standalone repro script is written to
+    ``failures/`` (or ``$FUZZ_FAILURE_DIR``) and the error re-raised
+    with the script path appended."""
+    try:
+        with analysis.verified():
+            _check_case(seed)
+    except (AssertionError, analysis.PlanVerificationError) as exc:
+        path = _dump_repro(seed, exc)
+        exc.args = (f"{exc} [repro script: {path}]",)
+        raise
+
+
+def _dump_repro(seed: int, exc: BaseException) -> str:
+    """Write a minimized standalone repro script for a failing seed."""
+    directory = os.environ.get("FUZZ_FAILURE_DIR") or os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "failures",
+    )
+    os.makedirs(directory, exist_ok=True)
+    # regenerate the case inputs so the script documents what failed
+    rng = random.Random(seed)
+    audb = make_audb(rng)
+    plan, schema, used = make_plan(rng, rng.randint(1, 4))
+    cards = {name: len(rel) for name, rel in audb.relations.items()}
+    error = " ".join(str(exc).splitlines())[:400]
+    path = os.path.join(directory, f"fuzz_seed_{seed}.py")
+    with open(path, "w") as fh:
+        fh.write(
+            "#!/usr/bin/env python\n"
+            f"# Differential-fuzzer failure repro (seed {seed}).\n"
+            f"# error: {error}\n"
+            f"# plan: {plan!r}\n"
+            f"# output schema: {schema}  tables used: {sorted(used)}\n"
+            f"# AU table cardinalities: {cards}\n"
+            "# Run from the repo root:\n"
+            f"#   PYTHONPATH=src:tests python failures/fuzz_seed_{seed}.py\n"
+            "import sys\n"
+            "\n"
+            "sys.path[:0] = ['src', 'tests']\n"
+            "\n"
+            "from repro import analysis\n"
+            "from test_fuzz_differential import _check_case\n"
+            "\n"
+            "with analysis.verified():\n"
+            f"    _check_case({seed})\n"
+            "print('seed reproduced cleanly (failure no longer occurs)')\n"
+        )
+    return path
+
+
+def _check_case(seed: int) -> None:
     """One fuzz case; raises AssertionError (with the seed) on mismatch."""
     rng = random.Random(seed)
     audb = make_audb(rng)
@@ -515,7 +569,7 @@ def main(argv=None) -> int:
         seed = args.seed + i
         try:
             check_case(seed)
-        except AssertionError as exc:
+        except (AssertionError, analysis.PlanVerificationError) as exc:
             failures += 1
             print(f"MISMATCH at seed {seed}: {exc}")
     status = "FAIL" if failures else "ok"
