@@ -1,0 +1,143 @@
+"""Incremental view maintenance benchmark: subscribe() vs re-execution.
+
+The serving shape IVM exists for: a join + group-by aggregate view over
+a large fact table, read after every write of a 100-write stream.  The
+maintained path holds one ``Connection.subscribe()`` view — each write
+delta-joins a single tuple against the small dimension side and folds
+the result into the aggregate partials (O(|S|) work per write), so the
+per-read cost is just finalizing the partials.  The baseline re-executes
+the same prepared query after every write and pays the full O(|R|) scan
++ join + aggregation each time.  Results must match write for write.
+
+Run standalone for a throughput report (asserts the >=10x acceptance
+bar)::
+
+    PYTHONPATH=src python benchmarks/bench_ivm.py
+
+or under pytest-benchmark::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_ivm.py
+"""
+
+import time
+
+import pytest
+
+from repro.db.storage import DetDatabase, DetRelation
+from repro.session import Connection
+
+N_FACT = 15_000
+N_DIM = 64
+N_WRITES = 100
+
+SQL = (
+    "SELECT d, SUM(b) AS total, COUNT(*) AS n "
+    "FROM r, s WHERE a = c GROUP BY d"
+)
+
+
+def make_db(n_fact: int = N_FACT, n_dim: int = N_DIM) -> DetDatabase:
+    """A fact table r(a, b) joining a small dimension s(c, d)."""
+    db = DetDatabase({})
+    r = DetRelation(("a", "b"))
+    for i in range(n_fact):
+        r.add((i % n_dim, float(i % 97)), 1 + (i % 3))
+    s = DetRelation(("c", "d"))
+    for j in range(n_dim):
+        s.add((j, j % 8), 1)
+    db["r"] = r
+    db["s"] = s
+    return db
+
+
+def write_stream(n_writes: int = N_WRITES):
+    """A deterministic insert/delete-interleaved stream against ``r``."""
+    ops = []
+    for i in range(n_writes):
+        if i % 3 == 2:
+            # every third op removes what the previous op inserted
+            ops.append(("delete", ops[-1][1], 1))
+        else:
+            t = ((i * 7) % N_DIM, float((i * 13) % 97) + 0.5)
+            ops.append(("add", t, 1))
+    return ops
+
+
+def run_maintained(db: DetDatabase, ops) -> list:
+    conn = Connection(db)
+    view = conn.subscribe(SQL)
+    out = []
+    for op, t, m in ops:
+        getattr(db["r"], op)(t, m)
+        out.append(view.result())
+    view.close()
+    return out
+
+
+def run_reexecute(db: DetDatabase, ops) -> list:
+    conn = Connection(db)
+    prepared = conn.prepare(SQL)
+    out = []
+    for op, t, m in ops:
+        getattr(db["r"], op)(t, m)
+        out.append(prepared.execute())
+    return out
+
+
+@pytest.fixture()
+def dbs():
+    return make_db(), make_db()
+
+
+def test_maintained_view_stream(benchmark, dbs):
+    ops = write_stream()
+    benchmark(lambda: run_maintained(dbs[0], ops))
+
+
+def test_reexecuted_view_stream(benchmark, dbs):
+    ops = write_stream()
+    benchmark(lambda: run_reexecute(dbs[1], ops))
+
+
+def main() -> int:
+    ops = write_stream()
+
+    # warm-up on throwaway databases (statistics harvest, plan cache)
+    run_maintained(make_db(), ops[:4])
+    run_reexecute(make_db(), ops[:4])
+
+    db_m = make_db()
+    start = time.perf_counter()
+    maintained = run_maintained(db_m, ops)
+    t_m = time.perf_counter() - start
+
+    db_r = make_db()
+    start = time.perf_counter()
+    reexecuted = run_reexecute(db_r, ops)
+    t_r = time.perf_counter() - start
+
+    failures = []
+    for i, (a, b) in enumerate(zip(maintained, reexecuted)):
+        if a.schema != b.schema or sorted(
+            repr(x) for x in a.tuples()
+        ) != sorted(repr(x) for x in b.tuples()):
+            failures.append(f"write {i}: maintained view differs from fresh")
+            break
+
+    speedup = t_r / t_m if t_m > 0 else float("inf")
+    print(
+        f"join+aggregate view over r({N_FACT} rows) ⋈ s({N_DIM} rows), "
+        f"{N_WRITES}-write stream, read after every write"
+    )
+    print(f"re-execute per write : {t_r / N_WRITES * 1e3:8.3f} ms/write")
+    print(f"maintained view      : {t_m / N_WRITES * 1e3:8.3f} ms/write")
+    print(f"speedup              : {speedup:8.1f}x  (gate: >=10x)")
+    if speedup < 10.0:
+        failures.append(f"speedup {speedup:.1f}x below the 10x bar")
+    for f in failures:
+        print(f"FAIL: {f}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

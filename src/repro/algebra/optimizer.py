@@ -112,6 +112,9 @@ __all__ = [
     "schema_of",
     "estimate",
     "compression_hints",
+    "derive_delta",
+    "DeltaPlan",
+    "DeltaSegment",
     "JOIN_ORDERS",
     "DEFAULT_JOIN_ORDER",
 ]
@@ -1265,3 +1268,159 @@ def explain(
     for warning in warnings:
         lines.append(f"!! {warning}")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# delta-plan derivation (incremental view maintenance, repro.ivm)
+# ----------------------------------------------------------------------
+#: operators that are *linear* in every base relation: both annotation
+#: semirings (bag and K^AU) distribute over union, so for these
+#: Q(R + ΔR) = Q(R) + Q[R := ΔR] holds exactly (per component for AU
+#: triples) as long as no product (join/cross) multiplies a relation
+#: with itself.  OrderBy is bag-presentation-only, hence bag-linear.
+_LINEAR_NODES = (
+    TableRef,
+    Selection,
+    Projection,
+    Rename,
+    Join,
+    CrossProduct,
+    Union,
+)
+_BAG_LINEAR_NODES = _LINEAR_NODES + (OrderBy,)
+
+#: synthetic table-name prefix for materialized linear segments
+DELTA_SEGMENT_PREFIX = "__ivm_seg"
+
+
+@dataclass(frozen=True)
+class DeltaSegment:
+    """One incrementally-maintained linear subtree of a view plan.
+
+    ``name`` is the synthetic table the non-linear tail reads it back
+    under (empty for the root segment of a fully linear or root-γ
+    view).  ``multi_ref`` lists base tables some join/cross inside the
+    segment multiplies with themselves — writes to those cannot be
+    expressed as a single-sided delta, so they refresh the whole
+    segment instead.
+    """
+
+    name: str
+    plan: Plan
+    tables: Tuple[str, ...]
+    multi_ref: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class DeltaPlan:
+    """The maintenance strategy derived from an optimized view plan.
+
+    ``kind`` is the plan-time classification:
+
+    * ``"linear"`` — the whole plan is linear: maintain the result bag
+      directly by merging ``Q[R := Δ]`` per write;
+    * ``"aggregate"`` — a bag ``Aggregate`` over a linear input:
+      maintain per-group semiring partials (the PR 4 partial-aggregate
+      accumulator layout) and finalize on read;
+    * ``"refresh"`` — a non-linear fragment remains: maintain the
+      maximal linear ``segments`` incrementally and re-run ``tail``
+      (the refresh boundary, reading segments as synthetic tables)
+      epoch-gated at read time.
+    """
+
+    view: Plan
+    kind: str
+    segments: Tuple[DeltaSegment, ...]
+    tail: Optional[Plan]
+    aggregate: Optional[Aggregate]
+
+    def tables(self) -> Tuple[str, ...]:
+        """Every base table whose writes this view must observe."""
+        names = []
+        for seg in self.segments:
+            for t in seg.tables:
+                if t not in names:
+                    names.append(t)
+        if self.tail is not None:
+            for t in self.tail.table_names():
+                if not t.startswith(DELTA_SEGMENT_PREFIX) and t not in names:
+                    names.append(t)
+        return tuple(names)
+
+
+def _self_products(plan: Plan) -> Set[str]:
+    """Tables some join/cross product multiplies with themselves."""
+    conflicts: Set[str] = set()
+    for node in plan.walk():
+        if isinstance(node, (Join, CrossProduct)):
+            conflicts |= set(node.left.table_names()) & set(
+                node.right.table_names()
+            )
+    return conflicts
+
+
+def _is_linear(plan: Plan, semantics: str) -> bool:
+    nodes = _BAG_LINEAR_NODES if semantics == "bag" else _LINEAR_NODES
+    return all(isinstance(n, nodes) for n in plan.walk())
+
+
+def _segment(name: str, plan: Plan) -> DeltaSegment:
+    return DeltaSegment(
+        name,
+        plan,
+        tuple(dict.fromkeys(plan.table_names())),
+        tuple(sorted(_self_products(plan))),
+    )
+
+
+def derive_delta(
+    plan: Plan,
+    stats: Optional[Statistics] = None,
+    *,
+    semantics: str = "bag",
+    trace: Optional[List[str]] = None,
+) -> DeltaPlan:
+    """Derive the per-write maintenance strategy for ``plan``.
+
+    ``plan`` should be the *optimized*, parameter-free view plan;
+    ``semantics`` is ``"bag"`` (deterministic engine) or ``"au"``.  The
+    derivation itself is an (exactness-preserving) plan rewrite and is
+    recorded in ``trace`` as ``"delta-derivation"`` for the
+    semiring-safety lint, like any optimizer rule.
+    """
+    if trace is not None and "delta-derivation" not in trace:
+        trace.append("delta-derivation")
+
+    if _is_linear(plan, semantics):
+        return DeltaPlan(plan, "linear", (_segment("", plan),), None, None)
+
+    if (
+        semantics == "bag"
+        and isinstance(plan, Aggregate)
+        and _is_linear(plan.child, semantics)
+    ):
+        return DeltaPlan(
+            plan, "aggregate", (_segment("", plan.child),), None, plan
+        )
+
+    # non-linear fragment: carve out maximal linear subtrees as
+    # incrementally-maintained materializations; the remaining tail —
+    # the refresh boundary — re-executes over them at read time
+    segments: List[DeltaSegment] = []
+
+    def carve(node: Plan) -> Plan:
+        if _is_linear(node, semantics):
+            if isinstance(node, TableRef):
+                return node  # the tail reads base tables directly
+            schema = schema_of(node, stats)
+            if schema is not None and len(set(schema)) == len(schema):
+                name = f"{DELTA_SEGMENT_PREFIX}{len(segments)}"
+                segments.append(_segment(name, node))
+                return TableRef(name)
+            # unmaterializable schema (unknown / duplicate attribute
+            # names): leave the subtree inside the tail
+            return node
+        return _rebuild(node, carve)
+
+    tail = carve(plan)
+    return DeltaPlan(plan, "refresh", tuple(segments), tail, None)

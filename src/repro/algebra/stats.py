@@ -245,7 +245,7 @@ class StatsAccumulator:
     __slots__ = (
         "schema", "total", "nulls", "uncertain", "width_sum", "width_n",
         "distinct", "mins", "maxs", "numeric_ok", "samples", "hist_lo",
-        "hist_hi", "hist_counts", "hist_dirty", "rescan_needed",
+        "hist_hi", "hist_counts", "hist_dirty", "rescan_needed", "deletes",
     )
 
     def __init__(self, schema) -> None:
@@ -277,6 +277,11 @@ class StatsAccumulator:
         #: set when an out-of-range write hits a column whose samples
         #: were dropped: only a full relation rescan can rebuild then
         self.rescan_needed = False
+        #: deleted row weight, counted *separately* from the insert
+        #: stream: a delete shrinks distributions in ways an insert
+        #: cannot, so staleness heuristics must not net it against
+        #: inserts (a delete-heavy stream would otherwise look idle)
+        self.deletes = 0
 
     def observe(self, t, annotation) -> None:
         """Fold one stored row into the running statistics.
@@ -326,6 +331,63 @@ class StatsAccumulator:
                     self.mins[i] = lb
                 if domain_key(ub) > domain_key(self.maxs[i]):
                     self.maxs[i] = ub
+
+    def observe_delete(self, t, weight: int) -> None:
+        """Fold one *deleted* row out of the running statistics.
+
+        Counters that are exactly invertible (total, nulls, uncertain,
+        width sums, in-range histogram buckets) are decremented in
+        place; quantities that can only shrink under deletion (min/max
+        bounds, distinct sketches, out-of-range histogram state) flag
+        ``rescan_needed`` instead of guessing, so the next harvest
+        rescans.  ``weight`` is the deleted multiplicity (1 for an AU
+        tuple removal).  Deleted weight also accumulates in
+        :attr:`deletes` — separately from :attr:`total` — so staleness
+        heuristics can see a delete-heavy stream for what it is.
+        """
+        self.total -= weight
+        self.deletes += weight
+        for i, value in enumerate(t):
+            if isinstance(value, RangeValue):
+                sg, lb, ub = value.sg, value.lb, value.ub
+                if not value.is_certain:
+                    self.uncertain[i] -= weight
+                w = value.width()
+                if math.isfinite(w):
+                    self.width_sum[i] -= w * weight
+                    self.width_n[i] -= weight
+            else:
+                sg = lb = ub = value
+                self.width_n[i] -= weight
+            if sg is None:
+                self.nulls[i] -= weight
+                continue
+            if self.numeric_ok[i]:
+                if isinstance(sg, (int, float)) and not isinstance(sg, bool):
+                    # retained samples now over-count: they cannot seed
+                    # a rebuild any more, only a rescan can
+                    self.samples[i] = None
+                    counts = self.hist_counts[i]
+                    if counts is not None and not self.hist_dirty[i]:
+                        lo, hi = self.hist_lo[i], self.hist_hi[i]
+                        if lo <= sg <= hi:
+                            buckets = len(counts)
+                            j = int((sg - lo) * (buckets / (hi - lo)))
+                            top = buckets - 1
+                            counts[j if j < top else top] -= weight
+                        else:
+                            self.hist_dirty[i] = True
+                            self.rescan_needed = True
+                    elif self.hist_dirty[i]:
+                        self.rescan_needed = True
+            # the distinct sketch stays a superset; min/max can only
+            # shrink, so a delete touching a boundary forces a rescan
+            if self.mins[i] is not _UNSET:
+                if (
+                    domain_key(lb) <= domain_key(self.mins[i])
+                    or domain_key(ub) >= domain_key(self.maxs[i])
+                ):
+                    self.rescan_needed = True
 
     def _observe_histogram(self, i: int, v: float, weight: int) -> None:
         counts = self.hist_counts[i]

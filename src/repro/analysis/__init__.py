@@ -65,6 +65,7 @@ __all__ = [
     "verify_logical",
     "verify_physical",
     "verify_bound",
+    "verify_delta",
     # semiring-safety lint (repro.analysis.lint)
     "RewriteRule",
     "REWRITE_RULES",
@@ -90,6 +91,7 @@ _LAZY = {
     "verify_logical": "verify",
     "verify_physical": "verify",
     "verify_bound": "verify",
+    "verify_delta": "verify",
     "RewriteRule": "lint",
     "REWRITE_RULES": "lint",
     "check_semiring_safety": "lint",

@@ -116,6 +116,14 @@ _RULES: Tuple[RewriteRule, ...] = (
         au_safe=True,
         note="narrowing π below width-insensitive operators",
     ),
+    RewriteRule(
+        "delta-derivation",
+        bag_safe=True,
+        au_safe=True,
+        note="incremental maintenance: both semirings distribute over "
+        "union, so single-table deltas through the linear fragment are "
+        "exact and the non-linear tail re-executes unchanged (repro.ivm)",
+    ),
 )
 
 #: name → :class:`RewriteRule` for every declared rewrite.

@@ -45,6 +45,7 @@ __all__ = [
     "verify_logical",
     "verify_bound",
     "verify_physical",
+    "verify_delta",
     "collect_plan_parameters",
     "infer_physical",
 ]
@@ -139,6 +140,99 @@ def verify_bound(
             f"unbound parameter(s) {sorted(missing, key=str)}; "
             f"bound keys: {sorted(have, key=str)}"
         )
+
+
+# ----------------------------------------------------------------------
+# delta plans (incremental view maintenance, repro.ivm)
+# ----------------------------------------------------------------------
+def verify_delta(
+    delta: Any, dplan: Any = None, catalog: Any = None
+) -> Optional[Schema]:
+    """Verify a derived delta plan; returns the view's inferred schema.
+
+    ``delta`` is a :class:`repro.algebra.optimizer.DeltaPlan` (and
+    ``dplan``, when given, its lowered
+    :class:`repro.exec.physical.DeltaPhysical`, whose component plans
+    were already physically verified during lowering).  Checks the
+    maintenance-specific invariants on top of per-plan verification:
+
+    * the view and every maintained segment are parameter-free and
+      logically well-formed against ``catalog``;
+    * every *named* segment (one the tail reads back as a synthetic
+      table) has a known, duplicate-free schema — it must be
+      materializable as a base relation;
+    * **the schema of the delta ≡ the schema of the view**: for a
+      ``linear`` view the root segment's schema, for an ``aggregate``
+      view the finalized ``group_by + aggregate`` names, and for a
+      ``refresh`` view the tail's schema (inferred over the catalog
+      extended with the segment schemas) must all match the view plan's
+      own output schema by name — otherwise folding maintained state
+      into the view result would silently misalign columns.
+    """
+    view_schema = verify_logical(delta.view, catalog, expect_parameters=False)
+    view_names = tuple(view_schema.names) if view_schema is not None else None
+
+    def check_names(got: Optional[Sequence[str]], what: str) -> None:
+        if view_names is None or got is None:
+            return
+        if tuple(got) != view_names:
+            raise PlanCompatibilityError(
+                f"delta {what} schema {tuple(got)} does not match the "
+                f"view schema {view_names}: maintained state would "
+                "misalign columns"
+            )
+
+    seg_schemas: dict[str, Schema] = {}
+    for seg in delta.segments:
+        schema = verify_logical(seg.plan, catalog, expect_parameters=False)
+        if seg.name:
+            if schema is None:
+                raise PlanCompatibilityError(
+                    f"maintained segment {seg.name!r} has no inferable "
+                    "schema; it cannot be materialized as a base table"
+                )
+            if len({c.name for c in schema}) != len(schema):
+                raise PlanCompatibilityError(
+                    f"maintained segment {seg.name!r} has duplicate "
+                    f"attribute names {schema.names}"
+                )
+            seg_schemas[seg.name] = schema
+
+    if delta.kind == "linear":
+        root = verify_logical(
+            delta.segments[0].plan, catalog, expect_parameters=False
+        )
+        check_names(root.names if root is not None else None, "segment")
+    elif delta.kind == "aggregate":
+        agg = delta.aggregate
+        check_names(
+            tuple(agg.group_by) + tuple(s.name for s in agg.aggregates),
+            "aggregate",
+        )
+    else:
+        tail_schema = verify_logical(
+            delta.tail,
+            _SegmentCatalog(catalog, seg_schemas),
+            expect_parameters=False,
+        )
+        check_names(
+            tail_schema.names if tail_schema is not None else None, "tail"
+        )
+    return view_schema
+
+
+class _SegmentCatalog:
+    """A catalog view that adds the maintained segments' schemas, so the
+    non-linear tail's synthetic ``__ivm_seg*`` tables verify like base
+    tables."""
+
+    def __init__(self, base: Any, segments: Mapping[str, Schema]) -> None:
+        self.schemas = dict(getattr(base, "schemas", None) or {})
+        self.columns = dict(getattr(base, "columns", None) or {})
+        self.cardinalities = dict(getattr(base, "cardinalities", None) or {})
+        for name, schema in segments.items():
+            self.schemas[name] = tuple(schema.names)
+            self.cardinalities.setdefault(name, 0)
 
 
 # ----------------------------------------------------------------------

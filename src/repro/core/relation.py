@@ -46,6 +46,7 @@ class AURelation:
         "_column_stats_cache",
         "_columnar_cache",
         "_stats_acc",
+        "_delta_sinks",
     )
 
     def __init__(
@@ -68,6 +69,10 @@ class AURelation:
         self._column_stats_cache = None
         self._columnar_cache = None
         self._stats_acc = None
+        # per-write delta observers (repro.ivm): callables
+        # ``sink(tuple, annotation, sign)`` fired after the write is
+        # applied, with sign +1 for add() and -1 for delete()
+        self._delta_sinks = ()
         if rows is None:
             return
         items = rows.items() if isinstance(rows, Mapping) else rows
@@ -98,7 +103,15 @@ class AURelation:
         existing = self._rows.get(t)
         self._rows[t] = au_add(existing, annotation) if existing else annotation
         self.stats_epoch += 1
-        self._columnar_cache = None
+        cache = self._columnar_cache
+        if cache is not None and not (
+            # a new tuple appends one columnar row in place; an
+            # annotation merge would rewrite an interior row, so it
+            # drops the cache instead
+            existing is None
+            and cache.append_row(t, self._rows[t])
+        ):
+            self._columnar_cache = None
         if existing is None:
             # column statistics weight AU rows one-per-tuple, so only a
             # *new* tuple changes them; an annotation merge leaves the
@@ -106,6 +119,46 @@ class AURelation:
             self._column_stats_cache = None
             if self._stats_acc is not None:
                 self._stats_acc.observe(t, annotation)
+        for sink in self._delta_sinks:
+            sink(t, annotation, 1)
+
+    def delete(self, values: Iterable[Any], annotation: AUAnnotation) -> None:
+        """Subtract ``annotation`` from the tuple built from ``values``.
+
+        Both the subtracted annotation and the remaining annotation must
+        be valid ``K^AU`` triples (``0 <= lb <= sg <= ub``); a remainder
+        of ``(0, 0, 0)`` removes the tuple.  Like the deterministic
+        side, deletes advance the write epoch by 2 so delete-heavy
+        streams re-trigger plan staleness at least as fast as inserts.
+        """
+        annotation = tuple(annotation)  # type: ignore[assignment]
+        if not au_is_valid(annotation):
+            raise ValueError(
+                f"invalid K^AU annotation {annotation!r}: need 0 <= lb <= sg <= ub"
+            )
+        if annotation == (0, 0, 0):
+            return
+        t = make_tuple(values)
+        existing = self._rows.get(t)
+        if existing is None:
+            raise ValueError(f"cannot delete absent tuple {t!r}")
+        remaining = tuple(e - d for e, d in zip(existing, annotation))
+        if min(remaining) < 0 or not au_is_valid(remaining):
+            raise ValueError(
+                f"cannot delete {annotation!r} from {existing!r}: "
+                f"remainder {remaining!r} is not a valid K^AU annotation"
+            )
+        if remaining == (0, 0, 0):
+            del self._rows[t]
+        else:
+            self._rows[t] = remaining  # type: ignore[assignment]
+        self.stats_epoch += 2
+        self._columnar_cache = None
+        self._column_stats_cache = None
+        if remaining == (0, 0, 0) and self._stats_acc is not None:
+            self._stats_acc.observe_delete(t, 1)
+        for sink in self._delta_sinks:
+            sink(t, annotation, -1)
 
     @classmethod
     def from_certain_rows(

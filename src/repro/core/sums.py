@@ -34,7 +34,14 @@ from __future__ import annotations
 import math
 from typing import Any, Iterable, List, Tuple
 
-__all__ = ["new_acc", "add_exact", "merge_acc", "finish", "exact_sum"]
+__all__ = [
+    "new_acc",
+    "add_exact",
+    "add_product",
+    "merge_acc",
+    "finish",
+    "exact_sum",
+]
 
 
 def new_acc() -> list:
@@ -89,6 +96,43 @@ def add_exact(acc: list, value: Any) -> None:
         acc[0] += value  # exact for int/bool; TypeError otherwise
 
 
+def add_product(acc: list, value: Any, mult: int) -> None:
+    """Fold ``value * mult`` into ``acc`` without rounding the product.
+
+    ``value * mult`` rounds once per call, so the same weighted row
+    contributes *differently* depending on how its multiplicity is
+    split across calls (``x*2 + x*3`` vs ``x*5`` differ in the last
+    bit).  That breaks delta maintenance, where a tuple's multiplicity
+    accrues across writes.  Decomposing the integer multiplicity into
+    powers of two makes every term ``value * 2**j`` an *exact* binary
+    scaling, so the accumulator receives exactly ``value * mult`` and
+    the sum is a pure function of the weighted multiset *measure* —
+    invariant under any regrouping of multiplicities.
+    """
+    if type(value) is not float:
+        acc[0] += value * mult  # exact for int/bool
+        return
+    if not math.isfinite(value):
+        acc[2] += value * mult  # absorbing slot (inf * 0 -> nan, as before)
+        return
+    if mult == 0 or value == 0.0:
+        _add_float(acc, value * 0.0 if mult == 0 else value)
+        return
+    if mult < 0:
+        value, mult = -value, -mult
+    while mult:
+        low = mult & -mult  # lowest set bit: a power of two
+        if low.bit_length() > 1024:  # 2**j not a double: term overflows
+            acc[2] += math.copysign(math.inf, value)
+        else:
+            term = value * low  # power-of-two scaling: exact
+            if math.isinf(term):
+                acc[2] += term  # saturate like IEEE sum()
+            else:
+                _add_float(acc, term)
+        mult -= low
+
+
 def merge_acc(acc: list, other: list) -> None:
     """Fold accumulator ``other`` into ``acc`` (exact, order-free)."""
     acc[0] += other[0]
@@ -122,11 +166,12 @@ def finish(acc: list) -> Any:
 def exact_sum(weighted: Iterable[Tuple[Any, int]]) -> Any:
     """Sum of ``value * multiplicity`` over ``weighted``, order-free.
 
-    The per-row product rounds (at most) once and identically in every
-    execution order, so the overall result is still a pure function of
-    the weighted multiset.
+    Products enter via :func:`add_product`, so the result is a pure
+    function of the weighted multiset measure: splitting a row's
+    multiplicity across entries (or across incremental deltas) cannot
+    change a bit.
     """
     acc = new_acc()
     for value, mult in weighted:
-        add_exact(acc, value * mult)
+        add_product(acc, value, mult)
     return finish(acc)

@@ -27,6 +27,7 @@ class DetRelation:
         "_column_stats_cache",
         "_columnar_cache",
         "_stats_acc",
+        "_delta_sinks",
     )
 
     def __init__(
@@ -51,6 +52,10 @@ class DetRelation:
         self._column_stats_cache = None
         self._columnar_cache = None
         self._stats_acc = None
+        # per-write delta observers (repro.ivm): callables
+        # ``sink(tuple, multiplicity, sign)`` fired after the write is
+        # applied, with sign +1 for add() and -1 for delete()
+        self._delta_sinks = ()
         if rows is None:
             return
         if isinstance(rows, Mapping):
@@ -70,14 +75,58 @@ class DetRelation:
             raise ValueError(
                 f"arity {len(t)} does not match schema {self.schema}"
             )
-        self.rows[t] = self.rows.get(t, 0) + multiplicity
+        existing = self.rows.get(t)
+        self.rows[t] = (existing or 0) + multiplicity
         self.stats_epoch += 1
         self._column_stats_cache = None
-        self._columnar_cache = None
+        cache = self._columnar_cache
+        if cache is not None and not (
+            # a *new* distinct tuple is exactly one appended row of the
+            # columnar image, so the cache can grow in place; merges into
+            # an existing row (and type surprises) drop the cache
+            existing is None
+            and cache.append_row(t, multiplicity)
+        ):
+            self._columnar_cache = None
         if self._stats_acc is not None:
             # incremental statistics: fold the delta multiplicity in
             # instead of invalidating the whole harvest
             self._stats_acc.observe(t, multiplicity)
+        for sink in self._delta_sinks:
+            sink(t, multiplicity, 1)
+
+    def delete(self, t: Tuple[Any, ...], multiplicity: int = 1) -> None:
+        """Remove ``multiplicity`` copies of ``t`` from the bag.
+
+        Deleting more copies than present raises ``ValueError`` (bags
+        hold non-negative multiplicities).  Deletes advance the write
+        epoch by 2 — one for the write itself and one for the statistics
+        shrinkage an insert cannot cause — so delete-heavy streams hit
+        the session layer's staleness threshold at least as fast as
+        insert streams do.
+        """
+        if multiplicity < 0:
+            raise ValueError("multiplicities must be non-negative")
+        if multiplicity == 0:
+            return
+        t = tuple(t)
+        current = self.rows.get(t, 0)
+        if multiplicity > current:
+            raise ValueError(
+                f"cannot delete {multiplicity} of {t!r}: multiplicity is {current}"
+            )
+        remaining = current - multiplicity
+        if remaining:
+            self.rows[t] = remaining
+        else:
+            del self.rows[t]
+        self.stats_epoch += 2
+        self._column_stats_cache = None
+        self._columnar_cache = None
+        if self._stats_acc is not None:
+            self._stats_acc.observe_delete(t, multiplicity)
+        for sink in self._delta_sinks:
+            sink(t, multiplicity, -1)
 
     def multiplicity(self, t: Tuple[Any, ...]) -> int:
         return self.rows.get(tuple(t), 0)

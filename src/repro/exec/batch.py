@@ -151,6 +151,33 @@ class ColumnBatch:
                 rows[()] = total
         return out
 
+    def append_row(self, t: Tuple[Any, ...], multiplicity: int) -> bool:
+        """Grow the batch by one row in place, if types permit.
+
+        The incremental-maintenance path appends a relation's per-write
+        delta directly to the cached columnar image — the delta batch
+        *is* the appended column image.  Returns ``False`` (leaving the
+        batch untouched) when a value cannot join its typed column:
+        appending a bool/NaN/overflowing int to a packed array would
+        change the column's representation invariants, so the caller
+        must invalidate and rebuild instead.
+        """
+        if len(t) != len(self.columns):
+            return False
+        if not -(2**63) <= multiplicity < 2**63:
+            return False
+        for col, v in zip(self.columns, t):
+            if type(col) is array:
+                if col.typecode == "q":
+                    if type(v) is not int or not -(2**63) <= v < 2**63:
+                        return False
+                elif type(v) is not float or v != v:
+                    return False
+        for col, v in zip(self.columns, t):
+            col.append(v)
+        self.mult.append(multiplicity)
+        return True
+
     def row_view(self) -> BatchRowView:
         return BatchRowView(
             {name: j for j, name in enumerate(self.schema)}, self.columns
@@ -214,6 +241,19 @@ class AUColumnBatch:
             for lb, sg, ub in zip(self.ann_lb, self.ann_sg, self.ann_ub):
                 out.add((), (lb, sg, ub))
         return out
+
+    def append_row(self, t: Tuple[Any, ...], annotation: AUAnnotation) -> bool:
+        """Grow the batch by one AU row in place (see ``ColumnBatch``)."""
+        if len(t) != len(self.columns):
+            return False
+        if not all(0 <= a < 2**63 for a in annotation):
+            return False
+        for col, v in zip(self.columns, t):
+            col.append(v)
+        self.ann_lb.append(annotation[0])
+        self.ann_sg.append(annotation[1])
+        self.ann_ub.append(annotation[2])
+        return True
 
     def annotations(self) -> List[AUAnnotation]:
         return list(zip(self.ann_lb, self.ann_sg, self.ann_ub))

@@ -89,7 +89,10 @@ __all__ = [
     "TupleFallback",
     "Exchange",
     "lower",
+    "lower_delta",
+    "DeltaPhysical",
     "explain_physical",
+    "explain_delta",
     "HASH_JOIN_MIN_ROWS",
 ]
 
@@ -799,4 +802,118 @@ def explain_physical(
             walk(child, depth + 1)
 
     walk(pplan, 0)
+    return "\n".join(lines)
+
+
+# ======================================================================
+# delta lowering (incremental view maintenance, repro.ivm)
+# ======================================================================
+@dataclass
+class DeltaPhysical:
+    """The physical maintenance plan for one subscribed view.
+
+    ``view_pplan`` recomputes the view from scratch (initial
+    materialization and full refresh).  ``segment_pplans`` lower each
+    maintained linear segment — the *same* physical plan serves both
+    the segment's full (re)materialization and its per-write delta
+    evaluation, because every scan resolves its base table through the
+    database mapping and the delta runtime substitutes the written
+    table's per-write delta there.  ``tail_pplan`` (``None`` unless the
+    classification is ``"refresh"``) is the non-linear tail lowered
+    over the segments' synthetic tables: the refresh boundary chosen at
+    plan time.  All plans are lowered serial (``parallelism=1``) — a
+    per-write delta is a handful of rows, far below any morsel
+    threshold.
+    """
+
+    delta: "object"  # repro.algebra.optimizer.DeltaPlan
+    config: PhysicalConfig
+    view_pplan: PhysNode
+    segment_pplans: Tuple[PhysNode, ...]
+    tail_pplan: Optional[PhysNode]
+
+
+def lower_delta(
+    delta,
+    stats: Optional[Statistics],
+    config: PhysicalConfig,
+    *,
+    verify: Optional[bool] = None,
+) -> DeltaPhysical:
+    """Lower a :func:`repro.algebra.optimizer.derive_delta` strategy.
+
+    Chooses every physical detail of the maintenance pipeline at plan
+    time, like :func:`lower` does for one-shot plans; the delta runtime
+    (:mod:`repro.ivm`) only interprets the result.
+    """
+    from dataclasses import replace
+
+    config = replace(config, parallelism=1)
+    view_pplan = lower(delta.view, stats, config, verify=verify)
+    segment_pplans = tuple(
+        lower(seg.plan, stats, config, verify=verify)
+        for seg in delta.segments
+    )
+    tail_pplan = None
+    if delta.tail is not None:
+        # the tail reads maintained segments back as synthetic tables:
+        # extend the catalog with their schemas and estimated sizes so
+        # lowering (join algorithm choice, fallback boundaries) and
+        # physical verification see them like any base table
+        tail_stats = stats
+        if delta.segments:
+            cards = dict(stats.cardinalities) if stats else {}
+            schemas = dict(stats.schemas) if stats else {}
+            for seg in delta.segments:
+                schema = schema_of(seg.plan, stats)
+                if schema is not None:
+                    schemas[seg.name] = schema
+                cards[seg.name] = int(estimate(seg.plan, stats))
+            tail_stats = Statistics(
+                cards,
+                schemas,
+                dict(stats.columns) if stats else {},
+                epoch=stats.epoch if stats else 0,
+            )
+        tail_pplan = lower(delta.tail, tail_stats, config, verify=verify)
+    return DeltaPhysical(delta, config, view_pplan, segment_pplans, tail_pplan)
+
+
+def explain_delta(dplan: DeltaPhysical) -> str:
+    """Render a delta plan: maintained segments vs the refresh boundary.
+
+    The golden snapshots in ``tests/test_ivm.py`` lock where the
+    boundary lands for the non-linear operators.
+    """
+    delta = dplan.delta
+    lines: List[str] = [f"DeltaPlan[kind={delta.kind}]"]
+
+    def block(title: str, pplan: PhysNode) -> None:
+        lines.append(f"  {title}")
+        for line in explain_physical(pplan).splitlines():
+            lines.append(f"    {line}")
+
+    if delta.kind == "aggregate":
+        agg = delta.aggregate
+        aggs = ", ".join(
+            f"{a.kind}({a.expr!r})→{a.name}" for a in agg.aggregates
+        )
+        lines.append(
+            f"  Δ-merge γ[{','.join(agg.group_by)}; {aggs}] semiring partials over:"
+        )
+        for line in explain_physical(dplan.segment_pplans[0]).splitlines():
+            lines.append(f"    {line}")
+    elif delta.kind == "linear":
+        block("Δ-maintain view:", dplan.view_pplan)
+    else:
+        for seg, pplan in zip(delta.segments, dplan.segment_pplans):
+            block(f"Δ-maintain segment {seg.name}:", pplan)
+        block("refresh-boundary (re-executed per epoch):", dplan.tail_pplan)
+    for seg in delta.segments:
+        if seg.multi_ref:
+            label = seg.name or "view"
+            lines.append(
+                f"  refresh-on-write {label}: "
+                f"{', '.join(seg.multi_ref)} (self-joined)"
+            )
     return "\n".join(lines)

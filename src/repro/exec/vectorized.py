@@ -36,21 +36,29 @@ lowering, and parallelism 1 vs 4.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core import operators as ops
 from ..core.aggregation import aggregate as au_aggregate
 from ..core.compression import optimized_join
-from ..core.expressions import Expression, Var
+from ..core.expressions import Expression, RowView, Var
 from ..core.ranges import domain_key
 from ..core.relation import AUDatabase, AURelation
-from ..core.sums import add_exact, finish, new_acc
+from ..core.sums import add_exact, add_product, finish, new_acc
 from ..db.storage import DetDatabase, DetRelation
 from . import physical as phys
 from .batch import AUColumnBatch, BatchRowView, ColumnBatch
 from .compile import CompileError, compile_filter, compile_projector
 
-__all__ = ["execute_det", "execute_audb", "PartialAggregate"]
+__all__ = [
+    "execute_det",
+    "execute_audb",
+    "PartialAggregate",
+    "DeltaFoldError",
+    "fold_delta_groups",
+    "finalize_delta_groups",
+]
 
 
 def _index_of(schema: Sequence[str]) -> Dict[str, int]:
@@ -356,11 +364,11 @@ class _DetExec:
                         accs.append(m)
                     elif kind == "sum":
                         acc = new_acc()
-                        add_exact(acc, col[i] * m)
+                        add_product(acc, col[i], m)
                         accs.append(acc)
                     elif kind == "avg":
                         acc = new_acc()
-                        add_exact(acc, col[i] * m)
+                        add_product(acc, col[i], m)
                         accs.append([acc, m])
                     else:  # min / max keep (domain key, value)
                         v = col[i]
@@ -371,10 +379,10 @@ class _DetExec:
                 if kind == "count":
                     accs[a] += m
                 elif kind == "sum":
-                    add_exact(accs[a], col[i] * m)
+                    add_product(accs[a], col[i], m)
                 elif kind == "avg":
                     acc = accs[a]
-                    add_exact(acc[0], col[i] * m)
+                    add_product(acc[0], col[i], m)
                     acc[1] += m
                 elif kind == "min":
                     v = col[i]
@@ -437,6 +445,155 @@ def finalize_groups(
                 value = acc[1]
             out_cols[base + a].append(value)
     return ColumnBatch(out_schema, out_cols, [1] * n_groups)
+
+
+class DeltaFoldError(Exception):
+    """A delta cannot be folded into maintained aggregate state.
+
+    Raised when only a from-scratch recomputation preserves exactness:
+    a delete touching a min/max extremum (the runner-up is not
+    maintained), non-finite float addends (the absorbing IEEE slot is
+    not invertible), or weights folding an aggregate group negative.
+    The IVM runtime (:mod:`repro.ivm`) reacts with an epoch-gated full
+    refresh — never with an approximate answer.
+    """
+
+
+def fold_delta_groups(
+    state: Dict[Tuple, List[Any]],
+    delta: DetRelation,
+    group_by: Sequence[str],
+    aggregates,
+    sign: int,
+) -> None:
+    """Fold a per-write delta of the γ input into maintained group state.
+
+    ``state`` maps group keys to ``[weight, accs, float_mults]`` where
+    ``accs`` follows the :meth:`_DetExec._aggregate` accumulator layout
+    (count → int, sum → exact accumulator, avg → [accumulator, weight],
+    min/max → (domain key, value)) and ``float_mults`` tracks, per
+    SUM/AVG aggregate, the remaining multiplicity of float-typed
+    addends — the bit that decides whether ``finish`` returns the exact
+    ``int`` or the correctly rounded ``float``, which pure cancellation
+    could not reconstruct.  ``sign`` is +1 for inserted delta rows and
+    -1 for deleted ones.
+    """
+    index = _index_of(delta.schema)
+    kinds = [spec.kind for spec in aggregates]
+    g_idx = [index[a] for a in group_by]
+    for t, m in delta.tuples():
+        w = m * sign
+        key = tuple(t[i] for i in g_idx)
+        entry = state.get(key)
+        values: List[Any] = []
+        for spec in aggregates:
+            if spec.kind == "count":
+                values.append(None)
+            elif isinstance(spec.expr, Var) and spec.expr.name in index:
+                values.append(t[index[spec.expr.name]])
+            else:
+                values.append(spec.expr.eval(RowView(index, t)))
+        if entry is None:
+            if sign < 0:
+                raise DeltaFoldError(f"delete from absent group {key!r}")
+            accs: List[Any] = []
+            float_mults: List[int] = []
+            for kind, v in zip(kinds, values):
+                if kind == "count":
+                    accs.append(m)
+                    float_mults.append(0)
+                elif kind in ("sum", "avg"):
+                    guard = v * m
+                    if type(guard) is float and not math.isfinite(guard):
+                        raise DeltaFoldError("non-finite SUM/AVG addend")
+                    acc = new_acc()
+                    add_product(acc, v, m)
+                    accs.append(acc if kind == "sum" else [acc, m])
+                    float_mults.append(m if type(v) is float else 0)
+                else:  # min / max
+                    accs.append((domain_key(v), v))
+                    float_mults.append(0)
+            state[key] = [m, accs, float_mults]
+            continue
+        entry[0] += w
+        if entry[0] < 0:
+            raise DeltaFoldError(f"group {key!r} folded negative")
+        if entry[0] == 0:
+            # the group vanished: from scratch it would not exist at all
+            del state[key]
+            continue
+        accs, float_mults = entry[1], entry[2]
+        for a, (kind, v) in enumerate(zip(kinds, values)):
+            if kind == "count":
+                accs[a] += w
+            elif kind in ("sum", "avg"):
+                guard = v * m
+                if type(guard) is float and not math.isfinite(guard):
+                    raise DeltaFoldError("non-finite SUM/AVG addend")
+                if kind == "sum":
+                    add_product(accs[a], v, w)
+                else:
+                    add_product(accs[a][0], v, w)
+                    accs[a][1] += w
+                if type(v) is float:
+                    float_mults[a] += w
+            elif sign < 0:
+                # min/max under deletion: the extremum's runner-up is
+                # not maintained, so any boundary touch needs a rescan
+                k = domain_key(v)
+                if (kind == "min" and k <= accs[a][0]) or (
+                    kind == "max" and k >= accs[a][0]
+                ):
+                    raise DeltaFoldError(f"{kind} extremum deleted in {key!r}")
+            else:
+                k = domain_key(v)
+                if kind == "min":
+                    if k < accs[a][0]:
+                        accs[a] = (k, v)
+                elif k > accs[a][0]:
+                    accs[a] = (k, v)
+
+
+def finalize_delta_groups(
+    state: Dict[Tuple, List[Any]], group_by, aggregates, having=None
+) -> DetRelation:
+    """Finalize maintained group state into the view's relation.
+
+    Canonicalizes each accumulator into exactly the shape a
+    from-scratch :meth:`_DetExec._aggregate` pass over the remaining
+    rows would hold (SUM/AVG accumulators whose float addends all
+    cancelled drop their zero partials so integer groups finish as
+    exact ints), then reuses :func:`finalize_groups` and the fused
+    HAVING filter.
+    """
+    groups: Dict[Tuple, List[Any]] = {}
+    kinds = [spec.kind for spec in aggregates]
+    for key, (_w, accs, float_mults) in state.items():
+        out: List[Any] = []
+        for a, kind in enumerate(kinds):
+            acc = accs[a]
+            if kind in ("sum", "avg") and not float_mults[a]:
+                inner = acc if kind == "sum" else acc[0]
+                # all float addends cancelled exactly: the remaining
+                # multiset is integer-only, so the partials are exact
+                # zeros and a from-scratch fold would never create them
+                inner = [inner[0], [], inner[2]]
+                acc = inner if kind == "sum" else [inner, acc[1]]
+            out.append(acc)
+        groups[key] = out
+    if not groups and not group_by:
+        from ..db.engine import _empty_value
+
+        batch = ColumnBatch(
+            [spec.name for spec in aggregates],
+            [[_empty_value(spec)] for spec in aggregates],
+            [1],
+        )
+    else:
+        batch = finalize_groups(groups, group_by, aggregates)
+    if having is not None:
+        batch = _DetExec(None)._select_project(batch, having, None)
+    return batch.to_relation()
 
 
 def _dedup_batch(batch: ColumnBatch) -> ColumnBatch:

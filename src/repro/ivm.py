@@ -1,0 +1,465 @@
+"""Incremental view maintenance: live views over the session layer.
+
+:meth:`repro.session.Connection.subscribe` returns a
+:class:`MaterializedView` that stays consistent with the database under
+writes without re-executing its query per read.  The machinery is a
+*delta plan* derived at subscribe time from the optimized logical plan
+(:func:`repro.algebra.optimizer.derive_delta`) and lowered to physical
+form once (:func:`repro.exec.physical.lower_delta`):
+
+* the **linear fragment** (σ, π, ρ, ⋈, ×, ∪ — and bag-only ``OrderBy``)
+  propagates deltas algebraically: both annotation semirings (bag ``N``
+  and the paper's ``K^AU`` triples) distribute over union, so a write
+  of ``Δ`` to base table ``R`` changes the view by exactly
+  ``Q[R := Δ]`` — the *same* physical plan evaluated over a shadow
+  database that substitutes the single-tuple delta for ``R`` and reads
+  every other table's current state (join deltas against the memoized
+  opposite side);
+* a **root bag aggregate** over a linear input maintains per-group
+  semiring partials in the partial-aggregate accumulator layout
+  (:func:`repro.exec.vectorized.fold_delta_groups`) and finalizes on
+  read — merged exactly like the Exchange operator merges partials from
+  parallel workers;
+* the **non-linear fragment** (``Difference``, ``Distinct``, ``TopK``,
+  AU aggregates) cannot absorb one-sided deltas, so
+  :func:`~repro.algebra.optimizer.derive_delta` carves the maximal
+  linear subtrees into incrementally-maintained *segments* and re-runs
+  only the remaining *tail* — the refresh boundary chosen at plan
+  time — **epoch-gated at read time**: writes mark the tail dirty and
+  the re-execution is deferred (and batched) until the next read.
+
+Maintenance is *exact*, never approximate: any delta the fold cannot
+invert bit-identically (a deleted min/max extremum, non-finite float
+addends, a self-joined table's write) raises
+:class:`~repro.exec.vectorized.DeltaFoldError` internally and degrades
+that view to a full refresh at the next read.  Out-of-band changes —
+a table rebound via ``db[name] = ...``, or writes that bypassed the
+subscribed relation objects — are caught by the catalog epoch check on
+read and handled the same way.  The write-interleaving lane of the
+differential fuzzer (``tests/test_fuzz_differential.py``) holds
+maintained results equal to fresh re-execution after every write,
+across both engines and both backends.
+
+Views are not thread-safe; like connections, use one per worker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from . import analysis
+from .algebra.ast import Plan
+from .algebra.optimizer import DeltaPlan, derive_delta, optimize
+from .core.relation import AURelation
+from .db.storage import DetRelation
+from .exec import physical as phys
+from .exec.vectorized import (
+    DeltaFoldError,
+    finalize_delta_groups,
+    fold_delta_groups,
+)
+from .sql.parser import parse_sql
+
+__all__ = ["MaterializedView", "DeltaFoldError"]
+
+
+def _executor(engine: str, backend: str):
+    """The physical-plan interpreter for an engine/backend pair.
+
+    All four share the ``f(pplan, db)`` calling convention and resolve
+    base tables only through ``db[name]``, which is what makes the
+    shadow-database substitution below work without touching them.
+    """
+    if engine == "det":
+        if backend == "vectorized":
+            from .exec.vectorized import execute_det
+
+            return execute_det
+        from .db.engine import execute_physical_det
+
+        return execute_physical_det
+    if backend == "vectorized":
+        from .exec.vectorized import execute_audb
+
+        return execute_audb
+    from .algebra.evaluator import execute_physical_audb
+
+    return execute_physical_audb
+
+
+class _ShadowDB:
+    """A database view with some tables substituted.
+
+    Per-write delta evaluation runs the *unchanged* segment plan over
+    this: the written table resolves to the one-tuple delta relation,
+    every other table to its live state.  Tail re-execution uses the
+    same trick to read maintained segments back under their synthetic
+    ``__ivm_seg*`` names.
+    """
+
+    __slots__ = ("_base", "_over")
+
+    def __init__(self, base, over: Dict[str, Any]) -> None:
+        self._base = base
+        self._over = over
+
+    def __getitem__(self, name: str):
+        rel = self._over.get(name)
+        return rel if rel is not None else self._base[name]
+
+
+class MaterializedView:
+    """A live, incrementally-maintained query result.
+
+    Created by :meth:`repro.session.Connection.subscribe`; hold on to
+    the object and call :meth:`result` whenever the current view
+    contents are needed.  Returned relations are shared snapshots —
+    treat them as read-only.
+
+    ``writes_applied`` / ``full_refreshes`` / ``tail_refreshes`` are
+    monotone observability counters: how many writes were folded
+    incrementally, how many times the view fell back to a from-scratch
+    rebuild, and how many times the non-linear tail re-executed.
+    """
+
+    def __init__(
+        self,
+        connection,
+        query: Union[str, Plan],
+        params=None,
+    ) -> None:
+        from .session import bind_parameters
+
+        conn = connection
+        config = conn.config
+        self._conn = conn
+        self._engine = conn.engine
+        self._backend = config.backend
+        self._exec = _executor(conn.engine, config.backend)
+        self._closed = False
+        self._semantics = "bag" if conn.engine == "det" else "au"
+
+        if isinstance(query, str):
+            conn.metrics.parses += 1
+            query = parse_sql(query)
+        # subscriptions are long-lived: bind parameters once, up front
+        plan = bind_parameters(query, params)
+        stats = conn.statistics()
+        analysis.verify_logical(plan, stats)
+        trace: List[str] = []
+        if config.optimize:
+            plan = optimize(
+                plan,
+                stats,
+                join_order=config.join_order,
+                semantics=self._semantics,
+                verify=conn.verify_plans,
+                trace=trace,
+            )
+            conn.metrics.optimizations += 1
+        self.plan = plan
+        self._delta: DeltaPlan = derive_delta(
+            plan, stats, semantics=self._semantics, trace=trace
+        )
+        if conn.verify_plans:
+            analysis.check_semiring_safety(trace, self._semantics)
+        self._dplan: phys.DeltaPhysical = phys.lower_delta(
+            self._delta,
+            stats,
+            phys.PhysicalConfig(
+                engine=conn.engine,
+                backend=config.backend,
+                parallelism=config.parallelism,
+                hash_join=config.hash_join,
+                join_buckets=config.join_buckets,
+                aggregation_buckets=config.aggregation_buckets,
+                adaptive_compression=(
+                    config.adaptive_compression and config.optimize
+                ),
+            ),
+            verify=conn.verify_plans,
+        )
+        conn.metrics.lowerings += 1
+        if conn.verify_plans:
+            analysis.verify_delta(self._delta, self._dplan, stats)
+
+        n_segs = len(self._delta.segments)
+        self._tracked: Dict[str, Any] = {}
+        self._expected: Dict[str, int] = {}
+        self._sinks: List[Tuple[Any, Any]] = []
+        self._needs_full_refresh = False
+        # maintained state (one of, by kind)
+        self._rows: Optional[Dict] = None  # linear: view bag
+        self._agg_state: Optional[Dict] = None  # aggregate: group partials
+        self._seg_rows: List[Dict] = [{} for _ in range(n_segs)]
+        self._seg_schemas: List[Tuple[str, ...]] = [()] * n_segs
+        self._seg_dirty: List[bool] = [False] * n_segs
+        self._tail_dirty = True
+        self._tail_result = None
+        self._schema: Tuple[str, ...] = ()
+        # read-side cache: rebuilt only when the catalog epoch moved
+        self._result = None
+        self._result_epoch: Optional[int] = None
+        self.writes_applied = 0
+        self.full_refreshes = 0
+        self.tail_refreshes = 0
+        self._materialize()
+
+    # -- introspection -------------------------------------------------
+    @property
+    def kind(self) -> str:
+        """Plan-time classification: ``linear``/``aggregate``/``refresh``."""
+        return self._delta.kind
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def tables(self) -> Tuple[str, ...]:
+        """Base tables whose writes this view observes."""
+        return self._delta.tables()
+
+    def explain_delta(self) -> str:
+        """Render the maintenance plan: Δ-maintained segments vs the
+        refresh boundary (see :func:`repro.exec.physical.explain_delta`)."""
+        return phys.explain_delta(self._dplan)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Stop maintenance: detach every write sink and free the
+        connection's registry entry.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._detach()
+        subs = getattr(self._conn, "_subscriptions", None)
+        if subs is not None:
+            subs.pop(id(self), None)
+
+    def _attach(self) -> None:
+        for name in self._tracked:
+            rel = self._tracked[name]
+            sink = self._make_sink(name)
+            rel._delta_sinks = rel._delta_sinks + (sink,)
+            self._sinks.append((rel, sink))
+
+    def _detach(self) -> None:
+        for rel, sink in self._sinks:
+            rel._delta_sinks = tuple(
+                s for s in rel._delta_sinks if s is not sink
+            )
+        self._sinks = []
+
+    def _make_sink(self, table: str):
+        def sink(t, payload, sign):
+            self._on_write(table, t, payload, sign)
+
+        return sink
+
+    # -- write path ----------------------------------------------------
+    def _on_write(self, table: str, t, payload, sign: int) -> None:
+        rel = self._tracked.get(table)
+        if rel is not None:
+            # the sink fires inside the epoch bump path, after the
+            # relation advanced stats_epoch: re-sync the expectation so
+            # the read-side drift check recognizes this write as ours
+            self._expected[table] = rel.stats_epoch
+        if self._needs_full_refresh:
+            return
+        try:
+            self._apply(table, t, payload, sign)
+        except DeltaFoldError:
+            self._needs_full_refresh = True
+        else:
+            self.writes_applied += 1
+
+    def _apply(self, table: str, t, payload, sign: int) -> None:
+        delta = self._delta
+        delta_rel = None
+        for i, seg in enumerate(delta.segments):
+            if table not in seg.tables:
+                continue
+            if table in seg.multi_ref:
+                # a self-joined table: Q[R := Δ] misses the Δ⋈Δ and
+                # Δ⋈(R−Δ) cross terms — refresh the whole segment
+                if seg.name == "":
+                    raise DeltaFoldError(f"write to self-joined {table!r}")
+                self._seg_dirty[i] = True
+                continue
+            if self._seg_dirty[i] and seg.name != "":
+                continue  # already due for a from-scratch rebuild
+            if delta_rel is None:
+                delta_rel = self._delta_relation(table, t, payload)
+            out = self._exec(
+                self._dplan.segment_pplans[i],
+                _ShadowDB(self._conn.db, {table: delta_rel}),
+            )
+            self._merge(i, seg, out, sign)
+        if delta.tail is not None:
+            self._tail_dirty = True
+        self._result = None
+
+    def _delta_relation(self, table: str, t, payload):
+        schema = self._tracked[table].schema
+        if self._engine == "det":
+            rel = DetRelation(schema)
+            rel.rows[t] = payload
+        else:
+            rel = AURelation(schema)
+            rel._rows[t] = payload
+        return rel
+
+    def _merge(self, i: int, seg, out, sign: int) -> None:
+        kind = self._delta.kind
+        if kind == "aggregate":
+            if self._agg_state is None:
+                raise DeltaFoldError("aggregate state unavailable")
+            agg = self._delta.aggregate
+            fold_delta_groups(
+                self._agg_state, out, agg.group_by, agg.aggregates, sign
+            )
+            return
+        target = self._rows if kind == "linear" else self._seg_rows[i]
+        if self._engine == "det":
+            for t, m in out.tuples():
+                new = target.get(t, 0) + sign * m
+                if new < 0:
+                    raise DeltaFoldError(f"{t!r} folded negative")
+                if new == 0:
+                    del target[t]
+                else:
+                    target[t] = new
+        else:
+            for t, ann in out.tuples():
+                cur = target.get(t, (0, 0, 0))
+                if sign > 0:
+                    new = tuple(c + a for c, a in zip(cur, ann))
+                else:
+                    new = tuple(c - a for c, a in zip(cur, ann))
+                    if new[0] < 0 or not new[0] <= new[1] <= new[2]:
+                        raise DeltaFoldError(f"{t!r} folded invalid")
+                if new == (0, 0, 0):
+                    del target[t]
+                else:
+                    target[t] = new
+
+    # -- read path -----------------------------------------------------
+    def result(self):
+        """The view's current contents, maintained or refreshed.
+
+        Applies the epoch gate: verifies every tracked base relation is
+        still the object subscribed to and at the epoch the last
+        observed write left it at (out-of-band drift forces a full
+        refresh), then recomputes only what is dirty — usually nothing.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "subscription is closed; subscribe() again to resume"
+            )
+        db = self._conn.db
+        for name, rel in self._tracked.items():
+            live = db[name]
+            if live is not rel or live.stats_epoch != self._expected[name]:
+                self._needs_full_refresh = True
+                break
+        if self._needs_full_refresh:
+            self._materialize()
+            self.full_refreshes += 1
+        epoch = getattr(db, "epoch", None)
+        if (
+            self._result is not None
+            and epoch is not None
+            and epoch == self._result_epoch
+        ):
+            return self._result
+        out = self._build_result()
+        self._result = out
+        self._result_epoch = epoch
+        return out
+
+    def refresh(self):
+        """Force a from-scratch rebuild, then return :meth:`result`."""
+        self._needs_full_refresh = True
+        return self.result()
+
+    def _build_result(self):
+        kind = self._delta.kind
+        if kind == "aggregate":
+            if self._agg_state is None:  # degraded: non-foldable input
+                return self._exec(self._dplan.view_pplan, self._conn.db)
+            agg = self._delta.aggregate
+            return finalize_delta_groups(
+                self._agg_state, agg.group_by, agg.aggregates, agg.having
+            )
+        if kind == "linear":
+            return self._from_rows(self._schema, self._rows)
+        # refresh: rebuild dirty segments eagerly, then the gated tail
+        for i, dirty in enumerate(self._seg_dirty):
+            if dirty:
+                out = self._exec(self._dplan.segment_pplans[i], self._conn.db)
+                self._seg_rows[i] = dict(out.tuples())
+                self._seg_schemas[i] = tuple(out.schema)
+                self._seg_dirty[i] = False
+                self._tail_dirty = True
+        if self._tail_dirty or self._tail_result is None:
+            over = {
+                seg.name: self._from_rows(self._seg_schemas[i], self._seg_rows[i])
+                for i, seg in enumerate(self._delta.segments)
+            }
+            self._tail_result = self._exec(
+                self._dplan.tail_pplan, _ShadowDB(self._conn.db, over)
+            )
+            self._tail_dirty = False
+            self.tail_refreshes += 1
+        return self._tail_result
+
+    def _from_rows(self, schema, rows: Dict):
+        if self._engine == "det":
+            rel = DetRelation(schema)
+            rel.rows.update(rows)
+        else:
+            rel = AURelation(schema)
+            rel._rows.update(rows)
+        return rel
+
+    def _materialize(self) -> None:
+        """From-scratch (re)build: re-resolve base relations, recompute
+        all maintained state, re-attach write sinks."""
+        self._detach()
+        db = self._conn.db
+        self._tracked = {}
+        self._expected = {}
+        for name in self._delta.tables():
+            rel = db[name]
+            self._tracked[name] = rel
+            self._expected[name] = rel.stats_epoch
+        kind = self._delta.kind
+        if kind == "linear":
+            out = self._exec(self._dplan.segment_pplans[0], db)
+            self._schema = tuple(out.schema)
+            self._rows = dict(out.tuples())
+        elif kind == "aggregate":
+            child = self._exec(self._dplan.segment_pplans[0], db)
+            agg = self._delta.aggregate
+            state: Dict = {}
+            try:
+                fold_delta_groups(
+                    state, child, agg.group_by, agg.aggregates, 1
+                )
+            except DeltaFoldError:
+                # e.g. non-finite addends in the current data: serve
+                # full recomputations until a rebuild can fold again
+                state = None
+            self._agg_state = state
+        else:
+            for i, pplan in enumerate(self._dplan.segment_pplans):
+                out = self._exec(pplan, db)
+                self._seg_rows[i] = dict(out.tuples())
+                self._seg_schemas[i] = tuple(out.schema)
+                self._seg_dirty[i] = False
+            self._tail_dirty = True
+            self._tail_result = None
+        self._needs_full_refresh = False
+        self._result = None
+        self._result_epoch = None
+        self._attach()

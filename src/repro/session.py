@@ -126,6 +126,11 @@ DEFAULT_CACHE_SIZE = 128
 #: codegen per call.
 _BOUND_PLAN_MEMO = 8
 
+#: Per-prepared-query memo of results (LRU): re-executing a hot binding
+#: at an unchanged catalog epoch — a read-only stretch of the workload —
+#: returns the memoized relation without touching an executor.
+_RESULT_MEMO = 8
+
 
 # ======================================================================
 # parameter binding
@@ -485,6 +490,27 @@ def _bind_phys(node: phys.PhysNode, binding) -> phys.PhysNode:
     )
 
 
+def _binding_key(binding) -> Optional[tuple]:
+    """A hashable memo key for a parameter binding (``None`` when the
+    values are unhashable).  The value's *type* is part of the key:
+    1, 1.0, and True compare equal but bind to bit-different plans."""
+    try:
+        key = tuple(
+            (k, type(v).__name__, v)
+            for k, v in sorted(
+                (
+                    (k, c.value if isinstance(c, Const) else c)
+                    for k, c in binding.items()
+                ),
+                key=lambda kv: repr(kv[0]),
+            )
+        )
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
 # ======================================================================
 # the session objects
 # ======================================================================
@@ -497,7 +523,10 @@ class ConnectionMetrics:
     stages actually run (a cache hit runs none of them);
     ``relowerings`` counts staleness-triggered physical re-plans (a
     subset of ``lowerings``); ``stats_refreshes`` counts catalog
-    harvests; ``executions`` counts query executions.
+    harvests; ``executions`` counts query executions
+    (``result_cache_hits`` of which were answered from the read-only
+    epoch result memo without running an executor);
+    ``subscriptions`` counts :meth:`Connection.subscribe` calls.
     """
 
     parses: int = 0
@@ -507,8 +536,10 @@ class ConnectionMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     executions: int = 0
+    result_cache_hits: int = 0
     stats_refreshes: int = 0
     statements_prepared: int = 0
+    subscriptions: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -580,6 +611,9 @@ class PreparedQuery:
         # binding-values -> bound physical plan (LRU), so hot bindings
         # keep stable expression identities across executions
         self._bound_plans: "OrderedDict[tuple, phys.PhysNode]" = OrderedDict()
+        # binding-values -> (catalog epoch, result) (LRU): read-only
+        # stretches of a workload answer repeats without executing
+        self._results: "OrderedDict[tuple, tuple]" = OrderedDict()
         if self._needs_physical:
             self._lower()
 
@@ -622,7 +656,12 @@ class PreparedQuery:
     ):
         """Run the query with ``params`` bound; returns a
         :class:`~repro.db.storage.DetRelation` (det connections) or an
-        :class:`~repro.core.relation.AURelation` (AU connections)."""
+        :class:`~repro.core.relation.AURelation` (AU connections).
+
+        Re-executing a binding at an unchanged catalog epoch (no write
+        happened since) returns the memoized relation of the previous
+        run — treat results as read-only snapshots.
+        """
         conn = self.connection
         conn.metrics.executions += 1
         binding = _resolve_binding(self.parameters, params)
@@ -633,21 +672,32 @@ class PreparedQuery:
             and conn.epoch - self.plan_epoch > conn.staleness
         ):
             self._lower(relower=True)
+        memo_key = None
+        if actuals is None and hasattr(conn.db, "epoch"):
+            memo_key = _binding_key(binding)
+            if memo_key is not None:
+                entry = self._results.get(memo_key)
+                if entry is not None and entry[0] == conn.epoch:
+                    self._results.move_to_end(memo_key)
+                    conn.metrics.result_cache_hits += 1
+                    return entry[1]
         pplan = self._bound_plan(binding)
         try:
             if conn.engine == "det":
                 if self.config.backend == "vectorized":
                     from .exec.vectorized import execute_det
 
-                    return execute_det(pplan, conn.db, actuals=actuals)
-                from .db.engine import execute_physical_det
+                    result = execute_det(pplan, conn.db, actuals=actuals)
+                else:
+                    from .db.engine import execute_physical_det
 
-                return execute_physical_det(pplan, conn.db, actuals)
-            if self.config.backend == "vectorized":
+                    result = execute_physical_det(pplan, conn.db, actuals)
+            elif self.config.backend == "vectorized":
                 from .exec.vectorized import execute_audb
 
-                return execute_audb(pplan, conn.db, actuals)
-            return execute_physical_audb(pplan, conn.db, actuals)
+                result = execute_audb(pplan, conn.db, actuals)
+            else:
+                result = execute_physical_audb(pplan, conn.db, actuals)
         finally:
             if actuals is not None and pplan is not self.pplan:
                 # executors recorded actuals under the bound copy's node
@@ -657,6 +707,11 @@ class PreparedQuery:
                 for template, bound in zip(self.pplan.walk(), pplan.walk()):
                     if id(bound) in actuals:
                         actuals[id(template)] = actuals[id(bound)]
+        if memo_key is not None:
+            self._results[memo_key] = (conn.epoch, result)
+            while len(self._results) > _RESULT_MEMO:
+                self._results.popitem(last=False)
+        return result
 
     def _bound_plan(self, binding) -> phys.PhysNode:
         """The physical plan with ``binding`` substituted, memoized per
@@ -664,21 +719,8 @@ class PreparedQuery:
         expression objects (compiled-closure cache hits by identity)."""
         if not binding:
             return self.pplan
-        try:
-            # the value's type is part of the key: 1, 1.0, and True
-            # compare equal but bind to bit-different plans
-            key = tuple(
-                (k, type(v).__name__, v)
-                for k, v in sorted(
-                    (
-                        (k, c.value if isinstance(c, Const) else c)
-                        for k, c in binding.items()
-                    ),
-                    key=lambda kv: repr(kv[0]),
-                )
-            )
-            hash(key)
-        except TypeError:
+        key = _binding_key(binding)
+        if key is None:
             return _bind_phys(self.pplan, binding)  # unhashable: no memo
         cached = self._bound_plans.get(key)
         if cached is not None:
@@ -793,6 +835,8 @@ class Connection:
         self.metrics = ConnectionMetrics()
         self._cache: "OrderedDict[tuple, PreparedQuery]" = OrderedDict()
         self._stats: Optional[Statistics] = None
+        # id(view) -> live MaterializedView (see subscribe())
+        self._subscriptions: Dict[int, Any] = {}
 
     @property
     def verify_plans(self) -> bool:
@@ -882,6 +926,39 @@ class Connection:
 
     def clear_cache(self) -> None:
         self._cache.clear()
+
+    # -- incremental view maintenance ----------------------------------
+    def subscribe(self, query: Union[str, Plan], params=None):
+        """Subscribe to ``query``: returns a live
+        :class:`~repro.ivm.MaterializedView` kept consistent with the
+        database under writes.
+
+        The view is maintained per write by a *delta plan* derived from
+        the optimized logical plan (see :mod:`repro.ivm`): the linear
+        fragment propagates deltas algebraically, a root bag aggregate
+        merges per-group semiring partials, and any non-linear residue
+        re-executes epoch-gated at read time.  ``params`` are bound once,
+        up front — a subscription denotes one concrete query.
+
+        Call :meth:`MaterializedView.result` to read,
+        :meth:`unsubscribe` (or ``view.close()``) to stop maintenance.
+        """
+        from .ivm import MaterializedView
+
+        view = MaterializedView(self, query, params)
+        self._subscriptions[id(view)] = view
+        self.metrics.subscriptions += 1
+        return view
+
+    def unsubscribe(self, view) -> None:
+        """Stop maintaining ``view``: detaches its write sinks and frees
+        the registry entry.  Idempotent; equals ``view.close()``."""
+        view.close()
+
+    @property
+    def subscriptions(self) -> tuple:
+        """The connection's live subscriptions, registration order."""
+        return tuple(self._subscriptions.values())
 
 
 def connect(

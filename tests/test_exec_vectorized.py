@@ -73,10 +73,26 @@ class TestBatches:
         assert type(batch.columns[1]).__name__ == "array"  # floats -> array('d')
         assert isinstance(batch.columns[2], list)  # mixed stays a list
         assert batch.to_relation().same_contents(rel)
-        # conversion is cached on the relation and invalidated by add()
+        # conversion is cached on the relation; adding a new distinct
+        # tuple appends the delta to the cached column image in place
         assert ColumnBatch.from_relation(rel) is batch
         rel.add((3, 3.5, "b"))
+        assert ColumnBatch.from_relation(rel) is batch
+        assert batch.to_relation().same_contents(rel)
+        # merging into an existing tuple or a type-breaking value still
+        # invalidates (all-or-nothing against the packed arrays)
+        rel.add((1, 1.5, "a"))
         assert ColumnBatch.from_relation(rel) is not batch
+        batch2 = ColumnBatch.from_relation(rel)
+        rel.add((4, None, "c"))  # None cannot append to array('d')
+        batch3 = ColumnBatch.from_relation(rel)
+        assert batch3 is not batch2
+        assert batch3.to_relation().same_contents(rel)
+        # deletes invalidate too
+        rel.delete((4, None, "c"))
+        batch4 = ColumnBatch.from_relation(rel)
+        assert batch4 is not batch3
+        assert batch4.to_relation().same_contents(rel)
 
     def test_bool_columns_stay_lists(self):
         rel = DetRelation(["b"], [(True,), (False,)])

@@ -32,6 +32,15 @@ backend, and the paper's semantics promise:
    interleaved with writes; each execution must equal fresh unprepared
    evaluation bit-for-bit, on both engines and both backends, and the
    session counters must show zero re-parses/re-optimizes.
+4c. **Incremental-view-maintenance differential** — every plan is
+   ``subscribe``d on a connection and a random interleaving of
+   inserts/deletes/updates (AU deletes with valid delta/remainder
+   ``K^AU`` triples) is applied; after every write the maintained
+   :class:`~repro.ivm.MaterializedView` result must equal fresh
+   re-execution, on both engines and both backends, whatever the
+   delta-plan classification (linear / aggregate-merge / epoch-gated
+   refresh); after ``unsubscribe`` maintenance must stop and the
+   registry entry must be freed.
 5. **Det-vs-AU containment** — the AU result must bound the certain
    answer: its selected-guess world equals the Det engine's result over
    the SGW database, and the tuple-matching oracle
@@ -331,6 +340,100 @@ def _check_prepared_lane(rng, plan, schema, used, det, audb, context) -> None:
             assert conn.metrics.parses == 0, f"re-parsed {context}"
 
 
+def _sample_au_delete(wrng: random.Random, ann) -> Tuple[int, int, int]:
+    """A valid ``K^AU`` delta to delete from a tuple annotated ``ann``:
+    both the delta and the remainder must satisfy ``0 <= lb <= sg <= ub``.
+    Rejection-samples; falls back to removing the full annotation."""
+    lb, sg, ub = ann
+    for _ in range(8):
+        dlb = wrng.randint(0, lb)
+        dsg = wrng.randint(dlb, sg)
+        dub = wrng.randint(dsg, ub)
+        if lb - dlb <= sg - dsg <= ub - dub:
+            return (dlb, dsg, dub)
+    return ann
+
+
+def _random_write(wrng: random.Random, det_db, au_db) -> None:
+    """One random insert/delete/update applied to *both* databases.
+
+    Both relations advance through their own sink/epoch machinery; the
+    det and AU sides evolve independently (the det database is the AU
+    database's SGW projection only at step 0 — maintenance correctness
+    is per-engine, not cross-engine)."""
+    table = wrng.choice(sorted(TABLES))
+    op = wrng.choice(("insert", "delete", "update"))
+    det_rel = det_db[table]
+    au_rel = au_db[table]
+    if op in ("delete", "update") and len(det_rel):
+        t = wrng.choice(sorted(det_rel.rows, key=repr))
+        det_rel.delete(t, wrng.randint(1, det_rel.rows[t]))
+    elif op != "delete":
+        det_rel.add(
+            tuple(wrng.randint(-2, 5) for _ in det_rel.schema),
+            wrng.randint(1, 2),
+        )
+    if op in ("delete", "update") and len(au_rel):
+        t, ann = wrng.choice(sorted(au_rel.tuples(), key=repr))
+        au_rel.delete(t, _sample_au_delete(wrng, ann))
+    elif op != "delete":
+        values = []
+        for _column in au_rel.schema:
+            lo = wrng.randint(-2, 5)
+            mid = lo + wrng.randint(0, 2)
+            values.append(RangeValue(lo, mid, mid + wrng.randint(0, 2)))
+        lb = wrng.randint(0, 1)
+        sg = lb + wrng.randint(0, 1)
+        au_rel.add(values, (lb, sg, sg + wrng.randint(0, 1)))
+
+
+def _check_ivm_lane(rng, plan, det, audb, context) -> None:
+    """Incremental-view-maintenance lane: ``subscribe`` to the plan and
+    interleave random inserts/deletes/updates with reads, asserting the
+    maintained result equals fresh re-execution after every write, for
+    both engines and both backends.  After ``unsubscribe`` a further
+    write must not be maintained and the registry entry must be freed.
+    """
+    lane_seed = rng.randrange(2**31)
+    for backend in ("tuple", "vectorized"):
+        wrng = random.Random(lane_seed)
+        det_db = _clone_det(det)
+        au_db = _clone_audb(audb)
+        config = EvalConfig(backend=backend)
+        det_conn = Connection(det_db, config=config)
+        au_conn = Connection(au_db, config=config)
+        det_view = det_conn.subscribe(plan)
+        au_view = au_conn.subscribe(plan)
+        for step in range(4):
+            _random_write(wrng, det_db, au_db)
+            where = f"[{backend} ivm/{det_view.kind} step {step}] {context}"
+            got = det_view.result()
+            want = evaluate_det(plan, det_db, backend=backend)
+            assert got.schema == want.schema, f"ivm det schema {where}"
+            assert got.rows == want.rows, f"ivm det bag {where}"
+            got_au = au_view.result()
+            want_au = evaluate_audb(plan, au_db, config)
+            assert got_au.schema == want_au.schema, f"ivm AU schema {where}"
+            assert dict(got_au.tuples()) == dict(want_au.tuples()), (
+                f"ivm AU annotations {where}"
+            )
+        for conn, view in ((det_conn, det_view), (au_conn, au_view)):
+            conn.unsubscribe(view)
+            assert view.closed and not conn.subscriptions, (
+                f"unsubscribe left registry entry [{backend}] {context}"
+            )
+        _random_write(wrng, det_db, au_db)
+        for view in (det_view, au_view):
+            try:
+                view.result()
+            except RuntimeError:
+                pass
+            else:
+                raise AssertionError(
+                    f"closed view still served [{backend}] {context}"
+                )
+
+
 def _float_database(det: DetDatabase) -> DetDatabase:
     """A float-valued copy of the SGW database (every value +0.5), so
     SUM/AVG exercise floating-point accumulation on every path."""
@@ -507,6 +610,11 @@ def _check_case(seed: int) -> None:
     # changing bindings across interleaved writes matches fresh
     # unprepared evaluation bit-for-bit on both engines and backends
     _check_prepared_lane(rng, plan, _schema, _used, det, audb, context)
+
+    # 1f. incremental view maintenance: a subscribed view interleaved
+    # with random inserts/deletes/updates equals fresh re-execution
+    # after every write, on both engines and both backends
+    _check_ivm_lane(rng, plan, det, audb, context)
 
     # 2. the AU result must bound the certain (SGW) answer
     det_bag = det_naive.as_bag()

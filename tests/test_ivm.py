@@ -1,0 +1,459 @@
+"""Incremental view maintenance: delta-fold properties, fallback
+boundaries, and the write-epoch bookkeeping it leans on.
+
+Hypothesis properties:
+
+* folding a random interleaving of per-write deltas into maintained
+  aggregate state (:func:`repro.exec.vectorized.fold_delta_groups`)
+  finalizes **bit-identically** to the tuple engine's from-scratch
+  aggregation of the surviving bag — inverting exact float sums, group
+  births/deaths, and the min/max rescan fallback included;
+* an AU union view maintained per write (``K^AU`` partials merged
+  componentwise) equals fresh re-execution bit-for-bit under random
+  valid add/delete interleavings;
+* empty-delta writes are complete no-ops (no epoch advance, no
+  maintenance work, cached result object preserved);
+* ``unsubscribe`` stops maintenance and frees the registry entry.
+
+Plus golden ``explain_delta`` snapshots locking where the refresh
+boundary lands for the non-linear operators (``Difference`` /
+``Distinct`` / ``TopK``), bit-identity of those views under writes, the
+delete-aware statistics regression (delete-heavy streams must advance
+the catalog epoch fast enough to re-trigger lowering), the incremental
+columnar append, and the session layer's read-only-epoch result memo.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.algebra.ast import (
+    Difference,
+    Distinct,
+    Limit,
+    OrderBy,
+    Projection,
+    Selection,
+    TableRef,
+    Union,
+)
+from repro.algebra.evaluator import EvalConfig, evaluate_audb
+from repro.algebra.optimizer import derive_delta
+from repro.core.aggregation import (
+    agg_avg,
+    agg_count,
+    agg_max,
+    agg_min,
+    agg_sum,
+)
+from repro.core.expressions import Const, Gt, Leq, Var
+from repro.core.relation import AUDatabase, AURelation
+from repro.db.engine import _aggregate, evaluate_det
+from repro.db.storage import DetDatabase, DetRelation
+from repro.exec import AUColumnBatch
+from repro.exec.vectorized import (
+    DeltaFoldError,
+    finalize_delta_groups,
+    fold_delta_groups,
+)
+from repro.session import Connection
+
+SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+AGGREGATES = [
+    agg_sum("v", "s"),
+    agg_count("n"),
+    agg_avg("v", "av"),
+    agg_min("v", "mn"),
+    agg_max("v", "mx"),
+]
+
+
+def _bits(rel) -> list:
+    """A bit-exact, order-insensitive rendering of a relation's bag
+    (``repr`` distinguishes 1 from 1.0 and -0.0 from 0.0)."""
+    return sorted(repr(item) for item in rel.tuples())
+
+
+# ----------------------------------------------------------------------
+# delta-merge of semiring partials ≡ from-scratch (bag aggregates)
+# ----------------------------------------------------------------------
+# Per-example the value column is all-int or all-float: equal-valued
+# mixed-type keys (0 vs 0.0) merge in the storage dict keeping the
+# first-written tuple, so the delta stream and the stored bag can
+# disagree about the value's type — a documented storage caveat
+# (docs/ivm.md), not a fold property.  ``x + 0.0`` canonicalizes -0.0.
+_INT_VALUES = st.integers(min_value=-50, max_value=50)
+_FLOAT_VALUES = st.floats(
+    min_value=-50, max_value=50, allow_nan=False, allow_infinity=False
+).map(lambda x: x + 0.0)
+
+
+@SETTINGS
+@given(data=st.data())
+def test_fold_delta_groups_matches_from_scratch(data):
+    group_by = data.draw(st.sampled_from([["g"], []]))
+    values = data.draw(st.sampled_from([_INT_VALUES, _FLOAT_VALUES]))
+    state: dict = {}
+    bag: dict = {}
+
+    def refold():
+        fresh: dict = {}
+        rel = DetRelation(("g", "v"))
+        rel.rows.update(bag)
+        fold_delta_groups(fresh, rel, group_by, AGGREGATES, 1)
+        return fresh
+
+    n_ops = data.draw(st.integers(min_value=1, max_value=12))
+    for _ in range(n_ops):
+        deletable = [t for t, m in bag.items() if m > 0]
+        if deletable and data.draw(st.booleans()):
+            t = data.draw(st.sampled_from(deletable))
+            m = data.draw(st.integers(min_value=1, max_value=bag[t]))
+            sign = -1
+        else:
+            t = (
+                data.draw(st.integers(min_value=0, max_value=2)),
+                data.draw(values),
+            )
+            m = data.draw(st.integers(min_value=1, max_value=3))
+            sign = 1
+        delta = DetRelation(("g", "v"))
+        delta.rows[t] = m
+        bag[t] = bag.get(t, 0) + sign * m
+        if bag[t] == 0:
+            del bag[t]
+        try:
+            fold_delta_groups(state, delta, group_by, AGGREGATES, sign)
+        except DeltaFoldError:
+            # the runtime's reaction: an epoch-gated from-scratch refold
+            state = refold()
+
+    maintained = finalize_delta_groups(state, group_by, AGGREGATES)
+    survivors = DetRelation(("g", "v"))
+    survivors.rows.update(bag)
+    reference = _aggregate(survivors, group_by, AGGREGATES)
+    assert maintained.schema == reference.schema
+    assert _bits(maintained) == _bits(reference)
+
+
+# ----------------------------------------------------------------------
+# K^AU partial merge ≡ from-scratch (AU linear views)
+# ----------------------------------------------------------------------
+def _au_annotations(draw):
+    lb = draw(st.integers(min_value=0, max_value=1))
+    sg = lb + draw(st.integers(min_value=0, max_value=1))
+    return (lb, sg, sg + draw(st.integers(min_value=0, max_value=1)))
+
+
+@SETTINGS
+@given(data=st.data())
+def test_au_union_view_maintained_equals_fresh(data):
+    rel = AURelation(("a", "b"))
+    db = AUDatabase({"r": rel})
+    plan = Union(
+        Selection(TableRef("r"), Gt(Var("b"), Const(1))),
+        Selection(TableRef("r"), Leq(Var("a"), Const(2))),
+    )
+    conn = Connection(db, verify=True)
+    view = conn.subscribe(plan)
+    assert view.kind == "linear"
+    for _ in range(data.draw(st.integers(min_value=1, max_value=8))):
+        existing = sorted(rel.tuples(), key=repr)
+        if existing and data.draw(st.booleans()):
+            t, (lb, sg, ub) = data.draw(st.sampled_from(existing))
+            dub = data.draw(st.integers(min_value=1, max_value=ub))
+            dsg = data.draw(st.integers(min_value=0, max_value=min(sg, dub)))
+            dlb = data.draw(st.integers(min_value=0, max_value=min(lb, dsg)))
+            if not (lb - dlb <= sg - dsg <= ub - dub):
+                dlb, dsg, dub = lb, sg, ub  # full removal is always valid
+            rel.delete(t, (dlb, dsg, dub))
+        else:
+            t = (
+                data.draw(st.integers(min_value=0, max_value=3)),
+                data.draw(st.integers(min_value=0, max_value=3)),
+            )
+            ann = _au_annotations(data.draw)
+            if ann[2] == 0:
+                ann = (ann[0], ann[1], 1)
+            rel.add(t, ann)
+        got = view.result()
+        want = evaluate_audb(plan, db, conn.config)
+        assert got.schema == want.schema
+        assert _bits(got) == _bits(want)
+    assert view.full_refreshes == 0  # the linear fragment never refreshes
+
+
+# ----------------------------------------------------------------------
+# empty deltas, unsubscribe, registry
+# ----------------------------------------------------------------------
+def _small_det_db() -> DetDatabase:
+    db = DetDatabase()
+    db["r"] = DetRelation(
+        ("a", "b"), {(0, 1): 1, (1, 2): 2, (2, 5): 1, (3, 7): 3}
+    )
+    db["s"] = DetRelation(("c", "d"), {(1, 10): 1, (2, 20): 1})
+    return db
+
+
+def test_empty_delta_writes_are_noops():
+    db = _small_det_db()
+    conn = Connection(db, verify=True)
+    view = conn.subscribe(Selection(TableRef("r"), Gt(Var("b"), Const(1))))
+    before = view.result()
+    epoch = db.epoch
+    db["r"].add((9, 9), 0)  # zero-multiplicity insert
+    db["r"].delete((1, 2), 0)  # zero-multiplicity delete
+    assert db.epoch == epoch  # no write happened as far as epochs go
+    assert view.writes_applied == 0
+    assert view.result() is before  # cached object survives untouched
+
+    au = AUDatabase({"r": AURelation(("a",), {})})
+    au["r"].add((1,), (1, 1, 1))
+    au_conn = Connection(au, verify=True)
+    au_view = au_conn.subscribe(TableRef("r"))
+    au_before = au_view.result()
+    au_epoch = au.epoch
+    au["r"].delete((1,), (0, 0, 0))  # the K^AU zero
+    assert au.epoch == au_epoch
+    assert au_view.writes_applied == 0
+    assert au_view.result() is au_before
+
+
+def test_unsubscribe_stops_maintenance_and_frees_registry():
+    db = _small_det_db()
+    conn = Connection(db, verify=True)
+    view = conn.subscribe(TableRef("r"))
+    assert conn.subscriptions == (view,)
+    assert conn.metrics.subscriptions == 1
+    sinks_attached = len(db["r"]._delta_sinks)
+    assert sinks_attached == 1
+    conn.unsubscribe(view)
+    assert view.closed
+    assert conn.subscriptions == ()
+    assert db["r"]._delta_sinks == ()  # write sinks detached
+    db["r"].add((8, 8))
+    assert view.writes_applied == 0
+    with pytest.raises(RuntimeError):
+        view.result()
+    conn.unsubscribe(view)  # idempotent
+
+
+# ----------------------------------------------------------------------
+# non-linear fallback: refresh boundary goldens + bit-identity
+# ----------------------------------------------------------------------
+_NONLINEAR_PLANS = {
+    "difference": Difference(
+        Selection(TableRef("r"), Gt(Var("b"), Const(1))),
+        Selection(TableRef("r"), Leq(Var("a"), Const(1))),
+    ),
+    "distinct": Distinct(Projection(TableRef("r"), ((Var("a"), "a"),))),
+    "topk": Limit(OrderBy(TableRef("r"), ("b",), True), 2),
+}
+
+
+@pytest.mark.parametrize("name", sorted(_NONLINEAR_PLANS))
+def test_nonlinear_views_bit_identical_under_writes(name):
+    for backend in ("tuple", "vectorized"):
+        db = _small_det_db()
+        conn = Connection(db, verify=True, config=EvalConfig(backend=backend))
+        plan = _NONLINEAR_PLANS[name]
+        view = conn.subscribe(plan)
+        assert view.kind == "refresh"
+        writes = [
+            ("add", (1, 9), 2),
+            ("delete", (1, 2), 1),
+            ("add", (4, 2), 1),
+            ("delete", (3, 7), 3),
+        ]
+        for op, t, m in writes:
+            getattr(db["r"], op)(t, m)
+            got = view.result()
+            want = evaluate_det(plan, db, backend=backend)
+            assert got.schema == want.schema
+            assert _bits(got) == _bits(want), (name, backend, op, t)
+        assert view.writes_applied > 0  # segments really were maintained
+
+
+GOLDEN_DELTA_PLANS = {
+    "difference": """\
+DeltaPlan[kind=refresh]
+  Δ-maintain segment __ivm_seg0:
+    FusedSelectProject σ[(b > 1)]  (~7 rows)
+      Scan r  (~7 rows)
+  Δ-maintain segment __ivm_seg1:
+    FusedSelectProject σ[(a <= 1)]  (~2 rows)
+      Scan r  (~7 rows)
+  refresh-boundary (re-executed per epoch):
+    TupleFallback[difference] (exact tuple operator)  (~7 rows)
+      Scan __ivm_seg0  (~7 rows)
+      Scan __ivm_seg1  (~1 rows)""",
+    "distinct": """\
+DeltaPlan[kind=refresh]
+  Δ-maintain segment __ivm_seg0:
+    FusedSelectProject π[a]  (~7 rows)
+      Scan r  (~7 rows)
+  refresh-boundary (re-executed per epoch):
+    HashDistinct δ  (~7 rows)
+      Scan __ivm_seg0  (~7 rows)""",
+    "topk": """\
+DeltaPlan[kind=refresh]
+  refresh-boundary (re-executed per epoch):
+    TopK [b desc; n=2]  (~2 rows)
+      Scan r  (~7 rows)""",
+}
+
+
+@pytest.mark.parametrize("name", sorted(_NONLINEAR_PLANS))
+def test_explain_delta_refresh_boundary_goldens(name):
+    db = _small_det_db()
+    conn = Connection(db, verify=True)
+    view = conn.subscribe(_NONLINEAR_PLANS[name])
+    assert view.explain_delta() == GOLDEN_DELTA_PLANS[name]
+
+
+def test_derive_delta_classification_and_trace():
+    trace: list = []
+    delta = derive_delta(
+        Selection(TableRef("r"), Gt(Var("b"), Const(1))), trace=trace
+    )
+    assert delta.kind == "linear" and trace == ["delta-derivation"]
+    # a self-joined table cannot absorb one-sided deltas
+    from repro.algebra.ast import Join
+
+    self_join = Join(TableRef("r"), TableRef("r"), Gt(Var("a"), Const(0)))
+    delta = derive_delta(self_join)
+    assert delta.kind == "linear"
+    assert delta.segments[0].multi_ref == ("r",)
+
+
+# ----------------------------------------------------------------------
+# delete-aware statistics: epochs, accumulator, re-lowering
+# ----------------------------------------------------------------------
+def test_delete_epoch_counts_double():
+    rel = DetRelation(("a",), {(1,): 2})
+    e = rel.stats_epoch
+    rel.add((2,))
+    assert rel.stats_epoch == e + 1
+    rel.delete((2,))
+    assert rel.stats_epoch == e + 3  # a delete advances the epoch by 2
+
+
+def test_delete_heavy_stream_triggers_relowering():
+    """Regression: with deletes netted against inserts (or ignored), a
+    delete-heavy stream looked idle to the staleness heuristic and the
+    prepared plan was never re-lowered against shrunken statistics."""
+    db = DetDatabase()
+    db["r"] = DetRelation(("a", "b"), {(i, i % 3): 1 for i in range(8)})
+    conn = Connection(db, staleness=6)
+    prepared = conn.prepare(Selection(TableRef("r"), Gt(Var("a"), Const(2))))
+    for i in range(3):
+        db["r"].add((10 + i, 0))
+    prepared.execute()
+    assert conn.metrics.relowerings == 0  # 3 inserts: drift 3 <= 6
+    for i in range(3):
+        db["r"].delete((10 + i, 0))
+    prepared.execute()
+    # 3 deletes count double: drift 3 + 6 > 6 forces the re-lowering
+    assert conn.metrics.relowerings == 1
+
+
+def test_stats_accumulator_counts_deletes_separately():
+    from repro.algebra.stats import harvest_column_stats
+
+    db = DetDatabase()
+    db["r"] = DetRelation(("a",), {(v,): 2 for v in (1, 2, 3, 4)})
+    harvest_column_stats(db)  # attaches + builds the accumulator
+    acc = db["r"]._stats_acc
+    assert acc.total == 8 and acc.deletes == 0
+    db["r"].delete((2,), 2)
+    assert acc.total == 6
+    assert acc.deletes == 2  # not netted against the insert stream
+    assert not acc.rescan_needed  # interior value: decremented in place
+    db["r"].delete((4,), 2)
+    assert acc.rescan_needed  # max boundary touched: only a rescan knows
+
+
+def test_harvest_after_deletes_matches_fresh_scan():
+    from repro.algebra.stats import harvest_column_stats
+
+    db = DetDatabase()
+    db["r"] = DetRelation(("a",), {(float(i),): 1 for i in range(40)})
+    harvest_column_stats(db)
+    db["r"].delete((39.0,))  # extremum: forces the rescan path
+    db["r"].delete((7.0,))
+    after = harvest_column_stats(db)
+    fresh_db = DetDatabase()
+    fresh_db["r"] = DetRelation(
+        ("a",), {(float(i),): 1 for i in range(39) if i != 7}
+    )
+    fresh = harvest_column_stats(fresh_db)
+    got, want = after["r"]["a"], fresh["r"]["a"]
+    assert (got.min_value, got.max_value, got.count) == (
+        want.min_value,
+        want.max_value,
+        want.count,
+    )
+
+
+# ----------------------------------------------------------------------
+# incremental columnar append (delta batch == appended column image)
+# ----------------------------------------------------------------------
+def test_au_columnar_cache_appends_in_place():
+    rel = AURelation(("v",))
+    rel.add((1,), (1, 1, 1))
+    batch = AUColumnBatch.from_relation(rel)
+    rel.add((2,), (0, 1, 2))  # new tuple: appended to the cached image
+    assert AUColumnBatch.from_relation(rel) is batch
+    assert dict(batch.to_relation().tuples()) == dict(rel.tuples())
+    rel.add((1,), (0, 0, 1))  # annotation merge: invalidates
+    batch2 = AUColumnBatch.from_relation(rel)
+    assert batch2 is not batch
+    rel.delete((2,), (0, 1, 2))  # deletes invalidate too
+    batch3 = AUColumnBatch.from_relation(rel)
+    assert batch3 is not batch2
+    assert dict(batch3.to_relation().tuples()) == dict(rel.tuples())
+
+
+# ----------------------------------------------------------------------
+# session layer: read-only-epoch result memo
+# ----------------------------------------------------------------------
+def test_prepared_result_memo_on_read_only_epochs():
+    db = _small_det_db()
+    conn = Connection(db)
+    prepared = conn.prepare(
+        Selection(TableRef("r"), Gt(Var("b"), Const(0)))
+    )
+    r1 = prepared.execute()
+    r2 = prepared.execute()
+    assert r2 is r1  # no write in between: memoized object
+    assert conn.metrics.result_cache_hits == 1
+    assert conn.metrics.executions == 2
+    db["r"].add((7, 7))
+    r3 = prepared.execute()
+    assert r3 is not r1  # epoch moved: fresh execution
+    assert dict(r3.tuples())[(7, 7)] == 1
+    assert conn.metrics.result_cache_hits == 1
+
+
+def test_prepared_result_memo_is_per_binding():
+    from repro.core.expressions import Parameter
+
+    db = _small_det_db()
+    conn = Connection(db)
+    prepared = conn.prepare(
+        Selection(TableRef("r"), Leq(Var("b"), Parameter(0)))
+    )
+    a1 = prepared.execute([2])
+    b1 = prepared.execute([5])
+    assert dict(a1.tuples()) != dict(b1.tuples())
+    assert prepared.execute([2]) is a1
+    assert prepared.execute([5]) is b1
+    # the value's type is part of the key: 2 and 2.0 memoize separately
+    assert prepared.execute([2.0]) is not a1
+    assert conn.metrics.result_cache_hits == 2
