@@ -129,6 +129,84 @@ def verify_overhead_main() -> int:
     return 1 if failures else 0
 
 
+def telemetry_overhead_main() -> int:
+    """Gate the cost of telemetry on the warm prepared path.
+
+    Three modes of the same serving loop, measured pairwise against the
+    plain connection (best-of-5 interleaved rounds, like
+    :func:`verify_overhead_main`):
+
+    * **features on, tracing off** — an :class:`~repro.telemetry.EventLog`
+      attached and the slow-query log armed (threshold high enough that
+      nothing trips), ``trace=False``.  This is the disabled-tracing
+      path the executors pay one global-load-and-None-check per node
+      for; gate <= 1.05x.
+    * **tracing on** — ``trace=True``, a full span tree per query; the
+      documented cost of turning it on; gate <= 1.5x.
+
+    Results must be identical across all modes.
+    """
+    from repro import telemetry as tm
+
+    db = make_db()
+    keys = [(i * 13) % N_ROWS for i in range(N_CALLS * 4)]
+    run_warm(db, keys[:2])  # warm up statistics harvest
+
+    def run_mode(mode: str) -> list:
+        if mode == "plain":
+            conn = Connection(db)
+        elif mode == "features":
+            conn = Connection(db, trace=False, events=True)
+            tm.configure_slow_log(threshold=3600.0)
+        else:  # traced
+            conn = Connection(db, trace=True)
+        try:
+            return [conn.execute(SQL, [k]) for k in keys]
+        finally:
+            if mode == "features":
+                tm.configure_slow_log()
+                conn.events.close()
+
+    best = {"plain": float("inf"), "features": float("inf"), "traced": float("inf")}
+    ratios = {"features": [], "traced": []}
+    for _ in range(5):
+        timed = {}
+        for mode in ("plain", "features", "traced"):
+            start = time.perf_counter()
+            run_mode(mode)
+            timed[mode] = time.perf_counter() - start
+            best[mode] = min(best[mode], timed[mode])
+        for mode in ("features", "traced"):
+            ratios[mode].append(
+                timed[mode] / timed["plain"]
+                if timed["plain"] > 0
+                else float("inf")
+            )
+
+    n = len(keys)
+    print(f"warm prepared serving, plain           : {best['plain'] / n * 1e3:.3f} ms/query")
+    print(f"warm prepared serving, telemetry (off) : {best['features'] / n * 1e3:.3f} ms/query")
+    print(f"warm prepared serving, tracing on      : {best['traced'] / n * 1e3:.3f} ms/query")
+    gates = {"features": 1.05, "traced": 1.5}
+    failures = []
+    for mode, gate in gates.items():
+        ratio = min(ratios[mode])
+        print(f"{mode} overhead ratio: {ratio:.3f}x  (gate: <={gate}x)")
+        if ratio > gate:
+            failures.append(
+                f"{mode} telemetry overhead {ratio:.3f}x exceeds the {gate}x bar"
+            )
+    reference = run_mode("plain")
+    for mode in ("features", "traced"):
+        for i, (a, b) in enumerate(zip(reference, run_mode(mode))):
+            if a.schema != b.schema or a.rows != b.rows:
+                failures.append(f"call {i}: {mode} result differs from plain")
+                break
+    for f in failures:
+        print(f"FAIL: {f}")
+    return 1 if failures else 0
+
+
 def main() -> int:
     db = make_db()
     keys = [(i * 13) % N_ROWS for i in range(N_CALLS)]
@@ -173,4 +251,6 @@ if __name__ == "__main__":
 
     if "--verify-overhead" in sys.argv[1:]:
         raise SystemExit(verify_overhead_main())
+    if "--telemetry-overhead" in sys.argv[1:]:
+        raise SystemExit(telemetry_overhead_main())
     raise SystemExit(main())

@@ -12,7 +12,7 @@ Run with ``python examples/key_repair_cleaning.py``.
 import random
 
 from repro import AUDatabase, DetRelation, evaluate_audb, key_repair_lens, parse_sql
-from repro.metrics import audb_certain_keys
+from repro.accuracy import audb_certain_keys
 
 
 def dirty_catalog() -> DetRelation:

@@ -89,6 +89,17 @@ from .incomplete.worlds import (
 )
 from .incomplete.xdb import XDatabase, XRelation, XTuple
 from .lenses import key_repair_lens, make_uncertain
+from .accuracy import (
+    audb_certain_keys,
+    audb_possible_keys,
+    bound_tightness,
+    certain_tuple_recall,
+    mean_numeric_range,
+    over_grouping_percent,
+    possible_recall_by_id,
+    possible_recall_by_value,
+    range_overestimation_factor,
+)
 from .session import (
     Connection,
     ConnectionMetrics,
@@ -97,6 +108,16 @@ from .session import (
     connect,
 )
 from .sql.parser import parse_sql
+from .telemetry import (
+    EventLog,
+    MetricsRegistry,
+    QueryTrace,
+    configure_slow_log,
+    get_registry,
+    set_tracing,
+    slow_queries,
+    tracing_enabled,
+)
 
 __version__ = "1.0.0"
 
@@ -129,6 +150,15 @@ __all__ = [
     # sessions (prepared statements, plan cache)
     "Connection", "ConnectionMetrics", "PreparedQuery",
     "connect", "bind_parameters",
+    # telemetry (tracing, metrics registry, event log, slow-query log)
+    "QueryTrace", "MetricsRegistry", "EventLog",
+    "get_registry", "tracing_enabled", "set_tracing",
+    "configure_slow_log", "slow_queries",
+    # paper accuracy metrics (formerly repro.metrics)
+    "certain_tuple_recall", "possible_recall_by_id",
+    "possible_recall_by_value", "bound_tightness",
+    "over_grouping_percent", "range_overestimation_factor",
+    "mean_numeric_range", "audb_certain_keys", "audb_possible_keys",
     # lenses & sql
     "key_repair_lens", "make_uncertain", "parse_sql",
 ]

@@ -8,16 +8,21 @@ tracking is visible side by side.
 The shell runs over two long-lived :class:`repro.session.Connection`
 objects (one per engine), so re-running a query hits the plan cache and
 skips parse/optimize/lower; ``--repl`` forces the interactive loop even
-when a query is given on the command line, and ``\\metrics`` prints the
-session counters.
+when a query is given on the command line.  Observability hooks:
+``--explain-analyze`` prints the physical plan with per-operator actual
+rows and times, ``--trace-out FILE`` dumps the last query trace as Chrome
+trace-event JSON (load via ``chrome://tracing`` or Perfetto), and in the
+REPL ``\\timing`` toggles per-query wall-clock display while ``\\metrics``
+prints the process-wide metrics registry plus the session counters.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
-from . import analysis
+from . import analysis, telemetry
 from .algebra.evaluator import EvalConfig
 from .core.ranges import between
 from .core.relation import AUDatabase, AURelation
@@ -84,6 +89,19 @@ def main(argv=None) -> int:
         "plan with estimated and, after execution, actual per-node rows",
     )
     parser.add_argument(
+        "--explain-analyze",
+        action="store_true",
+        help="execute with tracing and print the physical plan annotated "
+        "with per-operator actual rows, estimation-error factors, and "
+        "wall-clock times (both engines)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        help="write the most recent query's trace as Chrome trace-event "
+        "JSON to FILE (implies tracing for shell queries)",
+    )
+    parser.add_argument(
         "--verify-plans",
         action="store_true",
         help="re-verify every plan after each optimizer rewrite and after "
@@ -122,7 +140,19 @@ def main(argv=None) -> int:
             parallelism=args.parallelism,
         ),
     )
+    if args.trace_out:
+        # per-connection opt-in: traces every shell query without flipping
+        # the process-wide default for library code
+        det_conn.trace = True
+        au_conn.trace = True
     print(f"tables: {', '.join(sorted(audb.relations))}")
+    timing = {"on": False}
+
+    def dump_trace() -> None:
+        trace = det_conn.last_trace or au_conn.last_trace
+        if args.trace_out and trace is not None:
+            trace.write_chrome_trace(args.trace_out)
+            print(f"trace written to {args.trace_out}")
 
     def run(sql: str) -> None:
         try:
@@ -154,11 +184,18 @@ def main(argv=None) -> int:
             print(prepared.explain_logical())
         try:
             actuals = {} if args.explain else None
+            start = time.perf_counter()
             det_result = prepared.execute(actuals=actuals)
+            det_seconds = time.perf_counter() - start
+            start = time.perf_counter()
             au_result = au_conn.execute(sql)
+            au_seconds = time.perf_counter() - start
         except (KeyError, TypeError, ValueError, ZeroDivisionError) as exc:
             print(f"error: {exc}")
             return
+        if args.explain_analyze:
+            print(prepared.explain_analyze())
+            print(au_conn.explain_analyze(sql))
         if args.explain:
             print("-- logical plan (estimated vs actual rows, Det) --")
             print(prepared.explain_logical(actuals=actuals))
@@ -169,17 +206,30 @@ def main(argv=None) -> int:
             print(f"  {t} x{m}")
         print("-- AU-DB (with bounds) --")
         print(au_result.pretty(limit=20))
+        if timing["on"]:
+            print(
+                f"time: det {det_seconds * 1000.0:.3f}ms, "
+                f"au {au_seconds * 1000.0:.3f}ms"
+            )
+        dump_trace()
 
     def print_metrics() -> None:
         for label, conn in (("det", det_conn), ("au", au_conn)):
             print(f"{label}: {conn.metrics.snapshot()}")
+        registry_text = telemetry.get_registry().prometheus_text()
+        if registry_text:
+            print("-- metrics registry --")
+            print(registry_text, end="")
 
     if args.sql:
         run(" ".join(args.sql))
         if not args.repl:
             return 0
 
-    print("type SQL (or 'quit'; '\\metrics' shows session counters):")
+    print(
+        "type SQL (or 'quit'; '\\metrics' shows counters + registry, "
+        "'\\timing' toggles per-query times):"
+    )
     for line in sys.stdin:
         line = line.strip()
         if not line:
@@ -188,6 +238,10 @@ def main(argv=None) -> int:
             break
         if line.lower() == "\\metrics":
             print_metrics()
+            continue
+        if line.lower() == "\\timing":
+            timing["on"] = not timing["on"]
+            print(f"timing is {'on' if timing['on'] else 'off'}")
             continue
         run(line)
     print_metrics()

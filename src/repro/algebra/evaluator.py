@@ -38,6 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from .. import telemetry as _tm
 from ..core import operators as ops
 from ..core.aggregation import aggregate
 from ..core.compression import optimized_join
@@ -149,8 +150,23 @@ def execute_physical_audb(pplan, db: AUDatabase, actuals=None) -> AURelation:
     ``Cpr`` compression and its bucket budget, SG-combining fallback
     boundaries — were made by :func:`repro.exec.physical.lower`; this is
     a thin dispatch onto :mod:`repro.core.operators`.
+
+    When a telemetry trace is active (:mod:`repro.telemetry`) every
+    node evaluation gets an operator span with inclusive wall time and
+    output AU-tuples; disabled, the hook is one global-load-and-``None``
+    check per node.
     """
-    result = _exec_node(pplan, db, actuals)
+    tr = _tm._ACTIVE
+    if tr is not None:
+        span = tr.begin_op(pplan)
+        try:
+            result = _exec_node(pplan, db, actuals)
+        except BaseException:
+            tr.end_op(span)
+            raise
+        tr.end_op(span, len(result))
+    else:
+        result = _exec_node(pplan, db, actuals)
     if actuals is not None:
         n = len(result)
         actuals[id(pplan)] = n
@@ -176,12 +192,11 @@ def _exec_node(p, db: AUDatabase, actuals) -> AURelation:
             rel = ops.projection(rel, list(p.columns))
         return rel
     if isinstance(p, phys.HashJoin):
-        return ops.join(
-            _pexec(p.left, db, actuals),
-            _pexec(p.right, db, actuals),
-            p.condition,
-            allow_certain_hash=True,
-        )
+        left = _pexec(p.left, db, actuals)
+        right = _pexec(p.right, db, actuals)
+        if _tm._ACTIVE is not None:
+            _tm.annotate(build_rows=len(right))
+        return ops.join(left, right, p.condition, allow_certain_hash=True)
     if isinstance(p, phys.NLJoin):
         left = _pexec(p.left, db, actuals)
         right = _pexec(p.right, db, actuals)
@@ -189,13 +204,12 @@ def _exec_node(p, db: AUDatabase, actuals) -> AURelation:
             return ops.cross_product(left, right)
         return ops.join(left, right, p.condition, allow_certain_hash=False)
     if isinstance(p, phys.CompressedJoin):
+        left = _pexec(p.left, db, actuals)
+        right = _pexec(p.right, db, actuals)
+        if _tm._ACTIVE is not None:
+            _tm.annotate(buckets=p.buckets, build_rows=len(right))
         return optimized_join(
-            _pexec(p.left, db, actuals),
-            _pexec(p.right, db, actuals),
-            p.condition,
-            p.pair[0],
-            p.pair[1],
-            p.buckets,
+            left, right, p.condition, p.pair[0], p.pair[1], p.buckets
         )
     if isinstance(p, phys.Concat):
         return ops.union(
@@ -205,6 +219,8 @@ def _exec_node(p, db: AUDatabase, actuals) -> AURelation:
         return ops.rename(_pexec(p.child, db, actuals), p.mapping)
     if isinstance(p, phys.TupleFallback):
         node = p.logical
+        if _tm._ACTIVE is not None:
+            _tm.annotate(fallback=p.kind)
         if p.kind == "difference":
             return ops.difference(
                 _pexec(p.inputs[0], db, actuals),

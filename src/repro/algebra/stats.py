@@ -49,6 +49,19 @@ from ..core.expressions import (
     Var,
 )
 from ..core.ranges import RangeValue, domain_key
+from .. import telemetry as _tm
+
+# process-wide accumulator counters (repro.telemetry registry): how much
+# incremental statistics work the write path does, and how often the
+# incremental state was invalid and a harvest fell back to a full rescan
+_OBSERVES = _tm.get_registry().counter(
+    "repro_stats_observes_total",
+    "Rows folded into incremental statistics accumulators.",
+)
+_RESCANS = _tm.get_registry().counter(
+    "repro_stats_rescans_total",
+    "Statistics harvests that fell back to a full relation rescan.",
+)
 
 __all__ = [
     "ColumnStats",
@@ -292,6 +305,7 @@ class StatsAccumulator:
         as one tuple, and only for tuples not previously present:
         annotation merges leave the value distribution untouched).
         """
+        _OBSERVES.inc()
         weight = 1 if isinstance(annotation, tuple) else annotation
         self.total += weight
         for i, value in enumerate(t):
@@ -491,6 +505,7 @@ def _harvest_relation(rel) -> Dict[str, ColumnStats]:
         or acc.rescan_needed
     ):
         # rebuild fallback: no (valid) incremental state — full rescan
+        _RESCANS.inc()
         acc = StatsAccumulator(rel.schema)
         for t, annotation in rel.tuples():
             acc.observe(t, annotation)

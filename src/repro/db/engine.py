@@ -56,6 +56,7 @@ from ..core.expressions import Expression, RowView, Var
 from ..core.ranges import domain_key
 from ..core.sums import exact_sum
 from ..exec import physical as phys
+from .. import telemetry as _tm
 from .storage import DetDatabase, DetRelation
 
 __all__ = ["evaluate_det", "execute_physical_det"]
@@ -135,8 +136,23 @@ def execute_physical_det(
     A thin mapping from physical operators to this module's bag
     operators; all choices (hash vs nested loop, fallback boundaries)
     were made by :func:`repro.exec.physical.lower`.
+
+    When a telemetry trace is active (:mod:`repro.telemetry`) every
+    node evaluation gets an operator span with inclusive wall time and
+    output rows; disabled, the hook is one global-load-and-``None``
+    check per node.
     """
-    result = _exec_node(pplan, db, actuals)
+    tr = _tm._ACTIVE
+    if tr is not None:
+        span = tr.begin_op(pplan)
+        try:
+            result = _exec_node(pplan, db, actuals)
+        except BaseException:
+            tr.end_op(span)
+            raise
+        tr.end_op(span, result.total_rows())
+    else:
+        result = _exec_node(pplan, db, actuals)
     if actuals is not None:
         n = result.total_rows()
         actuals[id(pplan)] = n
@@ -162,12 +178,11 @@ def _exec_node(
             rel = _projection(rel, p.columns)
         return rel
     if isinstance(p, phys.HashJoin):
-        return _hash_join(
-            _exec(p.left, db, actuals),
-            _exec(p.right, db, actuals),
-            p.condition,
-            p.eq_pairs,
-        )
+        left = _exec(p.left, db, actuals)
+        right = _exec(p.right, db, actuals)
+        if _tm._ACTIVE is not None:
+            _tm.annotate(build_rows=right.total_rows())
+        return _hash_join(left, right, p.condition, p.eq_pairs)
     if isinstance(p, phys.NLJoin):
         left = _exec(p.left, db, actuals)
         right = _exec(p.right, db, actuals)
@@ -192,6 +207,8 @@ def _exec_node(
     if isinstance(p, phys.Limit):
         return _limit(_exec(p.child, db, actuals), p.n)
     if isinstance(p, phys.TupleFallback):
+        if _tm._ACTIVE is not None:
+            _tm.annotate(fallback=p.kind)
         if p.kind == "difference":
             return _difference(
                 _exec(p.inputs[0], db, actuals), _exec(p.inputs[1], db, actuals)

@@ -38,6 +38,7 @@ from __future__ import annotations
 import os
 from typing import Any, Dict, List, Optional, Tuple
 
+from .. import telemetry as _tm
 from ..db.storage import DetDatabase
 from . import physical as phys
 from .batch import ColumnBatch
@@ -144,6 +145,15 @@ def execute_exchange(parent_exec, node: phys.Exchange) -> ColumnBatch:
         and len(base) >= PROCESS_MIN_ROWS
         and hasattr(os, "fork")
     )
+    if _tm._ACTIVE is not None:
+        # the Exchange's operator span is the innermost open one here;
+        # in-process morsels emit their own nested spans, forked workers
+        # trace nothing (spans die with the child's address space)
+        _tm.annotate(
+            morsels=len(parts),
+            forked=use_processes,
+            driver_rows=len(base),
+        )
     if use_processes:
         results = _run_forked(db, node.child, scan, parts, bindings, join_tables)
     else:
@@ -177,6 +187,9 @@ _WORK: Optional[tuple] = None
 def _worker(i: int):
     from .vectorized import _DetExec
 
+    # the fork inherited the parent's active trace; spans recorded here
+    # could never travel back over the result pipe, so don't record any
+    _tm._ACTIVE = None
     db, region, scan, parts, bindings, join_tables = _WORK
     result = _DetExec(
         db, None, {**bindings, id(scan): parts[i]}, join_tables

@@ -781,7 +781,9 @@ def _describe(node: PhysNode) -> str:
 
 
 def explain_physical(
-    pplan: PhysNode, actuals: Optional[Dict[int, int]] = None
+    pplan: PhysNode,
+    actuals: Optional[Dict[int, int]] = None,
+    times: Optional[Dict[int, List[float]]] = None,
 ) -> str:
     """Render a physical plan with chosen algorithms and row estimates.
 
@@ -789,13 +791,33 @@ def explain_physical(
     physical node ids are recorded alongside the logical-source ids, so
     the same dict feeds both this and the logical
     :func:`repro.algebra.optimizer.explain`.
+
+    ``times`` switches on the EXPLAIN ANALYZE rendering: it is the
+    ``{id(node): [inclusive seconds, evaluations]}`` mapping a telemetry
+    trace accumulates (:attr:`repro.telemetry.QueryTrace.node_times`).
+    Each node line then also shows its symmetric estimation-error factor
+    (:func:`repro.telemetry.estimation_error` of estimated vs actual
+    rows) and inclusive wall time, with a loop count when the node ran
+    more than once (one evaluation per morsel under an ``Exchange``).
     """
+    if times is not None:
+        from ..telemetry import estimation_error
     lines: List[str] = []
 
     def walk(node: PhysNode, depth: int) -> None:
         line = f"{'  ' * depth}{_describe(node)}  (~{node.est:.0f} rows"
-        if actuals is not None and id(node) in actuals:
-            line += f", actual {actuals[id(node)]:g}"
+        actual = actuals.get(id(node)) if actuals is not None else None
+        if actual is not None:
+            line += f", actual {actual:g}"
+            if times is not None:
+                line += f", err {estimation_error(node.est, actual):.2f}x"
+        if times is not None:
+            entry = times.get(id(node))
+            if entry is not None:
+                seconds, loops = entry
+                line += f", {seconds * 1e3:.3f}ms"
+                if loops > 1:
+                    line += f" in {loops:.0f} loops"
         line += ")"
         lines.append(line)
         for child in node.children():

@@ -39,6 +39,7 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from .. import telemetry as _tm
 from ..core import operators as ops
 from ..core.aggregation import aggregate as au_aggregate
 from ..core.compression import optimized_join
@@ -122,7 +123,20 @@ class _DetExec:
         bound = self.bindings.get(id(pnode))
         if bound is not None:
             return bound
-        batch = self._node(pnode)
+        tr = _tm._ACTIVE
+        if tr is not None:
+            span = tr.begin_op(pnode)
+            try:
+                batch = self._node(pnode)
+            except BaseException:
+                tr.end_op(span)
+                raise
+            tr.end_op(
+                span,
+                sum(batch.mult) if isinstance(batch, ColumnBatch) else None,
+            )
+        else:
+            batch = self._node(pnode)
         if self.actuals is not None and isinstance(batch, ColumnBatch):
             n = sum(batch.mult)
             self.actuals[id(pnode)] = n
@@ -185,6 +199,8 @@ class _DetExec:
                 _limit(self.eval(p.child).to_relation(), p.n)
             )
         if isinstance(p, phys.TupleFallback):
+            if _tm._ACTIVE is not None:
+                _tm.annotate(fallback=p.kind)
             if p.kind == "difference":
                 from ..db.engine import _difference
 
@@ -266,6 +282,12 @@ class _DetExec:
         table = self.join_tables.get(id(p))
         if table is None:
             table = build_join_table(right, [b for _, b in p.eq_pairs])
+        if _tm._ACTIVE is not None:
+            _tm.annotate(
+                build_rows=len(right),
+                build_keys=len(table),
+                probe_rows=len(left),
+            )
 
         li: List[int] = []
         ri: List[int] = []
@@ -662,7 +684,17 @@ class _AUExec:
         return self.eval(pplan).to_relation()
 
     def eval(self, pnode: phys.PhysNode) -> AUColumnBatch:
-        batch = self._node(pnode)
+        tr = _tm._ACTIVE
+        if tr is not None:
+            span = tr.begin_op(pnode)
+            try:
+                batch = self._node(pnode)
+            except BaseException:
+                tr.end_op(span)
+                raise
+            tr.end_op(span, len(batch))
+        else:
+            batch = self._node(pnode)
         if self.actuals is not None:
             # the tuple engine records distinct AU-tuples per node
             if batch.columns:
@@ -731,6 +763,8 @@ class _AUExec:
         """SG-combining semantics: the planner routed this node to the
         exact tuple operators over materialized inputs."""
         node = p.logical
+        if _tm._ACTIVE is not None:
+            _tm.annotate(fallback=p.kind)
         if p.kind == "difference":
             result = ops.difference(
                 self._materialize(p.inputs[0]), self._materialize(p.inputs[1])
@@ -841,6 +875,13 @@ class _AUExec:
                 certain_right_rows.append(j)
             else:
                 uncertain_right.append(j)
+        if _tm._ACTIVE is not None:
+            _tm.annotate(
+                build_rows=len(right),
+                build_keys=len(certain_right),
+                probe_rows=len(left),
+                uncertain_build_rows=len(uncertain_right),
+            )
 
         fast_li: List[int] = []
         fast_ri: List[int] = []

@@ -17,7 +17,7 @@ from ..core.aggregation import agg_sum
 from ..core.relation import AUDatabase
 from ..db.engine import evaluate_det
 from ..db.storage import DetDatabase
-from ..metrics import mean_numeric_range
+from ..accuracy import mean_numeric_range
 from ..workloads.micro import micro_instance
 from .common import print_experiment, time_call
 

@@ -25,7 +25,7 @@ from ..core.expressions import Const, Expression, Var
 from ..core.relation import AUDatabase, AURelation
 from ..incomplete.xdb import XDatabase, XRelation
 from ..lenses import key_repair_lens
-from ..metrics import (
+from ..accuracy import (
     audb_certain_keys,
     bound_tightness,
     possible_recall_by_id,

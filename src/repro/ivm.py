@@ -48,6 +48,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from . import analysis
+from . import telemetry as _tm
 from .algebra.ast import Plan
 from .algebra.optimizer import DeltaPlan, derive_delta, optimize
 from .core.relation import AURelation
@@ -61,6 +62,30 @@ from .exec.vectorized import (
 from .sql.parser import parse_sql
 
 __all__ = ["MaterializedView", "DeltaFoldError"]
+
+# process-wide maintenance counters (repro.telemetry registry), mirrors
+# of the per-view writes_applied / full_refreshes / tail_refreshes ints
+_REG = _tm.get_registry()
+_DELTA_APPLIES = _REG.counter(
+    "repro_ivm_delta_applies_total",
+    "Per-write deltas applied to materialized views.",
+)
+_FOLD_FALLBACKS = _REG.counter(
+    "repro_ivm_delta_fold_fallbacks_total",
+    "DeltaFoldError degradations to full refresh.",
+)
+_FULL_REFRESHES = _REG.counter(
+    "repro_ivm_full_refreshes_total",
+    "From-scratch view rematerializations.",
+)
+_SEGMENT_REFRESHES = _REG.counter(
+    "repro_ivm_segment_refreshes_total",
+    "Dirty linear-segment rebuilds (refresh-classified views).",
+)
+_TAIL_REFRESHES = _REG.counter(
+    "repro_ivm_tail_refreshes_total",
+    "Epoch-gated non-linear tail re-executions.",
+)
 
 
 def _executor(engine: str, backend: str):
@@ -270,8 +295,10 @@ class MaterializedView:
             self._apply(table, t, payload, sign)
         except DeltaFoldError:
             self._needs_full_refresh = True
+            _FOLD_FALLBACKS.inc()
         else:
             self.writes_applied += 1
+            _DELTA_APPLIES.inc()
 
     def _apply(self, table: str, t, payload, sign: int) -> None:
         delta = self._delta
@@ -365,6 +392,7 @@ class MaterializedView:
         if self._needs_full_refresh:
             self._materialize()
             self.full_refreshes += 1
+            _FULL_REFRESHES.inc()
         epoch = getattr(db, "epoch", None)
         if (
             self._result is not None
@@ -401,6 +429,7 @@ class MaterializedView:
                 self._seg_schemas[i] = tuple(out.schema)
                 self._seg_dirty[i] = False
                 self._tail_dirty = True
+                _SEGMENT_REFRESHES.inc()
         if self._tail_dirty or self._tail_result is None:
             over = {
                 seg.name: self._from_rows(self._seg_schemas[i], self._seg_rows[i])
@@ -411,6 +440,7 @@ class MaterializedView:
             )
             self._tail_dirty = False
             self.tail_refreshes += 1
+            _TAIL_REFRESHES.inc()
         return self._tail_result
 
     def _from_rows(self, schema, rows: Dict):
@@ -450,6 +480,7 @@ class MaterializedView:
                 # e.g. non-finite addends in the current data: serve
                 # full recomputations until a rebuild can fold again
                 state = None
+                _FOLD_FALLBACKS.inc()
             self._agg_state = state
         else:
             for i, pplan in enumerate(self._dplan.segment_pplans):

@@ -1,232 +1,22 @@
-"""Accuracy metrics for comparing systems against ground truth.
+"""Deprecated alias of :mod:`repro.accuracy`.
 
-Implements the quality measures of the paper's evaluation:
-
-* **certain-tuple recall** (Figure 17 "cert. tup."): fraction of the true
-  certain answers a system reports as certain;
-* **possible-tuple recall by id / by value** (Figure 17): fraction of true
-  possible answer *groups* (keyed tuples) covered, and of the raw possible
-  tuples covered;
-* **attribute-bound tightness** (Figure 17 "attr. bounds"): average ratio
-  of a system's bound width to the maximally tight bound width per certain
-  tuple (1.0 = tight; larger = over-approximation);
-* **over-grouping %** and **range over-estimation factor** (Figure 15);
-* **mean bound range** (Figure 13d).
+This module holds the *paper-evaluation accuracy* measures (certain
+tuple recall, bound tightness, …), not runtime telemetry — that name
+collision became untenable once :mod:`repro.telemetry` landed, so the
+module moved to :mod:`repro.accuracy`.  Importing ``repro.metrics``
+keeps working but warns; update imports to ``repro.accuracy``.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+import warnings
 
-from .core.ranges import RangeValue, domain_key
-from .core.relation import AURelation
-from .core.tuples import sg_tuple
+from .accuracy import *  # noqa: F401,F403
+from .accuracy import __all__  # noqa: F401
 
-__all__ = [
-    "certain_tuple_recall",
-    "possible_recall_by_id",
-    "possible_recall_by_value",
-    "bound_tightness",
-    "over_grouping_percent",
-    "range_overestimation_factor",
-    "mean_numeric_range",
-    "audb_certain_keys",
-    "audb_possible_keys",
-]
-
-
-def _keys_of(
-    bag: Mapping[Tuple[Any, ...], int], key_idx: Sequence[int]
-) -> set:
-    return {tuple(t[i] for i in key_idx) for t in bag}
-
-
-def audb_certain_keys(rel: AURelation, key_columns: Sequence[str]) -> set:
-    """Keys of tuples an AU-DB reports certain (lower bound > 0).
-
-    The key is taken at the tuple's SG values: a group-by output with a
-    non-zero lower multiplicity certifies that the *SG group* exists in
-    every world (Definition 28 derives the bound from members whose
-    group-by values are certain and equal the SG key), even when the
-    tuple's key box was widened by other possible members.
-    """
-    idx = [rel.attr_index(k) for k in key_columns]
-    out = set()
-    for t, (lb, _sg, _ub) in rel.tuples():
-        if lb > 0:
-            out.add(tuple(t[i].sg for i in idx))
-    return out
-
-
-def audb_possible_keys(rel: AURelation, key_columns: Sequence[str]) -> set:
-    """Keys an AU-DB considers possible (via SG values of possible tuples)."""
-    idx = [rel.attr_index(k) for k in key_columns]
-    out = set()
-    for t, (_lb, _sg, ub) in rel.tuples():
-        if ub > 0:
-            out.add(tuple(t[i].sg for i in idx))
-    return out
-
-
-def certain_tuple_recall(
-    reported_certain_keys: Iterable[Tuple[Any, ...]],
-    true_certain: Mapping[Tuple[Any, ...], int],
-    key_idx: Sequence[int],
-) -> float:
-    """Fraction of truly certain keys that the system reports certain."""
-    true_keys = _keys_of(true_certain, key_idx)
-    if not true_keys:
-        return 1.0
-    reported = set(reported_certain_keys)
-    return len(true_keys & reported) / len(true_keys)
-
-
-def possible_recall_by_id(
-    rel: AURelation,
-    true_possible: Mapping[Tuple[Any, ...], int],
-    key_columns: Sequence[str],
-    result_key_idx: Sequence[int],
-) -> float:
-    """Fraction of possible-answer key groups covered by some AU tuple.
-
-    A group (key value) is covered when at least one AU tuple's key range
-    contains it.
-    """
-    idx = [rel.attr_index(k) for k in key_columns]
-    true_keys = _keys_of(true_possible, result_key_idx)
-    if not true_keys:
-        return 1.0
-    covered = 0
-    au_rows = list(rel.tuples())
-    for key in true_keys:
-        for t, (_lb, _sg, ub) in au_rows:
-            if ub > 0 and all(
-                t[i].bounds_value(v) for i, v in zip(idx, key)
-            ):
-                covered += 1
-                break
-    return covered / len(true_keys)
-
-
-def possible_recall_by_value(
-    rel: AURelation, true_possible: Mapping[Tuple[Any, ...], int]
-) -> float:
-    """Fraction of raw possible tuples some AU tuple bounds."""
-    if not true_possible:
-        return 1.0
-    au_rows = [(t, ann) for t, ann in rel.tuples() if ann[2] > 0]
-    covered = 0
-    for world_tuple in true_possible:
-        for t, _ann in au_rows:
-            if len(t) == len(world_tuple) and all(
-                r.bounds_value(v) for r, v in zip(t, world_tuple)
-            ):
-                covered += 1
-                break
-    return covered / len(true_possible)
-
-
-def bound_tightness(
-    rel: AURelation,
-    exact_bounds: Mapping[Tuple[Any, ...], List[Tuple[Any, Any]]],
-    key_columns: Sequence[str],
-) -> Tuple[float, float]:
-    """(min, max) over certain tuples of mean relative bound size.
-
-    For each certain AU tuple, each numeric non-key attribute contributes
-    ``audb_width / exact_width`` (1.0 when both are points); the tuple's
-    score is the mean.  Returns the min and max scores, matching the
-    "attr. bounds min / max" columns of Figure 17.
-    """
-    key_idx = [rel.attr_index(k) for k in key_columns]
-    value_idx = [i for i in range(len(rel.schema)) if i not in key_idx]
-    scores: List[float] = []
-    for t, (lb, _sg, _ub) in rel.tuples():
-        if lb <= 0 or not all(t[i].is_certain for i in key_idx):
-            continue
-        key = tuple(t[i].sg for i in key_idx)
-        exact = exact_bounds.get(key)
-        if exact is None:
-            continue
-        ratios: List[float] = []
-        for pos, i in enumerate(value_idx):
-            ratios.append(_relative_width(t[i], exact[pos]))
-        if ratios:
-            scores.append(sum(ratios) / len(ratios))
-    if not scores:
-        return (float("nan"), float("nan"))
-    return (min(scores), max(scores))
-
-
-def _relative_width(value: RangeValue, exact: Tuple[Any, Any]) -> float:
-    lo, hi = exact
-    if not isinstance(lo, (int, float)) or not isinstance(hi, (int, float)):
-        exact_width = 0.0 if domain_key(lo) == domain_key(hi) else 1.0
-        au_width = 0.0 if value.is_certain else 1.0
-        return 1.0 if exact_width == au_width else max(au_width, 1.0)
-    exact_width = float(hi) - float(lo)
-    au_width = value.width()
-    if exact_width == 0.0:
-        return 1.0 if au_width == 0.0 else 1.0 + au_width
-    return max(1.0, au_width / exact_width)
-
-
-def over_grouping_percent(
-    rel: AURelation,
-    group_columns: Sequence[str],
-    true_group_sizes: Mapping[Tuple[Any, ...], int],
-    xdb_contributions: Mapping[Tuple[Any, ...], int],
-) -> float:
-    """Figure 15a: average % increase in per-group contributor count.
-
-    ``true_group_sizes`` maps each possible group key to the number of
-    inputs that can truly contribute; ``xdb_contributions`` maps it to the
-    number of inputs the AU-DB associates with the group's output tuple.
-    """
-    increases: List[float] = []
-    for key, true_n in true_group_sizes.items():
-        if true_n <= 0:
-            continue
-        audb_n = xdb_contributions.get(key, true_n)
-        increases.append(100.0 * max(0, audb_n - true_n) / true_n)
-    return sum(increases) / len(increases) if increases else 0.0
-
-
-def range_overestimation_factor(
-    rel: AURelation,
-    agg_column: str,
-    key_columns: Sequence[str],
-    exact_bounds: Mapping[Tuple[Any, ...], List[Tuple[Any, Any]]],
-    exact_value_pos: int = 0,
-) -> float:
-    """Figure 15b: mean ratio of AU-DB aggregate range to the tight range."""
-    agg_idx = rel.attr_index(agg_column)
-    key_idx = [rel.attr_index(k) for k in key_columns]
-    ratios: List[float] = []
-    for t, (_lb, _sg, ub) in rel.tuples():
-        if ub == 0:
-            continue
-        key = tuple(t[i].sg for i in key_idx)
-        exact = exact_bounds.get(key)
-        if exact is None:
-            continue
-        lo, hi = exact[exact_value_pos]
-        if not isinstance(lo, (int, float)) or not isinstance(hi, (int, float)):
-            continue
-        exact_width = float(hi) - float(lo)
-        au_width = t[agg_idx].width()
-        if exact_width <= 0:
-            ratios.append(1.0 if au_width <= 0 else 1.0 + au_width)
-        else:
-            ratios.append(max(1.0, au_width / exact_width))
-    return sum(ratios) / len(ratios) if ratios else 1.0
-
-
-def mean_numeric_range(rel: AURelation, column: str) -> float:
-    """Figure 13d: mean width of a numeric column's ranges."""
-    idx = rel.attr_index(column)
-    widths = [t[idx].width() for t, _ann in rel.tuples()]
-    finite = [w for w in widths if math.isfinite(w)]
-    return sum(finite) / len(finite) if finite else 0.0
+warnings.warn(
+    "repro.metrics is deprecated; the paper accuracy metrics moved to "
+    "repro.accuracy (runtime telemetry lives in repro.telemetry)",
+    DeprecationWarning,
+    stacklevel=2,
+)

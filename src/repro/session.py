@@ -44,8 +44,8 @@ Connections are not thread-safe; use one per worker.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
-from dataclasses import dataclass, fields
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
 from .algebra.ast import (
@@ -93,6 +93,7 @@ from .core.expressions import (
 )
 from .core.relation import AUDatabase
 from .db.storage import DetDatabase
+from . import telemetry as _tm
 from .exec import BACKENDS
 from .exec import physical as phys
 from .sql.parser import parse_sql
@@ -511,10 +512,47 @@ def _binding_key(binding) -> Optional[tuple]:
     return key
 
 
+def _param_repr(params) -> Optional[str]:
+    """A bounded textual form of a parameter binding for the event log."""
+    if params is None:
+        return None
+    text = repr(params)
+    return text if len(text) <= 200 else text[:197] + "..."
+
+
+def _result_rows(result) -> Optional[int]:
+    """Output cardinality for events/slow-log: total bag rows for a Det
+    relation, AU-tuples for an AU relation, ``None`` when unknown."""
+    if result is None:
+        return None
+    total = getattr(result, "total_rows", None)
+    if total is not None:
+        return total()
+    try:
+        return len(result)
+    except TypeError:
+        return None
+
+
 # ======================================================================
 # the session objects
 # ======================================================================
-@dataclass
+#: ConnectionMetrics counter fields and their registry help strings.
+_METRIC_FIELDS: "OrderedDict[str, str]" = OrderedDict(
+    parses="SQL texts parsed (a plan-cache hit parses nothing).",
+    optimizations="Logical optimizer runs.",
+    lowerings="Physical lowerings (including re-lowerings).",
+    relowerings="Staleness-triggered physical re-plans.",
+    cache_hits="Plan-cache hits.",
+    cache_misses="Plan-cache misses.",
+    executions="Query executions.",
+    result_cache_hits="Executions answered from the epoch result memo.",
+    stats_refreshes="Statistics-catalog harvests.",
+    statements_prepared="PreparedQuery objects compiled.",
+    subscriptions="Connection.subscribe() calls.",
+)
+
+
 class ConnectionMetrics:
     """Lifecycle counters of one connection (all monotone).
 
@@ -527,22 +565,61 @@ class ConnectionMetrics:
     (``result_cache_hits`` of which were answered from the read-only
     epoch result memo without running an executor);
     ``subscriptions`` counts :meth:`Connection.subscribe` calls.
+
+    Since the telemetry PR this is a *view* over the process-wide
+    :class:`repro.telemetry.MetricsRegistry`: every increment of a
+    per-connection counter also increments the matching registry
+    counter ``repro_session_<field>_total`` (labelled by engine when
+    the connection knows one), so registry exposition aggregates over
+    all connections while :meth:`snapshot` stays per-connection.
+    Counters reject decrements — they are monotone by contract.
     """
 
-    parses: int = 0
-    optimizations: int = 0
-    lowerings: int = 0
-    relowerings: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    executions: int = 0
-    result_cache_hits: int = 0
-    stats_refreshes: int = 0
-    statements_prepared: int = 0
-    subscriptions: int = 0
+    def __init__(
+        self,
+        engine: str = "",
+        registry: "Optional[_tm.MetricsRegistry]" = None,
+    ) -> None:
+        reg = registry if registry is not None else _tm.get_registry()
+        d = self.__dict__
+        d["_values"] = {name: 0 for name in _METRIC_FIELDS}
+        labels = {"engine": engine} if engine else {}
+        d["_counters"] = {
+            name: reg.counter(
+                f"repro_session_{name}_total", help_text, **labels
+            )
+            for name, help_text in _METRIC_FIELDS.items()
+        }
+
+    def __getattr__(self, name: str) -> int:
+        values = self.__dict__.get("_values")
+        if values is not None and name in values:
+            return values[name]
+        raise AttributeError(name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        values = self.__dict__.get("_values")
+        if values is not None and name in values:
+            delta = value - values[name]
+            if delta < 0:
+                raise ValueError(
+                    f"ConnectionMetrics.{name} is monotone; cannot go "
+                    f"from {values[name]} to {value}"
+                )
+            values[name] = value
+            if delta:
+                self.__dict__["_counters"][name].inc(delta)
+        else:
+            self.__dict__[name] = value
 
     def snapshot(self) -> Dict[str, int]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return dict(self.__dict__["_values"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(
+            f"{k}={v}" for k, v in self.__dict__["_values"].items()
+        )
+        return f"ConnectionMetrics({body})"
 
 
 class PreparedQuery:
@@ -573,7 +650,8 @@ class PreparedQuery:
         if isinstance(query, str):
             self.sql: Optional[str] = query
             metrics.parses += 1
-            self.plan = parse_sql(query)
+            with _tm.stage("parse"):
+                self.plan = parse_sql(query)
         else:
             self.sql = None
             self.plan = query
@@ -587,18 +665,26 @@ class PreparedQuery:
         # expressions fail here with a one-line diagnostic naming the
         # node and column, instead of deep inside an executor
         stats = connection.statistics()
-        analysis.verify_logical(self.plan, stats)
+        with _tm.stage("analyze"):
+            analysis.verify_logical(self.plan, stats)
         #: names of the optimizer rewrites that fired (semiring lint)
         self.rewrite_trace: List[str] = []
         if config.optimize:
-            self.optimized = optimize(
-                self.plan,
-                stats,
-                join_order=config.join_order,
-                semantics=self.semantics,
-                verify=connection.verify_plans,
-                trace=self.rewrite_trace,
-            )
+            with _tm.stage("optimize"):
+                self.optimized = optimize(
+                    self.plan,
+                    stats,
+                    join_order=config.join_order,
+                    semantics=self.semantics,
+                    verify=connection.verify_plans,
+                    trace=self.rewrite_trace,
+                )
+                tr = _tm._ACTIVE
+                if tr is not None:
+                    # one zero-duration mark per fired rewrite rule,
+                    # straight from the optimizer's _record() trace
+                    for rule in self.rewrite_trace:
+                        tr.mark(rule)
             metrics.optimizations += 1
             if connection.verify_plans:
                 analysis.check_semiring_safety(
@@ -624,6 +710,10 @@ class PreparedQuery:
         return not (self.config.backend == "tuple" and not self.config.physical)
 
     def _lower(self, relower: bool = False) -> None:
+        with _tm.stage("lower", relower=relower):
+            self._lower_inner(relower)
+
+    def _lower_inner(self, relower: bool) -> None:
         conn = self.connection
         stats = conn.statistics()
         config = self.config
@@ -663,10 +753,65 @@ class PreparedQuery:
         run — treat results as read-only snapshots.
         """
         conn = self.connection
+        if _tm._ACTIVE is None and conn.tracing:
+            with _tm.start_trace("query") as trace:
+                conn.last_trace = trace
+                return self._run(params, actuals)
+        return self._run(params, actuals)
+
+    def _run(self, params, actuals):
+        """The execute body: events, timing, and the slow-query offer
+        wrap :meth:`_run_inner` (which does the actual work)."""
+        conn = self.connection
         conn.metrics.executions += 1
         binding = _resolve_binding(self.parameters, params)
+        events = conn.events
+        slow_log = _tm.timing_enabled()
+        timing = (
+            slow_log or events is not None or _tm._ACTIVE is not None
+        )
+        if (
+            actuals is None
+            and slow_log
+            and _tm.misestimation_armed()
+            and self._needs_physical
+        ):
+            actuals = {}  # the misestimation check needs per-node rows
+        if events is not None:
+            events.query_begin(self.sql, params=_param_repr(params))
+        start = time.perf_counter() if timing else 0.0
+        result = None
+        cached = False
+        try:
+            result, cached = self._run_inner(binding, actuals)
+        finally:
+            if timing:
+                seconds = time.perf_counter() - start
+                rows = _result_rows(result)
+                conn._latency.observe(seconds)
+                if events is not None:
+                    events.query_end(rows, cached=cached, seconds=seconds)
+                if slow_log and not cached:
+                    _tm.record_query(
+                        sql=self.sql,
+                        engine=conn.engine,
+                        backend=self.config.backend,
+                        seconds=seconds,
+                        rows=rows,
+                        pplan=self.pplan,
+                        actuals=actuals,
+                        trace=_tm._ACTIVE,
+                    )
+        return result
+
+    def _run_inner(self, binding, actuals):
+        """Dispatch one bound execution; returns ``(result, memo_hit)``."""
+        conn = self.connection
         if not self._needs_physical:
-            return self._execute_legacy(binding, actuals)
+            with _tm.stage(
+                "execute", engine=conn.engine, backend="legacy"
+            ):
+                return self._execute_legacy(binding, actuals), False
         if (
             conn.staleness >= 0
             and conn.epoch - self.plan_epoch > conn.staleness
@@ -680,38 +825,53 @@ class PreparedQuery:
                 if entry is not None and entry[0] == conn.epoch:
                     self._results.move_to_end(memo_key)
                     conn.metrics.result_cache_hits += 1
-                    return entry[1]
+                    tr = _tm._ACTIVE
+                    if tr is not None:
+                        tr.mark("result-memo-hit")
+                    return entry[1], True
         pplan = self._bound_plan(binding)
         try:
-            if conn.engine == "det":
-                if self.config.backend == "vectorized":
-                    from .exec.vectorized import execute_det
+            with _tm.stage(
+                "execute",
+                engine=conn.engine,
+                backend=self.config.backend,
+            ):
+                if conn.engine == "det":
+                    if self.config.backend == "vectorized":
+                        from .exec.vectorized import execute_det
 
-                    result = execute_det(pplan, conn.db, actuals=actuals)
+                        result = execute_det(pplan, conn.db, actuals=actuals)
+                    else:
+                        from .db.engine import execute_physical_det
+
+                        result = execute_physical_det(pplan, conn.db, actuals)
+                elif self.config.backend == "vectorized":
+                    from .exec.vectorized import execute_audb
+
+                    result = execute_audb(pplan, conn.db, actuals)
                 else:
-                    from .db.engine import execute_physical_det
-
-                    result = execute_physical_det(pplan, conn.db, actuals)
-            elif self.config.backend == "vectorized":
-                from .exec.vectorized import execute_audb
-
-                result = execute_audb(pplan, conn.db, actuals)
-            else:
-                result = execute_physical_audb(pplan, conn.db, actuals)
+                    result = execute_physical_audb(pplan, conn.db, actuals)
         finally:
-            if actuals is not None and pplan is not self.pplan:
-                # executors recorded actuals under the bound copy's node
-                # ids; mirror them onto the cached template (structures
-                # are identical by construction) so explain_physical on
-                # this PreparedQuery still shows actual rows
-                for template, bound in zip(self.pplan.walk(), pplan.walk()):
-                    if id(bound) in actuals:
-                        actuals[id(template)] = actuals[id(bound)]
+            if pplan is not self.pplan:
+                # executors recorded actuals (and the trace its span
+                # times) under the bound copy's node ids; mirror them
+                # onto the cached template (structures are identical by
+                # construction) so explain_physical / explain_analyze
+                # on this PreparedQuery still show actual rows and time
+                tr = _tm._ACTIVE
+                if actuals is not None or tr is not None:
+                    for template, bound in zip(
+                        self.pplan.walk(), pplan.walk()
+                    ):
+                        if actuals is not None and id(bound) in actuals:
+                            actuals[id(template)] = actuals[id(bound)]
+                        if tr is not None:
+                            tr.alias_node(id(template), id(bound))
         if memo_key is not None:
             self._results[memo_key] = (conn.epoch, result)
             while len(self._results) > _RESULT_MEMO:
                 self._results.popitem(last=False)
-        return result
+        return result, False
 
     def _bound_plan(self, binding) -> phys.PhysNode:
         """The physical plan with ``binding`` substituted, memoized per
@@ -773,6 +933,47 @@ class PreparedQuery:
             return "(legacy direct interpretation: no physical plan)"
         return phys.explain_physical(self.pplan, actuals=actuals)
 
+    def explain_analyze(
+        self,
+        params: Union[Sequence[Any], Mapping[Any, Any], None] = None,
+    ) -> str:
+        """Execute the query under a trace and render the physical plan
+        with per-node actual rows, estimation-error factor, and
+        inclusive wall time (plus a pipeline-stage summary footer).
+
+        Always really executes — the result memo is bypassed — and
+        always traces this one run, whatever the connection's or
+        process's tracing setting.  The trace is kept on
+        ``connection.last_trace`` for deeper inspection
+        (:meth:`~repro.telemetry.QueryTrace.render` /
+        :meth:`~repro.telemetry.QueryTrace.chrome_trace`).
+        """
+        conn = self.connection
+        actuals: Dict[int, int] = {}
+        with _tm.start_trace("explain analyze") as trace:
+            conn.last_trace = trace
+            result = self._run(params, actuals)
+        rows = _result_rows(result)
+        stages = "  ".join(
+            f"{span.name} {span.duration * 1e3:.3f}ms"
+            for span in trace.root.children
+            if span.cat == "stage"
+        )
+        header = (
+            f"EXPLAIN ANALYZE ({conn.engine}, "
+            f"backend={'legacy' if self.pplan is None else self.config.backend}"
+            f"): {rows if rows is not None else '?'} rows "
+            f"in {trace.duration * 1e3:.3f}ms"
+        )
+        if self.pplan is None:
+            body = self.explain_logical(actuals=actuals)
+        else:
+            body = phys.explain_physical(
+                self.pplan, actuals=actuals, times=trace.node_times
+            )
+        footer = f"stages: {stages}" if stages else ""
+        return "\n".join(part for part in (header, body, footer) if part)
+
 
 class Connection:
     """A query session owning a database, its statistics, and a plan cache.
@@ -798,6 +999,15 @@ class Connection:
     ``REPRO_VERIFY_PLANS``).  Prepare-time schema checking — unknown
     tables/columns, union compatibility, ill-typed expressions — is
     always on; it is part of compilation, not a debug assertion.
+
+    ``trace`` controls telemetry tracing the same tri-state way:
+    ``True`` wraps every :meth:`execute` in a
+    :class:`~repro.telemetry.QueryTrace` (kept on :attr:`last_trace`),
+    ``False`` disables it, ``None`` (default) defers to the
+    process-wide switch (:func:`repro.telemetry.tracing_enabled`, env
+    ``REPRO_TRACE``).  ``events`` opts into the structured
+    :class:`~repro.telemetry.EventLog` on :attr:`events` (pass an
+    ``int`` for a non-default ring capacity).
     """
 
     def __init__(
@@ -808,6 +1018,8 @@ class Connection:
         staleness: int = DEFAULT_STALENESS,
         cache_size: int = DEFAULT_CACHE_SIZE,
         verify: Optional[bool] = None,
+        trace: Optional[bool] = None,
+        events: Union[bool, int] = False,
     ) -> None:
         if engine is None:
             if isinstance(db, DetDatabase):
@@ -832,7 +1044,25 @@ class Connection:
         self.staleness = staleness
         self.cache_size = cache_size
         self.verify = verify
-        self.metrics = ConnectionMetrics()
+        self.trace = trace
+        self.metrics = ConnectionMetrics(engine)
+        #: the most recent QueryTrace captured on this connection
+        self.last_trace: Optional[_tm.QueryTrace] = None
+        #: the structured event log, or None when not opted in
+        self.events: Optional[_tm.EventLog] = None
+        if events:
+            capacity = (
+                events
+                if isinstance(events, int) and not isinstance(events, bool)
+                else 4096
+            )
+            self.events = _tm.EventLog(self, capacity=capacity)
+        self._latency = _tm.get_registry().histogram(
+            "repro_query_seconds",
+            "Timed query execution latency (tracing, events, or the "
+            "slow-query log armed).",
+            engine=engine,
+        )
         self._cache: "OrderedDict[tuple, PreparedQuery]" = OrderedDict()
         self._stats: Optional[Statistics] = None
         # id(view) -> live MaterializedView (see subscribe())
@@ -845,6 +1075,14 @@ class Connection:
         if self.verify is not None:
             return self.verify
         return analysis.verification_enabled()
+
+    @property
+    def tracing(self) -> bool:
+        """Effective tracing setting: the connection's ``trace`` knob,
+        or the process-wide switch when unset."""
+        if self.trace is not None:
+            return self.trace
+        return _tm.tracing_enabled()
 
     # -- catalog -------------------------------------------------------
     @property
@@ -921,8 +1159,32 @@ class Connection:
         actuals: Optional[Dict[int, int]] = None,
     ):
         """``prepare(query).execute(params)`` — with SQL text, repeated
-        calls hit the plan cache and skip parse/optimize/lower."""
+        calls hit the plan cache and skip parse/optimize/lower.
+
+        With tracing on (``trace=True`` or the process switch) the
+        whole call runs under one :class:`~repro.telemetry.QueryTrace`
+        — a cold prepare contributes parse/analyze/optimize/lower stage
+        spans ahead of the execute span — kept on :attr:`last_trace`.
+        """
+        if _tm._ACTIVE is None and self.tracing:
+            with _tm.start_trace("query") as trace:
+                self.last_trace = trace
+                return self.prepare(query, config).execute(
+                    params, actuals=actuals
+                )
         return self.prepare(query, config).execute(params, actuals=actuals)
+
+    def explain_analyze(
+        self,
+        query: Union[str, Plan],
+        params: Union[Sequence[Any], Mapping[Any, Any], None] = None,
+        config: Optional[EvalConfig] = None,
+    ) -> str:
+        """EXPLAIN ANALYZE: execute ``query`` under a trace and render
+        its physical plan with per-node actual rows, estimation-error
+        factor, and inclusive wall time.  See
+        :meth:`PreparedQuery.explain_analyze`."""
+        return self.prepare(query, config).explain_analyze(params)
 
     def clear_cache(self) -> None:
         self._cache.clear()

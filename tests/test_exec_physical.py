@@ -258,6 +258,43 @@ class TestGoldenExplains:
             "      Scan s  (~30 rows)"
         )
 
+    @pytest.mark.parametrize("backend", ["tuple", "vectorized"])
+    def test_explain_analyze_golden(self, tpch_like_db, backend):
+        # same shape as the serial golden above, but executed through
+        # the session layer with per-operator actuals, estimation-error
+        # factors, and span times merged in; wall times are the only
+        # nondeterminism, normalized to "Tms"
+        import re
+
+        from repro.session import Connection
+
+        conn = Connection(
+            tpch_like_db, config=EvalConfig(backend=backend)
+        )
+        text = conn.explain_analyze(
+            "SELECT o_cust, sum(l_qty) AS qty, count(*) AS n "
+            "FROM orders JOIN lineitem ON o_id = l_oid "
+            "WHERE l_qty > 2 GROUP BY o_cust"
+        )
+        normalized = re.sub(
+            r"\d+\.\d{3}ms(?: in \d+ loops)?", "Tms", text
+        )
+        assert normalized == (
+            f"EXPLAIN ANALYZE (det, backend={backend}): 7 rows in Tms\n"
+            "HashAggregate γ[o_cust; sum(l_qty)→qty, count(None)→n]"
+            "  (~7 rows, actual 7, err 1.00x, Tms)\n"
+            "  FusedSelectProject π[o_cust, l_qty]"
+            "  (~154 rows, actual 132, err 1.17x, Tms)\n"
+            "    HashJoin ⋈[o_id=l_oid]"
+            "  (~154 rows, actual 132, err 1.17x, Tms)\n"
+            "      Scan orders  (~50 rows, actual 50, err 1.00x, Tms)\n"
+            "      FusedSelectProject σ[(l_qty > 2)]"
+            "  (~154 rows, actual 132, err 1.17x, Tms)\n"
+            "        Scan lineitem"
+            "  (~200 rows, actual 200, err 1.00x, Tms)\n"
+            "stages: execute Tms"
+        )
+
     def test_actuals_annotate_physical_nodes(self, tpch_like_db):
         stats = Statistics.from_database(tpch_like_db)
         opt = optimize(_join_agg_plan(), stats)

@@ -51,6 +51,12 @@ backend, and the paper's semantics promise:
 6. **Compression soundness** — with a join compression budget and
    planner-placed (adaptive) budgets, the result still bounds the Det
    answer, on both backends.
+7. **Telemetry transparency** — on a slice of the seeds (every third
+   case) the plan is re-executed on ``trace=True`` connections: tracing
+   must be invisible (bit-identical results on both engines and both
+   backends) and the recorded :class:`repro.telemetry.QueryTrace` must
+   be well formed — ``problems()`` empty, so no orphan spans, no
+   negative durations, no child interval escaping its parent.
 
 Run the CI gate standalone (exits non-zero on the first mismatch)::
 
@@ -434,6 +440,51 @@ def _check_ivm_lane(rng, plan, det, audb, context) -> None:
                 )
 
 
+def _check_telemetry_lane(plan, det, audb, context) -> None:
+    """Telemetry lane: re-execute the plan on ``trace=True`` connections
+    and assert tracing is invisible — results bit-identical to untraced
+    evaluation on both engines and both backends — and that the recorded
+    span tree is well formed (``QueryTrace.problems()`` is empty: no
+    orphan spans, no negative durations, no interval escaping its
+    parent, and an operator span for the executed plan)."""
+    for backend in ("tuple", "vectorized"):
+        config = EvalConfig(backend=backend)
+        det_conn = Connection(_clone_det(det), config=config, trace=True)
+        au_conn = Connection(_clone_audb(audb), config=config, trace=True)
+        got_det = det_conn.execute(plan)
+        want_det = evaluate_det(plan, det, backend=backend)
+        assert got_det.schema == want_det.schema, (
+            f"traced det schema [{backend}] {context}"
+        )
+        assert got_det.rows == want_det.rows, (
+            f"traced det bag [{backend}] {context}"
+        )
+        got_au = au_conn.execute(plan)
+        want_au = evaluate_audb(plan, audb, config)
+        assert got_au.schema == want_au.schema, (
+            f"traced AU schema [{backend}] {context}"
+        )
+        assert dict(got_au.tuples()) == dict(want_au.tuples()), (
+            f"traced AU annotations [{backend}] {context}"
+        )
+        for label, conn in (("det", det_conn), ("au", au_conn)):
+            trace = conn.last_trace
+            assert trace is not None, (
+                f"no trace recorded [{label} {backend}] {context}"
+            )
+            assert trace.root.end is not None, (
+                f"trace never finished [{label} {backend}] {context}"
+            )
+            problems = trace.problems()
+            assert problems == [], (
+                f"malformed trace {problems} [{label} {backend}] {context}"
+            )
+            spans = trace.spans()
+            assert any(s.cat == "operator" for s in spans), (
+                f"no operator spans [{label} {backend}] {context}"
+            )
+
+
 def _float_database(det: DetDatabase) -> DetDatabase:
     """A float-valued copy of the SGW database (every value +0.5), so
     SUM/AVG exercise floating-point accumulation on every path."""
@@ -615,6 +666,11 @@ def _check_case(seed: int) -> None:
     # with random inserts/deletes/updates equals fresh re-execution
     # after every write, on both engines and both backends
     _check_ivm_lane(rng, plan, det, audb, context)
+
+    # 1g. telemetry transparency on a slice of the seeds: tracing must
+    # not change any result, and the span tree must be well formed
+    if seed % 3 == 0:
+        _check_telemetry_lane(plan, det, audb, context)
 
     # 2. the AU result must bound the certain (SGW) answer
     det_bag = det_naive.as_bag()

@@ -18,12 +18,15 @@ from repro.core.relation import AUDatabase, AURelation
 from repro.db.engine import evaluate_det
 from repro.db.storage import DetDatabase, DetRelation
 from repro.session import (
+    _METRIC_FIELDS,
     Connection,
+    ConnectionMetrics,
     bind_parameters,
     collect_parameters,
     connect,
 )
 from repro.sql.parser import parse_sql
+from repro.telemetry import MetricsRegistry, get_registry
 
 
 def make_det_db(n: int = 24) -> DetDatabase:
@@ -468,3 +471,89 @@ class TestBindingCoverage:
         assert len(scale._bound_plans) == 2
         assert all(isinstance(t[0], int) for t in as_int.rows)
         assert all(isinstance(t[0], float) for t in as_float.rows)
+
+
+class TestMetricsRegistryView:
+    """Satellite: ``ConnectionMetrics`` is a view over the process-wide
+    :class:`repro.telemetry.MetricsRegistry` — every local increment
+    must appear as an equal delta on the matching
+    ``repro_session_<field>_total`` registry counter, and the counters
+    stay monotone."""
+
+    @staticmethod
+    def _registry_values(engine):
+        reg = get_registry()
+        return {
+            name: reg.counter(
+                f"repro_session_{name}_total", engine=engine
+            ).value
+            for name in _METRIC_FIELDS
+        }
+
+    def test_increments_route_to_registry(self):
+        reg = MetricsRegistry()
+        m = ConnectionMetrics("det", registry=reg)
+        m.parses += 1
+        m.executions += 3
+        assert m.parses == 1 and m.executions == 3
+        assert (
+            reg.counter("repro_session_parses_total", engine="det").value
+            == 1
+        )
+        assert (
+            reg.counter(
+                "repro_session_executions_total", engine="det"
+            ).value
+            == 3
+        )
+        assert m.snapshot()["executions"] == 3
+
+    def test_monotone_contract_rejects_decrements(self):
+        m = ConnectionMetrics("det", registry=MetricsRegistry())
+        m.executions = 2
+        with pytest.raises(ValueError):
+            m.executions = 1
+        assert m.executions == 2  # the rejected write changed nothing
+
+    def test_connections_share_registry_but_not_views(self):
+        reg = MetricsRegistry()
+        a = ConnectionMetrics("det", registry=reg)
+        b = ConnectionMetrics("det", registry=reg)
+        a.executions += 1
+        b.executions += 1
+        assert a.executions == 1 and b.executions == 1
+        assert (
+            reg.counter(
+                "repro_session_executions_total", engine="det"
+            ).value
+            == 2  # the registry aggregates over both connections
+        )
+
+    @pytest.mark.parametrize("backend", ["tuple", "vectorized"])
+    def test_live_paths_keep_view_and_registry_consistent(self, backend):
+        # the interesting session paths — plan-cache hit, result-memo
+        # hit, staleness re-lowering, subscribe — must all advance the
+        # local view and the global registry by identical deltas
+        before = self._registry_values("det")
+        db = make_det_db()
+        conn = Connection(
+            db, config=EvalConfig(backend=backend), staleness=1
+        )
+        prepared = conn.prepare(SQL)  # miss: parse+optimize+lower
+        conn.execute(SQL, [2.0])  # plan-cache hit, fresh execution
+        conn.execute(SQL, [2.0])  # plan-cache hit + result-memo hit
+        for i in range(5):
+            db["orders"].add((600 + i, 0, 1.0), 1)
+        prepared.execute([2.0])  # epoch drift past staleness: re-lower
+        view = conn.subscribe("SELECT cust FROM orders")
+        conn.unsubscribe(view)
+        snap = conn.metrics.snapshot()
+        assert snap["cache_hits"] == 2
+        assert snap["cache_misses"] >= 1
+        assert snap["result_cache_hits"] == 1
+        assert snap["relowerings"] == 1
+        assert snap["subscriptions"] == 1
+        assert snap["executions"] == 3
+        after = self._registry_values("det")
+        deltas = {k: after[k] - before[k] for k in after}
+        assert deltas == snap

@@ -1,0 +1,503 @@
+"""Telemetry: traces, EXPLAIN ANALYZE, metrics registry, event log.
+
+Unit-tests the span model and its well-formedness checker, the Chrome
+trace-event export, the metrics registry's three instrument kinds and
+both expositions (Prometheus text, JSON dump), the slow-query /
+misestimation log, the structured event log's sequence-number and
+write-capture contracts, and EXPLAIN ANALYZE output on all four
+physical executors ({tuple, vectorized} x {det, AU}).
+"""
+
+import json
+import re
+
+import pytest
+
+from repro import telemetry as tm
+from repro.algebra.evaluator import EvalConfig
+from repro.core.ranges import between
+from repro.core.relation import AUDatabase, AURelation
+from repro.db.storage import DetDatabase, DetRelation
+from repro.session import Connection
+from repro.telemetry import (
+    EventLog,
+    MetricsRegistry,
+    QueryTrace,
+    clear_slow_log,
+    configure_slow_log,
+    estimation_error,
+    set_tracing,
+    slow_queries,
+    tracing_enabled,
+)
+
+
+def make_det_db(n: int = 24) -> DetDatabase:
+    orders = DetRelation(["okey", "cust", "price"])
+    customers = DetRelation(["ckey", "segment"])
+    for i in range(n):
+        orders.add((i, i % 5, float(i) + 0.25), 1 + i % 2)
+    for c in range(5):
+        customers.add((c, f"seg{c % 2}"), 1)
+    return DetDatabase({"orders": orders, "customers": customers})
+
+
+def make_au_db(n: int = 16) -> AUDatabase:
+    orders = AURelation(["okey", "cust", "price"])
+    customers = AURelation(["ckey", "segment"])
+    for i in range(n):
+        price = (
+            between(float(i), float(i) + 0.5, float(i) + 2.0)
+            if i % 3 == 0
+            else float(i) + 0.25
+        )
+        orders.add([i, i % 5, price], (1, 1, 1 + i % 2))
+    for c in range(5):
+        customers.add([c, f"seg{c % 2}"], (1, 1, 1))
+    return AUDatabase({"orders": orders, "customers": customers})
+
+
+SQL = (
+    "SELECT segment, sum(price) AS total, count(*) AS n "
+    "FROM orders JOIN customers ON cust = ckey "
+    "WHERE price >= ? GROUP BY segment"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_slow_log():
+    yield
+    configure_slow_log()  # disarm
+    clear_slow_log()
+
+
+# ======================================================================
+# span model
+# ======================================================================
+class TestSpans:
+    def test_nesting_and_walk(self):
+        tr = QueryTrace("q")
+        outer = tr.begin("optimize")
+        tr.mark("push_selection")
+        inner = tr.begin("lower")
+        tr.end(inner)
+        tr.end(outer)
+        tr.finish()
+        names = [s.name for s in tr.spans()]
+        assert names == ["q", "optimize", "push_selection", "lower"]
+        assert tr.root.children[0].children[0].cat == "mark"
+        assert tr.problems() == []
+        assert tr.duration >= inner.duration >= 0.0
+
+    def test_finish_closes_stragglers(self):
+        tr = QueryTrace()
+        tr.begin("execute")
+        tr.begin("op")
+        tr.finish()  # both spans still open
+        assert tr.root.end is not None
+        assert all(s.end is not None for s in tr.spans())
+
+    def test_out_of_order_end_is_flagged(self):
+        tr = QueryTrace()
+        outer = tr.begin("outer")
+        tr.begin("inner")
+        tr.end(outer)  # inner never ended: mis-nested
+        tr.finish()
+        assert any("out of order" in p for p in tr.problems())
+
+    def test_unfinished_and_negative_spans_are_problems(self):
+        tr = QueryTrace()
+        span = tr.begin("op")
+        assert "trace not finished" in tr.problems()
+        tr.end(span)
+        span.end = span.start - 1.0  # corrupt: negative duration
+        tr.finish()
+        assert any("negative duration" in p for p in tr.problems())
+
+    def test_operator_spans_accumulate_node_times(self):
+        class Node:  # stand-in physical node
+            pass
+
+        node = Node()
+        tr = QueryTrace()
+        for _ in range(3):  # same node re-evaluated (morsels)
+            span = tr.begin_op(node)
+            tr.end_op(span, rows=7)
+        tr.finish()
+        seconds, loops = tr.node_times[id(node)]
+        assert loops == 3 and seconds >= 0.0
+        assert all(
+            s.attrs.get("rows_out") == 7
+            for s in tr.spans()
+            if s.cat == "operator"
+        )
+        # alias mirrors the bound-copy entry onto the cached template
+        template = Node()
+        tr.alias_node(id(template), id(node))
+        assert tr.node_times[id(template)] is tr.node_times[id(node)]
+
+    def test_render_shows_tree_and_attrs(self):
+        tr = QueryTrace("query")
+        span = tr.begin("execute")
+        tr.annotate(backend="tuple")
+        tr.end(span)
+        tr.finish()
+        text = tr.render()
+        assert re.search(r"^query\s+\d+\.\d{3}ms", text)
+        assert re.search(r"^  execute\s+.*\[backend=tuple\]", text, re.M)
+
+
+class TestTracingSwitch:
+    def test_stage_and_annotate_are_noops_when_inactive(self):
+        assert tm.current_trace() is None
+        with tm.stage("parse") as span:
+            assert span is None
+        tm.annotate(rows=1)  # must not raise
+
+    def test_start_trace_stacks(self):
+        with tm.start_trace("outer") as outer:
+            assert tm.current_trace() is outer
+            with tm.start_trace("inner") as inner:
+                assert tm.current_trace() is inner
+            assert tm.current_trace() is outer
+        assert tm.current_trace() is None
+        assert outer.root.end is not None  # finished on exit
+
+    def test_process_wide_switch_round_trips(self):
+        old = set_tracing(True)
+        try:
+            assert tracing_enabled()
+            with tm.traced(False):
+                assert not tracing_enabled()
+            assert tracing_enabled()
+        finally:
+            set_tracing(old)
+
+
+class TestChromeTrace:
+    def test_events_shape_and_file_export(self, tmp_path):
+        with tm.start_trace("q") as tr:
+            with tm.stage("execute"):
+                tr.mark("result-memo-hit")
+        events = tr.chrome_trace()
+        by_name = {e["name"]: e for e in events}
+        assert by_name["q"]["ph"] == "X" and by_name["q"]["ts"] == 0.0
+        assert by_name["execute"]["dur"] >= 0.0
+        assert by_name["result-memo-hit"]["ph"] == "i"
+        path = tmp_path / "trace.json"
+        tr.write_chrome_trace(str(path))
+        loaded = json.loads(path.read_text())
+        assert len(loaded["traceEvents"]) == 3
+
+
+# ======================================================================
+# metrics registry
+# ======================================================================
+class TestMetricsRegistry:
+    def test_counter_get_or_create_and_monotone(self):
+        reg = MetricsRegistry()
+        c = reg.counter("hits_total", "help", engine="det")
+        assert reg.counter("hits_total", engine="det") is c
+        assert reg.counter("hits_total", engine="au") is not c
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total")
+
+    def test_gauge_moves_both_ways(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(5.0)
+        g.dec(2.0)
+        g.inc(1.0)
+        assert g.value == 4.0
+
+    def test_histogram_buckets_are_cumulative_in_text(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 0.5, 5.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 1] and h.count == 4
+        text = reg.prometheus_text()
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="1"} 3' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 4' in text
+        assert "lat_seconds_sum 6.05" in text
+        assert "lat_seconds_count 4" in text
+
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("q_total", "Queries run.", engine="det").inc(2)
+        text = reg.prometheus_text()
+        assert "# HELP q_total Queries run." in text
+        assert "# TYPE q_total counter" in text
+        assert 'q_total{engine="det"} 2' in text
+        assert text.endswith("\n")
+        assert MetricsRegistry().prometheus_text() == ""
+
+    def test_dump_is_jsonable(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", engine="au").inc()
+        reg.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        dump = json.loads(json.dumps(reg.dump()))
+        assert dump["c_total"]["type"] == "counter"
+        assert dump["c_total"]["series"][0]["labels"] == {"engine": "au"}
+        assert dump["h_seconds"]["series"][0]["buckets"] == {
+            "1.0": 1, "+Inf": 0,
+        }
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc()
+        reg.reset()
+        assert reg.dump() == {}
+        assert reg.counter("c_total").value == 0
+
+
+# ======================================================================
+# slow-query / misestimation log
+# ======================================================================
+class TestSlowQueryLog:
+    def test_threshold_trips_and_snapshots_plan(self):
+        configure_slow_log(threshold=0.0)  # everything is "slow"
+        assert tm.timing_enabled()
+        conn = Connection(make_det_db())
+        conn.execute(SQL, [2.0])
+        (record,) = slow_queries()
+        assert record.reason == "slow"
+        assert record.engine == "det" and record.sql == SQL
+        assert record.seconds >= 0.0 and record.rows == 2
+        assert "Scan orders" in record.plan
+
+    def test_misestimation_arms_actuals_and_reports_factor(self):
+        configure_slow_log(misestimation=1.0)  # any plan trips
+        conn = Connection(make_det_db())
+        conn.execute(SQL, [2.0])
+        (record,) = slow_queries()
+        assert "misestimate" in record.reason
+        assert record.worst_factor >= 1.0
+        assert "actual" in record.plan  # snapshot rendered with actuals
+
+    def test_memo_hits_are_not_offered(self):
+        configure_slow_log(threshold=0.0)
+        conn = Connection(make_det_db())
+        conn.execute(SQL, [2.0])
+        conn.execute(SQL, [2.0])  # result-memo hit: no executor ran
+        assert len(slow_queries()) == 1
+
+    def test_disarmed_log_records_nothing(self):
+        configure_slow_log(threshold=0.0)
+        configure_slow_log()  # disarm
+        assert not tm.timing_enabled()
+        Connection(make_det_db()).execute(SQL, [2.0])
+        assert slow_queries() == ()
+
+    def test_capacity_bounds_the_ring(self):
+        configure_slow_log(threshold=0.0, capacity=2)
+        conn = Connection(make_det_db())
+        for cutoff in (1.0, 2.0, 3.0):
+            conn.execute(SQL, [cutoff])
+        records = slow_queries()
+        assert len(records) == 2  # oldest evicted
+
+    def test_estimation_error_is_symmetric(self):
+        assert estimation_error(10, 10) == 1.0
+        assert estimation_error(0, 0) == 1.0  # smoothing keeps it finite
+        assert estimation_error(1, 9) == estimation_error(9, 1) == 5.0
+
+
+# ======================================================================
+# structured event log
+# ======================================================================
+class TestEventLog:
+    def test_query_and_write_events_with_monotone_seq(self):
+        db = make_det_db()
+        conn = Connection(db, events=True)
+        conn.execute(SQL, [2.0])
+        db["orders"].add((900, 0, 1.0), 2)
+        db["orders"].delete((900, 0, 1.0), 1)
+        conn.execute(SQL, [3.0])
+        kinds = [e.kind for e in conn.events]
+        assert kinds == [
+            "query_begin", "query_end",
+            "write", "write",
+            "query_begin", "query_end",
+        ]
+        seqs = [e.seq for e in conn.events]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        begin, end = conn.events.events()[:2]
+        assert begin.data["sql"] == SQL and begin.data["params"] == "[2.0]"
+        assert end.data["rows"] == 2 and end.data["cached"] is False
+        assert end.data["seconds"] >= 0.0
+        insert, delete = conn.events.events()[2:4]
+        assert insert.data == {
+            "table": "orders", "row": (900, 0, 1.0),
+            "sign": 1, "count": 2, "epoch": insert.data["epoch"],
+        }
+        assert delete.data["sign"] == -1
+
+    def test_memo_hit_is_marked_cached(self):
+        conn = Connection(make_det_db(), events=True)
+        conn.execute(SQL, [2.0])
+        conn.execute(SQL, [2.0])
+        last = conn.events.events()[-1]
+        assert last.kind == "query_end" and last.data["cached"] is True
+
+    def test_epoch_advance_on_rebinding(self):
+        db = make_det_db()
+        conn = Connection(db, events=True)
+        conn.execute(SQL, [2.0])
+        fresh = DetRelation(["okey", "cust", "price"])
+        fresh.add((0, 0, 9.0), 1)
+        db["orders"] = fresh  # rebinding: epoch moves with no sinked write
+        conn.execute(SQL, [2.0])
+        kinds = [e.kind for e in conn.events]
+        assert "epoch_advance" in kinds
+        advance = next(e for e in conn.events if e.kind == "epoch_advance")
+        assert advance.data["after"] > advance.data["before"]
+        # sinks re-attached: writes to the new relation are captured
+        fresh.add((1, 1, 3.0), 1)
+        assert conn.events.events()[-1].kind == "write"
+
+    def test_capacity_ring_and_close(self):
+        db = make_det_db()
+        conn = Connection(db, events=4)
+        for cutoff in (1.0, 2.0, 3.0):
+            conn.execute(SQL, [cutoff])
+        assert len(conn.events) == 4  # ring kept the last four
+        assert conn.events.last_seq == 6
+        conn.events.close()
+        db["orders"].add((901, 0, 1.0), 1)
+        assert all(e.kind != "write" for e in conn.events)
+
+    def test_au_connection_captures_annotated_writes(self):
+        db = make_au_db()
+        conn = Connection(db, events=True)
+        db["orders"].add([90, 0, between(1.0, 2.0, 3.0)], (1, 1, 2))
+        (event,) = conn.events.events()
+        assert event.kind == "write" and event.data["count"] == (1, 1, 2)
+
+    def test_standalone_eventlog_records(self):
+        conn = Connection(make_det_db())
+        assert conn.events is None  # default off
+        log = EventLog(conn)
+        log.query_begin(SQL, params="[1]")
+        log.query_end(5)
+        assert [e.kind for e in log] == ["query_begin", "query_end"]
+        log.close()
+
+
+# ======================================================================
+# tracing through the session layer + EXPLAIN ANALYZE
+# ======================================================================
+ENGINES = [
+    ("det", "tuple"), ("det", "vectorized"),
+    ("au", "tuple"), ("au", "vectorized"),
+]
+
+
+def _connect(engine: str, backend: str, **kwargs) -> Connection:
+    db = make_det_db() if engine == "det" else make_au_db()
+    config = EvalConfig(backend=backend)
+    return Connection(db, config=config, **kwargs)
+
+
+class TestSessionTracing:
+    @pytest.mark.parametrize("engine,backend", ENGINES)
+    def test_trace_covers_stages_and_operators(self, engine, backend):
+        conn = _connect(engine, backend, trace=True)
+        conn.execute(SQL, [2.0])
+        trace = conn.last_trace
+        assert trace is not None and trace.problems() == []
+        stages = [s.name for s in trace.root.children]
+        assert stages[:4] == ["parse", "analyze", "optimize", "lower"]
+        assert stages[-1] == "execute"
+        ops = [s for s in trace.spans() if s.cat == "operator"]
+        assert ops, "no operator spans recorded"
+        assert any("Scan" in s.name for s in ops)
+        assert any(s.attrs.get("rows_out") is not None for s in ops)
+        # the optimizer's fired rewrites appear as marks under optimize
+        optimize = trace.root.children[2]
+        assert all(c.cat == "mark" for c in optimize.children)
+
+    def test_trace_off_records_nothing(self):
+        conn = _connect("det", "tuple")
+        conn.execute(SQL, [2.0])
+        assert conn.last_trace is None
+        assert tm.current_trace() is None
+
+    def test_connection_knob_overrides_process_default(self):
+        old = set_tracing(True)
+        try:
+            on = _connect("det", "tuple")
+            assert on.tracing
+            off = _connect("det", "tuple", trace=False)
+            assert not off.tracing
+            off.execute(SQL, [2.0])
+            assert off.last_trace is None
+        finally:
+            set_tracing(old)
+
+    def test_hash_join_spans_carry_build_sizes(self):
+        conn = _connect("det", "vectorized", trace=True)
+        conn.execute(SQL, [2.0])
+        joins = [
+            s for s in conn.last_trace.spans()
+            if s.cat == "operator" and "Join" in s.name
+        ]
+        assert joins and all("build_rows" in s.attrs for s in joins)
+
+
+class TestExplainAnalyze:
+    @pytest.mark.parametrize("engine,backend", ENGINES)
+    def test_all_four_executors(self, engine, backend):
+        conn = _connect(engine, backend)
+        text = conn.explain_analyze(SQL, [2.0])
+        assert text.startswith(
+            f"EXPLAIN ANALYZE ({engine}, backend={backend})"
+        )
+        assert re.search(r"rows in \d+\.\d{3}ms", text)
+        # every plan line carries estimate, actual, error factor, time
+        plan_lines = [
+            line for line in text.splitlines()
+            if re.search(r"~\d+ rows", line)
+        ]
+        assert plan_lines, text
+        for line in plan_lines:
+            assert re.search(
+                r"\(~\d+ rows, actual \d+(\.\d+)?, "
+                r"err \d+\.\d{2}x, \d+\.\d{3}ms", line
+            ), line
+        assert re.search(r"^stages: .*execute \d+\.\d{3}ms", text, re.M)
+        assert conn.last_trace is not None
+        assert conn.last_trace.problems() == []
+
+    def test_results_unchanged_by_explain_analyze(self):
+        conn = _connect("det", "tuple")
+        want = conn.execute(SQL, [2.0])
+        conn.explain_analyze(SQL, [2.0])
+        got = conn.execute(SQL, [3.0])  # session still healthy after
+        assert tm.current_trace() is None
+        assert want.schema == got.schema
+
+    def test_cached_statement_reports_actuals(self):
+        # explain_analyze on an already-hot statement must still show
+        # actuals: the bound-copy times are mirrored onto the template
+        conn = _connect("det", "vectorized")
+        for _ in range(3):
+            conn.execute(SQL, [2.0])
+        text = conn.explain_analyze(SQL, [2.0])
+        assert "actual" in text and "err" in text
+
+    def test_legacy_lowering_falls_back_to_logical(self):
+        conn = Connection(
+            make_det_db(), config=EvalConfig(physical=False)
+        )
+        text = conn.explain_analyze(SQL, [2.0])
+        assert "backend=legacy" in text
