@@ -95,6 +95,12 @@ class EvalConfig:
     AU merges would have to SG-combine annotations across morsels, which
     remains future work (see ROADMAP) — AU plans execute serially at any
     setting.
+
+    ``chunk_size`` sets the paged-storage chunk size for the vectorized
+    backends (:mod:`repro.db.chunks`): ``None`` selects the default page
+    size, ``0`` disables chunked storage (scans materialize whole-table
+    columnar images, no zone-map skipping), any positive integer fixes
+    the rows-per-chunk.  Results are identical at every setting.
     """
 
     join_buckets: Optional[int] = None
@@ -106,6 +112,7 @@ class EvalConfig:
     backend: str = "tuple"
     parallelism: int = 1
     physical: bool = True
+    chunk_size: Optional[int] = None
 
 
 DEFAULT_CONFIG = EvalConfig()

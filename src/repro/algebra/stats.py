@@ -70,9 +70,37 @@ __all__ = [
     "harvest_column_stats",
     "predicate_selectivity",
     "equi_join_selectivity",
+    "adaptive_morsel_count",
     "DEFAULT_SELECTIVITY",
     "HISTOGRAM_BUCKETS",
+    "MORSEL_TARGET_ROWS",
 ]
+
+#: Rows of driver-scan input one parallel morsel should carry: small
+#: enough for load balancing across workers, large enough that per-
+#: morsel fork/merge overhead stays negligible.
+MORSEL_TARGET_ROWS = 2048.0
+
+
+def adaptive_morsel_count(
+    cardinality: float,
+    parallelism: int,
+    target_rows: float = MORSEL_TARGET_ROWS,
+) -> int:
+    """Morsel count for a parallel region, from catalog cardinalities.
+
+    Splitting a small driver table into ``parallelism`` morsels buys
+    nothing but fork and merge overhead; this sizes the region to
+    ``⌈cardinality / target_rows⌉`` morsels, clamped to ``[2,
+    parallelism]`` (an :class:`~repro.exec.physical.Exchange` region
+    needs at least two morsels to exist at all).
+    """
+    if parallelism <= 1:
+        return max(1, parallelism)
+    if target_rows <= 0:
+        return parallelism
+    want = math.ceil(max(0.0, cardinality) / target_rows)
+    return int(max(2, min(parallelism, want)))
 
 #: Fallback selectivity for predicates the estimator cannot analyze —
 #: matches the pre-catalog heuristic of one third of the input surviving.

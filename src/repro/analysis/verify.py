@@ -254,6 +254,14 @@ _DET_FORBIDDEN = ("CompressedJoin",)
 
 _MERGE_KINDS = ("concat", "aggregate", "topk", "limit", "distinct")
 
+#: comparison kinds a chunk-skip constraint may carry — the six ops
+#: :func:`repro.db.chunks.derive_skip` knows zone-map rules for
+_SKIP_OPS = ("le", "lt", "ge", "gt", "eq", "ne")
+
+#: distinguishes "config has no chunk_size attribute" (older configs,
+#: ad-hoc test doubles — skip the alignment check) from an explicit None
+_UNSET = object()
+
 
 def _node_name(node: Any) -> str:
     return type(node).__name__
@@ -489,6 +497,12 @@ def verify_physical(
       region; no nested ``Exchange``;
     * ``Cpr`` budgets — every ``CompressedJoin`` / bucketed
       ``TupleFallback`` carries a resolved positive bucket count;
+    * chunked-storage invariants — scan ``chunk_size`` values are legal,
+      a ``ParallelScan``'s ``chunk_size`` matches the config it was
+      lowered with (so Exchange morsels align with the table's chunk
+      boundaries), and chunk-skip predicates use only the supported
+      comparison kinds over zone-mapped (real) columns of the scanned
+      table, never on a scan with chunking disabled;
     * ``TupleFallback`` shape — known ``kind``, input arity, and a
       logical node of the matching class.
     """
@@ -561,6 +575,8 @@ def verify_physical(
                 "partial aggregation states are only legal directly "
                 'under Exchange(merge="aggregate")'
             )
+        if isinstance(node, (phys.Scan, phys.ParallelScan)):
+            _check_scan_storage(node)
         if isinstance(node, phys.ParallelScan):
             if not in_region:
                 raise PlanCompatibilityError(
@@ -573,6 +589,61 @@ def verify_physical(
             return
         for child in node.children():
             visit(child, in_region)
+
+    def _check_scan_storage(node: Any) -> None:
+        # lazy for the same cycle reason as _phys(): repro.db.chunks
+        # triggers repro.exec, which imports the optimizer, which
+        # imports this package
+        from ..db.chunks import ChunkSkipPredicate, resolve_chunk_size
+
+        name = _node_name(node)
+        try:
+            size = resolve_chunk_size(node.chunk_size)
+        except ValueError as exc:
+            raise PlanCompatibilityError(
+                f"{name} on {node.table!r}: {exc}"
+            ) from None
+        cfg_size = getattr(config, "chunk_size", _UNSET)
+        if (
+            cfg_size is not _UNSET
+            and isinstance(node, phys.ParallelScan)
+            and node.chunk_size != cfg_size
+        ):
+            raise PlanCompatibilityError(
+                f"ParallelScan on {node.table!r} carries chunk_size "
+                f"{node.chunk_size!r} but the plan was lowered with "
+                f"config.chunk_size {cfg_size!r}: Exchange morsels would "
+                "not align with the table's chunk boundaries"
+            )
+        skip = getattr(node, "skip", None)
+        if skip is None:
+            return
+        if not isinstance(skip, ChunkSkipPredicate):
+            raise PlanCompatibilityError(
+                f"{name} on {node.table!r} carries a non-predicate skip "
+                f"object {type(skip).__name__}"
+            )
+        if size == 0:
+            raise PlanCompatibilityError(
+                f"{name} on {node.table!r} carries a chunk-skip predicate "
+                "but chunked storage is disabled (chunk_size=0): the "
+                "predicate could never be evaluated"
+            )
+        schema = table_schema(node.table, catalog)
+        for c in skip.constraints:
+            if c.op not in _SKIP_OPS:
+                raise PlanCompatibilityError(
+                    f"chunk-skip constraint {c.text!r} on {node.table!r} "
+                    f"uses unknown comparison {c.op!r}; zone maps support "
+                    f"{list(_SKIP_OPS)}"
+                )
+            if schema is not None and c.column not in schema:
+                raise PlanReferenceError(
+                    f"chunk-skip constraint references {c.column!r}, "
+                    f"which is not a zone-mapped column of "
+                    f"{node.table!r}; available columns: "
+                    f"{sorted(schema.names)}"
+                )
 
     def _check_exchange(node: Any, in_region: bool) -> None:
         if in_region:
@@ -590,9 +661,11 @@ def verify_physical(
                 "parallel region needs at least 2"
             )
         parallelism = getattr(config, "parallelism", None)
-        if parallelism is not None and node.partitions != parallelism:
+        if parallelism is not None and node.partitions > parallelism:
+            # adaptive morsel sizing may choose *fewer* partitions than
+            # config.parallelism (small driver tables), never more
             raise PlanCompatibilityError(
-                f"Exchange partitions {node.partitions} do not match "
+                f"Exchange partitions {node.partitions} exceed "
                 f"config.parallelism {parallelism}"
             )
         child, final = node.child, node.final

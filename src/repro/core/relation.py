@@ -45,6 +45,7 @@ class AURelation:
         "stats_epoch",
         "_column_stats_cache",
         "_columnar_cache",
+        "_chunk_cache",
         "_stats_acc",
         "_delta_sinks",
     )
@@ -68,6 +69,9 @@ class AURelation:
         # relations as immutable, so add() is the only mutation path
         self._column_stats_cache = None
         self._columnar_cache = None
+        # chunked columnar store (repro.db.chunks.AUChunkStore) with
+        # per-chunk zone maps; maintained in place by add()/delete()
+        self._chunk_cache = None
         self._stats_acc = None
         # per-write delta observers (repro.ivm): callables
         # ``sink(tuple, annotation, sign)`` fired after the write is
@@ -112,6 +116,11 @@ class AURelation:
             and cache.append_row(t, self._rows[t])
         ):
             self._columnar_cache = None
+        store = self._chunk_cache
+        if store is not None and not store.on_add(
+            t, self._rows[t], existing is None
+        ):
+            self._chunk_cache = None
         if existing is None:
             # column statistics weight AU rows one-per-tuple, so only a
             # *new* tuple changes them; an annotation merge leaves the
@@ -155,6 +164,11 @@ class AURelation:
         self.stats_epoch += 2
         self._columnar_cache = None
         self._column_stats_cache = None
+        store = self._chunk_cache
+        if store is not None and not store.on_delete(
+            t, None if remaining == (0, 0, 0) else remaining
+        ):
+            self._chunk_cache = None
         if remaining == (0, 0, 0) and self._stats_acc is not None:
             self._stats_acc.observe_delete(t, 1)
         for sink in self._delta_sinks:

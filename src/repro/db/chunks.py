@@ -1,0 +1,881 @@
+"""Paged chunked columnar storage with zone-map chunk skipping.
+
+This module backs base-table scans with fixed-size **column chunks**
+instead of one monolithic columnar image:
+
+* :class:`DetChunkStore` — a :class:`~repro.db.storage.DetRelation`
+  split into :class:`DetChunk` pages, each a small
+  :class:`~repro.exec.batch.ColumnBatch` (typed-packed per chunk).
+* :class:`AUChunkStore` — an :class:`~repro.core.relation.AURelation`
+  split into :class:`AUChunk` pages whose range triples are stored as
+  **split lb/sg/ub scalar arrays** per attribute (the dedicated AU
+  columnar encoding: the three bound streams are individually
+  homogeneous far more often than the triple objects, so they pack into
+  machine arrays), alongside the three ``K^AU`` annotation arrays.
+
+Every chunk carries an incrementally-maintained :class:`ChunkZone`
+("zone map"): per-column min/max keys in the universal domain order
+(min over lower bounds, max over upper bounds), a null count, and a
+certain-row count.  The zones are updated in place by the relations'
+write paths (``DetRelation.add``/``delete`` and ``AURelation.add``/
+``delete`` call :meth:`on_add`/:meth:`on_delete`), mirroring how
+:class:`~repro.algebra.stats.StatsAccumulator` maintains catalog
+statistics per write:
+
+* appends and annotation/multiplicity merges *widen* the zone exactly;
+* a **delete that touches a zone boundary marks the zone stale**
+  (never silently narrows or keeps a too-wide bound as authoritative)
+  — the chunk-level mirror of ``StatsAccumulator.rescan_needed`` —
+  and the zone is rebuilt exactly on next use.
+
+``lower()`` derives a plan-time :class:`ChunkSkipPredicate` from the
+conjunctive atoms of a selection directly above a scan
+(:func:`derive_skip`); :meth:`survivors` evaluates it against the zone
+maps so provably-empty chunks are never touched.  All comparison
+operators in :mod:`repro.core.expressions` evaluate through
+:func:`~repro.core.ranges.domain_key`, so zone bounds in key space make
+the skip decisions exact for both engines — a chunk is skipped only
+when *no* deterministic row (det) or *no possible world's* row (AU,
+via the upper-bound truth of the range predicate) can satisfy the
+predicate.  Float NaN breaks the total order, so any chunk column that
+contains NaN simply disables its zone entry (the chunk is then never
+skipped on that column).  ``Parameter`` placeholders never produce
+constraints: skip predicates are derived from literal constants only,
+so a cached plan's skip set stays valid across re-binds.
+
+Skip/scan activity publishes to the process-wide metrics registry
+(``repro_storage_chunks_scanned_total`` /
+``repro_storage_chunks_skipped_total`` /
+``repro_storage_zone_rebuilds_total``) and the executors attach the
+same counts as operator-span attributes, so the effect is visible in
+``explain_analyze`` end-to-end.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .. import telemetry as _tm
+from ..core.expressions import (
+    And,
+    Const,
+    Eq,
+    Expression,
+    Geq,
+    Gt,
+    Leq,
+    Lt,
+    Neq,
+    Var,
+)
+from ..core.ranges import RangeValue, domain_key
+from ..core.semirings import AUAnnotation
+from ..exec.batch import (
+    AUColumnBatch,
+    ColumnBatch,
+    _pack_typed,
+    charge_materialization,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ChunkZone",
+    "ChunkSkipPredicate",
+    "SkipConstraint",
+    "derive_skip",
+    "DetChunkStore",
+    "AUChunkStore",
+    "det_store",
+    "au_store",
+    "resolve_chunk_size",
+]
+
+#: Rows per chunk when ``EvalConfig.chunk_size`` is left unset (``None``).
+#: ``chunk_size=0`` disables chunked storage entirely (monolithic scans).
+DEFAULT_CHUNK_SIZE = 1024
+
+_CHUNKS_SCANNED = _tm.get_registry().counter(
+    "repro_storage_chunks_scanned_total",
+    "Storage chunks actually read by scans (post zone-map skipping).",
+)
+_CHUNKS_SKIPPED = _tm.get_registry().counter(
+    "repro_storage_chunks_skipped_total",
+    "Storage chunks proven empty by zone maps and never read.",
+)
+_ZONE_REBUILDS = _tm.get_registry().counter(
+    "repro_storage_zone_rebuilds_total",
+    "Chunk zone maps rebuilt after a delete touched a zone boundary.",
+)
+
+
+def resolve_chunk_size(chunk_size: Optional[int]) -> int:
+    """Normalize a configured chunk size (``None`` → default, ``0`` → off)."""
+    if chunk_size is None:
+        return DEFAULT_CHUNK_SIZE
+    if chunk_size < 0:
+        raise ValueError(f"chunk_size must be >= 0, got {chunk_size}")
+    return chunk_size
+
+
+def _is_nan(v: Any) -> bool:
+    return type(v) is float and v != v
+
+
+# ---------------------------------------------------------------------------
+# skip predicates
+# ---------------------------------------------------------------------------
+
+#: comparison atoms a skip predicate may use (see ``_zone_allows``)
+SKIP_OPS = ("le", "lt", "ge", "gt", "eq", "ne")
+
+_OP_TEXT = {"le": "<=", "lt": "<", "ge": ">=", "gt": ">", "eq": "=", "ne": "!="}
+_FLIP = {"le": "ge", "lt": "gt", "ge": "le", "gt": "lt", "eq": "eq", "ne": "ne"}
+_ATOM_OPS = {Leq: "le", Lt: "lt", Geq: "ge", Gt: "gt", Eq: "eq", Neq: "ne"}
+
+
+class SkipConstraint:
+    """One conjunct ``column ⟨op⟩ constant`` of a chunk-skip predicate."""
+
+    __slots__ = ("column", "op", "key", "text")
+
+    def __init__(self, column: str, op: str, key: tuple, text: str) -> None:
+        self.column = column
+        self.op = op
+        self.key = key  # domain_key of the constant
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SkipConstraint({self.text})"
+
+
+class ChunkSkipPredicate:
+    """A conjunction of :class:`SkipConstraint` atoms attached to a scan.
+
+    A chunk is skipped when *any* constraint proves it empty against the
+    chunk's zone map — sound because the atoms are conjuncts of the
+    selection sitting directly above the scan.
+    """
+
+    __slots__ = ("constraints",)
+
+    def __init__(self, constraints: Sequence[SkipConstraint]) -> None:
+        self.constraints = tuple(constraints)
+
+    def columns(self) -> Tuple[str, ...]:
+        return tuple(c.column for c in self.constraints)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __str__(self) -> str:
+        return " AND ".join(c.text for c in self.constraints)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChunkSkipPredicate({self})"
+
+
+def _conjuncts(condition: Expression) -> Iterable[Expression]:
+    stack = [condition]
+    while stack:
+        e = stack.pop()
+        if isinstance(e, And):
+            stack.append(e.right)
+            stack.append(e.left)
+        else:
+            yield e
+
+
+def derive_skip(condition: Optional[Expression]) -> Optional[ChunkSkipPredicate]:
+    """Extract zone-map-testable atoms from a selection condition.
+
+    Walks the conjunctive ``And`` spine and keeps every
+    ``Var ⟨cmp⟩ Const`` / ``Const ⟨cmp⟩ Var`` atom whose constant is a
+    literal (``Parameter`` markers are never constant-folded into
+    ``Const`` by binding, so derived predicates survive plan caching)
+    and is not NaN.  Returns ``None`` when no atom qualifies.
+    """
+    if condition is None:
+        return None
+    constraints: List[SkipConstraint] = []
+    for atom in _conjuncts(condition):
+        op = _ATOM_OPS.get(type(atom))
+        if op is None:
+            continue
+        left, right = atom.left, atom.right
+        if isinstance(left, Var) and isinstance(right, Const):
+            col, const = left.name, right.value
+        elif isinstance(left, Const) and isinstance(right, Var):
+            col, const, op = right.name, left.value, _FLIP[op]
+        else:
+            continue
+        if _is_nan(const):
+            continue  # NaN atoms are never provably empty in key space
+        text = f"{col}{_OP_TEXT[op]}{const!r}"
+        constraints.append(SkipConstraint(col, op, domain_key(const), text))
+    if not constraints:
+        return None
+    return ChunkSkipPredicate(constraints)
+
+
+# ---------------------------------------------------------------------------
+# zone maps
+# ---------------------------------------------------------------------------
+
+
+class ChunkZone:
+    """Per-chunk, per-column min/max/null/certain statistics.
+
+    ``min_keys[j]``/``max_keys[j]`` are :func:`domain_key` values — the
+    minimum over the column's lower bounds and the maximum over its
+    upper bounds (for deterministic chunks lb = ub = the value).
+    ``enabled[j]`` is cleared when the column contains NaN (the domain
+    order is undefined there) — a disabled entry never skips.
+    ``stale`` marks the whole zone for an exact rebuild after a delete
+    touched a boundary, mirroring ``StatsAccumulator.rescan_needed``.
+    """
+
+    __slots__ = (
+        "rows",
+        "min_keys",
+        "max_keys",
+        "nulls",
+        "certain",
+        "enabled",
+        "stale",
+    )
+
+    def __init__(self, n_cols: int) -> None:
+        self.rows = 0
+        self.min_keys: List[Optional[tuple]] = [None] * n_cols
+        self.max_keys: List[Optional[tuple]] = [None] * n_cols
+        self.nulls = [0] * n_cols
+        self.certain = 0
+        self.enabled = [True] * n_cols
+        self.stale = False
+
+    def certain_fraction(self) -> float:
+        return 1.0 if not self.rows else self.certain / self.rows
+
+    # -- incremental maintenance -------------------------------------
+    def widen(self, j: int, lb: Any, ub: Any) -> None:
+        """Fold one value (det) or bound pair (AU) of column ``j`` in."""
+        if _is_nan(lb) or _is_nan(ub):
+            self.enabled[j] = False
+            return
+        if not self.enabled[j]:
+            return
+        klb, kub = domain_key(lb), domain_key(ub)
+        lo = self.min_keys[j]
+        if lo is None or klb < lo:
+            self.min_keys[j] = klb
+        hi = self.max_keys[j]
+        if hi is None or kub > hi:
+            self.max_keys[j] = kub
+
+    def touches_boundary(self, j: int, lb: Any, ub: Any) -> bool:
+        """Would removing a row with these bounds narrow column ``j``?"""
+        if not self.enabled[j]:
+            return True  # can't tell: the disabled column must rescan
+        if _is_nan(lb) or _is_nan(ub):
+            return True
+        return domain_key(lb) == self.min_keys[j] or domain_key(ub) == self.max_keys[j]
+
+
+def _zone_allows(zone: ChunkZone, index: Dict[str, int], skip: ChunkSkipPredicate) -> bool:
+    """May the chunk contain a satisfying row?  False ⇒ skip the chunk.
+
+    The rules are exact in key space (both engines compare through
+    ``domain_key``; for AU the predicate's upper-bound truth over
+    ``[lb, ub]`` intervals is what keeps a row, and the zone brackets
+    every interval in the chunk):
+
+    ``le``: empty iff min > c — ``lt``: min >= c — ``ge``: max < c —
+    ``gt``: max <= c — ``eq``: c outside [min, max] — ``ne``: every
+    value provably equals c (min = max = c).
+    """
+    for con in skip.constraints:
+        j = index.get(con.column)
+        if j is None or not zone.enabled[j]:
+            continue
+        lo, hi = zone.min_keys[j], zone.max_keys[j]
+        if lo is None or hi is None:
+            continue
+        key, op = con.key, con.op
+        if op == "le":
+            if lo > key:
+                return False
+        elif op == "lt":
+            if lo >= key:
+                return False
+        elif op == "ge":
+            if hi < key:
+                return False
+        elif op == "gt":
+            if hi <= key:
+                return False
+        elif op == "eq":
+            if key < lo or key > hi:
+                return False
+        elif op == "ne":
+            if lo == hi == key:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# column helpers
+# ---------------------------------------------------------------------------
+
+
+def _append_demote(col, v):
+    """Append ``v`` to a (possibly typed) column, demoting to list on
+    representation mismatch; returns the (possibly new) column."""
+    if type(col) is array:
+        if col.typecode == "q":
+            if type(v) is int and -(2**63) <= v < 2**63:
+                col.append(v)
+                return col
+        elif type(v) is float and v == v:
+            col.append(v)
+            return col
+        col = list(col)
+    col.append(v)
+    return col
+
+
+def _set_demote(col, i, v):
+    """Assign ``col[i] = v`` with the same demotion rule as append."""
+    if type(col) is array:
+        try:
+            col[i] = v
+            return col
+        except (TypeError, OverflowError):
+            col = list(col)
+    col[i] = v
+    return col
+
+
+def _concat_cols(parts: Sequence) -> Any:
+    first = parts[0]
+    if type(first) is array and all(
+        type(p) is array and p.typecode == first.typecode for p in parts
+    ):
+        out = array(first.typecode)
+        for p in parts:
+            out.extend(p)
+        return out
+    merged: list = []
+    for p in parts:
+        merged.extend(p)
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# deterministic store
+# ---------------------------------------------------------------------------
+
+
+class DetChunk:
+    __slots__ = ("batch", "zone")
+
+    def __init__(self, batch: ColumnBatch, zone: ChunkZone) -> None:
+        self.batch = batch
+        self.zone = zone
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+
+class _BaseStore:
+    """Shared plumbing: chunk registry, row locator, skip evaluation."""
+
+    __slots__ = ("schema", "chunk_size", "chunks", "_index", "_row_loc", "_scan_cache")
+
+    def __init__(self, schema: Sequence[str], chunk_size: int) -> None:
+        if chunk_size <= 0:
+            raise ValueError("chunk stores need a positive chunk_size")
+        self.schema: Tuple[str, ...] = tuple(schema)
+        self.chunk_size = chunk_size
+        self.chunks: List[Any] = []
+        self._index = {name: j for j, name in enumerate(self.schema)}
+        self._row_loc: Dict[Tuple[Any, ...], Tuple[int, int]] = {}
+        self._scan_cache = None
+
+    def chunk_count(self) -> int:
+        """Non-empty chunks (deletes may hollow a chunk out entirely)."""
+        return sum(1 for ch in self.chunks if len(ch))
+
+    def zone(self, ch) -> ChunkZone:
+        if ch.zone.stale:
+            self._rebuild_zone(ch)
+            _ZONE_REBUILDS.inc()
+        return ch.zone
+
+    def survivors(
+        self, skip: Optional[ChunkSkipPredicate]
+    ) -> Tuple[List[Any], int, int]:
+        """Chunks a scan must read: ``(kept, total_nonempty, skipped)``."""
+        kept: List[Any] = []
+        total = 0
+        skipped = 0
+        for ch in self.chunks:
+            if not len(ch):
+                continue
+            total += 1
+            if skip is not None and not _zone_allows(self.zone(ch), self._index, skip):
+                skipped += 1
+                continue
+            kept.append(ch)
+        _CHUNKS_SCANNED.inc(total - skipped)
+        _CHUNKS_SKIPPED.inc(skipped)
+        return kept, total, skipped
+
+    def _reindex_tail(self, ci: int, start: int) -> None:
+        raise NotImplementedError
+
+    def _rebuild_zone(self, ch) -> None:
+        raise NotImplementedError
+
+
+class DetChunkStore(_BaseStore):
+    """A ``DetRelation`` as fixed-size columnar chunks with zone maps."""
+
+    __slots__ = ()
+
+    @classmethod
+    def build(cls, rel, chunk_size: int) -> "DetChunkStore":
+        store = cls(rel.schema, chunk_size)
+        items = list(rel.rows.items())
+        n_cols = len(store.schema)
+        for start in range(0, len(items), chunk_size):
+            block = items[start : start + chunk_size]
+            if n_cols:
+                columns = [
+                    _pack_typed([t[j] for t, _m in block]) for j in range(n_cols)
+                ]
+            else:
+                columns = []
+            mult = array("q")
+            try:
+                for _t, m in block:
+                    mult.append(m)
+            except OverflowError:
+                mult = [m for _t, m in block]
+            chunk = DetChunk(ColumnBatch(store.schema, columns, mult), ChunkZone(n_cols))
+            store._rebuild_zone(chunk)
+            ci = len(store.chunks)
+            store.chunks.append(chunk)
+            for ri, (t, _m) in enumerate(block):
+                store._row_loc[t] = (ci, ri)
+        return store
+
+    # -- write path ---------------------------------------------------
+    def on_add(self, t: Tuple[Any, ...], total_mult: int, is_new: bool) -> bool:
+        """Fold one ``DetRelation.add`` into the store.  ``total_mult``
+        is the row's resulting multiplicity.  Returns ``False`` when the
+        store could not stay consistent (caller must drop it)."""
+        self._scan_cache = None
+        if not is_new:
+            loc = self._row_loc.get(t)
+            if loc is None:
+                return False
+            ci, ri = loc
+            ch = self.chunks[ci]
+            ch.batch.mult = _set_demote(ch.batch.mult, ri, total_mult)
+            return True
+        if self.chunks and len(self.chunks[-1]) < self.chunk_size:
+            ci = len(self.chunks) - 1
+            ch = self.chunks[ci]
+        else:
+            ci = len(self.chunks)
+            ch = DetChunk(
+                ColumnBatch(self.schema, [[] for _ in self.schema], array("q")),
+                ChunkZone(len(self.schema)),
+            )
+            self.chunks.append(ch)
+        cols = ch.batch.columns
+        for j, v in enumerate(t):
+            cols[j] = _append_demote(cols[j], v)
+        ch.batch.mult = _append_demote(ch.batch.mult, total_mult)
+        zone = ch.zone
+        if not zone.stale:
+            for j, v in enumerate(t):
+                zone.widen(j, v, v)
+                if v is None:
+                    zone.nulls[j] += 1
+            zone.rows += 1
+            zone.certain += 1
+        self._row_loc[t] = (ci, len(ch.batch) - 1)
+        return True
+
+    def on_delete(self, t: Tuple[Any, ...], remaining: int) -> bool:
+        """Fold one ``DetRelation.delete`` in; ``remaining`` is the
+        row's multiplicity after the delete (0 ⇒ the row is gone)."""
+        self._scan_cache = None
+        loc = self._row_loc.get(t)
+        if loc is None:
+            return False
+        ci, ri = loc
+        ch = self.chunks[ci]
+        if remaining != 0:
+            ch.batch.mult = _set_demote(ch.batch.mult, ri, remaining)
+            return True
+        zone = ch.zone
+        if not zone.stale:
+            # A boundary row leaves: the max/min may narrow, which the
+            # zone cannot learn incrementally — invalidate, don't widen.
+            if any(zone.touches_boundary(j, v, v) for j, v in enumerate(t)):
+                zone.stale = True
+            else:
+                for j, v in enumerate(t):
+                    if v is None:
+                        zone.nulls[j] -= 1
+                zone.rows -= 1
+                zone.certain -= 1
+        for col in ch.batch.columns:
+            del col[ri]
+        del ch.batch.mult[ri]
+        del self._row_loc[t]
+        self._reindex_tail(ci, ri)
+        return True
+
+    def _reindex_tail(self, ci: int, start: int) -> None:
+        cols = self.chunks[ci].batch.columns
+        n = len(self.chunks[ci])
+        for i in range(start, n):
+            self._row_loc[tuple(col[i] for col in cols)] = (ci, i)
+
+    def _rebuild_zone(self, ch) -> None:
+        zone = ChunkZone(len(self.schema))
+        batch = ch.batch
+        n = len(batch)
+        zone.rows = n
+        zone.certain = n
+        for j, col in enumerate(batch.columns):
+            for i in range(n):
+                v = col[i]
+                zone.widen(j, v, v)
+                if v is None:
+                    zone.nulls[j] += 1
+        ch.zone = zone
+
+    # -- scan surface -------------------------------------------------
+    def _concat(self, kept: List[DetChunk]) -> ColumnBatch:
+        if not kept:
+            return ColumnBatch(self.schema, [[] for _ in self.schema], array("q"))
+        if len(kept) == 1:
+            return kept[0].batch
+        columns = [
+            _concat_cols([ch.batch.columns[j] for ch in kept])
+            for j in range(len(self.schema))
+        ]
+        mult = _concat_cols([ch.batch.mult for ch in kept])
+        return ColumnBatch(self.schema, columns, mult)
+
+    def scan(
+        self, skip: Optional[ChunkSkipPredicate] = None
+    ) -> Tuple[ColumnBatch, int, int]:
+        """One batch of every surviving chunk: ``(batch, total, skipped)``."""
+        if skip is None and self._scan_cache is not None:
+            batch, total = self._scan_cache
+            return batch, total, 0
+        kept, total, skipped = self.survivors(skip)
+        charge_materialization(sum(len(ch) for ch in kept))
+        batch = self._concat(kept)
+        if skip is None:
+            self._scan_cache = (batch, total)
+        return batch, total, skipped
+
+    def iter_batches(
+        self, skip: Optional[ChunkSkipPredicate] = None
+    ) -> Tuple[List[ColumnBatch], int, int]:
+        """Per-chunk batches for streaming execution."""
+        kept, total, skipped = self.survivors(skip)
+        return [ch.batch for ch in kept], total, skipped
+
+    def morsel_batches(
+        self, partitions: int, skip: Optional[ChunkSkipPredicate] = None
+    ) -> Tuple[List[ColumnBatch], int, int]:
+        """Chunk-aligned morsels: contiguous runs of surviving chunks,
+        balanced to ≈ rows/partitions each, never splitting a chunk."""
+        kept, total, skipped = self.survivors(skip)
+        groups = _group_chunks(kept, partitions)
+        return [self._concat(g) for g in groups], total, skipped
+
+
+def _group_chunks(kept: List[Any], partitions: int) -> List[List[Any]]:
+    rows = sum(len(ch) for ch in kept)
+    if not kept or partitions <= 1:
+        return [kept]
+    target = math.ceil(rows / partitions)
+    groups: List[List[Any]] = []
+    cur: List[Any] = []
+    cur_rows = 0
+    for ch in kept:
+        cur.append(ch)
+        cur_rows += len(ch)
+        if cur_rows >= target and len(groups) < partitions - 1:
+            groups.append(cur)
+            cur = []
+            cur_rows = 0
+    if cur:
+        groups.append(cur)
+    return groups
+
+
+# ---------------------------------------------------------------------------
+# AU store
+# ---------------------------------------------------------------------------
+
+
+class AUChunk:
+    """One page of an AU-relation.
+
+    ``rv_cols[j]`` keeps the original :class:`RangeValue` objects (the
+    serving image handed to the executors — object identity matters for
+    NaN-free equality short-cuts elsewhere); ``lb_cols``/``sg_cols``/
+    ``ub_cols`` are the split per-bound scalar arrays (the storage
+    encoding, typed-packed per chunk) that feed the zone map; the three
+    ``ann_*`` arrays are the ``K^AU`` annotation components.
+    """
+
+    __slots__ = (
+        "rv_cols",
+        "lb_cols",
+        "sg_cols",
+        "ub_cols",
+        "ann_lb",
+        "ann_sg",
+        "ann_ub",
+        "zone",
+        "_batch",
+    )
+
+    def __init__(self, n_cols: int) -> None:
+        self.rv_cols: List[Any] = [[] for _ in range(n_cols)]
+        self.lb_cols: List[Any] = [[] for _ in range(n_cols)]
+        self.sg_cols: List[Any] = [[] for _ in range(n_cols)]
+        self.ub_cols: List[Any] = [[] for _ in range(n_cols)]
+        self.ann_lb: Any = array("q")
+        self.ann_sg: Any = array("q")
+        self.ann_ub: Any = array("q")
+        self.zone = ChunkZone(n_cols)
+        self._batch: Optional[AUColumnBatch] = None
+
+    def __len__(self) -> int:
+        return len(self.ann_ub)
+
+    def batch(self, schema: Tuple[str, ...]) -> AUColumnBatch:
+        cached = self._batch
+        if cached is None:
+            cached = AUColumnBatch(
+                schema, self.rv_cols, self.ann_lb, self.ann_sg, self.ann_ub
+            )
+            self._batch = cached
+        return cached
+
+
+class AUChunkStore(_BaseStore):
+    """An ``AURelation`` as chunks of split lb/sg/ub column arrays."""
+
+    __slots__ = ()
+
+    @classmethod
+    def build(cls, rel, chunk_size: int) -> "AUChunkStore":
+        store = cls(rel.schema, chunk_size)
+        for t, ann in rel.tuples():
+            store._append(t, ann)
+        return store
+
+    def _append(self, t: Tuple[RangeValue, ...], ann: AUAnnotation) -> None:
+        if self.chunks and len(self.chunks[-1]) < self.chunk_size:
+            ci = len(self.chunks) - 1
+            ch = self.chunks[ci]
+        else:
+            ci = len(self.chunks)
+            ch = AUChunk(len(self.schema))
+            self.chunks.append(ch)
+        ch._batch = None
+        for j, rv in enumerate(t):
+            ch.rv_cols[j].append(rv)
+            ch.lb_cols[j] = _append_demote(ch.lb_cols[j], rv.lb)
+            ch.sg_cols[j] = _append_demote(ch.sg_cols[j], rv.sg)
+            ch.ub_cols[j] = _append_demote(ch.ub_cols[j], rv.ub)
+        ch.ann_lb = _append_demote(ch.ann_lb, ann[0])
+        ch.ann_sg = _append_demote(ch.ann_sg, ann[1])
+        ch.ann_ub = _append_demote(ch.ann_ub, ann[2])
+        zone = ch.zone
+        if not zone.stale:
+            certain = True
+            for j, rv in enumerate(t):
+                zone.widen(j, rv.lb, rv.ub)
+                if rv.sg is None:
+                    zone.nulls[j] += 1
+                if certain and not rv.is_certain:
+                    certain = False
+            zone.rows += 1
+            if certain:
+                zone.certain += 1
+        self._row_loc[t] = (ci, len(ch) - 1)
+
+    # -- write path ---------------------------------------------------
+    def on_add(self, t: Tuple[RangeValue, ...], total_ann: AUAnnotation, is_new: bool) -> bool:
+        self._scan_cache = None
+        if not is_new:
+            loc = self._row_loc.get(t)
+            if loc is None:
+                return False
+            ci, ri = loc
+            ch = self.chunks[ci]
+            ch.ann_lb = _set_demote(ch.ann_lb, ri, total_ann[0])
+            ch.ann_sg = _set_demote(ch.ann_sg, ri, total_ann[1])
+            ch.ann_ub = _set_demote(ch.ann_ub, ri, total_ann[2])
+            ch._batch = None
+            return True
+        self._append(t, total_ann)
+        return True
+
+    def on_delete(
+        self, t: Tuple[RangeValue, ...], remaining: Optional[AUAnnotation]
+    ) -> bool:
+        """``remaining`` is the post-delete annotation, ``None``/all-zero
+        when the tuple is removed outright."""
+        self._scan_cache = None
+        loc = self._row_loc.get(t)
+        if loc is None:
+            return False
+        ci, ri = loc
+        ch = self.chunks[ci]
+        ch._batch = None
+        if remaining is not None and any(remaining):
+            ch.ann_lb = _set_demote(ch.ann_lb, ri, remaining[0])
+            ch.ann_sg = _set_demote(ch.ann_sg, ri, remaining[1])
+            ch.ann_ub = _set_demote(ch.ann_ub, ri, remaining[2])
+            return True
+        zone = ch.zone
+        if not zone.stale:
+            if any(
+                zone.touches_boundary(j, rv.lb, rv.ub) for j, rv in enumerate(t)
+            ):
+                zone.stale = True
+            else:
+                for j, rv in enumerate(t):
+                    if rv.sg is None:
+                        zone.nulls[j] -= 1
+                zone.rows -= 1
+                if all(rv.is_certain for rv in t):
+                    zone.certain -= 1
+        for j in range(len(self.schema)):
+            del ch.rv_cols[j][ri]
+            del ch.lb_cols[j][ri]
+            del ch.sg_cols[j][ri]
+            del ch.ub_cols[j][ri]
+        del ch.ann_lb[ri]
+        del ch.ann_sg[ri]
+        del ch.ann_ub[ri]
+        del self._row_loc[t]
+        self._reindex_tail(ci, ri)
+        return True
+
+    def _reindex_tail(self, ci: int, start: int) -> None:
+        ch = self.chunks[ci]
+        for i in range(start, len(ch)):
+            self._row_loc[tuple(col[i] for col in ch.rv_cols)] = (ci, i)
+
+    def _rebuild_zone(self, ch) -> None:
+        zone = ChunkZone(len(self.schema))
+        n = len(ch)
+        zone.rows = n
+        for i in range(n):
+            certain = True
+            for j in range(len(self.schema)):
+                lb, ub, sg = ch.lb_cols[j][i], ch.ub_cols[j][i], ch.sg_cols[j][i]
+                zone.widen(j, lb, ub)
+                if sg is None:
+                    zone.nulls[j] += 1
+                if certain and not ch.rv_cols[j][i].is_certain:
+                    certain = False
+            if certain:
+                zone.certain += 1
+        ch.zone = zone
+
+    # -- scan surface -------------------------------------------------
+    def _concat(self, kept: List[AUChunk]) -> AUColumnBatch:
+        if not kept:
+            return AUColumnBatch(
+                self.schema,
+                [[] for _ in self.schema],
+                array("q"),
+                array("q"),
+                array("q"),
+            )
+        if len(kept) == 1:
+            return kept[0].batch(self.schema)
+        columns = [
+            _concat_cols([ch.rv_cols[j] for ch in kept])
+            for j in range(len(self.schema))
+        ]
+        return AUColumnBatch(
+            self.schema,
+            columns,
+            _concat_cols([ch.ann_lb for ch in kept]),
+            _concat_cols([ch.ann_sg for ch in kept]),
+            _concat_cols([ch.ann_ub for ch in kept]),
+        )
+
+    def scan(
+        self, skip: Optional[ChunkSkipPredicate] = None
+    ) -> Tuple[AUColumnBatch, int, int]:
+        if skip is None and self._scan_cache is not None:
+            batch, total = self._scan_cache
+            return batch, total, 0
+        kept, total, skipped = self.survivors(skip)
+        charge_materialization(sum(len(ch) for ch in kept))
+        batch = self._concat(kept)
+        if skip is None:
+            self._scan_cache = (batch, total)
+        return batch, total, skipped
+
+    def iter_batches(
+        self, skip: Optional[ChunkSkipPredicate] = None
+    ) -> Tuple[List[AUColumnBatch], int, int]:
+        kept, total, skipped = self.survivors(skip)
+        return [ch.batch(self.schema) for ch in kept], total, skipped
+
+
+# ---------------------------------------------------------------------------
+# store accessors (cached on the relation's ``_chunk_cache`` slot)
+# ---------------------------------------------------------------------------
+
+
+def det_store(rel, chunk_size: Optional[int]) -> Optional[DetChunkStore]:
+    """The relation's chunk store at ``chunk_size`` (``0`` → ``None``)."""
+    size = resolve_chunk_size(chunk_size)
+    if size == 0:
+        return None
+    cached = getattr(rel, "_chunk_cache", None)
+    if isinstance(cached, DetChunkStore) and cached.chunk_size == size:
+        return cached
+    store = DetChunkStore.build(rel, size)
+    try:
+        rel._chunk_cache = store
+    except AttributeError:
+        pass  # duck-typed relation: usable for this scan, not cached
+    return store
+
+
+def au_store(rel, chunk_size: Optional[int]) -> Optional[AUChunkStore]:
+    size = resolve_chunk_size(chunk_size)
+    if size == 0:
+        return None
+    cached = getattr(rel, "_chunk_cache", None)
+    if isinstance(cached, AUChunkStore) and cached.chunk_size == size:
+        return cached
+    store = AUChunkStore.build(rel, size)
+    try:
+        rel._chunk_cache = store
+    except AttributeError:
+        pass
+    return store

@@ -71,6 +71,7 @@ def evaluate_det(
     backend: str = "tuple",
     parallelism: int = 1,
     physical: bool = True,
+    chunk_size: Optional[int] = None,
 ) -> DetRelation:
     """Evaluate ``plan`` over deterministic database ``db``.
 
@@ -97,9 +98,11 @@ def evaluate_det(
     module's operator-at-a-time interpreter) or ``"vectorized"``
     (:mod:`repro.exec`: columnar batches, fused compiled predicates,
     hash joins/aggregates).  ``parallelism`` > 1 adds morsel-parallel
-    regions to vectorized plans (:mod:`repro.exec.parallel`).  Results
-    are identical on every backend and parallelism level, floats
-    included (:mod:`repro.core.sums`).
+    regions to vectorized plans (:mod:`repro.exec.parallel`).
+    ``chunk_size`` configures paged chunked storage for vectorized
+    scans (:mod:`repro.db.chunks`; ``0`` disables it).  Results are
+    identical on every backend, parallelism level, and chunk size,
+    floats included (:mod:`repro.core.sums`).
 
     ``actuals``, when a dict, is filled with the actual output
     cardinality of every evaluated node — keyed by ``id(node)`` of the
@@ -117,6 +120,7 @@ def evaluate_det(
         backend=backend,
         parallelism=parallelism,
         physical=physical,
+        chunk_size=chunk_size,
     )
     return Connection(db, engine="det", config=config).execute(
         plan, actuals=actuals

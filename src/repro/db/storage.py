@@ -26,6 +26,7 @@ class DetRelation:
         "stats_epoch",
         "_column_stats_cache",
         "_columnar_cache",
+        "_chunk_cache",
         "_stats_acc",
         "_delta_sinks",
     )
@@ -51,6 +52,9 @@ class DetRelation:
         # documented
         self._column_stats_cache = None
         self._columnar_cache = None
+        # chunked columnar store (repro.db.chunks.DetChunkStore) with
+        # per-chunk zone maps; maintained in place by add()/delete()
+        self._chunk_cache = None
         self._stats_acc = None
         # per-write delta observers (repro.ivm): callables
         # ``sink(tuple, multiplicity, sign)`` fired after the write is
@@ -88,6 +92,11 @@ class DetRelation:
             and cache.append_row(t, multiplicity)
         ):
             self._columnar_cache = None
+        store = self._chunk_cache
+        if store is not None and not store.on_add(
+            t, self.rows[t], existing is None
+        ):
+            self._chunk_cache = None
         if self._stats_acc is not None:
             # incremental statistics: fold the delta multiplicity in
             # instead of invalidating the whole harvest
@@ -123,6 +132,9 @@ class DetRelation:
         self.stats_epoch += 2
         self._column_stats_cache = None
         self._columnar_cache = None
+        store = self._chunk_cache
+        if store is not None and not store.on_delete(t, remaining):
+            self._chunk_cache = None
         if self._stats_acc is not None:
             self._stats_acc.observe_delete(t, multiplicity)
         for sink in self._delta_sinks:

@@ -30,13 +30,56 @@ scan the columnar image for free.
 from __future__ import annotations
 
 from array import array
-from typing import Any, Dict, List, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.relation import AURelation
 from ..core.semirings import AUAnnotation
 from ..db.storage import DetRelation
 
-__all__ = ["ColumnBatch", "AUColumnBatch", "BatchRowView"]
+__all__ = [
+    "ColumnBatch",
+    "AUColumnBatch",
+    "BatchRowView",
+    "MaterializationBudgetError",
+    "materialization_budget",
+]
+
+
+class MaterializationBudgetError(MemoryError):
+    """A single batch materialization exceeded the configured row budget."""
+
+
+#: When not ``None``, the maximum number of rows any *single* batch
+#: materialization (relation → full batch image) may produce.  Streaming
+#: chunk scans stay under the budget by construction — they touch one
+#: chunk at a time — so the budget models a bounded working set and lets
+#: benchmarks demonstrate that streaming completes where whole-relation
+#: materialization cannot.
+MATERIALIZATION_BUDGET: Optional[int] = None
+
+
+@contextmanager
+def materialization_budget(rows: Optional[int]) -> Iterator[None]:
+    """Cap single-batch materializations at ``rows`` within the block."""
+    global MATERIALIZATION_BUDGET
+    prev = MATERIALIZATION_BUDGET
+    MATERIALIZATION_BUDGET = rows
+    try:
+        yield
+    finally:
+        MATERIALIZATION_BUDGET = prev
+
+
+def charge_materialization(rows: int) -> None:
+    """Raise when a single materialization of ``rows`` rows is over budget."""
+    budget = MATERIALIZATION_BUDGET
+    if budget is not None and rows > budget:
+        raise MaterializationBudgetError(
+            f"materializing {rows} rows in one batch exceeds the "
+            f"{budget}-row materialization budget; use a chunked "
+            f"streaming scan (EvalConfig.chunk_size) instead"
+        )
 
 
 def _pack_typed(values: list):
@@ -124,6 +167,7 @@ class ColumnBatch:
         cached = getattr(rel, "_columnar_cache", None)
         if cached is not None:
             return cached
+        charge_materialization(len(rel.rows))
         n_cols = len(rel.schema)
         if rel.rows:
             columns = [_pack_typed(list(col)) for col in zip(*rel.rows.keys())]
@@ -212,6 +256,7 @@ class AUColumnBatch:
         cached = getattr(rel, "_columnar_cache", None)
         if cached is not None:
             return cached
+        charge_materialization(len(rel))
         n_cols = len(rel.schema)
         rows = list(rel.tuples())
         if rows:

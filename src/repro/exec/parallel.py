@@ -9,8 +9,11 @@ distribute over a bag-union partitioning of the driver table.
 
 Execution of one Exchange:
 
-1. the driver table's cached columnar image is split into one morsel
-   per partition (:func:`split_batch`);
+1. the driver table is split into one morsel per partition.  When the
+   table has a chunk store (:mod:`repro.db.chunks`) the morsels are
+   contiguous runs of surviving chunks — the scan's zone-map skip
+   predicate prunes chunks before any worker sees them; otherwise the
+   cached columnar image is split row-wise (:func:`split_batch`);
 2. subtrees of the region that do *not* contain the ParallelScan are
    partition-invariant — they are evaluated **once** in the parent and
    injected into the workers as pre-bound results (so e.g. a hash-join
@@ -39,6 +42,7 @@ import os
 from typing import Any, Dict, List, Optional, Tuple
 
 from .. import telemetry as _tm
+from ..db import chunks as _chunks
 from ..db.storage import DetDatabase
 from . import physical as phys
 from .batch import ColumnBatch
@@ -129,11 +133,24 @@ def execute_exchange(parent_exec, node: phys.Exchange) -> ColumnBatch:
         p for p in node.child.walk() if isinstance(p, phys.ParallelScan)
     )
     db: DetDatabase = parent_exec.db
-    base = ColumnBatch.from_relation(db[scan.table])
-    if node.partitions <= 1 or len(base) < PARALLEL_MIN_ROWS:
-        parts = [base]
+    store = _chunks.det_store(db[scan.table], scan.chunk_size)
+    chunks_total = chunks_skipped = 0
+    if store is None:
+        base = ColumnBatch.from_relation(db[scan.table])
+        driver_rows = len(base)
+        if node.partitions <= 1 or driver_rows < PARALLEL_MIN_ROWS:
+            parts = [base]
+        else:
+            parts = split_batch(base, node.partitions)
     else:
-        parts = split_batch(base, node.partitions)
+        # morsels map 1:1 onto contiguous runs of surviving chunks, so
+        # zone-map skipping prunes work *before* it is handed to workers
+        parts, chunks_total, chunks_skipped = store.morsel_batches(
+            node.partitions, scan.skip
+        )
+        driver_rows = sum(len(p) for p in parts)
+        if len(parts) > 1 and driver_rows < PARALLEL_MIN_ROWS:
+            parts = [_concat(parts)]
 
     bindings: Dict[int, ColumnBatch] = dict(parent_exec.bindings)
     _bind_invariants(node.child, scan, parent_exec, bindings)
@@ -142,18 +159,22 @@ def execute_exchange(parent_exec, node: phys.Exchange) -> ColumnBatch:
 
     use_processes = (
         len(parts) > 1
-        and len(base) >= PROCESS_MIN_ROWS
+        and driver_rows >= PROCESS_MIN_ROWS
         and hasattr(os, "fork")
     )
     if _tm._ACTIVE is not None:
         # the Exchange's operator span is the innermost open one here;
         # in-process morsels emit their own nested spans, forked workers
         # trace nothing (spans die with the child's address space)
-        _tm.annotate(
+        attrs: Dict[str, Any] = dict(
             morsels=len(parts),
             forked=use_processes,
-            driver_rows=len(base),
+            driver_rows=driver_rows,
         )
+        if store is not None:
+            attrs["chunks_total"] = chunks_total
+            attrs["chunks_skipped"] = chunks_skipped
+        _tm.annotate(**attrs)
     if use_processes:
         results = _run_forked(db, node.child, scan, parts, bindings, join_tables)
     else:

@@ -46,6 +46,7 @@ logical ``explain`` while also keying the physical rendering.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -94,6 +95,8 @@ __all__ = [
     "explain_physical",
     "explain_delta",
     "HASH_JOIN_MIN_ROWS",
+    "PARTITION_HASH_BUILD_ROWS",
+    "MAX_HASH_PARTITIONS",
 ]
 
 
@@ -101,6 +104,15 @@ __all__ = [
 #: hash table costs more than a straight nested loop over the batch
 #: (moved here from the PR 3 ``join_strategy_hints`` side-channel).
 HASH_JOIN_MIN_ROWS = 12.0
+
+#: Estimated build-side rows above which a deterministic hash join
+#: switches to Grace-style partition-hash mode: both sides are hash-
+#: partitioned on the join key and each partition builds/probes its own
+#: (budget-sized) table, bounding the largest resident hash table.
+PARTITION_HASH_BUILD_ROWS = 65536.0
+
+#: Cap on partition-hash fan-out (tiny partitions cost more than they save).
+MAX_HASH_PARTITIONS = 32
 
 
 @dataclass(frozen=True)
@@ -125,6 +137,10 @@ class PhysicalConfig:
     join_buckets: Optional[int] = None
     aggregation_buckets: Optional[int] = None
     adaptive_compression: bool = False
+    #: rows per storage chunk for base-table scans (``None`` → the
+    #: default in :mod:`repro.db.chunks`; ``0`` disables chunked
+    #: storage and zone-map skipping — monolithic scans)
+    chunk_size: Optional[int] = None
 
 
 # ======================================================================
@@ -154,8 +170,24 @@ class PhysNode:
 
 
 class Scan(PhysNode):
-    def __init__(self, table: str) -> None:
+    """A base-table scan.
+
+    ``chunk_size`` selects the chunked columnar store backing the scan
+    (resolved from :class:`PhysicalConfig` at plan time; ``0`` means
+    monolithic).  ``skip`` is the plan-time chunk-skip predicate —
+    conjuncts of the selection directly above, testable against the
+    store's per-chunk zone maps (:mod:`repro.db.chunks`).
+    """
+
+    def __init__(
+        self,
+        table: str,
+        chunk_size: Optional[int] = None,
+        skip: Optional[object] = None,
+    ) -> None:
         self.table = table
+        self.chunk_size = chunk_size
+        self.skip = skip
 
 
 class ParallelScan(PhysNode):
@@ -163,12 +195,24 @@ class ParallelScan(PhysNode):
 
     Appears exactly once inside a parallel region; the
     :class:`Exchange` above the region binds it to one morsel per
-    worker (:mod:`repro.exec.parallel`).
+    worker (:mod:`repro.exec.parallel`).  With a chunked store, morsels
+    are contiguous runs of storage chunks (boundaries never split a
+    chunk) and ``skip`` drops zone-map-excluded chunks before morsels
+    are formed.  ``partitions`` is sized adaptively from the catalog
+    cardinality (:func:`repro.algebra.stats.adaptive_morsel_count`).
     """
 
-    def __init__(self, table: str, partitions: int) -> None:
+    def __init__(
+        self,
+        table: str,
+        partitions: int,
+        chunk_size: Optional[int] = None,
+        skip: Optional[object] = None,
+    ) -> None:
         self.table = table
         self.partitions = partitions
+        self.chunk_size = chunk_size
+        self.skip = skip
 
 
 class FusedSelectProject(PhysNode):
@@ -209,6 +253,15 @@ class HashJoin(PhysNode):
     the conjunction of the pairs, so hash matches need no residual
     re-check.  Under AU semantics this is the certain-key hash +
     interval nested-loop split of :func:`repro.core.operators.join`.
+
+    ``partitioned`` (deterministic engine only, decided at plan time
+    from the catalog estimate of the build side vs
+    :data:`PARTITION_HASH_BUILD_ROWS`) selects Grace-style
+    partition-hash execution: both sides are split into
+    ``hash_partitions`` buckets by the hash of the join key and each
+    bucket builds and probes independently, so no single resident hash
+    table exceeds the budget.  Exact for bags: every matching pair
+    lands in exactly one bucket.
     """
 
     def __init__(
@@ -218,12 +271,16 @@ class HashJoin(PhysNode):
         condition: Expression,
         eq_pairs: Sequence[Tuple[str, str]],
         pure_equi: bool,
+        partitioned: bool = False,
+        hash_partitions: int = 0,
     ) -> None:
         self.left = left
         self.right = right
         self.condition = condition
         self.eq_pairs = tuple(eq_pairs)
         self.pure_equi = pure_equi
+        self.partitioned = partitioned
+        self.hash_partitions = hash_partitions
 
     def children(self):
         return (self.left, self.right)
@@ -436,6 +493,7 @@ def lower(
         and config.parallelism > 1
     ):
         pplan = _parallelize(pplan, config.parallelism)
+    _attach_chunk_skips(pplan, config)
     if verify is None:
         verify = verification_enabled()
     if verify:
@@ -461,7 +519,7 @@ class _Lowerer:
 
     def lower(self, node: Plan) -> PhysNode:
         if isinstance(node, TableRef):
-            return self._tag(Scan(node.name), node)
+            return self._tag(Scan(node.name, chunk_size=self.config.chunk_size), node)
         if isinstance(node, Selection):
             return self._tag(
                 FusedSelectProject(self.lower(node.child), node.condition, None),
@@ -589,12 +647,28 @@ class _Lowerer:
 
         if not pairs or self._tiny(node):
             return NLJoin(left, right, condition, check_overlap=False)
+        build_est = self._est(node.right)
+        partitioned = build_est >= PARTITION_HASH_BUILD_ROWS
         return HashJoin(
             left,
             right,
             condition,
             pairs,
             _is_pure_equi_condition(condition, len(pairs)),
+            partitioned=partitioned,
+            hash_partitions=(
+                int(
+                    max(
+                        2,
+                        min(
+                            MAX_HASH_PARTITIONS,
+                            math.ceil(build_est / PARTITION_HASH_BUILD_ROWS),
+                        ),
+                    )
+                )
+                if partitioned
+                else 0
+            ),
         )
 
     def _tiny(self, node: Join) -> bool:
@@ -638,45 +712,52 @@ def _parallelize(root: PhysNode, partitions: int) -> PhysNode:
 
 
 def _try_region(node: PhysNode, partitions: int) -> Optional[Exchange]:
-    def exchange(child: PhysNode, merge: str, final: Optional[PhysNode]) -> Exchange:
-        ex = Exchange(child, merge, partitions, final)
+    def exchange(
+        child: PhysNode, merge: str, final: Optional[PhysNode], chosen: int
+    ) -> Exchange:
+        ex = Exchange(child, merge, chosen, final)
         ex.est = node.est
         ex.sources = node.sources
         return ex
 
     if isinstance(node, HashAggregate) and not node.partial:
-        region = _partition_subtree(node.child, partitions)
-        if region is None:
+        split = _partition_subtree(node.child, partitions)
+        if split is None:
             return None
+        region, chosen = split
         partial = HashAggregate(
             region, node.group_by, node.aggregates, None, partial=True
         )
         partial.est = node.est
-        return exchange(partial, "aggregate", node)
+        return exchange(partial, "aggregate", node, chosen)
     if isinstance(node, TopK):
-        region = _partition_subtree(node.child, partitions)
-        if region is None:
+        split = _partition_subtree(node.child, partitions)
+        if split is None:
             return None
+        region, chosen = split
         local = TopK(region, node.keys, node.descending, node.n)
         local.est = node.est
-        return exchange(local, "topk", node)
+        return exchange(local, "topk", node, chosen)
     if isinstance(node, Limit):
-        region = _partition_subtree(node.child, partitions)
-        if region is None:
+        split = _partition_subtree(node.child, partitions)
+        if split is None:
             return None
+        region, chosen = split
         local = Limit(region, node.n)
         local.est = node.est
-        return exchange(local, "limit", node)
+        return exchange(local, "limit", node, chosen)
     if isinstance(node, HashDistinct):
-        region = _partition_subtree(node.child, partitions)
-        if region is None:
+        split = _partition_subtree(node.child, partitions)
+        if split is None:
             return None
+        region, chosen = split
         local = HashDistinct(region)
         local.est = node.est
-        return exchange(local, "distinct", node)
-    region = _partition_subtree(node, partitions, require_ops=True)
-    if region is not None:
-        return exchange(region, "concat", None)
+        return exchange(local, "distinct", node, chosen)
+    split = _partition_subtree(node, partitions, require_ops=True)
+    if split is not None:
+        region, chosen = split
+        return exchange(region, "concat", None, chosen)
     return None
 
 
@@ -697,23 +778,30 @@ def _driver_scans(node: PhysNode, depth: int = 0):
 
 def _partition_subtree(
     node: PhysNode, partitions: int, require_ops: bool = False
-) -> Optional[PhysNode]:
+) -> Optional[Tuple[PhysNode, int]]:
     """Replace the best driver scan with a :class:`ParallelScan`.
 
     Picks the largest estimated reachable scan; ``require_ops`` rejects
     a bare-scan region (splitting a scan only to concatenate it back
-    buys nothing).  Returns ``None`` when nothing is partitionable.
+    buys nothing).  The morsel count adapts to the driver's catalog
+    cardinality (:func:`repro.algebra.stats.adaptive_morsel_count`):
+    small drivers get fewer, larger morsels instead of ``partitions``
+    slivers.  Returns ``(region, chosen_partitions)``, or ``None`` when
+    nothing is partitionable.
     """
+    from ..algebra.stats import adaptive_morsel_count
+
     candidates = list(_driver_scans(node))
     if not candidates:
         return None
     best, depth = max(candidates, key=lambda c: (c[0].est, -c[1]))
     if require_ops and depth == 0:
         return None
+    chosen = adaptive_morsel_count(best.est, partitions)
 
     def replace(n: PhysNode) -> PhysNode:
         if n is best:
-            ps = ParallelScan(best.table, partitions)
+            ps = ParallelScan(best.table, chosen, chunk_size=best.chunk_size)
             ps.est = best.est
             ps.sources = best.sources
             return ps
@@ -723,7 +811,30 @@ def _partition_subtree(
             n.left = replace(n.left)
         return n
 
-    return replace(node)
+    return replace(node), chosen
+
+
+def _attach_chunk_skips(root: PhysNode, config: PhysicalConfig) -> None:
+    """Derive plan-time chunk-skip predicates for scans under selections.
+
+    For every selection sitting directly above a base-table scan, the
+    conjuncts comparing a column against a literal constant become a
+    :class:`repro.db.chunks.ChunkSkipPredicate` on the scan, evaluated
+    against per-chunk zone maps at execution time.  A no-op when
+    chunked storage is disabled (``chunk_size=0``) — without chunks
+    there is nothing to skip, and the verifier rejects the combination.
+    """
+    from ..db.chunks import derive_skip, resolve_chunk_size
+
+    if resolve_chunk_size(config.chunk_size) == 0:
+        return
+    for node in root.walk():
+        if (
+            isinstance(node, FusedSelectProject)
+            and node.condition is not None
+            and isinstance(node.child, (Scan, ParallelScan))
+        ):
+            node.child.skip = derive_skip(node.condition)
 
 
 # ======================================================================
@@ -731,9 +842,14 @@ def _partition_subtree(
 # ======================================================================
 def _describe(node: PhysNode) -> str:
     if isinstance(node, Scan):
+        if node.skip is not None:
+            return f"Scan {node.table} [skip: {node.skip}]"
         return f"Scan {node.table}"
     if isinstance(node, ParallelScan):
-        return f"ParallelScan {node.table} [{node.partitions} morsels]"
+        base = f"ParallelScan {node.table} [{node.partitions} morsels]"
+        if node.skip is not None:
+            base += f" [skip: {node.skip}]"
+        return base
     if isinstance(node, FusedSelectProject):
         parts = []
         if node.condition is not None:
@@ -749,7 +865,10 @@ def _describe(node: PhysNode) -> str:
     if isinstance(node, HashJoin):
         keys = ", ".join(f"{a}={b}" for a, b in node.eq_pairs)
         residual = "" if node.pure_equi else " + residual filter"
-        return f"HashJoin ⋈[{keys}]{residual}"
+        grace = (
+            f" grace[{node.hash_partitions} partitions]" if node.partitioned else ""
+        )
+        return f"HashJoin ⋈[{keys}]{grace}{residual}"
     if isinstance(node, NLJoin):
         if node.condition is None:
             return "NLJoin × (cross product)"
@@ -784,6 +903,7 @@ def explain_physical(
     pplan: PhysNode,
     actuals: Optional[Dict[int, int]] = None,
     times: Optional[Dict[int, List[float]]] = None,
+    attrs: Optional[Dict[int, Dict[str, object]]] = None,
 ) -> str:
     """Render a physical plan with chosen algorithms and row estimates.
 
@@ -799,6 +919,12 @@ def explain_physical(
     (:func:`repro.telemetry.estimation_error` of estimated vs actual
     rows) and inclusive wall time, with a loop count when the node ran
     more than once (one evaluation per morsel under an ``Exchange``).
+
+    ``attrs`` is the ``{id(node): {attr: value}}`` mapping of operator-
+    span attributes a trace collects
+    (:attr:`repro.telemetry.QueryTrace.node_attrs`): scans that skipped
+    chunks via zone maps show ``skipped S/T chunks``, partition-hash
+    joins show their bucket count.
     """
     if times is not None:
         from ..telemetry import estimation_error
@@ -818,6 +944,17 @@ def explain_physical(
                 line += f", {seconds * 1e3:.3f}ms"
                 if loops > 1:
                     line += f" in {loops:.0f} loops"
+        if attrs is not None:
+            a = attrs.get(id(node))
+            if a:
+                skipped = a.get("chunks_skipped")
+                if skipped:
+                    line += (
+                        f", skipped {skipped}/{a.get('chunks_total', '?')} chunks"
+                    )
+                buckets = a.get("hash_partitions")
+                if buckets:
+                    line += f", {buckets} hash partitions"
         line += ")"
         lines.append(line)
         for child in node.children():

@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from .. import telemetry as _tm
 from ..core import operators as ops
+from ..db import chunks as _chunks
 from ..core.aggregation import aggregate as au_aggregate
 from ..core.compression import optimized_join
 from ..core.expressions import Expression, RowView, Var
@@ -60,6 +61,14 @@ __all__ = [
     "fold_delta_groups",
     "finalize_delta_groups",
 ]
+
+
+#: Grace-style partition-hash joins executed (both sides split by key
+#: hash because the build side exceeded PARTITION_HASH_BUILD_ROWS)
+_PARTITIONED_JOINS = _tm.get_registry().counter(
+    "repro_exec_partition_hash_joins_total",
+    "Deterministic hash joins executed in Grace partition-hash mode.",
+)
 
 
 def _index_of(schema: Sequence[str]) -> Dict[str, int]:
@@ -146,13 +155,20 @@ class _DetExec:
 
     # -- plan dispatch -------------------------------------------------
     def _node(self, p: phys.PhysNode):
-        if isinstance(p, phys.Scan):
-            return ColumnBatch.from_relation(self.db[p.table])
-        if isinstance(p, phys.ParallelScan):
-            # outside an Exchange binding (serial collapse) the morsel
-            # is the whole table
-            return ColumnBatch.from_relation(self.db[p.table])
+        if isinstance(p, (phys.Scan, phys.ParallelScan)):
+            # outside an Exchange binding (serial collapse) a
+            # ParallelScan's morsel is the whole table
+            return self._scan(p)
         if isinstance(p, phys.FusedSelectProject):
+            child = p.child
+            if (
+                p.condition is not None
+                and isinstance(child, (phys.Scan, phys.ParallelScan))
+                and id(child) not in self.bindings
+            ):
+                streamed = self._stream_select_project(p, child)
+                if streamed is not None:
+                    return streamed
             return self._select_project(self.eval(p.child), p.condition, p.columns)
         if isinstance(p, phys.HashJoin):
             return self._hash_join(p)
@@ -218,6 +234,79 @@ class _DetExec:
         raise TypeError(f"unsupported physical node {type(p).__name__}")
 
     # -- operators -----------------------------------------------------
+    def _scan(self, p) -> ColumnBatch:
+        rel = self.db[p.table]
+        store = _chunks.det_store(rel, p.chunk_size)
+        if store is None:
+            return ColumnBatch.from_relation(rel)
+        batch, total, skipped = store.scan(p.skip)
+        if _tm._ACTIVE is not None:
+            _tm.annotate(chunks_total=total, chunks_skipped=skipped)
+        return batch
+
+    def _stream_select_project(
+        self, p: phys.FusedSelectProject, scan
+    ) -> Optional[ColumnBatch]:
+        """Filter a chunked base table one chunk at a time.
+
+        Bit-identical to filtering the monolithic image (chunks in
+        order, survivors gathered in order, the same compiled filter),
+        but the working set is one chunk plus the survivors — with a
+        selective predicate the full base batch never exists, which is
+        what lets scans obey a materialization budget the whole table
+        would bust.  Returns ``None`` when chunked storage is off.
+        """
+        rel = self.db[scan.table]
+        store = _chunks.det_store(rel, scan.chunk_size)
+        if store is None:
+            return None
+        tr = _tm._ACTIVE
+        span = tr.begin_op(scan) if tr is not None else None
+        batches, total, skipped = store.iter_batches(scan.skip)
+        scanned = sum(sum(b.mult) for b in batches)
+        if span is not None:
+            tr.annotate(chunks_total=total, chunks_skipped=skipped)
+            tr.end_op(span, scanned)
+        if self.actuals is not None:
+            self.actuals[id(scan)] = scanned
+            for src in scan.sources:
+                self.actuals[id(src)] = scanned
+        condition = p.condition
+        schema = store.schema
+        try:
+            flt = compile_filter(condition, schema)
+        except CompileError:
+            flt = None
+        kept_cols: List[List[Any]] = [[] for _ in schema]
+        kept_mult: List[int] = []
+        for b in batches:
+            n = len(b)
+            if flt is not None:
+                keep = flt(b.columns, n)
+            else:
+                view = b.row_view()
+                keep = []
+                for i in range(n):
+                    view.i = i
+                    if bool(condition.eval(view)):
+                        keep.append(i)
+            if len(keep) == n:
+                for j, col in enumerate(b.columns):
+                    kept_cols[j].extend(col)
+                kept_mult.extend(b.mult)
+            else:
+                m = b.mult
+                for j, col in enumerate(b.columns):
+                    kc = kept_cols[j]
+                    for i in keep:
+                        kc.append(col[i])
+                for i in keep:
+                    kept_mult.append(m[i])
+        batch = ColumnBatch(schema, kept_cols, kept_mult)
+        if p.columns is None:
+            return batch
+        return self._select_project(batch, None, p.columns)
+
     def _select_project(
         self,
         batch: ColumnBatch,
@@ -276,10 +365,12 @@ class _DetExec:
 
     def _hash_join(self, p: phys.HashJoin) -> ColumnBatch:
         left, right = self.eval(p.left), self.eval(p.right)
+        table = self.join_tables.get(id(p))
+        if table is None and p.partitioned:
+            return self._partitioned_hash_join(p, left, right)
         l_index = _index_of(left.schema)
         l_cols = [left.columns[l_index[a]] for a, _ in p.eq_pairs]
 
-        table = self.join_tables.get(id(p))
         if table is None:
             table = build_join_table(right, [b for _, b in p.eq_pairs])
         if _tm._ACTIVE is not None:
@@ -317,6 +408,83 @@ class _DetExec:
             return joined
         # residual conjuncts (the tuple engine evaluates the full
         # condition on every hash match)
+        return self._select_project(joined, p.condition, None)
+
+    def _partitioned_hash_join(
+        self, p: phys.HashJoin, left: ColumnBatch, right: ColumnBatch
+    ) -> ColumnBatch:
+        """Grace-style partition-hash join (plan-time decision).
+
+        Both sides are bucketed by the hash of their join key, then each
+        bucket builds and probes its own table, so the largest resident
+        hash table is ~1/partitions of the build side.  Exact for bags:
+        equal keys hash equally, so every matching pair meets in exactly
+        one bucket; the output *order* is partition-major rather than
+        probe-major, which downstream operators cannot observe (results
+        merge into bag relations, and SUM/AVG use regrouping-invariant
+        exact accumulation).
+        """
+        parts = p.hash_partitions
+        l_index = _index_of(left.schema)
+        r_index = _index_of(right.schema)
+        l_cols = [left.columns[l_index[a]] for a, _ in p.eq_pairs]
+        r_cols = [right.columns[r_index[b]] for _, b in p.eq_pairs]
+        _PARTITIONED_JOINS.inc()
+        if _tm._ACTIVE is not None:
+            _tm.annotate(
+                build_rows=len(right),
+                probe_rows=len(left),
+                hash_partitions=parts,
+            )
+
+        l_buckets: List[List[int]] = [[] for _ in range(parts)]
+        r_buckets: List[List[int]] = [[] for _ in range(parts)]
+        if len(l_cols) == 1:
+            lc, rc = l_cols[0], r_cols[0]
+            for i in range(len(left)):
+                l_buckets[hash(lc[i]) % parts].append(i)
+            for j in range(len(right)):
+                r_buckets[hash(rc[j]) % parts].append(j)
+        else:
+            for i in range(len(left)):
+                l_buckets[hash(tuple(c[i] for c in l_cols)) % parts].append(i)
+            for j in range(len(right)):
+                r_buckets[hash(tuple(c[j] for c in r_cols)) % parts].append(j)
+
+        li: List[int] = []
+        ri: List[int] = []
+        for b in range(parts):
+            build_rows = r_buckets[b]
+            probe_rows = l_buckets[b]
+            if not build_rows or not probe_rows:
+                continue
+            table: Dict[Any, List[int]] = {}
+            if len(r_cols) == 1:
+                rc = r_cols[0]
+                for j in build_rows:
+                    table.setdefault(rc[j], []).append(j)
+                lc = l_cols[0]
+                for i in probe_rows:
+                    for j in table.get(lc[i], ()):
+                        li.append(i)
+                        ri.append(j)
+            else:
+                for j in build_rows:
+                    table.setdefault(tuple(c[j] for c in r_cols), []).append(j)
+                for i in probe_rows:
+                    key = tuple(c[i] for c in l_cols)
+                    for j in table.get(key, ()):
+                        li.append(i)
+                        ri.append(j)
+
+        lm, rm = left.mult, right.mult
+        joined = ColumnBatch(
+            tuple(left.schema) + tuple(right.schema),
+            _gather(left.columns, li) + _gather(right.columns, ri),
+            [lm[i] * rm[j] for i, j in zip(li, ri)],
+        )
+        if p.pure_equi:
+            return joined
         return self._select_project(joined, p.condition, None)
 
     def _cross(self, left: ColumnBatch, right: ColumnBatch) -> ColumnBatch:
@@ -712,8 +880,12 @@ class _AUExec:
     # -- plan dispatch -------------------------------------------------
     def _node(self, p: phys.PhysNode) -> AUColumnBatch:
         if isinstance(p, phys.Scan):
-            return AUColumnBatch.from_relation(self.db[p.table])
+            return self._scan(p)
         if isinstance(p, phys.FusedSelectProject):
+            if p.condition is not None and isinstance(p.child, phys.Scan):
+                streamed = self._stream_select_project(p, p.child)
+                if streamed is not None:
+                    return streamed
             batch = self.eval(p.child)
             if p.condition is not None:
                 batch = self._selection(batch, p.condition)
@@ -792,6 +964,58 @@ class _AUExec:
         return AUColumnBatch.from_relation(result)
 
     # -- operators -----------------------------------------------------
+    def _scan(self, p: phys.Scan) -> AUColumnBatch:
+        rel = self.db[p.table]
+        store = _chunks.au_store(rel, p.chunk_size)
+        if store is None:
+            return AUColumnBatch.from_relation(rel)
+        batch, total, skipped = store.scan(p.skip)
+        if _tm._ACTIVE is not None:
+            _tm.annotate(chunks_total=total, chunks_skipped=skipped)
+        return batch
+
+    def _stream_select_project(
+        self, p: phys.FusedSelectProject, scan: phys.Scan
+    ) -> Optional[AUColumnBatch]:
+        """Chunk-at-a-time selection over an AU base table (the AU
+        mirror of ``_DetExec._stream_select_project``); row-local
+        selection commutes with chunk order, so the result is
+        bit-identical to filtering the monolithic image."""
+        rel = self.db[scan.table]
+        store = _chunks.au_store(rel, scan.chunk_size)
+        if store is None:
+            return None
+        tr = _tm._ACTIVE
+        span = tr.begin_op(scan) if tr is not None else None
+        batches, total, skipped = store.iter_batches(scan.skip)
+        # base-table AU tuples are distinct by construction, so the
+        # scan's distinct-tuple actual is just the surviving row count
+        scanned = sum(len(b) for b in batches)
+        if not store.schema:
+            scanned = min(1, scanned)
+        if span is not None:
+            tr.annotate(chunks_total=total, chunks_skipped=skipped)
+            tr.end_op(span, scanned)
+        if self.actuals is not None:
+            self.actuals[id(scan)] = scanned
+            for src in scan.sources:
+                self.actuals[id(src)] = scanned
+        cols: List[List[Any]] = [[] for _ in store.schema]
+        ann_lb: List[int] = []
+        ann_sg: List[int] = []
+        ann_ub: List[int] = []
+        for b in batches:
+            part = self._selection(b, p.condition)
+            for j, col in enumerate(part.columns):
+                cols[j].extend(col)
+            ann_lb.extend(part.ann_lb)
+            ann_sg.extend(part.ann_sg)
+            ann_ub.extend(part.ann_ub)
+        batch = AUColumnBatch(store.schema, cols, ann_lb, ann_sg, ann_ub)
+        if p.columns is not None:
+            batch = self._projection(batch, p.columns)
+        return batch
+
     def _selection(self, batch: AUColumnBatch, condition: Expression) -> AUColumnBatch:
         view = batch.row_view()
         eval_range = condition.eval_range

@@ -201,6 +201,7 @@ class MaterializedView:
                 adaptive_compression=(
                     config.adaptive_compression and config.optimize
                 ),
+                chunk_size=config.chunk_size,
             ),
             verify=conn.verify_plans,
         )

@@ -397,7 +397,15 @@ def _bind_phys(node: phys.PhysNode, binding) -> phys.PhysNode:
         if left is node.left and right is node.right and cond is node.condition:
             return node
         return _copy_phys(
-            phys.HashJoin(left, right, cond, node.eq_pairs, node.pure_equi),
+            phys.HashJoin(
+                left,
+                right,
+                cond,
+                node.eq_pairs,
+                node.pure_equi,
+                partitioned=node.partitioned,
+                hash_partitions=node.hash_partitions,
+            ),
             node,
         )
     if isinstance(node, phys.NLJoin):
@@ -730,6 +738,7 @@ class PreparedQuery:
                 adaptive_compression=(
                     config.adaptive_compression and config.optimize
                 ),
+                chunk_size=config.chunk_size,
             ),
             verify=conn.verify_plans,
         )
@@ -969,7 +978,10 @@ class PreparedQuery:
             body = self.explain_logical(actuals=actuals)
         else:
             body = phys.explain_physical(
-                self.pplan, actuals=actuals, times=trace.node_times
+                self.pplan,
+                actuals=actuals,
+                times=trace.node_times,
+                attrs=trace.node_attrs,
             )
         footer = f"stages: {stages}" if stages else ""
         return "\n".join(part for part in (header, body, footer) if part)

@@ -154,6 +154,11 @@ class QueryTrace:
         self._stack: List[Span] = [self.root]
         #: ``id(physical node) -> [inclusive seconds, evaluations]``
         self.node_times: Dict[int, List[float]] = {}
+        #: ``id(physical node) -> {attr: value}`` — operator-span
+        #: attributes (chunk-skip counts, hash-partition fan-out, …)
+        #: folded in by :meth:`end_op`; ``explain_physical`` renders
+        #: them in EXPLAIN ANALYZE output
+        self.node_attrs: Dict[int, Dict[str, Any]] = {}
         self._discipline: List[str] = []
 
     # -- span lifecycle ------------------------------------------------
@@ -200,6 +205,8 @@ class QueryTrace:
         else:  # same node re-evaluated (e.g. once per morsel)
             entry[0] += span.duration
             entry[1] += 1
+        if span.attrs:
+            self.node_attrs.setdefault(span.node_id, {}).update(span.attrs)
 
     def annotate(self, **attrs: Any) -> None:
         """Attach attributes to the innermost open span."""
@@ -210,6 +217,8 @@ class QueryTrace:
         the span analogue of the session layer's ``actuals`` mirroring."""
         if bound_id in self.node_times:
             self.node_times[template_id] = self.node_times[bound_id]
+        if bound_id in self.node_attrs:
+            self.node_attrs[template_id] = self.node_attrs[bound_id]
 
     def finish(self) -> None:
         while len(self._stack) > 1:  # unclosed spans: close, flag below

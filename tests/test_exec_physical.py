@@ -197,7 +197,7 @@ class TestGoldenExplains:
             "    HashJoin ⋈[o_id=l_oid]  (~154 rows)\n"
             "      Scan orders  (~50 rows)\n"
             "      FusedSelectProject σ[(l_qty > 2)]  (~154 rows)\n"
-            "        Scan lineitem  (~200 rows)"
+            "        Scan lineitem [skip: l_qty>2]  (~200 rows)"
         )
 
     def test_det_parallel_plan(self, tpch_like_db):
@@ -212,15 +212,17 @@ class TestGoldenExplains:
                 ),
             )
         )
+        # adaptive morsel sizing: the ~50-row driver needs only the
+        # minimum 2 partitions at parallelism 4
         assert rendered == (
-            "Exchange merge=aggregate [4 partitions]  (~7 rows)\n"
+            "Exchange merge=aggregate [2 partitions]  (~7 rows)\n"
             "  HashAggregate γ[o_cust; sum(l_qty)→qty, count(None)→n]"
             " (partial)  (~7 rows)\n"
             "    FusedSelectProject π[o_cust, l_qty]  (~154 rows)\n"
             "      HashJoin ⋈[o_id=l_oid]  (~154 rows)\n"
-            "        ParallelScan orders [4 morsels]  (~50 rows)\n"
+            "        ParallelScan orders [2 morsels]  (~50 rows)\n"
             "        FusedSelectProject σ[(l_qty > 2)]  (~154 rows)\n"
-            "          Scan lineitem  (~200 rows)"
+            "          Scan lineitem [skip: l_qty>2]  (~200 rows)"
         )
 
     def test_au_compressed_plan(self):
@@ -290,7 +292,7 @@ class TestGoldenExplains:
             "      Scan orders  (~50 rows, actual 50, err 1.00x, Tms)\n"
             "      FusedSelectProject σ[(l_qty > 2)]"
             "  (~154 rows, actual 132, err 1.17x, Tms)\n"
-            "        Scan lineitem"
+            "        Scan lineitem [skip: l_qty>2]"
             "  (~200 rows, actual 200, err 1.00x, Tms)\n"
             "stages: execute Tms"
         )
@@ -308,7 +310,7 @@ class TestGoldenExplains:
         rendered = explain_physical(pplan, actuals=actuals)
         for line in rendered.splitlines():
             assert "actual" in line, rendered
-        assert "Scan lineitem  (~200 rows, actual 200)" in rendered
+        assert "Scan lineitem [skip: l_qty>2]  (~200 rows, actual 200)" in rendered
 
 
 # ----------------------------------------------------------------------

@@ -399,26 +399,36 @@ def _check_ivm_lane(rng, plan, det, audb, context) -> None:
     maintained result equals fresh re-execution after every write, for
     both engines and both backends.  After ``unsubscribe`` a further
     write must not be maintained and the registry entry must be freed.
+
+    The subscribed connections run on a randomly chosen chunk size while
+    the fresh reference evaluation runs unchunked (``chunk_size=0``), so
+    delta-plan maintenance over incrementally maintained chunk stores is
+    cross-checked against chunkless evaluation too.
     """
     lane_seed = rng.randrange(2**31)
+    chunk_size = rng.choice((0, 1, 3, 64, None))
     for backend in ("tuple", "vectorized"):
         wrng = random.Random(lane_seed)
         det_db = _clone_det(det)
         au_db = _clone_audb(audb)
-        config = EvalConfig(backend=backend)
+        config = EvalConfig(backend=backend, chunk_size=chunk_size)
+        flat_config = EvalConfig(backend=backend, chunk_size=0)
         det_conn = Connection(det_db, config=config)
         au_conn = Connection(au_db, config=config)
         det_view = det_conn.subscribe(plan)
         au_view = au_conn.subscribe(plan)
         for step in range(4):
             _random_write(wrng, det_db, au_db)
-            where = f"[{backend} ivm/{det_view.kind} step {step}] {context}"
+            where = (
+                f"[{backend} ivm/{det_view.kind} chunk={chunk_size} "
+                f"step {step}] {context}"
+            )
             got = det_view.result()
-            want = evaluate_det(plan, det_db, backend=backend)
+            want = evaluate_det(plan, det_db, backend=backend, chunk_size=0)
             assert got.schema == want.schema, f"ivm det schema {where}"
             assert got.rows == want.rows, f"ivm det bag {where}"
             got_au = au_view.result()
-            want_au = evaluate_audb(plan, au_db, config)
+            want_au = evaluate_audb(plan, au_db, flat_config)
             assert got_au.schema == want_au.schema, f"ivm AU schema {where}"
             assert dict(got_au.tuples()) == dict(want_au.tuples()), (
                 f"ivm AU annotations {where}"
@@ -437,6 +447,54 @@ def _check_ivm_lane(rng, plan, det, audb, context) -> None:
             else:
                 raise AssertionError(
                     f"closed view still served [{backend}] {context}"
+                )
+
+
+def _check_chunk_lane(rng, plan, det, audb, context) -> None:
+    """Chunked-storage lane: paged chunked storage must be invisible.
+
+    For chunk sizes 1 (one row per page), 3 (ragged pages), 64, and the
+    default page size, both engines on both backends must return results
+    bit-identical to ``chunk_size=0`` (no chunk stores: whole-table
+    columnar images, no zone-map skipping).  A round of random writes
+    between reads exercises the stores' incremental maintenance paths
+    (zone widening on insert, boundary invalidation on delete) — the
+    second read runs over maintained chunk stores, not fresh builds."""
+    lane_seed = rng.randrange(2**31)
+    sizes = (1, 3, 64, None)
+    for backend in ("tuple", "vectorized"):
+        wrng = random.Random(lane_seed)
+        det_db = _clone_det(det)
+        au_db = _clone_audb(audb)
+        for step in range(2):
+            if step:
+                for _ in range(3):
+                    _random_write(wrng, det_db, au_db)
+            where = f"[{backend} chunk step {step}] {context}"
+            want_det = evaluate_det(
+                plan, det_db, backend=backend, chunk_size=0
+            )
+            want_au = evaluate_audb(
+                plan, au_db, EvalConfig(backend=backend, chunk_size=0)
+            )
+            for size in sizes:
+                got = evaluate_det(
+                    plan, det_db, backend=backend, chunk_size=size
+                )
+                assert got.schema == want_det.schema, (
+                    f"chunked det schema [size={size}] {where}"
+                )
+                assert got.rows == want_det.rows, (
+                    f"chunked det bag [size={size}] {where}"
+                )
+                got_au = evaluate_audb(
+                    plan, au_db, EvalConfig(backend=backend, chunk_size=size)
+                )
+                assert got_au.schema == want_au.schema, (
+                    f"chunked AU schema [size={size}] {where}"
+                )
+                assert dict(got_au.tuples()) == dict(want_au.tuples()), (
+                    f"chunked AU annotations [size={size}] {where}"
                 )
 
 
@@ -667,7 +725,12 @@ def _check_case(seed: int) -> None:
     # after every write, on both engines and both backends
     _check_ivm_lane(rng, plan, det, audb, context)
 
-    # 1g. telemetry transparency on a slice of the seeds: tracing must
+    # 1g. chunked storage is invisible: every chunk size (including the
+    # degenerate one-row pages) matches chunk_size=0 bit-for-bit, across
+    # a round of writes that exercises incremental store maintenance
+    _check_chunk_lane(rng, plan, det, audb, context)
+
+    # 1h. telemetry transparency on a slice of the seeds: tracing must
     # not change any result, and the span tree must be well formed
     if seed % 3 == 0:
         _check_telemetry_lane(plan, det, audb, context)

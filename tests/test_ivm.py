@@ -285,10 +285,10 @@ GOLDEN_DELTA_PLANS = {
 DeltaPlan[kind=refresh]
   Δ-maintain segment __ivm_seg0:
     FusedSelectProject σ[(b > 1)]  (~7 rows)
-      Scan r  (~7 rows)
+      Scan r [skip: b>1]  (~7 rows)
   Δ-maintain segment __ivm_seg1:
     FusedSelectProject σ[(a <= 1)]  (~2 rows)
-      Scan r  (~7 rows)
+      Scan r [skip: a<=1]  (~7 rows)
   refresh-boundary (re-executed per epoch):
     TupleFallback[difference] (exact tuple operator)  (~7 rows)
       Scan __ivm_seg0  (~7 rows)

@@ -365,6 +365,55 @@ class TestPhysicalDiagnostics:
                 self._cfg(engine="det", backend="vectorized", parallelism=4),
             )
 
+    def test_adaptive_exchange_may_use_fewer_partitions(self, stats):
+        # adaptive morsel sizing picks <= parallelism partitions: legal
+        region = phys.FusedSelectProject(
+            phys.ParallelScan("r", 2), Var("a") > Const(0), None
+        )
+        verify_physical(
+            phys.Exchange(region, "concat", 2),
+            stats,
+            self._cfg(engine="det", backend="vectorized", parallelism=4),
+        )
+
+    def test_negative_chunk_size_rejected(self, stats):
+        with pytest.raises(PlanCompatibilityError, match="chunk_size"):
+            verify_physical(
+                phys.Scan("r", chunk_size=-1), stats, self._cfg(engine="det")
+            )
+
+    def test_skip_predicate_on_unchunked_scan_rejected(self, stats):
+        from repro.db.chunks import derive_skip
+
+        scan = phys.Scan(
+            "r", chunk_size=0, skip=derive_skip(Var("a") > Const(0))
+        )
+        with pytest.raises(PlanCompatibilityError, match="disabled"):
+            verify_physical(scan, stats, self._cfg(engine="det"))
+
+    def test_skip_predicate_must_use_zone_mapped_columns(self, stats):
+        from repro.db.chunks import derive_skip
+
+        scan = phys.Scan("r", skip=derive_skip(Var("zz") > Const(0)))
+        with pytest.raises(PlanReferenceError, match="zone-mapped"):
+            verify_physical(scan, stats, self._cfg(engine="det"))
+
+    def test_parallel_scan_chunk_size_must_match_config(self, stats):
+        region = phys.FusedSelectProject(
+            phys.ParallelScan("r", 2, chunk_size=16), Var("a") > Const(0), None
+        )
+        with pytest.raises(PlanCompatibilityError, match="align"):
+            verify_physical(
+                phys.Exchange(region, "concat", 2),
+                stats,
+                self._cfg(
+                    engine="det",
+                    backend="vectorized",
+                    parallelism=2,
+                    chunk_size=32,
+                ),
+            )
+
     def test_unresolved_cpr_budget(self, stats):
         join = phys.CompressedJoin(
             phys.Scan("r"),
