@@ -1,0 +1,25 @@
+"""Machine-readable benchmark gate results.
+
+Every CI gate benchmark writes a ``BENCH_<name>.json`` file next to the
+human-readable table it prints, so the gates leave structured artifacts
+(timings, speedups, gate thresholds, detected core counts, failures)
+that CI uploads and downstream tooling can diff across runs.  The
+location defaults to the current working directory and can be redirected
+with ``BENCH_RESULTS_DIR``.
+"""
+
+import json
+import os
+
+__all__ = ["write_result"]
+
+
+def write_result(name: str, payload: dict) -> str:
+    """Write ``payload`` as ``BENCH_<name>.json``; returns the path."""
+    out_dir = os.environ.get("BENCH_RESULTS_DIR", ".")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

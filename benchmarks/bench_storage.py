@@ -163,6 +163,28 @@ def main() -> int:
     )
     for failure in failures:
         print(f"FAIL: {failure}")
+
+    from _results import write_result
+
+    write_result(
+        "storage",
+        {
+            "benchmark": "storage",
+            "rows": N_ROWS,
+            "gates": {"skip": SKIP_GATE, "overhead": OVERHEAD_GATE},
+            "selective": {
+                "monolithic_s": round(t_flat, 6),
+                "chunked_s": round(t_chunk, 6),
+                "speedup": round(speedup, 4),
+            },
+            "full_scan": {
+                "monolithic_s": round(t_flat_full, 6),
+                "chunked_s": round(t_chunk_full, 6),
+                "overhead": round(overhead, 4),
+            },
+            "failures": failures,
+        },
+    )
     return 1 if failures else 0
 
 

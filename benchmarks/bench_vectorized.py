@@ -172,6 +172,26 @@ def main() -> int:
         print(f"{engine:<6} {t_tuple:>10.4f} {t_vec:>14.4f} {speedup:>8.2f}x {n:>7}")
     for failure in failures:
         print(f"FAIL: {failure}")
+
+    from _results import write_result
+
+    write_result(
+        "vectorized",
+        {
+            "benchmark": "vectorized",
+            "gates": {"det": DET_GATE, "audb": AU_GATE},
+            "results": {
+                engine: {
+                    "tuple_s": round(t_tuple, 6),
+                    "vectorized_s": round(t_vec, 6),
+                    "speedup": round(speedup, 4),
+                    "groups": n,
+                }
+                for engine, t_tuple, t_vec, speedup, n in rows
+            },
+            "failures": failures,
+        },
+    )
     return 1 if failures else 0
 
 

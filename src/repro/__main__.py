@@ -12,8 +12,10 @@ when a query is given on the command line.  Observability hooks:
 ``--explain-analyze`` prints the physical plan with per-operator actual
 rows and times, ``--trace-out FILE`` dumps the last query trace as Chrome
 trace-event JSON (load via ``chrome://tracing`` or Perfetto), and in the
-REPL ``\\timing`` toggles per-query wall-clock display while ``\\metrics``
-prints the process-wide metrics registry plus the session counters.
+REPL ``\\timing`` toggles per-query wall-clock display, ``\\metrics``
+prints the process-wide metrics registry plus the session counters, and
+``\\storage`` prints each table's chunk-store footprint in bytes (also
+published as the ``repro_storage_bytes`` gauge).
 """
 
 from __future__ import annotations
@@ -213,6 +215,16 @@ def main(argv=None) -> int:
             )
         dump_trace()
 
+    def print_storage() -> None:
+        from .db.chunks import storage_report
+
+        for label, conn in (("det", det_conn), ("au", au_conn)):
+            report = storage_report(conn.db)
+            total = sum(report.values())
+            print(f"-- storage ({label}): {total} bytes --")
+            for name, bytes_ in report.items():
+                print(f"  {name}: {bytes_} bytes")
+
     def print_metrics() -> None:
         for label, conn in (("det", det_conn), ("au", au_conn)):
             print(f"{label}: {conn.metrics.snapshot()}")
@@ -228,6 +240,7 @@ def main(argv=None) -> int:
 
     print(
         "type SQL (or 'quit'; '\\metrics' shows counters + registry, "
+        "'\\storage' shows per-table chunk-store bytes, "
         "'\\timing' toggles per-query times):"
     )
     for line in sys.stdin:
@@ -238,6 +251,9 @@ def main(argv=None) -> int:
             break
         if line.lower() == "\\metrics":
             print_metrics()
+            continue
+        if line.lower() == "\\storage":
+            print_storage()
             continue
         if line.lower() == "\\timing":
             timing["on"] = not timing["on"]

@@ -995,7 +995,13 @@ def _prune(plan: Plan, needed: Optional[Set[str]], stats) -> Plan:
             child_needed = None
         else:
             child_needed = {a for a in child_schema if mapping.get(a, a) in needed}
-        return Rename(_prune(plan.child, child_needed, stats), mapping)
+        child = _prune(plan.child, child_needed, stats)
+        # the mapping must only name columns the pruned child still
+        # produces — a narrowed child may have dropped a renamed column
+        pruned_schema = schema_of(child, stats)
+        if pruned_schema is not None:
+            mapping = {o: n for o, n in mapping.items() if o in pruned_schema}
+        return Rename(child, mapping)
     if isinstance(plan, (Join, CrossProduct)):
         condition_vars = (
             plan.condition.variables() if isinstance(plan, Join) else frozenset()

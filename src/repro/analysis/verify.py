@@ -248,15 +248,19 @@ def _phys() -> Any:
 
 #: physical operators the AU engines may not contain — their logical
 #: counterparts (the non-linear fragment) must appear as TupleFallback
-_AU_FORBIDDEN = ("HashAggregate", "HashDistinct", "TopK", "Limit", "Exchange", "ParallelScan")
+_AU_FORBIDDEN = ("HashAggregate", "HashDistinct", "TopK", "Limit")
 #: operators only the AU lowering may produce
-_DET_FORBIDDEN = ("CompressedJoin",)
+_DET_FORBIDDEN = ("CompressedJoin", "AUPartialAggregate")
 
-_MERGE_KINDS = ("concat", "aggregate", "topk", "limit", "distinct")
+_MERGE_KINDS = ("concat", "aggregate", "topk", "limit", "distinct", "au_aggregate", "au_topk")
+#: merge kinds whose partial/merge protocol is engine-specific; "concat"
+#: is the shared linear-region merge and legal for both engines
+_DET_MERGE_KINDS = ("aggregate", "topk", "limit", "distinct")
+_AU_MERGE_KINDS = ("au_aggregate", "au_topk")
 
-#: comparison kinds a chunk-skip constraint may carry — the six ops
+#: comparison kinds a chunk-skip constraint may carry — the ops
 #: :func:`repro.db.chunks.derive_skip` knows zone-map rules for
-_SKIP_OPS = ("le", "lt", "ge", "gt", "eq", "ne")
+_SKIP_OPS = ("le", "lt", "ge", "gt", "eq", "ne", "isnull", "notnull")
 
 #: distinguishes "config has no chunk_size attribute" (older configs,
 #: ad-hoc test doubles — skip the alignment check) from an explicit None
@@ -400,7 +404,17 @@ def infer_physical(pplan: Any, catalog: Any = None) -> Optional[Schema]:
         if isinstance(node, phys.TupleFallback):
             inputs = [visit(c) for c in node.inputs]
             return _fallback_schema(node, inputs)
+        if isinstance(node, phys.AUPartialAggregate):
+            child = visit(node.child)
+            logical = ast.Aggregate(
+                ast.TableRef("?"), node.group_by, node.aggregates, None
+            )
+            return _aggregate_like(logical, child)
         if isinstance(node, phys.Exchange):
+            if node.merge in _AU_MERGE_KINDS and node.final is not None:
+                # the AU merge finalizes the original serial operator's
+                # output shape (its child carries partial state)
+                return visit(node.final)
             return visit(node.child)
         return None
 
@@ -484,14 +498,20 @@ def verify_physical(
 
     * engine-legal operators — an AU plan may not contain the
       deterministic non-linear operators (``HashAggregate`` /
-      ``HashDistinct`` / ``TopK`` / ``Limit``) nor parallel nodes: its
-      non-linear fragment must be closed under ``TupleFallback``
-      boundaries; a deterministic plan may not contain
-      ``CompressedJoin`` or AU-only fallbacks;
-    * ``Exchange`` placement — a known merge kind, merge-specific child
-      and ``final`` operator shapes, partial ``HashAggregate`` only
-      directly under ``Exchange(merge="aggregate")`` with its ``having``
-      deferred to the final operator;
+      ``HashDistinct`` / ``TopK`` / ``Limit``): its non-linear fragment
+      must be closed under ``TupleFallback`` boundaries; a
+      deterministic plan may not contain ``CompressedJoin`` or
+      ``AUPartialAggregate``;
+    * ``Exchange`` placement — a known, engine-matching merge kind
+      (the SG-combine kinds ``au_aggregate`` / ``au_topk`` only in AU
+      plans, the det partial-state kinds only in det plans),
+      merge-specific child and ``final`` operator shapes, partial
+      ``HashAggregate`` only directly under
+      ``Exchange(merge="aggregate")`` with its ``having`` deferred to
+      the final operator, ``AUPartialAggregate`` only directly under
+      ``Exchange(merge="au_aggregate")``, and **no ``TupleFallback``
+      inside any Exchange region** — the non-linear tuple fragment is
+      not partition-distributive and must stay serial;
     * parallel regions — exactly one ``ParallelScan`` per ``Exchange``
       region with matching ``partitions``; no ``ParallelScan`` outside a
       region; no nested ``Exchange``;
@@ -530,6 +550,25 @@ def verify_physical(
             raise PlanCompatibilityError(
                 "CompressedJoin (Cpr) in a deterministic plan: "
                 "compression only applies to AU annotations"
+            )
+        if engine == "det" and isinstance(node, phys.AUPartialAggregate):
+            raise PlanCompatibilityError(
+                "AUPartialAggregate in a deterministic plan: SG-combine "
+                "partial states only exist in the AU lowering"
+            )
+        if (
+            in_region
+            and isinstance(node, phys.TupleFallback)
+            and any(isinstance(n, phys.ParallelScan) for n in node.walk())
+        ):
+            # a fallback on a partition-invariant branch is evaluated
+            # once, serially, in the parent — legal; one fed by the
+            # region's morsels would see partial inputs
+            raise PlanCompatibilityError(
+                f"TupleFallback[{node.kind}] inside an Exchange region "
+                "on the partitioned spine: the non-linear tuple "
+                "fragment is not partition-distributive and must stay "
+                "serial"
             )
         if isinstance(node, phys.CompressedJoin):
             if not isinstance(node.buckets, int) or node.buckets < 1:
@@ -574,6 +613,13 @@ def verify_physical(
                 "partial HashAggregate without a merging Exchange: "
                 "partial aggregation states are only legal directly "
                 'under Exchange(merge="aggregate")'
+            )
+        if isinstance(node, phys.AUPartialAggregate):
+            # reachable only via Exchange's special-cased recursion below
+            raise PlanCompatibilityError(
+                "AUPartialAggregate without a merging Exchange: "
+                "SG-combine partial states are only legal directly "
+                'under Exchange(merge="au_aggregate")'
             )
         if isinstance(node, (phys.Scan, phys.ParallelScan)):
             _check_scan_storage(node)
@@ -655,6 +701,17 @@ def verify_physical(
                 f"unknown Exchange merge kind {node.merge!r}; "
                 f"expected one of {list(_MERGE_KINDS)}"
             )
+        if engine == "au" and node.merge in _DET_MERGE_KINDS:
+            raise PlanCompatibilityError(
+                f'Exchange(merge="{node.merge}") in an AU plan: AU '
+                "regions merge through the SG-combine-aware kinds "
+                f"{list(_AU_MERGE_KINDS)} (or concat)"
+            )
+        if engine == "det" and node.merge in _AU_MERGE_KINDS:
+            raise PlanCompatibilityError(
+                f'Exchange(merge="{node.merge}") in a deterministic '
+                "plan: SG-combine merges only exist in the AU lowering"
+            )
         if not isinstance(node.partitions, int) or node.partitions < 2:
             raise PlanCompatibilityError(
                 f"Exchange with {node.partitions!r} partitions: a "
@@ -674,6 +731,30 @@ def verify_physical(
                 raise PlanCompatibilityError(
                     'Exchange(merge="concat") must not carry a final '
                     f"operator, has {_node_name(final)}"
+                )
+        elif node.merge in _AU_MERGE_KINDS:
+            fallback_kind = "aggregate" if node.merge == "au_aggregate" else "topk"
+            if not isinstance(final, phys.TupleFallback) or final.kind != fallback_kind:
+                raise PlanCompatibilityError(
+                    f'Exchange(merge="{node.merge}") requires the original '
+                    f"serial TupleFallback[{fallback_kind}] as its final "
+                    "operator, has "
+                    f"{_node_name(final) if final is not None else None!r}"
+                )
+            if node.merge == "au_aggregate" and not isinstance(
+                child, phys.AUPartialAggregate
+            ):
+                raise PlanCompatibilityError(
+                    'Exchange(merge="au_aggregate") requires an '
+                    "AUPartialAggregate child computing per-partition "
+                    f"SG-combine state, has {_node_name(child)}"
+                )
+            if node.merge == "au_topk" and isinstance(child, phys.TupleFallback):
+                raise PlanCompatibilityError(
+                    'Exchange(merge="au_topk") takes the bare linear '
+                    "region as its child (exact top-k bounds need the "
+                    "full concatenation at the merge), not a "
+                    "TupleFallback"
                 )
         else:
             shapes = {
@@ -717,6 +798,10 @@ def verify_physical(
         region_root = child
         if node.merge == "aggregate" and isinstance(child, phys.HashAggregate):
             # the partial aggregate itself is legal here; descend past it
+            region_root = child.child
+        elif node.merge == "au_aggregate" and isinstance(
+            child, phys.AUPartialAggregate
+        ):
             region_root = child.child
         elif node.merge in ("topk", "limit", "distinct"):
             region_root = child.child

@@ -27,6 +27,7 @@ from .ranges import RangeValue, certain, domain_key, domain_max, domain_min
 from .ranges import domain_le as _ranges_domain_le
 from .relation import AURelation
 from .semirings import AUAnnotation
+from .sums import add_product, finish, merge_acc, new_acc
 from .tuples import AUTuple
 
 __all__ = [
@@ -45,6 +46,10 @@ __all__ = [
     "aggregate",
     "semimodule_action",
     "star_operator",
+    "UncertainGroupError",
+    "fold_partial_groups",
+    "merge_partial_groups",
+    "finalize_partial_groups",
 ]
 
 
@@ -435,6 +440,64 @@ def _monoid_for(kind: str) -> Monoid:
     return {"sum": SUM, "count": SUM, "min": MIN, "max": MAX}[kind]
 
 
+def _part_value(part: Tuple[int, Any]) -> Any:
+    """The rounded product a ``(multiplicity, value)`` part denotes —
+    used only for corner *selection* and sign tests, never accumulated."""
+    k, v = part
+    return 0 if k == 0 else k * v
+
+
+def _sum_parts(
+    ann: AUAnnotation, m: RangeValue
+) -> Tuple[Tuple[int, Any], Tuple[int, Any]]:
+    """``⊛_SUM`` bounds of one row as exact ``(multiplicity, value)`` parts.
+
+    Definition 23 takes the min/max over the four annotation×value corner
+    products; returning the chosen corner as a part lets callers feed it to
+    :func:`repro.core.sums.add_product`, which accumulates ``k·v`` exactly
+    (power-of-two scalings) instead of summing rounded products.  That is
+    what makes SUM bounds regrouping-invariant to the bit: folding a row
+    with annotation ``k1+k2`` equals folding two value-equal rows with
+    ``k1`` and ``k2``, so per-worker partials merge exactly.  Corner
+    selection (including tie behavior) matches :func:`star_operator`.
+    """
+    k0, _k1, k2 = ann
+    corners = ((k0, m.lb), (k0, m.ub), (k2, m.lb), (k2, m.ub))
+    lo = hi = corners[0]
+    lo_v = hi_v = _part_value(corners[0])
+    for c in corners[1:]:
+        v = _part_value(c)
+        if _dom_le(v, lo_v):
+            lo, lo_v = c, v
+        if _dom_le(hi_v, v):
+            hi, hi_v = c, v
+    return lo, hi
+
+
+def _fold_sum_row(
+    lo_acc, hi_acc, ann: AUAnnotation, m: RangeValue, certainly_in_group: bool
+) -> None:
+    """Fold one row's ``⊛_SUM`` bound contributions into exact accumulators,
+    applying Definition 26's ``min(0_M, ·)`` / ``max(0_M, ·)`` clamps for
+    rows that are not certainly in the group."""
+    lo_part, hi_part = _sum_parts(ann, m)
+    if certainly_in_group or _dom_le(_part_value(lo_part), 0):
+        add_product(lo_acc, lo_part[1], lo_part[0])
+    if certainly_in_group or _dom_le(0, _part_value(hi_part)):
+        add_product(hi_acc, hi_part[1], hi_part[0])
+
+
+def _clamped_range(lo: Any, sg: Any, hi: Any) -> RangeValue:
+    """``RangeValue(lo, sg, hi)`` with the SG component clamped into the
+    bounds (the SG world's exact value can fall outside when clamps
+    tightened a bound the SG fold did not see)."""
+    if not _dom_le(lo, sg):
+        sg = lo
+    elif not _dom_le(sg, hi):
+        sg = hi
+    return RangeValue(lo, sg, hi)
+
+
 def _aggregate_bounds(
     spec: AggregateSpec,
     agg_index: int,
@@ -453,6 +516,26 @@ def _aggregate_bounds(
         )
 
     monoid = _monoid_for(spec.kind)
+    if monoid is SUM:
+        # SUM/COUNT accumulate through repro.core.sums so float bounds are
+        # exact (regrouping-invariant) — the morsel-parallel partial path
+        # folds the same per-row parts and merges accumulators bit-exactly.
+        lo_acc = new_acc()
+        hi_acc = new_acc()
+        sg_acc = new_acc()
+        for r_i in contributor_rows:
+            t, ann = rows[r_i]
+            m = agg_inputs[agg_index][r_i]
+            certainly_in_group = (
+                box_certain
+                and r_i in sg_members
+                and not _uncertain_group(t, ann, group_idx)
+            )
+            _fold_sum_row(lo_acc, hi_acc, ann, m, certainly_in_group)
+            if r_i in sg_members:
+                add_product(sg_acc, m.sg, ann[1])
+        return _clamped_range(finish(lo_acc), finish(sg_acc), finish(hi_acc))
+
     lo = monoid.neutral
     hi = monoid.neutral
     sg = monoid.neutral
@@ -485,13 +568,7 @@ def _aggregate_bounds(
         hi = monoid.combine(hi, ub_contrib)
         if r_i in sg_members:
             sg = monoid.combine(sg, folded.sg)
-    if not _dom_le(lo, sg):
-        sg_clamped = lo
-    elif not _dom_le(sg, hi):
-        sg_clamped = hi
-    else:
-        sg_clamped = sg
-    return RangeValue(lo, sg_clamped, hi)
+    return _clamped_range(lo, sg, hi)
 
 
 def _avg_bounds(
@@ -513,21 +590,26 @@ def _avg_bounds(
     """
     lo = math.inf
     hi = -math.inf
-    sg_sum = 0.0
+    seen = False
+    sg_acc = new_acc()
     sg_count = 0
     for r_i in contributor_rows:
         t, ann = rows[r_i]
         m = agg_inputs[agg_index][r_i]
         if ann[2] > 0:
+            seen = True
             if _dom_le(m.lb, lo):
                 lo = m.lb
             if _dom_le(hi, m.ub):
                 hi = m.ub
         if r_i in sg_members and ann[1] > 0:
-            sg_sum += m.sg * ann[1]
+            # exact value×multiplicity accumulation (repro.core.sums), so
+            # the SG average is regrouping-invariant to the bit and the
+            # morsel-parallel partials merge exactly
+            add_product(sg_acc, m.sg, ann[1])
             sg_count += ann[1]
-    sg = sg_sum / sg_count if sg_count else 0.0
-    if lo is math.inf:  # no possible contributor
+    sg = finish(sg_acc) / sg_count if sg_count else 0.0
+    if not seen:  # no possible contributor
         return RangeValue(0.0, 0.0, 0.0)
     if not _dom_le(lo, sg):
         sg = lo
@@ -565,3 +647,223 @@ def _empty_aggregate_value(spec: AggregateSpec) -> RangeValue:
     # SQL semantics (mirrored by the Det engine): MIN/MAX over an empty
     # input is NULL, not the monoid's ±inf neutral element
     return certain(None)
+
+
+# ----------------------------------------------------------------------
+# Morsel-parallel partial aggregation (SG-combine-aware merges)
+# ----------------------------------------------------------------------
+# When every input row's group-by attributes are *certain*, the default
+# grouping strategy degenerates into exact hash grouping: each group's
+# box is a single point, ð(g) equals the member set, and every per-row
+# contribution is row-local.  The γ fold then factors into per-morsel
+# partial states merged with an associative combine:
+#
+# * the K^AU output annotation sums pointwise (δ applied at finalize);
+# * SUM/COUNT and the AVG numerator are exact Shewchuk accumulators
+#   (``merge_acc``), so float results are regrouping-invariant bit for
+#   bit at every parallelism level;
+# * MIN/MAX fold with the monoid combine, whose tie behavior (MIN keeps
+#   the earliest attaining value, MAX the latest) is associative as long
+#   as partials merge in partition order;
+# * the AVG envelope folds with the same order-compatible min/max update
+#   rules the serial operator uses.
+#
+# A single row with uncertain group-by attributes breaks row-locality
+# (it contributes to every overlapping group's bounds), so the fold
+# raises :class:`UncertainGroupError` and the caller falls back to the
+# serial :func:`aggregate` operator.
+
+
+class UncertainGroupError(ValueError):
+    """A partial (morsel-parallel) aggregate met a row whose group-by
+    attributes are uncertain: the contributor sets ð(g) are then not
+    row-local and only the serial operator computes sound bounds."""
+
+
+def _new_agg_partial(spec: AggregateSpec) -> list:
+    if spec.kind in ("sum", "count"):
+        return [new_acc(), new_acc(), new_acc()]  # lo, sg, hi accumulators
+    if spec.kind == "avg":
+        return [math.inf, -math.inf, new_acc(), 0, False]  # lo, hi, Σsg, n, seen
+    monoid = _monoid_for(spec.kind)
+    return [monoid.neutral, monoid.neutral, monoid.neutral]  # lo, sg, hi
+
+
+def _fold_agg_partial(
+    spec: AggregateSpec,
+    agg: list,
+    ann: AUAnnotation,
+    m: RangeValue,
+    certainly: bool,
+) -> None:
+    """Fold one (certain-group) row into a per-aggregate partial, with
+    contribution logic identical to the serial ``_aggregate_bounds`` /
+    ``_avg_bounds`` folds restricted to the certain-group case."""
+    if spec.kind in ("sum", "count"):
+        _fold_sum_row(agg[0], agg[2], ann, m, certainly)
+        add_product(agg[1], m.sg, ann[1])
+        return
+    if spec.kind == "avg":
+        if ann[2] > 0:
+            agg[4] = True
+            if _dom_le(m.lb, agg[0]):
+                agg[0] = m.lb
+            if _dom_le(agg[1], m.ub):
+                agg[1] = m.ub
+        if ann[1] > 0:
+            add_product(agg[2], m.sg, ann[1])
+            agg[3] += ann[1]
+        return
+    monoid = _monoid_for(spec.kind)
+    folded = star_operator(monoid, ann, m)
+    if certainly:
+        lb_contrib = folded.lb
+        ub_contrib = folded.ub
+    else:
+        lb_contrib = folded.lb if _dom_le(folded.lb, monoid.neutral) else monoid.neutral
+        ub_contrib = folded.ub if _dom_le(monoid.neutral, folded.ub) else monoid.neutral
+    agg[0] = monoid.combine(agg[0], lb_contrib)
+    agg[2] = monoid.combine(agg[2], ub_contrib)
+    agg[1] = monoid.combine(agg[1], folded.sg)
+
+
+def fold_partial_groups(
+    groups: Dict[Tuple[Any, ...], list],
+    schema: Sequence[str],
+    rows,
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> None:
+    """Fold ``(tuple, annotation)`` rows into ``groups`` in place.
+
+    ``groups`` maps each SG group key to ``[rep, ann_sums, agg_partials]``
+    where ``rep`` is the group-by value tuple of the group's first member
+    (identical across members up to numeric representation — group-by
+    attributes are certain), ``ann_sums`` the pointwise annotation sums of
+    Definition 27 (δ applied at finalize), and ``agg_partials`` one
+    mergeable state per aggregate.  Raises :class:`UncertainGroupError`
+    on the first row whose group-by attributes are uncertain.
+    """
+    schema = tuple(schema)
+    group_idx = [schema.index(a) for a in group_by]
+    index = RowView.index_of(schema)
+    one = certain(1)
+    for t, ann in rows:
+        for i in group_idx:
+            if not t[i].is_certain:
+                raise UncertainGroupError(
+                    f"uncertain group-by value {t[i]!r} for attribute "
+                    f"{schema[i]!r}: partial aggregation is not sound"
+                )
+        key = tuple(t[i].sg for i in group_idx)
+        state = groups.get(key)
+        if state is None:
+            state = [
+                [t[i] for i in group_idx],
+                [0, 0, 0],
+                [_new_agg_partial(spec) for spec in aggregates],
+            ]
+            groups[key] = state
+        ann_sums = state[1]
+        ann_sums[0] += ann[0]
+        ann_sums[1] += ann[1]
+        ann_sums[2] += ann[2]
+        certainly = ann[0] > 0
+        view = RowView(index, t)
+        for spec, agg in zip(aggregates, state[2]):
+            m = one if spec.kind == "count" else spec.expr.eval_range(view)
+            _fold_agg_partial(spec, agg, ann, m, certainly)
+
+
+def _merge_agg_partial(spec: AggregateSpec, dst: list, src: list) -> None:
+    if spec.kind in ("sum", "count"):
+        merge_acc(dst[0], src[0])
+        merge_acc(dst[1], src[1])
+        merge_acc(dst[2], src[2])
+        return
+    if spec.kind == "avg":
+        # src is the later partition: its envelope candidates replay the
+        # serial fold's "ties update" rules against dst's running values
+        if src[4]:
+            dst[4] = True
+            if _dom_le(src[0], dst[0]):
+                dst[0] = src[0]
+            if _dom_le(dst[1], src[1]):
+                dst[1] = src[1]
+        merge_acc(dst[2], src[2])
+        dst[3] += src[3]
+        return
+    monoid = _monoid_for(spec.kind)
+    dst[0] = monoid.combine(dst[0], src[0])
+    dst[1] = monoid.combine(dst[1], src[1])
+    dst[2] = monoid.combine(dst[2], src[2])
+
+
+def merge_partial_groups(
+    target: Dict[Tuple[Any, ...], list],
+    source: Dict[Tuple[Any, ...], list],
+    aggregates: Sequence[AggregateSpec],
+) -> None:
+    """Merge ``source`` into ``target`` in place (``source`` is consumed).
+
+    Call in partition order: group first-occurrence order and the
+    order-sensitive tie rules of MIN/MAX/AVG envelopes then reproduce the
+    serial fold exactly.
+    """
+    for key, src in source.items():
+        dst = target.get(key)
+        if dst is None:
+            target[key] = src
+            continue
+        dst[1][0] += src[1][0]
+        dst[1][1] += src[1][1]
+        dst[1][2] += src[1][2]
+        for spec, d, s in zip(aggregates, dst[2], src[2]):
+            _merge_agg_partial(spec, d, s)
+
+
+def _finalize_agg_partial(spec: AggregateSpec, agg: list) -> RangeValue:
+    if spec.kind in ("sum", "count"):
+        return _clamped_range(finish(agg[0]), finish(agg[1]), finish(agg[2]))
+    if spec.kind == "avg":
+        lo, hi, acc, cnt, seen = agg
+        sg = finish(acc) / cnt if cnt else 0.0
+        if not seen:  # no possible contributor
+            return RangeValue(0.0, 0.0, 0.0)
+        if not _dom_le(lo, sg):
+            sg = lo
+        if not _dom_le(sg, hi):
+            sg = hi
+        return RangeValue(lo, sg, hi)
+    return _clamped_range(agg[0], agg[1], agg[2])
+
+
+def finalize_partial_groups(
+    groups: Dict[Tuple[Any, ...], list],
+    group_by: Sequence[str],
+    aggregates: Sequence[AggregateSpec],
+) -> AURelation:
+    """Finalize merged partial states into the γ output relation —
+    bit-identical to :func:`aggregate` on the same (certain-group)
+    input."""
+    out_schema = list(group_by) + [spec.name for spec in aggregates]
+    out = AURelation(out_schema)
+    if not groups:
+        if not group_by:
+            out.add(
+                [_empty_aggregate_value(spec) for spec in aggregates],
+                (1, 1, 1),
+            )
+        return out
+    has_group_by = bool(group_by)
+    for rep, ann_sums, aggs in groups.values():
+        values: List[RangeValue] = list(rep)
+        for spec, agg in zip(aggregates, aggs):
+            values.append(_finalize_agg_partial(spec, agg))
+        if has_group_by:
+            ann = (_delta(ann_sums[0]), _delta(ann_sums[1]), ann_sums[2])
+        else:
+            ann = (1, 1, 1)
+        if ann[2] > 0:
+            out.add(values, ann)
+    return out

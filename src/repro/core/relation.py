@@ -239,6 +239,28 @@ class AURelation:
             total = au_add(total, ann)
         return total
 
+    def memory_footprint(self, chunk_size: int | None = None) -> int:
+        """Resident bytes of this relation's chunked columnar store.
+
+        Builds (and caches) the :class:`~repro.db.chunks.AUChunkStore`
+        at ``chunk_size`` if none is cached yet, then sums the chunk
+        payloads: the split lb/sg/ub scalar arrays, the serving
+        ``RangeValue`` columns, and the three ``K^AU`` annotation
+        arrays.  With chunking disabled (``chunk_size=0``) falls back
+        to a shallow estimate of the row dictionary itself.
+        """
+        from ..db.chunks import au_store
+
+        store = au_store(self, chunk_size)
+        if store is not None:
+            return store.memory_footprint()
+        import sys
+
+        return sys.getsizeof(self._rows) + sum(
+            sys.getsizeof(t) + sum(sys.getsizeof(v) for v in t)
+            for t in self._rows
+        )
+
     def __repr__(self) -> str:
         header = ", ".join(self.schema)
         lines = [f"AURelation({header}) [{len(self._rows)} tuples]"]

@@ -54,6 +54,7 @@ same counts as operator-span attributes, so the effect is visible in
 from __future__ import annotations
 
 import math
+import sys
 from array import array
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -65,9 +66,11 @@ from ..core.expressions import (
     Expression,
     Geq,
     Gt,
+    IsNull,
     Leq,
     Lt,
     Neq,
+    Not,
     Var,
 )
 from ..core.ranges import RangeValue, domain_key
@@ -90,6 +93,7 @@ __all__ = [
     "det_store",
     "au_store",
     "resolve_chunk_size",
+    "storage_report",
 ]
 
 #: Rows per chunk when ``EvalConfig.chunk_size`` is left unset (``None``).
@@ -128,7 +132,7 @@ def _is_nan(v: Any) -> bool:
 # ---------------------------------------------------------------------------
 
 #: comparison atoms a skip predicate may use (see ``_zone_allows``)
-SKIP_OPS = ("le", "lt", "ge", "gt", "eq", "ne")
+SKIP_OPS = ("le", "lt", "ge", "gt", "eq", "ne", "isnull", "notnull")
 
 _OP_TEXT = {"le": "<=", "lt": "<", "ge": ">=", "gt": ">", "eq": "=", "ne": "!="}
 _FLIP = {"le": "ge", "lt": "gt", "ge": "le", "gt": "lt", "eq": "eq", "ne": "ne"}
@@ -200,6 +204,27 @@ def derive_skip(condition: Optional[Expression]) -> Optional[ChunkSkipPredicate]
         return None
     constraints: List[SkipConstraint] = []
     for atom in _conjuncts(condition):
+        # null tests against the zones' null counts (`nulls[j]` plus the
+        # min/max keys, which bracket None at the bottom of the domain
+        # order — see the ``isnull``/``notnull`` rules in _zone_allows)
+        if isinstance(atom, IsNull) and isinstance(atom.operand, Var):
+            col = atom.operand.name
+            constraints.append(
+                SkipConstraint(col, "isnull", domain_key(None), f"{col} IS NULL")
+            )
+            continue
+        if (
+            isinstance(atom, Not)
+            and isinstance(atom.operand, IsNull)
+            and isinstance(atom.operand.operand, Var)
+        ):
+            col = atom.operand.operand.name
+            constraints.append(
+                SkipConstraint(
+                    col, "notnull", domain_key(None), f"{col} IS NOT NULL"
+                )
+            )
+            continue
         op = _ATOM_OPS.get(type(atom))
         if op is None:
             continue
@@ -321,6 +346,19 @@ def _zone_allows(zone: ChunkZone, index: Dict[str, int], skip: ChunkSkipPredicat
         elif op == "ne":
             if lo == hi == key:
                 return False
+        elif op == "isnull":
+            # no possibly-null row: the zone counts no null guesses and
+            # every lower bound sorts strictly above None (an AU row
+            # that *could* be null has lb None, which would pull the
+            # min key down to domain_key(None))
+            if zone.nulls[j] == 0 and lo > key:
+                return False
+        elif op == "notnull":
+            # every row is certainly null: all guesses are null and
+            # every upper bound sorts at or below None (⇒ lb = ub =
+            # None for every row, so IS NOT NULL holds in no world)
+            if zone.nulls[j] == zone.rows and hi <= key:
+                return False
     return True
 
 
@@ -355,6 +393,21 @@ def _set_demote(col, i, v):
             col = list(col)
     col[i] = v
     return col
+
+
+def _col_bytes(col) -> int:
+    """Shallow byte accounting for one column.
+
+    Typed ``array`` columns report their exact buffer size (``getsizeof``
+    includes the machine-value payload); demoted object columns report
+    the pointer vector plus each element's own object header — element
+    *contents* (e.g. a ``RangeValue``'s bound objects) are not chased, so
+    shared/interned values are charged once per reference, which is the
+    honest accounting for a columnar page of Python objects.
+    """
+    if type(col) is array:
+        return sys.getsizeof(col)
+    return sys.getsizeof(col) + sum(sys.getsizeof(v) for v in col)
 
 
 def _concat_cols(parts: Sequence) -> Any:
@@ -413,24 +466,77 @@ class _BaseStore:
             _ZONE_REBUILDS.inc()
         return ch.zone
 
-    def survivors(
+    def survivor_indices(
         self, skip: Optional[ChunkSkipPredicate]
-    ) -> Tuple[List[Any], int, int]:
-        """Chunks a scan must read: ``(kept, total_nonempty, skipped)``."""
-        kept: List[Any] = []
+    ) -> Tuple[List[int], int, int]:
+        """Indices of chunks a scan must read:
+        ``(kept_indices, total_nonempty, skipped)``."""
+        kept: List[int] = []
         total = 0
         skipped = 0
-        for ch in self.chunks:
+        for ci, ch in enumerate(self.chunks):
             if not len(ch):
                 continue
             total += 1
             if skip is not None and not _zone_allows(self.zone(ch), self._index, skip):
                 skipped += 1
                 continue
-            kept.append(ch)
+            kept.append(ci)
         _CHUNKS_SCANNED.inc(total - skipped)
         _CHUNKS_SKIPPED.inc(skipped)
         return kept, total, skipped
+
+    def survivors(
+        self, skip: Optional[ChunkSkipPredicate]
+    ) -> Tuple[List[Any], int, int]:
+        """Chunks a scan must read: ``(kept, total_nonempty, skipped)``."""
+        kept, total, skipped = self.survivor_indices(skip)
+        return [self.chunks[ci] for ci in kept], total, skipped
+
+    def batch_for_chunks(self, indices: Sequence[int]):
+        """Materialize the batch of an explicit chunk-index run.
+
+        This is the worker half of chunk-spec morsel transport: a
+        persistent pool ships only ``(table, chunk_size, indices)`` per
+        morsel and the worker rebuilds the batch from its own
+        (fork-inherited, same-epoch) store — chunk boundaries are
+        deterministic for identical relation state, so the batch is
+        bit-identical to the parent's."""
+        return self._concat([self.chunks[ci] for ci in indices])
+
+    def morsel_chunk_groups(
+        self, partitions: int, skip: Optional[ChunkSkipPredicate] = None
+    ) -> Tuple[List[List[int]], List[int], int, int]:
+        """Chunk-aligned morsels as index runs.
+
+        Returns ``(index_groups, rows_per_group, total, skipped)``:
+        contiguous runs of surviving chunk indices balanced to
+        ≈ rows/partitions each, never splitting a chunk."""
+        kept, total, skipped = self.survivor_indices(skip)
+        sizes = [len(self.chunks[ci]) for ci in kept]
+        groups = _group_runs(kept, sizes, partitions)
+        it = iter(sizes)
+        rows = [sum(next(it) for _ in g) for g in groups]
+        return groups, rows, total, skipped
+
+    def morsel_batches(
+        self, partitions: int, skip: Optional[ChunkSkipPredicate] = None
+    ) -> Tuple[List[Any], int, int]:
+        """Chunk-aligned morsels: contiguous runs of surviving chunks,
+        balanced to ≈ rows/partitions each, never splitting a chunk."""
+        groups, _rows, total, skipped = self.morsel_chunk_groups(partitions, skip)
+        return [self.batch_for_chunks(g) for g in groups], total, skipped
+
+    def memory_footprint(self) -> int:
+        """Resident bytes of the store's chunk payloads (see
+        :func:`_col_bytes` for the accounting rules)."""
+        return sum(self._chunk_bytes(ch) for ch in self.chunks)
+
+    def _chunk_bytes(self, ch) -> int:
+        raise NotImplementedError
+
+    def _concat(self, kept: List[Any]):
+        raise NotImplementedError
 
     def _reindex_tail(self, ci: int, start: int) -> None:
         raise NotImplementedError
@@ -561,6 +667,12 @@ class DetChunkStore(_BaseStore):
                     zone.nulls[j] += 1
         ch.zone = zone
 
+    def _chunk_bytes(self, ch: DetChunk) -> int:
+        batch = ch.batch
+        return sum(_col_bytes(col) for col in batch.columns) + _col_bytes(
+            batch.mult
+        )
+
     # -- scan surface -------------------------------------------------
     def _concat(self, kept: List[DetChunk]) -> ColumnBatch:
         if not kept:
@@ -595,27 +707,21 @@ class DetChunkStore(_BaseStore):
         kept, total, skipped = self.survivors(skip)
         return [ch.batch for ch in kept], total, skipped
 
-    def morsel_batches(
-        self, partitions: int, skip: Optional[ChunkSkipPredicate] = None
-    ) -> Tuple[List[ColumnBatch], int, int]:
-        """Chunk-aligned morsels: contiguous runs of surviving chunks,
-        balanced to ≈ rows/partitions each, never splitting a chunk."""
-        kept, total, skipped = self.survivors(skip)
-        groups = _group_chunks(kept, partitions)
-        return [self._concat(g) for g in groups], total, skipped
-
-
-def _group_chunks(kept: List[Any], partitions: int) -> List[List[Any]]:
-    rows = sum(len(ch) for ch in kept)
-    if not kept or partitions <= 1:
-        return [kept]
+def _group_runs(
+    items: List[Any], sizes: List[int], partitions: int
+) -> List[List[Any]]:
+    """Split ``items`` into ≤ ``partitions`` contiguous runs balanced by
+    ``sizes`` (rows per item); the morsel-alignment primitive."""
+    rows = sum(sizes)
+    if not items or partitions <= 1:
+        return [list(items)]
     target = math.ceil(rows / partitions)
     groups: List[List[Any]] = []
     cur: List[Any] = []
     cur_rows = 0
-    for ch in kept:
-        cur.append(ch)
-        cur_rows += len(ch)
+    for it, sz in zip(items, sizes):
+        cur.append(it)
+        cur_rows += sz
         if cur_rows >= target and len(groups) < partitions - 1:
             groups.append(cur)
             cur = []
@@ -801,6 +907,18 @@ class AUChunkStore(_BaseStore):
                 zone.certain += 1
         ch.zone = zone
 
+    def _chunk_bytes(self, ch: AUChunk) -> int:
+        total = 0
+        for j in range(len(self.schema)):
+            total += _col_bytes(ch.rv_cols[j])
+            total += _col_bytes(ch.lb_cols[j])
+            total += _col_bytes(ch.sg_cols[j])
+            total += _col_bytes(ch.ub_cols[j])
+        total += _col_bytes(ch.ann_lb)
+        total += _col_bytes(ch.ann_sg)
+        total += _col_bytes(ch.ann_ub)
+        return total
+
     # -- scan surface -------------------------------------------------
     def _concat(self, kept: List[AUChunk]) -> AUColumnBatch:
         if not kept:
@@ -864,6 +982,26 @@ def det_store(rel, chunk_size: Optional[int]) -> Optional[DetChunkStore]:
     except AttributeError:
         pass  # duck-typed relation: usable for this scan, not cached
     return store
+
+
+def storage_report(db, chunk_size: Optional[int] = None) -> Dict[str, int]:
+    """Per-table chunk-store footprint in bytes for a Det or AU database.
+
+    Calls each relation's ``memory_footprint`` (building the chunk store
+    at ``chunk_size`` if the relation has none cached) and publishes the
+    result to the ``repro_storage_bytes`` gauge, one series per table —
+    the backing for the REPL's ``\\storage`` command.
+    """
+    report: Dict[str, int] = {}
+    for name in sorted(db.relations):
+        bytes_ = db.relations[name].memory_footprint(chunk_size)
+        report[name] = bytes_
+        _tm.get_registry().gauge(
+            "repro_storage_bytes",
+            "Resident bytes of a relation's chunked columnar store.",
+            table=name,
+        ).set(bytes_)
+    return report
 
 
 def au_store(rel, chunk_size: Optional[int]) -> Optional[AUChunkStore]:

@@ -158,6 +158,28 @@ class DetRelation:
         """Bag cardinality (sum of multiplicities)."""
         return sum(self.rows.values())
 
+    def memory_footprint(self, chunk_size: int | None = None) -> int:
+        """Resident bytes of this relation's chunked columnar store.
+
+        Builds (and caches) the chunk store at ``chunk_size`` if the
+        relation has none yet, then sums the per-chunk column payloads —
+        typed array buffers exactly, object columns as pointer vector
+        plus per-element headers.  With chunking disabled
+        (``chunk_size=0``) falls back to a shallow estimate of the row
+        dictionary itself.
+        """
+        from .chunks import det_store
+
+        store = det_store(self, chunk_size)
+        if store is not None:
+            return store.memory_footprint()
+        import sys
+
+        return sys.getsizeof(self.rows) + sum(
+            sys.getsizeof(t) + sum(sys.getsizeof(v) for v in t)
+            for t in self.rows
+        )
+
     def __len__(self) -> int:
         return len(self.rows)
 

@@ -1,11 +1,14 @@
-"""Morsel-style partition-parallel execution for the det vectorized backend.
+"""Morsel-style partition-parallel execution for the vectorized backends.
 
 A physical plan's :class:`~repro.exec.physical.Exchange` node marks a
 *parallel region*: its subtree contains exactly one
 :class:`~repro.exec.physical.ParallelScan`, and evaluating the subtree
 once per morsel of that scan then merging (per the Exchange's ``merge``
 kind) is exact — the planner only builds regions out of operators that
-distribute over a bag-union partitioning of the driver table.
+distribute over a bag-union partitioning of the driver table.  Both
+engines run through this module: deterministic bags, and AU plans whose
+``K^AU`` annotations multiply along the region's linear operators and
+add back together at the merge.
 
 Execution of one Exchange:
 
@@ -13,21 +16,38 @@ Execution of one Exchange:
    table has a chunk store (:mod:`repro.db.chunks`) the morsels are
    contiguous runs of surviving chunks — the scan's zone-map skip
    predicate prunes chunks before any worker sees them; otherwise the
-   cached columnar image is split row-wise (:func:`split_batch`);
+   cached columnar image is split row-wise (:func:`split_batch` /
+   :func:`split_au_batch`);
 2. subtrees of the region that do *not* contain the ParallelScan are
    partition-invariant — they are evaluated **once** in the parent and
-   injected into the workers as pre-bound results (so e.g. a hash-join
-   build side is not recomputed per morsel);
-3. each worker interprets the region over its morsel.  Workers are
-   ``fork``-ed processes when the driver is large enough to amortize
-   process startup (:data:`PROCESS_MIN_ROWS`) and ``fork`` is available
-   (POSIX); otherwise the morsels run in-process, through the *same*
+   injected into the workers as pre-bound results, and hash-join build
+   sides on the driver spine are built once (AU build sides split into
+   their certain-key hash + uncertain interval-match parts once);
+3. each worker interprets the region over its morsel.  Workers come
+   from the session's **persistent pool** (:class:`WorkerPool`, owned
+   by :class:`repro.session.Connection` — forked once, reused across
+   queries, invalidated when ``db.epoch`` advances) when one is
+   attached and the driver is large enough to amortize transport
+   (:data:`PROCESS_MIN_ROWS`); else from a per-query ``fork`` pool;
+   else the morsels run in-process, through the *same*
    partition-and-merge code path, so results are identical either way;
 4. the per-partition results merge: batches concatenate (``concat``),
-   partial aggregation states combine exactly (``aggregate`` —
-   SUM/AVG through :mod:`repro.core.sums`, so floats are bit-identical
-   at every parallelism level), and ``topk``/``limit``/``distinct``
-   regions re-apply their operator over the concatenation.
+   partial aggregation states combine exactly (``aggregate`` /
+   ``au_aggregate`` — SUM/AVG through :mod:`repro.core.sums`, and the
+   AU lb/sg/ub semiring partials via the SG-combine-aware folds of
+   :mod:`repro.core.aggregation` — so floats are bit-identical at
+   every parallelism level), ``topk``/``limit``/``distinct`` regions
+   re-apply their operator over the concatenation, and ``au_topk``
+   applies the exact :func:`repro.core.operators.au_topk` once over
+   the partition-order concatenation (its prefix-sum bounds need the
+   full input, so there is no sound per-morsel pruning).
+
+AU partial aggregation is sound only while every row's group-by
+attributes are certain; a worker that meets an uncertain group raises
+:class:`~repro.core.aggregation.UncertainGroupError` and the Exchange
+transparently re-runs its ``final`` operator — the original serial
+:class:`~repro.exec.physical.TupleFallback` — so results never change,
+only the execution strategy.
 
 Small inputs skip partitioning entirely (:data:`PARALLEL_MIN_ROWS`):
 the region then runs as a single partition, which is the documented
@@ -39,19 +59,24 @@ partitioned paths on tiny data.
 from __future__ import annotations
 
 import os
+import pickle
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from .. import telemetry as _tm
+from ..core.aggregation import UncertainGroupError
 from ..db import chunks as _chunks
-from ..db.storage import DetDatabase
 from . import physical as phys
-from .batch import ColumnBatch
+from .batch import AUColumnBatch, ColumnBatch
 
 __all__ = [
     "PARALLEL_MIN_ROWS",
     "PROCESS_MIN_ROWS",
     "split_batch",
+    "split_au_batch",
     "execute_exchange",
+    "WorkerPool",
+    "PoolBrokenError",
 ]
 
 #: Below this many driver rows an Exchange collapses to one partition —
@@ -62,6 +87,28 @@ PARALLEL_MIN_ROWS = 2048
 #: partitioned: forking a worker pool costs milliseconds, which only
 #: pays off on batches with real per-morsel work.
 PROCESS_MIN_ROWS = 8192
+
+_REGISTRY = _tm.get_registry()
+_POOL_FORKS = _REGISTRY.counter(
+    "repro_parallel_pool_forks_total",
+    "Persistent worker pools forked (one fork event spawns all workers).",
+)
+_POOL_REUSES = _REGISTRY.counter(
+    "repro_parallel_pool_reuses_total",
+    "Exchange executions served by an already-live persistent pool.",
+)
+_POOL_INVALIDATIONS = _REGISTRY.counter(
+    "repro_parallel_pool_invalidations_total",
+    "Persistent pools torn down because the database epoch advanced.",
+)
+_POOL_TASKS = _REGISTRY.counter(
+    "repro_parallel_tasks_total",
+    "Morsel tasks dispatched to persistent pool workers.",
+)
+_AU_SERIAL_FALLBACKS = _REGISTRY.counter(
+    "repro_parallel_au_serial_fallbacks_total",
+    "AU parallel aggregates re-run serially (uncertain group-by values).",
+)
 
 
 def split_batch(batch: ColumnBatch, partitions: int) -> List[ColumnBatch]:
@@ -80,6 +127,24 @@ def split_batch(batch: ColumnBatch, partitions: int) -> List[ColumnBatch]:
     ]
 
 
+def split_au_batch(batch: AUColumnBatch, partitions: int) -> List[AUColumnBatch]:
+    """Split an AU batch row-wise into at most ``partitions`` morsels."""
+    n = len(batch)
+    if n == 0 or partitions <= 1:
+        return [batch]
+    size = (n + partitions - 1) // partitions
+    return [
+        AUColumnBatch(
+            batch.schema,
+            [col[s : s + size] for col in batch.columns],
+            batch.ann_lb[s : s + size],
+            batch.ann_sg[s : s + size],
+            batch.ann_ub[s : s + size],
+        )
+        for s in range(0, n, size)
+    ]
+
+
 def _contains(pnode: phys.PhysNode, target: phys.PhysNode) -> bool:
     return any(n is target for n in pnode.walk())
 
@@ -88,7 +153,7 @@ def _bind_invariants(
     pnode: phys.PhysNode,
     scan: phys.ParallelScan,
     parent_exec,
-    bindings: Dict[int, ColumnBatch],
+    bindings: Dict[int, Any],
 ) -> None:
     """Evaluate partition-invariant subtrees once, in the parent.
 
@@ -106,123 +171,162 @@ def _bind_invariants(
 def _prebuild_join_tables(
     pnode: phys.PhysNode,
     scan: phys.ParallelScan,
-    bindings: Dict[int, ColumnBatch],
-    join_tables: Dict[int, dict],
+    bindings: Dict[int, Any],
+    join_tables: Dict[int, Any],
+    au: bool = False,
 ) -> None:
     """Build hash tables for partition-invariant build sides once.
 
     A ``HashJoin`` on the driver spine probes a build side that is the
     same for every morsel — without this, each worker would rebuild the
-    identical table."""
-    from .vectorized import build_join_table
+    identical table.  For AU joins the build is the certain-key hash +
+    uncertain interval-match partition of
+    :func:`repro.exec.vectorized.build_au_join_table`."""
+    from .vectorized import build_au_join_table, build_join_table
 
     if isinstance(pnode, phys.HashJoin) and id(pnode.right) in bindings:
-        join_tables[id(pnode)] = build_join_table(
+        build = build_au_join_table if au else build_join_table
+        join_tables[id(pnode)] = build(
             bindings[id(pnode.right)], [b for _, b in pnode.eq_pairs]
         )
     for child in pnode.children():
         if _contains(child, scan):
-            _prebuild_join_tables(child, scan, bindings, join_tables)
+            _prebuild_join_tables(child, scan, bindings, join_tables, au)
 
 
-def execute_exchange(parent_exec, node: phys.Exchange) -> ColumnBatch:
+def execute_exchange(parent_exec, node: phys.Exchange):
     """Run the parallel region under ``node`` and merge the partitions."""
-    from .vectorized import _DetExec, PartialAggregate
+    from .vectorized import _AUExec, _DetExec
 
+    au = isinstance(parent_exec, _AUExec)
     scan = next(
         p for p in node.child.walk() if isinstance(p, phys.ParallelScan)
     )
-    db: DetDatabase = parent_exec.db
-    store = _chunks.det_store(db[scan.table], scan.chunk_size)
+    db = parent_exec.db
+    rel = db[scan.table]
+    store = (
+        _chunks.au_store(rel, scan.chunk_size)
+        if au
+        else _chunks.det_store(rel, scan.chunk_size)
+    )
     chunks_total = chunks_skipped = 0
+    chunk_groups: Optional[List[List[int]]] = None
+    parts: Optional[List[Any]] = None
     if store is None:
-        base = ColumnBatch.from_relation(db[scan.table])
+        base = (
+            AUColumnBatch.from_relation(rel)
+            if au
+            else ColumnBatch.from_relation(rel)
+        )
         driver_rows = len(base)
         if node.partitions <= 1 or driver_rows < PARALLEL_MIN_ROWS:
             parts = [base]
         else:
-            parts = split_batch(base, node.partitions)
+            split = split_au_batch if au else split_batch
+            parts = split(base, node.partitions)
+        n_parts = len(parts)
     else:
         # morsels map 1:1 onto contiguous runs of surviving chunks, so
         # zone-map skipping prunes work *before* it is handed to workers
-        parts, chunks_total, chunks_skipped = store.morsel_batches(
-            node.partitions, scan.skip
+        chunk_groups, group_rows, chunks_total, chunks_skipped = (
+            store.morsel_chunk_groups(node.partitions, scan.skip)
         )
-        driver_rows = sum(len(p) for p in parts)
-        if len(parts) > 1 and driver_rows < PARALLEL_MIN_ROWS:
-            parts = [_concat(parts)]
+        driver_rows = sum(group_rows)
+        if len(chunk_groups) > 1 and driver_rows < PARALLEL_MIN_ROWS:
+            chunk_groups = [[ci for g in chunk_groups for ci in g]]
+        n_parts = len(chunk_groups)
 
-    bindings: Dict[int, ColumnBatch] = dict(parent_exec.bindings)
+    bindings: Dict[int, Any] = dict(parent_exec.bindings)
     _bind_invariants(node.child, scan, parent_exec, bindings)
-    join_tables: Dict[int, dict] = {}
-    _prebuild_join_tables(node.child, scan, bindings, join_tables)
+    join_tables: Dict[int, Any] = {}
+    _prebuild_join_tables(node.child, scan, bindings, join_tables, au)
 
     use_processes = (
-        len(parts) > 1
+        n_parts > 1
         and driver_rows >= PROCESS_MIN_ROWS
         and hasattr(os, "fork")
     )
+    pool: Optional[WorkerPool] = getattr(parent_exec, "pool", None)
+    use_pool = use_processes and pool is not None and pool.ensure(db)
     if _tm._ACTIVE is not None:
         # the Exchange's operator span is the innermost open one here;
         # in-process morsels emit their own nested spans, forked workers
-        # trace nothing (spans die with the child's address space)
+        # trace nothing (spans die with the child's address space) but
+        # pool workers report per-task wall times back
         attrs: Dict[str, Any] = dict(
-            morsels=len(parts),
+            morsels=n_parts,
             forked=use_processes,
+            pooled=use_pool,
             driver_rows=driver_rows,
         )
         if store is not None:
             attrs["chunks_total"] = chunks_total
             attrs["chunks_skipped"] = chunks_skipped
         _tm.annotate(**attrs)
-    if use_processes:
-        results = _run_forked(db, node.child, scan, parts, bindings, join_tables)
-    else:
-        # same worker + transport code as the forked pool, minus the fork:
-        # results round-trip through encode/decode so both paths are
-        # byte-for-byte the same computation
-        results = [
-            _decode(
-                _encode(
-                    _DetExec(
-                        db,
-                        None,
-                        {**bindings, id(scan): part},
-                        join_tables,
-                    ).eval(node.child)
+
+    try:
+        results = None
+        if use_pool:
+            try:
+                results = _run_pooled(
+                    pool, node, scan, au, bindings, chunk_groups, parts
                 )
-            )
-            for part in parts
-        ]
-    return _merge(node, results)
+            except PoolBrokenError:
+                results = None  # fall through to the per-query paths
+        if results is None:
+            if parts is None:
+                parts = [store.batch_for_chunks(g) for g in chunk_groups]
+            if use_processes:
+                results = _run_forked(
+                    db, node.child, scan, parts, bindings, join_tables, au
+                )
+            else:
+                # same worker + transport code as the pools, minus the
+                # fork: results round-trip through encode/decode so all
+                # paths are byte-for-byte the same computation
+                cls = _AUExec if au else _DetExec
+                results = [
+                    _decode(
+                        _encode(
+                            cls(
+                                db,
+                                None,
+                                {**bindings, id(scan): part},
+                                join_tables,
+                            ).eval(node.child)
+                        )
+                    )
+                    for part in parts
+                ]
+        return _merge_au(node, results) if au else _merge(node, results)
+    except UncertainGroupError:
+        # a morsel met uncertain group-by values: partial aggregation is
+        # not sound there, so run the original serial operator instead
+        _AU_SERIAL_FALLBACKS.inc()
+        if _tm._ACTIVE is not None:
+            _tm.annotate(au_serial_fallback=True)
+        return parent_exec.eval(node.final)
 
 
 # ----------------------------------------------------------------------
-# forked worker pool
+# result / morsel transport
 # ----------------------------------------------------------------------
-#: Inherited-by-fork work description; only partition indices travel to
-#: the workers and only encoded results travel back.
-_WORK: Optional[tuple] = None
-
-
-def _worker(i: int):
-    from .vectorized import _DetExec
-
-    # the fork inherited the parent's active trace; spans recorded here
-    # could never travel back over the result pipe, so don't record any
-    _tm._ACTIVE = None
-    db, region, scan, parts, bindings, join_tables = _WORK
-    result = _DetExec(
-        db, None, {**bindings, id(scan): parts[i]}, join_tables
-    ).eval(region)
-    return _encode(result)
-
-
 def _encode(result) -> tuple:
-    from .vectorized import PartialAggregate
+    from .vectorized import AUPartialGroups, PartialAggregate
 
     if isinstance(result, PartialAggregate):
         return ("partial", result.groups)
+    if isinstance(result, AUPartialGroups):
+        return ("au_partial", result.groups)
+    if isinstance(result, AUColumnBatch):
+        return (
+            "au_batch",
+            result.schema,
+            [list(col) for col in result.columns],
+            list(result.ann_lb),
+            list(result.ann_sg),
+            list(result.ann_ub),
+        )
     return (
         "batch",
         result.schema,
@@ -232,20 +336,291 @@ def _encode(result) -> tuple:
 
 
 def _decode(payload: tuple):
-    from .vectorized import PartialAggregate
+    from .vectorized import AUPartialGroups, PartialAggregate
 
     if payload[0] == "partial":
         return PartialAggregate(payload[1])
+    if payload[0] == "au_partial":
+        return AUPartialGroups(payload[1])
+    if payload[0] == "au_batch":
+        _tag, schema, columns, lb, sg, ub = payload
+        return AUColumnBatch(schema, columns, lb, sg, ub)
     _tag, schema, columns, mult = payload
     return ColumnBatch(schema, columns, mult)
 
 
-def _run_forked(db, region, scan, parts, bindings, join_tables) -> List[Any]:
+def _decode_morsel(db, spec: tuple, au: bool):
+    """Rebuild a worker's morsel from its transport spec.
+
+    ``("chunks", table, chunk_size, indices)`` rebuilds from the chunk
+    store (the fork-inherited relation state is identical at the same
+    epoch, so chunk boundaries — and therefore the batch — are
+    bit-identical to the parent's); any other tag is an encoded batch.
+    """
+    if spec[0] == "chunks":
+        _tag, table, chunk_size, indices = spec
+        rel = db[table]
+        store = (
+            _chunks.au_store(rel, chunk_size)
+            if au
+            else _chunks.det_store(rel, chunk_size)
+        )
+        return store.batch_for_chunks(indices)
+    return _decode(spec)
+
+
+# ----------------------------------------------------------------------
+# persistent worker pool (Connection-owned, lives across queries)
+# ----------------------------------------------------------------------
+class PoolBrokenError(RuntimeError):
+    """The persistent pool cannot serve this region (worker death or an
+    untransportable plan); the caller falls back to per-query workers."""
+
+
+def _run_task(db, task: tuple) -> tuple:
+    """Execute one morsel task inside a pool worker."""
+    from .vectorized import _AUExec, _DetExec
+
+    region_bytes, au, scan_idx, enc_bindings, spec = task
+    region = pickle.loads(region_bytes)
+    # node identities do not survive pickling: bindings travel keyed by
+    # preorder walk index and re-key against the worker's copy
+    nodes = list(region.walk())
+    bindings = {id(nodes[i]): _decode(p) for i, p in enc_bindings}
+    scan = nodes[scan_idx]
+    bindings[id(scan)] = _decode_morsel(db, spec, au)
+    join_tables: Dict[int, Any] = {}
+    _prebuild_join_tables(region, scan, bindings, join_tables, au)
+    cls = _AUExec if au else _DetExec
+    return _encode(cls(db, None, bindings, join_tables).eval(region))
+
+
+def _pool_worker_main(conn, db) -> None:
+    """Loop of one persistent worker: recv task, execute, send result.
+
+    The fork inherited the parent's active trace; spans recorded here
+    could never travel back over the result pipe, so none are recorded —
+    instead each reply carries its wall time for the parent to attach to
+    the Exchange span.
+    """
+    _tm._ACTIVE = None
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if task is None:
+            break
+        started = time.perf_counter()
+        try:
+            payload = _run_task(db, task)
+        except BaseException as exc:  # noqa: BLE001 - relayed to parent
+            try:
+                conn.send(("err", exc))
+            except Exception:
+                conn.send(("err", RuntimeError(f"worker failed: {exc!r}")))
+            continue
+        conn.send(("ok", payload, time.perf_counter() - started))
+
+
+class WorkerPool:
+    """A persistent fork-based worker pool owned by a Connection.
+
+    Workers are forked once and live across queries; each query ships
+    its region plan, invariant bindings, and morsel specs over pipes and
+    receives encoded results back.  The pool is keyed to one database
+    *snapshot* — ``(database identity, epoch)`` — because forked workers
+    hold a copy-on-write image of the parent's relations: when the epoch
+    advances (any write), :meth:`ensure` tears the stale workers down
+    and re-forks against current state.  Fork/reuse/invalidation counts
+    publish to the metrics registry (``repro_parallel_pool_*``).
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("worker pool needs at least one worker")
+        self.size = size
+        self._workers: List[Tuple[Any, Any]] = []  # (process, pipe conn)
+        self._key: Optional[Tuple[int, int]] = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def alive(self) -> bool:
+        return bool(self._workers)
+
+    def ensure(self, db) -> bool:
+        """Make the workers match ``db`` at its current epoch.
+
+        Returns ``True`` when live workers hold the right snapshot
+        (reusing or re-forking as needed), ``False`` when fork is not
+        available on this platform.
+        """
+        if not hasattr(os, "fork"):
+            return False
+        key = (id(db), getattr(db, "epoch", 0))
+        if self._workers and self._key == key:
+            _POOL_REUSES.inc()
+            return True
+        if self._workers:
+            _POOL_INVALIDATIONS.inc()
+            self.close()
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        workers: List[Tuple[Any, Any]] = []
+        for _ in range(self.size):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_pool_worker_main, args=(child_conn, db), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            workers.append((proc, parent_conn))
+        self._workers = workers
+        self._key = key
+        _POOL_FORKS.inc()
+        return True
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        workers, self._workers, self._key = self._workers, [], None
+        for proc, conn in workers:
+            try:
+                conn.send(None)
+            except (OSError, ValueError):
+                pass
+        for proc, conn in workers:
+            try:
+                proc.join(timeout=1.0)
+                if proc.is_alive():
+                    proc.terminate()
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- dispatch ------------------------------------------------------
+    def run(self, tasks: List[tuple]) -> Tuple[List[tuple], List[float]]:
+        """Round-robin ``tasks`` over the workers; returns the encoded
+        payloads in task order plus per-task worker wall times.
+
+        Worker-side exceptions re-raise here (they travel pickled over
+        the pipe — how an :class:`UncertainGroupError` in one morsel
+        reaches the Exchange's serial fallback); transport failures
+        close the pool and raise :class:`PoolBrokenError` instead.
+        """
+        if not self._workers:
+            raise PoolBrokenError("pool has no live workers")
+        assignment: List[List[int]] = [[] for _ in self._workers]
+        for k in range(len(tasks)):
+            assignment[k % len(self._workers)].append(k)
+        payloads: List[Optional[tuple]] = [None] * len(tasks)
+        timings: List[float] = [0.0] * len(tasks)
+        error: Optional[BaseException] = None
+        try:
+            for (_proc, conn), idxs in zip(self._workers, assignment):
+                for k in idxs:
+                    conn.send(tasks[k])
+            for (_proc, conn), idxs in zip(self._workers, assignment):
+                for k in idxs:
+                    reply = conn.recv()
+                    if reply[0] == "ok":
+                        payloads[k] = reply[1]
+                        timings[k] = reply[2]
+                    elif error is None:
+                        error = reply[1]
+        except (EOFError, OSError) as exc:
+            self.close()
+            raise PoolBrokenError(f"pool worker died: {exc!r}") from exc
+        _POOL_TASKS.inc(len(tasks))
+        if error is not None:
+            raise error
+        return payloads, timings
+
+
+def _run_pooled(
+    pool: WorkerPool,
+    node: phys.Exchange,
+    scan: phys.ParallelScan,
+    au: bool,
+    bindings: Dict[int, Any],
+    chunk_groups: Optional[List[List[int]]],
+    parts: Optional[List[Any]],
+) -> List[Any]:
+    """Dispatch the region to the persistent pool.
+
+    The region subtree is pickled once per query; morsels travel as
+    chunk-index specs when the driver has a chunk store (the workers'
+    fork-inherited stores rebuild the batches locally) and as encoded
+    batches otherwise.  Invariant bindings are keyed by walk index so
+    they re-attach to the workers' unpickled plan copies.
+    """
+    nodes = list(node.child.walk())
+    idx_of = {id(n): i for i, n in enumerate(nodes)}
+    try:
+        region_bytes = pickle.dumps(node.child)
+        enc_bindings = tuple(
+            (idx_of[key], _encode(batch))
+            for key, batch in bindings.items()
+            if key in idx_of
+        )
+        if chunk_groups is not None:
+            specs = [
+                ("chunks", scan.table, scan.chunk_size, g) for g in chunk_groups
+            ]
+        else:
+            specs = [_encode(p) for p in parts]
+        tasks = [
+            (region_bytes, au, idx_of[id(scan)], enc_bindings, spec)
+            for spec in specs
+        ]
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        # untransportable plan (exotic expression state): the pool stays
+        # alive for other queries, this region uses per-query workers
+        raise PoolBrokenError(f"region not picklable: {exc!r}") from exc
+    payloads, timings = pool.run(tasks)
+    if _tm._ACTIVE is not None:
+        _tm.annotate(pool_worker_seconds=[round(t, 6) for t in timings])
+    return [_decode(p) for p in payloads]
+
+
+# ----------------------------------------------------------------------
+# per-query forked worker pool (no persistent pool attached)
+# ----------------------------------------------------------------------
+#: Inherited-by-fork work description; only partition indices travel to
+#: the workers and only encoded results travel back.
+_WORK: Optional[tuple] = None
+
+
+def _worker(i: int):
+    from .vectorized import _AUExec, _DetExec
+
+    # the fork inherited the parent's active trace; spans recorded here
+    # could never travel back over the result pipe, so don't record any
+    _tm._ACTIVE = None
+    db, region, scan, parts, bindings, join_tables, au = _WORK
+    cls = _AUExec if au else _DetExec
+    result = cls(
+        db, None, {**bindings, id(scan): parts[i]}, join_tables
+    ).eval(region)
+    return _encode(result)
+
+
+def _run_forked(
+    db, region, scan, parts, bindings, join_tables, au: bool = False
+) -> List[Any]:
     import multiprocessing
 
     global _WORK
     ctx = multiprocessing.get_context("fork")
-    _WORK = (db, region, scan, parts, bindings, join_tables)
+    _WORK = (db, region, scan, parts, bindings, join_tables, au)
     try:
         with ctx.Pool(min(len(parts), os.cpu_count() or 1)) as pool:
             encoded = pool.map(_worker, range(len(parts)))
@@ -268,6 +643,23 @@ def _concat(batches: List[ColumnBatch]) -> ColumnBatch:
             acc.extend(col)
         mult.extend(batch.mult)
     return ColumnBatch(first.schema, columns, mult)
+
+
+def _concat_au(batches: List[AUColumnBatch]) -> AUColumnBatch:
+    first = batches[0]
+    if len(batches) == 1:
+        return first
+    columns: List[list] = [list(col) for col in first.columns]
+    ann_lb = list(first.ann_lb)
+    ann_sg = list(first.ann_sg)
+    ann_ub = list(first.ann_ub)
+    for batch in batches[1:]:
+        for acc, col in zip(columns, batch.columns):
+            acc.extend(col)
+        ann_lb.extend(batch.ann_lb)
+        ann_sg.extend(batch.ann_sg)
+        ann_ub.extend(batch.ann_ub)
+    return AUColumnBatch(first.schema, columns, ann_lb, ann_sg, ann_ub)
 
 
 def _merge(node: phys.Exchange, results: List[Any]) -> ColumnBatch:
@@ -328,3 +720,40 @@ def _merge(node: phys.Exchange, results: List[Any]) -> ColumnBatch:
     if node.merge == "distinct":
         return _dedup_batch(_concat(results))
     raise TypeError(f"unsupported exchange merge {node.merge!r}")
+
+
+def _merge_au(node: phys.Exchange, results: List[Any]) -> AUColumnBatch:
+    """Recombine AU morsel results (annotations add at the merge).
+
+    ``au_aggregate`` merges the per-worker SG-combine partial states in
+    partition order and finalizes — bit-identical to the serial tuple
+    operator (exact Shewchuk accumulators make SUM/AVG regrouping-
+    invariant; MIN/MAX/AVG-envelope tie rules replay the serial fold
+    because merging follows partition order).  ``au_topk`` concatenates
+    the full morsel outputs and applies the exact top-k operator once —
+    its prefix-sum bound construction needs the entire input.
+    """
+    from ..core import operators as ops
+    from ..core.aggregation import (
+        finalize_partial_groups,
+        merge_partial_groups,
+    )
+
+    if node.merge == "concat":
+        return _concat_au(results)
+    final = node.final
+    lg = final.logical
+    if node.merge == "au_aggregate":
+        merged: Dict[Tuple, list] = {}
+        for part in results:
+            merge_partial_groups(merged, part.groups, lg.aggregates)
+        rel = finalize_partial_groups(merged, lg.group_by, lg.aggregates)
+        if lg.having is not None:
+            rel = ops.selection(rel, lg.having)
+        return AUColumnBatch.from_relation(rel)
+    if node.merge == "au_topk":
+        rel = _concat_au(results).to_relation()
+        return AUColumnBatch.from_relation(
+            ops.au_topk(rel, lg.keys, lg.descending, lg.n)
+        )
+    raise TypeError(f"unsupported AU exchange merge {node.merge!r}")

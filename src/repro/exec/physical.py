@@ -83,6 +83,7 @@ __all__ = [
     "NLJoin",
     "CompressedJoin",
     "HashAggregate",
+    "AUPartialAggregate",
     "HashDistinct",
     "TopK",
     "Limit",
@@ -363,6 +364,31 @@ class HashAggregate(PhysNode):
         return (self.child,)
 
 
+class AUPartialAggregate(PhysNode):
+    """Per-morsel AU aggregation emitting mergeable partial state.
+
+    Appears only as the child of an ``Exchange(merge="au_aggregate")``:
+    each worker folds its morsel into per-group ``K^AU`` annotation sums
+    and SG-combine-aware aggregate partials
+    (:func:`repro.core.aggregation.fold_partial_groups`); the Exchange
+    merges the states in partition order and finalizes — bit-identical
+    to the serial tuple operator.  Sound only while every row's group-by
+    attributes are certain; a worker meeting an uncertain group raises
+    and the Exchange re-runs its ``final`` (the original serial
+    :class:`TupleFallback`) instead.
+    """
+
+    def __init__(
+        self, child: PhysNode, group_by: Sequence[str], aggregates: Sequence
+    ) -> None:
+        self.child = child
+        self.group_by = tuple(group_by)
+        self.aggregates = tuple(aggregates)
+
+    def children(self):
+        return (self.child,)
+
+
 class HashDistinct(PhysNode):
     def __init__(self, child: PhysNode) -> None:
         self.child = child
@@ -487,12 +513,8 @@ def lower(
     plan.
     """
     pplan = _Lowerer(stats, config).lower(plan)
-    if (
-        config.engine == "det"
-        and config.backend == "vectorized"
-        and config.parallelism > 1
-    ):
-        pplan = _parallelize(pplan, config.parallelism)
+    if config.backend == "vectorized" and config.parallelism > 1:
+        pplan = _parallelize(pplan, config.parallelism, au=config.engine == "au")
     _attach_chunk_skips(pplan, config)
     if verify is None:
         verify = verification_enabled()
@@ -681,8 +703,8 @@ class _Lowerer:
 # ======================================================================
 # partition parallelism (deterministic vectorized backend)
 # ======================================================================
-def _parallelize(root: PhysNode, partitions: int) -> PhysNode:
-    """Insert morsel-parallel regions into a det vectorized plan.
+def _parallelize(root: PhysNode, partitions: int, au: bool = False) -> PhysNode:
+    """Insert morsel-parallel regions into a vectorized plan.
 
     A *region* is a subtree whose result distributes over a bag-union
     partitioning of one base-table scan (its *driver*): selections,
@@ -694,10 +716,22 @@ def _parallelize(root: PhysNode, partitions: int) -> PhysNode:
     re-apply, and a fully linear region just concatenates.  Subtrees
     with no partitionable driver (e.g. under a :class:`TupleFallback`)
     stay serial.
+
+    With ``au`` the same region calculus applies to ``K^AU`` plans —
+    annotations multiply along linear operators and add at the merge, so
+    bag-union partitioning stays exact.  The merge kinds differ: an
+    aggregate fallback becomes an :class:`AUPartialAggregate` region
+    merged with SG-combine-aware folds (``au_aggregate``), a top-k
+    fallback concatenates morsels and applies the exact
+    :func:`repro.core.operators.au_topk` once at the merge
+    (``au_topk`` — its prefix-sum bounds need the *full* input, so no
+    sound local pruning exists), and the remaining non-linear fallbacks
+    (difference / distinct / compressed aggregation) always stay serial
+    — only their linear input subtrees get concat regions.
     """
 
     def walk(node: PhysNode) -> PhysNode:
-        region = _try_region(node, partitions)
+        region = _try_region(node, partitions, au)
         if region is not None:
             return region
         for name in ("child", "left", "right"):
@@ -711,7 +745,9 @@ def _parallelize(root: PhysNode, partitions: int) -> PhysNode:
     return walk(root)
 
 
-def _try_region(node: PhysNode, partitions: int) -> Optional[Exchange]:
+def _try_region(
+    node: PhysNode, partitions: int, au: bool = False
+) -> Optional[Exchange]:
     def exchange(
         child: PhysNode, merge: str, final: Optional[PhysNode], chosen: int
     ) -> Exchange:
@@ -719,6 +755,32 @@ def _try_region(node: PhysNode, partitions: int) -> Optional[Exchange]:
         ex.est = node.est
         ex.sources = node.sources
         return ex
+
+    if au:
+        if (
+            isinstance(node, TupleFallback)
+            and node.kind == "aggregate"
+            and node.buckets is None
+        ):
+            split = _partition_subtree(node.inputs[0], partitions)
+            if split is None:
+                return None
+            region, chosen = split
+            lg = node.logical
+            partial = AUPartialAggregate(region, lg.group_by, lg.aggregates)
+            partial.est = node.est
+            return exchange(partial, "au_aggregate", node, chosen)
+        if isinstance(node, TupleFallback) and node.kind == "topk":
+            split = _partition_subtree(node.inputs[0], partitions)
+            if split is None:
+                return None
+            region, chosen = split
+            return exchange(region, "au_topk", node, chosen)
+        split = _partition_subtree(node, partitions, require_ops=True)
+        if split is not None:
+            region, chosen = split
+            return exchange(region, "concat", None, chosen)
+        return None
 
     if isinstance(node, HashAggregate) and not node.partial:
         split = _partition_subtree(node.child, partitions)
@@ -882,6 +944,14 @@ def _describe(node: PhysNode) -> str:
         )
         mode = " (partial)" if node.partial else ""
         return f"HashAggregate γ[{','.join(node.group_by)}; {aggs}]{mode}"
+    if isinstance(node, AUPartialAggregate):
+        aggs = ", ".join(
+            f"{a.kind}({a.expr!r})→{a.name}" for a in node.aggregates
+        )
+        return (
+            f"AUPartialAggregate γ[{','.join(node.group_by)}; {aggs}]"
+            " (SG-combine partial)"
+        )
     if isinstance(node, HashDistinct):
         return "HashDistinct δ"
     if isinstance(node, TopK):

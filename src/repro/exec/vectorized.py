@@ -43,6 +43,7 @@ from .. import telemetry as _tm
 from ..core import operators as ops
 from ..db import chunks as _chunks
 from ..core.aggregation import aggregate as au_aggregate
+from ..core.aggregation import fold_partial_groups
 from ..core.compression import optimized_join
 from ..core.expressions import Expression, RowView, Var
 from ..core.ranges import domain_key
@@ -57,7 +58,10 @@ __all__ = [
     "execute_det",
     "execute_audb",
     "PartialAggregate",
+    "AUPartialGroups",
     "DeltaFoldError",
+    "build_join_table",
+    "build_au_join_table",
     "fold_delta_groups",
     "finalize_delta_groups",
 ]
@@ -94,6 +98,23 @@ class PartialAggregate:
         self.groups = groups
 
 
+class AUPartialGroups:
+    """Mergeable per-morsel AU aggregation state (parallel plans only).
+
+    ``groups`` maps SG group-key tuples to
+    ``[rep, ann_sums, agg_partials]`` states in the layout of
+    :func:`repro.core.aggregation.fold_partial_groups`;
+    :mod:`repro.exec.parallel` merges them in partition order with
+    :func:`~repro.core.aggregation.merge_partial_groups` and finalizes
+    through :func:`~repro.core.aggregation.finalize_partial_groups`.
+    """
+
+    __slots__ = ("groups",)
+
+    def __init__(self, groups: Dict[Tuple, List[Any]]) -> None:
+        self.groups = groups
+
+
 # ======================================================================
 # deterministic executor
 # ======================================================================
@@ -101,21 +122,27 @@ def execute_det(
     pplan: phys.PhysNode,
     db: DetDatabase,
     actuals: Optional[Dict[int, int]] = None,
+    pool=None,
 ) -> DetRelation:
     """Interpret the physical plan ``pplan`` over ``db`` vectorized.
 
     Semantically identical to the tuple interpreter on the same plan.
     ``actuals`` collects per-node output cardinalities, keyed by both
     the physical node id and its logical source ids (for the two
-    ``explain`` renderings).
+    ``explain`` renderings).  ``pool`` is an optional persistent
+    :class:`repro.exec.parallel.WorkerPool` for Exchange regions.
     """
-    return _DetExec(db, actuals).run(pplan)
+    return _DetExec(db, actuals, pool=pool).run(pplan)
 
 
 class _DetExec:
-    def __init__(self, db, actuals=None, bindings=None, join_tables=None) -> None:
+    def __init__(
+        self, db, actuals=None, bindings=None, join_tables=None, pool=None
+    ) -> None:
         self.db = db
         self.actuals = actuals
+        #: persistent worker pool (Connection-owned) for Exchange regions
+        self.pool = pool
         #: pre-computed results by node id: partition-invariant subtrees
         #: of a parallel region, and the per-worker morsel of its
         #: ParallelScan (see repro.exec.parallel)
@@ -803,15 +830,18 @@ def execute_audb(
     pplan: phys.PhysNode,
     db: AUDatabase,
     actuals: Optional[Dict[int, int]] = None,
+    pool=None,
 ) -> AURelation:
     """Interpret the physical plan ``pplan`` over the AU-database ``db``.
 
     Produces exactly the relation of the tuple interpreter on the same
     plan; ``TupleFallback``/``CompressedJoin`` nodes materialize their
     inputs and call the exact :mod:`repro.core` implementations — the
-    boundary was chosen by the planner, not here.
+    boundary was chosen by the planner, not here.  ``pool`` is an
+    optional persistent :class:`repro.exec.parallel.WorkerPool` for
+    Exchange regions.
     """
-    return _AUExec(db, actuals).run(pplan)
+    return _AUExec(db, actuals, pool=pool).run(pplan)
 
 
 class _PairView:
@@ -844,14 +874,29 @@ class _PairView:
 
 
 class _AUExec:
-    def __init__(self, db, actuals=None) -> None:
+    def __init__(
+        self, db, actuals=None, bindings=None, join_tables=None, pool=None
+    ) -> None:
         self.db = db
         self.actuals = actuals
+        #: pre-computed results by node id: partition-invariant subtrees
+        #: of a parallel region, and the per-worker morsel of its
+        #: ParallelScan (see repro.exec.parallel)
+        self.bindings: Dict[int, AUColumnBatch] = bindings or {}
+        #: pre-built AU hash tables by HashJoin node id — a parallel
+        #: region builds each partition-invariant build side once in the
+        #: parent; forked workers inherit it copy-on-write
+        self.join_tables: Dict[int, Tuple] = join_tables or {}
+        #: persistent worker pool (Connection-owned) for Exchange regions
+        self.pool = pool
 
     def run(self, pplan: phys.PhysNode):
         return self.eval(pplan).to_relation()
 
     def eval(self, pnode: phys.PhysNode) -> AUColumnBatch:
+        bound = self.bindings.get(id(pnode))
+        if bound is not None:
+            return bound
         tr = _tm._ACTIVE
         if tr is not None:
             span = tr.begin_op(pnode)
@@ -860,10 +905,12 @@ class _AUExec:
             except BaseException:
                 tr.end_op(span)
                 raise
-            tr.end_op(span, len(batch))
+            tr.end_op(
+                span, len(batch) if isinstance(batch, AUColumnBatch) else None
+            )
         else:
             batch = self._node(pnode)
-        if self.actuals is not None:
+        if self.actuals is not None and isinstance(batch, AUColumnBatch):
             # the tuple engine records distinct AU-tuples per node
             if batch.columns:
                 n = len(set(zip(*batch.columns)))
@@ -879,10 +926,16 @@ class _AUExec:
 
     # -- plan dispatch -------------------------------------------------
     def _node(self, p: phys.PhysNode) -> AUColumnBatch:
-        if isinstance(p, phys.Scan):
+        if isinstance(p, (phys.Scan, phys.ParallelScan)):
+            # outside an Exchange binding (serial collapse) a
+            # ParallelScan's morsel is the whole table
             return self._scan(p)
         if isinstance(p, phys.FusedSelectProject):
-            if p.condition is not None and isinstance(p.child, phys.Scan):
+            if (
+                p.condition is not None
+                and isinstance(p.child, (phys.Scan, phys.ParallelScan))
+                and id(p.child) not in self.bindings
+            ):
                 streamed = self._stream_select_project(p, p.child)
                 if streamed is not None:
                     return streamed
@@ -929,7 +982,35 @@ class _AUExec:
             )
         if isinstance(p, phys.TupleFallback):
             return self._fallback(p)
+        if isinstance(p, phys.AUPartialAggregate):
+            return self._partial_aggregate(p)
+        if isinstance(p, phys.Exchange):
+            from .parallel import execute_exchange
+
+            return execute_exchange(self, p)
         raise TypeError(f"unsupported physical node {type(p).__name__}")
+
+    def _partial_aggregate(self, p: phys.AUPartialAggregate) -> AUPartialGroups:
+        """Fold this worker's morsel into mergeable per-group AU state.
+
+        Raises :class:`~repro.core.aggregation.UncertainGroupError` when
+        a row's group-by attributes are uncertain — the Exchange then
+        falls back to the serial tuple operator over the whole input.
+        """
+        batch = self.eval(p.child)
+        if batch.columns:
+            tuples = zip(*batch.columns)
+        else:
+            tuples = iter(((),) * len(batch))
+        groups: Dict[Tuple, List[Any]] = {}
+        fold_partial_groups(
+            groups,
+            batch.schema,
+            zip(tuples, batch.annotations()),
+            p.group_by,
+            p.aggregates,
+        )
+        return AUPartialGroups(groups)
 
     def _fallback(self, p: phys.TupleFallback) -> AUColumnBatch:
         """SG-combining semantics: the planner routed this node to the
@@ -1085,20 +1166,10 @@ class _AUExec:
         r_key_cols = [right.columns[r_index[b]] for _, b in p.eq_pairs]
         pure_equi = p.pure_equi
 
-        # partition the right side: rows with fully certain join keys go
-        # into the hash table (keyed by SG values); the rest interval-match
-        certain_right: Dict[Tuple, List[int]] = {}
-        certain_right_rows: List[int] = []
-        uncertain_right: List[int] = []
-        for j in range(len(right)):
-            keyvals = [c[j] for c in r_key_cols]
-            if all(v.is_certain for v in keyvals):
-                certain_right.setdefault(
-                    tuple(v.sg for v in keyvals), []
-                ).append(j)
-                certain_right_rows.append(j)
-            else:
-                uncertain_right.append(j)
+        table = self.join_tables.get(id(p))
+        if table is None:
+            table = build_au_join_table(right, [b for _, b in p.eq_pairs])
+        certain_right, certain_right_rows, uncertain_right = table
         if _tm._ACTIVE is not None:
             _tm.annotate(
                 build_rows=len(right),
@@ -1200,3 +1271,33 @@ class _AUExec:
             ann_sg,
             ann_ub,
         )
+
+
+def build_au_join_table(
+    right: AUColumnBatch, key_attrs: Sequence[str]
+) -> Tuple[Dict[Tuple, List[int]], List[int], List[int]]:
+    """Partition an AU build side for the certain-key hash join.
+
+    Rows whose join-key attributes are all certain bucket by their SG
+    value tuple (``certain_right``); the rest (``uncertain_right``)
+    interval-match against every probe row.  ``certain_right_rows``
+    keeps the certain rows in order for uncertain-probe overlap scans.
+    A parallel region builds this once in the parent process; forked
+    workers inherit the table copy-on-write instead of rebuilding it
+    per morsel.
+    """
+    r_index = _index_of(right.schema)
+    r_key_cols = [right.columns[r_index[b]] for b in key_attrs]
+    certain_right: Dict[Tuple, List[int]] = {}
+    certain_right_rows: List[int] = []
+    uncertain_right: List[int] = []
+    for j in range(len(right)):
+        keyvals = [c[j] for c in r_key_cols]
+        if all(v.is_certain for v in keyvals):
+            certain_right.setdefault(
+                tuple(v.sg for v in keyvals), []
+            ).append(j)
+            certain_right_rows.append(j)
+        else:
+            uncertain_right.append(j)
+    return certain_right, certain_right_rows, uncertain_right

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.ranges import domain_max, domain_min
+from ..core.sums import add_product, finish, new_acc
 from ..incomplete.xdb import XRelation
 
 __all__ = [
@@ -124,11 +125,17 @@ def exact_sum_bounds(
     over the values of alternatives matching ``v`` plus 0 whenever the
     block can avoid the group (an alternative with a different group value
     or optionality).
+
+    Per-block contributions sum through :mod:`repro.core.sums` so the
+    totals are the correctly-rounded exact sums: comparisons against
+    system bounds computed the same way (the AU engine's SUM fold) are
+    then decided by the real-valued quantities, not by accumulation
+    order.
     """
     bounds: Dict[Row, Tuple[float, float]] = {}
     for v in group_values(xrel, group_idx):
-        lo_total = 0.0
-        hi_total = 0.0
+        lo_total = new_acc()
+        hi_total = new_acc()
         for xt in xrel.xtuples:
             matching = [
                 value_of(alt)
@@ -143,9 +150,9 @@ def exact_sum_bounds(
             if can_avoid:
                 lo = min(lo, 0.0)
                 hi = max(hi, 0.0)
-            lo_total += lo
-            hi_total += hi
-        bounds[v] = (lo_total, hi_total)
+            add_product(lo_total, lo, 1)
+            add_product(hi_total, hi, 1)
+        bounds[v] = (float(finish(lo_total)), float(finish(hi_total)))
     return bounds
 
 

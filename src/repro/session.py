@@ -462,6 +462,16 @@ def _bind_phys(node: phys.PhysNode, binding) -> phys.PhysNode:
             ),
             node,
         )
+    if isinstance(node, phys.AUPartialAggregate):
+        child = _bind_phys(node.child, binding)
+        specs = tuple(_bind_spec(s, binding) for s in node.aggregates)
+        if child is node.child and all(
+            s is o for s, o in zip(specs, node.aggregates)
+        ):
+            return node
+        return _copy_phys(
+            phys.AUPartialAggregate(child, node.group_by, specs), node
+        )
     if isinstance(node, phys.TopK):
         child = _bind_phys(node.child, binding)
         if child is node.child:
@@ -849,7 +859,12 @@ class PreparedQuery:
                     if self.config.backend == "vectorized":
                         from .exec.vectorized import execute_det
 
-                        result = execute_det(pplan, conn.db, actuals=actuals)
+                        result = execute_det(
+                            pplan,
+                            conn.db,
+                            actuals=actuals,
+                            pool=conn._worker_pool(self.config),
+                        )
                     else:
                         from .db.engine import execute_physical_det
 
@@ -857,7 +872,12 @@ class PreparedQuery:
                 elif self.config.backend == "vectorized":
                     from .exec.vectorized import execute_audb
 
-                    result = execute_audb(pplan, conn.db, actuals)
+                    result = execute_audb(
+                        pplan,
+                        conn.db,
+                        actuals,
+                        pool=conn._worker_pool(self.config),
+                    )
                 else:
                     result = execute_physical_audb(pplan, conn.db, actuals)
         finally:
@@ -1079,6 +1099,39 @@ class Connection:
         self._stats: Optional[Statistics] = None
         # id(view) -> live MaterializedView (see subscribe())
         self._subscriptions: Dict[int, Any] = {}
+        # the persistent parallel worker pool (repro.exec.parallel),
+        # created lazily by the first parallel vectorized execution and
+        # reused across queries until close()
+        self._pool: Optional[Any] = None
+
+    def _worker_pool(self, config: EvalConfig) -> Optional[Any]:
+        """The session's persistent worker pool for parallel vectorized
+        execution — created lazily, sized to ``config.parallelism``,
+        ``None`` when parallelism is off or ``fork`` is unavailable.
+
+        The pool itself re-forks on database epoch drift
+        (:meth:`repro.exec.parallel.WorkerPool.ensure`); this only
+        manages sizing and lifetime."""
+        import os
+
+        if config.parallelism <= 1 or not hasattr(os, "fork"):
+            return None
+        if self._pool is None or self._pool.size != config.parallelism:
+            if self._pool is not None:
+                self._pool.close()
+            from .exec.parallel import WorkerPool
+
+            self._pool = WorkerPool(config.parallelism)
+        return self._pool
+
+    def close(self) -> None:
+        """Release session resources: shuts the persistent worker pool
+        down and drops the plan cache.  The connection remains usable
+        (pools and cache entries are recreated on demand)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._cache.clear()
 
     @property
     def verify_plans(self) -> bool:

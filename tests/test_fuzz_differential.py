@@ -17,10 +17,12 @@ backend, and the paper's semantics promise:
    engines, naive and optimized shapes.
 3. **Backend and parallelism differential** — for BOTH engines, the
    vectorized backend (:mod:`repro.exec`) returns exactly the tuple
-   interpreter's result on every plan shape, and the deterministic
-   vectorized backend returns identical results at ``parallelism`` 1
-   and 4 (partition thresholds pinned to 0 so the 4-way morsel
-   partition-and-merge machinery really runs).
+   interpreter's result on every plan shape, and BOTH engines return
+   identical results at ``parallelism`` 1 and 4 (partition thresholds
+   pinned to 0 so the 4-way morsel partition-and-merge machinery — AU
+   partial aggregates with SG-combine-aware merges included — really
+   runs); the tuple-at-a-time AU executor is knob-inert under the same
+   setting.
 4. **Float bit-stability** — on a float-valued copy of the database,
    SUM/AVG results are *bit-identical* across backends, lowerings, and
    parallelism levels (exact summation, :mod:`repro.core.sums`); the
@@ -692,6 +694,14 @@ def _check_case(seed: int) -> None:
                 assert dict(au_vec.tuples()) == dict(au_naive.tuples()), (
                     f"AU vec annotations [{shape} x{parallelism}] {context}"
                 )
+        # the tuple-at-a-time AU executor has no parallel regions; the
+        # parallelism knob must be inert there even with thresholds at 0
+        au_tuple_x4 = evaluate_audb(
+            plan, audb, EvalConfig(backend="tuple", parallelism=4)
+        )
+        assert dict(au_tuple_x4.tuples()) == dict(au_naive.tuples()), (
+            f"AU tuple x4 annotations {context}"
+        )
 
         # 1d. float bit-stability: on a float-valued database SUM/AVG are
         # bit-identical across lowerings, backends, and parallelism

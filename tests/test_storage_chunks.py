@@ -15,7 +15,21 @@ import math
 
 import pytest
 
-from repro.core.expressions import And, Const, Eq, Geq, Gt, Leq, Lt, Neq, Or, Parameter, Var
+from repro.core.expressions import (
+    And,
+    Const,
+    Eq,
+    Geq,
+    Gt,
+    IsNull,
+    Leq,
+    Lt,
+    Neq,
+    Not,
+    Or,
+    Parameter,
+    Var,
+)
 from repro.core.ranges import RangeValue
 from repro.core.relation import AURelation
 from repro.db import chunks as chunks_mod
@@ -140,6 +154,50 @@ def test_skip_unknown_column_and_nan_are_permissive():
     # a constraint on a column the store does not know is ignored
     kept, _, skipped = store.survivors(derive_skip(Gt(Var("zz"), Const(99))))
     assert (len(kept), skipped) == (1, 0)
+
+
+def test_derive_skip_null_atoms():
+    skip = derive_skip(And(IsNull(Var("a")), Not(IsNull(Var("b")))))
+    assert skip is not None and len(skip) == 2
+    assert str(skip) == "a IS NULL AND b IS NOT NULL"
+    assert [c.op for c in skip.constraints] == ["isnull", "notnull"]
+
+
+def test_null_skip_rules_det():
+    r = DetRelation(["a", "b"])
+    for i in range(3):
+        r.add((i + 1, i), 1)  # chunk 0: provably no nulls in a
+    for i in range(3):
+        r.add((None, 10 + i), 1)  # chunk 1: a is all-null
+    r.add((7, 20), 1)  # chunk 2: mixed — never skippable
+    r.add((None, 21), 1)
+    store = DetChunkStore.build(r, 3)
+    # IS NULL proves the null-free chunk empty (zero null count and a
+    # min key strictly above None's bottom-of-domain key)
+    _, total, skipped = store.survivors(derive_skip(IsNull(Var("a"))))
+    assert (total, skipped) == (3, 1)
+    # IS NOT NULL proves the all-null chunk empty
+    _, total, skipped = store.survivors(derive_skip(Not(IsNull(Var("a")))))
+    assert (total, skipped) == (3, 1)
+
+
+def test_null_skip_rules_au():
+    r = AURelation(["a", "b"])
+    for i in range(3):  # chunk 0: certainly non-null
+        r.add([RangeValue(i + 1, i + 1, i + 1), i], (1, 1, 1))
+    for i in range(3):  # chunk 1: certainly null (lb = sg = ub = None)
+        r.add([RangeValue(None, None, None), 10 + i], (1, 1, 1))
+    for i in range(3):  # chunk 2: possibly null (lb None, guess 5)
+        r.add([RangeValue(None, 5, 9), 20 + i], (1, 1, 1))
+    store = AUChunkStore.build(r, 3)
+    # IS NULL skips only the certainly-non-null chunk: the possibly-null
+    # rows pull the chunk's min key down to None, so it must be read
+    _, total, skipped = store.survivors(derive_skip(IsNull(Var("a"))))
+    assert (total, skipped) == (3, 1)
+    # IS NOT NULL skips only the certainly-null chunk: the possibly-null
+    # chunk is non-null in some world (its guesses are not null)
+    _, total, skipped = store.survivors(derive_skip(Not(IsNull(Var("a")))))
+    assert (total, skipped) == (3, 1)
 
 
 def test_scan_roundtrip_matches_monolithic_image():
